@@ -1,0 +1,19 @@
+//! Ablations of the joint method's design choices (DESIGN.md §"Design
+//! choices to ablate"): performance constraints on/off and the
+//! aggregation-window sweep. Pass `--quick` for a shorter run.
+
+use jpmd_bench::{experiments, write_json, ExperimentConfig};
+
+fn main() -> std::io::Result<()> {
+    let cfg = ExperimentConfig::from_args();
+    let tables = vec![
+        experiments::ablation_constraints(&cfg),
+        experiments::ablation_window(&cfg),
+        experiments::ablation_power_aware(&cfg),
+        experiments::ablation_timeout_policies(&cfg),
+    ];
+    for t in &tables {
+        t.print();
+    }
+    write_json("ablation", &tables)
+}

@@ -1,0 +1,129 @@
+//! Server-cluster request distribution — the paper's §II-B related work
+//! (Pinheiro et al.'s *workload unbalancing* \[4\]; Rajamani & Lefurgy's
+//! request-distribution study \[5\]) layered on top of per-server joint
+//! power management, as the paper's conclusion proposes ("the combination
+//! of the joint method with server clusters' workload distribution will be
+//! a topic for future study").
+//!
+//! Four replicated-content servers take a 200 MB/s aggregate workload
+//! under two request-distribution schemes:
+//!
+//! * **balanced** — round-robin: every server sees ~50 MB/s and must cache
+//!   its own copy of the hot set;
+//! * **unbalanced** — requests concentrate on the fewest servers that stay
+//!   under a per-server rate cap; the spare servers idle, letting their
+//!   joint managers shrink memory to the floor and spin the disks down.
+//!
+//! Expected shape: unbalanced + joint wins (duplicated hot-set caching is
+//! the balanced scheme's hidden cost), and the joint manager amplifies the
+//! gap because idle servers decay to near-zero power. Pass `--quick` for a
+//! shorter run.
+
+use jpmd_bench::{experiments, write_json, ExperimentConfig, Table, WorkloadPoint};
+use jpmd_core::methods;
+use jpmd_trace::{Trace, TraceRecord, MIB};
+
+const SERVERS: usize = 4;
+/// Per-server admission cap for the unbalanced scheme, bytes/s.
+const RATE_CAP: f64 = 120.0 * MIB as f64;
+
+/// Splits one aggregate trace into per-server traces.
+fn split(trace: &Trace, balanced: bool) -> Vec<Trace> {
+    let mut per_server: Vec<Vec<TraceRecord>> = vec![Vec::new(); SERVERS];
+    if balanced {
+        for (i, r) in trace.records().iter().enumerate() {
+            per_server[i % SERVERS].push(*r);
+        }
+    } else {
+        // Sliding 1-second admission windows per server.
+        let mut window_start = [0.0f64; SERVERS];
+        let mut window_bytes = [0u64; SERVERS];
+        for r in trace.records() {
+            let bytes = r.pages * trace.page_bytes();
+            let mut placed = SERVERS - 1;
+            for s in 0..SERVERS {
+                if r.time - window_start[s] >= 1.0 {
+                    window_start[s] = r.time;
+                    window_bytes[s] = 0;
+                }
+                if (window_bytes[s] + bytes) as f64 <= RATE_CAP {
+                    placed = s;
+                    break;
+                }
+            }
+            window_bytes[placed] += bytes;
+            per_server[placed].push(*r);
+        }
+    }
+    per_server
+        .into_iter()
+        .map(|records| Trace::new(records, trace.page_bytes(), trace.total_pages()))
+        .collect()
+}
+
+fn main() -> std::io::Result<()> {
+    let cfg = ExperimentConfig::from_args();
+    let point = WorkloadPoint {
+        data_gb: 16,
+        rate_mb: 200,
+        popularity: 0.1,
+    };
+    let aggregate = experiments::make_trace(&cfg, point);
+
+    let mut table = Table::new(
+        "Cluster request distribution: 4 servers, 200 MB/s aggregate",
+        vec![
+            "total_kJ".into(),
+            "mem_kJ".into(),
+            "disk_kJ".into(),
+            "long/s".into(),
+            "busiest_server_kJ".into(),
+            "idlest_server_kJ".into(),
+        ],
+    );
+    for (dist, balanced) in [("balanced", true), ("unbalanced", false)] {
+        let shares = split(&aggregate, balanced);
+        for method in ["always-on", "joint"] {
+            let spec = if method == "joint" {
+                methods::joint(&cfg.scale)
+            } else {
+                methods::always_on(&cfg.scale)
+            };
+            let mut total = 0.0;
+            let mut mem = 0.0;
+            let mut disk = 0.0;
+            let mut long = 0.0;
+            let mut per_server_kj = Vec::new();
+            for share in &shares {
+                let r = methods::run_method(
+                    &spec,
+                    &cfg.scale,
+                    share,
+                    cfg.warmup_secs,
+                    cfg.duration_secs,
+                    cfg.period_secs,
+                );
+                total += r.energy.total_j();
+                mem += r.energy.mem.total_j();
+                disk += r.energy.disk.total_j();
+                long += r.long_latency_per_sec();
+                per_server_kj.push(r.energy.total_j() / 1e3);
+            }
+            per_server_kj.sort_by(f64::total_cmp);
+            table.push(
+                format!("{dist}/{method}"),
+                vec![
+                    total / 1e3,
+                    mem / 1e3,
+                    disk / 1e3,
+                    long,
+                    per_server_kj[per_server_kj.len() - 1],
+                    per_server_kj[0],
+                ],
+            );
+            eprintln!("cluster: {dist}/{method} done");
+        }
+    }
+    table.print();
+    write_json("cluster", &table)
+}

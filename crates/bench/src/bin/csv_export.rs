@@ -1,0 +1,50 @@
+//! Converts saved experiment JSON (a `Table` or an array of `Table`s)
+//! into CSV files next to them, for spreadsheet and plotting pipelines.
+//!
+//! ```sh
+//! csv-export results/fig7.json        # writes results/fig7.<n>.csv
+//! ```
+
+use std::fs;
+use std::process::ExitCode;
+
+use jpmd_bench::Table;
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: csv_export <results/file.json>");
+        return ExitCode::FAILURE;
+    };
+    let raw = match fs::read_to_string(&path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error reading {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // A file holds either one table or a list of tables.
+    let tables: Vec<Table> = match serde_json::from_str::<Vec<Table>>(&raw) {
+        Ok(ts) => ts,
+        Err(_) => match serde_json::from_str::<Table>(&raw) {
+            Ok(t) => vec![t],
+            Err(e) => {
+                eprintln!("error parsing {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let stem = path.trim_end_matches(".json");
+    for (i, t) in tables.iter().enumerate() {
+        let out = if tables.len() == 1 {
+            format!("{stem}.csv")
+        } else {
+            format!("{stem}.{i}.csv")
+        };
+        if let Err(e) = fs::write(&out, t.to_csv()) {
+            eprintln!("error writing {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {out} ({})", t.title);
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,99 @@
+//! Multi-speed (DRPM) disk versus spin-down — the paper's §VI future-work
+//! item "multiple-speed disks" and related work \[12\].
+//!
+//! Drives a single-speed disk (always-on / 2-competitive spin-down) and a
+//! multi-speed disk (fixed top speed / utilization-driven DRPM control)
+//! with the *same* miss request streams, at several traffic intensities.
+//!
+//! Expected shape (the DRPM paper's core claim): at moderate intensities
+//! the idle intervals are too short for spin-down's 11.7 s break-even, so
+//! 2T ≈ always-on, while DRPM still harvests energy by dropping to a lower
+//! speed; under very light traffic spin-down wins (0.9 W standby beats any
+//! spinning speed); under saturation everything converges to full speed.
+
+use jpmd_bench::{write_json, Table};
+use jpmd_disk::{
+    Disk, DiskPowerModel, MultiSpeedDisk, MultiSpeedModel, ServiceModel, SpeedPolicy,
+};
+use jpmd_stats::Pareto;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One synthetic request stream: Pareto think times with the given mean.
+fn request_stream(mean_gap_s: f64, requests: usize, seed: u64) -> Vec<(f64, u64, u64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Pareto-distributed gaps (alpha = 1.5) with the requested mean.
+    let beta = mean_gap_s / 3.0; // mean = alpha*beta/(alpha-1) = 3*beta
+    let gaps = Pareto::new(1.5, beta).expect("valid").sample_n(&mut rng, requests);
+    let mut t = 0.0;
+    gaps.iter()
+        .map(|g| {
+            t += g;
+            (t, rng.gen_range(0..100_000u64), rng.gen_range(1..8u64))
+        })
+        .collect()
+}
+
+fn main() -> std::io::Result<()> {
+    let power = DiskPowerModel::default();
+    let service = ServiceModel::scaled_pages();
+    let ms_model = MultiSpeedModel::default();
+    let mut table = Table::new(
+        "DRPM vs spin-down (identical Pareto request streams, 2000 requests)",
+        vec![
+            "always_on_J".into(),
+            "2T_J".into(),
+            "ms_full_J".into(),
+            "drpm_J".into(),
+            "drpm_lat_ms".into(),
+            "speed_chg".into(),
+        ],
+    );
+
+    for &mean_gap in &[1.0f64, 5.0, 20.0, 60.0, 240.0] {
+        let stream = request_stream(mean_gap, 2000, 99);
+        let end = stream.last().expect("nonempty").0 + 60.0;
+
+        let single = |timeout: f64| {
+            let mut d = Disk::new(power, service, 131_072);
+            d.set_timeout(timeout);
+            for &(t, page, pages) in &stream {
+                d.submit(t, page, pages, 1 << 20);
+            }
+            d.settle(end);
+            d.energy().total_j()
+        };
+        let multi = |policy: SpeedPolicy| {
+            let mut d = MultiSpeedDisk::new(ms_model.clone(), policy, 131_072);
+            let mut lat = 0.0;
+            for &(t, page, pages) in &stream {
+                lat += d.submit(t, page, pages, 1 << 20).latency;
+            }
+            d.settle(end);
+            (d.energy_j(), lat / stream.len() as f64, d.speed_changes())
+        };
+
+        let always_on = single(f64::INFINITY);
+        let two_t = single(power.break_even_s());
+        let (ms_full, _, _) = multi(SpeedPolicy::Fixed(ms_model.num_levels() - 1));
+        let (drpm, drpm_lat, changes) = multi(SpeedPolicy::UtilizationDriven {
+            low: 0.2,
+            high: 0.7,
+            window_s: 60.0,
+        });
+        table.push(
+            format!("gap={mean_gap}s"),
+            vec![
+                always_on,
+                two_t,
+                ms_full,
+                drpm,
+                drpm_lat * 1e3,
+                changes as f64,
+            ],
+        );
+        eprintln!("drpm: mean gap {mean_gap}s done");
+    }
+    table.print();
+    write_json("drpm", &table)
+}

@@ -1,0 +1,57 @@
+//! Prints the power-model tables of paper Fig. 1 and the parameter values
+//! of Table II, straight from the model types.
+
+use jpmd_core::SimScale;
+use jpmd_disk::{DiskPowerModel, ServiceModel};
+use jpmd_mem::RdramModel;
+
+fn main() {
+    let mem = RdramModel::default();
+    let disk = DiskPowerModel::default();
+    let scale = SimScale::default();
+
+    println!("== Fig. 1(a) memory power model (128 Mb RDRAM chip) ==");
+    println!("  attention            {:>8.1} mW", mem.attention_mw);
+    println!("  accessed (peak rate) {:>8.1} mW", mem.peak_mw);
+    println!("  nap                  {:>8.1} mW", mem.nap_mw);
+    println!("  power down           {:>8.1} mW", mem.powerdown_mw);
+    println!("  disable              {:>8.1} mW (data lost)", 0.0);
+    println!("  nap -> attention     {:>8.1} ns", mem.nap_exit_ns);
+    println!("  pwrdn -> attention   {:>8.1} us (also disable estimate)", mem.powerdown_exit_us);
+    println!("  derived: static {:.3} mW/MB, dynamic {:.3} mJ/MB, PD timeout {:.0} us",
+        mem.nap_w_per_mb() * 1e3, mem.dynamic_j_per_mb() * 1e3, mem.powerdown_timeout_s() * 1e6);
+
+    println!("\n== Fig. 1(b) disk power model (Seagate IDE) ==");
+    println!("  active               {:>8.1} W", disk.active_w);
+    println!("  idle                 {:>8.1} W", disk.idle_w);
+    println!("  standby/sleep        {:>8.1} W", disk.standby_w);
+    println!("  transition (round)   {:>8.1} J / {:.0} s", disk.transition_j, disk.spinup_s);
+    println!("  derived: p_d = {:.1} W, peak dynamic = {:.1} W, t_be = {:.1} s",
+        disk.static_w(), disk.dynamic_peak_w(), disk.break_even_s());
+
+    println!("\n== Bandwidth table (paper \u{a7}V-A: effective rate by request size) ==");
+    println!("  {:>12} {:>16} {:>16}", "request", "physical MB/s", "scaled MB/s");
+    let physical = ServiceModel::default();
+    let scaled = ServiceModel::scaled_pages();
+    for kb in [64u64, 256, 1024, 4096, 16384, 65536] {
+        let bytes = kb * 1024;
+        println!(
+            "  {:>9} KiB {:>16.2} {:>16.2}",
+            kb,
+            physical.effective_rate_mb_s(bytes),
+            scaled.effective_rate_mb_s(bytes)
+        );
+    }
+
+    println!("\n== Table II parameter values ==");
+    println!("  T (period)           {:>8} s", 600);
+    println!("  w (aggregation)      {:>8} s", 0.1);
+    println!("  t_be                 {:>8.1} s", disk.break_even_s());
+    println!("  t_tr                 {:>8.1} s", disk.spinup_s);
+    println!("  p_d                  {:>8.1} W", disk.static_w());
+    println!("  U (utilization cap)  {:>8} %", 10);
+    println!("  D (delay ratio cap)  {:>8}", 0.001);
+    println!("  bank (enum. unit)    {:>8} MB", scale.bank_mib);
+    println!("  installed memory     {:>8} GB ({} banks)", scale.total_gb, scale.total_banks());
+    println!("  DS timeout           {:>8.0} s", scale.disable_timeout_s());
+}

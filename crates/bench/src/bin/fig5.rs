@@ -1,0 +1,9 @@
+//! Regenerates paper Fig. 5: Pareto CDFs for two parameter pairs.
+
+use jpmd_bench::{experiments, write_json};
+
+fn main() -> std::io::Result<()> {
+    let table = experiments::fig5();
+    table.print();
+    write_json("fig5", &table)
+}

@@ -1,0 +1,25 @@
+//! Regenerates paper Fig. 7: all 16 methods across data-set sizes
+//! {4, 8, 16, 32, 64} GB (100 MB/s, popularity 0.1). Six sub-figures:
+//! total/disk/memory energy %, latency, utilization, long-latency rate.
+//!
+//! Pass `--quick` for a shorter run, `--bars` for bar-chart rendering.
+
+use jpmd_bench::{experiments, write_json, ExperimentConfig};
+
+fn main() -> std::io::Result<()> {
+    let cfg = ExperimentConfig::from_args();
+    let tables = experiments::fig7(&cfg);
+    for t in &tables {
+        t.print();
+    }
+    // `--bars` additionally renders each column as a horizontal bar chart
+    // (the closest terminal analogue of the paper's grouped-bar figures).
+    if std::env::args().any(|a| a == "--bars") {
+        for t in &tables {
+            for c in 0..t.columns.len() {
+                t.print_bars(c);
+            }
+        }
+    }
+    write_json("fig7", &tables)
+}

@@ -1,0 +1,37 @@
+//! Regenerates paper Fig. 8: energy and long-latency rate across data
+//! rates (a, b) and popularity (c, d).
+//!
+//! `--part rate` or `--part popularity` selects one half; default both.
+//! Pass `--quick` for a shorter run, `--bars` for bar-chart rendering.
+
+use jpmd_bench::{experiments, write_json, ExperimentConfig};
+
+fn main() -> std::io::Result<()> {
+    let cfg = ExperimentConfig::from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let part = args
+        .iter()
+        .position(|a| a == "--part")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str);
+    let mut tables = Vec::new();
+    if part.is_none() || part == Some("rate") {
+        tables.extend(experiments::fig8_rate(&cfg));
+    }
+    if part.is_none() || part == Some("popularity") {
+        tables.extend(experiments::fig8_popularity(&cfg));
+    }
+    for t in &tables {
+        t.print();
+    }
+    // `--bars` additionally renders each column as a horizontal bar chart
+    // (the closest terminal analogue of the paper's grouped-bar figures).
+    if std::env::args().any(|a| a == "--bars") {
+        for t in &tables {
+            for c in 0..t.columns.len() {
+                t.print_bars(c);
+            }
+        }
+    }
+    write_json("fig8", &tables)
+}

@@ -1,0 +1,13 @@
+//! Regenerates paper Fig. 9: per-period disk requests and idle lengths at
+//! fixed 8/16 GB memories (32 GB data set), validating last-period
+//! prediction. Pass `--quick` for a shorter run.
+
+use jpmd_bench::{experiments, write_json, ExperimentConfig};
+
+fn main() -> std::io::Result<()> {
+    let cfg = ExperimentConfig::from_args();
+    let (series, summary) = experiments::fig9(&cfg);
+    series.print();
+    summary.print();
+    write_json("fig9", &vec![series, summary])
+}

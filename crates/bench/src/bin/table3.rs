@@ -1,0 +1,11 @@
+//! Regenerates paper Table III: memory and disk accesses under different
+//! data sets. Pass `--quick` for a shorter run.
+
+use jpmd_bench::{experiments, write_json, ExperimentConfig};
+
+fn main() -> std::io::Result<()> {
+    let cfg = ExperimentConfig::from_args();
+    let table = experiments::table3(&cfg);
+    table.print();
+    write_json("table3", &table)
+}

@@ -1,0 +1,11 @@
+//! Regenerates paper Table IV: joint-method sensitivity to the period
+//! length. Pass `--quick` for a shorter run.
+
+use jpmd_bench::{experiments, write_json, ExperimentConfig};
+
+fn main() -> std::io::Result<()> {
+    let cfg = ExperimentConfig::from_args();
+    let table = experiments::table4(&cfg);
+    table.print();
+    write_json("table4", &table)
+}

@@ -1,0 +1,11 @@
+//! Regenerates paper Table V: joint-method sensitivity to the bank size.
+//! Pass `--quick` for a shorter run.
+
+use jpmd_bench::{experiments, write_json, ExperimentConfig};
+
+fn main() -> std::io::Result<()> {
+    let cfg = ExperimentConfig::from_args();
+    let table = experiments::table5(&cfg);
+    table.print();
+    write_json("table5", &table)
+}

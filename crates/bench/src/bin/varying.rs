@@ -1,0 +1,98 @@
+//! Time-varying server load — the paper's opening motivation ("the
+//! varying workload of server systems provides opportunities for storage
+//! devices to exploit low-power modes", §I).
+//!
+//! The workload alternates hourly between a busy phase (100 MB/s) and a
+//! quiet phase (5 MB/s). Static methods must be provisioned for the busy
+//! phase and waste that provision in the quiet one; the joint manager
+//! re-decides every period, shrinking memory and sleeping the disk when
+//! the load drops and growing back when it returns. The per-period bank
+//! series printed at the end shows the tracking directly. Pass `--quick`
+//! for a shorter run.
+
+use jpmd_bench::{write_json, ExperimentConfig, Table};
+use jpmd_core::methods;
+use jpmd_trace::{synth, WorkloadBuilder, GIB, MIB};
+
+fn main() -> std::io::Result<()> {
+    let cfg = ExperimentConfig::from_args();
+    let phase_secs = (cfg.duration_secs / 4.0).max(1800.0);
+    // busy -> quiet -> busy -> quiet, same 16 GB data set throughout.
+    let phase = |rate_mb: u64, seed: u64| {
+        WorkloadBuilder::new()
+            .data_set_bytes(16 * GIB)
+            .rate_bytes_per_sec(rate_mb * MIB)
+            .popularity(0.1)
+            .page_bytes(cfg.scale.page_bytes)
+            .duration_secs(phase_secs)
+            .seed(seed)
+            .build()
+            .expect("workload generation")
+    };
+    let trace = synth::concat(&[
+        phase(100, cfg.seed),
+        phase(5, cfg.seed + 1),
+        phase(100, cfg.seed + 2),
+        phase(5, cfg.seed + 3),
+    ])
+    .expect("concat");
+    let duration = trace.span() + 60.0;
+    let warmup = phase_secs; // measure from the first phase switch
+
+    let mut table = Table::new(
+        "Time-varying load: hourly 100 <-> 5 MB/s phases (16 GB data set)",
+        vec![
+            "total_kJ".into(),
+            "mem_kJ".into(),
+            "disk_kJ".into(),
+            "spins".into(),
+            "long/s".into(),
+        ],
+    );
+    let specs = vec![
+        methods::always_on(&cfg.scale),
+        methods::fixed_memory(&cfg.scale, methods::DiskPolicyKind::TwoCompetitive, 16),
+        methods::disable(&cfg.scale, methods::DiskPolicyKind::TwoCompetitive),
+        methods::joint(&cfg.scale),
+    ];
+    let mut joint_series = Vec::new();
+    for spec in &specs {
+        let r = methods::run_method(spec, &cfg.scale, &trace, warmup, duration, cfg.period_secs);
+        table.push(
+            spec.label.clone(),
+            vec![
+                r.energy.total_j() / 1e3,
+                r.energy.mem.total_j() / 1e3,
+                r.energy.disk.total_j() / 1e3,
+                r.spin_downs as f64,
+                r.long_latency_per_sec(),
+            ],
+        );
+        if spec.joint.is_some() {
+            joint_series = r
+                .periods
+                .iter()
+                .map(|p| {
+                    (
+                        p.observation.end,
+                        p.action.enabled_banks.unwrap_or(p.observation.enabled_banks),
+                        p.observation.disk_page_accesses,
+                        p.observation.mean_power_w(),
+                    )
+                })
+                .collect();
+        }
+        eprintln!("varying: {} done", spec.label);
+    }
+    table.print();
+
+    println!("\n-- joint method's per-period decisions and power --");
+    for (end, banks, misses, power) in &joint_series {
+        let gb = *banks as f64 * 16.0 / 1024.0;
+        println!(
+            "t = {:>6.0} s  banks -> {:>5} ({:>5.1} GB)  period misses {:>6}  mean power {:>6.1} W",
+            end, banks, gb, misses, power
+        );
+    }
+    write_json("varying", &table)
+}

@@ -1,0 +1,669 @@
+//! The paper's evaluation experiments (§V), one function per table/figure.
+
+use jpmd_core::{methods, JointConfig, JointPolicy, SimScale};
+use jpmd_disk::SpinDownPolicy;
+use jpmd_mem::IdlePolicy;
+use jpmd_sim::{run_simulation, RunReport};
+use jpmd_stats::Pareto;
+use jpmd_trace::{Trace, WorkloadBuilder, GIB, MIB};
+
+use crate::report::Table;
+
+/// Shared experiment parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentConfig {
+    /// Hardware scale (page/bank geometry + device models).
+    pub scale: SimScale,
+    /// Warm-up excluded from measurements, s.
+    pub warmup_secs: f64,
+    /// Total simulated time, s.
+    pub duration_secs: f64,
+    /// Control-period length `T`, s.
+    pub period_secs: f64,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// The standard configuration: 1 h warm-up, 2 h measured, 10 min
+    /// periods (paper Table II timing).
+    pub fn standard() -> Self {
+        Self {
+            scale: SimScale::default(),
+            warmup_secs: 3600.0,
+            duration_secs: 3.0 * 3600.0,
+            period_secs: 600.0,
+            seed: 42,
+        }
+    }
+
+    /// A faster configuration for smoke runs (30 min warm-up, 1 h
+    /// measured).
+    pub fn quick() -> Self {
+        Self {
+            warmup_secs: 1800.0,
+            duration_secs: 3.0 * 1800.0,
+            ..Self::standard()
+        }
+    }
+
+    /// Parses `--quick` from the command line.
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--quick") {
+            Self::quick()
+        } else {
+            Self::standard()
+        }
+    }
+}
+
+/// One workload point in the evaluation space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadPoint {
+    /// Data-set size, GiB.
+    pub data_gb: u64,
+    /// Request rate, MiB/s.
+    pub rate_mb: u64,
+    /// Popularity fraction (hot-set size receiving 90 % of accesses).
+    pub popularity: f64,
+}
+
+impl WorkloadPoint {
+    /// The paper's default point: 16 GB, 100 MB/s, popularity 0.1.
+    pub fn default_point() -> Self {
+        Self {
+            data_gb: 16,
+            rate_mb: 100,
+            popularity: 0.1,
+        }
+    }
+}
+
+/// Generates the trace for one workload point.
+pub fn make_trace(cfg: &ExperimentConfig, point: WorkloadPoint) -> Trace {
+    WorkloadBuilder::new()
+        .data_set_bytes(point.data_gb * GIB)
+        .rate_bytes_per_sec(point.rate_mb * MIB)
+        .popularity(point.popularity)
+        .page_bytes(cfg.scale.page_bytes)
+        .duration_secs(cfg.duration_secs)
+        .seed(cfg.seed)
+        .build()
+        .expect("workload generation")
+}
+
+/// Runs every method of `suite` over `trace` concurrently (one thread per
+/// method; the 16-method suite fans out nicely on typical core counts) and
+/// returns the reports in suite order.
+fn run_suite_parallel(
+    cfg: &ExperimentConfig,
+    suite: &[methods::MethodSpec],
+    trace: &Trace,
+) -> Vec<RunReport> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = suite
+            .iter()
+            .map(|spec| scope.spawn(move || run(cfg, spec, trace)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("simulation thread panicked"))
+            .collect()
+    })
+}
+
+fn run(cfg: &ExperimentConfig, spec: &methods::MethodSpec, trace: &Trace) -> RunReport {
+    methods::run_method(
+        spec,
+        &cfg.scale,
+        trace,
+        cfg.warmup_secs,
+        cfg.duration_secs,
+        cfg.period_secs,
+    )
+}
+
+/// The paper's FM sizes, GiB.
+pub const FM_SIZES_GB: [u64; 5] = [8, 16, 32, 64, 128];
+
+/// Fig. 7: all 16 methods across data-set sizes {4, 8, 16, 32, 64} GB at
+/// 100 MB/s, popularity 0.1. Returns six tables — (a) total energy %,
+/// (b) disk energy %, (c) memory energy %, (d) average latency \[ms\],
+/// (e) disk utilization %, (f) long-latency requests per second.
+///
+/// Methods whose disk demand exceeds the bandwidth (utilization > 100 %)
+/// get `NaN` cells, shown as `-`, matching the omitted bars in the paper.
+pub fn fig7(cfg: &ExperimentConfig) -> Vec<Table> {
+    let data_sets = [4u64, 8, 16, 32, 64];
+    let suite = methods::paper_suite(&cfg.scale, &FM_SIZES_GB);
+    let columns: Vec<String> = data_sets.iter().map(|d| format!("{d}GB")).collect();
+    let titles = [
+        "Fig. 7(a) total energy [% of always-on]",
+        "Fig. 7(b) disk energy [% of always-on]",
+        "Fig. 7(c) memory energy [% of always-on]",
+        "Fig. 7(d) average latency [ms]",
+        "Fig. 7(e) disk utilization [%]",
+        "Fig. 7(f) long-latency requests [1/s]",
+    ];
+    let mut tables: Vec<Table> = titles
+        .iter()
+        .map(|t| Table::new(*t, columns.clone()))
+        .collect();
+
+    // cells[metric][method] = per-data-set values
+    let mut cells = vec![vec![Vec::new(); suite.len()]; titles.len()];
+    for &data_gb in &data_sets {
+        let trace = make_trace(
+            cfg,
+            WorkloadPoint {
+                data_gb,
+                rate_mb: 100,
+                popularity: 0.1,
+            },
+        );
+        let baseline = run(cfg, &suite[0], &trace);
+        let reports = run_suite_parallel(cfg, &suite, &trace);
+        for (mi, (spec, r)) in suite.iter().zip(&reports).enumerate() {
+            let saturated = r.utilization > 1.0;
+            let metrics = [
+                100.0 * r.normalized_total(&baseline),
+                100.0 * r.normalized_disk(&baseline),
+                100.0 * r.normalized_mem(&baseline),
+                r.mean_latency_secs * 1e3,
+                r.utilization * 100.0,
+                r.long_latency_per_sec(),
+            ];
+            for (t, &m) in metrics.iter().enumerate() {
+                cells[t][mi].push(if saturated { f64::NAN } else { m });
+            }
+            eprintln!("fig7: {} @ {}GB done", spec.label, data_gb);
+        }
+    }
+    for (t, table) in tables.iter_mut().enumerate() {
+        for (mi, spec) in suite.iter().enumerate() {
+            table.push(spec.label.clone(), cells[t][mi].clone());
+        }
+    }
+    tables
+}
+
+/// Fig. 8(a,b): energy % and long-latency rate across data rates
+/// {5, 50, 100, 150, 200} MB/s at 16 GB, popularity 0.1.
+pub fn fig8_rate(cfg: &ExperimentConfig) -> Vec<Table> {
+    let rates = [5u64, 50, 100, 150, 200];
+    sweep(
+        cfg,
+        "Fig. 8(a) total energy [% of always-on]",
+        "Fig. 8(b) long-latency requests [1/s]",
+        rates
+            .iter()
+            .map(|&rate_mb| {
+                (
+                    format!("{rate_mb}MB/s"),
+                    WorkloadPoint {
+                        data_gb: 16,
+                        rate_mb,
+                        popularity: 0.1,
+                    },
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Fig. 8(c,d): energy % and long-latency rate across popularity
+/// {0.05, 0.1, 0.2, 0.4, 0.6} at 16 GB, 5 MB/s ("high data rates hide the
+/// effect of data popularity").
+pub fn fig8_popularity(cfg: &ExperimentConfig) -> Vec<Table> {
+    let pops = [0.05, 0.1, 0.2, 0.4, 0.6];
+    sweep(
+        cfg,
+        "Fig. 8(c) total energy [% of always-on]",
+        "Fig. 8(d) long-latency requests [1/s]",
+        pops.iter()
+            .map(|&popularity| {
+                (
+                    format!("{popularity}"),
+                    WorkloadPoint {
+                        data_gb: 16,
+                        rate_mb: 5,
+                        popularity,
+                    },
+                )
+            })
+            .collect(),
+    )
+}
+
+fn sweep(
+    cfg: &ExperimentConfig,
+    energy_title: &str,
+    latency_title: &str,
+    points: Vec<(String, WorkloadPoint)>,
+) -> Vec<Table> {
+    let suite = methods::paper_suite(&cfg.scale, &FM_SIZES_GB);
+    let columns: Vec<String> = points.iter().map(|(l, _)| l.clone()).collect();
+    let mut energy = Table::new(energy_title, columns.clone());
+    let mut latency = Table::new(latency_title, columns);
+    let mut e_cells = vec![Vec::new(); suite.len()];
+    let mut l_cells = vec![Vec::new(); suite.len()];
+    for (label, point) in &points {
+        let trace = make_trace(cfg, *point);
+        let baseline = run(cfg, &suite[0], &trace);
+        let reports = run_suite_parallel(cfg, &suite, &trace);
+        for (mi, (spec, r)) in suite.iter().zip(&reports).enumerate() {
+            let saturated = r.utilization > 1.0;
+            e_cells[mi].push(if saturated {
+                f64::NAN
+            } else {
+                100.0 * r.normalized_total(&baseline)
+            });
+            l_cells[mi].push(if saturated {
+                f64::NAN
+            } else {
+                r.long_latency_per_sec()
+            });
+            eprintln!("sweep: {} @ {} done", spec.label, label);
+        }
+    }
+    for (mi, spec) in suite.iter().enumerate() {
+        energy.push(spec.label.clone(), e_cells[mi].clone());
+        latency.push(spec.label.clone(), l_cells[mi].clone());
+    }
+    vec![energy, latency]
+}
+
+/// Table III: disk accesses per method and data set, plus the
+/// method-independent memory-access row.
+pub fn table3(cfg: &ExperimentConfig) -> Table {
+    let data_sets = [4u64, 8, 16, 32, 64];
+    let columns: Vec<String> = data_sets.iter().map(|d| format!("{d}GB")).collect();
+    let mut table = Table::new(
+        "Table III: disk accesses (rows) and memory accesses (last row)",
+        columns,
+    );
+    let mut specs = vec![methods::joint(&cfg.scale)];
+    for gb in FM_SIZES_GB {
+        specs.push(methods::fixed_memory(
+            &cfg.scale,
+            methods::DiskPolicyKind::TwoCompetitive,
+            gb,
+        ));
+    }
+    specs.push(methods::power_down(
+        &cfg.scale,
+        methods::DiskPolicyKind::TwoCompetitive,
+    ));
+    specs.push(methods::disable(
+        &cfg.scale,
+        methods::DiskPolicyKind::TwoCompetitive,
+    ));
+    specs.push(methods::always_on(&cfg.scale));
+
+    let mut cells = vec![Vec::new(); specs.len()];
+    let mut memory_accesses = Vec::new();
+    for &data_gb in &data_sets {
+        let trace = make_trace(
+            cfg,
+            WorkloadPoint {
+                data_gb,
+                rate_mb: 100,
+                popularity: 0.1,
+            },
+        );
+        for (mi, spec) in specs.iter().enumerate() {
+            let r = run(cfg, spec, &trace);
+            cells[mi].push(r.disk_page_accesses as f64);
+            if mi == specs.len() - 1 {
+                memory_accesses.push(r.cache_accesses as f64);
+            }
+            eprintln!("table3: {} @ {}GB done", spec.label, data_gb);
+        }
+    }
+    for (mi, spec) in specs.iter().enumerate() {
+        table.push(spec.label.clone(), cells[mi].clone());
+    }
+    table.push("MA (all methods)", memory_accesses);
+    table
+}
+
+/// Table IV: joint-method sensitivity to the period length.
+pub fn table4(cfg: &ExperimentConfig) -> Table {
+    let periods_min = [5.0, 10.0, 20.0, 30.0];
+    let mut table = Table::new(
+        "Table IV: joint method vs period length (16 GB, 100 MB/s)",
+        vec![
+            "total%".into(),
+            "disk%".into(),
+            "mem%".into(),
+            "long/s".into(),
+        ],
+    );
+    for &minutes in &periods_min {
+        // The warm-up must cover the joint method's cold first decisions
+        // and the measured window several control periods, whatever the
+        // period length — otherwise long periods are penalized by the
+        // window, not by the policy.
+        let period = minutes * 60.0;
+        let mut c = *cfg;
+        c.period_secs = period;
+        c.warmup_secs = cfg.warmup_secs.max(3.0 * period);
+        c.duration_secs = c.warmup_secs + (cfg.duration_secs - cfg.warmup_secs).max(6.0 * period);
+        let trace = make_trace(&c, WorkloadPoint::default_point());
+        let baseline = run(&c, &methods::always_on(&c.scale), &trace);
+        let r = run(&c, &methods::joint(&c.scale), &trace);
+        table.push(
+            format!("T = {minutes} min"),
+            vec![
+                100.0 * r.normalized_total(&baseline),
+                100.0 * r.normalized_disk(&baseline),
+                100.0 * r.normalized_mem(&baseline),
+                r.long_latency_per_sec(),
+            ],
+        );
+        eprintln!("table4: T={minutes}min done");
+    }
+    table
+}
+
+/// Table V: joint-method sensitivity to the bank size (the memory resize
+/// granularity), {16, 64, 256, 1024} MB.
+pub fn table5(cfg: &ExperimentConfig) -> Table {
+    let bank_sizes_mb = [16u64, 64, 256, 1024];
+    let mut table = Table::new(
+        "Table V: joint method vs bank size (16 GB, 100 MB/s)",
+        vec![
+            "total%".into(),
+            "disk%".into(),
+            "mem%".into(),
+            "long/s".into(),
+        ],
+    );
+    for &bank_mib in &bank_sizes_mb {
+        let mut c = *cfg;
+        c.scale = SimScale {
+            bank_mib,
+            ..cfg.scale
+        };
+        let trace = make_trace(&c, WorkloadPoint::default_point());
+        let baseline = run(&c, &methods::always_on(&c.scale), &trace);
+        let r = run(&c, &methods::joint(&c.scale), &trace);
+        table.push(
+            format!("{bank_mib} MB banks"),
+            vec![
+                100.0 * r.normalized_total(&baseline),
+                100.0 * r.normalized_disk(&baseline),
+                100.0 * r.normalized_mem(&baseline),
+                r.long_latency_per_sec(),
+            ],
+        );
+        eprintln!("table5: {bank_mib}MB banks done");
+    }
+    table
+}
+
+/// Fig. 9: per-period disk requests and mean idle length at fixed 8 GB and
+/// 16 GB memories on a 32 GB data set — the prediction-validity time
+/// series. Also returns the summary of consecutive-period variation.
+pub fn fig9(cfg: &ExperimentConfig) -> (Table, Table) {
+    let trace = make_trace(
+        cfg,
+        WorkloadPoint {
+            data_gb: 32,
+            rate_mb: 100,
+            popularity: 0.1,
+        },
+    );
+    let mut series = Table::new(
+        "Fig. 9: per-period disk requests and mean idle length",
+        vec![
+            "req@8GB".into(),
+            "idle_ms@8GB".into(),
+            "req@16GB".into(),
+            "idle_ms@16GB".into(),
+        ],
+    );
+    let mut runs = Vec::new();
+    for gb in [8u64, 16] {
+        let spec = methods::fixed_memory(&cfg.scale, methods::DiskPolicyKind::TwoCompetitive, gb);
+        runs.push(run(cfg, &spec, &trace));
+        eprintln!("fig9: {gb}GB done");
+    }
+    let periods = runs[0].periods.len().min(runs[1].periods.len());
+    for p in 0..periods {
+        let a = &runs[0].periods[p].observation;
+        let b = &runs[1].periods[p].observation;
+        series.push(
+            format!("period {:>2}", p + 1),
+            vec![
+                a.disk_page_accesses as f64,
+                a.idle.mean * 1e3,
+                b.disk_page_accesses as f64,
+                b.idle.mean * 1e3,
+            ],
+        );
+    }
+
+    let mut summary = Table::new(
+        "Fig. 9 summary: consecutive-period variation",
+        vec!["max".into(), "mean".into()],
+    );
+    for (r, label) in runs.iter().zip(["requests@8GB", "requests@16GB"]) {
+        let counts: Vec<f64> = r
+            .periods
+            .iter()
+            .skip(1) // drop the cold first period
+            .map(|p| p.observation.disk_page_accesses as f64)
+            .collect();
+        let rel: Vec<f64> = counts
+            .windows(2)
+            .map(|w| (w[1] - w[0]).abs() / w[0].max(1.0))
+            .collect();
+        let max = rel.iter().copied().fold(0.0, f64::max);
+        let mean = rel.iter().sum::<f64>() / rel.len().max(1) as f64;
+        summary.push(label, vec![max, mean]);
+    }
+    (series, summary)
+}
+
+/// Fig. 5: cumulative probability of two Pareto distributions with
+/// `α₁ > α₂` and `β₁ < β₂` — the left (short-idle) and right (long-idle)
+/// curves of the paper.
+pub fn fig5() -> Table {
+    let short = Pareto::new(2.5, 0.2).expect("valid parameters");
+    let long = Pareto::new(1.3, 1.0).expect("valid parameters");
+    let mut table = Table::new(
+        "Fig. 5: Pareto CDFs (alpha1=2.5, beta1=0.2 vs alpha2=1.3, beta2=1.0)",
+        vec!["cdf(a1,b1)".into(), "cdf(a2,b2)".into()],
+    );
+    let mut x = 0.1f64;
+    while x <= 120.0 {
+        table.push(format!("t = {x:>7.1} s"), vec![short.cdf(x), long.cdf(x)]);
+        x *= 2.0;
+    }
+    table
+}
+
+/// Ablation A: the performance constraints (eq. 6 + utilization limit) on
+/// vs off, at the default workload point.
+pub fn ablation_constraints(cfg: &ExperimentConfig) -> Table {
+    let trace = make_trace(cfg, WorkloadPoint::default_point());
+    let baseline = run(cfg, &methods::always_on(&cfg.scale), &trace);
+    let mut table = Table::new(
+        "Ablation: performance constraints on/off (16 GB, 100 MB/s)",
+        vec![
+            "total%".into(),
+            "util%".into(),
+            "long/s".into(),
+            "lat_ms".into(),
+        ],
+    );
+    for (label, enforce) in [("joint (constrained)", true), ("joint (power-only)", false)] {
+        let mut sim = cfg.scale.sim_config(IdlePolicy::Nap, cfg.scale.total_banks());
+        sim.warmup_secs = cfg.warmup_secs;
+        sim.period_secs = cfg.period_secs;
+        let mut jcfg = JointConfig::from_sim(&sim);
+        jcfg.enforce_performance = enforce;
+        let mut controller = JointPolicy::new(jcfg);
+        let r = run_simulation(
+            &sim,
+            SpinDownPolicy::controlled(f64::INFINITY),
+            &mut controller,
+            &trace,
+            cfg.duration_secs,
+            label,
+        );
+        table.push(
+            label,
+            vec![
+                100.0 * r.normalized_total(&baseline),
+                r.utilization * 100.0,
+                r.long_latency_per_sec(),
+                r.mean_latency_secs * 1e3,
+            ],
+        );
+        eprintln!("ablation constraints: {label} done");
+    }
+    table
+}
+
+/// Ablation C: power-aware cache management (related work \[6\]/\[36\]) —
+/// the plain disable method (DS) versus the consolidating variant (DSC,
+/// which migrates pages off nearly-expired banks) and versus bank-aware
+/// replacement. Run at a low data rate so bank idleness actually reaches
+/// the 10-minute disable threshold.
+pub fn ablation_power_aware(cfg: &ExperimentConfig) -> Table {
+    use jpmd_mem::Replacement;
+    let point = WorkloadPoint {
+        data_gb: 16,
+        rate_mb: 5,
+        popularity: 0.1,
+    };
+    let trace = make_trace(cfg, point);
+    let baseline = run(cfg, &methods::always_on(&cfg.scale), &trace);
+    let mut table = Table::new(
+        "Ablation: power-aware cache management (16 GB, 5 MB/s)",
+        vec![
+            "total%".into(),
+            "disk%".into(),
+            "mem%".into(),
+            "long/s".into(),
+            "lat_ms".into(),
+        ],
+    );
+    let mut specs = vec![
+        methods::power_down(&cfg.scale, methods::DiskPolicyKind::TwoCompetitive),
+        methods::disable(&cfg.scale, methods::DiskPolicyKind::TwoCompetitive),
+        methods::disable_consolidated(&cfg.scale, methods::DiskPolicyKind::TwoCompetitive),
+        methods::cascade(&cfg.scale, methods::DiskPolicyKind::TwoCompetitive),
+    ];
+    let mut bank_aware = methods::disable(&cfg.scale, methods::DiskPolicyKind::TwoCompetitive);
+    bank_aware.label = "2TDS+BankAware".to_string();
+    bank_aware.replacement = Replacement::BankAware;
+    specs.push(bank_aware);
+    for spec in &specs {
+        let r = run(cfg, spec, &trace);
+        table.push(
+            spec.label.clone(),
+            vec![
+                100.0 * r.normalized_total(&baseline),
+                100.0 * r.normalized_disk(&baseline),
+                100.0 * r.normalized_mem(&baseline),
+                r.long_latency_per_sec(),
+                r.mean_latency_secs * 1e3,
+            ],
+        );
+        eprintln!("ablation power-aware: {} done", spec.label);
+    }
+    table
+}
+
+/// Ablation D: disk timeout-policy families through the *full* simulator
+/// on one workload — the paper's 2T/AD joined by the predictive baselines
+/// (EWMA idle prediction, session-based adaptation) and the joint
+/// controller's Pareto timeout. A low-rate workload gives every policy
+/// real spin-down opportunities.
+pub fn ablation_timeout_policies(cfg: &ExperimentConfig) -> Table {
+    use jpmd_disk::SpinDownPolicy as P;
+    let point = WorkloadPoint {
+        data_gb: 16,
+        rate_mb: 5,
+        popularity: 0.1,
+    };
+    let trace = make_trace(cfg, point);
+    let mut table = Table::new(
+        "Ablation: disk timeout families on FM-16GB (16 GB, 5 MB/s)",
+        vec![
+            "disk_kJ".into(),
+            "spins".into(),
+            "long/s".into(),
+            "p99_lat_s".into(),
+        ],
+    );
+    let policies: Vec<(&str, P)> = vec![
+        ("always-on", P::AlwaysOn),
+        ("2T (break-even)", P::two_competitive(&cfg.scale.disk_power)),
+        ("AD (Douglis)", P::adaptive()),
+        ("PE (EWMA predict)", P::predictive_ewma(0.3, 0.5)),
+        ("SS (session)", P::session(1.0, 0.3, &cfg.scale.disk_power)),
+    ];
+    for (label, policy) in policies {
+        let spec = methods::fixed_memory(&cfg.scale, methods::DiskPolicyKind::TwoCompetitive, 16);
+        let mut sim = cfg.scale.sim_config(spec.mem_policy, spec.initial_banks);
+        sim.warmup_secs = cfg.warmup_secs;
+        sim.period_secs = cfg.period_secs;
+        let r = run_simulation(
+            &sim,
+            policy,
+            &mut jpmd_sim::NullController,
+            &trace,
+            cfg.duration_secs,
+            label,
+        );
+        table.push(
+            label,
+            vec![
+                r.energy.disk.total_j() / 1e3,
+                r.spin_downs as f64,
+                r.long_latency_per_sec(),
+                r.request_latency_p99_secs,
+            ],
+        );
+        eprintln!("ablation timeout: {label} done");
+    }
+    table
+}
+
+/// Ablation B: sensitivity to the aggregation window `w`.
+pub fn ablation_window(cfg: &ExperimentConfig) -> Table {
+    let trace = make_trace(cfg, WorkloadPoint::default_point());
+    let baseline = run(cfg, &methods::always_on(&cfg.scale), &trace);
+    let mut table = Table::new(
+        "Ablation: aggregation window w (16 GB, 100 MB/s)",
+        vec!["total%".into(), "long/s".into()],
+    );
+    for w in [0.05, 0.1, 0.5, 1.0] {
+        let mut sim = cfg.scale.sim_config(IdlePolicy::Nap, cfg.scale.total_banks());
+        sim.warmup_secs = cfg.warmup_secs;
+        sim.period_secs = cfg.period_secs;
+        sim.aggregation_window_secs = w;
+        let mut controller = JointPolicy::new(JointConfig::from_sim(&sim));
+        let r = run_simulation(
+            &sim,
+            SpinDownPolicy::controlled(f64::INFINITY),
+            &mut controller,
+            &trace,
+            cfg.duration_secs,
+            "joint",
+        );
+        table.push(
+            format!("w = {w} s"),
+            vec![
+                100.0 * r.normalized_total(&baseline),
+                r.long_latency_per_sec(),
+            ],
+        );
+        eprintln!("ablation window: w={w} done");
+    }
+    table
+}

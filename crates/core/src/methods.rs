@@ -1,0 +1,380 @@
+//! The registry of power-management methods compared in the paper (§V-A)
+//! and the glue that runs any of them over a workload.
+//!
+//! Method names follow the paper's scheme — *disk policy* + *memory
+//! policy* + *maximum memory size*:
+//!
+//! * disk: `2T` (two-competitive fixed timeout) or `AD` (Douglis adaptive),
+//! * memory: `FM-xGB` (fixed size), `PD` (power-down after timeout), `DS`
+//!   (disable after timeout),
+//! * plus the `Always-on` baseline and the `Joint` method.
+//!
+//! `2T × FM{8,16,32,64,128} ∪ AD × FM{…} ∪ {2T,AD} × {PD,DS} ∪ {Joint}`
+//! gives the 15 managed methods of the paper; [`paper_suite`] constructs
+//! all 16 (baseline included) for the experiment harness.
+
+use serde::{Deserialize, Serialize};
+
+use jpmd_disk::SpinDownPolicy;
+use jpmd_mem::{IdlePolicy, MemConfig, Replacement};
+use jpmd_sim::{run_simulation, NullController, RunReport, SimConfig};
+use jpmd_trace::Trace;
+
+use crate::{JointConfig, JointPolicy, SimScale};
+
+/// Which disk timeout family a static method uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DiskPolicyKind {
+    /// Fixed timeout at the break-even time ("2T").
+    TwoCompetitive,
+    /// Douglis adaptive timeout ("AD").
+    Adaptive,
+}
+
+impl DiskPolicyKind {
+    fn prefix(self) -> &'static str {
+        match self {
+            DiskPolicyKind::TwoCompetitive => "2T",
+            DiskPolicyKind::Adaptive => "AD",
+        }
+    }
+}
+
+/// A fully specified power-management method, ready to run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MethodSpec {
+    /// Display label, e.g. `"2TFM-16GB"`.
+    pub label: String,
+    /// Disk spin-down policy.
+    pub spindown: SpinDownPolicy,
+    /// Memory idle policy.
+    pub mem_policy: IdlePolicy,
+    /// Banks enabled at simulation start.
+    pub initial_banks: u32,
+    /// Disk-cache replacement policy.
+    pub replacement: Replacement,
+    /// Whether `DisableAfter` banks migrate their pages before expiring
+    /// (power-aware cache management, related work \[6\]/\[36\]).
+    pub consolidate: bool,
+    /// `Some` for the joint method: its controller configuration.
+    pub joint: Option<JointConfig>,
+}
+
+/// The always-on baseline: full memory in nap, disk never spins down.
+pub fn always_on(scale: &SimScale) -> MethodSpec {
+    MethodSpec {
+        label: "Always-on".to_string(),
+        spindown: SpinDownPolicy::AlwaysOn,
+        mem_policy: IdlePolicy::Nap,
+        initial_banks: scale.total_banks(),
+        replacement: Replacement::GlobalLru,
+        consolidate: false,
+        joint: None,
+    }
+}
+
+/// A fixed-memory method (`2TFM-xGB` / `ADFM-xGB`).
+pub fn fixed_memory(scale: &SimScale, disk: DiskPolicyKind, memory_gb: u64) -> MethodSpec {
+    MethodSpec {
+        label: format!("{}FM-{}GB", disk.prefix(), memory_gb),
+        spindown: disk_policy(scale, disk),
+        mem_policy: IdlePolicy::Nap,
+        initial_banks: scale.gb_to_banks(memory_gb),
+        replacement: Replacement::GlobalLru,
+        consolidate: false,
+        joint: None,
+    }
+}
+
+/// A timeout power-down method (`2TPD` / `ADPD`): full memory, banks drop
+/// to the power-down mode after the 129 µs two-competitive timeout. Data
+/// are retained, so no extra disk accesses occur.
+pub fn power_down(scale: &SimScale, disk: DiskPolicyKind) -> MethodSpec {
+    MethodSpec {
+        label: format!("{}PD-{}GB", disk.prefix(), scale.total_gb),
+        spindown: disk_policy(scale, disk),
+        mem_policy: IdlePolicy::PowerDownAfter(scale.mem_model.powerdown_timeout_s()),
+        initial_banks: scale.total_banks(),
+        replacement: Replacement::GlobalLru,
+        consolidate: false,
+        joint: None,
+    }
+}
+
+/// A timeout disable method (`2TDS` / `ADDS`): full memory, banks are
+/// *disabled* (contents lost) after their break-even timeout — 732 s with
+/// the paper's constants (`7.7 J / 10.5 mW`).
+pub fn disable(scale: &SimScale, disk: DiskPolicyKind) -> MethodSpec {
+    MethodSpec {
+        label: format!("{}DS-{}GB", disk.prefix(), scale.total_gb),
+        spindown: disk_policy(scale, disk),
+        mem_policy: IdlePolicy::DisableAfter(scale.disable_timeout_s()),
+        initial_banks: scale.total_banks(),
+        replacement: Replacement::GlobalLru,
+        consolidate: false,
+        joint: None,
+    }
+}
+
+/// A *consolidating* disable method (`2TDSC` / `ADDSC`): like
+/// [`disable`], but pages of nearly-expired banks migrate to warm banks
+/// instead of being dropped — the power-aware cache management of the
+/// related work (\[6\], \[36\]). Costs a little copy energy; avoids the DS
+/// methods' disk reloads and their latency spikes.
+pub fn disable_consolidated(scale: &SimScale, disk: DiskPolicyKind) -> MethodSpec {
+    MethodSpec {
+        label: format!("{}DSC-{}GB", disk.prefix(), scale.total_gb),
+        spindown: disk_policy(scale, disk),
+        mem_policy: IdlePolicy::DisableAfter(scale.disable_timeout_s()),
+        initial_banks: scale.total_banks(),
+        replacement: Replacement::GlobalLru,
+        consolidate: true,
+        joint: None,
+    }
+}
+
+/// A *cascade* method (`2TCD` / `ADCD`): banks power down after the
+/// 129 µs PD timeout and are disabled after the 732 s DS break-even —
+/// using the full RDRAM mode ladder. Strictly dominates PD on memory
+/// energy while deferring DS's data loss; not evaluated in the paper
+/// (extension).
+pub fn cascade(scale: &SimScale, disk: DiskPolicyKind) -> MethodSpec {
+    MethodSpec {
+        label: format!("{}CD-{}GB", disk.prefix(), scale.total_gb),
+        spindown: disk_policy(scale, disk),
+        mem_policy: IdlePolicy::Cascade {
+            pd_after: scale.mem_model.powerdown_timeout_s(),
+            disable_after: scale.disable_timeout_s(),
+        },
+        initial_banks: scale.total_banks(),
+        replacement: Replacement::GlobalLru,
+        consolidate: false,
+        joint: None,
+    }
+}
+
+/// The joint method with the paper's default constraints.
+pub fn joint(scale: &SimScale) -> MethodSpec {
+    let sim = scale.sim_config(IdlePolicy::Nap, scale.total_banks());
+    MethodSpec {
+        label: "Joint".to_string(),
+        spindown: SpinDownPolicy::controlled(f64::INFINITY),
+        mem_policy: IdlePolicy::Nap,
+        initial_banks: scale.total_banks(),
+        replacement: Replacement::GlobalLru,
+        consolidate: false,
+        joint: Some(JointConfig::from_sim(&sim)),
+    }
+}
+
+fn disk_policy(scale: &SimScale, kind: DiskPolicyKind) -> SpinDownPolicy {
+    match kind {
+        DiskPolicyKind::TwoCompetitive => SpinDownPolicy::two_competitive(&scale.disk_power),
+        DiskPolicyKind::Adaptive => SpinDownPolicy::adaptive(),
+    }
+}
+
+/// All 16 methods of the paper's comparison (Fig. 7): the baseline, ten
+/// fixed-memory variants, four timeout-memory variants, and the joint
+/// method.
+pub fn paper_suite(scale: &SimScale, fm_sizes_gb: &[u64]) -> Vec<MethodSpec> {
+    let mut out = vec![always_on(scale)];
+    for &kind in &[DiskPolicyKind::TwoCompetitive, DiskPolicyKind::Adaptive] {
+        for &gb in fm_sizes_gb {
+            out.push(fixed_memory(scale, kind, gb));
+        }
+    }
+    for &kind in &[DiskPolicyKind::TwoCompetitive, DiskPolicyKind::Adaptive] {
+        out.push(power_down(scale, kind));
+        out.push(disable(scale, kind));
+    }
+    out.push(joint(scale));
+    out
+}
+
+/// Runs one method over a trace and returns its report.
+///
+/// `warmup_secs`/`duration_secs` carve the measured window; `period_secs`
+/// sets the control period (only the joint method acts on it).
+pub fn run_method(
+    spec: &MethodSpec,
+    scale: &SimScale,
+    trace: &Trace,
+    warmup_secs: f64,
+    duration_secs: f64,
+    period_secs: f64,
+) -> RunReport {
+    let mut sim = scale.sim_config(spec.mem_policy, spec.initial_banks);
+    sim.warmup_secs = warmup_secs;
+    sim.period_secs = period_secs;
+    sim.replacement = spec.replacement;
+    sim.consolidate = spec.consolidate;
+    match &spec.joint {
+        Some(joint_cfg) => {
+            let mut cfg = *joint_cfg;
+            cfg.period_secs = period_secs;
+            let mut controller = JointPolicy::new(cfg);
+            run_simulation(
+                &sim,
+                spec.spindown.clone(),
+                &mut controller,
+                trace,
+                duration_secs,
+                &spec.label,
+            )
+        }
+        None => run_simulation(
+            &sim,
+            spec.spindown.clone(),
+            &mut NullController,
+            trace,
+            duration_secs,
+            &spec.label,
+        ),
+    }
+}
+
+/// Runs one method over a trace on a **disk array**, mirroring
+/// [`run_method`]: the joint method becomes the array-aware
+/// [`ArrayJointPolicy`](crate::ArrayJointPolicy) (per-disk Pareto fits and
+/// timeouts); static methods apply their spin-down policy per member.
+#[allow(clippy::too_many_arguments)] // mirrors run_method + array geometry
+pub fn run_array_method(
+    spec: &MethodSpec,
+    scale: &SimScale,
+    array: &jpmd_sim::ArrayConfig,
+    trace: &Trace,
+    warmup_secs: f64,
+    duration_secs: f64,
+    period_secs: f64,
+) -> RunReport {
+    let mut sim = scale.sim_config(spec.mem_policy, spec.initial_banks);
+    sim.warmup_secs = warmup_secs;
+    sim.period_secs = period_secs;
+    sim.replacement = spec.replacement;
+    sim.consolidate = spec.consolidate;
+    match &spec.joint {
+        Some(joint_cfg) => {
+            let mut cfg = *joint_cfg;
+            cfg.period_secs = period_secs;
+            let mut controller = crate::ArrayJointPolicy::new(
+                cfg,
+                array.disks,
+                array.layout,
+                trace.total_pages(),
+            );
+            jpmd_sim::run_array_simulation(
+                &sim,
+                array,
+                spec.spindown.clone(),
+                &mut controller,
+                trace,
+                duration_secs,
+                &spec.label,
+            )
+        }
+        None => jpmd_sim::run_array_simulation(
+            &sim,
+            array,
+            spec.spindown.clone(),
+            &mut jpmd_sim::NullArrayController,
+            trace,
+            duration_secs,
+            &spec.label,
+        ),
+    }
+}
+
+/// Convenience: the memory configuration a method starts with.
+pub fn mem_config_for(spec: &MethodSpec, scale: &SimScale) -> MemConfig {
+    scale.sim_config(spec.mem_policy, spec.initial_banks).mem
+}
+
+/// Convenience: the simulation configuration a method runs under.
+pub fn sim_config_for(spec: &MethodSpec, scale: &SimScale) -> SimConfig {
+    scale.sim_config(spec.mem_policy, spec.initial_banks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scale() -> SimScale {
+        SimScale::small_test()
+    }
+
+    #[test]
+    fn paper_suite_has_sixteen_methods() {
+        let suite = paper_suite(&scale(), &[1, 2, 4]);
+        // baseline + 2×3 FM + 4 PD/DS + joint = 12 with three FM sizes;
+        // the paper's five FM sizes give 16.
+        assert_eq!(suite.len(), 12);
+        let five = paper_suite(&SimScale::default(), &[8, 16, 32, 64, 128]);
+        assert_eq!(five.len(), 16);
+        let labels: Vec<&str> = five.iter().map(|m| m.label.as_str()).collect();
+        assert!(labels.contains(&"Always-on"));
+        assert!(labels.contains(&"2TFM-8GB"));
+        assert!(labels.contains(&"ADFM-128GB"));
+        assert!(labels.contains(&"2TPD-128GB"));
+        assert!(labels.contains(&"ADDS-128GB"));
+        assert!(labels.contains(&"Joint"));
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let suite = paper_suite(&SimScale::default(), &[8, 16, 32, 64, 128]);
+        let mut labels: Vec<&String> = suite.iter().map(|m| &m.label).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), suite.len());
+    }
+
+    #[test]
+    fn disable_timeout_matches_paper_magnitude() {
+        // Paper: 7.7 J / 10.5 mW = 732 s for 16 MB banks.
+        let t = SimScale::default().disable_timeout_s();
+        assert!(
+            (300.0..1500.0).contains(&t),
+            "disable timeout {t} s should be in the paper's order of magnitude (732 s)"
+        );
+    }
+
+    #[test]
+    fn joint_spec_is_controlled() {
+        let j = joint(&scale());
+        assert!(j.joint.is_some());
+        assert!(matches!(j.spindown, SpinDownPolicy::Controlled { .. }));
+    }
+
+    #[test]
+    fn run_array_method_dispatches_to_array_controller() {
+        use jpmd_disk::Layout;
+        use jpmd_trace::{WorkloadBuilder, GIB, MIB};
+        let scale = SimScale::small_test();
+        let trace = WorkloadBuilder::new()
+            .data_set_bytes(GIB / 2)
+            .rate_bytes_per_sec(4 * MIB)
+            .duration_secs(700.0)
+            .seed(3)
+            .build()
+            .expect("workload");
+        let array = jpmd_sim::ArrayConfig {
+            disks: 2,
+            layout: Layout::Partitioned,
+        };
+        let j = run_array_method(&joint(&scale), &scale, &array, &trace, 0.0, 700.0, 300.0);
+        let b = run_array_method(&always_on(&scale), &scale, &array, &trace, 0.0, 700.0, 300.0);
+        assert_eq!(j.cache_accesses, b.cache_accesses);
+        assert!(j.energy.total_j() < b.energy.total_j());
+        // The joint controller must have acted at the period boundaries.
+        assert!(j.periods.iter().any(|p| p.action.enabled_banks.is_some()));
+    }
+
+    #[test]
+    fn fixed_memory_banks_scale_with_gb() {
+        let s = SimScale::default();
+        let m8 = fixed_memory(&s, DiskPolicyKind::TwoCompetitive, 8);
+        let m16 = fixed_memory(&s, DiskPolicyKind::TwoCompetitive, 16);
+        assert_eq!(m16.initial_banks, 2 * m8.initial_banks);
+    }
+}

@@ -1,0 +1,177 @@
+use serde::{Deserialize, Serialize};
+
+use jpmd_disk::{DiskPowerModel, ServiceModel};
+use jpmd_mem::{IdlePolicy, MemConfig, RdramModel};
+use jpmd_sim::SimConfig;
+
+/// The experiment scale: how the paper's hardware dimensions map onto the
+/// simulation's page space (see the scale-substitution note in
+/// `DESIGN.md`).
+///
+/// The paper simulates 128 GB of RDRAM in 16 MB banks with 4 kB pages. All
+/// power constants are per-MB or per-device, so the experiments run at a
+/// configurable page size — 1 MiB by default, which keeps every ratio
+/// (data set : memory : bank : rate) intact while shrinking the page
+/// count ~256×. `SimScale` owns that mapping plus the device models, and
+/// hands out consistent [`MemConfig`]/[`SimConfig`] values.
+///
+/// # Example
+///
+/// ```
+/// use jpmd_core::SimScale;
+///
+/// let scale = SimScale::default();
+/// assert_eq!(scale.total_banks(), 8192);      // 128 GiB / 16 MiB
+/// assert_eq!(scale.gb_to_banks(16), 1024);    // 16 GiB of banks
+/// assert_eq!(scale.gb_to_pages(1), 1024);     // 1 GiB = 1024 × 1 MiB pages
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimScale {
+    /// Simulation page size, bytes (paper: 4 kB; scaled default: 1 MiB).
+    pub page_bytes: u64,
+    /// Bank size, MiB (paper: 16 MB RDRAM chips).
+    pub bank_mib: u64,
+    /// Installed memory, GiB (paper: 128 GB).
+    pub total_gb: u64,
+    /// Memory power model.
+    pub mem_model: RdramModel,
+    /// Disk power model.
+    pub disk_power: DiskPowerModel,
+    /// Disk mechanical model.
+    pub disk_service: ServiceModel,
+}
+
+impl Default for SimScale {
+    fn default() -> Self {
+        Self {
+            page_bytes: 1 << 20,
+            bank_mib: 16,
+            total_gb: 128,
+            mem_model: RdramModel::default(),
+            disk_power: DiskPowerModel::default(),
+            // Calibrated so the effective bandwidth at the scaled request
+            // sizes matches the paper's 10.4 MB/s average (see
+            // ServiceModel::scaled_pages).
+            disk_service: ServiceModel::scaled_pages(),
+        }
+    }
+}
+
+impl SimScale {
+    /// A deliberately tiny scale for fast unit/integration tests:
+    /// 4 GiB installed, 1 MiB pages, 16 MiB banks.
+    pub fn small_test() -> Self {
+        Self {
+            total_gb: 4,
+            ..Self::default()
+        }
+    }
+
+    /// Pages per bank.
+    pub fn bank_pages(&self) -> u32 {
+        (self.bank_mib * 1024 * 1024 / self.page_bytes).max(1) as u32
+    }
+
+    /// Installed banks.
+    pub fn total_banks(&self) -> u32 {
+        (self.total_gb * 1024 / self.bank_mib) as u32
+    }
+
+    /// Banks covering `gb` GiB of memory (the paper's FM sizes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gb` exceeds the installed total.
+    pub fn gb_to_banks(&self, gb: u64) -> u32 {
+        assert!(gb <= self.total_gb, "{gb} GiB exceeds installed memory");
+        ((gb * 1024).div_ceil(self.bank_mib)).max(1) as u32
+    }
+
+    /// Pages covering `gb` GiB.
+    pub fn gb_to_pages(&self, gb: u64) -> u64 {
+        gb * 1024 * 1024 * 1024 / self.page_bytes
+    }
+
+    /// The break-even timeout to *disable* a bank (paper §V-A): the energy
+    /// to re-read one bank from the disk divided by the bank's nap power —
+    /// 7.7 J / 10.5 mW = 732 s with the paper's constants.
+    pub fn disable_timeout_s(&self) -> f64 {
+        let bank_mb = self.bank_mib as f64;
+        // Reload: dynamic disk power × time to stream one bank at the
+        // disk's effective rate (paper: 5 W × 16 MB / 10.4 MB/s = 7.7 J).
+        // Streaming one whole bank is the natural reload unit.
+        let rate = self
+            .disk_service
+            .effective_rate_mb_s(self.bank_mib * 1024 * 1024)
+            .max(f64::MIN_POSITIVE);
+        let reload_j = self.disk_power.dynamic_peak_w() * bank_mb / rate;
+        let nap_w = self.mem_model.nap_w_per_mb() * bank_mb;
+        reload_j / nap_w
+    }
+
+    /// A memory configuration at this scale.
+    pub fn mem_config(&self, policy: IdlePolicy, initial_banks: u32) -> MemConfig {
+        MemConfig {
+            page_bytes: self.page_bytes,
+            bank_pages: self.bank_pages(),
+            total_banks: self.total_banks(),
+            initial_banks,
+            model: self.mem_model,
+            policy,
+        }
+    }
+
+    /// A full simulation configuration at this scale (paper Table II
+    /// timing defaults).
+    pub fn sim_config(&self, policy: IdlePolicy, initial_banks: u32) -> SimConfig {
+        let mut sim = SimConfig::with_mem(self.mem_config(policy, initial_banks));
+        sim.disk_power = self.disk_power;
+        sim.disk_service = self.disk_service;
+        sim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_geometry() {
+        let s = SimScale::default();
+        assert_eq!(s.bank_pages(), 16);
+        assert_eq!(s.total_banks(), 8192);
+        assert_eq!(s.gb_to_banks(128), 8192);
+        assert_eq!(s.gb_to_banks(8), 512);
+    }
+
+    #[test]
+    fn paper_page_size_also_works() {
+        let s = SimScale {
+            page_bytes: 4096,
+            ..SimScale::default()
+        };
+        assert_eq!(s.bank_pages(), 4096);
+        assert_eq!(s.total_banks(), 8192);
+        assert_eq!(s.gb_to_pages(1), 262_144);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds installed")]
+    fn oversized_fm_rejected() {
+        SimScale::small_test().gb_to_banks(9);
+    }
+
+    #[test]
+    fn disable_timeout_positive() {
+        assert!(SimScale::default().disable_timeout_s() > 0.0);
+    }
+
+    #[test]
+    fn sim_config_carries_models() {
+        let s = SimScale::default();
+        let c = s.sim_config(IdlePolicy::Nap, 8);
+        assert_eq!(c.mem.total_banks, 8192);
+        assert_eq!(c.mem.initial_banks, 8);
+        assert_eq!(c.disk_power, s.disk_power);
+    }
+}

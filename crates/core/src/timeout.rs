@@ -1,0 +1,244 @@
+//! The paper's timeout analytics: eq. (2)–(6).
+//!
+//! With idle intervals Pareto(α, β) and `n_i` intervals per period `T`:
+//!
+//! * expected off-time (eq. 2): `t_s = n_i (β/t_o)^(α−1) β/(α−1)`,
+//! * expected spin-downs (eq. 3): `h = n_i (β/t_o)^α`,
+//! * disk static + transition power (eq. 4):
+//!   `p_d (T − t_s)/T + p_d t_be h / T`,
+//! * power-optimal timeout (eq. 5): `t_o = α · t_be`,
+//! * performance-constrained minimum timeout (eq. 6):
+//!   `t_o ≥ β (n_i n_d (t_tr − 0.5) / (N T D))^(1/α)`.
+
+use jpmd_disk::DiskPowerModel;
+use jpmd_stats::Pareto;
+
+/// The power-optimal timeout of eq. (5): `t_o = α·t_be`.
+///
+/// A larger `α` (more short intervals) or a larger break-even time (more
+/// expensive transitions) both demand a larger timeout.
+pub fn optimal_timeout(pareto: &Pareto, model: &DiskPowerModel) -> f64 {
+    pareto.shape() * model.break_even_s()
+}
+
+/// The performance constraint of eq. (6): the smallest timeout keeping the
+/// expected fraction of cache accesses delayed longer than
+/// `long_latency_secs` below `delay_ratio_limit` (`D`).
+///
+/// * `idle_count` — predicted idle intervals `n_i` in the period,
+/// * `disk_accesses` — predicted disk accesses `n_d` in the period,
+/// * `cache_accesses` — total disk-cache accesses `N` in the period,
+/// * `period_secs` — `T`.
+///
+/// Returns 0 when the constraint is vacuous (no idle intervals, no disk
+/// accesses, no cache accesses, or a spin-up shorter than the latency
+/// threshold).
+#[allow(clippy::too_many_arguments)] // one parameter per symbol in the paper's eq. (6)
+pub fn perf_constrained_timeout(
+    pareto: &Pareto,
+    model: &DiskPowerModel,
+    idle_count: u64,
+    disk_accesses: u64,
+    cache_accesses: u64,
+    period_secs: f64,
+    long_latency_secs: f64,
+    delay_ratio_limit: f64,
+) -> f64 {
+    let delay = model.spinup_s - long_latency_secs;
+    if idle_count == 0 || disk_accesses == 0 || cache_accesses == 0 || delay <= 0.0 {
+        return 0.0;
+    }
+    // surv(t_o) ≤ N·T·D / (n_i · n_d · (t_tr − 0.5))
+    let budget = cache_accesses as f64 * period_secs * delay_ratio_limit;
+    let pressure = idle_count as f64 * disk_accesses as f64 * delay;
+    let max_survival = budget / pressure;
+    if max_survival >= 1.0 {
+        return 0.0; // even spinning down at every interval is acceptable
+    }
+    // (β/t_o)^α ≤ max_survival  =>  t_o ≥ β · max_survival^(−1/α)
+    pareto.scale() * max_survival.powf(-1.0 / pareto.shape())
+}
+
+/// Predicted mean disk response time from the utilization estimate, via
+/// the M/D/1 queue: `service · (1 + ρ / (2(1 − ρ)))`, clamped at
+/// `ρ ≥ 1` to a large sentinel.
+///
+/// This quantifies the paper's rationale for the utilization limit `U`
+/// ("High utilization causes long latency", §IV-D): at `U = 0.10` the
+/// queueing inflation is only ~6 %, while at 50 % it already adds half a
+/// service time and diverges toward saturation.
+pub fn predicted_response_time(service_secs: f64, utilization: f64) -> f64 {
+    if utilization >= 1.0 {
+        return f64::INFINITY;
+    }
+    let rho = utilization.max(0.0);
+    service_secs * (1.0 + rho / (2.0 * (1.0 - rho)))
+}
+
+/// Expected off-time per period under timeout `t_o` (eq. 2), s.
+pub fn expected_off_time(pareto: &Pareto, idle_count: u64, timeout: f64) -> f64 {
+    idle_count as f64 * pareto.expected_sleep(timeout.max(pareto.scale()))
+}
+
+/// Expected spin-downs per period under timeout `t_o` (eq. 3).
+pub fn expected_spin_downs(pareto: &Pareto, idle_count: u64, timeout: f64) -> f64 {
+    idle_count as f64 * pareto.survival(timeout.max(pareto.scale()))
+}
+
+/// Disk static + transition power under timeout `t_o` (eq. 4), W.
+///
+/// As in the paper, the constant standby floor and the dynamic (service)
+/// power are excluded here; the caller adds the dynamic term from its
+/// utilization estimate when comparing candidate memory sizes.
+pub fn disk_static_power(
+    pareto: &Pareto,
+    model: &DiskPowerModel,
+    idle_count: u64,
+    timeout: f64,
+    period_secs: f64,
+) -> f64 {
+    let t_s = expected_off_time(pareto, idle_count, timeout).min(period_secs);
+    let h = expected_spin_downs(pareto, idle_count, timeout);
+    let p_d = model.static_w();
+    p_d * (period_secs - t_s) / period_secs + p_d * model.break_even_s() * h / period_secs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn model() -> DiskPowerModel {
+        DiskPowerModel::default()
+    }
+
+    fn pareto(alpha: f64) -> Pareto {
+        Pareto::new(alpha, 0.1).unwrap()
+    }
+
+    #[test]
+    fn eq5_scales_with_alpha_and_break_even() {
+        let m = model();
+        assert!((optimal_timeout(&pareto(2.0), &m) - 2.0 * m.break_even_s()).abs() < 1e-9);
+        assert!(optimal_timeout(&pareto(3.0), &m) > optimal_timeout(&pareto(2.0), &m));
+    }
+
+    #[test]
+    fn eq5_minimizes_eq4_power() {
+        // The analytic optimum must beat nearby timeouts under eq. (4).
+        let m = model();
+        for alpha in [1.3, 2.0, 4.0] {
+            let p = pareto(alpha);
+            let opt = optimal_timeout(&p, &m);
+            let at = |t: f64| disk_static_power(&p, &m, 100, t, 600.0);
+            assert!(at(opt) <= at(opt * 0.7) + 1e-9, "alpha {alpha}");
+            assert!(at(opt) <= at(opt * 1.4) + 1e-9, "alpha {alpha}");
+        }
+    }
+
+    #[test]
+    fn eq6_tightens_with_more_traffic() {
+        let p = pareto(1.5);
+        let m = model();
+        let base = perf_constrained_timeout(&p, &m, 50, 1_000, 100_000, 600.0, 0.5, 0.001);
+        let busier = perf_constrained_timeout(&p, &m, 50, 10_000, 100_000, 600.0, 0.5, 0.001);
+        assert!(busier > base, "more disk accesses need a larger timeout");
+        let looser = perf_constrained_timeout(&p, &m, 50, 1_000, 100_000, 600.0, 0.5, 0.01);
+        assert!(looser < base, "a looser D lowers the bound");
+    }
+
+    #[test]
+    fn eq6_vacuous_cases() {
+        let p = pareto(2.0);
+        let m = model();
+        assert_eq!(
+            perf_constrained_timeout(&p, &m, 0, 100, 100, 600.0, 0.5, 0.001),
+            0.0
+        );
+        assert_eq!(
+            perf_constrained_timeout(&p, &m, 10, 0, 100, 600.0, 0.5, 0.001),
+            0.0
+        );
+        // Tiny traffic: even always spinning down is fine.
+        assert_eq!(
+            perf_constrained_timeout(&p, &m, 1, 1, 1_000_000, 600.0, 0.5, 0.01),
+            0.0
+        );
+    }
+
+    #[test]
+    fn eq6_bound_enforces_the_ratio() {
+        // At the bound, the expected delayed fraction equals D exactly.
+        let p = pareto(1.8);
+        let m = model();
+        let (ni, nd, n, t, d) = (80u64, 5_000u64, 60_000u64, 600.0, 0.001);
+        let bound = perf_constrained_timeout(&p, &m, ni, nd, n, t, 0.5, d);
+        assert!(bound > p.scale());
+        let delayed = ni as f64 * p.survival(bound) * (m.spinup_s - 0.5) * nd as f64 / t;
+        let ratio = delayed / n as f64;
+        assert!((ratio - d).abs() / d < 1e-6, "ratio {ratio} vs {d}");
+    }
+
+    #[test]
+    fn eq4_limits() {
+        let m = model();
+        let p = pareto(2.0);
+        // Huge timeout: never spins down; power = p_d.
+        let never = disk_static_power(&p, &m, 100, 1e9, 600.0);
+        assert!((never - m.static_w()).abs() < 1e-6);
+        // No idle intervals: disk stays on.
+        let busy = disk_static_power(&p, &m, 0, 1.0, 600.0);
+        assert!((busy - m.static_w()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn response_time_grows_with_utilization() {
+        let s = 0.1;
+        assert!((predicted_response_time(s, 0.0) - s).abs() < 1e-12);
+        // ~6% inflation at the paper's 10% limit.
+        let at_limit = predicted_response_time(s, 0.1);
+        assert!((at_limit / s - 1.0556).abs() < 1e-3);
+        assert!(predicted_response_time(s, 0.5) > at_limit);
+        assert_eq!(predicted_response_time(s, 1.0), f64::INFINITY);
+        assert_eq!(predicted_response_time(s, 1.5), f64::INFINITY);
+    }
+
+    proptest! {
+        #[test]
+        fn response_time_monotone(util_a in 0.0f64..0.99, util_b in 0.0f64..0.99) {
+            let (lo, hi) = if util_a < util_b { (util_a, util_b) } else { (util_b, util_a) };
+            prop_assert!(
+                predicted_response_time(0.05, lo) <= predicted_response_time(0.05, hi) + 1e-12
+            );
+        }
+
+        #[test]
+        fn eq4_power_nonnegative_and_bounded(
+            alpha in 1.05f64..50.0,
+            timeout in 0.1f64..1e4,
+            ni in 0u64..500,
+        ) {
+            let p = Pareto::new(alpha, 0.1).unwrap();
+            let m = model();
+            let w = disk_static_power(&p, &m, ni, timeout, 600.0);
+            prop_assert!(w >= -1e-9);
+            // Bounded by keeping the disk on plus one transition per interval.
+            let bound = m.static_w() + m.static_w() * m.break_even_s() * ni as f64 / 600.0;
+            prop_assert!(w <= bound + 1e-6);
+        }
+
+        #[test]
+        fn eq6_monotone_in_d(
+            alpha in 1.05f64..10.0,
+            d1 in 1e-5f64..1e-2,
+            scale in 1.5f64..10.0,
+        ) {
+            let p = Pareto::new(alpha, 0.1).unwrap();
+            let m = model();
+            let d2 = d1 * scale;
+            let t1 = perf_constrained_timeout(&p, &m, 50, 5_000, 50_000, 600.0, 0.5, d1);
+            let t2 = perf_constrained_timeout(&p, &m, 50, 5_000, 50_000, 600.0, 0.5, d2);
+            prop_assert!(t2 <= t1 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,186 @@
+use serde::{Deserialize, Serialize};
+
+/// Mechanical service-time model of a single disk — the substitute for
+/// DiskSim (see `DESIGN.md`).
+///
+/// One request for a contiguous page run costs
+///
+/// ```text
+/// seek(distance) + rotational latency + transfer
+/// ```
+///
+/// with a square-root seek curve (the standard short-seek approximation),
+/// half-revolution average rotational latency, and a constant media
+/// transfer rate. Defaults are calibrated to the paper's circa-2004 Seagate
+/// Barracuda IDE drive: 7200 rpm, ~8.5 ms average seek, 58 MB/s media rate
+/// — which reproduces the paper's ~10 MB/s *effective* average data rate at
+/// SPECWeb99-like request sizes.
+///
+/// # Example
+///
+/// ```
+/// use jpmd_disk::ServiceModel;
+///
+/// let m = ServiceModel::default();
+/// let t = m.service_time(1 << 20, 0.1); // 1 MiB, 10 % stroke seek
+/// assert!(t > 0.0 && t < 0.1);
+/// // Bigger requests amortize the positioning cost:
+/// assert!(m.effective_rate_mb_s(4 << 20) > m.effective_rate_mb_s(64 << 10));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServiceModel {
+    /// Minimum (track-to-track) seek time, s.
+    pub min_seek_s: f64,
+    /// Full-stroke seek time, s.
+    pub max_seek_s: f64,
+    /// Platter rotation speed, rpm.
+    pub rpm: f64,
+    /// Sustained media transfer rate, MB/s.
+    pub transfer_mb_s: f64,
+}
+
+impl Default for ServiceModel {
+    fn default() -> Self {
+        Self {
+            min_seek_s: 1.5e-3,
+            max_seek_s: 17.0e-3,
+            rpm: 7200.0,
+            transfer_mb_s: 58.0,
+        }
+    }
+}
+
+impl ServiceModel {
+    /// The service model calibrated for the 1 MiB-page experiment scale.
+    ///
+    /// The scale substitution (DESIGN.md) multiplies page — and therefore
+    /// request — sizes by ~256 versus the paper's 4 kB pages. With the
+    /// physical 58 MB/s media rate those inflated requests would see an
+    /// effective disk bandwidth of ~50 MB/s, where the paper's workloads
+    /// (tens-of-kB requests) saw **10.4 MB/s** — and it is the effective
+    /// bandwidth that sets disk utilization, queueing, and the
+    /// feasibility pressure on the joint method's memory choice. This
+    /// variant derates the media rate so the effective bandwidth at the
+    /// scaled request sizes matches the paper's reported average, keeping
+    /// the evaluation in the paper's operating regime.
+    pub fn scaled_pages() -> Self {
+        Self {
+            transfer_mb_s: 12.0,
+            ..Self::default()
+        }
+    }
+
+    /// Seek time for a seek spanning `distance_frac` of the full stroke
+    /// (`0.0..=1.0`). Zero distance costs no seek (sequential access).
+    pub fn seek_time(&self, distance_frac: f64) -> f64 {
+        let d = distance_frac.clamp(0.0, 1.0);
+        if d == 0.0 {
+            0.0
+        } else {
+            self.min_seek_s + (self.max_seek_s - self.min_seek_s) * d.sqrt()
+        }
+    }
+
+    /// Average rotational latency: half a revolution.
+    pub fn rotational_latency(&self) -> f64 {
+        30.0 / self.rpm
+    }
+
+    /// Media transfer time for `bytes`.
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        bytes as f64 / (self.transfer_mb_s * 1024.0 * 1024.0)
+    }
+
+    /// Full service time of one contiguous request.
+    pub fn service_time(&self, bytes: u64, seek_distance_frac: f64) -> f64 {
+        self.seek_time(seek_distance_frac) + self.rotational_latency() + self.transfer_time(bytes)
+    }
+
+    /// Service time with a representative one-third-stroke seek — the value
+    /// the power managers use to *estimate* utilization without knowing the
+    /// seek pattern (the paper's "bandwidth table indexed by request
+    /// sizes").
+    pub fn expected_service_time(&self, bytes: u64) -> f64 {
+        self.service_time(bytes, 1.0 / 3.0)
+    }
+
+    /// Effective data rate for a request size, seeks included, MB/s.
+    pub fn effective_rate_mb_s(&self, bytes: u64) -> f64 {
+        bytes as f64 / (1024.0 * 1024.0) / self.expected_service_time(bytes)
+    }
+
+    /// The bandwidth table of paper §V-A: effective rate at each size.
+    pub fn bandwidth_table(&self, sizes: &[u64]) -> Vec<(u64, f64)> {
+        sizes
+            .iter()
+            .map(|&s| (s, self.effective_rate_mb_s(s)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rotational_latency_is_half_revolution() {
+        let m = ServiceModel::default();
+        assert!((m.rotational_latency() - 30.0 / 7200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_distance_skips_seek() {
+        let m = ServiceModel::default();
+        assert_eq!(m.seek_time(0.0), 0.0);
+        assert!(m.seek_time(1e-6) >= m.min_seek_s);
+    }
+
+    #[test]
+    fn full_stroke_seek_is_max() {
+        let m = ServiceModel::default();
+        assert!((m.seek_time(1.0) - m.max_seek_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn effective_rate_reproduces_paper_average() {
+        // The paper quotes 10.4 MB/s as the disk's average data rate. Our
+        // model should land in that neighborhood for SPECWeb99-ish request
+        // sizes (a few hundred kB).
+        let m = ServiceModel::default();
+        let rate = m.effective_rate_mb_s(192 * 1024);
+        assert!(
+            (5.0..20.0).contains(&rate),
+            "192 kB effective rate {rate} MB/s should be near the paper's 10.4"
+        );
+    }
+
+    #[test]
+    fn bandwidth_table_shape() {
+        let m = ServiceModel::default();
+        let table = m.bandwidth_table(&[64 << 10, 1 << 20, 16 << 20]);
+        assert_eq!(table.len(), 3);
+        assert!(table[0].1 < table[1].1 && table[1].1 < table[2].1);
+        // Asymptote: never exceeds the media rate.
+        assert!(table[2].1 < m.transfer_mb_s);
+    }
+
+    proptest! {
+        #[test]
+        fn service_time_positive_and_monotone_in_size(
+            bytes in 1u64..(1 << 28), frac in 0.0f64..=1.0,
+        ) {
+            let m = ServiceModel::default();
+            let t = m.service_time(bytes, frac);
+            prop_assert!(t > 0.0);
+            prop_assert!(m.service_time(bytes * 2, frac) > t);
+        }
+
+        #[test]
+        fn seek_monotone_in_distance(a in 0.0f64..=1.0, b in 0.0f64..=1.0) {
+            let m = ServiceModel::default();
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            prop_assert!(m.seek_time(lo) <= m.seek_time(hi) + 1e-15);
+        }
+    }
+}

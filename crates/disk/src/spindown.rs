@@ -1,0 +1,305 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{DiskPowerModel, EwmaPredictor, RequestOutcome, SessionPredictor};
+
+/// Parameters of the Douglis-style adaptive timeout (paper §V-A, ref.
+/// \[27\]): "increases or decreases timeout by 5 s each time. The starting
+/// timeout, the minimum timeout, and the maximum timeout are 10, 5, and
+/// 30 s … uses 0.05 as the maximum acceptable ratio between the spin-up
+/// delay and the idle time of the disk prior to the spin-up."
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveParams {
+    /// Timeout at start, s.
+    pub start_s: f64,
+    /// Lower clamp, s.
+    pub min_s: f64,
+    /// Upper clamp, s.
+    pub max_s: f64,
+    /// Adjustment step, s.
+    pub step_s: f64,
+    /// Maximum acceptable spin-up-delay / preceding-idle ratio.
+    pub max_ratio: f64,
+}
+
+impl Default for AdaptiveParams {
+    fn default() -> Self {
+        Self {
+            start_s: 10.0,
+            min_s: 5.0,
+            max_s: 30.0,
+            step_s: 5.0,
+            max_ratio: 0.05,
+        }
+    }
+}
+
+/// Disk spin-down policy: decides the timeout the [`Disk`](crate::Disk)
+/// enforces.
+///
+/// All the paper's disk-side policies are here:
+///
+/// * [`SpinDownPolicy::AlwaysOn`] — the normalization baseline; never spins
+///   down.
+/// * [`SpinDownPolicy::Fixed`] — constant timeout; with the break-even time
+///   (11.7 s) this is the classic 2-competitive policy ("2T").
+/// * [`SpinDownPolicy::Adaptive`] — the Douglis adaptive policy ("AD"),
+///   adjusting ±5 s per spin-up based on the delay/idle ratio.
+/// * [`SpinDownPolicy::Controlled`] — timeout set externally; this is how
+///   the joint power manager drives the disk (eqs. 5–6 of the paper).
+///
+/// Drive it by calling [`SpinDownPolicy::after_request`] with each request
+/// outcome and pushing the returned timeout into the disk.
+///
+/// # Example
+///
+/// ```
+/// use jpmd_disk::{DiskPowerModel, SpinDownPolicy};
+///
+/// let model = DiskPowerModel::default();
+/// let policy = SpinDownPolicy::two_competitive(&model);
+/// assert!((policy.timeout() - model.break_even_s()).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SpinDownPolicy {
+    /// Never spin down.
+    AlwaysOn,
+    /// Constant timeout in seconds.
+    Fixed(f64),
+    /// Douglis adaptive timeout.
+    Adaptive {
+        /// Tuning constants.
+        params: AdaptiveParams,
+        /// Current timeout, s.
+        current: f64,
+    },
+    /// Externally controlled (the joint method sets this every period).
+    Controlled {
+        /// Current timeout, s.
+        current: f64,
+    },
+    /// Exponential-average idle prediction (see [`EwmaPredictor`]).
+    PredictiveEwma {
+        /// The predictor state.
+        predictor: EwmaPredictor,
+        /// Timeout currently in force, s.
+        current: f64,
+    },
+    /// Session-based adaptation (see [`SessionPredictor`]).
+    Session {
+        /// The predictor state.
+        predictor: SessionPredictor,
+        /// Timeout currently in force, s.
+        current: f64,
+    },
+}
+
+impl SpinDownPolicy {
+    /// The 2-competitive fixed policy: timeout = break-even time.
+    pub fn two_competitive(model: &DiskPowerModel) -> Self {
+        SpinDownPolicy::Fixed(model.break_even_s())
+    }
+
+    /// The Douglis adaptive policy with the paper's parameters.
+    pub fn adaptive() -> Self {
+        let params = AdaptiveParams::default();
+        SpinDownPolicy::Adaptive {
+            current: params.start_s,
+            params,
+        }
+    }
+
+    /// An externally controlled policy starting at `initial` seconds.
+    pub fn controlled(initial: f64) -> Self {
+        SpinDownPolicy::Controlled { current: initial }
+    }
+
+    /// The exponential-average predictive policy (spin down promptly when
+    /// the predicted idle exceeds the break-even time).
+    pub fn predictive_ewma(alpha: f64, guard_s: f64) -> Self {
+        SpinDownPolicy::PredictiveEwma {
+            predictor: EwmaPredictor::new(alpha, guard_s),
+            current: f64::INFINITY,
+        }
+    }
+
+    /// The session-based policy with `session_gap_s` as the session
+    /// delimiter.
+    pub fn session(session_gap_s: f64, alpha: f64, model: &DiskPowerModel) -> Self {
+        SpinDownPolicy::Session {
+            predictor: SessionPredictor::new(session_gap_s, alpha),
+            current: model.break_even_s(),
+        }
+    }
+
+    /// The timeout currently in force (`f64::INFINITY` for always-on).
+    pub fn timeout(&self) -> f64 {
+        match *self {
+            SpinDownPolicy::AlwaysOn => f64::INFINITY,
+            SpinDownPolicy::Fixed(t) => t,
+            SpinDownPolicy::Adaptive { current, .. } => current,
+            SpinDownPolicy::Controlled { current } => current,
+            SpinDownPolicy::PredictiveEwma { current, .. } => current,
+            SpinDownPolicy::Session { current, .. } => current,
+        }
+    }
+
+    /// Notifies the policy of a completed request; returns the timeout to
+    /// enforce for the following idle period.
+    ///
+    /// The adaptive policy nudges its timeout ±5 s per spin-up based on
+    /// the delay/idle ratio; the predictive policies update their idle
+    /// estimates; fixed, always-on, and controlled policies ignore the
+    /// event.
+    pub fn after_request(&mut self, outcome: &RequestOutcome, model: &DiskPowerModel) -> f64 {
+        match self {
+            SpinDownPolicy::Adaptive { params, current } if outcome.woke_disk => {
+                let idle = outcome.idle_before.max(f64::MIN_POSITIVE);
+                let ratio = model.spinup_s / idle;
+                *current = if ratio > params.max_ratio {
+                    (*current + params.step_s).min(params.max_s)
+                } else {
+                    (*current - params.step_s).max(params.min_s)
+                };
+            }
+            SpinDownPolicy::PredictiveEwma { predictor, current } => {
+                *current = predictor.after_request(outcome, model);
+            }
+            SpinDownPolicy::Session { predictor, current } => {
+                *current = predictor.after_request(outcome, model);
+            }
+            _ => {}
+        }
+        self.timeout()
+    }
+
+    /// Overrides the timeout of a [`SpinDownPolicy::Controlled`] policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a non-controlled policy — that would silently
+    /// defeat the policy under test.
+    pub fn set_controlled_timeout(&mut self, timeout: f64) {
+        match self {
+            SpinDownPolicy::Controlled { current } => *current = timeout.max(0.0),
+            other => panic!("set_controlled_timeout on non-controlled policy {other:?}"),
+        }
+    }
+
+    /// Short display name used in reports ("2T", "AD", …).
+    pub fn label(&self) -> &'static str {
+        match self {
+            SpinDownPolicy::AlwaysOn => "ON",
+            SpinDownPolicy::Fixed(_) => "2T",
+            SpinDownPolicy::Adaptive { .. } => "AD",
+            SpinDownPolicy::Controlled { .. } => "JT",
+            SpinDownPolicy::PredictiveEwma { .. } => "PE",
+            SpinDownPolicy::Session { .. } => "SS",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(idle_before: f64, woke: bool) -> RequestOutcome {
+        RequestOutcome {
+            completion: 0.0,
+            latency: 0.0,
+            woke_disk: woke,
+            idle_before,
+        }
+    }
+
+    #[test]
+    fn two_competitive_uses_break_even() {
+        let m = DiskPowerModel::default();
+        let p = SpinDownPolicy::two_competitive(&m);
+        assert!((p.timeout() - 77.5 / 6.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn always_on_is_infinite() {
+        assert_eq!(SpinDownPolicy::AlwaysOn.timeout(), f64::INFINITY);
+    }
+
+    #[test]
+    fn adaptive_increases_on_bad_spinup() {
+        let m = DiskPowerModel::default();
+        let mut p = SpinDownPolicy::adaptive();
+        // Spin-up after only 20 s idle: ratio 10/20 = 0.5 > 0.05 -> +5 s.
+        let t = p.after_request(&outcome(20.0, true), &m);
+        assert_eq!(t, 15.0);
+        // Again: clamps at 30.
+        p.after_request(&outcome(20.0, true), &m);
+        p.after_request(&outcome(20.0, true), &m);
+        p.after_request(&outcome(20.0, true), &m);
+        assert_eq!(p.timeout(), 30.0);
+    }
+
+    #[test]
+    fn adaptive_decreases_on_good_spinup() {
+        let m = DiskPowerModel::default();
+        let mut p = SpinDownPolicy::adaptive();
+        // Spin-up after 1000 s idle: ratio 0.01 <= 0.05 -> -5 s.
+        let t = p.after_request(&outcome(1000.0, true), &m);
+        assert_eq!(t, 5.0);
+        // Clamps at the minimum.
+        p.after_request(&outcome(1000.0, true), &m);
+        assert_eq!(p.timeout(), 5.0);
+    }
+
+    #[test]
+    fn adaptive_ignores_non_spinup_requests() {
+        let m = DiskPowerModel::default();
+        let mut p = SpinDownPolicy::adaptive();
+        p.after_request(&outcome(2.0, false), &m);
+        assert_eq!(p.timeout(), 10.0);
+    }
+
+    #[test]
+    fn controlled_set_and_get() {
+        let mut p = SpinDownPolicy::controlled(20.0);
+        assert_eq!(p.timeout(), 20.0);
+        p.set_controlled_timeout(33.0);
+        assert_eq!(p.timeout(), 33.0);
+        p.set_controlled_timeout(-1.0);
+        assert_eq!(p.timeout(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-controlled")]
+    fn set_controlled_on_fixed_panics() {
+        let mut p = SpinDownPolicy::Fixed(5.0);
+        p.set_controlled_timeout(1.0);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(SpinDownPolicy::AlwaysOn.label(), "ON");
+        assert_eq!(SpinDownPolicy::Fixed(1.0).label(), "2T");
+        assert_eq!(SpinDownPolicy::adaptive().label(), "AD");
+        assert_eq!(SpinDownPolicy::controlled(1.0).label(), "JT");
+        assert_eq!(SpinDownPolicy::predictive_ewma(0.5, 0.5).label(), "PE");
+        let m = DiskPowerModel::default();
+        assert_eq!(SpinDownPolicy::session(1.0, 0.5, &m).label(), "SS");
+    }
+
+    #[test]
+    fn predictive_variant_learns_through_policy_interface() {
+        let m = DiskPowerModel::default();
+        let mut p = SpinDownPolicy::predictive_ewma(0.5, 0.5);
+        assert_eq!(p.timeout(), f64::INFINITY);
+        for _ in 0..10 {
+            p.after_request(&outcome(80.0, true), &m);
+        }
+        assert_eq!(p.timeout(), 0.5);
+    }
+
+    #[test]
+    fn session_variant_starts_at_break_even() {
+        let m = DiskPowerModel::default();
+        let p = SpinDownPolicy::session(1.0, 0.3, &m);
+        assert!((p.timeout() - m.break_even_s()).abs() < 1e-12);
+    }
+}

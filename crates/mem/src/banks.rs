@@ -1,0 +1,483 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{MemEnergy, RdramModel};
+
+/// What an enabled memory bank does while idle (paper §V-A policies).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum IdlePolicy {
+    /// Stay in nap after accesses — the always-on / fixed-memory / joint
+    /// baseline ("the RDRAM stays in the nap mode after memory accesses").
+    Nap,
+    /// Switch to the power-down mode after this many seconds idle (the PD
+    /// methods; data are retained). Paper timeout: 129 µs.
+    PowerDownAfter(f64),
+    /// Switch to the disable mode after this many seconds idle (the DS
+    /// methods; data are **lost**, so the owner must invalidate the bank's
+    /// cached pages — see
+    /// [`MemoryManager`](crate::MemoryManager)). Paper timeout: 732 s.
+    DisableAfter(f64),
+    /// Cascade: power down after `pd_after`, then disable after
+    /// `disable_after` (data lost at the second threshold). Combines PD's
+    /// fast, lossless savings with DS's deep savings — the natural use of
+    /// the full RDRAM mode ladder, not evaluated in the paper.
+    Cascade {
+        /// Nap → power-down threshold, s.
+        pd_after: f64,
+        /// Power-down → disable threshold, s (≥ `pd_after`).
+        disable_after: f64,
+    },
+}
+
+impl IdlePolicy {
+    /// Idle timeout in seconds, if the policy has one.
+    pub fn timeout(&self) -> Option<f64> {
+        match *self {
+            IdlePolicy::Nap => None,
+            IdlePolicy::PowerDownAfter(t) | IdlePolicy::DisableAfter(t) => Some(t),
+            IdlePolicy::Cascade { disable_after, .. } => Some(disable_after),
+        }
+    }
+
+    /// The idle time after which a bank's data are lost, if ever.
+    pub fn disable_after(&self) -> Option<f64> {
+        match *self {
+            IdlePolicy::DisableAfter(t) => Some(t),
+            IdlePolicy::Cascade { disable_after, .. } => Some(disable_after),
+            _ => None,
+        }
+    }
+}
+
+/// Energy-accounting state machine for an array of RDRAM banks.
+///
+/// Banks `0..enabled` are powered; banks `enabled..total` are disabled by
+/// the resizing power manager and consume nothing. Energy is accrued
+/// lazily and exactly: between two events a bank's power trajectory under a
+/// timeout policy is piecewise constant (nap until `last_access + timeout`,
+/// then power-down or zero), so integrating it needs no event queue.
+///
+/// # Example
+///
+/// ```
+/// use jpmd_mem::{BankArray, IdlePolicy, RdramModel};
+///
+/// let mut banks = BankArray::new(RdramModel::default(), 4, 16.0, IdlePolicy::Nap);
+/// banks.record_access(0, 0.0, 1.0); // 1 MB through bank 0 at t = 0
+/// banks.advance_to(10.0);
+/// let e = banks.energy();
+/// assert!(e.static_j > 0.0 && e.dynamic_j > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BankArray {
+    model: RdramModel,
+    bank_mb: f64,
+    policy: IdlePolicy,
+    enabled: usize,
+    /// Per-bank time of last access (enabled banks).
+    last_access: Vec<f64>,
+    /// Per-bank time up to which energy has been accrued.
+    settled: Vec<f64>,
+    energy: MemEnergy,
+}
+
+impl BankArray {
+    /// Creates `total` banks of `bank_mb` MB each, all enabled, idle since
+    /// time 0, governed by `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total == 0` or `bank_mb <= 0`.
+    pub fn new(model: RdramModel, total: usize, bank_mb: f64, policy: IdlePolicy) -> Self {
+        assert!(total > 0, "need at least one bank");
+        assert!(bank_mb > 0.0, "bank size must be positive");
+        Self {
+            model,
+            bank_mb,
+            policy,
+            enabled: total,
+            last_access: vec![0.0; total],
+            settled: vec![0.0; total],
+            energy: MemEnergy::default(),
+        }
+    }
+
+    /// Total number of banks (enabled + disabled).
+    pub fn total(&self) -> usize {
+        self.last_access.len()
+    }
+
+    /// Number of currently enabled banks.
+    pub fn enabled(&self) -> usize {
+        self.enabled
+    }
+
+    /// Size of one bank in MB.
+    pub fn bank_mb(&self) -> f64 {
+        self.bank_mb
+    }
+
+    /// The idle policy in force.
+    pub fn policy(&self) -> IdlePolicy {
+        self.policy
+    }
+
+    /// The underlying power model.
+    pub fn model(&self) -> &RdramModel {
+        &self.model
+    }
+
+    /// Static power of one enabled bank at `now`, in watts.
+    fn static_w(&self, bank: usize, now: f64) -> f64 {
+        let idle = now - self.last_access[bank];
+        match self.policy {
+            IdlePolicy::Nap => self.model.nap_w_per_mb() * self.bank_mb,
+            IdlePolicy::PowerDownAfter(t) => {
+                if idle < t {
+                    self.model.nap_w_per_mb() * self.bank_mb
+                } else {
+                    self.model.powerdown_w_per_mb() * self.bank_mb
+                }
+            }
+            IdlePolicy::DisableAfter(t) => {
+                if idle < t {
+                    self.model.nap_w_per_mb() * self.bank_mb
+                } else {
+                    0.0
+                }
+            }
+            IdlePolicy::Cascade {
+                pd_after,
+                disable_after,
+            } => {
+                if idle < pd_after {
+                    self.model.nap_w_per_mb() * self.bank_mb
+                } else if idle < disable_after {
+                    self.model.powerdown_w_per_mb() * self.bank_mb
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Accrues one bank's static energy from its settled point to `now`.
+    fn settle(&mut self, bank: usize, now: f64) {
+        let from = self.settled[bank];
+        if now <= from {
+            return;
+        }
+        let nap_w = self.model.nap_w_per_mb() * self.bank_mb;
+        let joules = match self.policy {
+            IdlePolicy::Nap => nap_w * (now - from),
+            IdlePolicy::PowerDownAfter(t) => {
+                let boundary = (self.last_access[bank] + t).clamp(from, now);
+                let low_w = self.model.powerdown_w_per_mb() * self.bank_mb;
+                nap_w * (boundary - from) + low_w * (now - boundary)
+            }
+            IdlePolicy::DisableAfter(t) => {
+                let boundary = (self.last_access[bank] + t).clamp(from, now);
+                nap_w * (boundary - from)
+            }
+            IdlePolicy::Cascade {
+                pd_after,
+                disable_after,
+            } => {
+                let pd_at = (self.last_access[bank] + pd_after).clamp(from, now);
+                let off_at = (self.last_access[bank] + disable_after).clamp(pd_at, now);
+                let low_w = self.model.powerdown_w_per_mb() * self.bank_mb;
+                nap_w * (pd_at - from) + low_w * (off_at - pd_at)
+            }
+        };
+        self.energy.static_j += joules;
+        self.settled[bank] = now;
+    }
+
+    /// Charges `joules` of dynamic energy without touching any bank's
+    /// idle clock — used for cache-internal page migration, which must not
+    /// revive the bank being drained.
+    pub fn add_dynamic_j(&mut self, joules: f64) {
+        self.energy.dynamic_j += joules;
+    }
+
+    /// Records an access moving `mb` megabytes through `bank` at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is not enabled.
+    pub fn record_access(&mut self, bank: usize, now: f64, mb: f64) {
+        assert!(bank < self.enabled, "access to disabled bank {bank}");
+        self.settle(bank, now);
+        self.energy.dynamic_j += self.model.dynamic_j_per_mb() * mb;
+        self.last_access[bank] = now;
+    }
+
+    /// True when a `DisableAfter` bank's timeout has expired at `now`
+    /// (its data are gone). Always false under other policies.
+    pub fn is_expired(&self, bank: usize, now: f64) -> bool {
+        match self.policy.disable_after() {
+            Some(t) => bank < self.enabled && now - self.last_access[bank] >= t,
+            None => false,
+        }
+    }
+
+    /// Time of the last access to `bank`.
+    pub fn last_access(&self, bank: usize) -> f64 {
+        self.last_access[bank]
+    }
+
+    /// Accrues all enabled banks' energy up to `now`.
+    pub fn advance_to(&mut self, now: f64) {
+        for bank in 0..self.enabled {
+            self.settle(bank, now);
+        }
+    }
+
+    /// Resizes to `enabled` banks at `now`, accruing energy first.
+    ///
+    /// Newly enabled banks start idle (nap) at `now`; newly disabled banks
+    /// stop consuming. The caller is responsible for invalidating cached
+    /// pages of disabled banks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `enabled` exceeds the total bank count or is zero.
+    pub fn set_enabled(&mut self, enabled: usize, now: f64) {
+        assert!(
+            enabled >= 1 && enabled <= self.total(),
+            "enabled banks must be in 1..=total"
+        );
+        self.advance_to(now);
+        for bank in self.enabled..enabled {
+            // Waking a disabled bank: it starts idle in nap at `now`.
+            self.last_access[bank] = now;
+            self.settled[bank] = now;
+        }
+        self.enabled = enabled;
+    }
+
+    /// Instantaneous total static power at `now`, in watts (for reports).
+    pub fn static_power_w(&self, now: f64) -> f64 {
+        (0..self.enabled).map(|b| self.static_w(b, now)).sum()
+    }
+
+    /// Accumulated energy so far (call [`BankArray::advance_to`] first to
+    /// include time since the last event).
+    pub fn energy(&self) -> MemEnergy {
+        self.energy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn model() -> RdramModel {
+        RdramModel::default()
+    }
+
+    #[test]
+    fn nap_policy_accrues_static_linearly() {
+        let mut b = BankArray::new(model(), 2, 16.0, IdlePolicy::Nap);
+        b.advance_to(100.0);
+        // 2 banks × 16 MB × 0.65625 mW/MB × 100 s = 2.1 J
+        let expect = 2.0 * 16.0 * 0.65625e-3 * 100.0;
+        assert!((b.energy().static_j - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dynamic_energy_per_access() {
+        let mut b = BankArray::new(model(), 1, 16.0, IdlePolicy::Nap);
+        b.record_access(0, 1.0, 4.0);
+        let expect = 4.0 * model().dynamic_j_per_mb();
+        assert!((b.energy().dynamic_j - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn powerdown_policy_splits_nap_and_pd() {
+        let timeout = 10.0;
+        let mut b = BankArray::new(model(), 1, 16.0, IdlePolicy::PowerDownAfter(timeout));
+        b.record_access(0, 0.0, 0.0);
+        b.advance_to(30.0);
+        // 10 s nap + 20 s power-down.
+        let expect = 16.0 * (0.65625e-3 * 10.0 + (3.5 / 16.0) * 1e-3 * 20.0);
+        assert!(
+            (b.energy().static_j - expect).abs() < 1e-9,
+            "got {} expect {expect}",
+            b.energy().static_j
+        );
+    }
+
+    #[test]
+    fn powerdown_settle_in_pieces_matches_single_settle() {
+        let timeout = 5.0;
+        let mut a = BankArray::new(model(), 1, 16.0, IdlePolicy::PowerDownAfter(timeout));
+        let mut b = a.clone();
+        a.advance_to(2.0);
+        a.advance_to(7.0);
+        a.advance_to(20.0);
+        b.advance_to(20.0);
+        assert!((a.energy().static_j - b.energy().static_j).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disable_policy_stops_consuming() {
+        let mut b = BankArray::new(model(), 1, 16.0, IdlePolicy::DisableAfter(100.0));
+        b.advance_to(300.0);
+        // Only the first 100 s consume nap power.
+        let expect = 16.0 * 0.65625e-3 * 100.0;
+        assert!((b.energy().static_j - expect).abs() < 1e-9);
+        assert!(b.is_expired(0, 300.0));
+        assert!(!b.is_expired(0, 50.0));
+    }
+
+    #[test]
+    fn access_revives_expired_bank() {
+        let mut b = BankArray::new(model(), 1, 16.0, IdlePolicy::DisableAfter(100.0));
+        b.record_access(0, 300.0, 1.0);
+        assert!(!b.is_expired(0, 350.0));
+        b.advance_to(350.0);
+        // 100 s nap (0..100), 200 s off (100..300), 50 s nap (300..350).
+        let expect = 16.0 * 0.65625e-3 * 150.0;
+        assert!((b.energy().static_j - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resize_disables_and_enables() {
+        let mut b = BankArray::new(model(), 4, 16.0, IdlePolicy::Nap);
+        b.set_enabled(1, 100.0);
+        b.advance_to(200.0);
+        // 4 banks for 100 s + 1 bank for 100 s.
+        let per_bank_w = 16.0 * 0.65625e-3;
+        let expect = per_bank_w * (4.0 * 100.0 + 100.0);
+        assert!((b.energy().static_j - expect).abs() < 1e-9);
+        b.set_enabled(3, 200.0);
+        b.advance_to(300.0);
+        let expect = expect + per_bank_w * 3.0 * 100.0;
+        assert!((b.energy().static_j - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "disabled bank")]
+    fn access_to_disabled_bank_panics() {
+        let mut b = BankArray::new(model(), 4, 16.0, IdlePolicy::Nap);
+        b.set_enabled(2, 0.0);
+        b.record_access(3, 1.0, 1.0);
+    }
+
+    #[test]
+    fn static_power_reflects_mode() {
+        let mut b = BankArray::new(model(), 1, 16.0, IdlePolicy::PowerDownAfter(10.0));
+        b.record_access(0, 0.0, 0.0);
+        let nap_w = 16.0 * 0.65625e-3;
+        assert!((b.static_power_w(5.0) - nap_w).abs() < 1e-12);
+        let pd_w = 16.0 * 3.5 / 16.0 * 1e-3;
+        assert!((b.static_power_w(50.0) - pd_w).abs() < 1e-12);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn piecewise_settle_matches_single_settle_any_policy(
+            events in proptest::collection::vec((0.0f64..500.0, 0usize..3), 1..40),
+            policy_pick in 0u8..3,
+            timeout in 1.0f64..100.0,
+        ) {
+            let policy = match policy_pick {
+                0 => IdlePolicy::Nap,
+                1 => IdlePolicy::PowerDownAfter(timeout),
+                _ => IdlePolicy::DisableAfter(timeout),
+            };
+            let mut times: Vec<(f64, usize)> = events;
+            times.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let build = || BankArray::new(RdramModel::default(), 3, 16.0, policy);
+            // Settle at every event...
+            let mut a = build();
+            for &(t, bank) in &times {
+                a.record_access(bank, t, 0.5);
+            }
+            a.advance_to(600.0);
+            // ...versus replay with extra interleaved settles.
+            let mut b = build();
+            for &(t, bank) in &times {
+                b.advance_to(t * 0.99);
+                b.record_access(bank, t, 0.5);
+                b.advance_to(t);
+            }
+            b.advance_to(300.0);
+            b.advance_to(600.0);
+            prop_assert!((a.energy().static_j - b.energy().static_j).abs() < 1e-9);
+            prop_assert!((a.energy().dynamic_j - b.energy().dynamic_j).abs() < 1e-12);
+        }
+
+        #[test]
+        fn static_energy_bracketed_by_modes(
+            quiet in 1.0f64..1000.0,
+            policy_pick in 0u8..3,
+        ) {
+            let policy = match policy_pick {
+                0 => IdlePolicy::Nap,
+                1 => IdlePolicy::PowerDownAfter(10.0),
+                _ => IdlePolicy::DisableAfter(10.0),
+            };
+            let mut b = BankArray::new(RdramModel::default(), 2, 16.0, policy);
+            b.advance_to(quiet);
+            let nap_ceiling = 2.0 * 16.0 * 0.65625e-3 * quiet;
+            prop_assert!(b.energy().static_j <= nap_ceiling + 1e-9);
+            prop_assert!(b.energy().static_j >= 0.0);
+        }
+    }
+
+    #[test]
+    fn idle_policy_timeout_accessor() {
+        assert_eq!(IdlePolicy::Nap.timeout(), None);
+        assert_eq!(IdlePolicy::PowerDownAfter(1.0).timeout(), Some(1.0));
+        assert_eq!(IdlePolicy::DisableAfter(2.0).timeout(), Some(2.0));
+        let cascade = IdlePolicy::Cascade {
+            pd_after: 1.0,
+            disable_after: 5.0,
+        };
+        assert_eq!(cascade.timeout(), Some(5.0));
+        assert_eq!(cascade.disable_after(), Some(5.0));
+        assert_eq!(IdlePolicy::PowerDownAfter(1.0).disable_after(), None);
+    }
+
+    #[test]
+    fn cascade_walks_all_three_modes() {
+        let policy = IdlePolicy::Cascade {
+            pd_after: 10.0,
+            disable_after: 100.0,
+        };
+        let mut b = BankArray::new(model(), 1, 16.0, policy);
+        b.advance_to(300.0);
+        // 10 s nap + 90 s power-down + 200 s off.
+        let expect = 16.0 * (0.65625e-3 * 10.0 + (3.5 / 16.0) * 1e-3 * 90.0);
+        assert!(
+            (b.energy().static_j - expect).abs() < 1e-9,
+            "got {} expect {expect}",
+            b.energy().static_j
+        );
+        assert!(b.is_expired(0, 150.0));
+        assert!(!b.is_expired(0, 50.0));
+        // Instantaneous power matches the mode at each instant.
+        let b2 = BankArray::new(model(), 1, 16.0, policy);
+        assert!((b2.static_power_w(5.0) - 16.0 * 0.65625e-3).abs() < 1e-12);
+        assert!((b2.static_power_w(50.0) - 3.5e-3).abs() < 1e-12);
+        assert_eq!(b2.static_power_w(150.0), 0.0);
+    }
+
+    #[test]
+    fn cascade_piecewise_settle_consistent() {
+        let policy = IdlePolicy::Cascade {
+            pd_after: 5.0,
+            disable_after: 20.0,
+        };
+        let mut a = BankArray::new(model(), 1, 16.0, policy);
+        for t in [2.0, 6.0, 19.0, 21.0, 80.0] {
+            a.advance_to(t);
+        }
+        let mut b = BankArray::new(model(), 1, 16.0, policy);
+        b.advance_to(80.0);
+        assert!((a.energy().static_j - b.energy().static_j).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,96 @@
+/// A Fenwick (binary-indexed) tree over `u32` counts, used by the
+/// stack-distance profiler to count "still most-recent" access slots in a
+/// time range in O(log n).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Fenwick {
+    tree: Vec<u32>,
+}
+
+impl Fenwick {
+    /// Creates a tree over `n` slots, all zero.
+    pub fn new(n: usize) -> Self {
+        Self { tree: vec![0; n + 1] }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.tree.len() - 1
+    }
+
+    /// Adds `delta` at 0-based position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn add(&mut self, i: usize, delta: i32) {
+        assert!(i < self.len(), "fenwick index out of range");
+        let mut i = i + 1;
+        while i < self.tree.len() {
+            self.tree[i] = (self.tree[i] as i64 + delta as i64) as u32;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of positions `0..=i` (0-based, inclusive).
+    pub fn prefix_sum(&self, i: usize) -> u64 {
+        let mut i = (i + 1).min(self.tree.len() - 1);
+        let mut s = 0u64;
+        while i > 0 {
+            s += self.tree[i] as u64;
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+
+    /// Sum over the 0-based inclusive range `lo..=hi`; 0 when `lo > hi`.
+    pub fn range_sum(&self, lo: usize, hi: usize) -> u64 {
+        if lo > hi {
+            return 0;
+        }
+        let below = if lo == 0 { 0 } else { self.prefix_sum(lo - 1) };
+        self.prefix_sum(hi) - below
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_sums() {
+        let mut f = Fenwick::new(8);
+        f.add(0, 1);
+        f.add(3, 2);
+        f.add(7, 5);
+        assert_eq!(f.prefix_sum(0), 1);
+        assert_eq!(f.prefix_sum(3), 3);
+        assert_eq!(f.prefix_sum(7), 8);
+        assert_eq!(f.range_sum(1, 6), 2);
+        assert_eq!(f.range_sum(4, 3), 0);
+    }
+
+    #[test]
+    fn add_and_remove() {
+        let mut f = Fenwick::new(4);
+        f.add(2, 1);
+        f.add(2, -1);
+        assert_eq!(f.prefix_sum(3), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn matches_naive(ops in proptest::collection::vec((0usize..64, 0i32..3), 0..100)) {
+            let mut f = Fenwick::new(64);
+            let mut naive = vec![0i64; 64];
+            for (i, d) in ops {
+                f.add(i, d);
+                naive[i] += d as i64;
+            }
+            for i in 0..64 {
+                let expect: i64 = naive[..=i].iter().sum();
+                prop_assert_eq!(f.prefix_sum(i) as i64, expect);
+            }
+        }
+    }
+}

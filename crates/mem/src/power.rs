@@ -1,0 +1,123 @@
+use serde::{Deserialize, Serialize};
+
+/// Power model of a Rambus DRAM (RDRAM) chip, paper Fig. 1(a).
+///
+/// The paper uses RDRAM "instead of SDRAM because RDRAM provides finer
+/// grained management": each 128-Mb (16 MB) chip is an independently
+/// manageable bank. The datasheet values (\[37\], reproduced in Fig. 1(a)):
+///
+/// | mode       | power   |
+/// |------------|---------|
+/// | attention (working) | 312 mW |
+/// | accessed at peak rate | 1325 mW |
+/// | nap        | 10.5 mW |
+/// | power down | 3.5 mW  |
+/// | disable    | 0 mW (data lost) |
+///
+/// Derived quantities used throughout the simulator (paper §V-A):
+///
+/// * static (nap) power **0.656 mW/MB** = 10.5 / 16,
+/// * dynamic energy **0.809 mJ/MB** = 1325 mW / 1.6 GB/s,
+/// * power-down timeout **129 µs** = (1325 · 30)/(312 − 3.5),
+///
+/// with the disable-mode exit time estimated from the power-down mode as
+/// the paper does.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RdramModel {
+    /// Capacity of one chip (= one bank) in MB.
+    pub chip_mb: f64,
+    /// Working-mode (attention) power, mW per chip.
+    pub attention_mw: f64,
+    /// Power when accessed at the peak rate, mW per chip.
+    pub peak_mw: f64,
+    /// Nap-mode power, mW per chip.
+    pub nap_mw: f64,
+    /// Power-down-mode power, mW per chip.
+    pub powerdown_mw: f64,
+    /// Peak bandwidth, MB/s.
+    pub peak_bandwidth_mb_s: f64,
+    /// Nap → attention exit time, ns (energy negligible, paper §III).
+    pub nap_exit_ns: f64,
+    /// Power-down → attention exit time, µs; also the estimate for the
+    /// disable mode, whose datasheet value is unavailable (paper §III).
+    pub powerdown_exit_us: f64,
+}
+
+impl Default for RdramModel {
+    fn default() -> Self {
+        Self {
+            chip_mb: 16.0,
+            attention_mw: 312.0,
+            peak_mw: 1325.0,
+            nap_mw: 10.5,
+            powerdown_mw: 3.5,
+            peak_bandwidth_mb_s: 1.6 * 1024.0,
+            nap_exit_ns: 50.0,
+            powerdown_exit_us: 30.0,
+        }
+    }
+}
+
+impl RdramModel {
+    /// Static (nap) power per MB, in watts.
+    pub fn nap_w_per_mb(&self) -> f64 {
+        self.nap_mw / self.chip_mb * 1e-3
+    }
+
+    /// Power-down power per MB, in watts.
+    pub fn powerdown_w_per_mb(&self) -> f64 {
+        self.powerdown_mw / self.chip_mb * 1e-3
+    }
+
+    /// Dynamic energy per MB transferred, in joules (paper: 0.809 mJ/MB).
+    pub fn dynamic_j_per_mb(&self) -> f64 {
+        self.peak_mw * 1e-3 / self.peak_bandwidth_mb_s
+    }
+
+    /// The two-competitive timeout to power a bank down, in seconds
+    /// (paper: 129 µs via (1325 · 30)/(312 − 3.5)).
+    pub fn powerdown_timeout_s(&self) -> f64 {
+        self.peak_mw * self.powerdown_exit_us / (self.attention_mw - self.powerdown_mw) * 1e-6
+    }
+}
+
+/// Accumulated memory energy, split as in the paper's §III model.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct MemEnergy {
+    /// Static energy: nap/power-down residence of enabled banks, J.
+    pub static_j: f64,
+    /// Dynamic energy: per-MB access energy, J.
+    pub dynamic_j: f64,
+}
+
+impl MemEnergy {
+    /// Total memory energy in joules.
+    pub fn total_j(&self) -> f64 {
+        self.static_j + self.dynamic_j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_derived_constants() {
+        let m = RdramModel::default();
+        // 0.656 mW/MB (paper §V-A)
+        assert!((m.nap_w_per_mb() * 1e3 - 0.65625).abs() < 1e-9);
+        // 0.809 mJ/MB
+        assert!((m.dynamic_j_per_mb() * 1e3 - 0.809).abs() < 5e-4);
+        // 129 µs
+        assert!((m.powerdown_timeout_s() * 1e6 - 128.85).abs() < 0.5);
+    }
+
+    #[test]
+    fn mem_energy_total() {
+        let e = MemEnergy {
+            static_j: 1.5,
+            dynamic_j: 0.5,
+        };
+        assert_eq!(e.total_j(), 2.0);
+    }
+}

@@ -1,0 +1,409 @@
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::fenwick::Fenwick;
+
+/// LRU stack distance of one disk-cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StackDistance {
+    /// First-ever access to this page; a miss at every memory size
+    /// ("these disk accesses cannot be avoided by changing the memory
+    /// size", paper §IV-B).
+    Cold,
+    /// 1-based position in the (unbounded) LRU stack: the access hits in
+    /// any LRU cache of at least this many pages.
+    Position(u64),
+}
+
+impl StackDistance {
+    /// Whether this access misses in an LRU cache of `capacity_pages`.
+    pub fn misses_at(&self, capacity_pages: u64) -> bool {
+        match *self {
+            StackDistance::Cold => true,
+            StackDistance::Position(p) => p > capacity_pages,
+        }
+    }
+}
+
+/// The paper's *extended LRU list* (resident + replaced pages with
+/// per-position counters, §IV-B), implemented as an exact stack-distance
+/// profiler.
+///
+/// Mattson's inclusion property makes the LRU stack position of each access
+/// a complete summary: an access at position `d` hits in every LRU cache of
+/// `≥ d` pages and misses in every smaller one. Recording positions for one
+/// period therefore predicts the number of disk accesses *at every candidate
+/// memory size simultaneously*, without re-running the workload — exactly
+/// what the joint power manager needs.
+///
+/// The implementation is the Bennett–Kruskal algorithm: a Fenwick tree over
+/// access slots marks, for each distinct page, its most recent access; the
+/// stack position of a re-access is one plus the number of marks after the
+/// page's previous slot. O(log n) per access with periodic compaction.
+///
+/// # Example
+///
+/// The paper's Fig. 3 example — ten accesses to pages
+/// (1, 2, 3, 5, 2, 1, 4, 6, 5, 2) — yields counters (0,0,1,1,2,0,0,0):
+///
+/// ```
+/// use jpmd_mem::{StackDistance, StackProfiler};
+///
+/// let mut p = StackProfiler::new();
+/// let mut hits_at_4 = 0;
+/// for page in [1u64, 2, 3, 5, 2, 1, 4, 6, 5, 2] {
+///     if !p.observe(page).misses_at(4) {
+///         hits_at_4 += 1;
+///     }
+/// }
+/// assert_eq!(hits_at_4, 2); // eight disk accesses with 4-page memory
+/// ```
+#[derive(Debug, Clone)]
+pub struct StackProfiler {
+    /// Most recent access slot of each page.
+    last_slot: HashMap<u64, usize>,
+    /// Marks the slots that are currently "most recent" for some page.
+    marks: Fenwick,
+    /// Next free slot.
+    cursor: usize,
+}
+
+impl Default for StackProfiler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StackProfiler {
+    /// Creates an empty profiler.
+    pub fn new() -> Self {
+        Self {
+            last_slot: HashMap::new(),
+            marks: Fenwick::new(1024),
+            cursor: 0,
+        }
+    }
+
+    /// Number of distinct pages seen so far.
+    pub fn distinct_pages(&self) -> usize {
+        self.last_slot.len()
+    }
+
+    /// Observes one access and returns its stack distance.
+    pub fn observe(&mut self, page: u64) -> StackDistance {
+        if self.cursor == self.marks.len() {
+            self.compact();
+        }
+        let slot = self.cursor;
+        self.cursor += 1;
+        let distance = match self.last_slot.insert(page, slot) {
+            None => StackDistance::Cold,
+            Some(prev) => {
+                let between = self.marks.range_sum(prev + 1, slot.saturating_sub(1));
+                self.marks.add(prev, -1);
+                StackDistance::Position(between + 1)
+            }
+        };
+        self.marks.add(slot, 1);
+        distance
+    }
+
+    /// Drops all history (the joint method deliberately does **not** do
+    /// this between periods — "the joint method does not reset the LRU list
+    /// every period", §V-C — but tests and fresh simulations do).
+    pub fn reset(&mut self) {
+        self.last_slot.clear();
+        self.marks = Fenwick::new(1024);
+        self.cursor = 0;
+    }
+
+    /// Re-packs slots to the current distinct pages, keeping recency order.
+    fn compact(&mut self) {
+        let mut pages: Vec<(u64, usize)> = self
+            .last_slot
+            .iter()
+            .map(|(&p, &s)| (p, s))
+            .collect();
+        pages.sort_by_key(|&(_, s)| s);
+        let n = pages.len();
+        let new_cap = (2 * n).max(1024);
+        let mut marks = Fenwick::new(new_cap);
+        for (i, (page, _)) in pages.into_iter().enumerate() {
+            self.last_slot.insert(page, i);
+            marks.add(i, 1);
+        }
+        self.marks = marks;
+        self.cursor = n;
+    }
+}
+
+/// One profiled disk-cache access: when it happened, which page it
+/// touched, and its LRU stack distance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogEntry {
+    /// Arrival time, s.
+    pub time: f64,
+    /// Global page number (used by the multi-disk extension to route
+    /// predicted misses to the disk that would serve them).
+    pub page: u64,
+    /// LRU stack distance of the access.
+    pub distance: StackDistance,
+}
+
+/// One period's worth of profiled accesses, the raw material for the
+/// joint policy's per-size predictions.
+///
+/// This is the runtime embodiment of the paper's LRU-list *counters* plus
+/// the access *timestamps* (§IV-B): together they predict, for any candidate
+/// memory size, both the number of disk accesses and the disk idle-interval
+/// structure.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AccessLog {
+    entries: Vec<LogEntry>,
+}
+
+impl AccessLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one profiled access.
+    pub fn record(&mut self, time: f64, page: u64, distance: StackDistance) {
+        self.entries.push(LogEntry {
+            time,
+            page,
+            distance,
+        });
+    }
+
+    /// Number of accesses in the log (the paper's `N`).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no accesses were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The recorded accesses, in arrival order.
+    pub fn entries(&self) -> &[LogEntry] {
+        &self.entries
+    }
+
+    /// Predicted number of disk accesses with an LRU cache of
+    /// `capacity_pages` (the paper's `n_d` at candidate size `m`).
+    pub fn misses_at(&self, capacity_pages: u64) -> u64 {
+        self.entries
+            .iter()
+            .filter(|e| e.distance.misses_at(capacity_pages))
+            .count() as u64
+    }
+
+    /// Timestamps of the accesses that would miss at `capacity_pages`, in
+    /// arrival order — the predicted disk-access stream whose gaps form the
+    /// idle intervals of paper Fig. 4.
+    pub fn miss_times_at(&self, capacity_pages: u64) -> impl Iterator<Item = f64> + '_ {
+        self.entries
+            .iter()
+            .filter(move |e| e.distance.misses_at(capacity_pages))
+            .map(|e| e.time)
+    }
+
+    /// The paper's per-position counters: `counters[i]` (0-based) is the
+    /// number of accesses at stack position `i + 1`, up to `max_positions`.
+    /// Cold accesses increment no counter, exactly as in Fig. 3.
+    pub fn position_counters(&self, max_positions: usize) -> Vec<u64> {
+        let mut counters = vec![0u64; max_positions];
+        for e in &self.entries {
+            if let StackDistance::Position(p) = e.distance {
+                let idx = p as usize - 1;
+                if idx < max_positions {
+                    counters[idx] += 1;
+                }
+            }
+        }
+        counters
+    }
+
+    /// Distinct capacities (in pages) at which the predicted miss count
+    /// changes — the candidate sizes worth enumerating ("the size causing
+    /// different disk IOs", §IV-B). Always includes 0.
+    pub fn change_points(&self) -> Vec<u64> {
+        let mut positions: Vec<u64> = self
+            .entries
+            .iter()
+            .filter_map(|e| match e.distance {
+                StackDistance::Position(p) => Some(p),
+                StackDistance::Cold => None,
+            })
+            .collect();
+        positions.sort_unstable();
+        positions.dedup();
+        let mut out = vec![0];
+        out.extend(positions);
+        out
+    }
+
+    /// Clears the log for the next period.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Naive LRU stack for cross-checking.
+    fn naive_distances(pages: &[u64]) -> Vec<StackDistance> {
+        let mut stack: Vec<u64> = Vec::new();
+        let mut out = Vec::new();
+        for &p in pages {
+            match stack.iter().position(|&q| q == p) {
+                None => {
+                    out.push(StackDistance::Cold);
+                }
+                Some(pos) => {
+                    out.push(StackDistance::Position(pos as u64 + 1));
+                    stack.remove(pos);
+                }
+            }
+            stack.insert(0, p);
+        }
+        out
+    }
+
+    #[test]
+    fn paper_fig3_example() {
+        // Paper §IV-B: accesses (1,2,3,5,2,1,4,6,5,2), 8-page LRU list.
+        // Expected counters after all ten accesses: (0,0,1,1,2,0,0,0).
+        let seq = [1u64, 2, 3, 5, 2, 1, 4, 6, 5, 2];
+        let mut profiler = StackProfiler::new();
+        let mut log = AccessLog::new();
+        for (i, &p) in seq.iter().enumerate() {
+            log.record(i as f64, p, profiler.observe(p));
+        }
+        assert_eq!(
+            log.position_counters(8),
+            vec![0, 0, 1, 1, 2, 0, 0, 0],
+            "paper Fig. 3 counters"
+        );
+        // "Among the ten accesses, there are eight disk accesses and two
+        // memory accesses … when the memory size is four pages."
+        assert_eq!(log.misses_at(4), 8);
+        // "If the physical memory size is three pages … the number of disk
+        // accesses becomes nine."
+        assert_eq!(log.misses_at(3), 9);
+        // "If the physical memory size increases to five pages, two disk
+        // accesses can be avoided" (relative to the 8 at four pages).
+        assert_eq!(log.misses_at(5), 6);
+        // "Further increasing the memory size has the same disk IO."
+        assert_eq!(log.misses_at(6), 6);
+        assert_eq!(log.misses_at(8), 6);
+    }
+
+    #[test]
+    fn matches_naive_on_fixed_sequence() {
+        let seq = [3u64, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3];
+        let mut profiler = StackProfiler::new();
+        let got: Vec<StackDistance> = seq.iter().map(|&p| profiler.observe(p)).collect();
+        assert_eq!(got, naive_distances(&seq));
+    }
+
+    #[test]
+    fn repeated_same_page_is_distance_one() {
+        let mut p = StackProfiler::new();
+        assert_eq!(p.observe(7), StackDistance::Cold);
+        for _ in 0..5 {
+            assert_eq!(p.observe(7), StackDistance::Position(1));
+        }
+    }
+
+    #[test]
+    fn compaction_preserves_distances() {
+        // Force many compactions with a tiny initial capacity by pushing
+        // far more accesses than the default 1024 slots.
+        let mut profiler = StackProfiler::new();
+        let mut naive_seq = Vec::new();
+        let mut got = Vec::new();
+        for i in 0..5000u64 {
+            let page = i % 97; // heavy reuse
+            naive_seq.push(page);
+            got.push(profiler.observe(page));
+        }
+        assert_eq!(got, naive_distances(&naive_seq));
+        assert_eq!(profiler.distinct_pages(), 97);
+    }
+
+    #[test]
+    fn reset_forgets_history() {
+        let mut p = StackProfiler::new();
+        p.observe(1);
+        p.reset();
+        assert_eq!(p.observe(1), StackDistance::Cold);
+    }
+
+    #[test]
+    fn change_points_include_zero_and_are_sorted() {
+        let seq = [1u64, 2, 1, 3, 2, 1];
+        let mut profiler = StackProfiler::new();
+        let mut log = AccessLog::new();
+        for (i, &p) in seq.iter().enumerate() {
+            log.record(i as f64, p, profiler.observe(p));
+        }
+        let cps = log.change_points();
+        assert_eq!(cps[0], 0);
+        assert!(cps.windows(2).all(|w| w[0] < w[1]));
+        // Miss counts must differ across consecutive change points.
+        for w in cps.windows(2) {
+            assert!(log.misses_at(w[0]) > log.misses_at(w[1]));
+        }
+    }
+
+    #[test]
+    fn miss_times_filter_correctly() {
+        let mut profiler = StackProfiler::new();
+        let mut log = AccessLog::new();
+        for (i, &p) in [1u64, 2, 1, 1].iter().enumerate() {
+            log.record(i as f64, p, profiler.observe(p));
+        }
+        // distances: Cold, Cold, 2, 1
+        let at1: Vec<f64> = log.miss_times_at(1).collect();
+        assert_eq!(at1, vec![0.0, 1.0, 2.0]);
+        let at2: Vec<f64> = log.miss_times_at(2).collect();
+        assert_eq!(at2, vec![0.0, 1.0]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn profiler_matches_naive(seq in proptest::collection::vec(0u64..32, 1..300)) {
+            let mut profiler = StackProfiler::new();
+            let got: Vec<StackDistance> = seq.iter().map(|&p| profiler.observe(p)).collect();
+            prop_assert_eq!(got, naive_distances(&seq));
+        }
+
+        #[test]
+        fn misses_monotone_in_capacity(seq in proptest::collection::vec(0u64..16, 1..200)) {
+            let mut profiler = StackProfiler::new();
+            let mut log = AccessLog::new();
+            for (i, &p) in seq.iter().enumerate() {
+                log.record(i as f64, p, profiler.observe(p));
+            }
+            // Inclusion property: more memory never causes more misses.
+            let mut prev = u64::MAX;
+            for cap in 0..20 {
+                let m = log.misses_at(cap);
+                prop_assert!(m <= prev);
+                prev = m;
+            }
+            // Cold misses remain at infinite capacity.
+            let distinct: std::collections::HashSet<_> = seq.iter().collect();
+            prop_assert_eq!(log.misses_at(u64::MAX), distinct.len() as u64);
+        }
+    }
+}

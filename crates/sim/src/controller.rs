@@ -1,0 +1,122 @@
+use serde::{Deserialize, Serialize};
+
+use jpmd_mem::AccessLog;
+use jpmd_stats::IntervalStats;
+
+/// What the simulator observed during one control period — the inputs of
+/// paper Fig. 2's "collect information of disk accesses and idle intervals"
+/// box.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PeriodObservation {
+    /// Period start time, s.
+    pub start: f64,
+    /// Period end time (the decision instant), s.
+    pub end: f64,
+    /// Disk-cache accesses during the period (the paper's `N`).
+    pub cache_accesses: u64,
+    /// Disk accesses (cache misses, in pages) during the period (`n_d`).
+    pub disk_page_accesses: u64,
+    /// Disk requests (contiguous runs) issued during the period.
+    pub disk_requests: u64,
+    /// Seconds the disk spent serving during the period.
+    pub disk_busy_secs: f64,
+    /// Idle intervals of the *actual* disk request stream, aggregated with
+    /// window `w` (count = `n_i`, plus mean/min/max).
+    pub idle: IntervalStats,
+    /// Banks enabled during (the end of) the period.
+    pub enabled_banks: u32,
+    /// Disk timeout in force at the end of the period, s.
+    pub disk_timeout: f64,
+    /// Total (memory + disk) energy spent during the period, J.
+    pub energy_total_j: f64,
+}
+
+impl PeriodObservation {
+    /// Disk utilization over the period.
+    pub fn utilization(&self) -> f64 {
+        self.disk_busy_secs / (self.end - self.start).max(f64::MIN_POSITIVE)
+    }
+
+    /// Mean total power over the period, W.
+    pub fn mean_power_w(&self) -> f64 {
+        self.energy_total_j / (self.end - self.start).max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Decision returned by a [`PeriodController`]: fields left `None` keep the
+/// current setting.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ControlAction {
+    /// Resize the disk cache to this many banks.
+    pub enabled_banks: Option<u32>,
+    /// Set the disk spin-down timeout to this many seconds.
+    pub disk_timeout: Option<f64>,
+}
+
+/// A power manager invoked at every period boundary (paper Fig. 2).
+///
+/// The joint method of the paper is implemented against this trait in
+/// `jpmd-core`; the static methods (2TFM, ADPD, …) use [`NullController`]
+/// because their memory size and disk policy never change.
+pub trait PeriodController {
+    /// Decides the next period's memory size and disk timeout from the
+    /// last period's observation and profiled access log.
+    fn on_period_end(&mut self, observation: &PeriodObservation, log: &AccessLog) -> ControlAction;
+
+    /// Display name for reports.
+    fn name(&self) -> &str {
+        "static"
+    }
+}
+
+/// A controller that never changes anything — all non-joint methods.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullController;
+
+impl PeriodController for NullController {
+    fn on_period_end(&mut self, _: &PeriodObservation, _: &AccessLog) -> ControlAction {
+        ControlAction::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_is_busy_over_span() {
+        let obs = PeriodObservation {
+            start: 0.0,
+            end: 600.0,
+            cache_accesses: 10,
+            disk_page_accesses: 5,
+            disk_requests: 3,
+            disk_busy_secs: 60.0,
+            idle: jpmd_stats::IdleIntervals::default().stats(),
+            enabled_banks: 4,
+            disk_timeout: 11.7,
+            energy_total_j: 0.0,
+        };
+        assert!((obs.utilization() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn null_controller_keeps_everything() {
+        let obs = PeriodObservation {
+            start: 0.0,
+            end: 1.0,
+            cache_accesses: 0,
+            disk_page_accesses: 0,
+            disk_requests: 0,
+            disk_busy_secs: 0.0,
+            idle: jpmd_stats::IdleIntervals::default().stats(),
+            enabled_banks: 1,
+            disk_timeout: 1.0,
+            energy_total_j: 0.0,
+        };
+        let action = NullController.on_period_end(&obs, &AccessLog::new());
+        assert_eq!(action, ControlAction::default());
+        assert!(action.enabled_banks.is_none());
+        assert!(action.disk_timeout.is_none());
+    }
+}

@@ -1,0 +1,85 @@
+//! System simulator for `jpmd`: ties the workload, disk cache, and disk
+//! together and measures energy and performance.
+//!
+//! This is the runtime of paper Fig. 6(b): synthesized traces feed the disk
+//! cache ([`jpmd_mem::MemoryManager`]); cache misses become requests to the
+//! disk ([`jpmd_disk::Disk`]); a [`SpinDownPolicy`] governs the disk's
+//! timeout between requests; and at every period boundary a
+//! [`PeriodController`] (the joint power manager, in `jpmd-core`) may
+//! resize memory and retune the timeout.
+//!
+//! The evaluation pipeline of the paper's Fig. 6(b):
+//!
+//! ```text
+//!  WorkloadBuilder ──► Trace ──► MemoryManager ──misses──► Disk
+//!  (SPECWeb99-style)   (records) (LRU cache,              (queue, spin-
+//!   + synthesizer                 banks, stack             down, energy)
+//!                                 profiler)
+//!                         │                                  │
+//!                         └──── PeriodController ◄───────────┘
+//!                               (joint policy: resize + timeout)
+//! ```
+//!
+//! [`run_simulation`] executes one method over one trace and returns a
+//! [`RunReport`] with the exact metrics the paper's figures plot: energy
+//! split by component, average latency, disk utilization, long-latency
+//! request rate, and per-period time series.
+//!
+//! # Example
+//!
+//! ```
+//! use jpmd_mem::{IdlePolicy, MemConfig, RdramModel};
+//! use jpmd_sim::{run_simulation, NullController, SimConfig};
+//! use jpmd_disk::SpinDownPolicy;
+//! use jpmd_trace::{WorkloadBuilder, MIB};
+//!
+//! # fn main() -> Result<(), jpmd_trace::TraceError> {
+//! let trace = WorkloadBuilder::new()
+//!     .data_set_bytes(64 * MIB)
+//!     .rate_bytes_per_sec(8 * MIB)
+//!     .duration_secs(60.0)
+//!     .build()?;
+//! let mem = MemConfig {
+//!     page_bytes: MIB,
+//!     bank_pages: 16,
+//!     total_banks: 8,
+//!     initial_banks: 8,
+//!     model: RdramModel::default(),
+//!     policy: IdlePolicy::Nap,
+//! };
+//! let config = SimConfig::with_mem(mem);
+//! let report = run_simulation(
+//!     &config,
+//!     SpinDownPolicy::AlwaysOn,
+//!     &mut NullController,
+//!     &trace,
+//!     60.0,
+//!     "always-on",
+//! );
+//! assert!(report.energy.total_j() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod array_system;
+mod config;
+mod controller;
+mod metrics;
+mod system;
+
+pub use array_system::{
+    run_array_simulation, ArrayConfig, ArrayControlAction, ArrayPeriodController,
+    ArrayPeriodObservation, DiskPeriodStats, NullArrayController,
+};
+pub use config::SimConfig;
+pub use controller::{ControlAction, NullController, PeriodController, PeriodObservation};
+pub use metrics::{EnergyBreakdown, PeriodRow, RunReport};
+pub use system::run_simulation;
+
+// Re-exported so downstream callers can build configurations without
+// importing every substrate crate explicitly.
+pub use jpmd_disk::{DiskPowerModel, ServiceModel, SpinDownPolicy};
+pub use jpmd_mem::{IdlePolicy, MemConfig, RdramModel};

@@ -1,0 +1,196 @@
+use serde::{Deserialize, Serialize};
+
+use jpmd_disk::DiskEnergy;
+use jpmd_mem::MemEnergy;
+
+use crate::{ControlAction, PeriodObservation};
+
+/// Combined memory + disk energy for one run (or one window of a run).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Memory energy.
+    pub mem: MemEnergy,
+    /// Disk energy.
+    pub disk: DiskEnergy,
+}
+
+impl EnergyBreakdown {
+    /// Total energy, J.
+    pub fn total_j(&self) -> f64 {
+        self.mem.total_j() + self.disk.total_j()
+    }
+
+    /// Component-wise difference (`self − earlier`), used to subtract the
+    /// warm-up window.
+    pub fn since(&self, earlier: &EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            mem: MemEnergy {
+                static_j: self.mem.static_j - earlier.mem.static_j,
+                dynamic_j: self.mem.dynamic_j - earlier.mem.dynamic_j,
+            },
+            disk: DiskEnergy {
+                active_j: self.disk.active_j - earlier.disk.active_j,
+                idle_j: self.disk.idle_j - earlier.disk.idle_j,
+                standby_j: self.disk.standby_j - earlier.disk.standby_j,
+                transition_j: self.disk.transition_j - earlier.disk.transition_j,
+            },
+        }
+    }
+}
+
+/// One control period's observation and the action taken at its end.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PeriodRow {
+    /// What the period looked like.
+    pub observation: PeriodObservation,
+    /// What the controller decided (empty for static methods).
+    pub action: ControlAction,
+}
+
+/// Aggregated results of one simulation run.
+///
+/// All scalar metrics cover the *measured window* (after
+/// [`SimConfig::warmup_secs`](crate::SimConfig)); [`RunReport::periods`]
+/// covers every period including warm-up so time-series figures (paper
+/// Fig. 9) can show the full run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Label of the method that produced this run ("Joint", "2TFM-16GB"…).
+    pub label: String,
+    /// Length of the measured window, s.
+    pub duration_secs: f64,
+    /// Energy spent in the measured window.
+    pub energy: EnergyBreakdown,
+    /// Disk-cache accesses (pages) in the window.
+    pub cache_accesses: u64,
+    /// Cache hits (memory accesses) in the window.
+    pub hits: u64,
+    /// Cache misses (disk page accesses) in the window.
+    pub disk_page_accesses: u64,
+    /// Disk requests (contiguous runs) in the window.
+    pub disk_requests: u64,
+    /// Mean latency over all cache accesses (hits count as zero), s.
+    pub mean_latency_secs: f64,
+    /// Median latency of *disk requests* in the window, s (0 when none).
+    pub request_latency_p50_secs: f64,
+    /// 99th-percentile latency of disk requests in the window, s.
+    pub request_latency_p99_secs: f64,
+    /// Largest request latency observed, s.
+    pub max_latency_secs: f64,
+    /// Accesses delayed beyond the long-latency threshold.
+    pub long_latency_count: u64,
+    /// Disk busy fraction of the window.
+    pub utilization: f64,
+    /// Disk spin-downs in the window.
+    pub spin_downs: u64,
+    /// Per-period time series (full run, including warm-up).
+    pub periods: Vec<PeriodRow>,
+}
+
+impl RunReport {
+    /// Long-latency requests per second (paper Fig. 7(f), 8(b), 8(d)).
+    pub fn long_latency_per_sec(&self) -> f64 {
+        if self.duration_secs > 0.0 {
+            self.long_latency_count as f64 / self.duration_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Average power over the window, W.
+    pub fn mean_power_w(&self) -> f64 {
+        if self.duration_secs > 0.0 {
+            self.energy.total_j() / self.duration_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Total energy as a fraction of `baseline` (the paper normalizes
+    /// everything against the always-on method).
+    pub fn normalized_total(&self, baseline: &RunReport) -> f64 {
+        self.energy.total_j() / baseline.energy.total_j().max(f64::MIN_POSITIVE)
+    }
+
+    /// Disk energy as a fraction of the baseline's disk energy.
+    pub fn normalized_disk(&self, baseline: &RunReport) -> f64 {
+        self.energy.disk.total_j() / baseline.energy.disk.total_j().max(f64::MIN_POSITIVE)
+    }
+
+    /// Memory energy as a fraction of the baseline's memory energy.
+    pub fn normalized_mem(&self, baseline: &RunReport) -> f64 {
+        self.energy.mem.total_j() / baseline.energy.mem.total_j().max(f64::MIN_POSITIVE)
+    }
+
+    /// Cache hit ratio in the window.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.cache_accesses > 0 {
+            self.hits as f64 / self.cache_accesses as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(total_mem: f64, total_disk: f64, duration: f64) -> RunReport {
+        RunReport {
+            label: "test".into(),
+            duration_secs: duration,
+            energy: EnergyBreakdown {
+                mem: MemEnergy {
+                    static_j: total_mem,
+                    dynamic_j: 0.0,
+                },
+                disk: DiskEnergy {
+                    active_j: 0.0,
+                    idle_j: total_disk,
+                    standby_j: 0.0,
+                    transition_j: 0.0,
+                },
+            },
+            cache_accesses: 100,
+            hits: 80,
+            disk_page_accesses: 20,
+            disk_requests: 5,
+            mean_latency_secs: 0.001,
+            request_latency_p50_secs: 0.02,
+            request_latency_p99_secs: 0.4,
+            max_latency_secs: 0.6,
+            long_latency_count: 3,
+            utilization: 0.05,
+            spin_downs: 2,
+            periods: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn normalization_against_baseline() {
+        let a = report(50.0, 50.0, 10.0);
+        let base = report(100.0, 100.0, 10.0);
+        assert!((a.normalized_total(&base) - 0.5).abs() < 1e-12);
+        assert!((a.normalized_disk(&base) - 0.5).abs() < 1e-12);
+        assert!((a.normalized_mem(&base) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rates_and_ratios() {
+        let r = report(10.0, 10.0, 10.0);
+        assert!((r.long_latency_per_sec() - 0.3).abs() < 1e-12);
+        assert!((r.mean_power_w() - 2.0).abs() < 1e-12);
+        assert!((r.hit_ratio() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_since_subtracts_componentwise() {
+        let early = report(10.0, 20.0, 1.0).energy;
+        let late = report(15.0, 50.0, 1.0).energy;
+        let diff = late.since(&early);
+        assert!((diff.mem.static_j - 5.0).abs() < 1e-12);
+        assert!((diff.disk.idle_j - 30.0).abs() < 1e-12);
+        assert!((diff.total_j() - 35.0).abs() < 1e-12);
+    }
+}

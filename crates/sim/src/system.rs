@@ -1,0 +1,672 @@
+use jpmd_disk::{Disk, SpinDownPolicy};
+use jpmd_mem::MemoryManager;
+use jpmd_stats::{IdleIntervals, Welford};
+use jpmd_trace::{AccessKind, Trace};
+
+use crate::{
+    EnergyBreakdown, PeriodController, PeriodObservation, PeriodRow, RunReport, SimConfig,
+};
+
+/// Runs one complete system simulation: the trace drives the disk cache,
+/// cache misses drive the disk, and the controller is invoked at every
+/// period boundary (paper Fig. 6(b) pipeline).
+///
+/// * Each trace record's pages are looked up in the cache in order; missed
+///   pages are coalesced into contiguous runs, each becoming one disk
+///   request (this is what gives the disk its request-size mix).
+/// * Hits have zero latency; every page of a missed run inherits the run's
+///   request latency (queueing + spin-up + service). Accesses with latency
+///   above the configured threshold count as *long-latency* (paper: 0.5 s).
+/// * Metrics and energy cover the window after `config.warmup_secs`;
+///   per-period rows cover the whole run.
+///
+/// The trace is open-loop, as in the paper: request arrival times are fixed
+/// by the trace and do not shift when requests are delayed.
+///
+/// # Panics
+///
+/// Panics if the trace's page size differs from the memory configuration's,
+/// or if `duration` does not exceed the warm-up.
+pub fn run_simulation(
+    config: &SimConfig,
+    mut spindown: SpinDownPolicy,
+    controller: &mut dyn PeriodController,
+    trace: &Trace,
+    duration: f64,
+    label: &str,
+) -> RunReport {
+    config.validate();
+    assert_eq!(
+        trace.page_bytes(),
+        config.mem.page_bytes,
+        "trace and memory must agree on the page size"
+    );
+    assert!(
+        duration > config.warmup_secs,
+        "duration must exceed the warm-up window"
+    );
+
+    let page_bytes = config.mem.page_bytes;
+    let mut mem = MemoryManager::new(config.mem);
+    mem.set_replacement(config.replacement);
+    mem.set_consolidation(config.consolidate);
+    let mut disk = Disk::new(
+        config.disk_power,
+        config.disk_service,
+        trace.total_pages().max(1),
+    );
+    disk.set_timeout(spindown.timeout());
+
+    // Period bookkeeping.
+    let mut rows: Vec<PeriodRow> = Vec::new();
+    let mut period_start = 0.0f64;
+    let mut next_period = config.period_secs;
+    let mut p_acc = 0u64;
+    let mut p_req = 0u64;
+    let mut p_busy = 0.0f64;
+    let mut p_energy = EnergyBreakdown::default();
+    let mut period_disk_times: Vec<f64> = Vec::new();
+
+    // Dirty-page flush daemon.
+    let mut next_sync = config.sync_interval_secs;
+    // All pages moved between disk and memory (read misses + write-backs).
+    let mut disk_pages = 0u64;
+    let mut p_pages = 0u64;
+    let mut w_pages = 0u64;
+
+    // Measured-window bookkeeping (post warm-up).
+    let mut warm = config.warmup_secs <= 0.0;
+    let mut w_energy = EnergyBreakdown::default();
+    let mut w_acc = 0u64;
+    let mut w_hits = 0u64;
+    let mut w_req = 0u64;
+    let mut w_busy = 0.0f64;
+    let mut w_spin = 0u64;
+    let mut latency = Welford::new();
+    let mut request_latencies: Vec<f64> = Vec::new();
+    let mut long_count = 0u64;
+
+    macro_rules! snapshot_energy {
+        () => {
+            EnergyBreakdown {
+                mem: mem.energy(),
+                disk: disk.energy(),
+            }
+        };
+    }
+
+    // Submits background write-back pages as coalesced disk writes at
+    // `at`. Flushes do not count toward user latency but they do occupy
+    // the disk (energy, busy time, idle-interval structure).
+    macro_rules! submit_writes {
+        ($pages:expr, $at:expr) => {
+            let mut pages: Vec<u64> = $pages;
+            pages.sort_unstable();
+            let at: f64 = $at;
+            let mut i = 0usize;
+            while i < pages.len() {
+                let first = pages[i];
+                let mut len = 1u64;
+                while i + (len as usize) < pages.len()
+                    && pages[i + len as usize] == first + len
+                {
+                    len += 1;
+                }
+                let outcome = disk.submit(at, first, len, page_bytes);
+                let timeout = spindown.after_request(&outcome, &config.disk_power);
+                disk.set_timeout(timeout);
+                period_disk_times.push(at);
+                disk_pages += len;
+                i += len as usize;
+            }
+        };
+    }
+
+    // Advances bookkeeping (period boundaries, warm-up snapshot) to `t`.
+    macro_rules! advance_to {
+        ($t:expr) => {
+            let target: f64 = $t;
+            loop {
+                let pm_boundary = if !warm && config.warmup_secs <= next_period {
+                    config.warmup_secs
+                } else {
+                    next_period
+                };
+                let boundary = pm_boundary.min(next_sync);
+                if boundary > target {
+                    break;
+                }
+                if next_sync < pm_boundary {
+                    // Flush daemon tick.
+                    let dirty = mem.sync_dirty();
+                    submit_writes!(dirty, next_sync);
+                    next_sync += config.sync_interval_secs;
+                    continue;
+                }
+                mem.settle(boundary);
+                disk.settle(boundary);
+                if !warm && boundary == config.warmup_secs {
+                    warm = true;
+                    w_energy = snapshot_energy!();
+                    w_acc = mem.accesses();
+                    w_hits = mem.hits();
+                    w_req = disk.requests();
+                    w_busy = disk.busy_secs();
+                    w_spin = disk.spin_downs();
+                    w_pages = disk_pages;
+                    if config.warmup_secs < next_period {
+                        continue;
+                    }
+                }
+                // Period boundary.
+                let observation = PeriodObservation {
+                    start: period_start,
+                    end: boundary,
+                    cache_accesses: mem.accesses() - p_acc,
+                    disk_page_accesses: disk_pages - p_pages,
+                    disk_requests: disk.requests() - p_req,
+                    disk_busy_secs: disk.busy_secs() - p_busy,
+                    idle: IdleIntervals::from_timestamps(
+                        &period_disk_times,
+                        config.aggregation_window_secs,
+                    )
+                    .stats(),
+                    enabled_banks: mem.enabled_banks(),
+                    disk_timeout: disk.timeout(),
+                    energy_total_j: snapshot_energy!().since(&p_energy).total_j(),
+                };
+                let log = mem.take_log();
+                let action = controller.on_period_end(&observation, &log);
+                if let Some(banks) = action.enabled_banks {
+                    mem.set_enabled_banks(banks, boundary);
+                }
+                if let Some(t) = action.disk_timeout {
+                    spindown.set_controlled_timeout(t);
+                    disk.set_timeout(t);
+                }
+                rows.push(PeriodRow {
+                    observation,
+                    action,
+                });
+                period_start = boundary;
+                next_period = boundary + config.period_secs;
+                p_acc = mem.accesses();
+                p_pages = disk_pages;
+                p_req = disk.requests();
+                p_busy = disk.busy_secs();
+                p_energy = snapshot_energy!();
+                period_disk_times.clear();
+            }
+        };
+    }
+
+    let mut max_latency = 0.0f64;
+    for record in trace.records() {
+        if record.time >= duration {
+            break;
+        }
+        advance_to!(record.time);
+        let now = record.time;
+        let measuring = warm;
+        let is_write = record.kind == AccessKind::Write;
+
+        // Walk the record's pages, coalescing misses into runs.
+        let mut run_start: Option<u64> = None;
+        let mut run_len = 0u64;
+        macro_rules! flush_run {
+            () => {
+                if let Some(first) = run_start.take() {
+                    let outcome = disk.submit(now, first, run_len, page_bytes);
+                    let timeout = spindown.after_request(&outcome, &config.disk_power);
+                    disk.set_timeout(timeout);
+                    period_disk_times.push(now);
+                    disk_pages += run_len;
+                    if measuring {
+                        request_latencies.push(outcome.latency);
+                        for _ in 0..run_len {
+                            latency.push(outcome.latency);
+                        }
+                        if outcome.latency > config.long_latency_secs {
+                            long_count += run_len;
+                        }
+                        if outcome.latency > max_latency {
+                            max_latency = outcome.latency;
+                        }
+                    }
+                    #[allow(unused_assignments)]
+                    {
+                        run_len = 0;
+                    }
+                }
+            };
+        }
+        for page in record.page_range() {
+            let served_from_memory = mem.access_rw(page, now, is_write);
+            if served_from_memory {
+                flush_run!();
+                if measuring {
+                    latency.push(0.0);
+                }
+            } else {
+                if run_start.is_none() {
+                    run_start = Some(page);
+                }
+                run_len += 1;
+            }
+        }
+        flush_run!();
+        // Dirty pages displaced by this record's fills go to the disk as
+        // background writes.
+        let writebacks = mem.take_writebacks();
+        if !writebacks.is_empty() {
+            submit_writes!(writebacks, now);
+        }
+    }
+
+    // Close out remaining boundaries and settle at the end.
+    advance_to!(duration);
+    mem.settle(duration);
+    disk.settle(duration);
+
+    let end_energy = snapshot_energy!();
+    let window = duration - config.warmup_secs;
+    let cache_accesses = mem.accesses() - w_acc;
+    let hits = mem.hits() - w_hits;
+    RunReport {
+        label: label.to_string(),
+        duration_secs: window,
+        energy: end_energy.since(&w_energy),
+        cache_accesses,
+        hits,
+        disk_page_accesses: disk_pages - w_pages,
+        disk_requests: disk.requests() - w_req,
+        mean_latency_secs: latency.mean(),
+        request_latency_p50_secs: {
+            request_latencies.sort_by(f64::total_cmp);
+            jpmd_stats::percentile(&request_latencies, 0.5).unwrap_or(0.0)
+        },
+        request_latency_p99_secs: jpmd_stats::percentile(&request_latencies, 0.99).unwrap_or(0.0),
+        max_latency_secs: max_latency,
+        long_latency_count: long_count,
+        utilization: (disk.busy_secs() - w_busy) / window.max(f64::MIN_POSITIVE),
+        spin_downs: disk.spin_downs() - w_spin,
+        periods: rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ControlAction, NullController};
+    use jpmd_mem::{IdlePolicy, MemConfig, RdramModel};
+    use jpmd_trace::{FileId, TraceRecord};
+
+    fn mem_config(banks: u32) -> MemConfig {
+        MemConfig {
+            page_bytes: 1 << 20,
+            bank_pages: 4,
+            total_banks: 8,
+            initial_banks: banks,
+            model: RdramModel::default(),
+            policy: IdlePolicy::Nap,
+        }
+    }
+
+    fn record(time: f64, first_page: u64, pages: u64) -> TraceRecord {
+        TraceRecord {
+            time,
+            file: FileId(0),
+            first_page,
+            pages,
+            kind: jpmd_trace::AccessKind::Read,
+        }
+    }
+
+    fn small_trace() -> Trace {
+        // Two bursts on the same pages: second burst hits.
+        Trace::new(
+            vec![
+                record(1.0, 0, 4),
+                record(2.0, 0, 4),
+                record(300.0, 8, 2),
+            ],
+            1 << 20,
+            64,
+        )
+    }
+
+    #[test]
+    fn hits_and_misses_accounted() {
+        let config = SimConfig::with_mem(mem_config(8));
+        let report = run_simulation(
+            &config,
+            SpinDownPolicy::AlwaysOn,
+            &mut NullController,
+            &small_trace(),
+            400.0,
+            "test",
+        );
+        assert_eq!(report.cache_accesses, 10);
+        assert_eq!(report.hits, 4);
+        assert_eq!(report.disk_page_accesses, 6);
+        assert_eq!(report.disk_requests, 2);
+        assert_eq!(report.spin_downs, 0);
+    }
+
+    #[test]
+    fn always_on_energy_matches_hand_calculation() {
+        let config = SimConfig::with_mem(mem_config(8));
+        let report = run_simulation(
+            &config,
+            SpinDownPolicy::AlwaysOn,
+            &mut NullController,
+            &small_trace(),
+            400.0,
+            "test",
+        );
+        // Disk: idle 7.5 W for (400 - busy) plus active 12.5 × busy.
+        let busy = report.utilization * 400.0;
+        let expect_disk = 7.5 * (400.0 - busy) + 12.5 * busy;
+        assert!(
+            (report.energy.disk.total_j() - expect_disk).abs() < 1e-6,
+            "disk {} vs {expect_disk}",
+            report.energy.disk.total_j()
+        );
+        // Memory static: 8 banks × 4 MiB × 0.65625 mW/MB × 400 s.
+        let expect_mem_static = 8.0 * 4.0 * 0.65625e-3 * 400.0;
+        assert!((report.energy.mem.static_j - expect_mem_static).abs() < 1e-6);
+    }
+
+    #[test]
+    fn spindown_saves_energy_on_long_gaps() {
+        let config = SimConfig::with_mem(mem_config(8));
+        let on = run_simulation(
+            &config,
+            SpinDownPolicy::AlwaysOn,
+            &mut NullController,
+            &small_trace(),
+            400.0,
+            "on",
+        );
+        let two_t = run_simulation(
+            &config,
+            SpinDownPolicy::two_competitive(&config.disk_power),
+            &mut NullController,
+            &small_trace(),
+            400.0,
+            "2t",
+        );
+        assert!(two_t.spin_downs >= 1);
+        assert!(two_t.energy.disk.total_j() < on.energy.disk.total_j());
+        // The request at t = 300 wakes the disk: long latency.
+        assert!(two_t.long_latency_count >= 1);
+        assert_eq!(on.long_latency_count, 0);
+    }
+
+    #[test]
+    fn period_rows_cover_run() {
+        let config = SimConfig::with_mem(mem_config(8));
+        let report = run_simulation(
+            &config,
+            SpinDownPolicy::AlwaysOn,
+            &mut NullController,
+            &small_trace(),
+            1800.0,
+            "test",
+        );
+        assert_eq!(report.periods.len(), 3);
+        assert_eq!(report.periods[0].observation.start, 0.0);
+        assert_eq!(report.periods[0].observation.end, 600.0);
+        assert_eq!(report.periods[2].observation.end, 1800.0);
+        assert_eq!(report.periods[0].observation.cache_accesses, 10);
+        assert_eq!(report.periods[1].observation.cache_accesses, 0);
+    }
+
+    #[test]
+    fn warmup_excludes_early_activity() {
+        let mut config = SimConfig::with_mem(mem_config(8));
+        config.warmup_secs = 100.0;
+        let report = run_simulation(
+            &config,
+            SpinDownPolicy::AlwaysOn,
+            &mut NullController,
+            &small_trace(),
+            400.0,
+            "test",
+        );
+        // Only the t = 300 record (2 pages) is inside the window.
+        assert_eq!(report.cache_accesses, 2);
+        assert_eq!(report.duration_secs, 300.0);
+        // Energy excludes the first 100 s: disk total < 7.5 × 400.
+        assert!(report.energy.disk.total_j() < 7.5 * 310.0);
+    }
+
+    #[test]
+    fn smaller_memory_causes_more_disk_accesses() {
+        // 12 distinct pages cycled twice; 8-page cache (2 banks) thrashes,
+        // 32-page cache (8 banks) hits on the second round.
+        let mut records = Vec::new();
+        for round in 0..2 {
+            for i in 0..12u64 {
+                records.push(record(round as f64 * 50.0 + i as f64, i, 1));
+            }
+        }
+        let trace = Trace::new(records, 1 << 20, 64);
+        let big = run_simulation(
+            &SimConfig::with_mem(mem_config(8)),
+            SpinDownPolicy::AlwaysOn,
+            &mut NullController,
+            &trace,
+            200.0,
+            "big",
+        );
+        let small = run_simulation(
+            &SimConfig::with_mem(mem_config(2)),
+            SpinDownPolicy::AlwaysOn,
+            &mut NullController,
+            &trace,
+            200.0,
+            "small",
+        );
+        assert_eq!(big.disk_page_accesses, 12);
+        assert!(small.disk_page_accesses > big.disk_page_accesses);
+        // Smaller memory spends less memory energy…
+        assert!(small.energy.mem.static_j < big.energy.mem.static_j);
+        // …but more disk (active) energy.
+        assert!(small.energy.disk.active_j > big.energy.disk.active_j);
+    }
+
+    #[test]
+    #[should_panic(expected = "page size")]
+    fn mismatched_page_size_panics() {
+        let config = SimConfig::with_mem(mem_config(8));
+        let trace = Trace::new(vec![record(0.0, 0, 1)], 4096, 64);
+        run_simulation(
+            &config,
+            SpinDownPolicy::AlwaysOn,
+            &mut NullController,
+            &trace,
+            10.0,
+            "bad",
+        );
+    }
+
+    fn write_record(time: f64, first_page: u64, pages: u64) -> TraceRecord {
+        TraceRecord {
+            kind: jpmd_trace::AccessKind::Write,
+            ..record(time, first_page, pages)
+        }
+    }
+
+    #[test]
+    fn write_misses_defer_disk_traffic() {
+        // Pure writes with the flush daemon disabled: write-allocate means
+        // no disk traffic at all (everything stays dirty in memory).
+        let config = SimConfig::with_mem(mem_config(8));
+        let trace = Trace::new(
+            vec![write_record(1.0, 0, 4), write_record(2.0, 8, 4)],
+            1 << 20,
+            64,
+        );
+        let r = run_simulation(
+            &config,
+            SpinDownPolicy::AlwaysOn,
+            &mut NullController,
+            &trace,
+            100.0,
+            "writes",
+        );
+        assert_eq!(r.cache_accesses, 8);
+        assert_eq!(r.disk_page_accesses, 0, "write-back defers everything");
+        assert_eq!(r.disk_requests, 0);
+    }
+
+    #[test]
+    fn sync_daemon_flushes_dirty_pages() {
+        let mut config = SimConfig::with_mem(mem_config(8));
+        config.sync_interval_secs = 30.0;
+        let trace = Trace::new(vec![write_record(1.0, 0, 4)], 1 << 20, 64);
+        let r = run_simulation(
+            &config,
+            SpinDownPolicy::AlwaysOn,
+            &mut NullController,
+            &trace,
+            100.0,
+            "sync",
+        );
+        // The 4 dirty pages reach the disk at the t = 30 sync as one
+        // coalesced write request.
+        assert_eq!(r.disk_page_accesses, 4);
+        assert_eq!(r.disk_requests, 1);
+        // User-visible latency is untouched by background flushes.
+        assert_eq!(r.long_latency_count, 0);
+        assert_eq!(r.mean_latency_secs, 0.0);
+    }
+
+    #[test]
+    fn frequent_sync_reduces_spin_downs() {
+        // A write every 200 s: with a 20 s sync the disk is poked every
+        // sync tick after each write (then goes quiet until the next
+        // write); with sync disabled the disk sleeps through everything.
+        let mut records = Vec::new();
+        for i in 0..10u64 {
+            records.push(write_record(10.0 + 200.0 * i as f64, i * 4, 2));
+        }
+        let trace = Trace::new(records, 1 << 20, 64);
+        let run_with = |sync: f64| {
+            let mut config = SimConfig::with_mem(mem_config(8));
+            config.sync_interval_secs = sync;
+            run_simulation(
+                &config,
+                SpinDownPolicy::two_competitive(&config.disk_power),
+                &mut NullController,
+                &trace,
+                2100.0,
+                "sync-sweep",
+            )
+        };
+        let frequent = run_with(20.0);
+        let never = run_with(f64::INFINITY);
+        assert_eq!(never.disk_page_accesses, 0);
+        assert!(frequent.disk_page_accesses > 0);
+        assert!(
+            frequent.energy.disk.total_j() > never.energy.disk.total_j(),
+            "flush traffic must cost disk energy ({} vs {})",
+            frequent.energy.disk.total_j(),
+            never.energy.disk.total_j()
+        );
+    }
+
+    #[test]
+    fn pathological_simultaneous_arrivals() {
+        // Every record at t = 0, overlapping pages: the queue absorbs the
+        // burst, accounting stays consistent.
+        let config = SimConfig::with_mem(mem_config(2));
+        let records = (0..20u64).map(|i| record(0.0, i % 8, 3)).collect();
+        let trace = Trace::new(records, 1 << 20, 64);
+        let r = run_simulation(
+            &config,
+            SpinDownPolicy::two_competitive(&config.disk_power),
+            &mut NullController,
+            &trace,
+            600.0,
+            "burst",
+        );
+        assert_eq!(r.cache_accesses, 60);
+        assert_eq!(r.hits + r.disk_page_accesses, r.cache_accesses);
+        assert!(r.energy.total_j().is_finite());
+        assert!(r.max_latency_secs >= r.request_latency_p50_secs);
+    }
+
+    #[test]
+    fn pathological_whole_data_set_record() {
+        // One record spanning the entire page space, larger than the cache.
+        let config = SimConfig::with_mem(mem_config(2)); // 8-page cache
+        let trace = Trace::new(vec![record(1.0, 0, 64)], 1 << 20, 64);
+        let r = run_simulation(
+            &config,
+            SpinDownPolicy::AlwaysOn,
+            &mut NullController,
+            &trace,
+            100.0,
+            "huge",
+        );
+        assert_eq!(r.cache_accesses, 64);
+        assert_eq!(r.disk_page_accesses, 64);
+        // The misses coalesce into a single contiguous disk request.
+        assert_eq!(r.disk_requests, 1);
+    }
+
+    #[test]
+    fn empty_trace_still_accounts_static_energy() {
+        let config = SimConfig::with_mem(mem_config(8));
+        let trace = Trace::new(vec![], 1 << 20, 64);
+        let r = run_simulation(
+            &config,
+            SpinDownPolicy::two_competitive(&config.disk_power),
+            &mut NullController,
+            &trace,
+            1200.0,
+            "empty",
+        );
+        assert_eq!(r.cache_accesses, 0);
+        // Disk idles then spins down once; memory naps throughout.
+        assert_eq!(r.spin_downs, 1);
+        assert!(r.energy.mem.static_j > 0.0);
+        assert_eq!(r.mean_latency_secs, 0.0);
+    }
+
+    #[test]
+    fn controller_actions_are_applied() {
+        struct Shrinker;
+        impl PeriodController for Shrinker {
+            fn on_period_end(
+                &mut self,
+                obs: &PeriodObservation,
+                _: &jpmd_mem::AccessLog,
+            ) -> ControlAction {
+                ControlAction {
+                    enabled_banks: Some(obs.enabled_banks.saturating_sub(1).max(1)),
+                    disk_timeout: Some(5.0),
+                }
+            }
+            fn name(&self) -> &str {
+                "shrinker"
+            }
+        }
+        let config = SimConfig::with_mem(mem_config(8));
+        let report = run_simulation(
+            &config,
+            SpinDownPolicy::controlled(f64::INFINITY),
+            &mut Shrinker,
+            &small_trace(),
+            1800.0,
+            "shrink",
+        );
+        assert_eq!(report.periods[0].action.enabled_banks, Some(7));
+        assert_eq!(report.periods[1].observation.enabled_banks, 7);
+        assert_eq!(report.periods[1].action.enabled_banks, Some(6));
+        assert_eq!(report.periods[0].observation.disk_timeout, f64::INFINITY);
+        assert_eq!(report.periods[1].observation.disk_timeout, 5.0);
+    }
+}

@@ -1,0 +1,74 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for statistical constructions and fits.
+///
+/// Returned by [`Pareto::new`](crate::Pareto::new), the estimators in
+/// [`fit`](crate::fit), and [`Zipf::new`](crate::Zipf::new) when parameters
+/// are outside their mathematical domain.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// A distribution parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter (e.g. `"alpha"`).
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable domain description (e.g. `"must be > 1"`).
+        requirement: &'static str,
+    },
+    /// A fit was requested on an empty or degenerate sample.
+    DegenerateSample {
+        /// What made the sample unusable.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::InvalidParameter {
+                name,
+                value,
+                requirement,
+            } => write!(f, "invalid parameter {name} = {value}: {requirement}"),
+            StatsError::DegenerateSample { reason } => {
+                write!(f, "degenerate sample: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = StatsError::InvalidParameter {
+            name: "alpha",
+            value: 0.5,
+            requirement: "must be > 1",
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("alpha"));
+        assert!(msg.contains("0.5"));
+        assert!(msg.starts_with("invalid"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StatsError>();
+    }
+
+    #[test]
+    fn degenerate_sample_display() {
+        let e = StatsError::DegenerateSample {
+            reason: "no intervals",
+        };
+        assert_eq!(e.to_string(), "degenerate sample: no intervals");
+    }
+}

@@ -1,0 +1,174 @@
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::StatsError;
+
+/// A shifted exponential distribution: `x − shift ~ Exp(rate)`.
+///
+/// The classic *memoryless* alternative to the paper's heavy-tailed Pareto
+/// model of disk idle intervals. Under a memoryless model, waiting out a
+/// timeout tells the power manager nothing about the remaining idle time —
+/// so timeout policies cannot beat a coin flip, and the paper's whole
+/// eq. (5) machinery would be pointless. The goodness-of-fit comparison in
+/// [`fit`](crate::fit) / [`ks_statistic`](crate::ks_statistic) shows the
+/// observed idle intervals reject the exponential in favor of the Pareto,
+/// which is the empirical footing of the method (refs. \[19\], \[20\]).
+///
+/// # Example
+///
+/// ```
+/// use jpmd_stats::Exponential;
+///
+/// # fn main() -> Result<(), jpmd_stats::StatsError> {
+/// let e = Exponential::new(0.5, 0.1)?;
+/// assert!((e.mean() - 2.1).abs() < 1e-12);
+/// assert!(e.cdf(0.1) == 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Exponential {
+    rate: f64,
+    shift: f64,
+}
+
+impl Exponential {
+    /// Creates a shifted exponential with the given `rate` (1/mean excess)
+    /// and lower bound `shift`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `rate ≤ 0`, `shift < 0`,
+    /// or either is not finite.
+    pub fn new(rate: f64, shift: f64) -> Result<Self, StatsError> {
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "rate",
+                value: rate,
+                requirement: "must be finite and > 0",
+            });
+        }
+        if !shift.is_finite() || shift < 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "shift",
+                value: shift,
+                requirement: "must be finite and >= 0",
+            });
+        }
+        Ok(Self { rate, shift })
+    }
+
+    /// Fits by the method of moments with a fixed `shift`: the rate is
+    /// `1 / (mean − shift)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DegenerateSample`] when `mean ≤ shift`.
+    pub fn from_mean(mean: f64, shift: f64) -> Result<Self, StatsError> {
+        if mean.partial_cmp(&shift) != Some(std::cmp::Ordering::Greater) {
+            return Err(StatsError::DegenerateSample {
+                reason: "mean must exceed the shift",
+            });
+        }
+        Self::new(1.0 / (mean - shift), shift)
+    }
+
+    /// The rate parameter.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The lower bound.
+    pub fn shift(&self) -> f64 {
+        self.shift
+    }
+
+    /// Mean `shift + 1/rate`.
+    pub fn mean(&self) -> f64 {
+        self.shift + 1.0 / self.rate
+    }
+
+    /// Cumulative distribution function.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= self.shift {
+            0.0
+        } else {
+            1.0 - (-(x - self.shift) * self.rate).exp()
+        }
+    }
+
+    /// Survival function `P(X > x)`.
+    pub fn survival(&self, x: f64) -> f64 {
+        1.0 - self.cdf(x)
+    }
+
+    /// Draws one sample by inverse transform.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        self.shift - u.ln() / self.rate
+    }
+
+    /// Draws `n` samples.
+    pub fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Exponential::new(0.0, 0.1).is_err());
+        assert!(Exponential::new(-1.0, 0.1).is_err());
+        assert!(Exponential::new(1.0, -0.1).is_err());
+        assert!(Exponential::new(f64::NAN, 0.0).is_err());
+        assert!(Exponential::from_mean(0.1, 0.2).is_err());
+    }
+
+    #[test]
+    fn moment_fit_roundtrips() {
+        let e = Exponential::from_mean(2.5, 0.1).unwrap();
+        assert!((e.mean() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_at_known_points() {
+        let e = Exponential::new(1.0, 0.0).unwrap();
+        assert!((e.cdf(1.0) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+        assert_eq!(e.cdf(-1.0), 0.0);
+    }
+
+    #[test]
+    fn sample_mean_converges() {
+        let e = Exponential::new(2.0, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let n = 100_000;
+        let mean = e.sample_n(&mut rng, n).iter().sum::<f64>() / n as f64;
+        assert!((mean - e.mean()).abs() / e.mean() < 0.02);
+    }
+
+    proptest! {
+        #[test]
+        fn cdf_monotone(rate in 0.01f64..10.0, shift in 0.0f64..5.0,
+                        a in 0.0f64..50.0, b in 0.0f64..50.0) {
+            let e = Exponential::new(rate, shift).unwrap();
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            prop_assert!(e.cdf(lo) <= e.cdf(hi) + 1e-12);
+        }
+
+        #[test]
+        fn samples_above_shift(rate in 0.01f64..10.0, shift in 0.0f64..5.0,
+                               seed in any::<u64>()) {
+            let e = Exponential::new(rate, shift).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..32 {
+                prop_assert!(e.sample(&mut rng) >= shift);
+            }
+        }
+    }
+}

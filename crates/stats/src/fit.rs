@@ -1,0 +1,214 @@
+//! Estimators that recover [`Pareto`] parameters from observed idle
+//! intervals.
+//!
+//! The joint power manager fixes the scale `β` to the aggregation window
+//! `w` (the shortest interval it ever records, paper §V-A) and estimates
+//! the shape `α` from the sample mean: since `E[ℓ] = α·β/(α−1)`,
+//!
+//! ```text
+//! α = ℓ̄ / (ℓ̄ − β)
+//! ```
+//!
+//! (paper §IV-C, last paragraph). [`pareto_from_mean`] implements exactly
+//! that, with clamping for the degenerate regimes a live system encounters;
+//! [`pareto_mle`] provides the textbook maximum-likelihood alternative used
+//! by the ablation benches.
+
+use crate::{Pareto, StatsError};
+
+/// Largest shape the moment estimator will return.
+///
+/// `ℓ̄ → β⁺` drives `α → ∞` (all intervals barely exceed the window, so the
+/// disk should effectively never spin down). Clamping keeps the downstream
+/// timeout `t_o = α·t_be` finite.
+pub const ALPHA_MAX: f64 = 1.0e3;
+
+/// Smallest shape the estimators will return.
+///
+/// `α` must exceed 1 for the mean to exist; values this close to 1 already
+/// describe an extremely heavy tail (spin down almost immediately).
+pub const ALPHA_MIN: f64 = 1.0 + 1.0e-6;
+
+/// Estimates a [`Pareto`] from the sample mean with fixed scale `beta`,
+/// as the joint policy does at every period boundary.
+///
+/// The shape is `α = mean/(mean − β)`, clamped to
+/// [`ALPHA_MIN`]`..=`[`ALPHA_MAX`]. A mean at or below `β` (impossible for a
+/// true Pareto sample but reachable through aggregation artifacts) clamps to
+/// [`ALPHA_MAX`]: all intervals are short, so the fitted model must make
+/// long intervals vanishingly likely.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidParameter`] if `beta ≤ 0` or either argument
+/// is not finite, and [`StatsError::DegenerateSample`] if `mean ≤ 0`.
+///
+/// # Example
+///
+/// ```
+/// use jpmd_stats::fit::pareto_from_mean;
+///
+/// # fn main() -> Result<(), jpmd_stats::StatsError> {
+/// // Mean idle interval 0.3 s with a 0.1 s aggregation window:
+/// let p = pareto_from_mean(0.3, 0.1)?;
+/// assert!((p.shape() - 1.5).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn pareto_from_mean(mean: f64, beta: f64) -> Result<Pareto, StatsError> {
+    if !beta.is_finite() || beta <= 0.0 {
+        return Err(StatsError::InvalidParameter {
+            name: "beta",
+            value: beta,
+            requirement: "must be finite and > 0",
+        });
+    }
+    if !mean.is_finite() {
+        return Err(StatsError::InvalidParameter {
+            name: "mean",
+            value: mean,
+            requirement: "must be finite",
+        });
+    }
+    if mean <= 0.0 {
+        return Err(StatsError::DegenerateSample {
+            reason: "mean idle interval must be positive",
+        });
+    }
+    let alpha = if mean <= beta {
+        ALPHA_MAX
+    } else {
+        (mean / (mean - beta)).clamp(ALPHA_MIN, ALPHA_MAX)
+    };
+    Pareto::new(alpha, beta)
+}
+
+/// Maximum-likelihood [`Pareto`] fit with fixed scale `beta`.
+///
+/// The MLE for the shape with known scale is
+/// `α̂ = n / Σ ln(xᵢ/β)`, clamped to [`ALPHA_MIN`]`..=`[`ALPHA_MAX`].
+/// Samples at or below `β` are clamped to `β` first (they arise from the
+/// aggregation window quantizing short gaps).
+///
+/// # Errors
+///
+/// Returns [`StatsError::DegenerateSample`] when `samples` is empty and
+/// [`StatsError::InvalidParameter`] when `beta ≤ 0` or not finite.
+pub fn pareto_mle(samples: &[f64], beta: f64) -> Result<Pareto, StatsError> {
+    if !beta.is_finite() || beta <= 0.0 {
+        return Err(StatsError::InvalidParameter {
+            name: "beta",
+            value: beta,
+            requirement: "must be finite and > 0",
+        });
+    }
+    if samples.is_empty() {
+        return Err(StatsError::DegenerateSample {
+            reason: "cannot fit a distribution to zero samples",
+        });
+    }
+    let log_sum: f64 = samples
+        .iter()
+        .map(|&x| (x.max(beta) / beta).ln())
+        .sum();
+    let alpha = if log_sum <= 0.0 {
+        ALPHA_MAX
+    } else {
+        (samples.len() as f64 / log_sum).clamp(ALPHA_MIN, ALPHA_MAX)
+    };
+    Pareto::new(alpha, beta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moment_fit_matches_paper_formula() {
+        // α = mean / (mean - β)
+        let p = pareto_from_mean(0.5, 0.1).unwrap();
+        assert!((p.shape() - 0.5 / 0.4).abs() < 1e-12);
+        assert_eq!(p.scale(), 0.1);
+    }
+
+    #[test]
+    fn moment_fit_roundtrips_analytic_mean() {
+        for alpha in [1.2, 2.0, 5.0, 20.0] {
+            let truth = Pareto::new(alpha, 0.1).unwrap();
+            let fitted = pareto_from_mean(truth.mean(), 0.1).unwrap();
+            assert!(
+                (fitted.shape() - alpha).abs() < 1e-9,
+                "alpha {alpha} round-trips through the mean"
+            );
+        }
+    }
+
+    #[test]
+    fn short_mean_clamps_to_alpha_max() {
+        let p = pareto_from_mean(0.05, 0.1).unwrap();
+        assert_eq!(p.shape(), ALPHA_MAX);
+        let p = pareto_from_mean(0.1, 0.1).unwrap();
+        assert_eq!(p.shape(), ALPHA_MAX);
+    }
+
+    #[test]
+    fn rejects_nonpositive_mean_and_beta() {
+        assert!(pareto_from_mean(-1.0, 0.1).is_err());
+        assert!(pareto_from_mean(0.0, 0.1).is_err());
+        assert!(pareto_from_mean(1.0, 0.0).is_err());
+        assert!(pareto_from_mean(f64::NAN, 0.1).is_err());
+    }
+
+    #[test]
+    fn mle_recovers_shape_on_synthetic_data() {
+        let truth = Pareto::new(2.5, 0.1).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let samples = truth.sample_n(&mut rng, 100_000);
+        let fitted = pareto_mle(&samples, 0.1).unwrap();
+        assert!(
+            (fitted.shape() - 2.5).abs() < 0.05,
+            "MLE shape = {}",
+            fitted.shape()
+        );
+    }
+
+    #[test]
+    fn mle_rejects_empty() {
+        assert!(matches!(
+            pareto_mle(&[], 0.1),
+            Err(StatsError::DegenerateSample { .. })
+        ));
+    }
+
+    #[test]
+    fn mle_all_at_beta_clamps_high() {
+        let fitted = pareto_mle(&[0.1, 0.1, 0.1], 0.1).unwrap();
+        assert_eq!(fitted.shape(), ALPHA_MAX);
+    }
+
+    proptest! {
+        #[test]
+        fn moment_fit_alpha_in_bounds(mean in 1e-6f64..1e6, beta in 1e-6f64..1e3) {
+            if let Ok(p) = pareto_from_mean(mean, beta) {
+                prop_assert!(p.shape() >= ALPHA_MIN);
+                prop_assert!(p.shape() <= ALPHA_MAX);
+            }
+        }
+
+        #[test]
+        fn heavier_tails_give_smaller_alpha(beta in 1e-3f64..1.0,
+                                            m1 in 1.0f64..10.0,
+                                            extra in 0.1f64..10.0) {
+            // A larger mean (relative to beta) means longer idle intervals
+            // and must fit a smaller alpha.
+            let mean1 = beta * (1.0 + m1);
+            let mean2 = mean1 + extra;
+            let p1 = pareto_from_mean(mean1, beta).unwrap();
+            let p2 = pareto_from_mean(mean2, beta).unwrap();
+            prop_assert!(p2.shape() <= p1.shape() + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Goodness-of-fit machinery: the one-sample Kolmogorov–Smirnov test,
+//! used to check the paper's central modeling assumption — that disk idle
+//! intervals follow a Pareto distribution (§IV-C; refs. \[19\], \[20\]) — on
+//! the traces this simulator actually produces. The `ablation` experiment
+//! compares the Pareto fit against the memoryless exponential alternative.
+
+use crate::StatsError;
+
+/// Result of a Kolmogorov–Smirnov one-sample test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsTest {
+    /// The KS statistic `D = sup |F_n(x) − F(x)|`.
+    pub statistic: f64,
+    /// Asymptotic p-value (Kolmogorov distribution; accurate for n ≳ 35).
+    pub p_value: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+/// Computes the one-sample KS statistic of `samples` against the
+/// hypothesized CDF `cdf`.
+///
+/// The samples need not be sorted. Uses the standard two-sided empirical
+/// bounds `max(i/n − F(x_i), F(x_i) − (i−1)/n)`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::DegenerateSample`] for an empty sample.
+pub fn ks_statistic<F: Fn(f64) -> f64>(samples: &[f64], cdf: F) -> Result<f64, StatsError> {
+    if samples.is_empty() {
+        return Err(StatsError::DegenerateSample {
+            reason: "KS test needs at least one sample",
+        });
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len() as f64;
+    let mut d = 0.0f64;
+    for (i, &x) in sorted.iter().enumerate() {
+        let f = cdf(x).clamp(0.0, 1.0);
+        let upper = (i + 1) as f64 / n - f;
+        let lower = f - i as f64 / n;
+        d = d.max(upper).max(lower);
+    }
+    Ok(d)
+}
+
+/// Runs the one-sample KS test and reports the asymptotic p-value.
+///
+/// The p-value uses the Kolmogorov distribution
+/// `Q(λ) = 2 Σ (−1)^{k−1} e^{−2k²λ²}` with
+/// `λ = (√n + 0.12 + 0.11/√n)·D` (Stephens' approximation).
+///
+/// # Errors
+///
+/// Returns [`StatsError::DegenerateSample`] for an empty sample.
+///
+/// # Example
+///
+/// ```
+/// use jpmd_stats::{ks_test, Pareto};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), jpmd_stats::StatsError> {
+/// let truth = Pareto::new(1.8, 0.1)?;
+/// let mut rng = StdRng::seed_from_u64(5);
+/// let samples = truth.sample_n(&mut rng, 2000);
+/// let ks = ks_test(&samples, |x| truth.cdf(x))?;
+/// assert!(ks.p_value > 0.01, "true model should not be rejected");
+/// # Ok(())
+/// # }
+/// ```
+pub fn ks_test<F: Fn(f64) -> f64>(samples: &[f64], cdf: F) -> Result<KsTest, StatsError> {
+    let d = ks_statistic(samples, cdf)?;
+    let n = samples.len();
+    let sqrt_n = (n as f64).sqrt();
+    let lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d;
+    Ok(KsTest {
+        statistic: d,
+        p_value: kolmogorov_q(lambda),
+        n,
+    })
+}
+
+/// The Kolmogorov survival function `Q(λ)`.
+fn kolmogorov_q(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64).powi(2) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Exponential, Pareto};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_empty_sample() {
+        assert!(ks_statistic(&[], |_| 0.5).is_err());
+    }
+
+    #[test]
+    fn perfect_fit_has_small_statistic() {
+        // Samples at the exact quantiles of U(0,1).
+        let n = 100;
+        let samples: Vec<f64> = (0..n).map(|i| (i as f64 + 0.5) / n as f64).collect();
+        let d = ks_statistic(&samples, |x| x.clamp(0.0, 1.0)).unwrap();
+        assert!(d <= 0.5 / n as f64 + 1e-12, "D = {d}");
+    }
+
+    #[test]
+    fn true_model_not_rejected() {
+        let truth = Pareto::new(1.5, 0.1).unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        let samples = truth.sample_n(&mut rng, 5000);
+        let ks = ks_test(&samples, |x| truth.cdf(x)).unwrap();
+        assert!(ks.p_value > 0.05, "p = {}", ks.p_value);
+    }
+
+    #[test]
+    fn wrong_model_is_rejected() {
+        // Pareto data tested against an exponential with the same mean:
+        // the heavy tail must be detected.
+        let truth = Pareto::new(1.3, 0.1).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        let samples = truth.sample_n(&mut rng, 5000);
+        let expo = Exponential::from_mean(truth.mean(), 0.1).unwrap();
+        let ks = ks_test(&samples, |x| expo.cdf(x)).unwrap();
+        assert!(
+            ks.p_value < 1e-4,
+            "exponential should be strongly rejected, p = {}",
+            ks.p_value
+        );
+    }
+
+    #[test]
+    fn pareto_fits_pareto_better_than_exponential() {
+        // The ablation's core comparison, in miniature.
+        let truth = Pareto::new(1.6, 0.1).unwrap();
+        let mut rng = StdRng::seed_from_u64(23);
+        let samples = truth.sample_n(&mut rng, 3000);
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let pareto = crate::fit::pareto_from_mean(mean, 0.1).unwrap();
+        let expo = Exponential::from_mean(mean, 0.1).unwrap();
+        let d_pareto = ks_statistic(&samples, |x| pareto.cdf(x)).unwrap();
+        let d_expo = ks_statistic(&samples, |x| expo.cdf(x)).unwrap();
+        assert!(
+            d_pareto < d_expo,
+            "pareto D = {d_pareto} must beat exponential D = {d_expo}"
+        );
+    }
+
+    #[test]
+    fn kolmogorov_q_boundaries() {
+        assert_eq!(kolmogorov_q(0.0), 1.0);
+        assert!(kolmogorov_q(0.5) > 0.9);
+        assert!(kolmogorov_q(2.0) < 1e-3);
+    }
+}

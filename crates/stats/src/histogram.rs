@@ -1,0 +1,170 @@
+use serde::{Deserialize, Serialize};
+
+/// A fixed-width histogram over `[lo, hi)` with overflow/underflow buckets.
+///
+/// Used by the experiment harness to report latency and idle-interval
+/// distributions alongside the scalar metrics.
+///
+/// # Example
+///
+/// ```
+/// use jpmd_stats::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 1.0, 10);
+/// h.record(0.05);
+/// h.record(0.05);
+/// h.record(2.0); // overflow
+/// assert_eq!(h.bin_count(0), 2);
+/// assert_eq!(h.overflow(), 1);
+/// assert_eq!(h.total(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width buckets over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "histogram range must be non-empty");
+        Self {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = ((x - self.lo) / width) as usize;
+            // Floating point can land exactly on bins.len() when x is just
+            // below hi; clamp to the last bin.
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Count in bucket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_count(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// Inclusive-exclusive bounds of bucket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_bounds(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.bins.len());
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + i as f64 * width, self.lo + (i + 1) as f64 * width)
+    }
+
+    /// Number of buckets.
+    pub fn num_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Observations below `lo`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above `hi`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations, including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Iterator over `(bin_midpoint, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        self.bins
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (self.lo + (i as f64 + 0.5) * width, c))
+    }
+}
+
+impl Extend<f64> for Histogram {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.record(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn records_fall_in_correct_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(0.0);
+        h.record(9.999);
+        h.record(5.0);
+        assert_eq!(h.bin_count(0), 1);
+        assert_eq!(h.bin_count(9), 1);
+        assert_eq!(h.bin_count(5), 1);
+    }
+
+    #[test]
+    fn under_and_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(-0.1);
+        h.record(1.0);
+        h.record(100.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn bounds_partition_range() {
+        let h = Histogram::new(2.0, 4.0, 4);
+        assert_eq!(h.bin_bounds(0), (2.0, 2.5));
+        assert_eq!(h.bin_bounds(3), (3.5, 4.0));
+    }
+
+    proptest! {
+        #[test]
+        fn total_equals_records(xs in proptest::collection::vec(-10.0f64..10.0, 0..200)) {
+            let mut h = Histogram::new(0.0, 1.0, 7);
+            h.extend(xs.iter().copied());
+            prop_assert_eq!(h.total(), xs.len() as u64);
+        }
+    }
+}

@@ -1,0 +1,220 @@
+use serde::{Deserialize, Serialize};
+
+/// Disk idle intervals extracted from an access timestamp stream, after
+/// applying the paper's *aggregation window* `w`.
+///
+/// "If one disk access is followed by another access and the idle interval
+/// between them is shorter than `w`, this idle time is ignored" (§IV-A):
+/// such gaps provide no opportunity to save energy, so consecutive accesses
+/// closer than `w` are treated as one busy burst. Only gaps `> w` count as
+/// idle intervals.
+///
+/// # Example
+///
+/// ```
+/// use jpmd_stats::IdleIntervals;
+///
+/// // Two bursts separated by a 4.98 s gap; the 0.02 s gap inside the first
+/// // burst is swallowed by the 0.1 s aggregation window.
+/// let idle = IdleIntervals::from_timestamps(&[0.0, 0.02, 5.0], 0.1);
+/// assert_eq!(idle.count(), 1);
+/// assert!((idle.as_slice()[0] - 4.98).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct IdleIntervals {
+    intervals: Vec<f64>,
+    window: f64,
+}
+
+impl IdleIntervals {
+    /// Extracts idle intervals from ascending access timestamps, ignoring
+    /// gaps of `window` seconds or less.
+    ///
+    /// Out-of-order timestamps are tolerated by clamping negative gaps to
+    /// zero (they then fall below the window and are ignored), so a stream
+    /// with simultaneous accesses is handled gracefully.
+    pub fn from_timestamps(timestamps: &[f64], window: f64) -> Self {
+        let mut intervals = Vec::new();
+        for pair in timestamps.windows(2) {
+            let gap = (pair[1] - pair[0]).max(0.0);
+            if gap > window {
+                intervals.push(gap);
+            }
+        }
+        Self { intervals, window }
+    }
+
+    /// Builds directly from pre-computed interval lengths, discarding those
+    /// at or below `window`.
+    pub fn from_lengths<I: IntoIterator<Item = f64>>(lengths: I, window: f64) -> Self {
+        let intervals = lengths.into_iter().filter(|&g| g > window).collect();
+        Self { intervals, window }
+    }
+
+    /// Number of idle intervals (the paper's `n_i`).
+    pub fn count(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// True if no gap exceeded the aggregation window.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// The aggregation window used during extraction.
+    pub fn window(&self) -> f64 {
+        self.window
+    }
+
+    /// Mean interval length (`ℓ̄`), or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.intervals.is_empty() {
+            None
+        } else {
+            Some(self.intervals.iter().sum::<f64>() / self.intervals.len() as f64)
+        }
+    }
+
+    /// Total idle time across intervals.
+    pub fn total(&self) -> f64 {
+        self.intervals.iter().sum()
+    }
+
+    /// Borrowed view of the interval lengths.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.intervals
+    }
+
+    /// Summary statistics (count, mean, min, max, total).
+    pub fn stats(&self) -> IntervalStats {
+        IntervalStats {
+            count: self.count(),
+            mean: self.mean().unwrap_or(0.0),
+            min: self.intervals.iter().copied().fold(f64::INFINITY, f64::min),
+            max: self.intervals.iter().copied().fold(0.0, f64::max),
+            total: self.total(),
+        }
+    }
+}
+
+impl IntoIterator for IdleIntervals {
+    type Item = f64;
+    type IntoIter = std::vec::IntoIter<f64>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.intervals.into_iter()
+    }
+}
+
+/// Descriptive statistics of an [`IdleIntervals`] collection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IntervalStats {
+    /// Number of intervals (`n_i`).
+    pub count: usize,
+    /// Mean length (0 when empty).
+    pub mean: f64,
+    /// Shortest interval (`+∞` when empty).
+    pub min: f64,
+    /// Longest interval (0 when empty).
+    pub max: f64,
+    /// Sum of lengths.
+    pub total: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn window_filters_short_gaps() {
+        let ts = [0.0, 0.05, 0.2, 10.0, 10.01, 30.0];
+        let idle = IdleIntervals::from_timestamps(&ts, 0.1);
+        // Gaps: 0.05 (drop), 0.15 (keep), 9.8 (keep), 0.01 (drop), 19.99 (keep)
+        assert_eq!(idle.count(), 3);
+        assert!((idle.as_slice()[0] - 0.15).abs() < 1e-12);
+        assert!((idle.as_slice()[1] - 9.8).abs() < 1e-12);
+        assert!((idle.as_slice()[2] - 19.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_single_timestamp_yield_no_intervals() {
+        assert!(IdleIntervals::from_timestamps(&[], 0.1).is_empty());
+        assert!(IdleIntervals::from_timestamps(&[5.0], 0.1).is_empty());
+    }
+
+    #[test]
+    fn mean_and_total() {
+        let idle = IdleIntervals::from_lengths([1.0, 3.0], 0.1);
+        assert_eq!(idle.mean(), Some(2.0));
+        assert_eq!(idle.total(), 4.0);
+    }
+
+    #[test]
+    fn from_lengths_filters_at_or_below_window() {
+        let idle = IdleIntervals::from_lengths([0.1, 0.100001, 5.0], 0.1);
+        assert_eq!(idle.count(), 2);
+    }
+
+    #[test]
+    fn out_of_order_timestamps_do_not_panic() {
+        let idle = IdleIntervals::from_timestamps(&[5.0, 1.0, 20.0], 0.1);
+        assert_eq!(idle.count(), 1); // only 1.0 -> 20.0 counts
+    }
+
+    #[test]
+    fn stats_of_empty() {
+        let s = IdleIntervals::default().stats();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.total, 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn all_intervals_exceed_window(
+            gaps in proptest::collection::vec(0.0f64..2.0, 0..64),
+            window in 0.01f64..0.5,
+        ) {
+            let mut t = 0.0;
+            let mut ts = vec![0.0];
+            for g in &gaps {
+                t += g;
+                ts.push(t);
+            }
+            let idle = IdleIntervals::from_timestamps(&ts, window);
+            for &iv in idle.as_slice() {
+                prop_assert!(iv > window);
+            }
+        }
+
+        #[test]
+        fn widening_window_never_increases_count(
+            gaps in proptest::collection::vec(0.0f64..2.0, 0..64),
+        ) {
+            let mut t = 0.0;
+            let mut ts = vec![0.0];
+            for g in &gaps {
+                t += g;
+                ts.push(t);
+            }
+            let narrow = IdleIntervals::from_timestamps(&ts, 0.05);
+            let wide = IdleIntervals::from_timestamps(&ts, 0.5);
+            prop_assert!(wide.count() <= narrow.count());
+        }
+
+        #[test]
+        fn total_idle_bounded_by_span(
+            gaps in proptest::collection::vec(0.0f64..2.0, 1..64),
+        ) {
+            let mut t = 0.0;
+            let mut ts = vec![0.0];
+            for g in &gaps {
+                t += g;
+                ts.push(t);
+            }
+            let idle = IdleIntervals::from_timestamps(&ts, 0.1);
+            prop_assert!(idle.total() <= t + 1e-9);
+        }
+    }
+}

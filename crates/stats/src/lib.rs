@@ -1,0 +1,59 @@
+//! Statistical substrate for the `jpmd` workspace.
+//!
+//! The joint power manager of Cai, Pettis and Lu (DATE'05 / TCAD'06) leans on
+//! a small set of statistical tools, all of which live in this crate so the
+//! policy, workload, memory and disk crates can share one implementation:
+//!
+//! * [`Pareto`] — the heavy-tailed distribution used to model disk
+//!   idle-interval lengths (paper §IV-C, eq. 1), with pdf/cdf/quantile,
+//!   sampling, and the moment/MLE estimators in [`fit`].
+//! * [`Zipf`] — the file-popularity sampler behind the synthetic web-server
+//!   workloads (popular files receive most requests, Arlitt & Williamson).
+//! * [`IdleIntervals`] — extraction of disk idle intervals from an access
+//!   timestamp stream with the paper's *aggregation window* `w`: gaps
+//!   shorter than `w` provide no power-saving opportunity and are ignored.
+//! * [`Summary`] / [`Welford`] — streaming descriptive statistics used by
+//!   the metrics pipeline.
+//! * [`Histogram`] — fixed-bin histograms for latency and interval reports.
+//!
+//! # Example
+//!
+//! Fit a Pareto distribution to observed idle gaps and recover the optimal
+//! spin-down timeout `t_o = α·t_be` of the paper's eq. (5):
+//!
+//! ```
+//! use jpmd_stats::{IdleIntervals, fit};
+//!
+//! # fn main() -> Result<(), jpmd_stats::StatsError> {
+//! // Disk access completion/arrival timestamps in seconds.
+//! let accesses = [0.0, 0.02, 5.0, 5.05, 30.0, 31.0, 90.0];
+//! let idle = IdleIntervals::from_timestamps(&accesses, 0.1);
+//! let pareto = fit::pareto_from_mean(idle.mean().unwrap(), 0.1)?;
+//! let t_be = 11.7; // disk break-even time in seconds
+//! let timeout = pareto.shape() * t_be;
+//! assert!(timeout > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod exponential;
+pub mod fit;
+mod gof;
+mod histogram;
+mod intervals;
+mod pareto;
+mod summary;
+mod zipf;
+
+pub use error::StatsError;
+pub use exponential::Exponential;
+pub use gof::{ks_statistic, ks_test, KsTest};
+pub use histogram::Histogram;
+pub use intervals::{IdleIntervals, IntervalStats};
+pub use pareto::Pareto;
+pub use summary::{percentile, Summary, Welford};
+pub use zipf::Zipf;

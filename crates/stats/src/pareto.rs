@@ -1,0 +1,281 @@
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::StatsError;
+
+/// A (type-I) Pareto distribution with shape `α` and scale `β`.
+///
+/// The paper (eq. 1) models the length `ℓ` of disk idle intervals as
+///
+/// ```text
+/// f(ℓ) = α βᵅ / ℓ^(α+1),    ℓ > β,  α > 1
+/// ```
+///
+/// `β` is the length of the shortest idle interval (in `jpmd` this is the
+/// aggregation window `w`); a smaller `α` or larger `β` makes long idle
+/// intervals more likely (paper Fig. 5). The `α > 1` restriction keeps the
+/// mean finite, which the joint policy relies on: the mean is
+/// `α·β/(α−1)` and the optimal spin-down timeout is `t_o = α·t_be`
+/// (paper eq. 5).
+///
+/// # Example
+///
+/// ```
+/// use jpmd_stats::Pareto;
+///
+/// # fn main() -> Result<(), jpmd_stats::StatsError> {
+/// let p = Pareto::new(2.0, 0.1)?;
+/// assert!((p.mean() - 0.2).abs() < 1e-12);
+/// // Probability an idle interval exceeds a 1-second timeout:
+/// let tail = p.survival(1.0);
+/// assert!((tail - 0.01).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Pareto {
+    alpha: f64,
+    beta: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto distribution with shape `alpha` and scale `beta`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `alpha ≤ 1` (the paper
+    /// requires a finite mean), if `beta ≤ 0`, or if either is not finite.
+    pub fn new(alpha: f64, beta: f64) -> Result<Self, StatsError> {
+        if !alpha.is_finite() || alpha <= 1.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "alpha",
+                value: alpha,
+                requirement: "must be finite and > 1",
+            });
+        }
+        if !beta.is_finite() || beta <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "beta",
+                value: beta,
+                requirement: "must be finite and > 0",
+            });
+        }
+        Ok(Self { alpha, beta })
+    }
+
+    /// The shape parameter `α`.
+    pub fn shape(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The scale parameter `β` (the shortest representable interval).
+    pub fn scale(&self) -> f64 {
+        self.beta
+    }
+
+    /// Probability density `f(x)`; zero for `x ≤ β`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        if x <= self.beta {
+            0.0
+        } else {
+            self.alpha * self.beta.powf(self.alpha) / x.powf(self.alpha + 1.0)
+        }
+    }
+
+    /// Cumulative distribution `F(x) = P(ℓ ≤ x)`; zero for `x ≤ β`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= self.beta {
+            0.0
+        } else {
+            1.0 - (self.beta / x).powf(self.alpha)
+        }
+    }
+
+    /// Survival function `P(ℓ > x) = (β/x)^α` for `x > β`, else 1.
+    ///
+    /// This is the `∫ₜ∞ f(ℓ)dℓ` term the paper uses in eqs. (2), (3) and
+    /// (6) for the probability an idle interval outlives a timeout `t`.
+    pub fn survival(&self, x: f64) -> f64 {
+        if x <= self.beta {
+            1.0
+        } else {
+            (self.beta / x).powf(self.alpha)
+        }
+    }
+
+    /// Quantile function: the `p`-quantile for `p ∈ [0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1)`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..1.0).contains(&p), "quantile requires p in [0,1)");
+        self.beta / (1.0 - p).powf(1.0 / self.alpha)
+    }
+
+    /// Mean `α·β/(α−1)` (finite because `α > 1`).
+    pub fn mean(&self) -> f64 {
+        self.alpha * self.beta / (self.alpha - 1.0)
+    }
+
+    /// Mean of the *excess* `E[ℓ − t | ℓ > t]·P(ℓ > t)` — the expected
+    /// sleep time contributed by one idle interval under timeout `t`.
+    ///
+    /// The paper's eq. (2) computes the total expected off-time as
+    /// `t_s = n_i · (β/t)^(α−1) · β/(α−1)`; this method returns the
+    /// per-interval factor `(β/t)^(α−1) · β/(α−1)` for `t ≥ β`. For
+    /// `t < β` the timeout always expires before `β`, and every interval
+    /// sleeps for its full length minus `t`, i.e. `mean() − t`.
+    pub fn expected_sleep(&self, timeout: f64) -> f64 {
+        if timeout < self.beta {
+            self.mean() - timeout
+        } else {
+            (self.beta / timeout).powf(self.alpha - 1.0) * self.beta / (self.alpha - 1.0)
+        }
+    }
+
+    /// Draws one sample via inverse-transform sampling.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 1 - U is uniform on (0, 1]; avoid division by zero at U = 1.
+        let u: f64 = rng.gen_range(0.0..1.0);
+        self.beta / (1.0 - u).powf(1.0 / self.alpha)
+    }
+
+    /// Draws `n` samples.
+    pub fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Pareto::new(1.0, 0.1).is_err());
+        assert!(Pareto::new(0.5, 0.1).is_err());
+        assert!(Pareto::new(f64::NAN, 0.1).is_err());
+        assert!(Pareto::new(2.0, 0.0).is_err());
+        assert!(Pareto::new(2.0, -1.0).is_err());
+        assert!(Pareto::new(2.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn pdf_integrates_to_one_numerically() {
+        let p = Pareto::new(2.5, 0.1).unwrap();
+        // Trapezoid rule on a log grid from beta to a far tail cut.
+        let mut sum = 0.0;
+        // Start infinitesimally above beta: pdf(beta) itself is 0 by the
+        // open-interval definition, which would bias the first trapezoid.
+        let mut x = 0.1f64 * (1.0 + 1e-12);
+        let factor = 1.001f64;
+        while x < 1e6 {
+            let x2 = x * factor;
+            sum += 0.5 * (p.pdf(x) + p.pdf(x2)) * (x2 - x);
+            x = x2;
+        }
+        assert!((sum - 1.0).abs() < 1e-3, "integral = {sum}");
+    }
+
+    #[test]
+    fn cdf_matches_closed_form_points() {
+        let p = Pareto::new(2.0, 1.0).unwrap();
+        assert_eq!(p.cdf(1.0), 0.0);
+        assert!((p.cdf(2.0) - 0.75).abs() < 1e-12);
+        assert!((p.survival(2.0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_matches_paper_formula() {
+        let p = Pareto::new(3.0, 0.5).unwrap();
+        assert!((p.mean() - 3.0 * 0.5 / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_sleep_at_beta_equals_mean_minus_beta() {
+        // At t = β every interval triggers shutdown; expected sleep is
+        // E[ℓ] − β.
+        let p = Pareto::new(2.0, 0.1).unwrap();
+        assert!((p.expected_sleep(0.1) - (p.mean() - 0.1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_sleep_decreases_with_timeout() {
+        let p = Pareto::new(1.5, 0.1).unwrap();
+        let mut prev = f64::INFINITY;
+        for t in [0.1, 0.5, 1.0, 5.0, 20.0, 100.0] {
+            let s = p.expected_sleep(t);
+            assert!(s < prev, "expected_sleep must be strictly decreasing");
+            assert!(s > 0.0);
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn sample_mean_approaches_analytic_mean() {
+        let p = Pareto::new(3.0, 0.2).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200_000;
+        let mean: f64 = p.sample_n(&mut rng, n).iter().sum::<f64>() / n as f64;
+        assert!(
+            (mean - p.mean()).abs() / p.mean() < 0.02,
+            "sample mean {mean} vs analytic {}",
+            p.mean()
+        );
+    }
+
+    #[test]
+    fn fig5_shape_ordering() {
+        // Paper Fig. 5: larger α / smaller β concentrates mass on short
+        // intervals; smaller α / larger β yields more long intervals.
+        let short = Pareto::new(3.0, 0.1).unwrap(); // α1 > α2, β1 < β2
+        let long = Pareto::new(1.3, 0.5).unwrap();
+        for x in [1.0, 5.0, 20.0] {
+            assert!(
+                long.survival(x) > short.survival(x),
+                "heavy-tailed curve must dominate at x = {x}"
+            );
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn quantile_inverts_cdf(alpha in 1.01f64..20.0, beta in 1e-3f64..10.0,
+                                p in 0.0f64..0.999) {
+            let d = Pareto::new(alpha, beta).unwrap();
+            let x = d.quantile(p);
+            prop_assert!((d.cdf(x) - p).abs() < 1e-9);
+        }
+
+        #[test]
+        fn samples_are_above_beta(alpha in 1.01f64..20.0, beta in 1e-3f64..10.0,
+                                  seed in any::<u64>()) {
+            let d = Pareto::new(alpha, beta).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..64 {
+                prop_assert!(d.sample(&mut rng) >= beta);
+            }
+        }
+
+        #[test]
+        fn cdf_is_monotone(alpha in 1.01f64..20.0, beta in 1e-3f64..10.0,
+                           a in 0.0f64..100.0, b in 0.0f64..100.0) {
+            let d = Pareto::new(alpha, beta).unwrap();
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            prop_assert!(d.cdf(lo) <= d.cdf(hi) + 1e-12);
+        }
+
+        #[test]
+        fn survival_complements_cdf(alpha in 1.01f64..20.0, beta in 1e-3f64..10.0,
+                                    x in 1e-3f64..1e3) {
+            let d = Pareto::new(alpha, beta).unwrap();
+            if x > beta {
+                prop_assert!((d.cdf(x) + d.survival(x) - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+}

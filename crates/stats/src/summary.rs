@@ -1,0 +1,267 @@
+use serde::{Deserialize, Serialize};
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// Used throughout the metrics pipeline where storing every latency sample
+/// would be wasteful. Numerically stable for long runs.
+///
+/// # Example
+///
+/// ```
+/// use jpmd_stats::Welford;
+///
+/// let mut w = Welford::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     w.push(x);
+/// }
+/// assert_eq!(w.mean(), 2.5);
+/// assert!((w.variance() - 5.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample variance (n−1 denominator; 0 for fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`+∞` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`−∞` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.count as f64
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Finalizes into an immutable [`Summary`].
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.count,
+            mean: self.mean(),
+            std_dev: self.std_dev(),
+            min: self.min,
+            max: self.max,
+            sum: self.sum(),
+        }
+    }
+}
+
+impl Extend<f64> for Welford {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for Welford {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut w = Welford::new();
+        w.extend(iter);
+        w
+    }
+}
+
+/// Immutable descriptive statistics produced by [`Welford::summary`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: u64,
+    /// Mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Minimum (`+∞` when empty).
+    pub min: f64,
+    /// Maximum (`−∞` when empty).
+    pub max: f64,
+    /// Sum.
+    pub sum: f64,
+}
+
+/// Linear-interpolated percentile of an **already sorted** slice.
+///
+/// `q` is in `[0, 1]`; returns `None` for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use jpmd_stats::percentile;
+///
+/// let sorted = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(percentile(&sorted, 0.5), Some(2.5));
+/// assert_eq!(percentile(&sorted, 1.0), Some(4.0));
+/// ```
+pub fn percentile(sorted: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "q must be in [0,1]");
+    if sorted.is_empty() {
+        return None;
+    }
+    if sorted.len() == 1 {
+        return Some(sorted[0]);
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_welford_is_safe() {
+        let w = Welford::new();
+        assert_eq!(w.count(), 0);
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.sum(), 0.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let w: Welford = [5.0].into_iter().collect();
+        assert_eq!(w.mean(), 5.0);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.min(), 5.0);
+        assert_eq!(w.max(), 5.0);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let seq: Welford = xs.iter().copied().collect();
+        let mut a: Welford = xs[..37].iter().copied().collect();
+        let b: Welford = xs[37..].iter().copied().collect();
+        a.merge(&b);
+        assert_eq!(a.count(), seq.count());
+        assert!((a.mean() - seq.mean()).abs() < 1e-12);
+        assert!((a.variance() - seq.variance()).abs() < 1e-10);
+        assert_eq!(a.min(), seq.min());
+        assert_eq!(a.max(), seq.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut w: Welford = [1.0, 2.0].into_iter().collect();
+        let before = w;
+        w.merge(&Welford::new());
+        assert_eq!(w, before);
+        let mut e = Welford::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn percentile_edges() {
+        let sorted = [1.0, 2.0, 3.0];
+        assert_eq!(percentile(&sorted, 0.0), Some(1.0));
+        assert_eq!(percentile(&sorted, 1.0), Some(3.0));
+        assert_eq!(percentile(&[], 0.5), None);
+        assert_eq!(percentile(&[7.0], 0.9), Some(7.0));
+    }
+
+    proptest! {
+        #[test]
+        fn welford_mean_matches_naive(xs in proptest::collection::vec(-1e3f64..1e3, 1..200)) {
+            let w: Welford = xs.iter().copied().collect();
+            let naive = xs.iter().sum::<f64>() / xs.len() as f64;
+            prop_assert!((w.mean() - naive).abs() < 1e-9);
+        }
+
+        #[test]
+        fn percentile_within_bounds(
+            mut xs in proptest::collection::vec(-1e3f64..1e3, 1..100),
+            q in 0.0f64..=1.0,
+        ) {
+            xs.sort_by(f64::total_cmp);
+            let p = percentile(&xs, q).unwrap();
+            prop_assert!(p >= xs[0] - 1e-9 && p <= xs[xs.len() - 1] + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,218 @@
+use rand::Rng;
+
+use crate::StatsError;
+
+/// A Zipf(-like) sampler over ranks `0..n`, used for file popularity in the
+/// synthetic web-server workloads.
+///
+/// Web-server request streams are famously Zipf-distributed (Arlitt &
+/// Williamson, paper ref. \[42\]): rank `k` (0-based) is drawn with
+/// probability proportional to `1/(k+1)^s`. The exponent `s` controls how
+/// *dense* the popularity is — larger `s` concentrates accesses on fewer
+/// files, which is exactly the knob the paper's workload synthesizer turns
+/// (popularity 0.05 … 0.6, defined as the fraction of the data set that
+/// receives 90 % of accesses).
+///
+/// Sampling uses a precomputed cumulative table with binary search: O(n)
+/// setup, O(log n) per draw, exact probabilities. For the file counts used
+/// here (≤ a few hundred thousand) this is both simpler and faster than
+/// rejection samplers.
+///
+/// # Example
+///
+/// ```
+/// use jpmd_stats::Zipf;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), jpmd_stats::StatsError> {
+/// let zipf = Zipf::new(1000, 0.9)?;
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let rank = zipf.sample(&mut rng);
+/// assert!(rank < 1000);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    /// Cumulative probabilities; `cdf[k]` = P(rank ≤ k).
+    cdf: Vec<f64>,
+    exponent: f64,
+}
+
+impl Zipf {
+    /// Creates a Zipf sampler over `n` ranks with exponent `s`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] when `n == 0`, or when `s`
+    /// is negative or not finite (`s = 0` is permitted and yields a uniform
+    /// distribution).
+    pub fn new(n: usize, s: f64) -> Result<Self, StatsError> {
+        if n == 0 {
+            return Err(StatsError::InvalidParameter {
+                name: "n",
+                value: 0.0,
+                requirement: "must be >= 1",
+            });
+        }
+        if !s.is_finite() || s < 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "s",
+                value: s,
+                requirement: "must be finite and >= 0",
+            });
+        }
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating-point shortfall at the end.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Ok(Self { cdf, exponent: s })
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when there is exactly one rank (never zero by construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The exponent `s`.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Probability of rank `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+
+    /// Draws a rank in `0..len()`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        // partition_point returns the first index with cdf[i] >= u.
+        self.cdf.partition_point(|&c| c < u)
+    }
+
+    /// Smallest number of top ranks whose combined probability reaches
+    /// `mass` (e.g. `0.9` for "files receiving 90 % of accesses").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mass` is outside `[0, 1]`.
+    pub fn ranks_for_mass(&self, mass: f64) -> usize {
+        assert!((0.0..=1.0).contains(&mass), "mass must be in [0,1]");
+        self.cdf.partition_point(|&c| c < mass) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, -0.1).is_err());
+        assert!(Zipf::new(10, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn uniform_when_exponent_zero() {
+        let z = Zipf::new(4, 0.0).unwrap();
+        for k in 0..4 {
+            assert!((z.pmf(k) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rank_zero_is_most_popular() {
+        let z = Zipf::new(100, 1.0).unwrap();
+        for k in 1..100 {
+            assert!(z.pmf(0) >= z.pmf(k));
+        }
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(1000, 0.8).unwrap();
+        let sum: f64 = (0..1000).map(|k| z.pmf(k)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empirical_frequencies_match_pmf() {
+        let z = Zipf::new(50, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 200_000;
+        let mut counts = vec![0usize; 50];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for k in [0usize, 1, 5, 20] {
+            let emp = counts[k] as f64 / n as f64;
+            assert!(
+                (emp - z.pmf(k)).abs() < 0.01,
+                "rank {k}: empirical {emp} vs pmf {}",
+                z.pmf(k)
+            );
+        }
+    }
+
+    #[test]
+    fn ranks_for_mass_monotone_in_exponent() {
+        // Denser popularity (larger s) needs fewer ranks for 90 % of mass.
+        let sparse = Zipf::new(10_000, 0.6).unwrap();
+        let dense = Zipf::new(10_000, 1.3).unwrap();
+        assert!(dense.ranks_for_mass(0.9) < sparse.ranks_for_mass(0.9));
+    }
+
+    #[test]
+    fn ranks_for_mass_boundaries() {
+        let z = Zipf::new(10, 1.0).unwrap();
+        assert_eq!(z.ranks_for_mass(0.0), 1);
+        assert_eq!(z.ranks_for_mass(1.0), 10);
+    }
+
+    proptest! {
+        #[test]
+        fn samples_in_range(n in 1usize..2000, s in 0.0f64..2.5, seed in any::<u64>()) {
+            let z = Zipf::new(n, s).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..32 {
+                prop_assert!(z.sample(&mut rng) < n);
+            }
+        }
+
+        #[test]
+        fn pmf_is_nonincreasing(n in 2usize..500, s in 0.0f64..3.0) {
+            let z = Zipf::new(n, s).unwrap();
+            for k in 1..n {
+                prop_assert!(z.pmf(k) <= z.pmf(k - 1) + 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! `trace-tool` — generate, inspect, and transform `jpmd` workload traces
+//! from the command line.
+//!
+//! ```text
+//! trace-tool gen <out.json> [data_gb] [rate_mb] [popularity] [secs] [seed]
+//! trace-tool stats <trace.json>
+//! trace-tool scale-rate <in.json> <out.json> <factor>
+//! trace-tool scale-data <in.json> <out.json> <growth>
+//! ```
+//!
+//! Traces are the JSON produced by [`Trace::to_writer`]; `gen` uses the
+//! same generator as the experiment harness, so a saved trace replays
+//! byte-identically through the simulator (see the `determinism`
+//! integration tests).
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+use jpmd_trace::{synth, Trace, TraceStats, WorkloadBuilder, GIB, MIB};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  trace-tool gen <out.json> [data_gb] [rate_mb] [popularity] [secs] [seed]\n  \
+         trace-tool stats <trace.json>\n  \
+         trace-tool scale-rate <in.json> <out.json> <factor>\n  \
+         trace-tool scale-data <in.json> <out.json> <growth>"
+    );
+    ExitCode::FAILURE
+}
+
+fn load(path: &str) -> Result<Trace, Box<dyn std::error::Error>> {
+    Ok(Trace::from_reader(BufReader::new(File::open(path)?))?)
+}
+
+fn save(trace: &Trace, path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    trace.to_writer(BufWriter::new(File::create(path)?))?;
+    println!("wrote {path}: {} records", trace.records().len());
+    Ok(())
+}
+
+fn print_stats(trace: &Trace) {
+    let s = TraceStats::measure(trace);
+    println!("records            {}", s.requests);
+    println!("span               {:.1} s", s.span_secs);
+    println!("pages requested    {}", s.pages_requested);
+    println!(
+        "mean rate          {:.2} MB/s",
+        s.mean_rate_bytes_per_sec / (1024.0 * 1024.0)
+    );
+    println!("unique files       {}", s.unique_files);
+    println!(
+        "data set           {:.2} GB ({} pages of {} KiB)",
+        trace.data_set_bytes() as f64 / GIB as f64,
+        trace.total_pages(),
+        trace.page_bytes() / 1024
+    );
+}
+
+fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(cmd) = args.get(1) else {
+        return Ok(usage());
+    };
+    match cmd.as_str() {
+        "gen" => {
+            let Some(out) = args.get(2) else {
+                return Ok(usage());
+            };
+            let data_gb: u64 = args.get(3).map_or(Ok(16), |s| s.parse())?;
+            let rate_mb: u64 = args.get(4).map_or(Ok(100), |s| s.parse())?;
+            let popularity: f64 = args.get(5).map_or(Ok(0.1), |s| s.parse())?;
+            let secs: f64 = args.get(6).map_or(Ok(3600.0), |s| s.parse())?;
+            let seed: u64 = args.get(7).map_or(Ok(42), |s| s.parse())?;
+            let trace = WorkloadBuilder::new()
+                .data_set_bytes(data_gb * GIB)
+                .rate_bytes_per_sec(rate_mb * MIB)
+                .popularity(popularity)
+                .duration_secs(secs)
+                .seed(seed)
+                .build()?;
+            save(&trace, out)?;
+            print_stats(&trace);
+        }
+        "stats" => {
+            let Some(path) = args.get(2) else {
+                return Ok(usage());
+            };
+            print_stats(&load(path)?);
+        }
+        "scale-rate" => {
+            let (Some(inp), Some(out), Some(factor)) = (args.get(2), args.get(3), args.get(4))
+            else {
+                return Ok(usage());
+            };
+            let scaled = synth::scale_rate(&load(inp)?, factor.parse()?)?;
+            save(&scaled, out)?;
+        }
+        "scale-data" => {
+            let (Some(inp), Some(out), Some(growth)) = (args.get(2), args.get(3), args.get(4))
+            else {
+                return Ok(usage());
+            };
+            let trace = load(inp)?;
+            // Reconstruct the file set from the trace's whole-file
+            // records; files the trace never touches are unknown and get a
+            // 1-page placeholder (they receive no accesses either way).
+            let max_file = trace
+                .records()
+                .iter()
+                .map(|r| r.file.0)
+                .max()
+                .ok_or("cannot scale an empty trace")?;
+            let mut counts: Vec<u64> = vec![1; max_file as usize + 1];
+            for r in trace.records() {
+                counts[r.file.0 as usize] = r.pages;
+            }
+            let fileset = jpmd_trace::FileSet::from_page_counts(counts, trace.page_bytes())?;
+            let (scaled, _) = synth::scale_data_set(&trace, &fileset, growth.parse()?)?;
+            save(&scaled, out)?;
+        }
+        _ => return Ok(usage()),
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,66 @@
+use std::error::Error;
+use std::fmt;
+
+use jpmd_stats::StatsError;
+
+/// Error type for workload construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// A builder parameter was outside its valid domain.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// What the parameter must satisfy.
+        requirement: &'static str,
+    },
+    /// A statistical sub-construction failed.
+    Stats(StatsError),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::InvalidConfig { name, requirement } => {
+                write!(f, "invalid workload configuration: {name} {requirement}")
+            }
+            TraceError::Stats(e) => write!(f, "statistics error: {e}"),
+        }
+    }
+}
+
+impl Error for TraceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TraceError::Stats(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StatsError> for TraceError {
+    fn from(e: StatsError) -> Self {
+        TraceError::Stats(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_parameter() {
+        let e = TraceError::InvalidConfig {
+            name: "rate",
+            requirement: "must be positive",
+        };
+        assert!(e.to_string().contains("rate"));
+    }
+
+    #[test]
+    fn stats_error_converts_and_chains() {
+        let inner = StatsError::DegenerateSample { reason: "empty" };
+        let e: TraceError = inner.clone().into();
+        assert!(e.to_string().contains("empty"));
+        assert!(Error::source(&e).is_some());
+    }
+}

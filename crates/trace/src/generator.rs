@@ -1,0 +1,544 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use jpmd_stats::Zipf;
+
+use jpmd_stats::Pareto;
+
+use crate::{AccessKind, FileId, FileSet, SizeClass, SizeProfile, Trace, TraceError, TraceRecord, MIB};
+
+/// Request inter-arrival model.
+///
+/// Web and file-server traffic is famously *not* Poisson: think times and
+/// burst structure give disk idle intervals heavy tails (paper refs. \[20\],
+/// \[21\]), which is precisely why the joint method models idleness with a
+/// Pareto distribution (§IV-C). The generator supports both, so the
+/// Pareto-assumption validation can contrast them.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize, Default)]
+pub enum ArrivalModel {
+    /// Exponential inter-arrivals (memoryless) — the null model.
+    #[default]
+    Poisson,
+    /// Pareto inter-arrivals with this shape `α` (1 < α): bursts separated
+    /// by heavy-tailed think times, with the mean matched to the target
+    /// byte rate. Smaller `α` = burstier.
+    ParetoBursts {
+        /// Tail exponent of the inter-arrival distribution.
+        alpha: f64,
+    },
+}
+
+/// Finds the Zipf exponent whose hot set matches a target popularity.
+///
+/// The paper defines *popularity* as "the ratio between the size of the most
+/// popular data receiving 90 % of total accesses and the size of the total
+/// data set" (§V-A): 0.1 means 10 % of the bytes take 90 % of the requests
+/// (dense), 0.6 means accesses are spread out (sparse).
+///
+/// Given a file set ranked by popularity, this performs a bisection on the
+/// Zipf exponent `s`: larger `s` concentrates accesses on fewer files and
+/// therefore yields a *smaller* popularity fraction. The achievable range is
+/// roughly `(0, 0.9]` — at `s = 0` accesses are uniform, so 90 % of accesses
+/// land on 90 % of the data.
+///
+/// # Errors
+///
+/// Returns [`TraceError::InvalidConfig`] if `target` is outside `(0, 1)`.
+///
+/// # Example
+///
+/// ```
+/// use jpmd_trace::{calibrate_popularity, FileSet};
+///
+/// # fn main() -> Result<(), jpmd_trace::TraceError> {
+/// let fs = FileSet::from_page_counts(vec![4; 1000], 4096)?;
+/// let s = calibrate_popularity(&fs, 0.1)?;
+/// assert!(s > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn calibrate_popularity(fileset: &FileSet, target: f64) -> Result<f64, TraceError> {
+    if !(target > 0.0 && target < 1.0) {
+        return Err(TraceError::InvalidConfig {
+            name: "popularity",
+            requirement: "must be in (0, 1)",
+        });
+    }
+    let total = fileset.total_pages() as f64;
+    let fraction = |s: f64| -> f64 {
+        let zipf = Zipf::new(fileset.len(), s).expect("len >= 1 and s >= 0 are valid");
+        let hot_ranks = zipf.ranks_for_mass(0.9);
+        fileset.prefix_pages(hot_ranks) as f64 / total
+    };
+    let (mut lo, mut hi) = (0.0f64, 16.0f64);
+    if fraction(lo) <= target {
+        return Ok(lo);
+    }
+    if fraction(hi) >= target {
+        return Ok(hi);
+    }
+    // fraction is non-increasing in s; bisect until the bracket is tight.
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if fraction(mid) > target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-6 {
+            break;
+        }
+    }
+    Ok(0.5 * (lo + hi))
+}
+
+/// Builder for synthetic web-server workloads.
+///
+/// Produces a [`Trace`] with three independently controlled characteristics
+/// — data-set size, byte rate, and popularity — matching the knobs the
+/// paper's workload synthesizer turns (§V-A). Requests arrive as a Poisson
+/// process whose rate is matched to the target byte rate through the
+/// *popularity-weighted* mean file size, and each request reads one whole
+/// file chosen by a calibrated Zipf distribution.
+///
+/// # Example
+///
+/// ```
+/// use jpmd_trace::{WorkloadBuilder, MIB};
+///
+/// # fn main() -> Result<(), jpmd_trace::TraceError> {
+/// let trace = WorkloadBuilder::new()
+///     .data_set_bytes(64 * MIB)
+///     .rate_bytes_per_sec(4 * MIB)
+///     .popularity(0.2)
+///     .duration_secs(30.0)
+///     .seed(42)
+///     .build()?;
+/// assert!(trace.span() <= 30.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadBuilder {
+    data_set_bytes: u64,
+    page_bytes: u64,
+    rate_bytes_per_sec: u64,
+    popularity: f64,
+    duration_secs: f64,
+    seed: u64,
+    profile: Option<SizeProfile>,
+    write_fraction: f64,
+    arrivals: ArrivalModel,
+}
+
+impl Default for WorkloadBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WorkloadBuilder {
+    /// Creates a builder with the paper's defaults: 16 GB data set scaled
+    /// to 1 MiB pages, 100 MB/s, popularity 0.1, 1 h duration.
+    pub fn new() -> Self {
+        Self {
+            data_set_bytes: 16 * 1024 * MIB,
+            page_bytes: MIB,
+            rate_bytes_per_sec: 100 * MIB,
+            popularity: 0.1,
+            duration_secs: 3600.0,
+            seed: 0,
+            profile: None,
+            write_fraction: 0.0,
+            arrivals: ArrivalModel::Poisson,
+        }
+    }
+
+    /// Sets the data-set size in bytes.
+    pub fn data_set_bytes(&mut self, bytes: u64) -> &mut Self {
+        self.data_set_bytes = bytes;
+        self
+    }
+
+    /// Sets the page size in bytes (default 1 MiB; see `DESIGN.md` for the
+    /// scale substitution).
+    pub fn page_bytes(&mut self, bytes: u64) -> &mut Self {
+        self.page_bytes = bytes;
+        self
+    }
+
+    /// Sets the target byte rate.
+    pub fn rate_bytes_per_sec(&mut self, rate: u64) -> &mut Self {
+        self.rate_bytes_per_sec = rate;
+        self
+    }
+
+    /// Sets the target popularity: the fraction of the data set receiving
+    /// 90 % of accesses (dense 0.05 … sparse 0.6).
+    pub fn popularity(&mut self, fraction: f64) -> &mut Self {
+        self.popularity = fraction;
+        self
+    }
+
+    /// Sets the trace duration in seconds.
+    pub fn duration_secs(&mut self, secs: f64) -> &mut Self {
+        self.duration_secs = secs;
+        self
+    }
+
+    /// Sets the RNG seed (traces are fully deterministic per seed).
+    pub fn seed(&mut self, seed: u64) -> &mut Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Selects the inter-arrival model (default: Poisson).
+    pub fn arrivals(&mut self, model: ArrivalModel) -> &mut Self {
+        self.arrivals = model;
+        self
+    }
+
+    /// Sets the fraction of requests that are writes (default 0 — web
+    /// GET workloads are read-dominated). Writes go through the write-back
+    /// cache: they dirty pages and reach the disk only on eviction or
+    /// periodic sync.
+    pub fn write_fraction(&mut self, fraction: f64) -> &mut Self {
+        self.write_fraction = fraction;
+        self
+    }
+
+    /// Overrides the file-size profile (default: a page-scaled mixture, see
+    /// [`WorkloadBuilder::default_profile`]).
+    pub fn profile(&mut self, profile: SizeProfile) -> &mut Self {
+        self.profile = Some(profile);
+        self
+    }
+
+    /// The default file-size mixture for a given page size.
+    ///
+    /// SPECWeb99's byte-level classes collapse to single pages once the
+    /// simulation page is 1 MiB, so the default profile keeps the *class
+    /// structure* (four classes, 35/50/14/1 weights) but expresses sizes in
+    /// pages: 1–2, 2–8, 8–32, and 32–128 pages. At 4 kB pages this is
+    /// 4–512 kB — close to SPECWeb99's own range.
+    pub fn default_profile(page_bytes: u64) -> SizeProfile {
+        SizeProfile::Classes(vec![
+            SizeClass {
+                min_bytes: page_bytes,
+                max_bytes: 2 * page_bytes,
+                weight: 35.0,
+            },
+            SizeClass {
+                min_bytes: 2 * page_bytes,
+                max_bytes: 8 * page_bytes,
+                weight: 50.0,
+            },
+            SizeClass {
+                min_bytes: 8 * page_bytes,
+                max_bytes: 32 * page_bytes,
+                weight: 14.0,
+            },
+            SizeClass {
+                min_bytes: 32 * page_bytes,
+                max_bytes: 128 * page_bytes,
+                weight: 1.0,
+            },
+        ])
+    }
+
+    /// Builds the file set and trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::InvalidConfig`] if any parameter is outside its
+    /// domain (zero sizes or rate, non-positive duration, popularity outside
+    /// `(0, 1)`).
+    pub fn build(&self) -> Result<Trace, TraceError> {
+        self.build_with_fileset().map(|(t, _)| t)
+    }
+
+    /// Builds and also returns the [`FileSet`] backing the trace.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`WorkloadBuilder::build`].
+    pub fn build_with_fileset(&self) -> Result<(Trace, FileSet), TraceError> {
+        if self.rate_bytes_per_sec == 0 {
+            return Err(TraceError::InvalidConfig {
+                name: "rate_bytes_per_sec",
+                requirement: "must be > 0",
+            });
+        }
+        if self.duration_secs.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return Err(TraceError::InvalidConfig {
+                name: "duration_secs",
+                requirement: "must be > 0",
+            });
+        }
+        if !(0.0..=1.0).contains(&self.write_fraction) {
+            return Err(TraceError::InvalidConfig {
+                name: "write_fraction",
+                requirement: "must be in [0, 1]",
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let profile = self
+            .profile
+            .clone()
+            .unwrap_or_else(|| Self::default_profile(self.page_bytes));
+        let fileset = FileSet::build(self.data_set_bytes, self.page_bytes, &profile, &mut rng)?;
+
+        let exponent = calibrate_popularity(&fileset, self.popularity)?;
+        let zipf = Zipf::new(fileset.len(), exponent)?;
+
+        // Popularity-weighted mean request size fixes the Poisson rate so
+        // the *expected* byte rate equals the target exactly.
+        let mean_request_bytes: f64 = (0..fileset.len())
+            .map(|k| zipf.pmf(k) * (fileset.file_pages(FileId(k as u32)) * self.page_bytes) as f64)
+            .sum();
+        let lambda = self.rate_bytes_per_sec as f64 / mean_request_bytes;
+        let mean_gap = 1.0 / lambda;
+        let burst_gaps = match self.arrivals {
+            ArrivalModel::Poisson => None,
+            ArrivalModel::ParetoBursts { alpha } => {
+                if alpha.partial_cmp(&1.0) != Some(std::cmp::Ordering::Greater) {
+                    return Err(TraceError::InvalidConfig {
+                        name: "arrivals",
+                        requirement: "Pareto alpha must exceed 1",
+                    });
+                }
+                // Pareto with the same mean: beta = mean·(alpha−1)/alpha.
+                let beta = mean_gap * (alpha - 1.0) / alpha;
+                Some(Pareto::new(alpha, beta)?)
+            }
+        };
+
+        let mut records = Vec::new();
+        let mut t = 0.0f64;
+        loop {
+            t += match &burst_gaps {
+                Some(pareto) => pareto.sample(&mut rng),
+                None => {
+                    // Exponential inter-arrival with rate lambda.
+                    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                    -u.ln() / lambda
+                }
+            };
+            if t >= self.duration_secs {
+                break;
+            }
+            let rank = zipf.sample(&mut rng);
+            let file = FileId(rank as u32);
+            let (first_page, pages) = fileset.page_extent(file);
+            records.push(TraceRecord {
+                time: t,
+                file,
+                first_page,
+                pages,
+                kind: if self.write_fraction > 0.0 && rng.gen_bool(self.write_fraction) {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                },
+            });
+        }
+        let total_pages = fileset.total_pages();
+        Ok((Trace::new(records, self.page_bytes, total_pages), fileset))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceStats;
+
+    #[test]
+    fn builder_rejects_bad_config() {
+        assert!(WorkloadBuilder::new().rate_bytes_per_sec(0).build().is_err());
+        assert!(WorkloadBuilder::new().duration_secs(0.0).build().is_err());
+        assert!(WorkloadBuilder::new().popularity(0.0).build().is_err());
+        assert!(WorkloadBuilder::new().popularity(1.0).build().is_err());
+    }
+
+    fn small_builder() -> WorkloadBuilder {
+        let mut b = WorkloadBuilder::new();
+        b.data_set_bytes(256 * MIB)
+            .page_bytes(MIB)
+            .rate_bytes_per_sec(16 * MIB)
+            .duration_secs(120.0)
+            .seed(11);
+        b
+    }
+
+    #[test]
+    fn trace_is_deterministic_per_seed() {
+        let a = small_builder().build().unwrap();
+        let b = small_builder().build().unwrap();
+        assert_eq!(a, b);
+        let c = small_builder().seed(12).build().unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn records_are_time_ordered_and_within_duration() {
+        let t = small_builder().build().unwrap();
+        let mut prev = 0.0;
+        for r in t.records() {
+            assert!(r.time >= prev);
+            assert!(r.time < 120.0);
+            prev = r.time;
+        }
+    }
+
+    #[test]
+    fn achieved_rate_tracks_target() {
+        let t = small_builder().duration_secs(600.0).build().unwrap();
+        let bytes = t.total_pages_requested() * t.page_bytes();
+        let rate = bytes as f64 / 600.0;
+        let target = (16 * MIB) as f64;
+        assert!(
+            (rate - target).abs() / target < 0.10,
+            "rate {rate} vs target {target}"
+        );
+    }
+
+    #[test]
+    fn achieved_popularity_tracks_target() {
+        for target in [0.1, 0.4] {
+            let mut b = small_builder();
+            b.popularity(target).duration_secs(1200.0);
+            let (trace, fileset) = b.build_with_fileset().unwrap();
+            let stats = TraceStats::measure(&trace);
+            let measured = stats.popularity(&fileset);
+            assert!(
+                (measured - target).abs() < 0.12,
+                "target {target}, measured {measured}"
+            );
+        }
+    }
+
+    #[test]
+    fn denser_popularity_touches_fewer_unique_pages() {
+        let dense = {
+            let mut b = small_builder();
+            b.popularity(0.05);
+            b.build().unwrap()
+        };
+        let sparse = {
+            let mut b = small_builder();
+            b.popularity(0.6);
+            b.build().unwrap()
+        };
+        let unique = |t: &Trace| {
+            let mut seen = std::collections::HashSet::new();
+            for r in t.records() {
+                seen.insert(r.first_page);
+            }
+            seen.len()
+        };
+        assert!(unique(&dense) < unique(&sparse));
+    }
+
+    #[test]
+    fn calibrate_popularity_monotone() {
+        let fs = FileSet::from_page_counts(vec![4; 2000], 4096).unwrap();
+        let s_dense = calibrate_popularity(&fs, 0.05).unwrap();
+        let s_sparse = calibrate_popularity(&fs, 0.5).unwrap();
+        assert!(
+            s_dense > s_sparse,
+            "denser popularity needs a larger exponent"
+        );
+    }
+
+    #[test]
+    fn calibrate_popularity_rejects_bad_target() {
+        let fs = FileSet::from_page_counts(vec![1; 10], 4096).unwrap();
+        assert!(calibrate_popularity(&fs, 0.0).is_err());
+        assert!(calibrate_popularity(&fs, 1.5).is_err());
+    }
+
+    #[test]
+    fn pareto_arrivals_match_target_rate() {
+        // The heavy-tailed model must still hit the byte-rate target,
+        // because its mean inter-arrival is matched to Poisson's.
+        let mut b = small_builder();
+        b.arrivals(ArrivalModel::ParetoBursts { alpha: 1.5 })
+            .duration_secs(2400.0);
+        let t = b.build().unwrap();
+        let rate = (t.total_pages_requested() * t.page_bytes()) as f64 / 2400.0;
+        let target = (16 * MIB) as f64;
+        assert!(
+            (rate - target).abs() / target < 0.25,
+            "heavy-tailed rate {rate} vs target {target}"
+        );
+    }
+
+    #[test]
+    fn pareto_arrivals_are_burstier_than_poisson() {
+        // Same mean gap, heavier tail: the maximum inter-arrival should be
+        // far larger under the Pareto model.
+        let gaps = |model: ArrivalModel| {
+            let mut b = small_builder();
+            b.arrivals(model).duration_secs(1200.0);
+            let t = b.build().unwrap();
+            let mut max_gap = 0.0f64;
+            for w in t.records().windows(2) {
+                max_gap = max_gap.max(w[1].time - w[0].time);
+            }
+            max_gap
+        };
+        let poisson = gaps(ArrivalModel::Poisson);
+        let bursty = gaps(ArrivalModel::ParetoBursts { alpha: 1.2 });
+        assert!(
+            bursty > 2.0 * poisson,
+            "bursty max gap {bursty} should dwarf poisson {poisson}"
+        );
+    }
+
+    #[test]
+    fn pareto_arrivals_reject_bad_alpha() {
+        let mut b = small_builder();
+        b.arrivals(ArrivalModel::ParetoBursts { alpha: 1.0 });
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn write_fraction_produces_writes() {
+        let mut b = small_builder();
+        b.write_fraction(0.3).duration_secs(600.0);
+        let t = b.build().unwrap();
+        let writes = t
+            .records()
+            .iter()
+            .filter(|r| r.kind == AccessKind::Write)
+            .count();
+        let frac = writes as f64 / t.records().len() as f64;
+        assert!(
+            (frac - 0.3).abs() < 0.05,
+            "write fraction {frac} should be near 0.3"
+        );
+        // Default stays read-only.
+        let reads_only = small_builder().build().unwrap();
+        assert!(reads_only
+            .records()
+            .iter()
+            .all(|r| r.kind == AccessKind::Read));
+    }
+
+    #[test]
+    fn write_fraction_validated() {
+        assert!(WorkloadBuilder::new().write_fraction(1.5).build().is_err());
+        assert!(WorkloadBuilder::new().write_fraction(-0.1).build().is_err());
+    }
+
+    #[test]
+    fn records_reference_valid_extents() {
+        let (trace, fileset) = small_builder().build_with_fileset().unwrap();
+        for r in trace.records() {
+            let (first, pages) = fileset.page_extent(r.file);
+            assert_eq!(r.first_page, first);
+            assert_eq!(r.pages, pages);
+            assert!(r.first_page + r.pages <= fileset.total_pages());
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Synthetic web-server workloads for the `jpmd` simulator.
+//!
+//! The paper drives its evaluation with disk-cache access traces collected
+//! from **SPECWeb99** running on a real web server, then transformed by a
+//! *workload synthesizer* that varies three characteristics independently
+//! (paper §V-A):
+//!
+//! 1. **data-set size** — scaling both the number of files and the size of
+//!    each file,
+//! 2. **data rate** — stretching or shrinking inter-arrival times,
+//! 3. **popularity** — the fraction of the data set that receives 90 % of
+//!    all accesses (0.1 = dense, 0.6 = sparse).
+//!
+//! SPECWeb99 is a proprietary benchmark that requires a driven hardware
+//! testbed, so this crate substitutes a *generator* that produces traces
+//! with the same controlled characteristics directly:
+//!
+//! * a [`FileSet`] with SPECWeb99-style file-size classes,
+//! * Zipf file popularity with the exponent **calibrated** so that the
+//!   requested popularity fraction holds ([`calibrate_popularity`]),
+//! * Poisson request arrivals matched to a target byte rate.
+//!
+//! The paper's synthesizer transforms are also implemented faithfully in
+//! [`synth`] and can be applied to any existing [`Trace`], which is how the
+//! sensitivity studies cross-check the generator.
+//!
+//! # Example
+//!
+//! ```
+//! use jpmd_trace::{WorkloadBuilder, MIB};
+//!
+//! # fn main() -> Result<(), jpmd_trace::TraceError> {
+//! let trace = WorkloadBuilder::new()
+//!     .data_set_bytes(256 * MIB)
+//!     .rate_bytes_per_sec(8 * MIB)
+//!     .popularity(0.1)
+//!     .duration_secs(60.0)
+//!     .seed(7)
+//!     .build()?;
+//! assert!(!trace.records().is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod fileset;
+mod generator;
+mod record;
+pub mod synth;
+mod tracestats;
+
+pub use error::TraceError;
+pub use fileset::{FileSet, SizeClass, SizeProfile};
+pub use generator::{calibrate_popularity, ArrivalModel, WorkloadBuilder};
+pub use record::{AccessKind, FileId, Trace, TraceRecord};
+pub use tracestats::TraceStats;
+
+/// One kibibyte in bytes.
+pub const KIB: u64 = 1024;
+/// One mebibyte in bytes.
+pub const MIB: u64 = 1024 * KIB;
+/// One gibibyte in bytes.
+pub const GIB: u64 = 1024 * MIB;

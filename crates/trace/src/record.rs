@@ -1,0 +1,202 @@
+use std::io::{Read, Write};
+
+use serde::{Deserialize, Serialize};
+
+/// Whether a request reads or writes its pages.
+///
+/// Writes go through the (write-back) disk cache: a write marks its pages
+/// dirty and touches the disk only later, when the page is evicted or the
+/// periodic sync flushes it — see
+/// [`SimConfig::sync_interval_secs`](../jpmd_sim/struct.SimConfig.html).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default,
+)]
+pub enum AccessKind {
+    /// Read request (the default; SPECWeb99-style workloads are
+    /// read-dominated).
+    #[default]
+    Read,
+    /// Write request (write-allocate, write-back).
+    Write,
+}
+
+/// Identifier of a file in a [`FileSet`](crate::FileSet).
+///
+/// Files are ranked by popularity: `FileId(0)` is the most popular file.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct FileId(pub u32);
+
+impl std::fmt::Display for FileId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "file#{}", self.0)
+    }
+}
+
+/// One request to the disk cache: a whole-file (or file-range) read at a
+/// point in time.
+///
+/// Page numbers are *global*: the [`FileSet`](crate::FileSet) lays files out
+/// contiguously in one logical page space shared with the disk, so the
+/// simulator can hand page ranges straight to the cache and disk models.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Arrival time in seconds from trace start.
+    pub time: f64,
+    /// The file being requested.
+    pub file: FileId,
+    /// First global page of the request.
+    pub first_page: u64,
+    /// Number of pages requested (≥ 1).
+    pub pages: u64,
+    /// Read or write (defaults to read when absent in serialized traces).
+    #[serde(default)]
+    pub kind: AccessKind,
+}
+
+impl TraceRecord {
+    /// Iterator over the global page numbers this record touches.
+    pub fn page_range(&self) -> std::ops::Range<u64> {
+        self.first_page..self.first_page + self.pages
+    }
+}
+
+/// An ordered sequence of disk-cache accesses plus the metadata needed to
+/// interpret it.
+///
+/// Invariant: records are sorted by arrival time (enforced by the
+/// generator and all synthesizer transforms; [`Trace::new`] sorts).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    records: Vec<TraceRecord>,
+    page_bytes: u64,
+    total_pages: u64,
+}
+
+impl Trace {
+    /// Creates a trace from records, sorting them by time.
+    ///
+    /// `page_bytes` is the page size the page numbers are expressed in;
+    /// `total_pages` is the size of the backing data set (the page space).
+    pub fn new(mut records: Vec<TraceRecord>, page_bytes: u64, total_pages: u64) -> Self {
+        records.sort_by(|a, b| a.time.total_cmp(&b.time));
+        Self {
+            records,
+            page_bytes,
+            total_pages,
+        }
+    }
+
+    /// The access records in time order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Page size in bytes.
+    pub fn page_bytes(&self) -> u64 {
+        self.page_bytes
+    }
+
+    /// Number of pages in the backing data set.
+    pub fn total_pages(&self) -> u64 {
+        self.total_pages
+    }
+
+    /// Data-set size in bytes.
+    pub fn data_set_bytes(&self) -> u64 {
+        self.total_pages * self.page_bytes
+    }
+
+    /// Time of the last record (0 for an empty trace).
+    pub fn span(&self) -> f64 {
+        self.records.last().map_or(0.0, |r| r.time)
+    }
+
+    /// Total pages requested across all records.
+    pub fn total_pages_requested(&self) -> u64 {
+        self.records.iter().map(|r| r.pages).sum()
+    }
+
+    /// Serializes the trace as JSON to `writer`.
+    ///
+    /// A `&mut` reference may be passed for `writer`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and serialization failures.
+    pub fn to_writer<W: Write>(&self, writer: W) -> Result<(), serde_json::Error> {
+        serde_json::to_writer(writer, self)
+    }
+
+    /// Deserializes a trace previously written by [`Trace::to_writer`].
+    ///
+    /// A `&mut` reference may be passed for `reader`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and deserialization failures.
+    pub fn from_reader<R: Read>(reader: R) -> Result<Self, serde_json::Error> {
+        let mut t: Trace = serde_json::from_reader(reader)?;
+        t.records.sort_by(|a, b| a.time.total_cmp(&b.time));
+        Ok(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(time: f64, first_page: u64, pages: u64) -> TraceRecord {
+        TraceRecord {
+            time,
+            file: FileId(0),
+            first_page,
+            pages,
+            kind: AccessKind::Read,
+        }
+    }
+
+    #[test]
+    fn new_sorts_by_time() {
+        let t = Trace::new(vec![rec(2.0, 0, 1), rec(1.0, 5, 2)], 4096, 100);
+        assert_eq!(t.records()[0].time, 1.0);
+        assert_eq!(t.records()[1].time, 2.0);
+    }
+
+    #[test]
+    fn page_range_covers_request() {
+        let r = rec(0.0, 10, 3);
+        let pages: Vec<u64> = r.page_range().collect();
+        assert_eq!(pages, vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn span_and_totals() {
+        let t = Trace::new(vec![rec(1.0, 0, 2), rec(4.0, 2, 3)], 4096, 100);
+        assert_eq!(t.span(), 4.0);
+        assert_eq!(t.total_pages_requested(), 5);
+        assert_eq!(t.data_set_bytes(), 4096 * 100);
+    }
+
+    #[test]
+    fn empty_trace_is_safe() {
+        let t = Trace::new(vec![], 4096, 0);
+        assert_eq!(t.span(), 0.0);
+        assert_eq!(t.total_pages_requested(), 0);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let t = Trace::new(vec![rec(1.0, 0, 2), rec(4.0, 2, 3)], 4096, 100);
+        let mut buf = Vec::new();
+        t.to_writer(&mut buf).unwrap();
+        let back = Trace::from_reader(buf.as_slice()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn file_id_display() {
+        assert_eq!(FileId(3).to_string(), "file#3");
+    }
+}

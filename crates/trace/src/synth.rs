@@ -1,0 +1,359 @@
+//! The paper's workload synthesizer (§V-A), as transforms over a [`Trace`].
+//!
+//! The authors do not re-run SPECWeb99 for every workload variant; they
+//! capture one trace and synthesize variants from it. Three transforms are
+//! defined, each varying exactly one characteristic:
+//!
+//! * [`scale_rate`] — "To increase the data rate, the synthesizer reduces
+//!   the time interval between any two consecutive accesses."
+//! * [`scale_data_set`] — "The sizes of the data sets are enlarged by
+//!   replacing one access in the traces by multiple accesses … if the data
+//!   set is enlarged by a factor of 4, the synthesizer doubles the number of
+//!   files and the size of each file."
+//! * [`densify_popularity`] — "To obtain denser popularity, we vary the
+//!   accesses in the original traces by replacing the accesses to less
+//!   popular pages with the accesses to more popular pages."
+//!
+//! The `jpmd` experiment harness generates each workload point directly with
+//! [`WorkloadBuilder`](crate::WorkloadBuilder) (which controls the same
+//! three knobs); these transforms exist to mirror the paper's methodology,
+//! for cross-checks, and for users who bring their own captured traces.
+
+use rand::Rng;
+
+use crate::{FileId, FileSet, Trace, TraceError, TraceRecord, TraceStats};
+
+/// Scales the data rate by `factor` (> 0): all inter-arrival times shrink
+/// by `factor`, so a 60 s trace at factor 2 becomes a 30 s trace with twice
+/// the byte rate.
+///
+/// # Errors
+///
+/// Returns [`TraceError::InvalidConfig`] when `factor` is not finite or
+/// not positive.
+///
+/// # Example
+///
+/// ```
+/// use jpmd_trace::{synth, Trace, TraceRecord, FileId};
+///
+/// # fn main() -> Result<(), jpmd_trace::TraceError> {
+/// let t = Trace::new(vec![TraceRecord { time: 10.0, file: FileId(0), first_page: 0, pages: 1, kind: Default::default() }], 4096, 8);
+/// let fast = synth::scale_rate(&t, 2.0)?;
+/// assert_eq!(fast.records()[0].time, 5.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn scale_rate(trace: &Trace, factor: f64) -> Result<Trace, TraceError> {
+    if !factor.is_finite() || factor <= 0.0 {
+        return Err(TraceError::InvalidConfig {
+            name: "factor",
+            requirement: "must be finite and > 0",
+        });
+    }
+    let records = trace
+        .records()
+        .iter()
+        .map(|r| TraceRecord {
+            time: r.time / factor,
+            ..*r
+        })
+        .collect();
+    Ok(Trace::new(records, trace.page_bytes(), trace.total_pages()))
+}
+
+/// Enlarges the data set by `growth²`: file count ×`growth` and each file's
+/// size ×`growth`, exactly as the paper's factor-4 example doubles both.
+///
+/// Each original access to a file is redirected to one of the file's
+/// `growth` replicas (cycling deterministically, which balances sequential
+/// and random accesses as the paper notes) and reads the enlarged file.
+/// Replicas of more popular files keep earlier [`FileId`]s so the
+/// popularity ranking is preserved.
+///
+/// Returns the transformed trace together with the enlarged [`FileSet`].
+///
+/// # Errors
+///
+/// Returns [`TraceError::InvalidConfig`] when `growth == 0` or when `trace`
+/// references files outside `fileset`.
+pub fn scale_data_set(
+    trace: &Trace,
+    fileset: &FileSet,
+    growth: u32,
+) -> Result<(Trace, FileSet), TraceError> {
+    if growth == 0 {
+        return Err(TraceError::InvalidConfig {
+            name: "growth",
+            requirement: "must be >= 1",
+        });
+    }
+    let g = growth as u64;
+    let mut counts = Vec::with_capacity(fileset.len() * growth as usize);
+    for rank in 0..fileset.len() {
+        let enlarged = fileset.file_pages(FileId(rank as u32)) * g;
+        for _ in 0..growth {
+            counts.push(enlarged);
+        }
+    }
+    let new_set = FileSet::from_page_counts(counts, fileset.page_bytes())?;
+
+    let mut replica_cursor = vec![0u32; fileset.len()];
+    let mut records = Vec::with_capacity(trace.records().len());
+    for r in trace.records() {
+        let rank = r.file.0 as usize;
+        if rank >= fileset.len() {
+            return Err(TraceError::InvalidConfig {
+                name: "trace",
+                requirement: "must only reference files present in the file set",
+            });
+        }
+        let replica = replica_cursor[rank];
+        replica_cursor[rank] = (replica + 1) % growth;
+        let new_file = FileId(r.file.0 * growth + replica);
+        let (first_page, pages) = new_set.page_extent(new_file);
+        records.push(TraceRecord {
+            time: r.time,
+            file: new_file,
+            first_page,
+            pages,
+            kind: r.kind,
+        });
+    }
+    let total = new_set.total_pages();
+    Ok((Trace::new(records, trace.page_bytes(), total), new_set))
+}
+
+/// Concatenates traces in time: each subsequent trace's records are
+/// shifted to start where the previous one ended, producing a
+/// *time-varying* workload (the paper's motivation: "the varying workload
+/// of server systems provides opportunities for storage devices to exploit
+/// low-power modes", §I).
+///
+/// All traces must share the page size; the result's page space is the
+/// largest input's.
+///
+/// # Errors
+///
+/// Returns [`TraceError::InvalidConfig`] when `parts` is empty or page
+/// sizes differ.
+pub fn concat(parts: &[Trace]) -> Result<Trace, TraceError> {
+    let Some(first) = parts.first() else {
+        return Err(TraceError::InvalidConfig {
+            name: "parts",
+            requirement: "must contain at least one trace",
+        });
+    };
+    if parts.iter().any(|t| t.page_bytes() != first.page_bytes()) {
+        return Err(TraceError::InvalidConfig {
+            name: "parts",
+            requirement: "must share one page size",
+        });
+    }
+    let mut records = Vec::new();
+    let mut offset = 0.0f64;
+    for t in parts {
+        for r in t.records() {
+            records.push(TraceRecord {
+                time: r.time + offset,
+                ..*r
+            });
+        }
+        offset += t.span();
+    }
+    let total_pages = parts.iter().map(Trace::total_pages).max().unwrap_or(0);
+    Ok(Trace::new(records, first.page_bytes(), total_pages))
+}
+
+/// Densifies popularity toward `target` by remapping accesses from the
+/// least-accessed files onto popular ones, re-measuring after every merge.
+///
+/// Only densification is supported — the paper synthesizes denser variants
+/// from a sparser original; to *sparsify*, generate a fresh workload with
+/// [`WorkloadBuilder`](crate::WorkloadBuilder). If the trace is already at
+/// or below `target`, it is returned unchanged.
+///
+/// # Errors
+///
+/// Returns [`TraceError::InvalidConfig`] when `target` is outside `(0, 1)`.
+pub fn densify_popularity<R: Rng + ?Sized>(
+    trace: &Trace,
+    fileset: &FileSet,
+    target: f64,
+    rng: &mut R,
+) -> Result<Trace, TraceError> {
+    if !(target > 0.0 && target < 1.0) {
+        return Err(TraceError::InvalidConfig {
+            name: "target",
+            requirement: "must be in (0, 1)",
+        });
+    }
+    let mut records: Vec<TraceRecord> = trace.records().to_vec();
+    // Up to len(fileset) merges: each merge removes one file from the
+    // accessed set, so this terminates.
+    for _ in 0..fileset.len() {
+        let current = Trace::new(records.clone(), trace.page_bytes(), trace.total_pages());
+        let stats = TraceStats::measure(&current);
+        if stats.popularity(fileset) <= target || stats.unique_files <= 1 {
+            return Ok(current);
+        }
+        // Find the least- and most-accessed files still in the trace.
+        let mut counts: Vec<(FileId, u64)> = (0..fileset.len() as u32)
+            .map(FileId)
+            .map(|f| (f, stats.accesses_of(f)))
+            .filter(|&(_, c)| c > 0)
+            .collect();
+        counts.sort_by_key(|&(_, c)| c);
+        let (coldest, _) = counts[0];
+        // Redirect the coldest file's accesses to one of the top files,
+        // weighted toward the hottest to sharpen the head of the
+        // distribution.
+        let top = &counts[counts.len().saturating_sub(4)..];
+        let (hot, _) = top[rng.gen_range(0..top.len())];
+        let (first_page, pages) = fileset.page_extent(hot);
+        for r in &mut records {
+            if r.file == coldest {
+                r.file = hot;
+                r.first_page = first_page;
+                r.pages = pages;
+            }
+        }
+    }
+    Ok(Trace::new(records, trace.page_bytes(), trace.total_pages()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{WorkloadBuilder, MIB};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn base() -> (Trace, FileSet) {
+        WorkloadBuilder::new()
+            .data_set_bytes(128 * MIB)
+            .page_bytes(MIB)
+            .rate_bytes_per_sec(8 * MIB)
+            .popularity(0.4)
+            .duration_secs(120.0)
+            .seed(5)
+            .build_with_fileset()
+            .unwrap()
+    }
+
+    #[test]
+    fn scale_rate_divides_times() {
+        let (t, _) = base();
+        let fast = scale_rate(&t, 4.0).unwrap();
+        assert_eq!(fast.records().len(), t.records().len());
+        for (a, b) in t.records().iter().zip(fast.records()) {
+            assert!((b.time - a.time / 4.0).abs() < 1e-12);
+        }
+        assert!(scale_rate(&t, 0.0).is_err());
+        assert!(scale_rate(&t, -1.0).is_err());
+    }
+
+    #[test]
+    fn scale_rate_changes_measured_rate() {
+        let (t, _) = base();
+        let before = TraceStats::measure(&t).mean_rate_bytes_per_sec;
+        let after = TraceStats::measure(&scale_rate(&t, 2.0).unwrap()).mean_rate_bytes_per_sec;
+        assert!((after / before - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scale_data_set_quadruples_total() {
+        let (t, fs) = base();
+        let (t2, fs2) = scale_data_set(&t, &fs, 2).unwrap();
+        assert_eq!(fs2.len(), fs.len() * 2);
+        assert_eq!(fs2.total_pages(), fs.total_pages() * 4);
+        assert_eq!(t2.records().len(), t.records().len());
+        // Every record reads the enlarged file fully.
+        for r in t2.records() {
+            assert_eq!(r.pages, fs2.file_pages(r.file));
+        }
+    }
+
+    #[test]
+    fn scale_data_set_growth_one_is_identity_shape() {
+        let (t, fs) = base();
+        let (t1, fs1) = scale_data_set(&t, &fs, 1).unwrap();
+        assert_eq!(fs1.total_pages(), fs.total_pages());
+        assert_eq!(t1.records().len(), t.records().len());
+        for (a, b) in t.records().iter().zip(t1.records()) {
+            assert_eq!(a.file, b.file);
+            assert_eq!(a.pages, b.pages);
+        }
+    }
+
+    #[test]
+    fn scale_data_set_rejects_zero_growth() {
+        let (t, fs) = base();
+        assert!(scale_data_set(&t, &fs, 0).is_err());
+    }
+
+    #[test]
+    fn scale_data_set_cycles_replicas() {
+        let (t, fs) = base();
+        let (t3, _) = scale_data_set(&t, &fs, 3).unwrap();
+        // Consecutive accesses to the same original file hit different
+        // replicas; across the trace each original file's accesses map to
+        // at most 3 distinct new ids with consecutive values.
+        for r in t3.records() {
+            let orig = r.file.0 / 3;
+            assert!(orig < fs.len() as u32);
+        }
+    }
+
+    #[test]
+    fn concat_shifts_times_and_keeps_records() {
+        let (a, _) = base();
+        let (b, _) = base();
+        let joined = concat(&[a.clone(), b.clone()]).unwrap();
+        assert_eq!(joined.records().len(), a.records().len() + b.records().len());
+        // The second part starts after the first part's span.
+        let boundary = a.span();
+        let second_first = joined.records()[a.records().len()].time;
+        assert!(second_first >= boundary);
+        assert!((joined.span() - (a.span() + b.span())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concat_rejects_empty_and_mismatched() {
+        assert!(concat(&[]).is_err());
+        let (a, _) = base();
+        let other = Trace::new(vec![], 4096, 8);
+        assert!(concat(&[a, other]).is_err());
+    }
+
+    #[test]
+    fn densify_reaches_target() {
+        let (t, fs) = base();
+        let before = TraceStats::measure(&t).popularity(&fs);
+        assert!(before > 0.2, "base trace should be sparse, got {before}");
+        let mut rng = StdRng::seed_from_u64(3);
+        let denser = densify_popularity(&t, &fs, 0.15, &mut rng).unwrap();
+        let after = TraceStats::measure(&denser).popularity(&fs);
+        assert!(
+            after <= 0.15 + 1e-9,
+            "densified popularity {after} should be <= 0.15"
+        );
+        assert_eq!(denser.records().len(), t.records().len());
+    }
+
+    #[test]
+    fn densify_noop_when_already_dense() {
+        let (t, fs) = base();
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = densify_popularity(&t, &fs, 0.95, &mut rng).unwrap();
+        assert_eq!(out, t);
+    }
+
+    #[test]
+    fn densify_rejects_bad_target() {
+        let (t, fs) = base();
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(densify_popularity(&t, &fs, 0.0, &mut rng).is_err());
+        assert!(densify_popularity(&t, &fs, 1.0, &mut rng).is_err());
+    }
+}

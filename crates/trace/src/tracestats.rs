@@ -1,0 +1,160 @@
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{FileId, FileSet, Trace};
+
+/// Measured characteristics of a [`Trace`], used to validate that generated
+/// or synthesized workloads actually exhibit the requested data rate and
+/// popularity.
+///
+/// # Example
+///
+/// ```
+/// use jpmd_trace::{TraceStats, WorkloadBuilder, MIB};
+///
+/// # fn main() -> Result<(), jpmd_trace::TraceError> {
+/// let (trace, fileset) = WorkloadBuilder::new()
+///     .data_set_bytes(64 * MIB)
+///     .rate_bytes_per_sec(8 * MIB)
+///     .duration_secs(30.0)
+///     .build_with_fileset()?;
+/// let stats = TraceStats::measure(&trace);
+/// assert!(stats.mean_rate_bytes_per_sec > 0.0);
+/// assert!(stats.popularity(&fileset) <= 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Number of requests.
+    pub requests: usize,
+    /// Time of the last request, seconds.
+    pub span_secs: f64,
+    /// Total pages requested (with repetition).
+    pub pages_requested: u64,
+    /// Mean byte rate over the span.
+    pub mean_rate_bytes_per_sec: f64,
+    /// Number of distinct files accessed.
+    pub unique_files: usize,
+    /// Per-file request counts.
+    access_counts: HashMap<FileId, u64>,
+}
+
+impl TraceStats {
+    /// Measures a trace.
+    pub fn measure(trace: &Trace) -> Self {
+        let mut access_counts: HashMap<FileId, u64> = HashMap::new();
+        for r in trace.records() {
+            *access_counts.entry(r.file).or_insert(0) += 1;
+        }
+        let span = trace.span();
+        let pages_requested = trace.total_pages_requested();
+        let mean_rate = if span > 0.0 {
+            (pages_requested * trace.page_bytes()) as f64 / span
+        } else {
+            0.0
+        };
+        Self {
+            requests: trace.records().len(),
+            span_secs: span,
+            pages_requested,
+            mean_rate_bytes_per_sec: mean_rate,
+            unique_files: access_counts.len(),
+            access_counts,
+        }
+    }
+
+    /// Requests observed for one file.
+    pub fn accesses_of(&self, file: FileId) -> u64 {
+        self.access_counts.get(&file).copied().unwrap_or(0)
+    }
+
+    /// The measured popularity: size of the smallest set of most-accessed
+    /// files that receives 90 % of requests, as a fraction of the total
+    /// data-set size (paper §V-A definition).
+    ///
+    /// Returns 0 for an empty trace.
+    pub fn popularity(&self, fileset: &FileSet) -> f64 {
+        if self.requests == 0 {
+            return 0.0;
+        }
+        let mut by_count: Vec<(&FileId, &u64)> = self.access_counts.iter().collect();
+        by_count.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+        let needed = (0.9 * self.requests as f64).ceil() as u64;
+        let mut covered = 0u64;
+        let mut hot_pages = 0u64;
+        for (file, count) in by_count {
+            covered += count;
+            hot_pages += fileset.file_pages(*file);
+            if covered >= needed {
+                break;
+            }
+        }
+        hot_pages as f64 / fileset.total_pages() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceRecord;
+
+    fn make_trace(accesses: &[(f64, u32)], fileset: &FileSet) -> Trace {
+        let records = accesses
+            .iter()
+            .map(|&(time, f)| {
+                let (first_page, pages) = fileset.page_extent(FileId(f));
+                TraceRecord {
+                    time,
+                    file: FileId(f),
+                    first_page,
+                    pages,
+                    kind: crate::AccessKind::Read,
+                }
+            })
+            .collect();
+        Trace::new(records, fileset.page_bytes(), fileset.total_pages())
+    }
+
+    #[test]
+    fn counts_and_rate() {
+        let fs = FileSet::from_page_counts(vec![2, 2], 1024).unwrap();
+        let t = make_trace(&[(1.0, 0), (2.0, 0), (4.0, 1)], &fs);
+        let s = TraceStats::measure(&t);
+        assert_eq!(s.requests, 3);
+        assert_eq!(s.unique_files, 2);
+        assert_eq!(s.accesses_of(FileId(0)), 2);
+        assert_eq!(s.pages_requested, 6);
+        assert!((s.mean_rate_bytes_per_sec - 6.0 * 1024.0 / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn popularity_all_on_one_file() {
+        // 10 files of equal size; one receives every access -> popularity 0.1.
+        let fs = FileSet::from_page_counts(vec![4; 10], 1024).unwrap();
+        let accesses: Vec<(f64, u32)> = (0..20).map(|i| (i as f64, 3u32)).collect();
+        let t = make_trace(&accesses, &fs);
+        let s = TraceStats::measure(&t);
+        assert!((s.popularity(&fs) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn popularity_uniform_accesses() {
+        // Every file accessed once: 90% of accesses needs 90% of files.
+        let fs = FileSet::from_page_counts(vec![1; 10], 1024).unwrap();
+        let accesses: Vec<(f64, u32)> = (0..10).map(|i| (i as f64, i as u32)).collect();
+        let t = make_trace(&accesses, &fs);
+        let s = TraceStats::measure(&t);
+        assert!((s.popularity(&fs) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_popularity_zero() {
+        let fs = FileSet::from_page_counts(vec![1; 4], 1024).unwrap();
+        let t = Trace::new(vec![], 1024, fs.total_pages());
+        let s = TraceStats::measure(&t);
+        assert_eq!(s.popularity(&fs), 0.0);
+        assert_eq!(s.mean_rate_bytes_per_sec, 0.0);
+    }
+}

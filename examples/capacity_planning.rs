@@ -1,0 +1,85 @@
+//! Capacity planning with the stack-distance predictor: profile a workload
+//! once, then predict the disk traffic of *every* candidate memory size
+//! without re-running — the mechanism behind the joint method (paper
+//! §IV-B) exposed as a standalone tool.
+//!
+//! The example also verifies the prediction against an actual re-run at
+//! one chosen size and points out the paper's "break-even memory size":
+//! the size beyond which extra memory costs more static power than the
+//! disk could ever save (≈ 10 GB with the paper's constants).
+//!
+//! ```sh
+//! cargo run --release --example capacity_planning
+//! ```
+
+use jpmd::core::{methods, predict_sizes, DiskPolicyKind, SimScale};
+use jpmd::mem::{AccessLog, StackProfiler};
+use jpmd::trace::{WorkloadBuilder, GIB, MIB};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = SimScale::default();
+    let trace = WorkloadBuilder::new()
+        .data_set_bytes(16 * GIB)
+        .rate_bytes_per_sec(50 * MIB)
+        .popularity(0.2)
+        .duration_secs(3600.0)
+        .seed(3)
+        .build()?;
+
+    // Profile every access once with the extended LRU list.
+    let mut profiler = StackProfiler::new();
+    let mut log = AccessLog::new();
+    for record in trace.records() {
+        for page in record.page_range() {
+            log.record(record.time, page, profiler.observe(page));
+        }
+    }
+    println!(
+        "profiled {} accesses, {} distinct pages",
+        log.len(),
+        profiler.distinct_pages()
+    );
+
+    // Predict disk accesses at every candidate memory size in one pass.
+    let candidates_gb = [1u64, 2, 4, 8, 12, 16];
+    let capacities: Vec<u64> = candidates_gb.iter().map(|&g| scale.gb_to_pages(g)).collect();
+    let predictions = predict_sizes(&log, &capacities, 0.1);
+
+    // The break-even memory size (paper §V-B1): the disk's manageable
+    // static power divided by the per-MB memory static power.
+    let break_even_mb =
+        scale.disk_power.static_w() / scale.mem_model.nap_w_per_mb();
+    println!(
+        "break-even memory size: {:.1} GB — beyond this, added memory can \
+         never pay for itself through disk savings\n",
+        break_even_mb / 1024.0
+    );
+
+    println!(
+        "{:>8} {:>14} {:>12} {:>14}",
+        "mem[GB]", "disk accesses", "miss ratio", "idle mean[s]"
+    );
+    for (gb, p) in candidates_gb.iter().zip(&predictions) {
+        println!(
+            "{:>8} {:>14} {:>12.4} {:>14.2}",
+            gb,
+            p.disk_accesses,
+            p.disk_accesses as f64 / log.len() as f64,
+            p.idle_mean_secs().unwrap_or(0.0),
+        );
+    }
+
+    // Cross-check one prediction against an actual fixed-memory run.
+    let check_gb = 4;
+    let spec = methods::fixed_memory(&scale, DiskPolicyKind::TwoCompetitive, check_gb);
+    let report = methods::run_method(&spec, &scale, &trace, 0.0, 3600.0, 600.0);
+    let predicted = predictions[candidates_gb.iter().position(|&g| g == check_gb).unwrap()]
+        .disk_accesses;
+    println!(
+        "\ncross-check at {check_gb} GB: predicted {predicted} disk accesses, \
+         simulated {} ({:+.2}%)",
+        report.disk_page_accesses,
+        100.0 * (report.disk_page_accesses as f64 - predicted as f64) / predicted as f64
+    );
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Compare all sixteen power-management methods of the paper on one
+//! workload (one column of paper Fig. 7).
+//!
+//! ```sh
+//! cargo run --release --example policy_comparison -- [data_set_gb] [rate_mb_s] [popularity]
+//! ```
+//!
+//! Defaults: 16 GB data set, 100 MB/s, popularity 0.1.
+
+use jpmd::core::{methods, SimScale};
+use jpmd::trace::{WorkloadBuilder, GIB, MIB};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let data_gb: u64 = args.get(1).map_or(Ok(16), |s| s.parse())?;
+    let rate_mb: u64 = args.get(2).map_or(Ok(100), |s| s.parse())?;
+    let popularity: f64 = args.get(3).map_or(Ok(0.1), |s| s.parse())?;
+
+    let scale = SimScale::default();
+    println!(
+        "workload: {data_gb} GB data set, {rate_mb} MB/s, popularity {popularity}"
+    );
+    let trace = WorkloadBuilder::new()
+        .data_set_bytes(data_gb * GIB)
+        .rate_bytes_per_sec(rate_mb * MIB)
+        .popularity(popularity)
+        .duration_secs(3.0 * 3600.0)
+        .seed(42)
+        .build()?;
+
+    let (warmup, duration, period) = (3600.0, 3.0 * 3600.0, 600.0);
+    let suite = methods::paper_suite(&scale, &[8, 16, 32, 64, 128]);
+
+    let baseline = methods::run_method(&suite[0], &scale, &trace, warmup, duration, period);
+    println!(
+        "\n{:14} {:>8} {:>8} {:>8} {:>9} {:>8} {:>8}",
+        "method", "total%", "disk%", "mem%", "lat[ms]", "util%", "long/s"
+    );
+    for spec in &suite {
+        let r = methods::run_method(spec, &scale, &trace, warmup, duration, period);
+        if r.utilization > 1.0 {
+            // The paper omits bars for methods whose disk demand exceeds
+            // the disk bandwidth (2TFM-8GB / ADFM-8GB at 64 GB).
+            println!("{:14} {:>8} (disk utilization above 100%)", r.label, "-");
+            continue;
+        }
+        println!(
+            "{:14} {:>8.1} {:>8.1} {:>8.1} {:>9.2} {:>8.1} {:>8.2}",
+            r.label,
+            100.0 * r.normalized_total(&baseline),
+            100.0 * r.normalized_disk(&baseline),
+            100.0 * r.normalized_mem(&baseline),
+            r.mean_latency_secs * 1e3,
+            r.utilization * 100.0,
+            r.long_latency_per_sec(),
+        );
+    }
+    println!("\npercentages are relative to the always-on method, as in paper Fig. 7");
+    Ok(())
+}

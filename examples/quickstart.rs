@@ -1,0 +1,82 @@
+//! Quickstart: run the joint power manager against the always-on baseline
+//! on a synthetic web-server workload and report the energy savings.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use jpmd::core::{methods, SimScale};
+use jpmd::trace::{WorkloadBuilder, GIB, MIB};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The experiment scale maps the paper's 128 GB / 16 MB-bank memory
+    // onto 1 MiB simulation pages (see DESIGN.md).
+    let scale = SimScale::default();
+
+    // A 16 GB data set served at 100 MB/s with dense popularity: 10 % of
+    // the data receives 90 % of the requests (the paper's default point).
+    println!("generating workload (16 GB data set, 100 MB/s, popularity 0.1)...");
+    let trace = WorkloadBuilder::new()
+        .data_set_bytes(16 * GIB)
+        .rate_bytes_per_sec(100 * MIB)
+        .popularity(0.1)
+        .duration_secs(2.5 * 3600.0)
+        .seed(7)
+        .build()?;
+
+    // One hour of warm-up, ninety minutes measured.
+    let warmup = 3600.0;
+    let duration = 2.5 * 3600.0;
+    let period = 600.0;
+
+    let baseline = methods::run_method(
+        &methods::always_on(&scale),
+        &scale,
+        &trace,
+        warmup,
+        duration,
+        period,
+    );
+    let joint = methods::run_method(
+        &methods::joint(&scale),
+        &scale,
+        &trace,
+        warmup,
+        duration,
+        period,
+    );
+
+    println!("\n{:12} {:>12} {:>12} {:>12} {:>10} {:>10} {:>10}",
+        "method", "total [J]", "memory [J]", "disk [J]", "lat [ms]", "p99 [ms]", "long/s");
+    for r in [&baseline, &joint] {
+        println!(
+            "{:12} {:>12.0} {:>12.0} {:>12.0} {:>10.2} {:>10.1} {:>10.2}",
+            r.label,
+            r.energy.total_j(),
+            r.energy.mem.total_j(),
+            r.energy.disk.total_j(),
+            r.mean_latency_secs * 1e3,
+            r.request_latency_p99_secs * 1e3,
+            r.long_latency_per_sec(),
+        );
+    }
+
+    let saved = 1.0 - joint.normalized_total(&baseline);
+    println!("\njoint method saves {:.1}% of total energy", saved * 100.0);
+    println!(
+        "memory ends at {} banks ({} MiB) of {} installed; disk utilization {:.1}%",
+        joint
+            .periods
+            .last()
+            .map(|p| p.observation.enabled_banks)
+            .unwrap_or_default(),
+        joint
+            .periods
+            .last()
+            .map(|p| p.observation.enabled_banks as u64 * 16)
+            .unwrap_or_default(),
+        scale.total_banks(),
+        joint.utilization * 100.0,
+    );
+    Ok(())
+}

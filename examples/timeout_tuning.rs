@@ -1,0 +1,73 @@
+//! Disk spin-down timeout tuning in isolation: fit a Pareto distribution
+//! to observed idle intervals, compute the paper's eq. (5) optimal timeout
+//! and eq. (6) performance bound, and compare fixed / adaptive / optimal /
+//! oracle energy on the same gap sequence.
+//!
+//! ```sh
+//! cargo run --release --example timeout_tuning
+//! ```
+
+use jpmd::core::timeout::{optimal_timeout, perf_constrained_timeout};
+use jpmd::disk::{oracle_idle_energy, timeout_idle_energy, DiskPowerModel};
+use jpmd::stats::{fit, IdleIntervals, Pareto};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = DiskPowerModel::default();
+    let mut rng = StdRng::seed_from_u64(11);
+
+    println!(
+        "disk: p_d = {:.1} W, transition = {:.1} J, break-even = {:.1} s\n",
+        model.static_w(),
+        model.transition_j,
+        model.break_even_s()
+    );
+
+    // Three idle-time regimes, as in paper Fig. 5: heavy-tailed (many long
+    // intervals), moderate, and bursty (short intervals dominate).
+    for (name, alpha) in [("heavy-tailed", 1.2), ("moderate", 1.8), ("bursty", 4.0)] {
+        let truth = Pareto::new(alpha, 0.1)?;
+        let gaps = truth.sample_n(&mut rng, 4000);
+
+        // What a live system would do: aggregate, estimate the mean, fit.
+        let intervals = IdleIntervals::from_lengths(gaps.iter().copied(), 0.1);
+        let fitted = fit::pareto_from_mean(intervals.mean().unwrap_or(0.1), 0.1)?;
+        let t_opt = optimal_timeout(&fitted, &model);
+        let t_min = perf_constrained_timeout(
+            &fitted,
+            &model,
+            intervals.count() as u64,
+            5_000,
+            200_000,
+            600.0,
+            0.5,
+            0.001,
+        );
+        let t_joint = t_opt.max(t_min);
+
+        let energy = |label: &str, timeout: f64| {
+            println!(
+                "  {label:<22} timeout {:>8.1} s  idle energy {:>10.0} J",
+                timeout,
+                timeout_idle_energy(&gaps, timeout, &model)
+            );
+        };
+        println!(
+            "{name}: true alpha = {alpha}, fitted alpha = {:.2}, mean idle = {:.2} s",
+            fitted.shape(),
+            intervals.mean().unwrap_or(0.0)
+        );
+        energy("2-competitive (t_be)", model.break_even_s());
+        energy("eq.(5) optimal", t_opt);
+        energy("joint (eq.5 + eq.6)", t_joint);
+        println!(
+            "  {:<22} {:>18}  idle energy {:>10.0} J  (offline bound)",
+            "oracle",
+            "",
+            oracle_idle_energy(&gaps, &model)
+        );
+        println!();
+    }
+    Ok(())
+}

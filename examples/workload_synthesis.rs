@@ -1,0 +1,85 @@
+//! The paper's workload synthesizer (§V-A) in action: capture one
+//! "original" trace, then derive rate-, size-, and popularity-variants
+//! from it without re-running the benchmark — plus the heavy-tailed
+//! arrival model used by the Pareto-assumption validation.
+//!
+//! ```sh
+//! cargo run --release --example workload_synthesis
+//! ```
+
+use jpmd::trace::{
+    synth, ArrivalModel, TraceStats, WorkloadBuilder, GIB, MIB,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The "captured" original: 2 GB data set at 10 MB/s, popularity 0.4.
+    let (original, fileset) = WorkloadBuilder::new()
+        .data_set_bytes(2 * GIB)
+        .rate_bytes_per_sec(10 * MIB)
+        .popularity(0.4)
+        .duration_secs(600.0)
+        .seed(99)
+        .build_with_fileset()?;
+
+    let report = |name: &str, t: &jpmd::trace::Trace| {
+        let s = TraceStats::measure(t);
+        println!(
+            "{:24} {:>7} reqs {:>8.2} MB/s  {:>7.2} GB data  popularity {:.2}",
+            name,
+            s.requests,
+            s.mean_rate_bytes_per_sec / MIB as f64,
+            t.data_set_bytes() as f64 / GIB as f64,
+            s.popularity(&fileset),
+        );
+    };
+    report("original", &original);
+
+    // 1. Rate scaling: "reduces the time interval between any two
+    //    consecutive accesses".
+    let faster = synth::scale_rate(&original, 3.0)?;
+    report("x3 rate", &faster);
+
+    // 2. Data-set scaling: "doubles the number of files and the size of
+    //    each file" per factor of 4.
+    let (larger, larger_set) = synth::scale_data_set(&original, &fileset, 2)?;
+    let s = TraceStats::measure(&larger);
+    println!(
+        "{:24} {:>7} reqs {:>8.2} MB/s  {:>7.2} GB data  ({} files -> {})",
+        "x4 data set",
+        s.requests,
+        s.mean_rate_bytes_per_sec / MIB as f64,
+        larger.data_set_bytes() as f64 / GIB as f64,
+        fileset.len(),
+        larger_set.len(),
+    );
+
+    // 3. Popularity densification: "replacing the accesses to less popular
+    //    pages with the accesses to more popular pages".
+    let mut rng = StdRng::seed_from_u64(1);
+    let denser = synth::densify_popularity(&original, &fileset, 0.15, &mut rng)?;
+    report("densified to 0.15", &denser);
+
+    // 4. Heavy-tailed arrivals for the Pareto-assumption studies.
+    let bursty = WorkloadBuilder::new()
+        .data_set_bytes(2 * GIB)
+        .rate_bytes_per_sec(10 * MIB)
+        .popularity(0.4)
+        .arrivals(ArrivalModel::ParetoBursts { alpha: 1.3 })
+        .duration_secs(600.0)
+        .seed(99)
+        .build()?;
+    let max_gap = |t: &jpmd::trace::Trace| {
+        t.records()
+            .windows(2)
+            .map(|w| w[1].time - w[0].time)
+            .fold(0.0f64, f64::max)
+    };
+    println!(
+        "\nburstiness: max inter-arrival {:.1} s (Poisson) vs {:.1} s (Pareto bursts)",
+        max_gap(&original),
+        max_gap(&bursty),
+    );
+    Ok(())
+}

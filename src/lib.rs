@@ -1,0 +1,57 @@
+//! # jpmd — Joint Power Management of Memory and Disk
+//!
+//! A Rust reproduction of L. Cai and Y.-H. Lu, *"Joint Power Management of
+//! Memory and Disk"* (DATE 2005), in its extended form *"Joint Power
+//! Management of Memory and Disk Under Performance Constraints"* (Cai,
+//! Pettis, Lu — IEEE TCAD 25(12), 2006).
+//!
+//! This façade crate re-exports the workspace members:
+//!
+//! * [`stats`] — Pareto distributions, estimators, Zipf sampling.
+//! * [`trace`] — synthetic web-server workloads and the workload
+//!   synthesizer (data-set size / rate / popularity transforms).
+//! * [`mem`] — RDRAM power model, bank array, LRU disk cache with ghost
+//!   list, stack-distance profiling.
+//! * [`disk`] — DiskSim-style disk model, request queue, power modes,
+//!   spin-down timeout controllers.
+//! * [`sim`] — the event-driven system simulator, metrics, and experiment
+//!   runner.
+//! * [`core`] — the joint power manager itself plus the registry of all 16
+//!   power-management methods compared in the paper.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` / `EXPERIMENTS.md` for
+//! the reproduction map.
+//!
+//! # Example
+//!
+//! The whole pipeline in a dozen lines — generate a workload, run the
+//! joint power manager, and compare it to the always-on baseline:
+//!
+//! ```
+//! use jpmd::core::{methods, SimScale};
+//! use jpmd::trace::{WorkloadBuilder, GIB, MIB};
+//!
+//! # fn main() -> Result<(), jpmd::trace::TraceError> {
+//! let scale = SimScale::small_test();
+//! let trace = WorkloadBuilder::new()
+//!     .data_set_bytes(GIB)
+//!     .rate_bytes_per_sec(8 * MIB)
+//!     .duration_secs(120.0)
+//!     .build()?;
+//! let baseline = methods::run_method(
+//!     &methods::always_on(&scale), &scale, &trace, 0.0, 120.0, 60.0);
+//! let joint = methods::run_method(
+//!     &methods::joint(&scale), &scale, &trace, 0.0, 120.0, 60.0);
+//! assert!(joint.energy.total_j() < baseline.energy.total_j());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use jpmd_core as core;
+pub use jpmd_disk as disk;
+pub use jpmd_mem as mem;
+pub use jpmd_sim as sim;
+pub use jpmd_stats as stats;
+pub use jpmd_trace as trace;

@@ -1,0 +1,48 @@
+//! Reproducibility: identical seeds give identical traces and identical
+//! simulation reports; different seeds differ. Experiment results must be
+//! exactly reproducible for the harness tables to be meaningful.
+
+use jpmd::core::{methods, SimScale};
+use jpmd::trace::{WorkloadBuilder, GIB, MIB};
+
+fn build(seed: u64) -> jpmd::trace::Trace {
+    WorkloadBuilder::new()
+        .data_set_bytes(GIB / 2)
+        .rate_bytes_per_sec(8 * MIB)
+        .duration_secs(900.0)
+        .seed(seed)
+        .build()
+        .expect("workload generation")
+}
+
+#[test]
+fn identical_seeds_identical_reports() {
+    let scale = SimScale::small_test();
+    let a = build(5);
+    let b = build(5);
+    assert_eq!(a, b);
+    let spec = methods::joint(&scale);
+    let ra = methods::run_method(&spec, &scale, &a, 300.0, 900.0, 300.0);
+    let rb = methods::run_method(&spec, &scale, &b, 300.0, 900.0, 300.0);
+    assert_eq!(ra, rb);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = build(5);
+    let b = build(6);
+    assert_ne!(a, b);
+}
+
+#[test]
+fn trace_roundtrip_preserves_simulation() {
+    let scale = SimScale::small_test();
+    let trace = build(9);
+    let mut buf = Vec::new();
+    trace.to_writer(&mut buf).expect("serialize");
+    let back = jpmd::trace::Trace::from_reader(buf.as_slice()).expect("deserialize");
+    let spec = methods::always_on(&scale);
+    let r1 = methods::run_method(&spec, &scale, &trace, 0.0, 900.0, 300.0);
+    let r2 = methods::run_method(&spec, &scale, &back, 0.0, 900.0, 300.0);
+    assert_eq!(r1, r2);
+}

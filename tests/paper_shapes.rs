@@ -1,0 +1,170 @@
+//! End-to-end assertions that the simulator reproduces the qualitative
+//! shapes of the paper's evaluation (Fig. 7 orderings, Table III
+//! invariants) at a reduced scale so the suite stays fast.
+
+use jpmd::core::{methods, DiskPolicyKind, SimScale};
+use jpmd::sim::RunReport;
+use jpmd::trace::{Trace, WorkloadBuilder, GIB, MIB};
+
+const WARMUP: f64 = 900.0;
+const DURATION: f64 = 2700.0;
+const PERIOD: f64 = 300.0;
+
+fn scale() -> SimScale {
+    SimScale::small_test() // 4 GiB installed, 16 MiB banks, 1 MiB pages
+}
+
+fn workload(data_gb: u64, rate_mb: u64, popularity: f64) -> Trace {
+    WorkloadBuilder::new()
+        .data_set_bytes(data_gb * GIB)
+        .rate_bytes_per_sec(rate_mb * MIB)
+        .popularity(popularity)
+        .duration_secs(DURATION)
+        .seed(1234)
+        .build()
+        .expect("workload generation")
+}
+
+fn run(spec: &methods::MethodSpec, trace: &Trace) -> RunReport {
+    methods::run_method(spec, &scale(), trace, WARMUP, DURATION, PERIOD)
+}
+
+#[test]
+fn joint_beats_always_on_and_respects_constraints() {
+    let trace = workload(1, 10, 0.1);
+    let s = scale();
+    let base = run(&methods::always_on(&s), &trace);
+    let joint = run(&methods::joint(&s), &trace);
+    assert!(
+        joint.energy.total_j() < base.energy.total_j(),
+        "joint {} must beat always-on {}",
+        joint.energy.total_j(),
+        base.energy.total_j()
+    );
+    assert!(
+        joint.utilization <= 0.15,
+        "joint utilization {} should stay near the 10% limit",
+        joint.utilization
+    );
+    // Paper: joint stays below ~3 long-latency requests per second.
+    assert!(
+        joint.long_latency_per_sec() < 5.0,
+        "joint long-latency rate {}",
+        joint.long_latency_per_sec()
+    );
+}
+
+#[test]
+fn power_down_keeps_disk_quiet_but_pays_in_memory() {
+    let trace = workload(1, 10, 0.1);
+    let s = scale();
+    let base = run(&methods::always_on(&s), &trace);
+    let pd = run(&methods::power_down(&s, DiskPolicyKind::TwoCompetitive), &trace);
+    let ds = run(&methods::disable(&s, DiskPolicyKind::TwoCompetitive), &trace);
+
+    // PD retains data: identical disk traffic to the baseline.
+    assert_eq!(pd.disk_page_accesses, base.disk_page_accesses);
+    // DS loses data: strictly more disk accesses than PD.
+    assert!(
+        ds.disk_page_accesses > pd.disk_page_accesses,
+        "disable must add disk accesses ({} vs {})",
+        ds.disk_page_accesses,
+        pd.disk_page_accesses
+    );
+    // PD memory sits between DS (off) and the nap baseline.
+    assert!(pd.energy.mem.static_j < base.energy.mem.static_j);
+    assert!(ds.energy.mem.static_j < pd.energy.mem.static_j);
+}
+
+#[test]
+fn memory_accesses_are_method_independent() {
+    // Table III: "The numbers of memory accesses only depend on the
+    // workload."
+    let trace = workload(1, 10, 0.1);
+    let s = scale();
+    let reports = [
+        run(&methods::always_on(&s), &trace),
+        run(&methods::fixed_memory(&s, DiskPolicyKind::TwoCompetitive, 1), &trace),
+        run(&methods::power_down(&s, DiskPolicyKind::Adaptive), &trace),
+        run(&methods::joint(&s), &trace),
+    ];
+    for r in &reports[1..] {
+        assert_eq!(
+            r.cache_accesses, reports[0].cache_accesses,
+            "cache accesses differ for {}",
+            r.label
+        );
+    }
+}
+
+#[test]
+fn small_memory_thrashes_on_large_data_sets() {
+    // Fig. 7(e)/(f) shape: FM with memory far below the data set drives
+    // utilization and long-latency up; FM at the data-set size does not.
+    let trace = workload(4, 20, 0.4);
+    let s = scale();
+    let tiny = run(&methods::fixed_memory(&s, DiskPolicyKind::TwoCompetitive, 1), &trace);
+    let big = run(&methods::fixed_memory(&s, DiskPolicyKind::TwoCompetitive, 4), &trace);
+    assert!(
+        tiny.disk_page_accesses > 2 * big.disk_page_accesses,
+        "tiny memory must miss much more ({} vs {})",
+        tiny.disk_page_accesses,
+        big.disk_page_accesses
+    );
+    assert!(tiny.utilization > big.utilization);
+    assert!(tiny.mean_latency_secs > big.mean_latency_secs);
+}
+
+#[test]
+fn adaptive_timeout_reduces_long_latency_versus_fixed() {
+    // Paper §V-B1: "the adaptive timeout can reduce the performance
+    // degradation". At a low rate the disk spins down often, so AD's
+    // back-off matters.
+    let trace = workload(1, 2, 0.1);
+    let s = scale();
+    let two_t = run(&methods::fixed_memory(&s, DiskPolicyKind::TwoCompetitive, 1), &trace);
+    let ad = run(&methods::fixed_memory(&s, DiskPolicyKind::Adaptive, 1), &trace);
+    assert!(
+        ad.long_latency_count <= two_t.long_latency_count,
+        "AD ({}) should not exceed 2T ({}) in long-latency requests",
+        ad.long_latency_count,
+        two_t.long_latency_count
+    );
+}
+
+#[test]
+fn joint_tracks_workload_changes_across_periods() {
+    // The joint method must actually adjust over time: its per-period
+    // actions should settle after the initial cold periods.
+    let trace = workload(1, 10, 0.1);
+    let s = scale();
+    let joint = run(&methods::joint(&s), &trace);
+    let banks: Vec<u32> = joint
+        .periods
+        .iter()
+        .filter_map(|p| p.action.enabled_banks)
+        .collect();
+    assert!(banks.len() >= 5, "expected several period decisions");
+    // Steady-state decisions (last half) settle far below the installed
+    // 4 GiB: the joint method has genuinely shrunk the cache. (Exact bank
+    // counts wobble inside the flat region of the power landscape; the
+    // paper's stability claims are about *energy*, covered in the
+    // sensitivity suite.)
+    let tail = &banks[banks.len() / 2..];
+    let max = *tail.iter().max().expect("nonempty");
+    assert!(
+        max <= s.total_banks() / 2,
+        "steady-state sizes should stay well below installed memory: {tail:?}"
+    );
+}
+
+#[test]
+fn normalization_is_consistent() {
+    let trace = workload(1, 10, 0.1);
+    let s = scale();
+    let base = run(&methods::always_on(&s), &trace);
+    assert!((base.normalized_total(&base) - 1.0).abs() < 1e-12);
+    let joint = run(&methods::joint(&s), &trace);
+    let frac = joint.normalized_total(&base);
+    assert!(frac > 0.0 && frac < 1.0);
+}

@@ -1,0 +1,199 @@
+//! Property-based tests over the whole simulation pipeline: for random
+//! small workloads and arbitrary method choices, physical invariants must
+//! hold — conservation of access counts, non-negative energies, power
+//! bounded by the models' extremes, and baseline dominance relations.
+
+use jpmd::core::{methods, SimScale};
+use jpmd::sim::RunReport;
+use jpmd::trace::{FileId, Trace, TraceRecord};
+use proptest::prelude::*;
+
+/// Generates a random but well-formed trace over a 64-page data set.
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    arb_trace_with_writes(0)
+}
+
+/// Like [`arb_trace`], but roughly `write_pct` percent of records are
+/// writes.
+fn arb_trace_with_writes(write_pct: u8) -> impl Strategy<Value = Trace> {
+    proptest::collection::vec((0.0f64..2000.0, 0u64..60, 1u64..5, 0u8..100), 1..120).prop_map(
+        move |recs| {
+            let records = recs
+                .into_iter()
+                .map(|(time, first_page, pages, roll)| TraceRecord {
+                    time,
+                    file: FileId(first_page as u32),
+                    first_page,
+                    pages,
+                    kind: if roll < write_pct {
+                        jpmd::trace::AccessKind::Write
+                    } else {
+                        jpmd::trace::AccessKind::Read
+                    },
+                })
+                .collect();
+            Trace::new(records, 1 << 20, 64)
+        },
+    )
+}
+
+fn tiny_scale() -> SimScale {
+    SimScale {
+        total_gb: 1, // 64 banks of 16 MiB
+        ..SimScale::default()
+    }
+}
+
+fn spec_for(index: u8, scale: &SimScale) -> methods::MethodSpec {
+    match index % 6 {
+        0 => methods::always_on(scale),
+        1 => methods::fixed_memory(scale, methods::DiskPolicyKind::TwoCompetitive, 1),
+        2 => methods::power_down(scale, methods::DiskPolicyKind::Adaptive),
+        3 => methods::disable(scale, methods::DiskPolicyKind::TwoCompetitive),
+        4 => methods::disable_consolidated(scale, methods::DiskPolicyKind::Adaptive),
+        _ => methods::joint(scale),
+    }
+}
+
+fn check_invariants(r: &RunReport, duration: f64) {
+    // Conservation.
+    assert_eq!(r.hits + r.disk_page_accesses, r.cache_accesses);
+    // Energies are non-negative and finite.
+    for e in [
+        r.energy.mem.static_j,
+        r.energy.mem.dynamic_j,
+        r.energy.disk.active_j,
+        r.energy.disk.idle_j,
+        r.energy.disk.standby_j,
+        r.energy.disk.transition_j,
+    ] {
+        assert!(e.is_finite() && e >= -1e-9, "negative component {e}");
+    }
+    // Disk power is bracketed by its mode extremes (plus transitions).
+    let disk_no_transition = r.energy.disk.total_j() - r.energy.disk.transition_j;
+    assert!(disk_no_transition <= 12.5 * duration + 1e-6);
+    assert!(disk_no_transition >= 0.9 * duration - 1e-6);
+    // Transition energy is exactly 77.5 J per spin-down.
+    assert!((r.energy.disk.transition_j - 77.5 * r.spin_downs as f64).abs() < 1e-6);
+    // Latency metrics are sane.
+    assert!(r.mean_latency_secs >= 0.0);
+    assert!(r.max_latency_secs >= r.mean_latency_secs || r.cache_accesses == 0);
+    assert!(r.long_latency_count <= r.cache_accesses);
+    // Utilization cannot be negative.
+    assert!(r.utilization >= 0.0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn physical_invariants_hold(trace in arb_trace(), method in 0u8..6) {
+        let scale = tiny_scale();
+        let spec = spec_for(method, &scale);
+        let duration = trace.span() + 100.0;
+        let r = methods::run_method(&spec, &scale, &trace, 0.0, duration, 300.0);
+        check_invariants(&r, duration);
+    }
+
+    #[test]
+    fn memory_accesses_independent_of_method(trace in arb_trace()) {
+        let scale = tiny_scale();
+        let duration = trace.span() + 50.0;
+        let base = methods::run_method(
+            &methods::always_on(&scale), &scale, &trace, 0.0, duration, 300.0);
+        for m in 1u8..6 {
+            let r = methods::run_method(&spec_for(m, &scale), &scale, &trace, 0.0, duration, 300.0);
+            prop_assert_eq!(r.cache_accesses, base.cache_accesses);
+        }
+    }
+
+    #[test]
+    fn always_on_never_spins_down_and_pd_matches_its_misses(trace in arb_trace()) {
+        let scale = tiny_scale();
+        let duration = trace.span() + 50.0;
+        let base = methods::run_method(
+            &methods::always_on(&scale), &scale, &trace, 0.0, duration, 300.0);
+        prop_assert_eq!(base.spin_downs, 0);
+        // Power-down retains data: identical misses to the baseline.
+        let pd = methods::run_method(
+            &methods::power_down(&scale, methods::DiskPolicyKind::TwoCompetitive),
+            &scale, &trace, 0.0, duration, 300.0);
+        prop_assert_eq!(pd.disk_page_accesses, base.disk_page_accesses);
+        // And strictly less memory energy (banks power down).
+        prop_assert!(pd.energy.mem.static_j <= base.energy.mem.static_j + 1e-9);
+    }
+
+    #[test]
+    fn write_workloads_hold_invariants_and_defer_traffic(
+        trace in arb_trace_with_writes(40),
+    ) {
+        let scale = tiny_scale();
+        let duration = trace.span() + 100.0;
+        // Sync daemon enabled: all invariants must still hold.
+        let spec = methods::always_on(&scale);
+        let mut sim = scale.sim_config(spec.mem_policy, spec.initial_banks);
+        sim.sync_interval_secs = 45.0;
+        let r = jpmd::sim::run_simulation(
+            &sim,
+            spec.spindown.clone(),
+            &mut jpmd::sim::NullController,
+            &trace,
+            duration,
+            "writes",
+        );
+        // Conservation does not hold verbatim under writes (flushes add
+        // disk pages; write-allocates avoid reads), but bounds do:
+        prop_assert!(r.hits <= r.cache_accesses);
+        prop_assert!(r.long_latency_count <= r.cache_accesses);
+        prop_assert!(r.energy.total_j() > 0.0);
+        prop_assert!(r.utilization >= 0.0);
+        // With the daemon off, deferring can only reduce disk traffic.
+        let mut quiet = sim;
+        quiet.sync_interval_secs = f64::INFINITY;
+        let q = jpmd::sim::run_simulation(
+            &quiet,
+            spec.spindown.clone(),
+            &mut jpmd::sim::NullController,
+            &trace,
+            duration,
+            "writes-nosync",
+        );
+        prop_assert!(q.disk_page_accesses <= r.disk_page_accesses);
+    }
+
+    #[test]
+    fn cascade_dominates_plain_disable(trace in arb_trace()) {
+        // The cascade policy (nap -> power-down -> disable) invalidates
+        // banks at exactly the same instants as plain disable, so its disk
+        // behavior is identical while its memory energy can only be lower
+        // (power-down vs nap between the two thresholds).
+        let scale = tiny_scale();
+        let duration = trace.span() + 50.0;
+        let ds = methods::run_method(
+            &methods::disable(&scale, methods::DiskPolicyKind::TwoCompetitive),
+            &scale, &trace, 0.0, duration, 300.0);
+        let cd = methods::run_method(
+            &methods::cascade(&scale, methods::DiskPolicyKind::TwoCompetitive),
+            &scale, &trace, 0.0, duration, 300.0);
+        prop_assert_eq!(cd.disk_page_accesses, ds.disk_page_accesses);
+        prop_assert!((cd.energy.disk.total_j() - ds.energy.disk.total_j()).abs() < 1e-6);
+        prop_assert!(cd.energy.mem.total_j() <= ds.energy.mem.total_j() + 1e-9);
+    }
+
+    #[test]
+    fn consolidated_disable_never_misses_more_than_plain(trace in arb_trace()) {
+        let scale = tiny_scale();
+        let duration = trace.span() + 50.0;
+        let ds = methods::run_method(
+            &methods::disable(&scale, methods::DiskPolicyKind::TwoCompetitive),
+            &scale, &trace, 0.0, duration, 300.0);
+        let dsc = methods::run_method(
+            &methods::disable_consolidated(&scale, methods::DiskPolicyKind::TwoCompetitive),
+            &scale, &trace, 0.0, duration, 300.0);
+        prop_assert!(
+            dsc.disk_page_accesses <= ds.disk_page_accesses,
+            "consolidation must not add disk accesses ({} vs {})",
+            dsc.disk_page_accesses, ds.disk_page_accesses
+        );
+    }
+}
