@@ -12,9 +12,7 @@
 //! spinning speed); under saturation everything converges to full speed.
 
 use jpmd_bench::{write_json, Table};
-use jpmd_disk::{
-    Disk, DiskPowerModel, MultiSpeedDisk, MultiSpeedModel, ServiceModel, SpeedPolicy,
-};
+use jpmd_disk::{Disk, DiskPowerModel, MultiSpeedDisk, MultiSpeedModel, ServiceModel, SpeedPolicy};
 use jpmd_stats::Pareto;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -24,7 +22,9 @@ fn request_stream(mean_gap_s: f64, requests: usize, seed: u64) -> Vec<(f64, u64,
     let mut rng = StdRng::seed_from_u64(seed);
     // Pareto-distributed gaps (alpha = 1.5) with the requested mean.
     let beta = mean_gap_s / 3.0; // mean = alpha*beta/(alpha-1) = 3*beta
-    let gaps = Pareto::new(1.5, beta).expect("valid").sample_n(&mut rng, requests);
+    let gaps = Pareto::new(1.5, beta)
+        .expect("valid")
+        .sample_n(&mut rng, requests);
     let mut t = 0.0;
     gaps.iter()
         .map(|g| {

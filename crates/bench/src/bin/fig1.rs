@@ -17,20 +17,37 @@ fn main() {
     println!("  power down           {:>8.1} mW", mem.powerdown_mw);
     println!("  disable              {:>8.1} mW (data lost)", 0.0);
     println!("  nap -> attention     {:>8.1} ns", mem.nap_exit_ns);
-    println!("  pwrdn -> attention   {:>8.1} us (also disable estimate)", mem.powerdown_exit_us);
-    println!("  derived: static {:.3} mW/MB, dynamic {:.3} mJ/MB, PD timeout {:.0} us",
-        mem.nap_w_per_mb() * 1e3, mem.dynamic_j_per_mb() * 1e3, mem.powerdown_timeout_s() * 1e6);
+    println!(
+        "  pwrdn -> attention   {:>8.1} us (also disable estimate)",
+        mem.powerdown_exit_us
+    );
+    println!(
+        "  derived: static {:.3} mW/MB, dynamic {:.3} mJ/MB, PD timeout {:.0} us",
+        mem.nap_w_per_mb() * 1e3,
+        mem.dynamic_j_per_mb() * 1e3,
+        mem.powerdown_timeout_s() * 1e6
+    );
 
     println!("\n== Fig. 1(b) disk power model (Seagate IDE) ==");
     println!("  active               {:>8.1} W", disk.active_w);
     println!("  idle                 {:>8.1} W", disk.idle_w);
     println!("  standby/sleep        {:>8.1} W", disk.standby_w);
-    println!("  transition (round)   {:>8.1} J / {:.0} s", disk.transition_j, disk.spinup_s);
-    println!("  derived: p_d = {:.1} W, peak dynamic = {:.1} W, t_be = {:.1} s",
-        disk.static_w(), disk.dynamic_peak_w(), disk.break_even_s());
+    println!(
+        "  transition (round)   {:>8.1} J / {:.0} s",
+        disk.transition_j, disk.spinup_s
+    );
+    println!(
+        "  derived: p_d = {:.1} W, peak dynamic = {:.1} W, t_be = {:.1} s",
+        disk.static_w(),
+        disk.dynamic_peak_w(),
+        disk.break_even_s()
+    );
 
     println!("\n== Bandwidth table (paper \u{a7}V-A: effective rate by request size) ==");
-    println!("  {:>12} {:>16} {:>16}", "request", "physical MB/s", "scaled MB/s");
+    println!(
+        "  {:>12} {:>16} {:>16}",
+        "request", "physical MB/s", "scaled MB/s"
+    );
     let physical = ServiceModel::default();
     let scaled = ServiceModel::scaled_pages();
     for kb in [64u64, 256, 1024, 4096, 16384, 65536] {
@@ -52,6 +69,13 @@ fn main() {
     println!("  U (utilization cap)  {:>8} %", 10);
     println!("  D (delay ratio cap)  {:>8}", 0.001);
     println!("  bank (enum. unit)    {:>8} MB", scale.bank_mib);
-    println!("  installed memory     {:>8} GB ({} banks)", scale.total_gb, scale.total_banks());
-    println!("  DS timeout           {:>8.0} s", scale.disable_timeout_s());
+    println!(
+        "  installed memory     {:>8} GB ({} banks)",
+        scale.total_gb,
+        scale.total_banks()
+    );
+    println!(
+        "  DS timeout           {:>8.0} s",
+        scale.disable_timeout_s()
+    );
 }

@@ -87,14 +87,7 @@ fn main() -> std::io::Result<()> {
             let ks_e = ks_statistic(gaps, |x| expo.cdf(x)).expect("nonempty");
             table.push(
                 format!("{aname}/{mem_gb}GB"),
-                vec![
-                    gaps.len() as f64,
-                    mean,
-                    min_gap,
-                    ks_runtime,
-                    ks_mle,
-                    ks_e,
-                ],
+                vec![gaps.len() as f64, mean, min_gap, ks_runtime, ks_mle, ks_e],
             );
             eprintln!("pareto_validation: {aname}/{mem_gb}GB done");
         }

@@ -75,7 +75,9 @@ fn main() -> std::io::Result<()> {
                 .map(|p| {
                     (
                         p.observation.end,
-                        p.action.enabled_banks.unwrap_or(p.observation.enabled_banks),
+                        p.action
+                            .enabled_banks
+                            .unwrap_or(p.observation.enabled_banks),
                         p.observation.disk_page_accesses,
                         p.observation.mean_power_w(),
                     )

@@ -46,9 +46,7 @@ fn main() -> std::io::Result<()> {
         } else {
             methods::fixed_memory(&cfg.scale, methods::DiskPolicyKind::TwoCompetitive, 16)
         };
-        let mut sim = cfg
-            .scale
-            .sim_config(spec.mem_policy, spec.initial_banks);
+        let mut sim = cfg.scale.sim_config(spec.mem_policy, spec.initial_banks);
         sim.warmup_secs = cfg.warmup_secs;
         sim.period_secs = cfg.period_secs;
         sim.sync_interval_secs = sync;

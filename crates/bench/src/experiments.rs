@@ -8,6 +8,7 @@ use jpmd_stats::Pareto;
 use jpmd_trace::{Trace, WorkloadBuilder, GIB, MIB};
 
 use crate::report::Table;
+use crate::runner::{self, MethodError};
 
 /// Shared experiment parameters.
 #[derive(Debug, Clone, Copy)]
@@ -92,24 +93,27 @@ pub fn make_trace(cfg: &ExperimentConfig, point: WorkloadPoint) -> Trace {
         .expect("workload generation")
 }
 
-/// Runs every method of `suite` over `trace` concurrently (one thread per
-/// method; the 16-method suite fans out nicely on typical core counts) and
-/// returns the reports in suite order.
+/// Runs every method of `suite` over `trace` on the work-queue runner
+/// (bounded by the machine's parallelism) and returns the outcomes in
+/// suite order. A method that panics yields an `Err` naming the method and
+/// carrying the panic message; the rest of the suite still runs.
 fn run_suite_parallel(
     cfg: &ExperimentConfig,
     suite: &[methods::MethodSpec],
     trace: &Trace,
-) -> Vec<RunReport> {
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = suite
-            .iter()
-            .map(|spec| scope.spawn(move || run(cfg, spec, trace)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("simulation thread panicked"))
-            .collect()
+) -> Vec<Result<RunReport, MethodError>> {
+    runner::run_queue(suite, runner::default_workers(), |spec| {
+        run(cfg, spec, trace)
     })
+    .into_iter()
+    .zip(suite)
+    .map(|(result, spec)| {
+        result.map_err(|message| MethodError {
+            label: spec.label.clone(),
+            message,
+        })
+    })
+    .collect()
 }
 
 fn run(cfg: &ExperimentConfig, spec: &methods::MethodSpec, trace: &Trace) -> RunReport {
@@ -161,22 +165,43 @@ pub fn fig7(cfg: &ExperimentConfig) -> Vec<Table> {
                 popularity: 0.1,
             },
         );
-        let baseline = run(cfg, &suite[0], &trace);
         let reports = run_suite_parallel(cfg, &suite, &trace);
-        for (mi, (spec, r)) in suite.iter().zip(&reports).enumerate() {
-            let saturated = r.utilization > 1.0;
-            let metrics = [
-                100.0 * r.normalized_total(&baseline),
-                100.0 * r.normalized_disk(&baseline),
-                100.0 * r.normalized_mem(&baseline),
-                r.mean_latency_secs * 1e3,
-                r.utilization * 100.0,
-                r.long_latency_per_sec(),
-            ];
-            for (t, &m) in metrics.iter().enumerate() {
-                cells[t][mi].push(if saturated { f64::NAN } else { m });
+        // The suite leads with the always-on baseline everything else is
+        // normalized against; without it the whole column is meaningless.
+        let baseline = reports[0].as_ref().ok().cloned();
+        for (mi, (spec, outcome)) in suite.iter().zip(&reports).enumerate() {
+            match (outcome, &baseline) {
+                (Ok(r), Some(baseline)) => {
+                    let saturated = r.utilization > 1.0;
+                    let metrics = [
+                        100.0 * r.normalized_total(baseline),
+                        100.0 * r.normalized_disk(baseline),
+                        100.0 * r.normalized_mem(baseline),
+                        r.mean_latency_secs * 1e3,
+                        r.utilization * 100.0,
+                        r.long_latency_per_sec(),
+                    ];
+                    for (t, &m) in metrics.iter().enumerate() {
+                        cells[t][mi].push(if saturated { f64::NAN } else { m });
+                    }
+                    eprintln!("fig7: {} @ {}GB done", spec.label, data_gb);
+                }
+                (Err(e), _) => {
+                    eprintln!("fig7: @ {data_gb}GB FAILED — {e}");
+                    for column in cells.iter_mut() {
+                        column[mi].push(f64::NAN);
+                    }
+                }
+                (Ok(_), None) => {
+                    eprintln!(
+                        "fig7: {} @ {data_gb}GB dropped (baseline failed)",
+                        spec.label
+                    );
+                    for column in cells.iter_mut() {
+                        column[mi].push(f64::NAN);
+                    }
+                }
             }
-            eprintln!("fig7: {} @ {}GB done", spec.label, data_gb);
         }
     }
     for (t, table) in tables.iter_mut().enumerate() {
@@ -249,21 +274,35 @@ fn sweep(
     let mut l_cells = vec![Vec::new(); suite.len()];
     for (label, point) in &points {
         let trace = make_trace(cfg, *point);
-        let baseline = run(cfg, &suite[0], &trace);
         let reports = run_suite_parallel(cfg, &suite, &trace);
-        for (mi, (spec, r)) in suite.iter().zip(&reports).enumerate() {
-            let saturated = r.utilization > 1.0;
-            e_cells[mi].push(if saturated {
-                f64::NAN
-            } else {
-                100.0 * r.normalized_total(&baseline)
-            });
-            l_cells[mi].push(if saturated {
-                f64::NAN
-            } else {
-                r.long_latency_per_sec()
-            });
-            eprintln!("sweep: {} @ {} done", spec.label, label);
+        let baseline = reports[0].as_ref().ok().cloned();
+        for (mi, (spec, outcome)) in suite.iter().zip(&reports).enumerate() {
+            match (outcome, &baseline) {
+                (Ok(r), Some(baseline)) => {
+                    let saturated = r.utilization > 1.0;
+                    e_cells[mi].push(if saturated {
+                        f64::NAN
+                    } else {
+                        100.0 * r.normalized_total(baseline)
+                    });
+                    l_cells[mi].push(if saturated {
+                        f64::NAN
+                    } else {
+                        r.long_latency_per_sec()
+                    });
+                    eprintln!("sweep: {} @ {} done", spec.label, label);
+                }
+                (Err(e), _) => {
+                    eprintln!("sweep: @ {label} FAILED — {e}");
+                    e_cells[mi].push(f64::NAN);
+                    l_cells[mi].push(f64::NAN);
+                }
+                (Ok(_), None) => {
+                    eprintln!("sweep: {} @ {label} dropped (baseline failed)", spec.label);
+                    e_cells[mi].push(f64::NAN);
+                    l_cells[mi].push(f64::NAN);
+                }
+            }
         }
     }
     for (mi, spec) in suite.iter().enumerate() {
@@ -311,13 +350,29 @@ pub fn table3(cfg: &ExperimentConfig) -> Table {
                 popularity: 0.1,
             },
         );
-        for (mi, spec) in specs.iter().enumerate() {
-            let r = run(cfg, spec, &trace);
-            cells[mi].push(r.disk_page_accesses as f64);
-            if mi == specs.len() - 1 {
-                memory_accesses.push(r.cache_accesses as f64);
+        let reports = runner::run_queue(&specs, runner::default_workers(), |spec| {
+            run(cfg, spec, &trace)
+        });
+        for (mi, (spec, outcome)) in specs.iter().zip(reports).enumerate() {
+            match outcome {
+                Ok(r) => {
+                    cells[mi].push(r.disk_page_accesses as f64);
+                    if mi == specs.len() - 1 {
+                        memory_accesses.push(r.cache_accesses as f64);
+                    }
+                    eprintln!("table3: {} @ {}GB done", spec.label, data_gb);
+                }
+                Err(message) => {
+                    eprintln!(
+                        "table3: {} @ {}GB FAILED — {}",
+                        spec.label, data_gb, message
+                    );
+                    cells[mi].push(f64::NAN);
+                    if mi == specs.len() - 1 {
+                        memory_accesses.push(f64::NAN);
+                    }
+                }
             }
-            eprintln!("table3: {} @ {}GB done", spec.label, data_gb);
         }
     }
     for (mi, spec) in specs.iter().enumerate() {
@@ -423,12 +478,29 @@ pub fn fig9(cfg: &ExperimentConfig) -> (Table, Table) {
             "idle_ms@16GB".into(),
         ],
     );
-    let mut runs = Vec::new();
-    for gb in [8u64, 16] {
-        let spec = methods::fixed_memory(&cfg.scale, methods::DiskPolicyKind::TwoCompetitive, gb);
-        runs.push(run(cfg, &spec, &trace));
-        eprintln!("fig9: {gb}GB done");
-    }
+    let specs: Vec<_> = [8u64, 16]
+        .iter()
+        .map(|&gb| methods::fixed_memory(&cfg.scale, methods::DiskPolicyKind::TwoCompetitive, gb))
+        .collect();
+    let runs: Vec<RunReport> = runner::run_queue(&specs, 2, |spec| run(cfg, spec, &trace))
+        .into_iter()
+        .zip(&specs)
+        .map(|(outcome, spec)| {
+            // Both fixed-memory series are required to build the figure, so
+            // a failed run is fatal here — but it now names the method.
+            let r = outcome.unwrap_or_else(|message| {
+                panic!(
+                    "{}",
+                    MethodError {
+                        label: spec.label.clone(),
+                        message,
+                    }
+                )
+            });
+            eprintln!("fig9: {} done", spec.label);
+            r
+        })
+        .collect();
     let periods = runs[0].periods.len().min(runs[1].periods.len());
     for p in 0..periods {
         let a = &runs[0].periods[p].observation;
@@ -499,7 +571,9 @@ pub fn ablation_constraints(cfg: &ExperimentConfig) -> Table {
         ],
     );
     for (label, enforce) in [("joint (constrained)", true), ("joint (power-only)", false)] {
-        let mut sim = cfg.scale.sim_config(IdlePolicy::Nap, cfg.scale.total_banks());
+        let mut sim = cfg
+            .scale
+            .sim_config(IdlePolicy::Nap, cfg.scale.total_banks());
         sim.warmup_secs = cfg.warmup_secs;
         sim.period_secs = cfg.period_secs;
         let mut jcfg = JointConfig::from_sim(&sim);
@@ -643,7 +717,9 @@ pub fn ablation_window(cfg: &ExperimentConfig) -> Table {
         vec!["total%".into(), "long/s".into()],
     );
     for w in [0.05, 0.1, 0.5, 1.0] {
-        let mut sim = cfg.scale.sim_config(IdlePolicy::Nap, cfg.scale.total_banks());
+        let mut sim = cfg
+            .scale
+            .sim_config(IdlePolicy::Nap, cfg.scale.total_banks());
         sim.warmup_secs = cfg.warmup_secs;
         sim.period_secs = cfg.period_secs;
         sim.aggregation_window_secs = w;

@@ -15,6 +15,8 @@
 
 pub mod experiments;
 pub mod report;
+pub mod runner;
 
 pub use experiments::{ExperimentConfig, WorkloadPoint};
 pub use report::{write_json, Row, Table};
+pub use runner::{run_queue, MethodError};

@@ -458,10 +458,7 @@ mod tests {
             assert!(a.disk_timeout.unwrap() >= b.disk_timeout.unwrap());
         }
         // The evaluations carry per-candidate feasibility.
-        assert!(constrained
-            .last_evaluations()
-            .iter()
-            .any(|e| e.feasible));
+        assert!(constrained.last_evaluations().iter().any(|e| e.feasible));
     }
 
     #[test]
@@ -491,7 +488,11 @@ mod tests {
             // An 8-page working set revisited constantly, interleaved with
             // a cold stream: each working-set page recurs at stack
             // distance ~16, so capacity 16 halves the miss traffic.
-            let page = if i % 2 == 0 { i } else { 1_000_000 + (i / 2) % 8 };
+            let page = if i % 2 == 0 {
+                i
+            } else {
+                1_000_000 + (i / 2) % 8
+            };
             log.record(i as f64 * 1e-3, page, profiler.observe(page));
         }
         let mut policy = JointPolicy::new(config(8));

@@ -72,7 +72,9 @@ mod scale;
 pub mod timeout;
 
 pub use joint::{CandidateEvaluation, JointConfig, JointPolicy};
-pub use multidisk::{ArrayCandidate, ArrayJointPolicy};
 pub use methods::{DiskPolicyKind, MethodSpec};
-pub use predict::{candidate_banks, irm_miss_rate, predict_sizes, predict_sizes_routed, SizePrediction};
+pub use multidisk::{ArrayCandidate, ArrayJointPolicy};
+pub use predict::{
+    candidate_banks, irm_miss_rate, predict_sizes, predict_sizes_routed, SizePrediction,
+};
 pub use scale::SimScale;

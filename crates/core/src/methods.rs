@@ -257,12 +257,8 @@ pub fn run_array_method(
         Some(joint_cfg) => {
             let mut cfg = *joint_cfg;
             cfg.period_secs = period_secs;
-            let mut controller = crate::ArrayJointPolicy::new(
-                cfg,
-                array.disks,
-                array.layout,
-                trace.total_pages(),
-            );
+            let mut controller =
+                crate::ArrayJointPolicy::new(cfg, array.disks, array.layout, trace.total_pages());
             jpmd_sim::run_array_simulation(
                 &sim,
                 array,
@@ -363,7 +359,15 @@ mod tests {
             layout: Layout::Partitioned,
         };
         let j = run_array_method(&joint(&scale), &scale, &array, &trace, 0.0, 700.0, 300.0);
-        let b = run_array_method(&always_on(&scale), &scale, &array, &trace, 0.0, 700.0, 300.0);
+        let b = run_array_method(
+            &always_on(&scale),
+            &scale,
+            &array,
+            &trace,
+            0.0,
+            700.0,
+            300.0,
+        );
         assert_eq!(j.cache_accesses, b.cache_accesses);
         assert!(j.energy.total_j() < b.energy.total_j());
         // The joint controller must have acted at the period boundaries.

@@ -14,9 +14,7 @@
 
 use jpmd_disk::Layout;
 use jpmd_mem::AccessLog;
-use jpmd_sim::{
-    ArrayControlAction, ArrayPeriodController, ArrayPeriodObservation,
-};
+use jpmd_sim::{ArrayControlAction, ArrayPeriodController, ArrayPeriodObservation};
 use jpmd_stats::fit;
 
 use crate::predict::{candidate_banks, predict_sizes_routed, SizePrediction};
@@ -157,8 +155,8 @@ impl ArrayJointPolicy {
 
         let mem_power = banks as f64 * bank_mb * cfg.mem_model.nap_w_per_mb()
             + cache_accesses as f64 * page_mb * cfg.mem_model.dynamic_j_per_mb() / t;
-        let feasible = !cfg.enforce_performance
-            || utilizations.iter().all(|&u| u <= cfg.util_limit);
+        let feasible =
+            !cfg.enforce_performance || utilizations.iter().all(|&u| u <= cfg.util_limit);
         ArrayCandidate {
             banks,
             timeouts,

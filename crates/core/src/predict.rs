@@ -83,11 +83,7 @@ const NONE_IDX: u32 = u32::MAX;
 /// # Panics
 ///
 /// Panics if `candidates` is not sorted ascending.
-pub fn predict_sizes(
-    log: &AccessLog,
-    candidates: &[u64],
-    window: f64,
-) -> Vec<SizePrediction> {
+pub fn predict_sizes(log: &AccessLog, candidates: &[u64], window: f64) -> Vec<SizePrediction> {
     assert!(
         candidates.windows(2).all(|w| w[0] <= w[1]),
         "candidates must be sorted ascending"
@@ -130,12 +126,12 @@ pub fn predict_sizes(
     let mut head: u32 = if n > 0 { 0 } else { NONE_IDX };
     let mut tail: u32 = if n > 0 { n as u32 - 1 } else { NONE_IDX };
     let remove = |i: u32,
-                      prev: &mut [u32],
-                      next: &mut [u32],
-                      ni: &mut u64,
-                      total: &mut f64,
-                      head: &mut u32,
-                      tail: &mut u32| {
+                  prev: &mut [u32],
+                  next: &mut [u32],
+                  ni: &mut u64,
+                  total: &mut f64,
+                  head: &mut u32,
+                  tail: &mut u32| {
         let (l, r) = (prev[i as usize], next[i as usize]);
         if *head == i {
             *head = r;
@@ -317,10 +313,8 @@ pub fn predict_sizes_routed<F: Fn(u64) -> usize>(
                     disk_accesses: nd[r],
                     idle_count: ni[r],
                     idle_total_secs: total[r].max(0.0),
-                    first_miss_secs: (head[r] != NONE_IDX)
-                        .then(|| entries[head[r] as usize].time),
-                    last_miss_secs: (tail[r] != NONE_IDX)
-                        .then(|| entries[tail[r] as usize].time),
+                    first_miss_secs: (head[r] != NONE_IDX).then(|| entries[head[r] as usize].time),
+                    last_miss_secs: (tail[r] != NONE_IDX).then(|| entries[tail[r] as usize].time),
                 })
                 .collect(),
         );
@@ -391,7 +385,12 @@ pub fn irm_miss_rate(probabilities: &[f64], capacity_pages: u64) -> (f64, f64) {
 /// (between change points a smaller memory has the same disk I/O and less
 /// static power, §IV-B), clamped to `min_banks..=max_banks`, deduplicated,
 /// ascending. Expressed in banks.
-pub fn candidate_banks(log: &AccessLog, bank_pages: u32, min_banks: u32, max_banks: u32) -> Vec<u32> {
+pub fn candidate_banks(
+    log: &AccessLog,
+    bank_pages: u32,
+    min_banks: u32,
+    max_banks: u32,
+) -> Vec<u32> {
     let mut banks: Vec<u32> = log
         .change_points()
         .into_iter()
@@ -459,7 +458,9 @@ mod tests {
     fn matches_direct_reconstruction() {
         // Cross-check the incremental algorithm against recomputing idle
         // intervals from scratch at each size.
-        let times: Vec<f64> = (0..40).map(|i| (i as f64 * 1.7).sin().abs() * 50.0 + i as f64 * 3.0).collect();
+        let times: Vec<f64> = (0..40)
+            .map(|i| (i as f64 * 1.7).sin().abs() * 50.0 + i as f64 * 3.0)
+            .collect();
         let pages: Vec<u64> = (0..40).map(|i| (i * 7 % 13) as u64).collect();
         let mut profiler = StackProfiler::new();
         let mut log = AccessLog::new();
@@ -475,7 +476,12 @@ mod tests {
             let misses: Vec<f64> = log.miss_times_at(pred.capacity_pages).collect();
             assert_eq!(pred.disk_accesses as usize, misses.len());
             let direct = IdleIntervals::from_timestamps(&misses, w);
-            assert_eq!(pred.idle_count as usize, direct.count(), "cap {}", pred.capacity_pages);
+            assert_eq!(
+                pred.idle_count as usize,
+                direct.count(),
+                "cap {}",
+                pred.capacity_pages
+            );
             assert!(
                 (pred.idle_total_secs - direct.total()).abs() < 1e-6,
                 "cap {}: {} vs {}",

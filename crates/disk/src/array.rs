@@ -42,9 +42,7 @@ impl Layout {
                 let per_disk = total_pages.div_ceil(n as u64).max(1);
                 ((page / per_disk) as usize).min(n - 1)
             }
-            Layout::Striped { stripe_pages } => {
-                ((page / stripe_pages.max(1)) % n as u64) as usize
-            }
+            Layout::Striped { stripe_pages } => ((page / stripe_pages.max(1)) % n as u64) as usize,
         }
     }
 }
@@ -132,7 +130,8 @@ impl DiskArray {
 
     /// The disk index that holds `page`.
     pub fn disk_of(&self, page: u64) -> usize {
-        self.layout.disk_of(page, self.disks.len(), self.total_pages)
+        self.layout
+            .disk_of(page, self.disks.len(), self.total_pages)
     }
 
     /// Borrow one member disk.
@@ -166,7 +165,13 @@ impl DiskArray {
     /// # Panics
     ///
     /// Panics if `pages == 0` or arrivals go backwards.
-    pub fn submit(&mut self, now: f64, first_page: u64, pages: u64, page_bytes: u64) -> ArrayOutcome {
+    pub fn submit(
+        &mut self,
+        now: f64,
+        first_page: u64,
+        pages: u64,
+        page_bytes: u64,
+    ) -> ArrayOutcome {
         assert!(pages > 0, "request must cover at least one page");
         let mut parts: Vec<(usize, RequestOutcome)> = Vec::new();
         let mut run_start = first_page;

@@ -193,7 +193,13 @@ impl Disk {
     ///
     /// Panics if `now` precedes the previous arrival's settled time or
     /// `pages == 0`.
-    pub fn submit(&mut self, now: f64, first_page: u64, pages: u64, page_bytes: u64) -> RequestOutcome {
+    pub fn submit(
+        &mut self,
+        now: f64,
+        first_page: u64,
+        pages: u64,
+        page_bytes: u64,
+    ) -> RequestOutcome {
         assert!(pages > 0, "request must cover at least one page");
         assert!(
             now + 1e-9 >= self.settled,

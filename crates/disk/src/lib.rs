@@ -43,8 +43,8 @@ mod predictive;
 mod service;
 mod spindown;
 
-pub use array::{ArrayOutcome, DiskArray, Layout};
 pub use crate::disk::{Disk, DiskMode, RequestOutcome};
+pub use array::{ArrayOutcome, DiskArray, Layout};
 pub use multispeed::{MultiSpeedDisk, MultiSpeedModel, SpeedLevel, SpeedPolicy};
 pub use oracle::{oracle_idle_energy, timeout_idle_energy};
 pub use power::{DiskEnergy, DiskPowerModel};

@@ -235,7 +235,12 @@ impl MultiSpeedDisk {
     }
 
     fn maybe_shift(&mut self, now: f64) {
-        let SpeedPolicy::UtilizationDriven { low, high, window_s } = self.policy else {
+        let SpeedPolicy::UtilizationDriven {
+            low,
+            high,
+            window_s,
+        } = self.policy
+        else {
             return;
         };
         if now - self.window_start < window_s {
@@ -262,7 +267,13 @@ impl MultiSpeedDisk {
     /// # Panics
     ///
     /// Panics on out-of-order submission or a zero-page request.
-    pub fn submit(&mut self, now: f64, first_page: u64, pages: u64, page_bytes: u64) -> RequestOutcome {
+    pub fn submit(
+        &mut self,
+        now: f64,
+        first_page: u64,
+        pages: u64,
+        page_bytes: u64,
+    ) -> RequestOutcome {
         assert!(pages > 0, "request must cover at least one page");
         assert!(now + 1e-9 >= self.settled, "requests must arrive in order");
         let now = now.max(self.settled);

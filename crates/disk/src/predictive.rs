@@ -232,7 +232,10 @@ mod tests {
             p.after_request(&outcome(100.0), &m);
         }
         let t = p.after_request(&outcome(100.0), &m);
-        assert_eq!(t, 1.0, "reliable long inter-session idleness spins down fast");
+        assert_eq!(
+            t, 1.0,
+            "reliable long inter-session idleness spins down fast"
+        );
     }
 
     #[test]

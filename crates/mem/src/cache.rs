@@ -698,8 +698,8 @@ mod tests {
         c.access(1);
         c.access(2); // bank 0 full
         c.evacuate_bank(0); // pages move to bank 1
-        // Next fills should prefer bank 1's remaining frame / bank 2 over
-        // re-warming the drained bank 0.
+                            // Next fills should prefer bank 1's remaining frame / bank 2 over
+                            // re-warming the drained bank 0.
         let f = c.access(30).frame;
         assert_ne!(c.bank_of(f), 0, "drained bank must be refilled last");
     }

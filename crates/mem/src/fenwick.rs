@@ -9,7 +9,9 @@ pub(crate) struct Fenwick {
 impl Fenwick {
     /// Creates a tree over `n` slots, all zero.
     pub fn new(n: usize) -> Self {
-        Self { tree: vec![0; n + 1] }
+        Self {
+            tree: vec![0; n + 1],
+        }
     }
 
     /// Number of slots.

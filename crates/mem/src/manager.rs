@@ -4,8 +4,7 @@ use std::collections::BinaryHeap;
 use serde::{Deserialize, Serialize};
 
 use crate::{
-    AccessLog, BankArray, DiskCache, IdlePolicy, MemEnergy, RdramModel, Replacement,
-    StackProfiler,
+    AccessLog, BankArray, DiskCache, IdlePolicy, MemEnergy, RdramModel, Replacement, StackProfiler,
 };
 
 /// Configuration of the physical memory used as the disk cache.
@@ -297,7 +296,8 @@ impl MemoryManager {
             self.pending_writebacks.push(dirty);
         }
         let bank = self.cache.bank_of(outcome.frame);
-        self.banks.record_access(bank as usize, now, self.config.page_mb());
+        self.banks
+            .record_access(bank as usize, now, self.config.page_mb());
         if let Some(t) = self.config.policy.disable_after() {
             self.ds_heap.push(Expiry {
                 at: now + t,
@@ -460,7 +460,7 @@ mod tests {
         let mut m = MemoryManager::new(config(IdlePolicy::DisableAfter(10.0)));
         assert!(!m.access(1, 0.0));
         assert!(m.access(1, 5.0)); // still cached
-        // Idle 20 s > timeout: bank expired, page lost.
+                                   // Idle 20 s > timeout: bank expired, page lost.
         assert!(!m.access(1, 25.0), "expired bank must lose its pages");
         // And it is cached again afterwards.
         assert!(m.access(1, 26.0));
@@ -470,7 +470,7 @@ mod tests {
     fn disable_expiry_is_per_bank() {
         let mut m = MemoryManager::new(config(IdlePolicy::DisableAfter(10.0)));
         m.access(0, 0.0); // bank 0 (frame 0)
-        // Keep bank 0 warm via a second page while letting nothing else age.
+                          // Keep bank 0 warm via a second page while letting nothing else age.
         m.access(1, 8.0);
         m.access(0, 16.0); // within 10 s of the bank's last access at 8.0
         assert_eq!(m.hits(), 1, "bank stays alive while any page keeps it warm");
@@ -668,8 +668,8 @@ mod tests {
         let mut m = MemoryManager::new(config(IdlePolicy::DisableAfter(10.0)));
         m.access(1, 0.0);
         m.access(1, 5.0); // re-arms the bank; first heap entry now stale
-        // At t = 12 the stale entry (expiry 10) fires but must not
-        // invalidate: the bank was touched at 5.0 and expires at 15.
+                          // At t = 12 the stale entry (expiry 10) fires but must not
+                          // invalidate: the bank was touched at 5.0 and expires at 15.
         assert!(m.access(1, 12.0));
     }
 }

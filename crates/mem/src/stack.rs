@@ -120,11 +120,7 @@ impl StackProfiler {
 
     /// Re-packs slots to the current distinct pages, keeping recency order.
     fn compact(&mut self) {
-        let mut pages: Vec<(u64, usize)> = self
-            .last_slot
-            .iter()
-            .map(|(&p, &s)| (p, s))
-            .collect();
+        let mut pages: Vec<(u64, usize)> = self.last_slot.iter().map(|(&p, &s)| (p, s)).collect();
         pages.sort_by_key(|&(_, s)| s);
         let n = pages.len();
         let new_cap = (2 * n).max(1024);

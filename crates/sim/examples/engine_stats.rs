@@ -1,0 +1,35 @@
+//! Prints the engine counters and per-period event log for a small run.
+use jpmd_mem::{IdlePolicy, MemConfig, RdramModel};
+use jpmd_sim::{run_simulation, NullController, SimConfig, SpinDownPolicy};
+use jpmd_trace::{WorkloadBuilder, GIB, MIB};
+
+fn main() {
+    let trace = WorkloadBuilder::new()
+        .data_set_bytes(GIB / 4)
+        .rate_bytes_per_sec(8 * MIB)
+        .write_fraction(0.3)
+        .duration_secs(1200.0)
+        .seed(7)
+        .build()
+        .expect("workload generation");
+    let mut cfg = SimConfig::with_mem(MemConfig {
+        page_bytes: 1 << 20,
+        bank_pages: 4,
+        total_banks: 8,
+        initial_banks: 8,
+        model: RdramModel::default(),
+        policy: IdlePolicy::Nap,
+    });
+    cfg.period_secs = 300.0;
+    cfg.warmup_secs = 300.0;
+    cfg.sync_interval_secs = 60.0;
+    let report = run_simulation(
+        &cfg,
+        SpinDownPolicy::AlwaysOn,
+        &mut NullController,
+        &trace,
+        1200.0,
+        "example",
+    );
+    println!("{:#?}", report.engine);
+}

@@ -115,7 +115,10 @@ pub fn run_array_simulation(
         config.mem.page_bytes,
         "trace and memory must agree on the page size"
     );
-    assert!(duration > config.warmup_secs, "duration must exceed warm-up");
+    assert!(
+        duration > config.warmup_secs,
+        "duration must exceed warm-up"
+    );
 
     let n = array_config.disks;
     let page_bytes = config.mem.page_bytes;
@@ -336,6 +339,7 @@ pub fn run_array_simulation(
         utilization: (array.busy_secs() - w_busy) / (n as f64 * window.max(f64::MIN_POSITIVE)),
         spin_downs: array.spin_downs() - w_spin,
         periods: rows,
+        engine: crate::EngineStats::default(),
     }
 }
 
@@ -445,9 +449,7 @@ mod tests {
             ) -> ArrayControlAction {
                 ArrayControlAction {
                     enabled_banks: None,
-                    disk_timeouts: Some(
-                        (0..obs.per_disk.len()).map(|d| 5.0 + d as f64).collect(),
-                    ),
+                    disk_timeouts: Some((0..obs.per_disk.len()).map(|d| 5.0 + d as f64).collect()),
                 }
             }
         }

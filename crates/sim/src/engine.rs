@@ -1,0 +1,439 @@
+//! The event-driven replay engine.
+//!
+//! [`Engine::run`] is a thin replay core: it walks the trace, drives the
+//! [`HwState`], and emits typed [`SimEvent`]s to a set of pluggable
+//! [`SimObserver`]s. Everything that used to be inline state in the old
+//! monolithic replay loop — period accounting, the warm-up snapshot, the
+//! flush daemon, latency tracking, energy metering — lives in observers
+//! (see [`crate::observers`]); the engine itself only knows how to turn
+//! trace records into accesses, coalesce misses into disk requests, and
+//! fire observer timers in deterministic order.
+//!
+//! # Timer semantics
+//!
+//! Each observer exposes [`SimObserver::next_timer`], the absolute time of
+//! its next scheduled wake-up (`f64::INFINITY` for none). Before each trace
+//! record (and once at the end of the run) the engine fires every timer due
+//! at or before the current target time, earliest first. When several
+//! timers are due at the *same* instant they fire in **registration
+//! order** — the order observers were passed to [`Engine::run`]. The
+//! standard stack registers `[WarmupWindow, PeriodAccounting, FlushDaemon,
+//! …]`, which pins the legacy replay's tie-breaks: at a shared instant the
+//! warm-up snapshot happens first, then the period row, then the sync
+//! tick.
+//!
+//! Events an observer emits from a timer callback are dispatched to all
+//! observers immediately, before the next timer fires.
+
+use std::time::Instant;
+
+use jpmd_trace::{AccessKind, Trace, TraceRecord};
+use serde::{Deserialize, Serialize};
+
+use crate::{EventCounts, HwState, SimEvent};
+
+/// A pluggable simulation component receiving engine events.
+///
+/// Observers own the state the old monolithic loop kept in locals; the
+/// engine talks to them through three hooks. All hooks default to no-ops so
+/// purely passive components implement only what they need.
+pub trait SimObserver {
+    /// Absolute time of this observer's next scheduled wake-up, or
+    /// `f64::INFINITY` when it has none. Timers at or before the engine's
+    /// current target fire via [`SimObserver::on_timer`].
+    fn next_timer(&self) -> f64 {
+        f64::INFINITY
+    }
+
+    /// Timer callback at time `t`. Must advance [`SimObserver::next_timer`]
+    /// past `t` (the engine panics on stuck timers). Events pushed into
+    /// `out` are dispatched to every observer before the next timer fires.
+    fn on_timer(&mut self, _t: f64, _hw: &mut HwState, _out: &mut Vec<SimEvent>) {}
+
+    /// Event callback; fired for every event in causal order.
+    fn on_event(&mut self, _event: &SimEvent, _hw: &mut HwState) {}
+}
+
+/// Event totals for one stretch of the run (engine observability).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PeriodEvents {
+    /// Start of the stretch, s.
+    pub start: f64,
+    /// End of the stretch, s (a period boundary, or the run's end for the
+    /// trailing partial period).
+    pub end: f64,
+    /// Events dispatched inside the stretch.
+    pub counts: EventCounts,
+}
+
+/// Engine counters surfaced in [`RunReport`](crate::RunReport).
+///
+/// Equality ignores the wall-clock fields (`replay_wall_secs`,
+/// `accesses_per_sec`): two runs of the same configuration produce equal
+/// `EngineStats` even though their wall-clock timings differ, so whole
+/// reports can still be compared in determinism tests.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Events dispatched over the whole run.
+    pub events_processed: u64,
+    /// Per-type totals over the whole run.
+    pub counts: EventCounts,
+    /// Structured per-period event log (one row per control period, plus a
+    /// trailing row for a partial final period).
+    pub period_log: Vec<PeriodEvents>,
+    /// Wall-clock time spent replaying, s (not part of equality).
+    pub replay_wall_secs: f64,
+    /// Replay throughput, page accesses per wall-clock second (not part of
+    /// equality).
+    pub accesses_per_sec: f64,
+}
+
+impl PartialEq for EngineStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.events_processed == other.events_processed
+            && self.counts == other.counts
+            && self.period_log == other.period_log
+    }
+}
+
+/// The event-driven replay core. See the [module docs](self) for the
+/// execution model.
+#[derive(Default)]
+pub struct Engine {
+    stats: EngineStats,
+    segment: EventCounts,
+    segment_start: f64,
+}
+
+impl Engine {
+    /// A fresh engine.
+    pub fn new() -> Self {
+        Engine::default()
+    }
+
+    /// Replays `trace` against `hw` until `duration`, dispatching to
+    /// `observers`, and returns the engine's counters. Records at or after
+    /// `duration` are ignored; all timers due by `duration` fire and the
+    /// hardware is settled there.
+    pub fn run(
+        mut self,
+        trace: &Trace,
+        duration: f64,
+        hw: &mut HwState,
+        observers: &mut [&mut dyn SimObserver],
+    ) -> EngineStats {
+        let wall = Instant::now();
+        for record in trace.records() {
+            if record.time >= duration {
+                break;
+            }
+            self.advance_to(record.time, hw, observers);
+            self.replay_record(record, hw, observers);
+        }
+        self.advance_to(duration, hw, observers);
+        hw.settle(duration);
+        if self.segment_start < duration || self.segment.total() > 0 {
+            self.close_segment(duration);
+        }
+        self.stats.replay_wall_secs = wall.elapsed().as_secs_f64();
+        self.stats.accesses_per_sec =
+            self.stats.counts.accesses as f64 / self.stats.replay_wall_secs.max(f64::MIN_POSITIVE);
+        self.stats
+    }
+
+    /// Fires every observer timer due at or before `target`, earliest
+    /// first, ties in registration order.
+    fn advance_to(
+        &mut self,
+        target: f64,
+        hw: &mut HwState,
+        observers: &mut [&mut dyn SimObserver],
+    ) {
+        loop {
+            let due = observers
+                .iter()
+                .fold(f64::INFINITY, |m, ob| m.min(ob.next_timer()));
+            if due > target {
+                return;
+            }
+            for i in 0..observers.len() {
+                if observers[i].next_timer() == due {
+                    let mut out = Vec::new();
+                    observers[i].on_timer(due, hw, &mut out);
+                    assert!(
+                        observers[i].next_timer() > due,
+                        "observer {i} did not advance its timer past {due}"
+                    );
+                    self.dispatch(&out, hw, observers);
+                }
+            }
+        }
+    }
+
+    /// Replays one trace record: pages are looked up in order, misses are
+    /// coalesced into contiguous runs (each becoming one disk request), and
+    /// displaced dirty pages go back to the disk as background writes.
+    fn replay_record(
+        &mut self,
+        record: &TraceRecord,
+        hw: &mut HwState,
+        observers: &mut [&mut dyn SimObserver],
+    ) {
+        let now = record.time;
+        let write = record.kind == AccessKind::Write;
+        let mut run_start: Option<u64> = None;
+        let mut run_len = 0u64;
+        for page in record.page_range() {
+            let hit = hw.mem.access_rw(page, now, write);
+            if hit {
+                // Close the pending run first so a miss run's latency is
+                // recorded before the hit that ended it (observers rely on
+                // this order).
+                self.flush_run(&mut run_start, &mut run_len, now, hw, observers);
+            } else {
+                if run_start.is_none() {
+                    run_start = Some(page);
+                }
+                run_len += 1;
+            }
+            self.dispatch(
+                &[SimEvent::Access {
+                    time: now,
+                    page,
+                    hit,
+                    write,
+                }],
+                hw,
+                observers,
+            );
+        }
+        self.flush_run(&mut run_start, &mut run_len, now, hw, observers);
+        let writebacks = hw.mem.take_writebacks();
+        if !writebacks.is_empty() {
+            let events = hw.submit_writes(writebacks, now);
+            self.dispatch(&events, hw, observers);
+        }
+    }
+
+    /// Turns the pending miss run (if any) into one disk request.
+    fn flush_run(
+        &mut self,
+        run_start: &mut Option<u64>,
+        run_len: &mut u64,
+        now: f64,
+        hw: &mut HwState,
+        observers: &mut [&mut dyn SimObserver],
+    ) {
+        if let Some(first) = run_start.take() {
+            let pages = *run_len;
+            *run_len = 0;
+            let outcome = hw.submit_request(now, first, pages);
+            self.dispatch(
+                &[
+                    SimEvent::Miss {
+                        time: now,
+                        first_page: first,
+                        pages,
+                    },
+                    SimEvent::DiskRequest {
+                        time: now,
+                        first_page: first,
+                        pages,
+                        latency: outcome.latency,
+                        woke_disk: outcome.woke_disk,
+                        user: true,
+                    },
+                ],
+                hw,
+                observers,
+            );
+        }
+    }
+
+    /// Delivers events to every observer and tallies them.
+    fn dispatch(
+        &mut self,
+        events: &[SimEvent],
+        hw: &mut HwState,
+        observers: &mut [&mut dyn SimObserver],
+    ) {
+        for event in events {
+            self.stats.events_processed += 1;
+            self.stats.counts.record(event);
+            self.segment.record(event);
+            if let SimEvent::PeriodBoundary { end, .. } = event {
+                self.close_segment(*end);
+            }
+            for observer in observers.iter_mut() {
+                observer.on_event(event, hw);
+            }
+        }
+    }
+
+    fn close_segment(&mut self, end: f64) {
+        self.stats.period_log.push(PeriodEvents {
+            start: self.segment_start,
+            end,
+            counts: std::mem::take(&mut self.segment),
+        });
+        self.segment_start = end;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimConfig;
+    use jpmd_disk::SpinDownPolicy;
+    use jpmd_mem::{IdlePolicy, MemConfig, RdramModel};
+    use jpmd_trace::{FileId, TraceRecord};
+
+    fn hw() -> HwState {
+        let config = SimConfig::with_mem(MemConfig {
+            page_bytes: 1 << 20,
+            bank_pages: 4,
+            total_banks: 8,
+            initial_banks: 8,
+            model: RdramModel::default(),
+            policy: IdlePolicy::Nap,
+        });
+        HwState::new(&config, SpinDownPolicy::AlwaysOn, 64)
+    }
+
+    fn trace(records: Vec<TraceRecord>) -> Trace {
+        Trace::new(records, 1 << 20, 64)
+    }
+
+    fn record(time: f64, first_page: u64, pages: u64) -> TraceRecord {
+        TraceRecord {
+            time,
+            file: FileId(0),
+            first_page,
+            pages,
+            kind: AccessKind::Read,
+        }
+    }
+
+    /// Records every event it sees; a timer at a fixed instant.
+    #[derive(Default)]
+    struct Recorder {
+        events: Vec<SimEvent>,
+        timer: Option<f64>,
+    }
+
+    impl SimObserver for Recorder {
+        fn next_timer(&self) -> f64 {
+            self.timer.unwrap_or(f64::INFINITY)
+        }
+        fn on_timer(&mut self, t: f64, _hw: &mut HwState, out: &mut Vec<SimEvent>) {
+            self.timer = None;
+            out.push(SimEvent::Sync { time: t, pages: 0 });
+        }
+        fn on_event(&mut self, event: &SimEvent, _hw: &mut HwState) {
+            self.events.push(event.clone());
+        }
+    }
+
+    #[test]
+    fn events_follow_causal_order() {
+        // 4 misses coalesce into one run; the re-access hits.
+        let mut recorder = Recorder::default();
+        let mut hw = hw();
+        {
+            let mut obs: [&mut dyn SimObserver; 1] = [&mut recorder];
+            let stats = Engine::new().run(
+                &trace(vec![record(1.0, 0, 2), record(2.0, 0, 2)]),
+                10.0,
+                &mut hw,
+                &mut obs,
+            );
+            assert_eq!(stats.counts.accesses, 4);
+            assert_eq!(stats.counts.misses, 1);
+            assert_eq!(stats.counts.disk_requests, 1);
+            assert_eq!(stats.events_processed, stats.counts.total());
+        }
+        // Miss pages arrive as Access{hit: false} then the coalesced
+        // Miss + DiskRequest pair, then the second record's hits.
+        let kinds: Vec<&'static str> = recorder
+            .events
+            .iter()
+            .map(|e| match e {
+                SimEvent::Access { hit: true, .. } => "hit",
+                SimEvent::Access { hit: false, .. } => "miss-page",
+                SimEvent::Miss { .. } => "miss-run",
+                SimEvent::DiskRequest { .. } => "request",
+                _ => "other",
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "miss-page",
+                "miss-page",
+                "miss-run",
+                "request",
+                "hit",
+                "hit"
+            ]
+        );
+    }
+
+    #[test]
+    fn timer_fires_between_records_and_events_reach_emitter() {
+        let mut recorder = Recorder {
+            timer: Some(5.0),
+            ..Recorder::default()
+        };
+        let mut hw = hw();
+        {
+            let mut obs: [&mut dyn SimObserver; 1] = [&mut recorder];
+            let stats = Engine::new().run(
+                &trace(vec![record(1.0, 0, 1), record(9.0, 0, 1)]),
+                10.0,
+                &mut hw,
+                &mut obs,
+            );
+            assert_eq!(stats.counts.syncs, 1);
+        }
+        let sync_pos = recorder
+            .events
+            .iter()
+            .position(|e| matches!(e, SimEvent::Sync { .. }))
+            .expect("sync dispatched");
+        let second_access = recorder
+            .events
+            .iter()
+            .position(|e| matches!(e, SimEvent::Access { time, .. } if *time == 9.0))
+            .expect("second access");
+        assert!(sync_pos < second_access);
+    }
+
+    #[test]
+    fn stats_equality_ignores_wall_clock() {
+        let mut a = EngineStats {
+            events_processed: 3,
+            replay_wall_secs: 1.0,
+            accesses_per_sec: 3.0,
+            ..EngineStats::default()
+        };
+        let b = EngineStats {
+            events_processed: 3,
+            replay_wall_secs: 2.0,
+            accesses_per_sec: 1.5,
+            ..EngineStats::default()
+        };
+        assert_eq!(a, b);
+        a.events_processed = 4;
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn trailing_partial_segment_is_logged() {
+        let mut hw = hw();
+        let stats = Engine::new().run(&trace(vec![record(1.0, 0, 1)]), 10.0, &mut hw, &mut []);
+        assert_eq!(stats.period_log.len(), 1);
+        assert_eq!(stats.period_log[0].start, 0.0);
+        assert_eq!(stats.period_log[0].end, 10.0);
+        assert_eq!(stats.period_log[0].counts.accesses, 1);
+    }
+}

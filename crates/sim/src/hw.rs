@@ -1,0 +1,178 @@
+//! The simulated hardware owned by the [`Engine`](crate::Engine): memory,
+//! disk, and spin-down policy, plus the request bookkeeping both the
+//! replay core and the observers read.
+
+use jpmd_disk::{Disk, DiskPowerModel, RequestOutcome, SpinDownPolicy};
+use jpmd_mem::MemoryManager;
+
+use crate::{ControlAction, EnergyBreakdown, SimConfig, SimEvent};
+
+/// The hardware under simulation.
+///
+/// Observers receive `&mut HwState` with every callback: they read counters
+/// to build observations and may act on the hardware (the period controller
+/// resizes memory and retunes the disk timeout through
+/// [`HwState::apply_action`]).
+pub struct HwState {
+    /// The disk cache (banked memory, LRU, stack profiler).
+    pub mem: MemoryManager,
+    /// The disk behind the cache (queue, spin-down, energy).
+    pub disk: Disk,
+    /// The policy supplying the disk's idleness timeout.
+    pub spindown: SpinDownPolicy,
+    /// All pages moved between disk and memory so far (read misses +
+    /// write-backs).
+    pub disk_pages: u64,
+    /// Disk request arrival times inside the current control period
+    /// (cleared by the period observer at each boundary).
+    pub period_disk_times: Vec<f64>,
+    page_bytes: u64,
+    disk_power: DiskPowerModel,
+}
+
+impl HwState {
+    /// Builds the hardware for one run: a memory manager and a disk sized
+    /// for `total_pages`, with the spin-down policy's initial timeout
+    /// applied.
+    pub fn new(config: &SimConfig, spindown: SpinDownPolicy, total_pages: u64) -> Self {
+        let mut mem = MemoryManager::new(config.mem);
+        mem.set_replacement(config.replacement);
+        mem.set_consolidation(config.consolidate);
+        let mut disk = Disk::new(config.disk_power, config.disk_service, total_pages);
+        disk.set_timeout(spindown.timeout());
+        HwState {
+            mem,
+            disk,
+            spindown,
+            disk_pages: 0,
+            period_disk_times: Vec::new(),
+            page_bytes: config.mem.page_bytes,
+            disk_power: config.disk_power,
+        }
+    }
+
+    /// Advances both components' internal clocks to `t` (idempotent).
+    pub fn settle(&mut self, t: f64) {
+        self.mem.settle(t);
+        self.disk.settle(t);
+    }
+
+    /// Current cumulative energy of both components.
+    pub fn snapshot_energy(&self) -> EnergyBreakdown {
+        EnergyBreakdown {
+            mem: self.mem.energy(),
+            disk: self.disk.energy(),
+        }
+    }
+
+    /// Submits one contiguous run of pages to the disk at `at`, letting the
+    /// spin-down policy react, and records the request in the period
+    /// bookkeeping.
+    pub fn submit_request(&mut self, at: f64, first_page: u64, pages: u64) -> RequestOutcome {
+        let outcome = self.disk.submit(at, first_page, pages, self.page_bytes);
+        let timeout = self.spindown.after_request(&outcome, &self.disk_power);
+        self.disk.set_timeout(timeout);
+        self.period_disk_times.push(at);
+        self.disk_pages += pages;
+        outcome
+    }
+
+    /// Submits background write-back pages as coalesced disk writes at
+    /// `at`, returning one [`SimEvent::DiskRequest`] (with `user: false`)
+    /// per coalesced run. Flushes do not count toward user latency but
+    /// they do occupy the disk (energy, busy time, idle-interval
+    /// structure).
+    pub fn submit_writes(&mut self, mut pages: Vec<u64>, at: f64) -> Vec<SimEvent> {
+        pages.sort_unstable();
+        let mut events = Vec::new();
+        let mut i = 0usize;
+        while i < pages.len() {
+            let first = pages[i];
+            let mut len = 1u64;
+            while i + (len as usize) < pages.len() && pages[i + len as usize] == first + len {
+                len += 1;
+            }
+            let outcome = self.submit_request(at, first, len);
+            events.push(SimEvent::DiskRequest {
+                time: at,
+                first_page: first,
+                pages: len,
+                latency: outcome.latency,
+                woke_disk: outcome.woke_disk,
+                user: false,
+            });
+            i += len as usize;
+        }
+        events
+    }
+
+    /// Applies a controller's decision at time `t`.
+    pub fn apply_action(&mut self, action: &ControlAction, t: f64) {
+        if let Some(banks) = action.enabled_banks {
+            self.mem.set_enabled_banks(banks, t);
+        }
+        if let Some(timeout) = action.disk_timeout {
+            self.spindown.set_controlled_timeout(timeout);
+            self.disk.set_timeout(timeout);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jpmd_mem::{IdlePolicy, MemConfig, RdramModel};
+
+    fn hw(spindown: SpinDownPolicy) -> HwState {
+        let config = SimConfig::with_mem(MemConfig {
+            page_bytes: 1 << 20,
+            bank_pages: 4,
+            total_banks: 8,
+            initial_banks: 8,
+            model: RdramModel::default(),
+            policy: IdlePolicy::Nap,
+        });
+        HwState::new(&config, spindown, 64)
+    }
+
+    #[test]
+    fn submit_writes_coalesces_contiguous_pages() {
+        let mut hw = hw(SpinDownPolicy::AlwaysOn);
+        // 0..3 and 8..9 coalesce into two requests; order-insensitive.
+        let events = hw.submit_writes(vec![9, 0, 2, 1, 8], 5.0);
+        assert_eq!(events.len(), 2);
+        assert_eq!(hw.disk_pages, 5);
+        assert_eq!(hw.disk.requests(), 2);
+        assert_eq!(hw.period_disk_times, vec![5.0, 5.0]);
+        match events[0] {
+            SimEvent::DiskRequest {
+                first_page,
+                pages,
+                user,
+                ..
+            } => {
+                assert_eq!((first_page, pages), (0, 3));
+                assert!(!user);
+            }
+            _ => panic!("expected DiskRequest"),
+        }
+    }
+
+    #[test]
+    fn apply_action_resizes_and_retunes() {
+        let mut hw = hw(SpinDownPolicy::controlled(f64::INFINITY));
+        hw.apply_action(
+            &ControlAction {
+                enabled_banks: Some(4),
+                disk_timeout: Some(7.0),
+            },
+            10.0,
+        );
+        assert_eq!(hw.mem.enabled_banks(), 4);
+        assert_eq!(hw.disk.timeout(), 7.0);
+        // Empty action leaves everything alone.
+        hw.apply_action(&ControlAction::default(), 11.0);
+        assert_eq!(hw.mem.enabled_banks(), 4);
+        assert_eq!(hw.disk.timeout(), 7.0);
+    }
+}

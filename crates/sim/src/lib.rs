@@ -67,7 +67,13 @@
 mod array_system;
 mod config;
 mod controller;
+pub mod engine;
+mod events;
+mod hw;
+#[cfg(test)]
+mod legacy;
 mod metrics;
+pub mod observers;
 mod system;
 
 pub use array_system::{
@@ -76,7 +82,14 @@ pub use array_system::{
 };
 pub use config::SimConfig;
 pub use controller::{ControlAction, NullController, PeriodController, PeriodObservation};
+pub use engine::{Engine, EngineStats, PeriodEvents, SimObserver};
+pub use events::{EventCounts, SimEvent};
+pub use hw::HwState;
 pub use metrics::{EnergyBreakdown, PeriodRow, RunReport};
+pub use observers::{
+    EnergyMeter, EnergySummary, FlushDaemon, LatencySummary, LatencyTracker, PeriodAccounting,
+    WarmupWindow,
+};
 pub use system::run_simulation;
 
 // Re-exported so downstream callers can build configurations without

@@ -3,7 +3,7 @@ use serde::{Deserialize, Serialize};
 use jpmd_disk::DiskEnergy;
 use jpmd_mem::MemEnergy;
 
-use crate::{ControlAction, PeriodObservation};
+use crate::{ControlAction, EngineStats, PeriodObservation};
 
 /// Combined memory + disk energy for one run (or one window of a run).
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
@@ -85,6 +85,9 @@ pub struct RunReport {
     pub spin_downs: u64,
     /// Per-period time series (full run, including warm-up).
     pub periods: Vec<PeriodRow>,
+    /// Engine observability: event totals, the per-period event log, and
+    /// replay throughput (wall-clock fields are excluded from equality).
+    pub engine: EngineStats,
 }
 
 impl RunReport {
@@ -164,6 +167,7 @@ mod tests {
             utilization: 0.05,
             spin_downs: 2,
             periods: Vec::new(),
+            engine: EngineStats::default(),
         }
     }
 

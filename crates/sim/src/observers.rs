@@ -1,0 +1,341 @@
+//! The standard observer stack: the components that used to be inline
+//! state in the monolithic replay loop, each now owning one concern.
+//!
+//! [`run_simulation`](crate::run_simulation) registers them in a
+//! **load-bearing order** — `[WarmupWindow, PeriodAccounting, FlushDaemon,
+//! LatencyTracker, EnergyMeter]` — because the engine fires same-instant
+//! timers in registration order. That reproduces the legacy loop's
+//! tie-breaks exactly: when the warm-up end, a period boundary, and a sync
+//! tick coincide, the warm-up snapshot is taken first, then the period row
+//! is closed, then the flush daemon writes back (its traffic lands in the
+//! *next* period).
+
+use jpmd_stats::{IdleIntervals, Welford};
+
+use crate::{
+    EnergyBreakdown, HwState, PeriodController, PeriodObservation, PeriodRow, SimEvent, SimObserver,
+};
+
+/// Ends the warm-up window: settles the hardware at `warmup_secs` and emits
+/// [`SimEvent::WarmupEnd`], which the metering observers use to snapshot
+/// their baselines. With a non-positive warm-up no event is ever emitted
+/// (measurement covers the whole run and all baselines stay zero).
+pub struct WarmupWindow {
+    at: f64,
+    done: bool,
+}
+
+impl WarmupWindow {
+    /// A warm-up window ending at `warmup_secs`.
+    pub fn new(warmup_secs: f64) -> Self {
+        WarmupWindow {
+            at: warmup_secs,
+            done: warmup_secs <= 0.0,
+        }
+    }
+}
+
+impl SimObserver for WarmupWindow {
+    fn next_timer(&self) -> f64 {
+        if self.done {
+            f64::INFINITY
+        } else {
+            self.at
+        }
+    }
+
+    fn on_timer(&mut self, t: f64, hw: &mut HwState, out: &mut Vec<SimEvent>) {
+        self.done = true;
+        hw.settle(t);
+        out.push(SimEvent::WarmupEnd { time: t });
+    }
+}
+
+/// Closes control periods: at every period boundary it settles the
+/// hardware, builds the [`PeriodObservation`] from the since-last-boundary
+/// deltas, invokes the controller, applies its [`ControlAction`]
+/// (memory resize, disk timeout) to the hardware, records the
+/// [`PeriodRow`], and emits [`SimEvent::PeriodBoundary`].
+///
+/// [`ControlAction`]: crate::ControlAction
+pub struct PeriodAccounting<'a> {
+    controller: &'a mut dyn PeriodController,
+    period_secs: f64,
+    aggregation_window_secs: f64,
+    period_start: f64,
+    next_period: f64,
+    p_acc: u64,
+    p_pages: u64,
+    p_req: u64,
+    p_busy: f64,
+    p_energy: EnergyBreakdown,
+    rows: Vec<PeriodRow>,
+}
+
+impl<'a> PeriodAccounting<'a> {
+    /// Period accounting driving `controller` every `period_secs`, with
+    /// idle intervals aggregated at `aggregation_window_secs` (paper
+    /// Sec. 4.2).
+    pub fn new(
+        controller: &'a mut dyn PeriodController,
+        period_secs: f64,
+        aggregation_window_secs: f64,
+    ) -> Self {
+        PeriodAccounting {
+            controller,
+            period_secs,
+            aggregation_window_secs,
+            period_start: 0.0,
+            next_period: period_secs,
+            p_acc: 0,
+            p_pages: 0,
+            p_req: 0,
+            p_busy: 0.0,
+            p_energy: EnergyBreakdown::default(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// The recorded period rows (one per closed period; a trailing partial
+    /// period produces no row, exactly like the legacy loop).
+    pub fn into_rows(self) -> Vec<PeriodRow> {
+        self.rows
+    }
+}
+
+impl SimObserver for PeriodAccounting<'_> {
+    fn next_timer(&self) -> f64 {
+        self.next_period
+    }
+
+    fn on_timer(&mut self, t: f64, hw: &mut HwState, out: &mut Vec<SimEvent>) {
+        hw.settle(t);
+        let observation = PeriodObservation {
+            start: self.period_start,
+            end: t,
+            cache_accesses: hw.mem.accesses() - self.p_acc,
+            disk_page_accesses: hw.disk_pages - self.p_pages,
+            disk_requests: hw.disk.requests() - self.p_req,
+            disk_busy_secs: hw.disk.busy_secs() - self.p_busy,
+            idle: IdleIntervals::from_timestamps(
+                &hw.period_disk_times,
+                self.aggregation_window_secs,
+            )
+            .stats(),
+            enabled_banks: hw.mem.enabled_banks(),
+            disk_timeout: hw.disk.timeout(),
+            energy_total_j: hw.snapshot_energy().since(&self.p_energy).total_j(),
+        };
+        let log = hw.mem.take_log();
+        let action = self.controller.on_period_end(&observation, &log);
+        hw.apply_action(&action, t);
+        out.push(SimEvent::PeriodBoundary {
+            index: self.rows.len(),
+            start: self.period_start,
+            end: t,
+        });
+        self.rows.push(PeriodRow {
+            observation,
+            action,
+        });
+        self.period_start = t;
+        self.next_period = t + self.period_secs;
+        self.p_acc = hw.mem.accesses();
+        self.p_pages = hw.disk_pages;
+        self.p_req = hw.disk.requests();
+        self.p_busy = hw.disk.busy_secs();
+        self.p_energy = hw.snapshot_energy();
+        hw.period_disk_times.clear();
+    }
+}
+
+/// The dirty-page flush daemon: every `interval` it writes all dirty pages
+/// back to the disk as coalesced background requests (emitted as
+/// [`SimEvent::DiskRequest`] with `user: false`, followed by one
+/// [`SimEvent::Sync`] per tick). Deliberately does *not* settle the
+/// hardware — background flushes poke the disk without advancing the
+/// metering clocks, matching the legacy loop.
+pub struct FlushDaemon {
+    interval: f64,
+    next_sync: f64,
+}
+
+impl FlushDaemon {
+    /// A flush daemon ticking every `interval_secs` (infinite disables it).
+    pub fn new(interval_secs: f64) -> Self {
+        FlushDaemon {
+            interval: interval_secs,
+            next_sync: interval_secs,
+        }
+    }
+}
+
+impl SimObserver for FlushDaemon {
+    fn next_timer(&self) -> f64 {
+        self.next_sync
+    }
+
+    fn on_timer(&mut self, t: f64, hw: &mut HwState, out: &mut Vec<SimEvent>) {
+        let dirty = hw.mem.sync_dirty();
+        let pages = dirty.len() as u64;
+        out.extend(hw.submit_writes(dirty, t));
+        out.push(SimEvent::Sync { time: t, pages });
+        self.next_sync += self.interval;
+    }
+}
+
+/// User-visible latency inside the measured window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencySummary {
+    /// Mean per-page access latency, s (hits contribute 0).
+    pub mean_latency_secs: f64,
+    /// Median user disk-request latency, s.
+    pub request_latency_p50_secs: f64,
+    /// 99th-percentile user disk-request latency, s.
+    pub request_latency_p99_secs: f64,
+    /// Worst user request latency, s.
+    pub max_latency_secs: f64,
+    /// Page accesses with latency above the long-latency threshold.
+    pub long_latency_count: u64,
+}
+
+/// Tracks user-visible latency: every measured page access contributes to
+/// the mean (hits as 0, each page of a missed run as the run's request
+/// latency); user disk requests feed the percentile sample. Background
+/// flushes (`user: false`) are ignored. Measurement starts at
+/// [`SimEvent::WarmupEnd`] (immediately, for a non-positive warm-up).
+pub struct LatencyTracker {
+    measuring: bool,
+    long_threshold: f64,
+    latency: Welford,
+    request_latencies: Vec<f64>,
+    long_count: u64,
+    max_latency: f64,
+}
+
+impl LatencyTracker {
+    /// A tracker measuring after `warmup_secs`, counting accesses slower
+    /// than `long_latency_secs` as long-latency (paper: 0.5 s).
+    pub fn new(warmup_secs: f64, long_latency_secs: f64) -> Self {
+        LatencyTracker {
+            measuring: warmup_secs <= 0.0,
+            long_threshold: long_latency_secs,
+            latency: Welford::new(),
+            request_latencies: Vec::new(),
+            long_count: 0,
+            max_latency: 0.0,
+        }
+    }
+
+    /// Final latency statistics over the measured window.
+    pub fn finalize(mut self) -> LatencySummary {
+        self.request_latencies.sort_by(f64::total_cmp);
+        LatencySummary {
+            mean_latency_secs: self.latency.mean(),
+            request_latency_p50_secs: jpmd_stats::percentile(&self.request_latencies, 0.5)
+                .unwrap_or(0.0),
+            request_latency_p99_secs: jpmd_stats::percentile(&self.request_latencies, 0.99)
+                .unwrap_or(0.0),
+            max_latency_secs: self.max_latency,
+            long_latency_count: self.long_count,
+        }
+    }
+}
+
+impl SimObserver for LatencyTracker {
+    fn on_event(&mut self, event: &SimEvent, _hw: &mut HwState) {
+        match *event {
+            SimEvent::WarmupEnd { .. } => self.measuring = true,
+            SimEvent::Access { hit: true, .. } if self.measuring => self.latency.push(0.0),
+            SimEvent::DiskRequest {
+                latency,
+                pages,
+                user: true,
+                ..
+            } if self.measuring => {
+                self.request_latencies.push(latency);
+                for _ in 0..pages {
+                    self.latency.push(latency);
+                }
+                if latency > self.long_threshold {
+                    self.long_count += pages;
+                }
+                if latency > self.max_latency {
+                    self.max_latency = latency;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Measured-window energy and traffic totals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergySummary {
+    /// Energy consumed inside the window.
+    pub energy: EnergyBreakdown,
+    /// Page lookups inside the window.
+    pub cache_accesses: u64,
+    /// Lookups served from memory.
+    pub hits: u64,
+    /// Pages moved between disk and memory.
+    pub disk_page_accesses: u64,
+    /// Disk requests (user + background).
+    pub disk_requests: u64,
+    /// Fraction of the window the disk was busy.
+    pub utilization: f64,
+    /// Disk spin-downs inside the window.
+    pub spin_downs: u64,
+}
+
+/// Meters energy and traffic over the measured window: snapshots baselines
+/// at [`SimEvent::WarmupEnd`] (the hardware is already settled there by
+/// [`WarmupWindow`]) and reports end-of-run deltas via
+/// [`EnergyMeter::finalize`].
+#[derive(Default)]
+pub struct EnergyMeter {
+    baseline: EnergyBreakdown,
+    acc: u64,
+    hits: u64,
+    req: u64,
+    busy: f64,
+    spins: u64,
+    pages: u64,
+}
+
+impl EnergyMeter {
+    /// A meter with all-zero baselines (measuring from t = 0 until a
+    /// [`SimEvent::WarmupEnd`] re-baselines it).
+    pub fn new() -> Self {
+        EnergyMeter::default()
+    }
+
+    /// Measured-window totals; `hw` must already be settled at the run's
+    /// end (the engine guarantees this) and `window` is the measured
+    /// duration.
+    pub fn finalize(&self, hw: &HwState, window: f64) -> EnergySummary {
+        EnergySummary {
+            energy: hw.snapshot_energy().since(&self.baseline),
+            cache_accesses: hw.mem.accesses() - self.acc,
+            hits: hw.mem.hits() - self.hits,
+            disk_page_accesses: hw.disk_pages - self.pages,
+            disk_requests: hw.disk.requests() - self.req,
+            utilization: (hw.disk.busy_secs() - self.busy) / window.max(f64::MIN_POSITIVE),
+            spin_downs: hw.disk.spin_downs() - self.spins,
+        }
+    }
+}
+
+impl SimObserver for EnergyMeter {
+    fn on_event(&mut self, event: &SimEvent, hw: &mut HwState) {
+        if let SimEvent::WarmupEnd { .. } = event {
+            self.baseline = hw.snapshot_energy();
+            self.acc = hw.mem.accesses();
+            self.hits = hw.mem.hits();
+            self.req = hw.disk.requests();
+            self.busy = hw.disk.busy_secs();
+            self.spins = hw.disk.spin_downs();
+            self.pages = hw.disk_pages;
+        }
+    }
+}

@@ -1,10 +1,13 @@
-use jpmd_disk::{Disk, SpinDownPolicy};
-use jpmd_mem::MemoryManager;
-use jpmd_stats::{IdleIntervals, Welford};
-use jpmd_trace::{AccessKind, Trace};
+//! The top-level single-disk simulation entry point: wires the standard
+//! observer stack to the event-driven [`Engine`] and assembles the
+//! [`RunReport`].
+
+use jpmd_disk::SpinDownPolicy;
+use jpmd_trace::Trace;
 
 use crate::{
-    EnergyBreakdown, PeriodController, PeriodObservation, PeriodRow, RunReport, SimConfig,
+    EnergyMeter, Engine, FlushDaemon, HwState, LatencyTracker, PeriodAccounting, PeriodController,
+    RunReport, SimConfig, SimObserver, WarmupWindow,
 };
 
 /// Runs one complete system simulation: the trace drives the disk cache,
@@ -23,13 +26,20 @@ use crate::{
 /// The trace is open-loop, as in the paper: request arrival times are fixed
 /// by the trace and do not shift when requests are delayed.
 ///
+/// Internally this is a thin dispatcher: it builds the [`HwState`],
+/// registers the standard observers — [`WarmupWindow`],
+/// [`PeriodAccounting`], [`FlushDaemon`], [`LatencyTracker`],
+/// [`EnergyMeter`], in that (load-bearing) order — and hands the replay to
+/// [`Engine::run`]. All simulation state lives in those components; see
+/// [`crate::engine`] and [`crate::observers`].
+///
 /// # Panics
 ///
 /// Panics if the trace's page size differs from the memory configuration's,
 /// or if `duration` does not exceed the warm-up.
 pub fn run_simulation(
     config: &SimConfig,
-    mut spindown: SpinDownPolicy,
+    spindown: SpinDownPolicy,
     controller: &mut dyn PeriodController,
     trace: &Trace,
     duration: f64,
@@ -46,258 +56,57 @@ pub fn run_simulation(
         "duration must exceed the warm-up window"
     );
 
-    let page_bytes = config.mem.page_bytes;
-    let mut mem = MemoryManager::new(config.mem);
-    mem.set_replacement(config.replacement);
-    mem.set_consolidation(config.consolidate);
-    let mut disk = Disk::new(
-        config.disk_power,
-        config.disk_service,
-        trace.total_pages().max(1),
+    let mut hw = HwState::new(config, spindown, trace.total_pages().max(1));
+    let mut warmup = WarmupWindow::new(config.warmup_secs);
+    let mut periods = PeriodAccounting::new(
+        controller,
+        config.period_secs,
+        config.aggregation_window_secs,
     );
-    disk.set_timeout(spindown.timeout());
+    let mut flush = FlushDaemon::new(config.sync_interval_secs);
+    let mut latency = LatencyTracker::new(config.warmup_secs, config.long_latency_secs);
+    let mut energy = EnergyMeter::new();
 
-    // Period bookkeeping.
-    let mut rows: Vec<PeriodRow> = Vec::new();
-    let mut period_start = 0.0f64;
-    let mut next_period = config.period_secs;
-    let mut p_acc = 0u64;
-    let mut p_req = 0u64;
-    let mut p_busy = 0.0f64;
-    let mut p_energy = EnergyBreakdown::default();
-    let mut period_disk_times: Vec<f64> = Vec::new();
+    let engine = {
+        // Registration order is load-bearing: same-instant timers fire in
+        // this order (warm-up snapshot, then period row, then sync tick).
+        let mut observers: [&mut dyn SimObserver; 5] = [
+            &mut warmup,
+            &mut periods,
+            &mut flush,
+            &mut latency,
+            &mut energy,
+        ];
+        Engine::new().run(trace, duration, &mut hw, &mut observers)
+    };
 
-    // Dirty-page flush daemon.
-    let mut next_sync = config.sync_interval_secs;
-    // All pages moved between disk and memory (read misses + write-backs).
-    let mut disk_pages = 0u64;
-    let mut p_pages = 0u64;
-    let mut w_pages = 0u64;
-
-    // Measured-window bookkeeping (post warm-up).
-    let mut warm = config.warmup_secs <= 0.0;
-    let mut w_energy = EnergyBreakdown::default();
-    let mut w_acc = 0u64;
-    let mut w_hits = 0u64;
-    let mut w_req = 0u64;
-    let mut w_busy = 0.0f64;
-    let mut w_spin = 0u64;
-    let mut latency = Welford::new();
-    let mut request_latencies: Vec<f64> = Vec::new();
-    let mut long_count = 0u64;
-
-    macro_rules! snapshot_energy {
-        () => {
-            EnergyBreakdown {
-                mem: mem.energy(),
-                disk: disk.energy(),
-            }
-        };
-    }
-
-    // Submits background write-back pages as coalesced disk writes at
-    // `at`. Flushes do not count toward user latency but they do occupy
-    // the disk (energy, busy time, idle-interval structure).
-    macro_rules! submit_writes {
-        ($pages:expr, $at:expr) => {
-            let mut pages: Vec<u64> = $pages;
-            pages.sort_unstable();
-            let at: f64 = $at;
-            let mut i = 0usize;
-            while i < pages.len() {
-                let first = pages[i];
-                let mut len = 1u64;
-                while i + (len as usize) < pages.len()
-                    && pages[i + len as usize] == first + len
-                {
-                    len += 1;
-                }
-                let outcome = disk.submit(at, first, len, page_bytes);
-                let timeout = spindown.after_request(&outcome, &config.disk_power);
-                disk.set_timeout(timeout);
-                period_disk_times.push(at);
-                disk_pages += len;
-                i += len as usize;
-            }
-        };
-    }
-
-    // Advances bookkeeping (period boundaries, warm-up snapshot) to `t`.
-    macro_rules! advance_to {
-        ($t:expr) => {
-            let target: f64 = $t;
-            loop {
-                let pm_boundary = if !warm && config.warmup_secs <= next_period {
-                    config.warmup_secs
-                } else {
-                    next_period
-                };
-                let boundary = pm_boundary.min(next_sync);
-                if boundary > target {
-                    break;
-                }
-                if next_sync < pm_boundary {
-                    // Flush daemon tick.
-                    let dirty = mem.sync_dirty();
-                    submit_writes!(dirty, next_sync);
-                    next_sync += config.sync_interval_secs;
-                    continue;
-                }
-                mem.settle(boundary);
-                disk.settle(boundary);
-                if !warm && boundary == config.warmup_secs {
-                    warm = true;
-                    w_energy = snapshot_energy!();
-                    w_acc = mem.accesses();
-                    w_hits = mem.hits();
-                    w_req = disk.requests();
-                    w_busy = disk.busy_secs();
-                    w_spin = disk.spin_downs();
-                    w_pages = disk_pages;
-                    if config.warmup_secs < next_period {
-                        continue;
-                    }
-                }
-                // Period boundary.
-                let observation = PeriodObservation {
-                    start: period_start,
-                    end: boundary,
-                    cache_accesses: mem.accesses() - p_acc,
-                    disk_page_accesses: disk_pages - p_pages,
-                    disk_requests: disk.requests() - p_req,
-                    disk_busy_secs: disk.busy_secs() - p_busy,
-                    idle: IdleIntervals::from_timestamps(
-                        &period_disk_times,
-                        config.aggregation_window_secs,
-                    )
-                    .stats(),
-                    enabled_banks: mem.enabled_banks(),
-                    disk_timeout: disk.timeout(),
-                    energy_total_j: snapshot_energy!().since(&p_energy).total_j(),
-                };
-                let log = mem.take_log();
-                let action = controller.on_period_end(&observation, &log);
-                if let Some(banks) = action.enabled_banks {
-                    mem.set_enabled_banks(banks, boundary);
-                }
-                if let Some(t) = action.disk_timeout {
-                    spindown.set_controlled_timeout(t);
-                    disk.set_timeout(t);
-                }
-                rows.push(PeriodRow {
-                    observation,
-                    action,
-                });
-                period_start = boundary;
-                next_period = boundary + config.period_secs;
-                p_acc = mem.accesses();
-                p_pages = disk_pages;
-                p_req = disk.requests();
-                p_busy = disk.busy_secs();
-                p_energy = snapshot_energy!();
-                period_disk_times.clear();
-            }
-        };
-    }
-
-    let mut max_latency = 0.0f64;
-    for record in trace.records() {
-        if record.time >= duration {
-            break;
-        }
-        advance_to!(record.time);
-        let now = record.time;
-        let measuring = warm;
-        let is_write = record.kind == AccessKind::Write;
-
-        // Walk the record's pages, coalescing misses into runs.
-        let mut run_start: Option<u64> = None;
-        let mut run_len = 0u64;
-        macro_rules! flush_run {
-            () => {
-                if let Some(first) = run_start.take() {
-                    let outcome = disk.submit(now, first, run_len, page_bytes);
-                    let timeout = spindown.after_request(&outcome, &config.disk_power);
-                    disk.set_timeout(timeout);
-                    period_disk_times.push(now);
-                    disk_pages += run_len;
-                    if measuring {
-                        request_latencies.push(outcome.latency);
-                        for _ in 0..run_len {
-                            latency.push(outcome.latency);
-                        }
-                        if outcome.latency > config.long_latency_secs {
-                            long_count += run_len;
-                        }
-                        if outcome.latency > max_latency {
-                            max_latency = outcome.latency;
-                        }
-                    }
-                    #[allow(unused_assignments)]
-                    {
-                        run_len = 0;
-                    }
-                }
-            };
-        }
-        for page in record.page_range() {
-            let served_from_memory = mem.access_rw(page, now, is_write);
-            if served_from_memory {
-                flush_run!();
-                if measuring {
-                    latency.push(0.0);
-                }
-            } else {
-                if run_start.is_none() {
-                    run_start = Some(page);
-                }
-                run_len += 1;
-            }
-        }
-        flush_run!();
-        // Dirty pages displaced by this record's fills go to the disk as
-        // background writes.
-        let writebacks = mem.take_writebacks();
-        if !writebacks.is_empty() {
-            submit_writes!(writebacks, now);
-        }
-    }
-
-    // Close out remaining boundaries and settle at the end.
-    advance_to!(duration);
-    mem.settle(duration);
-    disk.settle(duration);
-
-    let end_energy = snapshot_energy!();
     let window = duration - config.warmup_secs;
-    let cache_accesses = mem.accesses() - w_acc;
-    let hits = mem.hits() - w_hits;
+    let traffic = energy.finalize(&hw, window);
+    let lat = latency.finalize();
     RunReport {
         label: label.to_string(),
         duration_secs: window,
-        energy: end_energy.since(&w_energy),
-        cache_accesses,
-        hits,
-        disk_page_accesses: disk_pages - w_pages,
-        disk_requests: disk.requests() - w_req,
-        mean_latency_secs: latency.mean(),
-        request_latency_p50_secs: {
-            request_latencies.sort_by(f64::total_cmp);
-            jpmd_stats::percentile(&request_latencies, 0.5).unwrap_or(0.0)
-        },
-        request_latency_p99_secs: jpmd_stats::percentile(&request_latencies, 0.99).unwrap_or(0.0),
-        max_latency_secs: max_latency,
-        long_latency_count: long_count,
-        utilization: (disk.busy_secs() - w_busy) / window.max(f64::MIN_POSITIVE),
-        spin_downs: disk.spin_downs() - w_spin,
-        periods: rows,
+        energy: traffic.energy,
+        cache_accesses: traffic.cache_accesses,
+        hits: traffic.hits,
+        disk_page_accesses: traffic.disk_page_accesses,
+        disk_requests: traffic.disk_requests,
+        mean_latency_secs: lat.mean_latency_secs,
+        request_latency_p50_secs: lat.request_latency_p50_secs,
+        request_latency_p99_secs: lat.request_latency_p99_secs,
+        max_latency_secs: lat.max_latency_secs,
+        long_latency_count: lat.long_latency_count,
+        utilization: traffic.utilization,
+        spin_downs: traffic.spin_downs,
+        periods: periods.into_rows(),
+        engine,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{ControlAction, NullController};
+    use crate::{ControlAction, NullController, PeriodObservation};
     use jpmd_mem::{IdlePolicy, MemConfig, RdramModel};
     use jpmd_trace::{FileId, TraceRecord};
 
@@ -325,11 +134,7 @@ mod tests {
     fn small_trace() -> Trace {
         // Two bursts on the same pages: second burst hits.
         Trace::new(
-            vec![
-                record(1.0, 0, 4),
-                record(2.0, 0, 4),
-                record(300.0, 8, 2),
-            ],
+            vec![record(1.0, 0, 4), record(2.0, 0, 4), record(300.0, 8, 2)],
             1 << 20,
             64,
         )
@@ -351,6 +156,29 @@ mod tests {
         assert_eq!(report.disk_page_accesses, 6);
         assert_eq!(report.disk_requests, 2);
         assert_eq!(report.spin_downs, 0);
+    }
+
+    #[test]
+    fn engine_counters_surface_in_report() {
+        let config = SimConfig::with_mem(mem_config(8));
+        let report = run_simulation(
+            &config,
+            SpinDownPolicy::AlwaysOn,
+            &mut NullController,
+            &small_trace(),
+            400.0,
+            "test",
+        );
+        assert_eq!(report.engine.counts.accesses, 10);
+        assert_eq!(report.engine.counts.misses, 2);
+        assert_eq!(report.engine.counts.disk_requests, 2);
+        assert_eq!(report.engine.counts.period_boundaries, 0);
+        assert_eq!(report.engine.events_processed, report.engine.counts.total());
+        assert!(report.engine.replay_wall_secs > 0.0);
+        assert!(report.engine.accesses_per_sec > 0.0);
+        // One trailing partial-period row in the event log.
+        assert_eq!(report.engine.period_log.len(), 1);
+        assert_eq!(report.engine.period_log[0].end, 400.0);
     }
 
     #[test]
@@ -541,6 +369,8 @@ mod tests {
         // User-visible latency is untouched by background flushes.
         assert_eq!(r.long_latency_count, 0);
         assert_eq!(r.mean_latency_secs, 0.0);
+        // Sync ticks are visible in the engine counters (t = 30, 60, 90).
+        assert_eq!(r.engine.counts.syncs, 3);
     }
 
     #[test]

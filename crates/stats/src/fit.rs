@@ -107,10 +107,7 @@ pub fn pareto_mle(samples: &[f64], beta: f64) -> Result<Pareto, StatsError> {
             reason: "cannot fit a distribution to zero samples",
         });
     }
-    let log_sum: f64 = samples
-        .iter()
-        .map(|&x| (x.max(beta) / beta).ln())
-        .sum();
+    let log_sum: f64 = samples.iter().map(|&x| (x.max(beta) / beta).ln()).sum();
     let alpha = if log_sum <= 0.0 {
         ALPHA_MAX
     } else {

@@ -221,7 +221,9 @@ impl FileSet {
 
     /// Total pages across all files (the data-set size in pages).
     pub fn total_pages(&self) -> u64 {
-        self.base.last().map_or(0, |b| b + self.pages[self.pages.len() - 1])
+        self.base
+            .last()
+            .map_or(0, |b| b + self.pages[self.pages.len() - 1])
     }
 
     /// Total data-set size in bytes (page-rounded).

@@ -5,7 +5,9 @@ use jpmd_stats::Zipf;
 
 use jpmd_stats::Pareto;
 
-use crate::{AccessKind, FileId, FileSet, SizeClass, SizeProfile, Trace, TraceError, TraceRecord, MIB};
+use crate::{
+    AccessKind, FileId, FileSet, SizeClass, SizeProfile, Trace, TraceError, TraceRecord, MIB,
+};
 
 /// Request inter-arrival model.
 ///
@@ -354,7 +356,10 @@ mod tests {
 
     #[test]
     fn builder_rejects_bad_config() {
-        assert!(WorkloadBuilder::new().rate_bytes_per_sec(0).build().is_err());
+        assert!(WorkloadBuilder::new()
+            .rate_bytes_per_sec(0)
+            .build()
+            .is_err());
         assert!(WorkloadBuilder::new().duration_secs(0.0).build().is_err());
         assert!(WorkloadBuilder::new().popularity(0.0).build().is_err());
         assert!(WorkloadBuilder::new().popularity(1.0).build().is_err());

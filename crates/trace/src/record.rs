@@ -8,9 +8,7 @@ use serde::{Deserialize, Serialize};
 /// dirty and touches the disk only later, when the page is evicted or the
 /// periodic sync flushes it — see
 /// [`SimConfig::sync_interval_secs`](../jpmd_sim/struct.SimConfig.html).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum AccessKind {
     /// Read request (the default; SPECWeb99-style workloads are
     /// read-dominated).

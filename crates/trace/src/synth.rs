@@ -310,7 +310,10 @@ mod tests {
         let (a, _) = base();
         let (b, _) = base();
         let joined = concat(&[a.clone(), b.clone()]).unwrap();
-        assert_eq!(joined.records().len(), a.records().len() + b.records().len());
+        assert_eq!(
+            joined.records().len(),
+            a.records().len() + b.records().len()
+        );
         // The second part starts after the first part's span.
         let boundary = a.span();
         let second_first = joined.records()[a.records().len()].time;

@@ -42,13 +42,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Predict disk accesses at every candidate memory size in one pass.
     let candidates_gb = [1u64, 2, 4, 8, 12, 16];
-    let capacities: Vec<u64> = candidates_gb.iter().map(|&g| scale.gb_to_pages(g)).collect();
+    let capacities: Vec<u64> = candidates_gb
+        .iter()
+        .map(|&g| scale.gb_to_pages(g))
+        .collect();
     let predictions = predict_sizes(&log, &capacities, 0.1);
 
     // The break-even memory size (paper §V-B1): the disk's manageable
     // static power divided by the per-MB memory static power.
-    let break_even_mb =
-        scale.disk_power.static_w() / scale.mem_model.nap_w_per_mb();
+    let break_even_mb = scale.disk_power.static_w() / scale.mem_model.nap_w_per_mb();
     println!(
         "break-even memory size: {:.1} GB — beyond this, added memory can \
          never pay for itself through disk savings\n",
@@ -73,8 +75,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let check_gb = 4;
     let spec = methods::fixed_memory(&scale, DiskPolicyKind::TwoCompetitive, check_gb);
     let report = methods::run_method(&spec, &scale, &trace, 0.0, 3600.0, 600.0);
-    let predicted = predictions[candidates_gb.iter().position(|&g| g == check_gb).unwrap()]
-        .disk_accesses;
+    let predicted =
+        predictions[candidates_gb.iter().position(|&g| g == check_gb).unwrap()].disk_accesses;
     println!(
         "\ncross-check at {check_gb} GB: predicted {predicted} disk accesses, \
          simulated {} ({:+.2}%)",

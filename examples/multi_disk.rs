@@ -72,24 +72,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 );
             }
             // Show the joint policy's final per-disk utilization estimates.
-            if let Some(best) = controller
-                .last_candidates()
-                .iter()
-                .find(|c| c.feasible)
-            {
+            if let Some(best) = controller.last_candidates().iter().find(|c| c.feasible) {
                 let utils: Vec<String> = best
                     .utilizations
                     .iter()
                     .map(|u| format!("{:.1}%", u * 100.0))
                     .collect();
-                let timeouts: Vec<String> = best
-                    .timeouts
-                    .iter()
-                    .map(|t| format!("{t:.0}s"))
-                    .collect();
+                let timeouts: Vec<String> =
+                    best.timeouts.iter().map(|t| format!("{t:.0}s")).collect();
                 println!(
                     "{:28} per-disk util {} timeouts {}",
-                    "", utils.join("/"), timeouts.join("/")
+                    "",
+                    utils.join("/"),
+                    timeouts.join("/")
                 );
             }
         }

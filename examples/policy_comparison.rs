@@ -17,9 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let popularity: f64 = args.get(3).map_or(Ok(0.1), |s| s.parse())?;
 
     let scale = SimScale::default();
-    println!(
-        "workload: {data_gb} GB data set, {rate_mb} MB/s, popularity {popularity}"
-    );
+    println!("workload: {data_gb} GB data set, {rate_mb} MB/s, popularity {popularity}");
     let trace = WorkloadBuilder::new()
         .data_set_bytes(data_gb * GIB)
         .rate_bytes_per_sec(rate_mb * MIB)

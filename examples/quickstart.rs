@@ -46,8 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         period,
     );
 
-    println!("\n{:12} {:>12} {:>12} {:>12} {:>10} {:>10} {:>10}",
-        "method", "total [J]", "memory [J]", "disk [J]", "lat [ms]", "p99 [ms]", "long/s");
+    println!(
+        "\n{:12} {:>12} {:>12} {:>12} {:>10} {:>10} {:>10}",
+        "method", "total [J]", "memory [J]", "disk [J]", "lat [ms]", "p99 [ms]", "long/s"
+    );
     for r in [&baseline, &joint] {
         println!(
             "{:12} {:>12.0} {:>12.0} {:>12.0} {:>10.2} {:>10.1} {:>10.2}",

@@ -7,9 +7,7 @@
 //! cargo run --release --example workload_synthesis
 //! ```
 
-use jpmd::trace::{
-    synth, ArrivalModel, TraceStats, WorkloadBuilder, GIB, MIB,
-};
+use jpmd::trace::{synth, ArrivalModel, TraceStats, WorkloadBuilder, GIB, MIB};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-0550cb83bb8c115c.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-0550cb83bb8c115c: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

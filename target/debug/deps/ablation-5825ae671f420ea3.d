@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-5825ae671f420ea3.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-5825ae671f420ea3: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adaptivity-0be01c5647ab4e21.d: tests/adaptivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadaptivity-0be01c5647ab4e21.rmeta: tests/adaptivity.rs Cargo.toml
+
+tests/adaptivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adaptivity-c420ccc89fc6a87d.d: tests/adaptivity.rs
+
+/root/repo/target/debug/deps/adaptivity-c420ccc89fc6a87d: tests/adaptivity.rs
+
+tests/adaptivity.rs:

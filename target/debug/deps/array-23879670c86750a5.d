@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/array-23879670c86750a5.d: crates/bench/src/bin/array.rs
+
+/root/repo/target/debug/deps/array-23879670c86750a5: crates/bench/src/bin/array.rs
+
+crates/bench/src/bin/array.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/array-511f8148da1b520d.d: crates/bench/src/bin/array.rs
+
+/root/repo/target/debug/deps/array-511f8148da1b520d: crates/bench/src/bin/array.rs
+
+crates/bench/src/bin/array.rs:

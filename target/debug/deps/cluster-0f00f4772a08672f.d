@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cluster-0f00f4772a08672f.d: crates/bench/src/bin/cluster.rs
+
+/root/repo/target/debug/deps/cluster-0f00f4772a08672f: crates/bench/src/bin/cluster.rs
+
+crates/bench/src/bin/cluster.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cluster-9d56fca20d0a35cb.d: crates/bench/src/bin/cluster.rs
+
+/root/repo/target/debug/deps/cluster-9d56fca20d0a35cb: crates/bench/src/bin/cluster.rs
+
+crates/bench/src/bin/cluster.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/csv_export-23e04ff6e6d7dc3d.d: crates/bench/src/bin/csv_export.rs
+
+/root/repo/target/debug/deps/csv_export-23e04ff6e6d7dc3d: crates/bench/src/bin/csv_export.rs
+
+crates/bench/src/bin/csv_export.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/csv_export-d2aff8b1864bf63d.d: crates/bench/src/bin/csv_export.rs
+
+/root/repo/target/debug/deps/csv_export-d2aff8b1864bf63d: crates/bench/src/bin/csv_export.rs
+
+crates/bench/src/bin/csv_export.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-e5aa40671006b1b1.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-e5aa40671006b1b1: tests/determinism.rs
+
+tests/determinism.rs:

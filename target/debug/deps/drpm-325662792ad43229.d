@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/drpm-325662792ad43229.d: crates/bench/src/bin/drpm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdrpm-325662792ad43229.rmeta: crates/bench/src/bin/drpm.rs Cargo.toml
+
+crates/bench/src/bin/drpm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

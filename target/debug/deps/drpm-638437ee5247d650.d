@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/drpm-638437ee5247d650.d: crates/bench/src/bin/drpm.rs
+
+/root/repo/target/debug/deps/drpm-638437ee5247d650: crates/bench/src/bin/drpm.rs
+
+crates/bench/src/bin/drpm.rs:

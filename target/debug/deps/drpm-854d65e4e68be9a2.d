@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/drpm-854d65e4e68be9a2.d: crates/bench/src/bin/drpm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdrpm-854d65e4e68be9a2.rmeta: crates/bench/src/bin/drpm.rs Cargo.toml
+
+crates/bench/src/bin/drpm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/drpm-f06e49d09b967b27.d: crates/bench/src/bin/drpm.rs
+
+/root/repo/target/debug/deps/drpm-f06e49d09b967b27: crates/bench/src/bin/drpm.rs
+
+crates/bench/src/bin/drpm.rs:

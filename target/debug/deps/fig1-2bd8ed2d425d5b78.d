@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-2bd8ed2d425d5b78.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-2bd8ed2d425d5b78: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

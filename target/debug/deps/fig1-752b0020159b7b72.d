@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-752b0020159b7b72.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-752b0020159b7b72: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

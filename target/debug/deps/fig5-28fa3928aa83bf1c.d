@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-28fa3928aa83bf1c.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-28fa3928aa83bf1c: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

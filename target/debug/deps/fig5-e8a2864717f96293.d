@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-e8a2864717f96293.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-e8a2864717f96293: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

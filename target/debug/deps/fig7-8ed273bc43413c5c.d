@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-8ed273bc43413c5c.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-8ed273bc43413c5c: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-927ef22476053627.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-927ef22476053627: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

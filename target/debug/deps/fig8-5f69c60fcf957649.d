@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-5f69c60fcf957649.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-5f69c60fcf957649: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

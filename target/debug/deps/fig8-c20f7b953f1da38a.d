@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-c20f7b953f1da38a.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-c20f7b953f1da38a: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-26afe4e4ad8f3bac.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-26afe4e4ad8f3bac: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-f5ae1574e1216531.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-f5ae1574e1216531: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/jpmd-2fedebb57bcfbc33.d: src/lib.rs
+
+/root/repo/target/debug/deps/libjpmd-2fedebb57bcfbc33.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libjpmd-2fedebb57bcfbc33.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/jpmd-3bb9f23f5e64922b.d: src/lib.rs
+
+/root/repo/target/debug/deps/jpmd-3bb9f23f5e64922b: src/lib.rs
+
+src/lib.rs:

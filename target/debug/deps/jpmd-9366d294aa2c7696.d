@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/jpmd-9366d294aa2c7696.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjpmd-9366d294aa2c7696.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/jpmd-c9954598e903aa01.d: src/lib.rs
+
+/root/repo/target/debug/deps/libjpmd-c9954598e903aa01.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libjpmd-c9954598e903aa01.rmeta: src/lib.rs
+
+src/lib.rs:

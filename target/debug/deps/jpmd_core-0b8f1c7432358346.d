@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/jpmd_core-0b8f1c7432358346.d: crates/core/src/lib.rs crates/core/src/joint.rs crates/core/src/methods.rs crates/core/src/multidisk.rs crates/core/src/predict.rs crates/core/src/scale.rs crates/core/src/timeout.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjpmd_core-0b8f1c7432358346.rmeta: crates/core/src/lib.rs crates/core/src/joint.rs crates/core/src/methods.rs crates/core/src/multidisk.rs crates/core/src/predict.rs crates/core/src/scale.rs crates/core/src/timeout.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/joint.rs:
+crates/core/src/methods.rs:
+crates/core/src/multidisk.rs:
+crates/core/src/predict.rs:
+crates/core/src/scale.rs:
+crates/core/src/timeout.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

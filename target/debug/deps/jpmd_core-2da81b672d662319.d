@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/jpmd_core-2da81b672d662319.d: crates/core/src/lib.rs crates/core/src/joint.rs crates/core/src/methods.rs crates/core/src/multidisk.rs crates/core/src/predict.rs crates/core/src/scale.rs crates/core/src/timeout.rs
+
+/root/repo/target/debug/deps/jpmd_core-2da81b672d662319: crates/core/src/lib.rs crates/core/src/joint.rs crates/core/src/methods.rs crates/core/src/multidisk.rs crates/core/src/predict.rs crates/core/src/scale.rs crates/core/src/timeout.rs
+
+crates/core/src/lib.rs:
+crates/core/src/joint.rs:
+crates/core/src/methods.rs:
+crates/core/src/multidisk.rs:
+crates/core/src/predict.rs:
+crates/core/src/scale.rs:
+crates/core/src/timeout.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/jpmd_core-d57ad046c1fb860e.d: crates/core/src/lib.rs crates/core/src/joint.rs crates/core/src/methods.rs crates/core/src/multidisk.rs crates/core/src/predict.rs crates/core/src/scale.rs crates/core/src/timeout.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjpmd_core-d57ad046c1fb860e.rmeta: crates/core/src/lib.rs crates/core/src/joint.rs crates/core/src/methods.rs crates/core/src/multidisk.rs crates/core/src/predict.rs crates/core/src/scale.rs crates/core/src/timeout.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/joint.rs:
+crates/core/src/methods.rs:
+crates/core/src/multidisk.rs:
+crates/core/src/predict.rs:
+crates/core/src/scale.rs:
+crates/core/src/timeout.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/jpmd_core-d974847174f0aaf0.d: crates/core/src/lib.rs crates/core/src/joint.rs crates/core/src/methods.rs crates/core/src/multidisk.rs crates/core/src/predict.rs crates/core/src/scale.rs crates/core/src/timeout.rs
+
+/root/repo/target/debug/deps/libjpmd_core-d974847174f0aaf0.rlib: crates/core/src/lib.rs crates/core/src/joint.rs crates/core/src/methods.rs crates/core/src/multidisk.rs crates/core/src/predict.rs crates/core/src/scale.rs crates/core/src/timeout.rs
+
+/root/repo/target/debug/deps/libjpmd_core-d974847174f0aaf0.rmeta: crates/core/src/lib.rs crates/core/src/joint.rs crates/core/src/methods.rs crates/core/src/multidisk.rs crates/core/src/predict.rs crates/core/src/scale.rs crates/core/src/timeout.rs
+
+crates/core/src/lib.rs:
+crates/core/src/joint.rs:
+crates/core/src/methods.rs:
+crates/core/src/multidisk.rs:
+crates/core/src/predict.rs:
+crates/core/src/scale.rs:
+crates/core/src/timeout.rs:

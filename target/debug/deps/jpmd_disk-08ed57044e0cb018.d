@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/jpmd_disk-08ed57044e0cb018.d: crates/disk/src/lib.rs crates/disk/src/array.rs crates/disk/src/disk.rs crates/disk/src/multispeed.rs crates/disk/src/oracle.rs crates/disk/src/power.rs crates/disk/src/predictive.rs crates/disk/src/service.rs crates/disk/src/spindown.rs
+
+/root/repo/target/debug/deps/jpmd_disk-08ed57044e0cb018: crates/disk/src/lib.rs crates/disk/src/array.rs crates/disk/src/disk.rs crates/disk/src/multispeed.rs crates/disk/src/oracle.rs crates/disk/src/power.rs crates/disk/src/predictive.rs crates/disk/src/service.rs crates/disk/src/spindown.rs
+
+crates/disk/src/lib.rs:
+crates/disk/src/array.rs:
+crates/disk/src/disk.rs:
+crates/disk/src/multispeed.rs:
+crates/disk/src/oracle.rs:
+crates/disk/src/power.rs:
+crates/disk/src/predictive.rs:
+crates/disk/src/service.rs:
+crates/disk/src/spindown.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/jpmd_disk-f1bbf6133b728759.d: crates/disk/src/lib.rs crates/disk/src/array.rs crates/disk/src/disk.rs crates/disk/src/multispeed.rs crates/disk/src/oracle.rs crates/disk/src/power.rs crates/disk/src/predictive.rs crates/disk/src/service.rs crates/disk/src/spindown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjpmd_disk-f1bbf6133b728759.rmeta: crates/disk/src/lib.rs crates/disk/src/array.rs crates/disk/src/disk.rs crates/disk/src/multispeed.rs crates/disk/src/oracle.rs crates/disk/src/power.rs crates/disk/src/predictive.rs crates/disk/src/service.rs crates/disk/src/spindown.rs Cargo.toml
+
+crates/disk/src/lib.rs:
+crates/disk/src/array.rs:
+crates/disk/src/disk.rs:
+crates/disk/src/multispeed.rs:
+crates/disk/src/oracle.rs:
+crates/disk/src/power.rs:
+crates/disk/src/predictive.rs:
+crates/disk/src/service.rs:
+crates/disk/src/spindown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

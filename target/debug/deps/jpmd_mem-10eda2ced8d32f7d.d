@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/jpmd_mem-10eda2ced8d32f7d.d: crates/mem/src/lib.rs crates/mem/src/banks.rs crates/mem/src/cache.rs crates/mem/src/fenwick.rs crates/mem/src/manager.rs crates/mem/src/power.rs crates/mem/src/stack.rs
+
+/root/repo/target/debug/deps/libjpmd_mem-10eda2ced8d32f7d.rlib: crates/mem/src/lib.rs crates/mem/src/banks.rs crates/mem/src/cache.rs crates/mem/src/fenwick.rs crates/mem/src/manager.rs crates/mem/src/power.rs crates/mem/src/stack.rs
+
+/root/repo/target/debug/deps/libjpmd_mem-10eda2ced8d32f7d.rmeta: crates/mem/src/lib.rs crates/mem/src/banks.rs crates/mem/src/cache.rs crates/mem/src/fenwick.rs crates/mem/src/manager.rs crates/mem/src/power.rs crates/mem/src/stack.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/banks.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/fenwick.rs:
+crates/mem/src/manager.rs:
+crates/mem/src/power.rs:
+crates/mem/src/stack.rs:

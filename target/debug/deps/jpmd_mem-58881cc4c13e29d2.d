@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/jpmd_mem-58881cc4c13e29d2.d: crates/mem/src/lib.rs crates/mem/src/banks.rs crates/mem/src/cache.rs crates/mem/src/fenwick.rs crates/mem/src/manager.rs crates/mem/src/power.rs crates/mem/src/stack.rs
+
+/root/repo/target/debug/deps/jpmd_mem-58881cc4c13e29d2: crates/mem/src/lib.rs crates/mem/src/banks.rs crates/mem/src/cache.rs crates/mem/src/fenwick.rs crates/mem/src/manager.rs crates/mem/src/power.rs crates/mem/src/stack.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/banks.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/fenwick.rs:
+crates/mem/src/manager.rs:
+crates/mem/src/power.rs:
+crates/mem/src/stack.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/jpmd_mem-b49d9cee62379503.d: crates/mem/src/lib.rs crates/mem/src/banks.rs crates/mem/src/cache.rs crates/mem/src/fenwick.rs crates/mem/src/manager.rs crates/mem/src/power.rs crates/mem/src/stack.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjpmd_mem-b49d9cee62379503.rmeta: crates/mem/src/lib.rs crates/mem/src/banks.rs crates/mem/src/cache.rs crates/mem/src/fenwick.rs crates/mem/src/manager.rs crates/mem/src/power.rs crates/mem/src/stack.rs Cargo.toml
+
+crates/mem/src/lib.rs:
+crates/mem/src/banks.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/fenwick.rs:
+crates/mem/src/manager.rs:
+crates/mem/src/power.rs:
+crates/mem/src/stack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/jpmd_sim-735bfcbcce17cee7.d: crates/sim/src/lib.rs crates/sim/src/array_system.rs crates/sim/src/config.rs crates/sim/src/controller.rs crates/sim/src/engine.rs crates/sim/src/events.rs crates/sim/src/hw.rs crates/sim/src/legacy.rs crates/sim/src/metrics.rs crates/sim/src/observers.rs crates/sim/src/system.rs
+
+/root/repo/target/debug/deps/jpmd_sim-735bfcbcce17cee7: crates/sim/src/lib.rs crates/sim/src/array_system.rs crates/sim/src/config.rs crates/sim/src/controller.rs crates/sim/src/engine.rs crates/sim/src/events.rs crates/sim/src/hw.rs crates/sim/src/legacy.rs crates/sim/src/metrics.rs crates/sim/src/observers.rs crates/sim/src/system.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/array_system.rs:
+crates/sim/src/config.rs:
+crates/sim/src/controller.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/events.rs:
+crates/sim/src/hw.rs:
+crates/sim/src/legacy.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/observers.rs:
+crates/sim/src/system.rs:

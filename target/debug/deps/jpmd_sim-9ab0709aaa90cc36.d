@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/jpmd_sim-9ab0709aaa90cc36.d: crates/sim/src/lib.rs crates/sim/src/array_system.rs crates/sim/src/config.rs crates/sim/src/controller.rs crates/sim/src/engine.rs crates/sim/src/events.rs crates/sim/src/hw.rs crates/sim/src/legacy.rs crates/sim/src/metrics.rs crates/sim/src/observers.rs crates/sim/src/system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjpmd_sim-9ab0709aaa90cc36.rmeta: crates/sim/src/lib.rs crates/sim/src/array_system.rs crates/sim/src/config.rs crates/sim/src/controller.rs crates/sim/src/engine.rs crates/sim/src/events.rs crates/sim/src/hw.rs crates/sim/src/legacy.rs crates/sim/src/metrics.rs crates/sim/src/observers.rs crates/sim/src/system.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/array_system.rs:
+crates/sim/src/config.rs:
+crates/sim/src/controller.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/events.rs:
+crates/sim/src/hw.rs:
+crates/sim/src/legacy.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/observers.rs:
+crates/sim/src/system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

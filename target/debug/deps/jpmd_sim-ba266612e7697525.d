@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/jpmd_sim-ba266612e7697525.d: crates/sim/src/lib.rs crates/sim/src/array_system.rs crates/sim/src/config.rs crates/sim/src/controller.rs crates/sim/src/engine.rs crates/sim/src/events.rs crates/sim/src/hw.rs crates/sim/src/metrics.rs crates/sim/src/observers.rs crates/sim/src/system.rs
+
+/root/repo/target/debug/deps/libjpmd_sim-ba266612e7697525.rlib: crates/sim/src/lib.rs crates/sim/src/array_system.rs crates/sim/src/config.rs crates/sim/src/controller.rs crates/sim/src/engine.rs crates/sim/src/events.rs crates/sim/src/hw.rs crates/sim/src/metrics.rs crates/sim/src/observers.rs crates/sim/src/system.rs
+
+/root/repo/target/debug/deps/libjpmd_sim-ba266612e7697525.rmeta: crates/sim/src/lib.rs crates/sim/src/array_system.rs crates/sim/src/config.rs crates/sim/src/controller.rs crates/sim/src/engine.rs crates/sim/src/events.rs crates/sim/src/hw.rs crates/sim/src/metrics.rs crates/sim/src/observers.rs crates/sim/src/system.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/array_system.rs:
+crates/sim/src/config.rs:
+crates/sim/src/controller.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/events.rs:
+crates/sim/src/hw.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/observers.rs:
+crates/sim/src/system.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/jpmd_sim-ba779eb3abe3526a.d: crates/sim/src/lib.rs crates/sim/src/array_system.rs crates/sim/src/config.rs crates/sim/src/controller.rs crates/sim/src/engine.rs crates/sim/src/events.rs crates/sim/src/hw.rs crates/sim/src/metrics.rs crates/sim/src/observers.rs crates/sim/src/system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjpmd_sim-ba779eb3abe3526a.rmeta: crates/sim/src/lib.rs crates/sim/src/array_system.rs crates/sim/src/config.rs crates/sim/src/controller.rs crates/sim/src/engine.rs crates/sim/src/events.rs crates/sim/src/hw.rs crates/sim/src/metrics.rs crates/sim/src/observers.rs crates/sim/src/system.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/array_system.rs:
+crates/sim/src/config.rs:
+crates/sim/src/controller.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/events.rs:
+crates/sim/src/hw.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/observers.rs:
+crates/sim/src/system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/jpmd_stats-6f85c95794ca9347.d: crates/stats/src/lib.rs crates/stats/src/error.rs crates/stats/src/exponential.rs crates/stats/src/fit.rs crates/stats/src/gof.rs crates/stats/src/histogram.rs crates/stats/src/intervals.rs crates/stats/src/pareto.rs crates/stats/src/summary.rs crates/stats/src/zipf.rs
+
+/root/repo/target/debug/deps/jpmd_stats-6f85c95794ca9347: crates/stats/src/lib.rs crates/stats/src/error.rs crates/stats/src/exponential.rs crates/stats/src/fit.rs crates/stats/src/gof.rs crates/stats/src/histogram.rs crates/stats/src/intervals.rs crates/stats/src/pareto.rs crates/stats/src/summary.rs crates/stats/src/zipf.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/error.rs:
+crates/stats/src/exponential.rs:
+crates/stats/src/fit.rs:
+crates/stats/src/gof.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/intervals.rs:
+crates/stats/src/pareto.rs:
+crates/stats/src/summary.rs:
+crates/stats/src/zipf.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/jpmd_stats-b2d0fbc89d184f43.d: crates/stats/src/lib.rs crates/stats/src/error.rs crates/stats/src/exponential.rs crates/stats/src/fit.rs crates/stats/src/gof.rs crates/stats/src/histogram.rs crates/stats/src/intervals.rs crates/stats/src/pareto.rs crates/stats/src/summary.rs crates/stats/src/zipf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjpmd_stats-b2d0fbc89d184f43.rmeta: crates/stats/src/lib.rs crates/stats/src/error.rs crates/stats/src/exponential.rs crates/stats/src/fit.rs crates/stats/src/gof.rs crates/stats/src/histogram.rs crates/stats/src/intervals.rs crates/stats/src/pareto.rs crates/stats/src/summary.rs crates/stats/src/zipf.rs Cargo.toml
+
+crates/stats/src/lib.rs:
+crates/stats/src/error.rs:
+crates/stats/src/exponential.rs:
+crates/stats/src/fit.rs:
+crates/stats/src/gof.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/intervals.rs:
+crates/stats/src/pareto.rs:
+crates/stats/src/summary.rs:
+crates/stats/src/zipf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/jpmd_stats-b54d9fa212d37640.d: crates/stats/src/lib.rs crates/stats/src/error.rs crates/stats/src/exponential.rs crates/stats/src/fit.rs crates/stats/src/gof.rs crates/stats/src/histogram.rs crates/stats/src/intervals.rs crates/stats/src/pareto.rs crates/stats/src/summary.rs crates/stats/src/zipf.rs
+
+/root/repo/target/debug/deps/libjpmd_stats-b54d9fa212d37640.rlib: crates/stats/src/lib.rs crates/stats/src/error.rs crates/stats/src/exponential.rs crates/stats/src/fit.rs crates/stats/src/gof.rs crates/stats/src/histogram.rs crates/stats/src/intervals.rs crates/stats/src/pareto.rs crates/stats/src/summary.rs crates/stats/src/zipf.rs
+
+/root/repo/target/debug/deps/libjpmd_stats-b54d9fa212d37640.rmeta: crates/stats/src/lib.rs crates/stats/src/error.rs crates/stats/src/exponential.rs crates/stats/src/fit.rs crates/stats/src/gof.rs crates/stats/src/histogram.rs crates/stats/src/intervals.rs crates/stats/src/pareto.rs crates/stats/src/summary.rs crates/stats/src/zipf.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/error.rs:
+crates/stats/src/exponential.rs:
+crates/stats/src/fit.rs:
+crates/stats/src/gof.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/intervals.rs:
+crates/stats/src/pareto.rs:
+crates/stats/src/summary.rs:
+crates/stats/src/zipf.rs:

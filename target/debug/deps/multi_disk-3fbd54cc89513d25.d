@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_disk-3fbd54cc89513d25.d: tests/multi_disk.rs
+
+/root/repo/target/debug/deps/multi_disk-3fbd54cc89513d25: tests/multi_disk.rs
+
+tests/multi_disk.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multi_disk-b3e8d161f6091048.d: tests/multi_disk.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmulti_disk-b3e8d161f6091048.rmeta: tests/multi_disk.rs Cargo.toml
+
+tests/multi_disk.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-7239cbf74b98ced3.d: tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/paper_shapes-7239cbf74b98ced3: tests/paper_shapes.rs
+
+tests/paper_shapes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pareto_validation-2a0eeb8c69dffcd1.d: crates/bench/src/bin/pareto_validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpareto_validation-2a0eeb8c69dffcd1.rmeta: crates/bench/src/bin/pareto_validation.rs Cargo.toml
+
+crates/bench/src/bin/pareto_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pareto_validation-5b4a4b67749851d9.d: crates/bench/src/bin/pareto_validation.rs
+
+/root/repo/target/debug/deps/pareto_validation-5b4a4b67749851d9: crates/bench/src/bin/pareto_validation.rs
+
+crates/bench/src/bin/pareto_validation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pareto_validation-9f13614f608c3d9c.d: crates/bench/src/bin/pareto_validation.rs
+
+/root/repo/target/debug/deps/pareto_validation-9f13614f608c3d9c: crates/bench/src/bin/pareto_validation.rs
+
+crates/bench/src/bin/pareto_validation.rs:

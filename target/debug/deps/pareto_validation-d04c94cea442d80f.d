@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pareto_validation-d04c94cea442d80f.d: crates/bench/src/bin/pareto_validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpareto_validation-d04c94cea442d80f.rmeta: crates/bench/src/bin/pareto_validation.rs Cargo.toml
+
+crates/bench/src/bin/pareto_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

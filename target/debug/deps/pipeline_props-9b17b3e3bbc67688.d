@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_props-9b17b3e3bbc67688.d: tests/pipeline_props.rs
+
+/root/repo/target/debug/deps/pipeline_props-9b17b3e3bbc67688: tests/pipeline_props.rs
+
+tests/pipeline_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prediction-5e6e63c803b8e09c.d: tests/prediction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprediction-5e6e63c803b8e09c.rmeta: tests/prediction.rs Cargo.toml
+
+tests/prediction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prediction-b1b8a40ef722089e.d: tests/prediction.rs
+
+/root/repo/target/debug/deps/prediction-b1b8a40ef722089e: tests/prediction.rs
+
+tests/prediction.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-3a7c0a3c5c35765a.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-3a7c0a3c5c35765a.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-3a7c0a3c5c35765a.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-cc1f7b4fff10292a.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-cc1f7b4fff10292a: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scratch_seed_scan-83bea8b4082dd6bb.d: tests/scratch_seed_scan.rs
+
+/root/repo/target/debug/deps/scratch_seed_scan-83bea8b4082dd6bb: tests/scratch_seed_scan.rs
+
+tests/scratch_seed_scan.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sensitivity-af26cc5ba0c386aa.d: tests/sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsensitivity-af26cc5ba0c386aa.rmeta: tests/sensitivity.rs Cargo.toml
+
+tests/sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sensitivity-afadbf9013563dde.d: tests/sensitivity.rs
+
+/root/repo/target/debug/deps/sensitivity-afadbf9013563dde: tests/sensitivity.rs
+
+tests/sensitivity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-6b0c1e22bd0f5d9d.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-6b0c1e22bd0f5d9d: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

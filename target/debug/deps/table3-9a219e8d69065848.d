@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-9a219e8d69065848.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-9a219e8d69065848: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-319dedc31ada0011.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-319dedc31ada0011: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

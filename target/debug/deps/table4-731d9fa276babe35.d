@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-731d9fa276babe35.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-731d9fa276babe35: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

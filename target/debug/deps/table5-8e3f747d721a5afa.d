@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-8e3f747d721a5afa.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-8e3f747d721a5afa: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-d68b0ed9fb831c28.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-d68b0ed9fb831c28: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

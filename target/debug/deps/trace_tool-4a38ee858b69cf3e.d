@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_tool-4a38ee858b69cf3e.d: crates/trace/src/bin/trace_tool.rs
+
+/root/repo/target/debug/deps/trace_tool-4a38ee858b69cf3e: crates/trace/src/bin/trace_tool.rs
+
+crates/trace/src/bin/trace_tool.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_tool-c68c54f79a8241ba.d: crates/trace/src/bin/trace_tool.rs
+
+/root/repo/target/debug/deps/trace_tool-c68c54f79a8241ba: crates/trace/src/bin/trace_tool.rs
+
+crates/trace/src/bin/trace_tool.rs:

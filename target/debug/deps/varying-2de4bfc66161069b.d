@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/varying-2de4bfc66161069b.d: crates/bench/src/bin/varying.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvarying-2de4bfc66161069b.rmeta: crates/bench/src/bin/varying.rs Cargo.toml
+
+crates/bench/src/bin/varying.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/varying-9fb7899136dd59fd.d: crates/bench/src/bin/varying.rs
+
+/root/repo/target/debug/deps/varying-9fb7899136dd59fd: crates/bench/src/bin/varying.rs
+
+crates/bench/src/bin/varying.rs:

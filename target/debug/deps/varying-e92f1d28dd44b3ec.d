@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/varying-e92f1d28dd44b3ec.d: crates/bench/src/bin/varying.rs
+
+/root/repo/target/debug/deps/varying-e92f1d28dd44b3ec: crates/bench/src/bin/varying.rs
+
+crates/bench/src/bin/varying.rs:

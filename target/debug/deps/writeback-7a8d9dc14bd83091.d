@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/writeback-7a8d9dc14bd83091.d: crates/bench/src/bin/writeback.rs
+
+/root/repo/target/debug/deps/writeback-7a8d9dc14bd83091: crates/bench/src/bin/writeback.rs
+
+crates/bench/src/bin/writeback.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/writeback-e11ea13eb76e534a.d: crates/bench/src/bin/writeback.rs
+
+/root/repo/target/debug/deps/writeback-e11ea13eb76e534a: crates/bench/src/bin/writeback.rs
+
+crates/bench/src/bin/writeback.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/capacity_planning-727880a1093a3b69.d: examples/capacity_planning.rs
+
+/root/repo/target/debug/examples/capacity_planning-727880a1093a3b69: examples/capacity_planning.rs
+
+examples/capacity_planning.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/engine_stats-825782f7cc391936.d: crates/sim/examples/engine_stats.rs Cargo.toml
+
+/root/repo/target/debug/examples/libengine_stats-825782f7cc391936.rmeta: crates/sim/examples/engine_stats.rs Cargo.toml
+
+crates/sim/examples/engine_stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/engine_stats-888ad2e607655fe4.d: crates/sim/examples/engine_stats.rs
+
+/root/repo/target/debug/examples/engine_stats-888ad2e607655fe4: crates/sim/examples/engine_stats.rs
+
+crates/sim/examples/engine_stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_disk-735d2d8d749e2b75.d: examples/multi_disk.rs
+
+/root/repo/target/debug/examples/multi_disk-735d2d8d749e2b75: examples/multi_disk.rs
+
+examples/multi_disk.rs:

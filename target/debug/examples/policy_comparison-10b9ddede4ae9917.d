@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/policy_comparison-10b9ddede4ae9917.d: examples/policy_comparison.rs
+
+/root/repo/target/debug/examples/policy_comparison-10b9ddede4ae9917: examples/policy_comparison.rs
+
+examples/policy_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-7258761a668595f0.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-7258761a668595f0: examples/quickstart.rs
+
+examples/quickstart.rs:

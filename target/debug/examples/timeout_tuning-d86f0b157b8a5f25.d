@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/timeout_tuning-d86f0b157b8a5f25.d: examples/timeout_tuning.rs
+
+/root/repo/target/debug/examples/timeout_tuning-d86f0b157b8a5f25: examples/timeout_tuning.rs
+
+examples/timeout_tuning.rs:

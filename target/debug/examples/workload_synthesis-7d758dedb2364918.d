@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/workload_synthesis-7d758dedb2364918.d: examples/workload_synthesis.rs
+
+/root/repo/target/debug/examples/workload_synthesis-7d758dedb2364918: examples/workload_synthesis.rs
+
+examples/workload_synthesis.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/workload_synthesis-e7986b589b067031.d: examples/workload_synthesis.rs Cargo.toml
+
+/root/repo/target/debug/examples/libworkload_synthesis-e7986b589b067031.rmeta: examples/workload_synthesis.rs Cargo.toml
+
+examples/workload_synthesis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-7a603b117f7e4d87.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-7a603b117f7e4d87: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

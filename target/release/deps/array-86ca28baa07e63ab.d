@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/array-86ca28baa07e63ab.d: crates/bench/src/bin/array.rs
+
+/root/repo/target/release/deps/array-86ca28baa07e63ab: crates/bench/src/bin/array.rs
+
+crates/bench/src/bin/array.rs:

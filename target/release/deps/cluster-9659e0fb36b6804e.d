@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cluster-9659e0fb36b6804e.d: crates/bench/src/bin/cluster.rs
+
+/root/repo/target/release/deps/cluster-9659e0fb36b6804e: crates/bench/src/bin/cluster.rs
+
+crates/bench/src/bin/cluster.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/csv_export-b0a93b9e07768ef2.d: crates/bench/src/bin/csv_export.rs
+
+/root/repo/target/release/deps/csv_export-b0a93b9e07768ef2: crates/bench/src/bin/csv_export.rs
+
+crates/bench/src/bin/csv_export.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/drpm-ea46f43c594c3cc1.d: crates/bench/src/bin/drpm.rs
+
+/root/repo/target/release/deps/drpm-ea46f43c594c3cc1: crates/bench/src/bin/drpm.rs
+
+crates/bench/src/bin/drpm.rs:

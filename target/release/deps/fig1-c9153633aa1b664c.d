@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1-c9153633aa1b664c.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/release/deps/fig1-c9153633aa1b664c: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

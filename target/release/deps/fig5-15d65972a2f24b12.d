@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-15d65972a2f24b12.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-15d65972a2f24b12: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-2066587d933b89a5.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-2066587d933b89a5: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

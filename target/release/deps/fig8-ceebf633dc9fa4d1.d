@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-ceebf633dc9fa4d1.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-ceebf633dc9fa4d1: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-6076e72379168288.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-6076e72379168288: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

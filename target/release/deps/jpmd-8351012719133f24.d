@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/jpmd-8351012719133f24.d: src/lib.rs
+
+/root/repo/target/release/deps/libjpmd-8351012719133f24.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libjpmd-8351012719133f24.rmeta: src/lib.rs
+
+src/lib.rs:

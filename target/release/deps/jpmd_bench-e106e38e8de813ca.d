@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/jpmd_bench-e106e38e8de813ca.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+/root/repo/target/release/deps/libjpmd_bench-e106e38e8de813ca.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+/root/repo/target/release/deps/libjpmd_bench-e106e38e8de813ca.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/report.rs:
+crates/bench/src/runner.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

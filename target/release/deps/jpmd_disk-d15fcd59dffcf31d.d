@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/jpmd_disk-d15fcd59dffcf31d.d: crates/disk/src/lib.rs crates/disk/src/array.rs crates/disk/src/disk.rs crates/disk/src/multispeed.rs crates/disk/src/oracle.rs crates/disk/src/power.rs crates/disk/src/predictive.rs crates/disk/src/service.rs crates/disk/src/spindown.rs
+
+/root/repo/target/release/deps/libjpmd_disk-d15fcd59dffcf31d.rlib: crates/disk/src/lib.rs crates/disk/src/array.rs crates/disk/src/disk.rs crates/disk/src/multispeed.rs crates/disk/src/oracle.rs crates/disk/src/power.rs crates/disk/src/predictive.rs crates/disk/src/service.rs crates/disk/src/spindown.rs
+
+/root/repo/target/release/deps/libjpmd_disk-d15fcd59dffcf31d.rmeta: crates/disk/src/lib.rs crates/disk/src/array.rs crates/disk/src/disk.rs crates/disk/src/multispeed.rs crates/disk/src/oracle.rs crates/disk/src/power.rs crates/disk/src/predictive.rs crates/disk/src/service.rs crates/disk/src/spindown.rs
+
+crates/disk/src/lib.rs:
+crates/disk/src/array.rs:
+crates/disk/src/disk.rs:
+crates/disk/src/multispeed.rs:
+crates/disk/src/oracle.rs:
+crates/disk/src/power.rs:
+crates/disk/src/predictive.rs:
+crates/disk/src/service.rs:
+crates/disk/src/spindown.rs:

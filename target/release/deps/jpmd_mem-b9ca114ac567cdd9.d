@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/jpmd_mem-b9ca114ac567cdd9.d: crates/mem/src/lib.rs crates/mem/src/banks.rs crates/mem/src/cache.rs crates/mem/src/fenwick.rs crates/mem/src/manager.rs crates/mem/src/power.rs crates/mem/src/stack.rs
+
+/root/repo/target/release/deps/libjpmd_mem-b9ca114ac567cdd9.rlib: crates/mem/src/lib.rs crates/mem/src/banks.rs crates/mem/src/cache.rs crates/mem/src/fenwick.rs crates/mem/src/manager.rs crates/mem/src/power.rs crates/mem/src/stack.rs
+
+/root/repo/target/release/deps/libjpmd_mem-b9ca114ac567cdd9.rmeta: crates/mem/src/lib.rs crates/mem/src/banks.rs crates/mem/src/cache.rs crates/mem/src/fenwick.rs crates/mem/src/manager.rs crates/mem/src/power.rs crates/mem/src/stack.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/banks.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/fenwick.rs:
+crates/mem/src/manager.rs:
+crates/mem/src/power.rs:
+crates/mem/src/stack.rs:

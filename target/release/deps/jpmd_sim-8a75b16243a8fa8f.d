@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/jpmd_sim-8a75b16243a8fa8f.d: crates/sim/src/lib.rs crates/sim/src/array_system.rs crates/sim/src/config.rs crates/sim/src/controller.rs crates/sim/src/engine.rs crates/sim/src/events.rs crates/sim/src/hw.rs crates/sim/src/metrics.rs crates/sim/src/observers.rs crates/sim/src/system.rs
+
+/root/repo/target/release/deps/libjpmd_sim-8a75b16243a8fa8f.rlib: crates/sim/src/lib.rs crates/sim/src/array_system.rs crates/sim/src/config.rs crates/sim/src/controller.rs crates/sim/src/engine.rs crates/sim/src/events.rs crates/sim/src/hw.rs crates/sim/src/metrics.rs crates/sim/src/observers.rs crates/sim/src/system.rs
+
+/root/repo/target/release/deps/libjpmd_sim-8a75b16243a8fa8f.rmeta: crates/sim/src/lib.rs crates/sim/src/array_system.rs crates/sim/src/config.rs crates/sim/src/controller.rs crates/sim/src/engine.rs crates/sim/src/events.rs crates/sim/src/hw.rs crates/sim/src/metrics.rs crates/sim/src/observers.rs crates/sim/src/system.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/array_system.rs:
+crates/sim/src/config.rs:
+crates/sim/src/controller.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/events.rs:
+crates/sim/src/hw.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/observers.rs:
+crates/sim/src/system.rs:

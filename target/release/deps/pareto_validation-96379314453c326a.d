@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pareto_validation-96379314453c326a.d: crates/bench/src/bin/pareto_validation.rs
+
+/root/repo/target/release/deps/pareto_validation-96379314453c326a: crates/bench/src/bin/pareto_validation.rs
+
+crates/bench/src/bin/pareto_validation.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-54917af56e34460d.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-54917af56e34460d.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-54917af56e34460d.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-95db65061fa0b295.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-95db65061fa0b295: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

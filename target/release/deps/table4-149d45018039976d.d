@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-149d45018039976d.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-149d45018039976d: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

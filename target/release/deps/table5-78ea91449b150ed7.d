@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5-78ea91449b150ed7.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/release/deps/table5-78ea91449b150ed7: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

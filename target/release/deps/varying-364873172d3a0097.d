@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/varying-364873172d3a0097.d: crates/bench/src/bin/varying.rs
+
+/root/repo/target/release/deps/varying-364873172d3a0097: crates/bench/src/bin/varying.rs
+
+crates/bench/src/bin/varying.rs:

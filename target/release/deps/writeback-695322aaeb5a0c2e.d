@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/writeback-695322aaeb5a0c2e.d: crates/bench/src/bin/writeback.rs
+
+/root/repo/target/release/deps/writeback-695322aaeb5a0c2e: crates/bench/src/bin/writeback.rs
+
+crates/bench/src/bin/writeback.rs:

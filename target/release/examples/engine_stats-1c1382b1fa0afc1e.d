@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/engine_stats-1c1382b1fa0afc1e.d: crates/sim/examples/engine_stats.rs
+
+/root/repo/target/release/examples/engine_stats-1c1382b1fa0afc1e: crates/sim/examples/engine_stats.rs
+
+crates/sim/examples/engine_stats.rs:

@@ -71,8 +71,8 @@ fn joint_beats_overprovisioned_static_under_varying_load() {
             .build()
             .expect("workload")
     };
-    let trace = synth::concat(&[phase(40, 1), phase(1, 2), phase(40, 3), phase(1, 4)])
-        .expect("concat");
+    let trace =
+        synth::concat(&[phase(40, 1), phase(1, 2), phase(40, 3), phase(1, 4)]).expect("concat");
     let duration = trace.span() + 30.0;
     let joint = methods::run_method(
         &methods::joint(&scale),
@@ -88,8 +88,11 @@ fn joint_beats_overprovisioned_static_under_varying_load() {
     // the data set, the paper itself notes the joint method loses a little
     // to adjustment overhead — "such situation occurs infrequently since
     // the sizes of server data sets vary".)
-    let overprovisioned =
-        methods::fixed_memory(&scale, methods::DiskPolicyKind::TwoCompetitive, scale.total_gb);
+    let overprovisioned = methods::fixed_memory(
+        &scale,
+        methods::DiskPolicyKind::TwoCompetitive,
+        scale.total_gb,
+    );
     let fixed = methods::run_method(&overprovisioned, &scale, &trace, 1800.0, duration, 300.0);
     assert!(
         joint.energy.total_j() < fixed.energy.total_j(),

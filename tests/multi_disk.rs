@@ -32,12 +32,7 @@ fn workload() -> Trace {
         .expect("workload generation")
 }
 
-fn run(
-    trace: &Trace,
-    disks: usize,
-    layout: Layout,
-    joint: bool,
-) -> RunReport {
+fn run(trace: &Trace, disks: usize, layout: Layout, joint: bool) -> RunReport {
     let scale = scale();
     let mut sim = scale.sim_config(IdlePolicy::Nap, scale.total_banks());
     sim.warmup_secs = WARMUP;

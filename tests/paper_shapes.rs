@@ -59,8 +59,14 @@ fn power_down_keeps_disk_quiet_but_pays_in_memory() {
     let trace = workload(1, 10, 0.1);
     let s = scale();
     let base = run(&methods::always_on(&s), &trace);
-    let pd = run(&methods::power_down(&s, DiskPolicyKind::TwoCompetitive), &trace);
-    let ds = run(&methods::disable(&s, DiskPolicyKind::TwoCompetitive), &trace);
+    let pd = run(
+        &methods::power_down(&s, DiskPolicyKind::TwoCompetitive),
+        &trace,
+    );
+    let ds = run(
+        &methods::disable(&s, DiskPolicyKind::TwoCompetitive),
+        &trace,
+    );
 
     // PD retains data: identical disk traffic to the baseline.
     assert_eq!(pd.disk_page_accesses, base.disk_page_accesses);
@@ -84,7 +90,10 @@ fn memory_accesses_are_method_independent() {
     let s = scale();
     let reports = [
         run(&methods::always_on(&s), &trace),
-        run(&methods::fixed_memory(&s, DiskPolicyKind::TwoCompetitive, 1), &trace),
+        run(
+            &methods::fixed_memory(&s, DiskPolicyKind::TwoCompetitive, 1),
+            &trace,
+        ),
         run(&methods::power_down(&s, DiskPolicyKind::Adaptive), &trace),
         run(&methods::joint(&s), &trace),
     ];
@@ -103,8 +112,14 @@ fn small_memory_thrashes_on_large_data_sets() {
     // utilization and long-latency up; FM at the data-set size does not.
     let trace = workload(4, 20, 0.4);
     let s = scale();
-    let tiny = run(&methods::fixed_memory(&s, DiskPolicyKind::TwoCompetitive, 1), &trace);
-    let big = run(&methods::fixed_memory(&s, DiskPolicyKind::TwoCompetitive, 4), &trace);
+    let tiny = run(
+        &methods::fixed_memory(&s, DiskPolicyKind::TwoCompetitive, 1),
+        &trace,
+    );
+    let big = run(
+        &methods::fixed_memory(&s, DiskPolicyKind::TwoCompetitive, 4),
+        &trace,
+    );
     assert!(
         tiny.disk_page_accesses > 2 * big.disk_page_accesses,
         "tiny memory must miss much more ({} vs {})",
@@ -122,8 +137,14 @@ fn adaptive_timeout_reduces_long_latency_versus_fixed() {
     // back-off matters.
     let trace = workload(1, 2, 0.1);
     let s = scale();
-    let two_t = run(&methods::fixed_memory(&s, DiskPolicyKind::TwoCompetitive, 1), &trace);
-    let ad = run(&methods::fixed_memory(&s, DiskPolicyKind::Adaptive, 1), &trace);
+    let two_t = run(
+        &methods::fixed_memory(&s, DiskPolicyKind::TwoCompetitive, 1),
+        &trace,
+    );
+    let ad = run(
+        &methods::fixed_memory(&s, DiskPolicyKind::Adaptive, 1),
+        &trace,
+    );
     assert!(
         ad.long_latency_count <= two_t.long_latency_count,
         "AD ({}) should not exceed 2T ({}) in long-latency requests",

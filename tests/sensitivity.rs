@@ -32,9 +32,16 @@ fn joint_insensitive_to_period_length() {
     let energies: Vec<f64> = [300.0, 600.0, 900.0]
         .iter()
         .map(|&period| {
-            methods::run_method(&methods::joint(&scale), &scale, &trace, WARMUP, DURATION, period)
-                .energy
-                .total_j()
+            methods::run_method(
+                &methods::joint(&scale),
+                &scale,
+                &trace,
+                WARMUP,
+                DURATION,
+                period,
+            )
+            .energy
+            .total_j()
         })
         .collect();
     let min = energies.iter().copied().fold(f64::INFINITY, f64::min);
@@ -57,9 +64,16 @@ fn joint_insensitive_to_bank_size() {
                 bank_mib,
                 ..SimScale::small_test()
             };
-            methods::run_method(&methods::joint(&scale), &scale, &trace, WARMUP, DURATION, 300.0)
-                .energy
-                .total_j()
+            methods::run_method(
+                &methods::joint(&scale),
+                &scale,
+                &trace,
+                WARMUP,
+                DURATION,
+                300.0,
+            )
+            .energy
+            .total_j()
         })
         .collect();
     let min = energies.iter().copied().fold(f64::INFINITY, f64::min);
@@ -88,7 +102,14 @@ fn pipeline_works_at_paper_page_size() {
         .seed(4)
         .build()
         .expect("workload generation");
-    let base = methods::run_method(&methods::always_on(&scale), &scale, &trace, 0.0, 900.0, 300.0);
+    let base = methods::run_method(
+        &methods::always_on(&scale),
+        &scale,
+        &trace,
+        0.0,
+        900.0,
+        300.0,
+    );
     let joint = methods::run_method(&methods::joint(&scale), &scale, &trace, 0.0, 900.0, 300.0);
     assert!(joint.energy.total_j() < base.energy.total_j());
     assert!(joint.cache_accesses == base.cache_accesses);

@@ -1,0 +1,224 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the API subset `benches/micro.rs` uses: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`Throughput`], [`BatchSize`], [`black_box`],
+//! and the `criterion_group!` / `criterion_main!` macros. Measurement is a
+//! simple wall-clock loop (median-free, no outlier analysis); when invoked
+//! with `--test` (as `cargo test --benches` does) each routine runs exactly
+//! once so the suite doubles as a smoke test.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier; keeps the optimizer from deleting benchmarked
+/// work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost (sizing hints upstream; here
+/// only a marker).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Routine input is cheap to set up; batch many per measurement.
+    SmallInput,
+    /// Routine input is expensive; batch few.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// Units-of-work declaration used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per routine call.
+    Elements(u64),
+    /// Bytes processed per routine call.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Criterion {
+    /// Driver configured from the process arguments (`--test` selects
+    /// run-once smoke mode).
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a throughput declaration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the units of work each routine call performs.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Measures one named routine.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            test_mode: self.criterion.test_mode,
+            measured: None,
+        };
+        f(&mut bencher);
+        self.report(id, bencher.measured);
+        self
+    }
+
+    fn report(&self, id: &str, measured: Option<(Duration, u64)>) {
+        let label = format!("{}/{}", self.name, id);
+        match measured {
+            Some((elapsed, iters)) if iters > 0 => {
+                let per_iter = elapsed.as_secs_f64() / iters as f64;
+                let rate = match self.throughput {
+                    Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+                        format!("  ({:.3e} elem/s)", n as f64 / per_iter)
+                    }
+                    Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+                        format!("  ({:.3e} B/s)", n as f64 / per_iter)
+                    }
+                    _ => String::new(),
+                };
+                println!(
+                    "{label:<48} {:>12.3?}/iter{rate}",
+                    Duration::from_secs_f64(per_iter)
+                );
+            }
+            _ => println!("{label:<48} (not measured)"),
+        }
+    }
+
+    /// Ends the group (upstream flushes reports here; a no-op stand-in).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark closure; runs and times the routine.
+pub struct Bencher {
+    test_mode: bool,
+    measured: Option<(Duration, u64)>,
+}
+
+/// Per-routine wall-clock budget in normal (non `--test`) mode.
+const BUDGET: Duration = Duration::from_millis(200);
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            self.measured = Some((Duration::ZERO, 0));
+            return;
+        }
+        // Warm-up + calibration round.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (BUDGET.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.measured = Some((start.elapsed(), iters));
+    }
+
+    /// Times `routine` over fresh `setup`-produced inputs, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            black_box(routine(setup()));
+            self.measured = Some((Duration::ZERO, 0));
+            return;
+        }
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (BUDGET.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+        let mut elapsed = Duration::ZERO;
+        for input in inputs {
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.measured = Some((elapsed, iters));
+    }
+}
+
+/// Declares a runner that drives each listed benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::new();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a benchmark binary built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..10u64).sum::<u64>());
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64, 2, 3],
+                |v| v.into_iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            );
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_routines() {
+        // Unit tests see the libtest args; force both modes explicitly.
+        let mut fast = Criterion { test_mode: true };
+        sample_bench(&mut fast);
+        let mut timed = Criterion { test_mode: false };
+        sample_bench(&mut timed);
+    }
+}

@@ -1,0 +1,330 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the subset of the proptest surface it uses: the [`proptest!`] macro with
+//! `$pat in $strategy` bindings and an optional
+//! `#![proptest_config(ProptestConfig::with_cases(n))]` header, range and
+//! tuple strategies, [`collection::vec`], [`arbitrary::any`], and
+//! [`sample::select`]. Cases are drawn from a fixed-seed [`rand::StdRng`],
+//! so every run explores the same inputs — there is no shrinking; a failing
+//! case panics with the ordinary `assert!` message.
+
+#![forbid(unsafe_code)]
+
+/// Value generators (stand-in for proptest's `Strategy` + `ValueTree`).
+pub mod strategy {
+    use rand::{Rng, SampleRange, StdRng};
+
+    /// Produces one random value per test case.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Draws one value from `rng`.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Applies `f` to each generated value.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy transforming another strategy's output ([`Strategy::prop_map`]).
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    impl<T> Strategy for std::ops::Range<T>
+    where
+        std::ops::Range<T>: SampleRange<T> + Clone,
+    {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T> Strategy for std::ops::RangeInclusive<T>
+    where
+        std::ops::RangeInclusive<T>: SampleRange<T> + Clone,
+    {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (self.0.generate(rng), self.1.generate(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (
+                self.0.generate(rng),
+                self.1.generate(rng),
+                self.2.generate(rng),
+            )
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+        type Value = (A::Value, B::Value, C::Value, D::Value);
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (
+                self.0.generate(rng),
+                self.1.generate(rng),
+                self.2.generate(rng),
+                self.3.generate(rng),
+            )
+        }
+    }
+}
+
+/// Test-runner configuration (stand-in for `proptest::test_runner`).
+pub mod test_runner {
+    /// How many cases each property runs (`Config` upstream).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to execute per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Upstream default.
+            ProptestConfig { cases: 256 }
+        }
+    }
+}
+
+/// Collection strategies (stand-in for `proptest::collection`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use rand::{Rng, StdRng};
+
+    /// Strategy producing `Vec`s with lengths drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// Vectors of `element`-generated values with `size`-range lengths.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = if self.size.start + 1 == self.size.end {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Choice strategies (stand-in for `proptest::sample`).
+pub mod sample {
+    use crate::strategy::Strategy;
+    use rand::{Rng, StdRng};
+
+    /// Strategy drawing uniformly from a fixed list of options.
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// Uniform choice among `options`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `options` is empty.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select: no options");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.options[rng.gen_range(0..self.options.len())].clone()
+        }
+    }
+}
+
+/// Whole-domain strategies (stand-in for `proptest::arbitrary`).
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use rand::{Rng, Standard, StdRng};
+
+    /// Strategy drawing uniformly over a type's full domain.
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<T>,
+    }
+
+    /// Uniform draw over `T`'s full domain (e.g. `any::<u64>()`).
+    pub fn any<T: Standard>() -> Any<T> {
+        Any {
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    impl<T: Standard> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.gen::<T>()
+        }
+    }
+}
+
+#[doc(hidden)]
+pub mod __runtime {
+    pub use rand::{SeedableRng, StdRng};
+
+    /// The per-property master generator; fixed seed keeps runs
+    /// reproducible.
+    pub fn runner_rng(property_name: &str) -> StdRng {
+        // Mix the property name in so sibling properties see different
+        // streams.
+        let mut seed = 0xC0FF_EE00_1234_5678u64;
+        for b in property_name.bytes() {
+            seed = seed.rotate_left(7) ^ u64::from(b);
+        }
+        StdRng::seed_from_u64(seed)
+    }
+}
+
+/// Declares property tests: each `#[test] fn name(pat in strategy, ...)`
+/// body runs for `cases` randomly generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (@run ($cfg:expr) $(
+        #[test]
+        fn $name:ident($($p:pat in $s:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut runner_rng = $crate::__runtime::runner_rng(stringify!($name));
+                for _case in 0..config.cases {
+                    let ($($p,)+) = ($(
+                        $crate::strategy::Strategy::generate(&($s), &mut runner_rng),
+                    )+);
+                    $body
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @run ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// Property assertion; this stand-in panics immediately like `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Property equality assertion; panics immediately like `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// The glob-import surface test modules use (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+
+    /// Namespaced strategy modules (`prop::sample::select`, ...).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3u64..10, y in -2.5f64..=2.5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.5..=2.5).contains(&y));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(17))]
+        #[test]
+        fn vec_and_tuple_strategies(
+            mut xs in crate::collection::vec((0usize..4, 0.0f64..1.0), 0..9),
+            pick in prop::sample::select(vec![10u64, 20, 30]),
+            seed in any::<u64>(),
+        ) {
+            xs.sort_by_key(|a| a.0);
+            prop_assert!(xs.len() < 9);
+            for (i, f) in &xs {
+                prop_assert!(*i < 4 && (0.0..1.0).contains(f));
+            }
+            prop_assert_eq!(pick % 10, 0);
+            let _ = seed;
+        }
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let mut a = crate::__runtime::runner_rng("p");
+        let mut b = crate::__runtime::runner_rng("p");
+        let s = crate::collection::vec(0u64..100, 1..50);
+        use crate::strategy::Strategy;
+        for _ in 0..20 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+}

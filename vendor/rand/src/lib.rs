@@ -1,0 +1,290 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the small API subset it actually uses: [`SeedableRng::seed_from_u64`],
+//! [`Rng::gen`], [`Rng::gen_range`], and [`Rng::gen_bool`], backed by a
+//! PCG-XSH-RR 64/32 generator. Streams are deterministic per seed (which
+//! is all the simulator needs for reproducible traces) but intentionally
+//! *not* bit-compatible with upstream `rand`.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A generator seedable from a `u64` (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly over their full domain
+/// (`Rng::gen`) — the stand-in for `rand::distributions::Standard`.
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+/// Types usable as `gen_range` bounds (stand-in for
+/// `rand::distributions::uniform::SampleUniform`).
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Uniform draw from `[low, high)`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// Uniform draw from `[low, high]`.
+    fn sample_range_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+/// A range usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_range(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        assert!(low <= high, "gen_range: empty range");
+        T::sample_range_inclusive(rng, low, high)
+    }
+}
+
+/// Core source of randomness: 32/64-bit draws.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64 {
+        (u64::from(self.next_u32()) << 32) | u64::from(self.next_u32())
+    }
+}
+
+/// High-level sampling helpers (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Uniform draw over a type's full domain (`f64` draws from `[0, 1)`).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Uniform draw from a half-open or inclusive range.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0, 1]");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+macro_rules! impl_int_uniform {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                let span = (high as $wide).wrapping_sub(low as $wide) as u64;
+                low.wrapping_add(bounded_u64(rng, span) as $t)
+            }
+            fn sample_range_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                let span = (high as $wide).wrapping_sub(low as $wide) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                low.wrapping_add(bounded_u64(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_uniform!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+);
+
+/// Unbiased uniform draw from `[0, bound)` (Lemire-style rejection).
+fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    assert!(bound > 0);
+    let threshold = bound.wrapping_neg() % bound;
+    loop {
+        let x = rng.next_u64();
+        if x >= threshold {
+            return x % bound;
+        }
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 mantissa bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_float_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                let u = <$t as Standard>::sample(rng);
+                let v = low + (high - low) * u;
+                // Guard against rounding up to the excluded bound.
+                if v >= high {
+                    <$t>::max(low, high - (high - low) * <$t>::EPSILON)
+                } else {
+                    v
+                }
+            }
+            fn sample_range_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                low + (high - low) * <$t as Standard>::sample(rng)
+            }
+        }
+    )*};
+}
+
+impl_float_uniform!(f32, f64);
+
+/// Named generators (subset of `rand::rngs`).
+pub mod rngs {
+    pub use super::StdRng;
+}
+
+/// The standard generator: PCG-XSH-RR 64/32 (O'Neill 2014). Small, fast,
+/// and statistically solid for simulation workloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    state: u64,
+    inc: u64,
+}
+
+const PCG_MULT: u64 = 6364136223846793005;
+
+impl StdRng {
+    fn from_parts(state: u64, stream: u64) -> Self {
+        let mut rng = StdRng {
+            state: 0,
+            inc: (stream << 1) | 1,
+        };
+        rng.state = rng.inc.wrapping_add(state);
+        rng.next_u32();
+        rng
+    }
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 spreads low-entropy seeds over state and stream.
+        let mut z = seed.wrapping_add(0x9E3779B97F4A7C15);
+        let mut mix = || {
+            z = z.wrapping_add(0x9E3779B97F4A7C15);
+            let mut x = z;
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+            x ^ (x >> 31)
+        };
+        let state = mix();
+        let stream = mix();
+        StdRng::from_parts(state, stream)
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn unit_float_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn int_ranges_hit_all_values() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..1_000 {
+            let v = rng.gen_range(3u64..=5);
+            assert!((3..=5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn float_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(2.5f64..3.5);
+            assert!((2.5..3.5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        let ratio = hits as f64 / 100_000.0;
+        assert!((ratio - 0.25).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn mean_is_centered() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.gen::<f64>()).sum();
+        assert!((sum / n as f64 - 0.5).abs() < 0.005);
+    }
+}

@@ -1,0 +1,483 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the vendored `serde` value-tree model, using only the compiler's
+//! `proc_macro` API (no `syn`/`quote` — the registry is unreachable in
+//! this build environment). Supported shapes, which cover every derived
+//! type in this workspace:
+//!
+//! * structs with named fields (`#[serde(default)]` honored per field),
+//! * tuple structs (newtype structs collapse to the inner value),
+//! * unit structs,
+//! * enums with unit, tuple, and struct variants (externally tagged).
+//!
+//! Generic parameters, lifetimes, and other serde attributes are out of
+//! scope and fail with a clear compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (value-tree flavor).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Serialize)
+}
+
+/// Derives `serde::Deserialize` (value-tree flavor).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Trait {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, which: Trait) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let code = match which {
+        Trait::Serialize => gen_serialize(&item),
+        Trait::Deserialize => gen_deserialize(&item),
+    };
+    code.parse().expect("generated impl must be valid Rust")
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    has_default: bool,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Body {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+/// `#[serde(default)]` detection on one attribute group's tokens.
+fn attr_is_serde_default(tokens: &[TokenTree]) -> bool {
+    // Shape: [Ident("serde"), Group(Paren){ Ident("default") }]
+    match tokens {
+        [TokenTree::Ident(name), TokenTree::Group(args)] if name.to_string() == "serde" => args
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "default")),
+        _ => false,
+    }
+}
+
+/// Consumes leading attributes at `i`; returns whether any was
+/// `#[serde(default)]`.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut has_default = false;
+    while *i + 1 < tokens.len() {
+        let is_hash = matches!(&tokens[*i], TokenTree::Punct(p) if p.as_char() == '#');
+        if !is_hash {
+            break;
+        }
+        if let TokenTree::Group(g) = &tokens[*i + 1] {
+            if g.delimiter() == Delimiter::Bracket {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                has_default |= attr_is_serde_default(&inner);
+                *i += 2;
+                continue;
+            }
+        }
+        break;
+    }
+    has_default
+}
+
+/// Consumes a `pub` / `pub(...)` visibility marker at `i`, if present.
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(&tokens[*i..], [TokenTree::Ident(kw), ..] if kw.to_string() == "pub") {
+        *i += 1;
+        if matches!(&tokens[*i..], [TokenTree::Group(g), ..] if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Splits a field-list token stream at top-level commas (angle-bracket
+/// depth tracked manually — generics are not token groups).
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    out.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(t.clone());
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+fn parse_named_fields(group: &proc_macro::Group) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    for chunk in split_top_level_commas(&tokens) {
+        let mut i = 0usize;
+        let has_default = skip_attrs(&chunk, &mut i);
+        skip_visibility(&chunk, &mut i);
+        let name = match chunk.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => return Err("expected field name".to_string()),
+        };
+        match chunk.get(i + 1) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        fields.push(Field { name, has_default });
+    }
+    Ok(fields)
+}
+
+fn parse_tuple_fields(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    split_top_level_commas(&tokens).len()
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("expected variant name, got `{other}`")),
+            None => break,
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(parse_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Struct(parse_named_fields(g)?)
+            }
+            _ => VariantShape::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            return Err(format!(
+                "discriminants are not supported (variant `{name}`)"
+            ));
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    skip_attrs(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected `struct` or `enum`".to_string()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected type name".to_string()),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "generic type `{name}` is not supported by the vendored serde derive"
+        ));
+    }
+    let body = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(parse_tuple_fields(g))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::UnitStruct,
+            _ => return Err(format!("unsupported struct body for `{name}`")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g)?)
+            }
+            _ => return Err(format!("expected enum body for `{name}`")),
+        },
+        other => return Err(format!("cannot derive for `{other}` items")),
+    };
+    Ok(Item { name, body })
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({n:?}), \
+                         ::serde::Serialize::to_value(&self.{n})),",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{pushes}])")
+        }
+        Body::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::TupleStruct(n) => {
+            let items: String = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{items}])")
+        }
+        Body::UnitStruct => "::serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let arms: String = variants.iter().map(|v| serialize_arm(name, v)).collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn serialize_arm(ty: &str, v: &Variant) -> String {
+    let vn = &v.name;
+    match &v.shape {
+        VariantShape::Unit => {
+            format!("{ty}::{vn} => ::serde::Value::Str(::std::string::String::from({vn:?})),")
+        }
+        VariantShape::Tuple(1) => format!(
+            "{ty}::{vn}(f0) => ::serde::Value::Object(::std::vec![(\
+                 ::std::string::String::from({vn:?}), ::serde::Serialize::to_value(f0))]),"
+        ),
+        VariantShape::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+            let items: String = binds
+                .iter()
+                .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                .collect();
+            format!(
+                "{ty}::{vn}({binds}) => ::serde::Value::Object(::std::vec![(\
+                     ::std::string::String::from({vn:?}), \
+                     ::serde::Value::Array(::std::vec![{items}]))]),",
+                binds = binds.join(", ")
+            )
+        }
+        VariantShape::Struct(fields) => {
+            let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+            let items: String = binds
+                .iter()
+                .map(|b| {
+                    format!(
+                        "(::std::string::String::from({b:?}), ::serde::Serialize::to_value({b})),"
+                    )
+                })
+                .collect();
+            format!(
+                "{ty}::{vn} {{ {binds} }} => ::serde::Value::Object(::std::vec![(\
+                     ::std::string::String::from({vn:?}), \
+                     ::serde::Value::Object(::std::vec![{items}]))]),",
+                binds = binds.join(", ")
+            )
+        }
+    }
+}
+
+/// `field: <lookup>,` initializer for one named field out of object `obj`
+/// (an expression of type `&::serde::Value` known to be an object).
+fn named_field_init(ty: &str, obj: &str, f: &Field) -> String {
+    let n = &f.name;
+    let missing = if f.has_default {
+        "::std::default::Default::default()".to_string()
+    } else {
+        format!(
+            "return ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::concat!(\"missing field `\", {n:?}, \"` in \", {ty:?})))"
+        )
+    };
+    format!(
+        "{n}: match {obj}.get({n:?}) {{\n\
+             ::std::option::Option::Some(fv) => ::serde::Deserialize::from_value(fv)?,\n\
+             ::std::option::Option::None => {missing},\n\
+         }},"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| named_field_init(name, "value", f))
+                .collect();
+            format!(
+                "if !::std::matches!(value, ::serde::Value::Object(_)) {{\n\
+                     return ::std::result::Result::Err(::serde::Error::custom(\
+                         ::std::concat!(\"expected object for \", {name:?})));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})"
+            )
+        }
+        Body::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))")
+        }
+        Body::TupleStruct(n) => {
+            let items: String = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?,"))
+                .collect();
+            format!(
+                "match value {{\n\
+                     ::serde::Value::Array(items) if items.len() == {n} => \
+                         ::std::result::Result::Ok({name}({items})),\n\
+                     _ => ::std::result::Result::Err(::serde::Error::custom(\
+                         ::std::concat!(\"expected {n}-element array for \", {name:?}))),\n\
+                 }}"
+            )
+        }
+        Body::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Body::Enum(variants) => gen_deserialize_enum(name, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    // Externally tagged: `"Variant"` for unit, `{ "Variant": payload }`
+    // otherwise. Unit variants are also accepted in object form.
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| matches!(v.shape, VariantShape::Unit))
+        .map(|v| {
+            format!(
+                "{vn:?} => ::std::result::Result::Ok({name}::{vn}),",
+                vn = v.name
+            )
+        })
+        .collect();
+    let tagged_arms: String = variants
+        .iter()
+        .map(|v| {
+            let vn = &v.name;
+            match &v.shape {
+                VariantShape::Unit => {
+                    format!("{vn:?} => ::std::result::Result::Ok({name}::{vn}),")
+                }
+                VariantShape::Tuple(1) => format!(
+                    "{vn:?} => ::std::result::Result::Ok(\
+                         {name}::{vn}(::serde::Deserialize::from_value(payload)?)),"
+                ),
+                VariantShape::Tuple(n) => {
+                    let items: String = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?,"))
+                        .collect();
+                    format!(
+                        "{vn:?} => match payload {{\n\
+                             ::serde::Value::Array(items) if items.len() == {n} => \
+                                 ::std::result::Result::Ok({name}::{vn}({items})),\n\
+                             _ => ::std::result::Result::Err(::serde::Error::custom(\
+                                 ::std::concat!(\"expected {n}-element array for variant \", \
+                                                {vn:?}))),\n\
+                         }},"
+                    )
+                }
+                VariantShape::Struct(fields) => {
+                    let inits: String = fields
+                        .iter()
+                        .map(|f| named_field_init(name, "payload", f))
+                        .collect();
+                    format!(
+                        "{vn:?} => {{\n\
+                             if !::std::matches!(payload, ::serde::Value::Object(_)) {{\n\
+                                 return ::std::result::Result::Err(::serde::Error::custom(\
+                                     ::std::concat!(\"expected object for variant \", {vn:?})));\n\
+                             }}\n\
+                             ::std::result::Result::Ok({name}::{vn} {{ {inits} }})\n\
+                         }},"
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "match value {{\n\
+             ::serde::Value::Str(tag) => match tag.as_str() {{\n\
+                 {unit_arms}\n\
+                 other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\
+                     \"unknown unit variant `{{other}}` of {name}\"))),\n\
+             }},\n\
+             ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                 let (tag, payload) = &entries[0];\n\
+                 match tag.as_str() {{\n\
+                     {tagged_arms}\n\
+                     other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\
+                         \"unknown variant `{{other}}` of {name}\"))),\n\
+                 }}\n\
+             }},\n\
+             _ => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::concat!(\"expected enum representation for \", {name:?}))),\n\
+         }}"
+    )
+}
