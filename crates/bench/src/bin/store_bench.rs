@@ -1,0 +1,140 @@
+//! Streaming-vs-JSON trace load/replay benchmark for the paged binary
+//! store (`jpmd-store`).
+//!
+//! Generates one workload, persists it both as JSON and as a `.jpt`
+//! binary store, then measures end-to-end load + replay (always-on
+//! method) through each path:
+//!
+//! * `json` — parse the whole trace into memory, then replay it;
+//! * `binary` — stream records straight off the paged store
+//!   ([`run_method_source`](jpmd_core::methods::run_method_source)), at
+//!   O(page) resident memory.
+//!
+//! Reported per path: wall-clock replay throughput (records/s), total
+//! load+replay seconds, on-disk file size, and the peak-RSS delta the
+//! load inflicted (Linux `VmHWM`; `NaN` elsewhere). The binary rows run
+//! first so the JSON path's allocations cannot mask their high-water
+//! mark. Results land in `results/store_bench.json` via the existing
+//! runner conventions: a failing path fills its row with `NaN` and the
+//! bench keeps going, like the figure drivers.
+//!
+//! Usage: `store-bench [--quick]`
+
+use std::time::Instant;
+
+use jpmd_bench::{write_json, ExperimentConfig, Table, WorkloadPoint};
+use jpmd_core::methods;
+use jpmd_store::TraceReader;
+use jpmd_trace::Trace;
+
+/// Peak resident set size of this process, bytes (Linux `VmHWM`).
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+struct PathResult {
+    records_per_sec: f64,
+    load_replay_secs: f64,
+    file_bytes: f64,
+    peak_rss_delta_mb: f64,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = ExperimentConfig::from_args();
+    let point = WorkloadPoint {
+        data_gb: 4,
+        ..WorkloadPoint::default_point()
+    };
+    let scale = cfg.scale;
+
+    println!("generating workload ({} GiB data set)…", point.data_gb);
+    let trace = jpmd_bench::experiments::make_trace(&cfg, point);
+    let records = trace.records().len();
+    println!("{records} records over {:.0} s", trace.span());
+
+    let dir = std::env::temp_dir();
+    let json_path = dir.join(format!("jpmd-store-bench-{}.json", std::process::id()));
+    let jpt_path = dir.join(format!("jpmd-store-bench-{}.jpt", std::process::id()));
+    trace.to_writer(std::io::BufWriter::new(std::fs::File::create(&json_path)?))?;
+    jpmd_store::write_trace(&jpt_path, &trace)?;
+    drop(trace);
+
+    let spec = methods::always_on(&scale);
+    let warmup = cfg.warmup_secs;
+    let duration = cfg.duration_secs;
+    let period = cfg.period_secs;
+
+    // Run the binary path first: VmHWM is a high-water mark, so the
+    // smaller-footprint path must not run in the shadow of the larger.
+    let tasks: Vec<(&str, &std::path::Path)> = vec![("binary", &jpt_path), ("json", &json_path)];
+    let outcomes = jpmd_bench::run_queue(&tasks, 1, |&(kind, path)| {
+        let rss_before = peak_rss_bytes();
+        let start = Instant::now();
+        let report = match kind {
+            "binary" => methods::run_method_source(
+                &spec,
+                &scale,
+                TraceReader::open(path).expect("open store"),
+                warmup,
+                duration,
+                period,
+            )
+            .expect("streamed replay"),
+            _ => {
+                let loaded = Trace::from_reader(std::io::BufReader::new(
+                    std::fs::File::open(path).expect("open json"),
+                ))
+                .expect("parse json trace");
+                methods::run_method(&spec, &scale, &loaded, warmup, duration, period)
+            }
+        };
+        let secs = start.elapsed().as_secs_f64();
+        let delta = match (rss_before, peak_rss_bytes()) {
+            (Some(before), Some(after)) => (after - before) as f64 / (1024.0 * 1024.0),
+            _ => f64::NAN,
+        };
+        assert!(report.energy.total_j() > 0.0);
+        PathResult {
+            records_per_sec: records as f64 / secs.max(f64::MIN_POSITIVE),
+            load_replay_secs: secs,
+            file_bytes: std::fs::metadata(path).map_or(f64::NAN, |m| m.len() as f64),
+            peak_rss_delta_mb: delta,
+        }
+    });
+
+    let mut table = Table::new(
+        "Trace store: load+replay, JSON vs paged binary",
+        vec![
+            "records/s".into(),
+            "secs".into(),
+            "file MB".into(),
+            "peak ΔRSS MB".into(),
+        ],
+    );
+    for ((kind, _), outcome) in tasks.iter().zip(outcomes) {
+        match outcome {
+            Ok(r) => table.push(
+                *kind,
+                vec![
+                    r.records_per_sec,
+                    r.load_replay_secs,
+                    r.file_bytes / (1024.0 * 1024.0),
+                    r.peak_rss_delta_mb,
+                ],
+            ),
+            Err(message) => {
+                eprintln!("[{kind} path failed: {message}]");
+                table.push(*kind, vec![f64::NAN; 4]);
+            }
+        }
+    }
+    table.print();
+    write_json("store_bench", &table)?;
+
+    let _ = std::fs::remove_file(&json_path);
+    let _ = std::fs::remove_file(&jpt_path);
+    Ok(())
+}

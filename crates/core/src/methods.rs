@@ -17,8 +17,8 @@ use serde::{Deserialize, Serialize};
 
 use jpmd_disk::SpinDownPolicy;
 use jpmd_mem::{IdlePolicy, MemConfig, Replacement};
-use jpmd_sim::{run_simulation, NullController, RunReport, SimConfig};
-use jpmd_trace::Trace;
+use jpmd_sim::{run_simulation_source, NullController, RunReport, SimConfig};
+use jpmd_trace::{SourceError, Trace, TraceSource};
 
 use crate::{JointConfig, JointPolicy, SimScale};
 
@@ -204,6 +204,34 @@ pub fn run_method(
     duration_secs: f64,
     period_secs: f64,
 ) -> RunReport {
+    run_method_source(
+        spec,
+        scale,
+        trace.source(),
+        warmup_secs,
+        duration_secs,
+        period_secs,
+    )
+    .expect("in-memory trace sources cannot fail")
+}
+
+/// Like [`run_method`], but replays any [`TraceSource`] — including the
+/// paged binary store's streaming reader (`jpmd-store`), which keeps
+/// resident memory at O(page) for arbitrarily long traces. For the same
+/// record sequence the report is bit-identical to [`run_method`].
+///
+/// # Errors
+///
+/// Propagates the first [`SourceError`] the source yields (I/O failure or
+/// a corrupt store).
+pub fn run_method_source<S: TraceSource>(
+    spec: &MethodSpec,
+    scale: &SimScale,
+    source: S,
+    warmup_secs: f64,
+    duration_secs: f64,
+    period_secs: f64,
+) -> Result<RunReport, SourceError> {
     let mut sim = scale.sim_config(spec.mem_policy, spec.initial_banks);
     sim.warmup_secs = warmup_secs;
     sim.period_secs = period_secs;
@@ -214,20 +242,20 @@ pub fn run_method(
             let mut cfg = *joint_cfg;
             cfg.period_secs = period_secs;
             let mut controller = JointPolicy::new(cfg);
-            run_simulation(
+            run_simulation_source(
                 &sim,
                 spec.spindown.clone(),
                 &mut controller,
-                trace,
+                source,
                 duration_secs,
                 &spec.label,
             )
         }
-        None => run_simulation(
+        None => run_simulation_source(
             &sim,
             spec.spindown.clone(),
             &mut NullController,
-            trace,
+            source,
             duration_secs,
             &spec.label,
         ),

@@ -27,7 +27,7 @@
 
 use std::time::Instant;
 
-use jpmd_trace::{AccessKind, Trace, TraceRecord};
+use jpmd_trace::{AccessKind, SourceError, Trace, TraceRecord, TraceSource};
 use serde::{Deserialize, Serialize};
 
 use crate::{EventCounts, HwState, SimEvent};
@@ -111,24 +111,51 @@ impl Engine {
         Engine::default()
     }
 
-    /// Replays `trace` against `hw` until `duration`, dispatching to
-    /// `observers`, and returns the engine's counters. Records at or after
-    /// `duration` are ignored; all timers due by `duration` fire and the
-    /// hardware is settled there.
+    /// Replays an in-memory `trace` against `hw` until `duration`,
+    /// dispatching to `observers`, and returns the engine's counters.
+    /// Convenience wrapper over [`Engine::run_source`] — the in-memory
+    /// source is infallible.
     pub fn run(
-        mut self,
+        self,
         trace: &Trace,
         duration: f64,
         hw: &mut HwState,
         observers: &mut [&mut dyn SimObserver],
     ) -> EngineStats {
+        self.run_source(trace.source(), duration, hw, observers)
+            .expect("in-memory trace sources cannot fail")
+    }
+
+    /// Replays `source` against `hw` until `duration`, dispatching to
+    /// `observers`, and returns the engine's counters. Records at or after
+    /// `duration` are ignored; all timers due by `duration` fire and the
+    /// hardware is settled there.
+    ///
+    /// The engine pulls records one at a time, so a streaming source (e.g.
+    /// `jpmd-store`'s paged binary reader) replays at O(page) resident
+    /// memory. For the same record sequence every source produces
+    /// bit-identical stats.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SourceError`] the source yields (I/O failure
+    /// or corruption in a streaming source); the partial replay's stats
+    /// are discarded.
+    pub fn run_source<S: TraceSource>(
+        mut self,
+        mut source: S,
+        duration: f64,
+        hw: &mut HwState,
+        observers: &mut [&mut dyn SimObserver],
+    ) -> Result<EngineStats, SourceError> {
         let wall = Instant::now();
-        for record in trace.records() {
+        while let Some(next) = source.next_record() {
+            let record = next?;
             if record.time >= duration {
                 break;
             }
             self.advance_to(record.time, hw, observers);
-            self.replay_record(record, hw, observers);
+            self.replay_record(&record, hw, observers);
         }
         self.advance_to(duration, hw, observers);
         hw.settle(duration);
@@ -138,7 +165,7 @@ impl Engine {
         self.stats.replay_wall_secs = wall.elapsed().as_secs_f64();
         self.stats.accesses_per_sec =
             self.stats.counts.accesses as f64 / self.stats.replay_wall_secs.max(f64::MIN_POSITIVE);
-        self.stats
+        Ok(self.stats)
     }
 
     /// Fires every observer timer due at or before `target`, earliest

@@ -90,7 +90,7 @@ pub use observers::{
     EnergyMeter, EnergySummary, FlushDaemon, LatencySummary, LatencyTracker, PeriodAccounting,
     WarmupWindow,
 };
-pub use system::run_simulation;
+pub use system::{run_simulation, run_simulation_source};
 
 // Re-exported so downstream callers can build configurations without
 // importing every substrate crate explicitly.

@@ -3,7 +3,7 @@
 //! [`RunReport`].
 
 use jpmd_disk::SpinDownPolicy;
-use jpmd_trace::Trace;
+use jpmd_trace::{SourceError, Trace, TraceSource};
 
 use crate::{
     EnergyMeter, Engine, FlushDaemon, HwState, LatencyTracker, PeriodAccounting, PeriodController,
@@ -45,9 +45,43 @@ pub fn run_simulation(
     duration: f64,
     label: &str,
 ) -> RunReport {
+    run_simulation_source(
+        config,
+        spindown,
+        controller,
+        trace.source(),
+        duration,
+        label,
+    )
+    .expect("in-memory trace sources cannot fail")
+}
+
+/// Like [`run_simulation`], but replays any [`TraceSource`] — including
+/// `jpmd-store`'s paged binary reader, which streams multi-GB traces at
+/// O(page) resident memory. For the same record sequence the report is
+/// bit-identical to the in-memory replay (asserted by the `store_stream`
+/// integration tests).
+///
+/// # Errors
+///
+/// Propagates the first [`SourceError`] the source yields (I/O failure or
+/// a corrupt store); no report is produced for a failed replay.
+///
+/// # Panics
+///
+/// Panics if the source's page size differs from the memory
+/// configuration's, or if `duration` does not exceed the warm-up.
+pub fn run_simulation_source<S: TraceSource>(
+    config: &SimConfig,
+    spindown: SpinDownPolicy,
+    controller: &mut dyn PeriodController,
+    source: S,
+    duration: f64,
+    label: &str,
+) -> Result<RunReport, SourceError> {
     config.validate();
     assert_eq!(
-        trace.page_bytes(),
+        source.page_bytes(),
         config.mem.page_bytes,
         "trace and memory must agree on the page size"
     );
@@ -56,7 +90,7 @@ pub fn run_simulation(
         "duration must exceed the warm-up window"
     );
 
-    let mut hw = HwState::new(config, spindown, trace.total_pages().max(1));
+    let mut hw = HwState::new(config, spindown, source.total_pages().max(1));
     let mut warmup = WarmupWindow::new(config.warmup_secs);
     let mut periods = PeriodAccounting::new(
         controller,
@@ -77,13 +111,13 @@ pub fn run_simulation(
             &mut latency,
             &mut energy,
         ];
-        Engine::new().run(trace, duration, &mut hw, &mut observers)
+        Engine::new().run_source(source, duration, &mut hw, &mut observers)?
     };
 
     let window = duration - config.warmup_secs;
     let traffic = energy.finalize(&hw, window);
     let lat = latency.finalize();
-    RunReport {
+    Ok(RunReport {
         label: label.to_string(),
         duration_secs: window,
         energy: traffic.energy,
@@ -100,7 +134,7 @@ pub fn run_simulation(
         spin_downs: traffic.spin_downs,
         periods: periods.into_rows(),
         engine,
-    }
+    })
 }
 
 #[cfg(test)]

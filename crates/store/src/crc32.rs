@@ -1,0 +1,63 @@
+//! CRC-32 (IEEE 802.3, polynomial `0xEDB88320`), the checksum guarding
+//! every header and data page of the store format.
+//!
+//! Implemented locally with a compile-time table: the build environment is
+//! offline (see `vendor/README.md`), and the byte-at-a-time table variant
+//! is plenty for trace I/O, which is dominated by disk bandwidth.
+
+const POLY: u32 = 0xEDB8_8320;
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// The CRC-32 of `data` (standard init `!0`, final complement).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &byte in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ byte as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The classic check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn detects_single_byte_flips() {
+        let data = b"the quick brown fox jumps over the lazy dog".to_vec();
+        let base = crc32(&data);
+        for i in 0..data.len() {
+            let mut corrupt = data.clone();
+            corrupt[i] ^= 0x40;
+            assert_ne!(crc32(&corrupt), base, "flip at byte {i} undetected");
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Paged binary trace store for `jpmd` (`.jpt` files).
+//!
+//! The reproduction originally kept every workload as an in-memory JSON
+//! `Vec<TraceRecord>`, which couples trace length to resident memory and
+//! makes multi-hour, production-scale replays (the ROADMAP north star)
+//! impossible. This crate decouples them, in the spirit of paged,
+//! checksummed storage engines (PoloDB) and streaming energy-aware request
+//! logs (Behzadnia et al., arXiv:1703.02591):
+//!
+//! * a compact **binary format** — a fixed 64-byte header (magic, version,
+//!   geometry, record count) followed by fixed-size data pages of packed
+//!   little-endian records, each page guarded by a CRC-32 ([`mod@format`]);
+//! * a buffered streaming [`TraceWriter`] and a chunked [`TraceReader`],
+//!   both O(page) in resident memory;
+//! * a typed [`StoreError`] for every corruption mode — bad magic, foreign
+//!   version, truncated page, checksum mismatch — instead of panics;
+//! * the [`TraceSource`](jpmd_trace::TraceSource) seam: [`TraceReader`]
+//!   plugs straight into the simulator's
+//!   [`run_simulation_source`](../jpmd_sim/fn.run_simulation_source.html),
+//!   producing **bit-identical** `RunReport`s to in-memory replay (the
+//!   workspace `store_stream` integration tests assert this).
+//!
+//! The `trace-tool` binary (this crate) converts between `.json` and
+//! `.jpt`, prints and verifies stores, and generates workloads.
+//!
+//! # Example
+//!
+//! ```
+//! use jpmd_store::{TraceReader, TraceWriter};
+//! use jpmd_trace::{AccessKind, FileId, TraceRecord};
+//! use std::io::Cursor;
+//!
+//! # fn main() -> Result<(), jpmd_store::StoreError> {
+//! let mut writer = TraceWriter::new(Cursor::new(Vec::new()), 4096, 100)?;
+//! writer.write_record(&TraceRecord {
+//!     time: 0.5,
+//!     file: FileId(0),
+//!     first_page: 10,
+//!     pages: 2,
+//!     kind: AccessKind::Read,
+//! })?;
+//! let bytes = writer.finish()?.into_inner();
+//!
+//! let reader = TraceReader::new(Cursor::new(bytes))?;
+//! assert_eq!(reader.record_count(), 1);
+//! for record in reader {
+//!     assert_eq!(record?.first_page, 10);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod crc32;
+mod error;
+pub mod format;
+mod reader;
+mod writer;
+
+pub use crc32::crc32;
+pub use error::StoreError;
+pub use format::Header;
+pub use reader::{read_trace, TraceReader};
+pub use writer::{write_trace, TraceWriter};

@@ -1,0 +1,270 @@
+//! Chunked streaming reader for the paged binary trace store.
+
+use std::fs::File;
+use std::io::{BufReader, Read};
+use std::path::Path;
+
+use jpmd_trace::{check_record, SourceError, Trace, TraceRecord, TraceSource};
+
+use crate::crc32::crc32;
+use crate::format::{Header, HEADER_BYTES, RECORD_BYTES};
+use crate::StoreError;
+
+/// Streams [`TraceRecord`]s out of a `.jpt` store one page at a time.
+///
+/// The header is read and validated eagerly in [`TraceReader::new`]; data
+/// pages are pulled lazily, each checked against its CRC and its records
+/// against the trace invariants before any of them are yielded, so resident
+/// memory stays O(page) however large the trace is. Corruption surfaces as
+/// a typed [`StoreError`] — never a panic — and fuses the reader (further
+/// pulls return `None`).
+///
+/// `TraceReader` implements both `Iterator<Item = Result<TraceRecord,
+/// StoreError>>` and [`TraceSource`], so it plugs straight into
+/// [`run_simulation_source`](../jpmd_sim/fn.run_simulation_source.html)
+/// for streaming replay.
+pub struct TraceReader<R: Read> {
+    input: R,
+    header: Header,
+    page: Vec<u8>,
+    /// Decoded records of the current page.
+    buffered: Vec<TraceRecord>,
+    cursor: usize,
+    pages_read: u64,
+    records_out: u64,
+    prev_time: f64,
+    fused: bool,
+}
+
+impl TraceReader<BufReader<File>> {
+    /// Opens a store file for streaming.
+    ///
+    /// # Errors
+    ///
+    /// Propagates open/read failures and header validation errors.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        Self::new(BufReader::new(File::open(path)?))
+    }
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Wraps `input`, reading and validating the header immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Truncated`] (page 0) when the header is incomplete,
+    /// any [`Header::decode`] error, or I/O failures.
+    pub fn new(mut input: R) -> Result<Self, StoreError> {
+        let mut buf = [0u8; HEADER_BYTES];
+        read_exact_or_truncated(&mut input, &mut buf, 0)?;
+        let header = Header::decode(&buf)?;
+        Ok(Self {
+            input,
+            page: vec![0u8; header.page_size as usize],
+            buffered: Vec::with_capacity(header.capacity() as usize),
+            header,
+            cursor: 0,
+            pages_read: 0,
+            records_out: 0,
+            prev_time: f64::NEG_INFINITY,
+            fused: false,
+        })
+    }
+
+    /// The validated file header.
+    pub fn header(&self) -> &Header {
+        &self.header
+    }
+
+    /// Records stored in the file.
+    pub fn record_count(&self) -> u64 {
+        self.header.record_count
+    }
+
+    /// Reads, checks, and decodes the next data page into `buffered`.
+    fn load_page(&mut self) -> Result<(), StoreError> {
+        let page = self.pages_read + 1; // 1-based in errors; 0 is the header
+        read_exact_or_truncated(&mut self.input, &mut self.page, page)?;
+        let len = self.page.len();
+        let stored = u32::from_le_bytes(self.page[len - 4..].try_into().unwrap());
+        let computed = crc32(&self.page[..len - 4]);
+        if stored != computed {
+            return Err(StoreError::Checksum {
+                page,
+                stored,
+                computed,
+            });
+        }
+        let found = u32::from_le_bytes(self.page[0..4].try_into().unwrap());
+        // Every page but the last must be full; the last holds the rest.
+        let remaining = self.header.record_count - self.records_out;
+        let expected = remaining.min(self.header.capacity() as u64) as u32;
+        if found != expected {
+            return Err(StoreError::BadPageCount {
+                page,
+                found,
+                expected,
+            });
+        }
+        self.buffered.clear();
+        for i in 0..found as usize {
+            let at = 4 + i * RECORD_BYTES;
+            let index = self.records_out + i as u64;
+            let record = crate::format::decode_record(&self.page[at..at + RECORD_BYTES], index)?;
+            check_record(&record, self.prev_time, self.header.total_pages, index)?;
+            self.prev_time = record.time;
+            self.buffered.push(record);
+        }
+        self.cursor = 0;
+        self.pages_read += 1;
+        Ok(())
+    }
+}
+
+fn read_exact_or_truncated<R: Read>(
+    input: &mut R,
+    buf: &mut [u8],
+    page: u64,
+) -> Result<(), StoreError> {
+    input.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            StoreError::Truncated { page }
+        } else {
+            StoreError::Io(e)
+        }
+    })
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = Result<TraceRecord, StoreError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.fused {
+            return None;
+        }
+        if self.cursor == self.buffered.len() {
+            if self.records_out == self.header.record_count {
+                self.fused = true;
+                return None;
+            }
+            if let Err(e) = self.load_page() {
+                self.fused = true;
+                return Some(Err(e));
+            }
+        }
+        let record = self.buffered[self.cursor];
+        self.cursor += 1;
+        self.records_out += 1;
+        Some(Ok(record))
+    }
+}
+
+impl<R: Read> TraceSource for TraceReader<R> {
+    fn page_bytes(&self) -> u64 {
+        self.header.page_bytes
+    }
+
+    fn total_pages(&self) -> u64 {
+        self.header.total_pages
+    }
+
+    fn next_record(&mut self) -> Option<Result<TraceRecord, SourceError>> {
+        self.next().map(|r| r.map_err(SourceError::new))
+    }
+}
+
+/// Loads a whole store file into an in-memory [`Trace`].
+///
+/// Prefer streaming ([`TraceReader`] +
+/// [`run_simulation_source`](../jpmd_sim/fn.run_simulation_source.html))
+/// for replay; this is for tooling that needs random access (stats,
+/// synthesizer transforms, JSON conversion).
+///
+/// # Errors
+///
+/// Propagates any [`TraceReader`] error.
+pub fn read_trace(path: impl AsRef<Path>) -> Result<Trace, StoreError> {
+    let mut reader = TraceReader::open(path)?;
+    let mut records = Vec::new();
+    if reader.record_count() != u64::MAX {
+        records.reserve(reader.record_count() as usize);
+    }
+    for record in &mut reader {
+        records.push(record?);
+    }
+    Ok(Trace::new(
+        records,
+        reader.header().page_bytes,
+        reader.header().total_pages,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::TraceWriter;
+    use jpmd_trace::{AccessKind, FileId};
+    use std::io::Cursor;
+
+    fn rec(time: f64, first_page: u64, pages: u64) -> TraceRecord {
+        TraceRecord {
+            time,
+            file: FileId(2),
+            first_page,
+            pages,
+            kind: AccessKind::Read,
+        }
+    }
+
+    fn store(records: &[TraceRecord], page_size: u32) -> Vec<u8> {
+        let mut w =
+            TraceWriter::with_page_size(Cursor::new(Vec::new()), 4096, 100, page_size).unwrap();
+        for r in records {
+            w.write_record(r).unwrap();
+        }
+        w.finish().unwrap().into_inner()
+    }
+
+    #[test]
+    fn multi_page_stream_yields_every_record_in_order() {
+        let records: Vec<TraceRecord> = (0..13).map(|i| rec(i as f64, i, 2)).collect();
+        let bytes = store(&records, 66); // capacity 2 -> 7 pages
+        let reader = TraceReader::new(Cursor::new(bytes)).unwrap();
+        assert_eq!(reader.record_count(), 13);
+        let back: Vec<TraceRecord> = reader.map(Result::unwrap).collect();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn empty_store_roundtrips() {
+        let bytes = store(&[], 66);
+        let mut reader = TraceReader::new(Cursor::new(bytes)).unwrap();
+        assert_eq!(reader.record_count(), 0);
+        assert!(reader.next().is_none());
+        assert!(reader.next().is_none());
+    }
+
+    #[test]
+    fn source_metadata_comes_from_the_header() {
+        let bytes = store(&[rec(0.0, 0, 1)], 4096);
+        let mut reader = TraceReader::new(Cursor::new(bytes)).unwrap();
+        assert_eq!(TraceSource::page_bytes(&reader), 4096);
+        assert_eq!(TraceSource::total_pages(&reader), 100);
+        assert!(matches!(reader.next_record(), Some(Ok(_))));
+        assert!(reader.next_record().is_none());
+    }
+
+    #[test]
+    fn reader_fuses_after_an_error() {
+        let mut bytes = store(&(0..5).map(|i| rec(i as f64, i, 1)).collect::<Vec<_>>(), 66);
+        let flip = HEADER_BYTES + 10; // inside page 1's records
+        bytes[flip] ^= 0xFF;
+        let mut reader = TraceReader::new(Cursor::new(bytes)).unwrap();
+        assert!(matches!(
+            reader.next(),
+            Some(Err(StoreError::Checksum { page: 1, .. }))
+        ));
+        assert!(reader.next().is_none());
+        assert!(reader.next_record().is_none());
+    }
+}

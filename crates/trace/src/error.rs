@@ -15,6 +15,19 @@ pub enum TraceError {
     },
     /// A statistical sub-construction failed.
     Stats(StatsError),
+    /// A record in a deserialized or streamed trace violated a trace
+    /// invariant (see [`check_record`](crate::check_record)).
+    InvalidRecord {
+        /// Zero-based index of the offending record in the stream.
+        index: u64,
+        /// Which invariant it violated.
+        reason: &'static str,
+    },
+    /// A serialized trace could not be parsed as JSON.
+    Json {
+        /// The parser's message.
+        message: String,
+    },
 }
 
 impl fmt::Display for TraceError {
@@ -24,6 +37,10 @@ impl fmt::Display for TraceError {
                 write!(f, "invalid workload configuration: {name} {requirement}")
             }
             TraceError::Stats(e) => write!(f, "statistics error: {e}"),
+            TraceError::InvalidRecord { index, reason } => {
+                write!(f, "invalid trace record #{index}: {reason}")
+            }
+            TraceError::Json { message } => write!(f, "malformed trace JSON: {message}"),
         }
     }
 }
@@ -43,6 +60,14 @@ impl From<StatsError> for TraceError {
     }
 }
 
+impl From<serde_json::Error> for TraceError {
+    fn from(e: serde_json::Error) -> Self {
+        TraceError::Json {
+            message: e.to_string(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -54,6 +79,16 @@ mod tests {
             requirement: "must be positive",
         };
         assert!(e.to_string().contains("rate"));
+    }
+
+    #[test]
+    fn invalid_record_names_index_and_reason() {
+        let e = TraceError::InvalidRecord {
+            index: 7,
+            reason: "pages must be >= 1",
+        };
+        let s = e.to_string();
+        assert!(s.contains("#7") && s.contains("pages"), "{s}");
     }
 
     #[test]

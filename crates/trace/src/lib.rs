@@ -49,13 +49,15 @@ mod error;
 mod fileset;
 mod generator;
 mod record;
+mod source;
 pub mod synth;
 mod tracestats;
 
 pub use error::TraceError;
 pub use fileset::{FileSet, SizeClass, SizeProfile};
 pub use generator::{calibrate_popularity, ArrivalModel, WorkloadBuilder};
-pub use record::{AccessKind, FileId, Trace, TraceRecord};
+pub use record::{check_record, check_records, AccessKind, FileId, Trace, TraceRecord};
+pub use source::{SourceError, TraceRecords, TraceSource};
 pub use tracestats::TraceStats;
 
 /// One kibibyte in bytes.

@@ -2,6 +2,8 @@ use std::io::{Read, Write};
 
 use serde::{Deserialize, Serialize};
 
+use crate::TraceError;
+
 /// Whether a request reads or writes its pages.
 ///
 /// Writes go through the (write-back) disk cache: a write marks its pages
@@ -58,6 +60,57 @@ impl TraceRecord {
     pub fn page_range(&self) -> std::ops::Range<u64> {
         self.first_page..self.first_page + self.pages
     }
+}
+
+/// Checks one record of a trace stream against the trace invariants.
+///
+/// `prev_time` is the previous record's arrival time (use
+/// `f64::NEG_INFINITY` for the first record), `total_pages` the size of
+/// the page space, and `index` the record's position for error reporting.
+/// The checks — finite non-negative `time`, non-decreasing `time`,
+/// `pages >= 1`, page range within `total_pages` — are shared between
+/// [`Trace::from_reader`] and the binary store's streaming reader/writer
+/// (`jpmd-store`), so every ingestion path rejects the same malformed
+/// inputs.
+///
+/// # Errors
+///
+/// Returns [`TraceError::InvalidRecord`] naming the index and the violated
+/// invariant.
+pub fn check_record(
+    record: &TraceRecord,
+    prev_time: f64,
+    total_pages: u64,
+    index: u64,
+) -> Result<(), TraceError> {
+    let fail = |reason| Err(TraceError::InvalidRecord { index, reason });
+    if !record.time.is_finite() || record.time < 0.0 {
+        return fail("time must be finite and non-negative");
+    }
+    if record.time < prev_time {
+        return fail("time must be non-decreasing");
+    }
+    if record.pages == 0 {
+        return fail("pages must be >= 1");
+    }
+    match record.first_page.checked_add(record.pages) {
+        Some(end) if end <= total_pages => Ok(()),
+        _ => fail("page range must lie within total_pages"),
+    }
+}
+
+/// Runs [`check_record`] over a whole record slice.
+///
+/// # Errors
+///
+/// Returns the first [`TraceError::InvalidRecord`] encountered.
+pub fn check_records(records: &[TraceRecord], total_pages: u64) -> Result<(), TraceError> {
+    let mut prev = f64::NEG_INFINITY;
+    for (index, record) in records.iter().enumerate() {
+        check_record(record, prev, total_pages, index as u64)?;
+        prev = record.time;
+    }
+    Ok(())
 }
 
 /// An ordered sequence of disk-cache accesses plus the metadata needed to
@@ -127,17 +180,27 @@ impl Trace {
         serde_json::to_writer(writer, self)
     }
 
-    /// Deserializes a trace previously written by [`Trace::to_writer`].
+    /// Deserializes a trace previously written by [`Trace::to_writer`],
+    /// validating the record invariants.
     ///
     /// A `&mut` reference may be passed for `reader`.
     ///
     /// # Errors
     ///
-    /// Propagates I/O and deserialization failures.
-    pub fn from_reader<R: Read>(reader: R) -> Result<Self, serde_json::Error> {
-        let mut t: Trace = serde_json::from_reader(reader)?;
-        t.records.sort_by(|a, b| a.time.total_cmp(&b.time));
+    /// Returns [`TraceError::Json`] for I/O and parse failures and
+    /// [`TraceError::InvalidRecord`] when a record has a non-finite or
+    /// decreasing `time`, `pages == 0`, or a page range outside
+    /// `total_pages` (see [`check_record`]). Malformed traces are rejected
+    /// rather than silently repaired.
+    pub fn from_reader<R: Read>(reader: R) -> Result<Self, TraceError> {
+        let t: Trace = serde_json::from_reader(reader)?;
+        check_records(&t.records, t.total_pages)?;
         Ok(t)
+    }
+
+    /// A streaming [`TraceSource`](crate::TraceSource) view of this trace.
+    pub fn source(&self) -> crate::TraceRecords<'_> {
+        crate::TraceRecords::new(self)
     }
 }
 
@@ -196,5 +259,80 @@ mod tests {
     #[test]
     fn file_id_display() {
         assert_eq!(FileId(3).to_string(), "file#3");
+    }
+
+    fn reload(t: &Trace) -> Result<Trace, TraceError> {
+        let mut buf = Vec::new();
+        t.to_writer(&mut buf).unwrap();
+        Trace::from_reader(buf.as_slice())
+    }
+
+    #[test]
+    fn from_reader_rejects_zero_page_records() {
+        // Bypass Trace::new's sort by serializing a hand-built trace.
+        let t = Trace {
+            records: vec![rec(1.0, 0, 0)],
+            page_bytes: 4096,
+            total_pages: 100,
+        };
+        match reload(&t) {
+            Err(TraceError::InvalidRecord { index: 0, reason }) => {
+                assert!(reason.contains("pages"), "{reason}");
+            }
+            other => panic!("expected InvalidRecord, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn from_reader_rejects_out_of_order_times() {
+        let t = Trace {
+            records: vec![rec(2.0, 0, 1), rec(1.0, 0, 1)],
+            page_bytes: 4096,
+            total_pages: 100,
+        };
+        match reload(&t) {
+            Err(TraceError::InvalidRecord { index: 1, reason }) => {
+                assert!(reason.contains("non-decreasing"), "{reason}");
+            }
+            other => panic!("expected InvalidRecord, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn from_reader_rejects_pages_outside_data_set() {
+        let t = Trace {
+            records: vec![rec(1.0, 99, 2)],
+            page_bytes: 4096,
+            total_pages: 100,
+        };
+        assert!(matches!(
+            reload(&t),
+            Err(TraceError::InvalidRecord { index: 0, .. })
+        ));
+        // first_page + pages overflowing u64 must not wrap around.
+        let t = Trace {
+            records: vec![rec(1.0, u64::MAX, 2)],
+            page_bytes: 4096,
+            total_pages: 100,
+        };
+        assert!(matches!(
+            reload(&t),
+            Err(TraceError::InvalidRecord { index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn from_reader_rejects_garbage_json() {
+        assert!(matches!(
+            Trace::from_reader(&b"{not json"[..]),
+            Err(TraceError::Json { .. })
+        ));
+    }
+
+    #[test]
+    fn check_record_accepts_equal_times() {
+        let r = rec(1.0, 0, 1);
+        assert!(check_record(&r, 1.0, 100, 5).is_ok());
+        assert!(check_records(&[rec(1.0, 0, 1), rec(1.0, 1, 1)], 100).is_ok());
     }
 }

@@ -16,6 +16,8 @@
 //!   spin-down timeout controllers.
 //! * [`sim`] — the event-driven system simulator, metrics, and experiment
 //!   runner.
+//! * [`store`] — the paged, checksummed binary trace store (`.jpt`) and
+//!   its streaming reader/writer for O(page)-memory replay.
 //! * [`core`] — the joint power manager itself plus the registry of all 16
 //!   power-management methods compared in the paper.
 //!
@@ -54,4 +56,5 @@ pub use jpmd_disk as disk;
 pub use jpmd_mem as mem;
 pub use jpmd_sim as sim;
 pub use jpmd_stats as stats;
+pub use jpmd_store as store;
 pub use jpmd_trace as trace;

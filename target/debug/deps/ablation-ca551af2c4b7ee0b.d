@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-ca551af2c4b7ee0b.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-ca551af2c4b7ee0b: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-ecc5348cb48ec7b0.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-ecc5348cb48ec7b0: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adaptivity-a9f4a1afb1856976.d: tests/adaptivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadaptivity-a9f4a1afb1856976.rmeta: tests/adaptivity.rs Cargo.toml
+
+tests/adaptivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adaptivity-b91e65dd980bf83f.d: tests/adaptivity.rs
+
+/root/repo/target/debug/deps/adaptivity-b91e65dd980bf83f: tests/adaptivity.rs
+
+tests/adaptivity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/array-90438cd7234d4a8b.d: crates/bench/src/bin/array.rs
+
+/root/repo/target/debug/deps/array-90438cd7234d4a8b: crates/bench/src/bin/array.rs
+
+crates/bench/src/bin/array.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/array-91b677846ba4f83a.d: crates/bench/src/bin/array.rs
+
+/root/repo/target/debug/deps/array-91b677846ba4f83a: crates/bench/src/bin/array.rs
+
+crates/bench/src/bin/array.rs:

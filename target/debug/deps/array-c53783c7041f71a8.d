@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/array-c53783c7041f71a8.d: crates/bench/src/bin/array.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarray-c53783c7041f71a8.rmeta: crates/bench/src/bin/array.rs Cargo.toml
+
+crates/bench/src/bin/array.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cluster-522793b5291707b6.d: crates/bench/src/bin/cluster.rs
+
+/root/repo/target/debug/deps/cluster-522793b5291707b6: crates/bench/src/bin/cluster.rs
+
+crates/bench/src/bin/cluster.rs:

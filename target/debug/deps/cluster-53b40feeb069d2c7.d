@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cluster-53b40feeb069d2c7.d: crates/bench/src/bin/cluster.rs
+
+/root/repo/target/debug/deps/cluster-53b40feeb069d2c7: crates/bench/src/bin/cluster.rs
+
+crates/bench/src/bin/cluster.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cluster-80fafbcf0b20c77b.d: crates/bench/src/bin/cluster.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcluster-80fafbcf0b20c77b.rmeta: crates/bench/src/bin/cluster.rs Cargo.toml
+
+crates/bench/src/bin/cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

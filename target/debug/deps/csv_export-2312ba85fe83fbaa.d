@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/csv_export-2312ba85fe83fbaa.d: crates/bench/src/bin/csv_export.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcsv_export-2312ba85fe83fbaa.rmeta: crates/bench/src/bin/csv_export.rs Cargo.toml
+
+crates/bench/src/bin/csv_export.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

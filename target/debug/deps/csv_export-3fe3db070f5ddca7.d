@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/csv_export-3fe3db070f5ddca7.d: crates/bench/src/bin/csv_export.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcsv_export-3fe3db070f5ddca7.rmeta: crates/bench/src/bin/csv_export.rs Cargo.toml
+
+crates/bench/src/bin/csv_export.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/csv_export-bd55d48edfb0d7be.d: crates/bench/src/bin/csv_export.rs
+
+/root/repo/target/debug/deps/csv_export-bd55d48edfb0d7be: crates/bench/src/bin/csv_export.rs
+
+crates/bench/src/bin/csv_export.rs:

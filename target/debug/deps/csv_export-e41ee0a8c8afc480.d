@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/csv_export-e41ee0a8c8afc480.d: crates/bench/src/bin/csv_export.rs
+
+/root/repo/target/debug/deps/csv_export-e41ee0a8c8afc480: crates/bench/src/bin/csv_export.rs
+
+crates/bench/src/bin/csv_export.rs:

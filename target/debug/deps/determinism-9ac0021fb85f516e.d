@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-9ac0021fb85f516e.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-9ac0021fb85f516e: tests/determinism.rs
+
+tests/determinism.rs:

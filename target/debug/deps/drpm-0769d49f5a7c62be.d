@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/drpm-0769d49f5a7c62be.d: crates/bench/src/bin/drpm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdrpm-0769d49f5a7c62be.rmeta: crates/bench/src/bin/drpm.rs Cargo.toml
+
+crates/bench/src/bin/drpm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

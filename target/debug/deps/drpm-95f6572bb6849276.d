@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/drpm-95f6572bb6849276.d: crates/bench/src/bin/drpm.rs
+
+/root/repo/target/debug/deps/drpm-95f6572bb6849276: crates/bench/src/bin/drpm.rs
+
+crates/bench/src/bin/drpm.rs:

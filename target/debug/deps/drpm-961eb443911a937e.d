@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/drpm-961eb443911a937e.d: crates/bench/src/bin/drpm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdrpm-961eb443911a937e.rmeta: crates/bench/src/bin/drpm.rs Cargo.toml
+
+crates/bench/src/bin/drpm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/drpm-edc829fd6bdb4d4b.d: crates/bench/src/bin/drpm.rs
+
+/root/repo/target/debug/deps/drpm-edc829fd6bdb4d4b: crates/bench/src/bin/drpm.rs
+
+crates/bench/src/bin/drpm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-027d04e22b12d210.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-027d04e22b12d210: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-16a23285453e1a1a.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-16a23285453e1a1a: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-091a2198945365fd.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-091a2198945365fd: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-77d9263de08358a1.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-77d9263de08358a1: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-96913bb98912c2d2.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-96913bb98912c2d2: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-cf66a166b76f15f9.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-cf66a166b76f15f9: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

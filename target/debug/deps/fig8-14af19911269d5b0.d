@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-14af19911269d5b0.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-14af19911269d5b0: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-c95dfa82160af004.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-c95dfa82160af004: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

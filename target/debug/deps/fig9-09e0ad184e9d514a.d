@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-09e0ad184e9d514a.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-09e0ad184e9d514a: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-d14e6ded197ab094.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-d14e6ded197ab094: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/jpmd-0c79bb8c41a5c75f.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjpmd-0c79bb8c41a5c75f.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/jpmd-7e273b4c4bce3149.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjpmd-7e273b4c4bce3149.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/jpmd-89ecb16aec820ee4.d: src/lib.rs
+
+/root/repo/target/debug/deps/libjpmd-89ecb16aec820ee4.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libjpmd-89ecb16aec820ee4.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/jpmd-d987501d620c1014.d: src/lib.rs
+
+/root/repo/target/debug/deps/jpmd-d987501d620c1014: src/lib.rs
+
+src/lib.rs:

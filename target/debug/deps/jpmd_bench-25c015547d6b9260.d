@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/jpmd_bench-25c015547d6b9260.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+/root/repo/target/debug/deps/libjpmd_bench-25c015547d6b9260.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+/root/repo/target/debug/deps/libjpmd_bench-25c015547d6b9260.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/report.rs:
+crates/bench/src/runner.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

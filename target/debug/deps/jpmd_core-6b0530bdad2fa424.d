@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/jpmd_core-6b0530bdad2fa424.d: crates/core/src/lib.rs crates/core/src/joint.rs crates/core/src/methods.rs crates/core/src/multidisk.rs crates/core/src/predict.rs crates/core/src/scale.rs crates/core/src/timeout.rs
+
+/root/repo/target/debug/deps/libjpmd_core-6b0530bdad2fa424.rmeta: crates/core/src/lib.rs crates/core/src/joint.rs crates/core/src/methods.rs crates/core/src/multidisk.rs crates/core/src/predict.rs crates/core/src/scale.rs crates/core/src/timeout.rs
+
+crates/core/src/lib.rs:
+crates/core/src/joint.rs:
+crates/core/src/methods.rs:
+crates/core/src/multidisk.rs:
+crates/core/src/predict.rs:
+crates/core/src/scale.rs:
+crates/core/src/timeout.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/jpmd_disk-68c51363f287a7e6.d: crates/disk/src/lib.rs crates/disk/src/array.rs crates/disk/src/disk.rs crates/disk/src/multispeed.rs crates/disk/src/oracle.rs crates/disk/src/power.rs crates/disk/src/predictive.rs crates/disk/src/service.rs crates/disk/src/spindown.rs
+
+/root/repo/target/debug/deps/libjpmd_disk-68c51363f287a7e6.rmeta: crates/disk/src/lib.rs crates/disk/src/array.rs crates/disk/src/disk.rs crates/disk/src/multispeed.rs crates/disk/src/oracle.rs crates/disk/src/power.rs crates/disk/src/predictive.rs crates/disk/src/service.rs crates/disk/src/spindown.rs
+
+crates/disk/src/lib.rs:
+crates/disk/src/array.rs:
+crates/disk/src/disk.rs:
+crates/disk/src/multispeed.rs:
+crates/disk/src/oracle.rs:
+crates/disk/src/power.rs:
+crates/disk/src/predictive.rs:
+crates/disk/src/service.rs:
+crates/disk/src/spindown.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/jpmd_sim-fdd23d125dafeac7.d: crates/sim/src/lib.rs crates/sim/src/array_system.rs crates/sim/src/config.rs crates/sim/src/controller.rs crates/sim/src/engine.rs crates/sim/src/events.rs crates/sim/src/hw.rs crates/sim/src/metrics.rs crates/sim/src/observers.rs crates/sim/src/system.rs
+
+/root/repo/target/debug/deps/libjpmd_sim-fdd23d125dafeac7.rmeta: crates/sim/src/lib.rs crates/sim/src/array_system.rs crates/sim/src/config.rs crates/sim/src/controller.rs crates/sim/src/engine.rs crates/sim/src/events.rs crates/sim/src/hw.rs crates/sim/src/metrics.rs crates/sim/src/observers.rs crates/sim/src/system.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/array_system.rs:
+crates/sim/src/config.rs:
+crates/sim/src/controller.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/events.rs:
+crates/sim/src/hw.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/observers.rs:
+crates/sim/src/system.rs:

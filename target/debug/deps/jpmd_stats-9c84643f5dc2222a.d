@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/jpmd_stats-9c84643f5dc2222a.d: crates/stats/src/lib.rs crates/stats/src/error.rs crates/stats/src/exponential.rs crates/stats/src/fit.rs crates/stats/src/gof.rs crates/stats/src/histogram.rs crates/stats/src/intervals.rs crates/stats/src/pareto.rs crates/stats/src/summary.rs crates/stats/src/zipf.rs
+
+/root/repo/target/debug/deps/libjpmd_stats-9c84643f5dc2222a.rmeta: crates/stats/src/lib.rs crates/stats/src/error.rs crates/stats/src/exponential.rs crates/stats/src/fit.rs crates/stats/src/gof.rs crates/stats/src/histogram.rs crates/stats/src/intervals.rs crates/stats/src/pareto.rs crates/stats/src/summary.rs crates/stats/src/zipf.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/error.rs:
+crates/stats/src/exponential.rs:
+crates/stats/src/fit.rs:
+crates/stats/src/gof.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/intervals.rs:
+crates/stats/src/pareto.rs:
+crates/stats/src/summary.rs:
+crates/stats/src/zipf.rs:

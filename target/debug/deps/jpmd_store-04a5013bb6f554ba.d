@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/jpmd_store-04a5013bb6f554ba.d: crates/store/src/lib.rs crates/store/src/crc32.rs crates/store/src/error.rs crates/store/src/format.rs crates/store/src/reader.rs crates/store/src/writer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjpmd_store-04a5013bb6f554ba.rmeta: crates/store/src/lib.rs crates/store/src/crc32.rs crates/store/src/error.rs crates/store/src/format.rs crates/store/src/reader.rs crates/store/src/writer.rs Cargo.toml
+
+crates/store/src/lib.rs:
+crates/store/src/crc32.rs:
+crates/store/src/error.rs:
+crates/store/src/format.rs:
+crates/store/src/reader.rs:
+crates/store/src/writer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

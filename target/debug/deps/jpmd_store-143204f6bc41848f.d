@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/jpmd_store-143204f6bc41848f.d: crates/store/src/lib.rs crates/store/src/crc32.rs crates/store/src/error.rs crates/store/src/format.rs crates/store/src/reader.rs crates/store/src/writer.rs
+
+/root/repo/target/debug/deps/libjpmd_store-143204f6bc41848f.rmeta: crates/store/src/lib.rs crates/store/src/crc32.rs crates/store/src/error.rs crates/store/src/format.rs crates/store/src/reader.rs crates/store/src/writer.rs
+
+crates/store/src/lib.rs:
+crates/store/src/crc32.rs:
+crates/store/src/error.rs:
+crates/store/src/format.rs:
+crates/store/src/reader.rs:
+crates/store/src/writer.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/jpmd_store-314149fcbb9efd39.d: crates/store/src/lib.rs crates/store/src/crc32.rs crates/store/src/error.rs crates/store/src/format.rs crates/store/src/reader.rs crates/store/src/writer.rs
+
+/root/repo/target/debug/deps/jpmd_store-314149fcbb9efd39: crates/store/src/lib.rs crates/store/src/crc32.rs crates/store/src/error.rs crates/store/src/format.rs crates/store/src/reader.rs crates/store/src/writer.rs
+
+crates/store/src/lib.rs:
+crates/store/src/crc32.rs:
+crates/store/src/error.rs:
+crates/store/src/format.rs:
+crates/store/src/reader.rs:
+crates/store/src/writer.rs:

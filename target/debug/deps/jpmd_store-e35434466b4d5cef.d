@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/jpmd_store-e35434466b4d5cef.d: crates/store/src/lib.rs crates/store/src/crc32.rs crates/store/src/error.rs crates/store/src/format.rs crates/store/src/reader.rs crates/store/src/writer.rs
+
+/root/repo/target/debug/deps/libjpmd_store-e35434466b4d5cef.rlib: crates/store/src/lib.rs crates/store/src/crc32.rs crates/store/src/error.rs crates/store/src/format.rs crates/store/src/reader.rs crates/store/src/writer.rs
+
+/root/repo/target/debug/deps/libjpmd_store-e35434466b4d5cef.rmeta: crates/store/src/lib.rs crates/store/src/crc32.rs crates/store/src/error.rs crates/store/src/format.rs crates/store/src/reader.rs crates/store/src/writer.rs
+
+crates/store/src/lib.rs:
+crates/store/src/crc32.rs:
+crates/store/src/error.rs:
+crates/store/src/format.rs:
+crates/store/src/reader.rs:
+crates/store/src/writer.rs:

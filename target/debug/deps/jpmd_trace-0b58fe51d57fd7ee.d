@@ -1,12 +1,13 @@
-/root/repo/target/debug/deps/jpmd_trace-0b58fe51d57fd7ee.d: crates/trace/src/lib.rs crates/trace/src/error.rs crates/trace/src/fileset.rs crates/trace/src/generator.rs crates/trace/src/record.rs crates/trace/src/synth.rs crates/trace/src/tracestats.rs Cargo.toml
+/root/repo/target/debug/deps/jpmd_trace-0b58fe51d57fd7ee.d: crates/trace/src/lib.rs crates/trace/src/error.rs crates/trace/src/fileset.rs crates/trace/src/generator.rs crates/trace/src/record.rs crates/trace/src/source.rs crates/trace/src/synth.rs crates/trace/src/tracestats.rs Cargo.toml
 
-/root/repo/target/debug/deps/libjpmd_trace-0b58fe51d57fd7ee.rmeta: crates/trace/src/lib.rs crates/trace/src/error.rs crates/trace/src/fileset.rs crates/trace/src/generator.rs crates/trace/src/record.rs crates/trace/src/synth.rs crates/trace/src/tracestats.rs Cargo.toml
+/root/repo/target/debug/deps/libjpmd_trace-0b58fe51d57fd7ee.rmeta: crates/trace/src/lib.rs crates/trace/src/error.rs crates/trace/src/fileset.rs crates/trace/src/generator.rs crates/trace/src/record.rs crates/trace/src/source.rs crates/trace/src/synth.rs crates/trace/src/tracestats.rs Cargo.toml
 
 crates/trace/src/lib.rs:
 crates/trace/src/error.rs:
 crates/trace/src/fileset.rs:
 crates/trace/src/generator.rs:
 crates/trace/src/record.rs:
+crates/trace/src/source.rs:
 crates/trace/src/synth.rs:
 crates/trace/src/tracestats.rs:
 Cargo.toml:

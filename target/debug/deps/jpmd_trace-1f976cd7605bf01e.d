@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/jpmd_trace-1f976cd7605bf01e.d: crates/trace/src/lib.rs crates/trace/src/error.rs crates/trace/src/fileset.rs crates/trace/src/generator.rs crates/trace/src/record.rs crates/trace/src/synth.rs crates/trace/src/tracestats.rs
+/root/repo/target/debug/deps/jpmd_trace-1f976cd7605bf01e.d: crates/trace/src/lib.rs crates/trace/src/error.rs crates/trace/src/fileset.rs crates/trace/src/generator.rs crates/trace/src/record.rs crates/trace/src/source.rs crates/trace/src/synth.rs crates/trace/src/tracestats.rs
 
-/root/repo/target/debug/deps/jpmd_trace-1f976cd7605bf01e: crates/trace/src/lib.rs crates/trace/src/error.rs crates/trace/src/fileset.rs crates/trace/src/generator.rs crates/trace/src/record.rs crates/trace/src/synth.rs crates/trace/src/tracestats.rs
+/root/repo/target/debug/deps/jpmd_trace-1f976cd7605bf01e: crates/trace/src/lib.rs crates/trace/src/error.rs crates/trace/src/fileset.rs crates/trace/src/generator.rs crates/trace/src/record.rs crates/trace/src/source.rs crates/trace/src/synth.rs crates/trace/src/tracestats.rs
 
 crates/trace/src/lib.rs:
 crates/trace/src/error.rs:
 crates/trace/src/fileset.rs:
 crates/trace/src/generator.rs:
 crates/trace/src/record.rs:
+crates/trace/src/source.rs:
 crates/trace/src/synth.rs:
 crates/trace/src/tracestats.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/jpmd_trace-4df5992cf45ebbe4.d: crates/trace/src/lib.rs crates/trace/src/error.rs crates/trace/src/fileset.rs crates/trace/src/generator.rs crates/trace/src/record.rs crates/trace/src/source.rs crates/trace/src/synth.rs crates/trace/src/tracestats.rs
+
+/root/repo/target/debug/deps/libjpmd_trace-4df5992cf45ebbe4.rmeta: crates/trace/src/lib.rs crates/trace/src/error.rs crates/trace/src/fileset.rs crates/trace/src/generator.rs crates/trace/src/record.rs crates/trace/src/source.rs crates/trace/src/synth.rs crates/trace/src/tracestats.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/error.rs:
+crates/trace/src/fileset.rs:
+crates/trace/src/generator.rs:
+crates/trace/src/record.rs:
+crates/trace/src/source.rs:
+crates/trace/src/synth.rs:
+crates/trace/src/tracestats.rs:

@@ -1,13 +1,14 @@
-/root/repo/target/debug/deps/jpmd_trace-ed04ffdb2e80cbd2.d: crates/trace/src/lib.rs crates/trace/src/error.rs crates/trace/src/fileset.rs crates/trace/src/generator.rs crates/trace/src/record.rs crates/trace/src/synth.rs crates/trace/src/tracestats.rs
+/root/repo/target/debug/deps/jpmd_trace-ed04ffdb2e80cbd2.d: crates/trace/src/lib.rs crates/trace/src/error.rs crates/trace/src/fileset.rs crates/trace/src/generator.rs crates/trace/src/record.rs crates/trace/src/source.rs crates/trace/src/synth.rs crates/trace/src/tracestats.rs
 
-/root/repo/target/debug/deps/libjpmd_trace-ed04ffdb2e80cbd2.rlib: crates/trace/src/lib.rs crates/trace/src/error.rs crates/trace/src/fileset.rs crates/trace/src/generator.rs crates/trace/src/record.rs crates/trace/src/synth.rs crates/trace/src/tracestats.rs
+/root/repo/target/debug/deps/libjpmd_trace-ed04ffdb2e80cbd2.rlib: crates/trace/src/lib.rs crates/trace/src/error.rs crates/trace/src/fileset.rs crates/trace/src/generator.rs crates/trace/src/record.rs crates/trace/src/source.rs crates/trace/src/synth.rs crates/trace/src/tracestats.rs
 
-/root/repo/target/debug/deps/libjpmd_trace-ed04ffdb2e80cbd2.rmeta: crates/trace/src/lib.rs crates/trace/src/error.rs crates/trace/src/fileset.rs crates/trace/src/generator.rs crates/trace/src/record.rs crates/trace/src/synth.rs crates/trace/src/tracestats.rs
+/root/repo/target/debug/deps/libjpmd_trace-ed04ffdb2e80cbd2.rmeta: crates/trace/src/lib.rs crates/trace/src/error.rs crates/trace/src/fileset.rs crates/trace/src/generator.rs crates/trace/src/record.rs crates/trace/src/source.rs crates/trace/src/synth.rs crates/trace/src/tracestats.rs
 
 crates/trace/src/lib.rs:
 crates/trace/src/error.rs:
 crates/trace/src/fileset.rs:
 crates/trace/src/generator.rs:
 crates/trace/src/record.rs:
+crates/trace/src/source.rs:
 crates/trace/src/synth.rs:
 crates/trace/src/tracestats.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multi_disk-82e74b102d19ed8a.d: tests/multi_disk.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmulti_disk-82e74b102d19ed8a.rmeta: tests/multi_disk.rs Cargo.toml
+
+tests/multi_disk.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_disk-93789ce9911952d1.d: tests/multi_disk.rs
+
+/root/repo/target/debug/deps/multi_disk-93789ce9911952d1: tests/multi_disk.rs
+
+tests/multi_disk.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-0c8b9d9ca53a31b4.d: tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/paper_shapes-0c8b9d9ca53a31b4: tests/paper_shapes.rs
+
+tests/paper_shapes.rs:

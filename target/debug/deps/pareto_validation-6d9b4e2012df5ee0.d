@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pareto_validation-6d9b4e2012df5ee0.d: crates/bench/src/bin/pareto_validation.rs
+
+/root/repo/target/debug/deps/pareto_validation-6d9b4e2012df5ee0: crates/bench/src/bin/pareto_validation.rs
+
+crates/bench/src/bin/pareto_validation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pareto_validation-db8be572e07da9cb.d: crates/bench/src/bin/pareto_validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpareto_validation-db8be572e07da9cb.rmeta: crates/bench/src/bin/pareto_validation.rs Cargo.toml
+
+crates/bench/src/bin/pareto_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

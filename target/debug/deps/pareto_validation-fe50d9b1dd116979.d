@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pareto_validation-fe50d9b1dd116979.d: crates/bench/src/bin/pareto_validation.rs
+
+/root/repo/target/debug/deps/pareto_validation-fe50d9b1dd116979: crates/bench/src/bin/pareto_validation.rs
+
+crates/bench/src/bin/pareto_validation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_props-3c19a73537bf937d.d: tests/pipeline_props.rs
+
+/root/repo/target/debug/deps/pipeline_props-3c19a73537bf937d: tests/pipeline_props.rs
+
+tests/pipeline_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_props-60881bdd98d481ee.d: tests/pipeline_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_props-60881bdd98d481ee.rmeta: tests/pipeline_props.rs Cargo.toml
+
+tests/pipeline_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

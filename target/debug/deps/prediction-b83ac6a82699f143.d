@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prediction-b83ac6a82699f143.d: tests/prediction.rs
+
+/root/repo/target/debug/deps/prediction-b83ac6a82699f143: tests/prediction.rs
+
+tests/prediction.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prediction-ff9aba7e953264ee.d: tests/prediction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprediction-ff9aba7e953264ee.rmeta: tests/prediction.rs Cargo.toml
+
+tests/prediction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

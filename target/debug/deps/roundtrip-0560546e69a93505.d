@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/roundtrip-0560546e69a93505.d: crates/store/tests/roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libroundtrip-0560546e69a93505.rmeta: crates/store/tests/roundtrip.rs Cargo.toml
+
+crates/store/tests/roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

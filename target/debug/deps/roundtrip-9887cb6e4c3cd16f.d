@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/roundtrip-9887cb6e4c3cd16f.d: crates/store/tests/roundtrip.rs
+
+/root/repo/target/debug/deps/roundtrip-9887cb6e4c3cd16f: crates/store/tests/roundtrip.rs
+
+crates/store/tests/roundtrip.rs:

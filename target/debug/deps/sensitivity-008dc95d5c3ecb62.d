@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sensitivity-008dc95d5c3ecb62.d: tests/sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsensitivity-008dc95d5c3ecb62.rmeta: tests/sensitivity.rs Cargo.toml
+
+tests/sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sensitivity-557310567c603281.d: tests/sensitivity.rs
+
+/root/repo/target/debug/deps/sensitivity-557310567c603281: tests/sensitivity.rs
+
+tests/sensitivity.rs:

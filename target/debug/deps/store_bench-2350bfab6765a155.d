@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/store_bench-2350bfab6765a155.d: crates/bench/src/bin/store_bench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstore_bench-2350bfab6765a155.rmeta: crates/bench/src/bin/store_bench.rs Cargo.toml
+
+crates/bench/src/bin/store_bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/store_bench-458f64db93c690f8.d: crates/bench/src/bin/store_bench.rs
+
+/root/repo/target/debug/deps/store_bench-458f64db93c690f8: crates/bench/src/bin/store_bench.rs
+
+crates/bench/src/bin/store_bench.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/store_bench-8d85c4a38b64a1e2.d: crates/bench/src/bin/store_bench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstore_bench-8d85c4a38b64a1e2.rmeta: crates/bench/src/bin/store_bench.rs Cargo.toml
+
+crates/bench/src/bin/store_bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

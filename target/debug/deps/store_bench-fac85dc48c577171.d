@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/store_bench-fac85dc48c577171.d: crates/bench/src/bin/store_bench.rs
+
+/root/repo/target/debug/deps/store_bench-fac85dc48c577171: crates/bench/src/bin/store_bench.rs
+
+crates/bench/src/bin/store_bench.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/store_stream-3a38bda4717df8f0.d: tests/store_stream.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstore_stream-3a38bda4717df8f0.rmeta: tests/store_stream.rs Cargo.toml
+
+tests/store_stream.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

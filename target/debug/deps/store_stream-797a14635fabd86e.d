@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/store_stream-797a14635fabd86e.d: tests/store_stream.rs
+
+/root/repo/target/debug/deps/store_stream-797a14635fabd86e: tests/store_stream.rs
+
+tests/store_stream.rs:

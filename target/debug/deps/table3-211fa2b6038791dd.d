@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-211fa2b6038791dd.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-211fa2b6038791dd: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

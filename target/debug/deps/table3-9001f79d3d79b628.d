@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-9001f79d3d79b628.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-9001f79d3d79b628: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

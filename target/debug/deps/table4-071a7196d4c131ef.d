@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-071a7196d4c131ef.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-071a7196d4c131ef: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

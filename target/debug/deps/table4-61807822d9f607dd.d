@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-61807822d9f607dd.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-61807822d9f607dd: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

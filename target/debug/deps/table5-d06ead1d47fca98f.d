@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-d06ead1d47fca98f.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-d06ead1d47fca98f: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-ece5d28d032eca44.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-ece5d28d032eca44: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

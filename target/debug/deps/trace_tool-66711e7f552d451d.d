@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_tool-66711e7f552d451d.d: crates/store/src/bin/trace_tool.rs
+
+/root/repo/target/debug/deps/trace_tool-66711e7f552d451d: crates/store/src/bin/trace_tool.rs
+
+crates/store/src/bin/trace_tool.rs:

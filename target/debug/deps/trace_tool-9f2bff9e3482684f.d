@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_tool-9f2bff9e3482684f.d: crates/store/src/bin/trace_tool.rs
+
+/root/repo/target/debug/deps/trace_tool-9f2bff9e3482684f: crates/store/src/bin/trace_tool.rs
+
+crates/store/src/bin/trace_tool.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_tool-a43d7eb33752dbd5.d: crates/store/src/bin/trace_tool.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_tool-a43d7eb33752dbd5.rmeta: crates/store/src/bin/trace_tool.rs Cargo.toml
+
+crates/store/src/bin/trace_tool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/varying-133414d3f4b19792.d: crates/bench/src/bin/varying.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvarying-133414d3f4b19792.rmeta: crates/bench/src/bin/varying.rs Cargo.toml
+
+crates/bench/src/bin/varying.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/varying-8642de89240ceb42.d: crates/bench/src/bin/varying.rs
+
+/root/repo/target/debug/deps/varying-8642de89240ceb42: crates/bench/src/bin/varying.rs
+
+crates/bench/src/bin/varying.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/varying-e06478178f4b7ccb.d: crates/bench/src/bin/varying.rs
+
+/root/repo/target/debug/deps/varying-e06478178f4b7ccb: crates/bench/src/bin/varying.rs
+
+crates/bench/src/bin/varying.rs:

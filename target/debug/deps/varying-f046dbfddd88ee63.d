@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/varying-f046dbfddd88ee63.d: crates/bench/src/bin/varying.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvarying-f046dbfddd88ee63.rmeta: crates/bench/src/bin/varying.rs Cargo.toml
+
+crates/bench/src/bin/varying.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

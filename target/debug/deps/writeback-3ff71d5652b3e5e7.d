@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/writeback-3ff71d5652b3e5e7.d: crates/bench/src/bin/writeback.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwriteback-3ff71d5652b3e5e7.rmeta: crates/bench/src/bin/writeback.rs Cargo.toml
+
+crates/bench/src/bin/writeback.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

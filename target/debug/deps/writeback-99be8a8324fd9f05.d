@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/writeback-99be8a8324fd9f05.d: crates/bench/src/bin/writeback.rs
+
+/root/repo/target/debug/deps/writeback-99be8a8324fd9f05: crates/bench/src/bin/writeback.rs
+
+crates/bench/src/bin/writeback.rs:

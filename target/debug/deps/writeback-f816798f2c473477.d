@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/writeback-f816798f2c473477.d: crates/bench/src/bin/writeback.rs
+
+/root/repo/target/debug/deps/writeback-f816798f2c473477: crates/bench/src/bin/writeback.rs
+
+crates/bench/src/bin/writeback.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/capacity_planning-a03bd4d1fc500a16.d: examples/capacity_planning.rs
+
+/root/repo/target/debug/examples/capacity_planning-a03bd4d1fc500a16: examples/capacity_planning.rs
+
+examples/capacity_planning.rs:

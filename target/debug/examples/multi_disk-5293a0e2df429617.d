@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_disk-5293a0e2df429617.d: examples/multi_disk.rs
+
+/root/repo/target/debug/examples/multi_disk-5293a0e2df429617: examples/multi_disk.rs
+
+examples/multi_disk.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multi_disk-875818ce788abdd3.d: examples/multi_disk.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmulti_disk-875818ce788abdd3.rmeta: examples/multi_disk.rs Cargo.toml
+
+examples/multi_disk.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

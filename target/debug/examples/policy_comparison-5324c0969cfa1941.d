@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/policy_comparison-5324c0969cfa1941.d: examples/policy_comparison.rs
+
+/root/repo/target/debug/examples/policy_comparison-5324c0969cfa1941: examples/policy_comparison.rs
+
+examples/policy_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-2db563c45a518a6f.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-2db563c45a518a6f: examples/quickstart.rs
+
+examples/quickstart.rs:

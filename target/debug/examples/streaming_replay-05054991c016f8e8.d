@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/streaming_replay-05054991c016f8e8.d: examples/streaming_replay.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstreaming_replay-05054991c016f8e8.rmeta: examples/streaming_replay.rs Cargo.toml
+
+examples/streaming_replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

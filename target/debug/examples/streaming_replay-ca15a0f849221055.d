@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/streaming_replay-ca15a0f849221055.d: examples/streaming_replay.rs
+
+/root/repo/target/debug/examples/streaming_replay-ca15a0f849221055: examples/streaming_replay.rs
+
+examples/streaming_replay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/timeout_tuning-35fb19a0b6b35678.d: examples/timeout_tuning.rs
+
+/root/repo/target/debug/examples/timeout_tuning-35fb19a0b6b35678: examples/timeout_tuning.rs
+
+examples/timeout_tuning.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/timeout_tuning-f522a227414e85f1.d: examples/timeout_tuning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtimeout_tuning-f522a227414e85f1.rmeta: examples/timeout_tuning.rs Cargo.toml
+
+examples/timeout_tuning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

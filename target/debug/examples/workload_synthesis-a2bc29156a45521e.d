@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/workload_synthesis-a2bc29156a45521e.d: examples/workload_synthesis.rs
+
+/root/repo/target/debug/examples/workload_synthesis-a2bc29156a45521e: examples/workload_synthesis.rs
+
+examples/workload_synthesis.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/workload_synthesis-c025d50c77511844.d: examples/workload_synthesis.rs Cargo.toml
+
+/root/repo/target/debug/examples/libworkload_synthesis-c025d50c77511844.rmeta: examples/workload_synthesis.rs Cargo.toml
+
+examples/workload_synthesis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

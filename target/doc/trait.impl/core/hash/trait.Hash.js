@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["jpmd_mem",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/hash/trait.Hash.html\" title=\"trait core::hash::Hash\">Hash</a> for <a class=\"enum\" href=\"jpmd_mem/enum.StackDistance.html\" title=\"enum jpmd_mem::StackDistance\">StackDistance</a>",0]]],["jpmd_trace",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/hash/trait.Hash.html\" title=\"trait core::hash::Hash\">Hash</a> for <a class=\"enum\" href=\"jpmd_trace/enum.AccessKind.html\" title=\"enum jpmd_trace::AccessKind\">AccessKind</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/hash/trait.Hash.html\" title=\"trait core::hash::Hash\">Hash</a> for <a class=\"struct\" href=\"jpmd_trace/struct.FileId.html\" title=\"struct jpmd_trace::FileId\">FileId</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[275,523]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["jpmd_store",[["impl&lt;R: <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/std/io/trait.Read.html\" title=\"trait std::io::Read\">Read</a>&gt; <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/iter/traits/iterator/trait.Iterator.html\" title=\"trait core::iter::traits::iterator::Iterator\">Iterator</a> for <a class=\"struct\" href=\"jpmd_store/struct.TraceReader.html\" title=\"struct jpmd_store::TraceReader\">TraceReader</a>&lt;R&gt;",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[469]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["jpmd_core",[["impl <a class=\"trait\" href=\"jpmd_sim/array_system/trait.ArrayPeriodController.html\" title=\"trait jpmd_sim::array_system::ArrayPeriodController\">ArrayPeriodController</a> for <a class=\"struct\" href=\"jpmd_core/struct.ArrayJointPolicy.html\" title=\"struct jpmd_core::ArrayJointPolicy\">ArrayJointPolicy</a>",0]]],["jpmd_core",[["impl ArrayPeriodController for <a class=\"struct\" href=\"jpmd_core/struct.ArrayJointPolicy.html\" title=\"struct jpmd_core::ArrayJointPolicy\">ArrayJointPolicy</a>",0]]],["jpmd_sim",[]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[335,187,16]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["jpmd_core",[["impl <a class=\"trait\" href=\"jpmd_sim/controller/trait.PeriodController.html\" title=\"trait jpmd_sim::controller::PeriodController\">PeriodController</a> for <a class=\"struct\" href=\"jpmd_core/struct.JointPolicy.html\" title=\"struct jpmd_core::JointPolicy\">JointPolicy</a>",0]]],["jpmd_core",[["impl PeriodController for <a class=\"struct\" href=\"jpmd_core/struct.JointPolicy.html\" title=\"struct jpmd_core::JointPolicy\">JointPolicy</a>",0]]],["jpmd_sim",[]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[301,167,16]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["jpmd_store",[["impl&lt;R: <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/std/io/trait.Read.html\" title=\"trait std::io::Read\">Read</a>&gt; <a class=\"trait\" href=\"jpmd_trace/source/trait.TraceSource.html\" title=\"trait jpmd_trace::source::TraceSource\">TraceSource</a> for <a class=\"struct\" href=\"jpmd_store/struct.TraceReader.html\" title=\"struct jpmd_store::TraceReader\">TraceReader</a>&lt;R&gt;",0]]],["jpmd_store",[["impl&lt;R: <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/std/io/trait.Read.html\" title=\"trait std::io::Read\">Read</a>&gt; TraceSource for <a class=\"struct\" href=\"jpmd_store/struct.TraceReader.html\" title=\"struct jpmd_store::TraceReader\">TraceReader</a>&lt;R&gt;",0]]],["jpmd_trace",[]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[427,307,18]}

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-c83701136291e599.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-c83701136291e599: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/array-1a801c2fd13334cf.d: crates/bench/src/bin/array.rs
+
+/root/repo/target/release/deps/array-1a801c2fd13334cf: crates/bench/src/bin/array.rs
+
+crates/bench/src/bin/array.rs:

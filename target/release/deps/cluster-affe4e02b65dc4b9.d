@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cluster-affe4e02b65dc4b9.d: crates/bench/src/bin/cluster.rs
+
+/root/repo/target/release/deps/cluster-affe4e02b65dc4b9: crates/bench/src/bin/cluster.rs
+
+crates/bench/src/bin/cluster.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/csv_export-c9e31826d451e91e.d: crates/bench/src/bin/csv_export.rs
+
+/root/repo/target/release/deps/csv_export-c9e31826d451e91e: crates/bench/src/bin/csv_export.rs
+
+crates/bench/src/bin/csv_export.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/drpm-180a22578f394859.d: crates/bench/src/bin/drpm.rs
+
+/root/repo/target/release/deps/drpm-180a22578f394859: crates/bench/src/bin/drpm.rs
+
+crates/bench/src/bin/drpm.rs:

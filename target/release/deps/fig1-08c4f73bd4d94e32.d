@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1-08c4f73bd4d94e32.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/release/deps/fig1-08c4f73bd4d94e32: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

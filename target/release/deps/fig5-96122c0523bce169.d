@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-96122c0523bce169.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-96122c0523bce169: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-c2e9ef09d8aa1695.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-c2e9ef09d8aa1695: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

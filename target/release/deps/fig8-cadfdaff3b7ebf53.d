@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-cadfdaff3b7ebf53.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-cadfdaff3b7ebf53: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

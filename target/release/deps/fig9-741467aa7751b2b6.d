@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-741467aa7751b2b6.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-741467aa7751b2b6: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/jpmd-5fdc3ec6c6aa45c6.d: src/lib.rs
+
+/root/repo/target/release/deps/libjpmd-5fdc3ec6c6aa45c6.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libjpmd-5fdc3ec6c6aa45c6.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/jpmd_bench-5a8325e5a4dab23e.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+/root/repo/target/release/deps/libjpmd_bench-5a8325e5a4dab23e.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+/root/repo/target/release/deps/libjpmd_bench-5a8325e5a4dab23e.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/report.rs:
+crates/bench/src/runner.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/jpmd_store-ec235719efcd77ec.d: crates/store/src/lib.rs crates/store/src/crc32.rs crates/store/src/error.rs crates/store/src/format.rs crates/store/src/reader.rs crates/store/src/writer.rs
+
+/root/repo/target/release/deps/libjpmd_store-ec235719efcd77ec.rlib: crates/store/src/lib.rs crates/store/src/crc32.rs crates/store/src/error.rs crates/store/src/format.rs crates/store/src/reader.rs crates/store/src/writer.rs
+
+/root/repo/target/release/deps/libjpmd_store-ec235719efcd77ec.rmeta: crates/store/src/lib.rs crates/store/src/crc32.rs crates/store/src/error.rs crates/store/src/format.rs crates/store/src/reader.rs crates/store/src/writer.rs
+
+crates/store/src/lib.rs:
+crates/store/src/crc32.rs:
+crates/store/src/error.rs:
+crates/store/src/format.rs:
+crates/store/src/reader.rs:
+crates/store/src/writer.rs:

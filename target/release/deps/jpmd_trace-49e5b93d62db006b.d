@@ -1,13 +1,14 @@
-/root/repo/target/release/deps/jpmd_trace-49e5b93d62db006b.d: crates/trace/src/lib.rs crates/trace/src/error.rs crates/trace/src/fileset.rs crates/trace/src/generator.rs crates/trace/src/record.rs crates/trace/src/synth.rs crates/trace/src/tracestats.rs
+/root/repo/target/release/deps/jpmd_trace-49e5b93d62db006b.d: crates/trace/src/lib.rs crates/trace/src/error.rs crates/trace/src/fileset.rs crates/trace/src/generator.rs crates/trace/src/record.rs crates/trace/src/source.rs crates/trace/src/synth.rs crates/trace/src/tracestats.rs
 
-/root/repo/target/release/deps/libjpmd_trace-49e5b93d62db006b.rlib: crates/trace/src/lib.rs crates/trace/src/error.rs crates/trace/src/fileset.rs crates/trace/src/generator.rs crates/trace/src/record.rs crates/trace/src/synth.rs crates/trace/src/tracestats.rs
+/root/repo/target/release/deps/libjpmd_trace-49e5b93d62db006b.rlib: crates/trace/src/lib.rs crates/trace/src/error.rs crates/trace/src/fileset.rs crates/trace/src/generator.rs crates/trace/src/record.rs crates/trace/src/source.rs crates/trace/src/synth.rs crates/trace/src/tracestats.rs
 
-/root/repo/target/release/deps/libjpmd_trace-49e5b93d62db006b.rmeta: crates/trace/src/lib.rs crates/trace/src/error.rs crates/trace/src/fileset.rs crates/trace/src/generator.rs crates/trace/src/record.rs crates/trace/src/synth.rs crates/trace/src/tracestats.rs
+/root/repo/target/release/deps/libjpmd_trace-49e5b93d62db006b.rmeta: crates/trace/src/lib.rs crates/trace/src/error.rs crates/trace/src/fileset.rs crates/trace/src/generator.rs crates/trace/src/record.rs crates/trace/src/source.rs crates/trace/src/synth.rs crates/trace/src/tracestats.rs
 
 crates/trace/src/lib.rs:
 crates/trace/src/error.rs:
 crates/trace/src/fileset.rs:
 crates/trace/src/generator.rs:
 crates/trace/src/record.rs:
+crates/trace/src/source.rs:
 crates/trace/src/synth.rs:
 crates/trace/src/tracestats.rs:

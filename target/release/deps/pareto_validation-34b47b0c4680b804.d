@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pareto_validation-34b47b0c4680b804.d: crates/bench/src/bin/pareto_validation.rs
+
+/root/repo/target/release/deps/pareto_validation-34b47b0c4680b804: crates/bench/src/bin/pareto_validation.rs
+
+crates/bench/src/bin/pareto_validation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/store_bench-cb70b652c732116b.d: crates/bench/src/bin/store_bench.rs
+
+/root/repo/target/release/deps/store_bench-cb70b652c732116b: crates/bench/src/bin/store_bench.rs
+
+crates/bench/src/bin/store_bench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-78b62bf52d5cf7cf.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-78b62bf52d5cf7cf: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

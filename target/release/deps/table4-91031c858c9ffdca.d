@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-91031c858c9ffdca.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-91031c858c9ffdca: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

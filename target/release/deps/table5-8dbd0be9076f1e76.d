@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5-8dbd0be9076f1e76.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/release/deps/table5-8dbd0be9076f1e76: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

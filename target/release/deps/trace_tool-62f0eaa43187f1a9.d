@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace_tool-62f0eaa43187f1a9.d: crates/store/src/bin/trace_tool.rs
+
+/root/repo/target/release/deps/trace_tool-62f0eaa43187f1a9: crates/store/src/bin/trace_tool.rs
+
+crates/store/src/bin/trace_tool.rs:

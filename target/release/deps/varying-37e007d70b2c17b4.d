@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/varying-37e007d70b2c17b4.d: crates/bench/src/bin/varying.rs
+
+/root/repo/target/release/deps/varying-37e007d70b2c17b4: crates/bench/src/bin/varying.rs
+
+crates/bench/src/bin/varying.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/writeback-96239ebd869957b0.d: crates/bench/src/bin/writeback.rs
+
+/root/repo/target/release/deps/writeback-96239ebd869957b0: crates/bench/src/bin/writeback.rs
+
+crates/bench/src/bin/writeback.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/streaming_replay-7c3f3606720405a3.d: examples/streaming_replay.rs
+
+/root/repo/target/release/examples/streaming_replay-7c3f3606720405a3: examples/streaming_replay.rs
+
+examples/streaming_replay.rs:

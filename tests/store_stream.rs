@@ -1,0 +1,123 @@
+//! The store ↔ engine contract: a generated trace streamed from the paged
+//! binary store produces a **bit-identical** `RunReport` (all counters,
+//! the per-period log, energy) to the same trace replayed from memory,
+//! and corrupted stores are rejected with typed `StoreError` variants —
+//! never a panic.
+
+use jpmd::core::{methods, SimScale};
+use jpmd::store::{StoreError, TraceReader};
+use jpmd::trace::{Trace, WorkloadBuilder, GIB, MIB};
+use std::path::PathBuf;
+
+/// A scratch file that cleans up after itself.
+struct TempStore(PathBuf);
+
+impl TempStore {
+    fn new(tag: &str) -> Self {
+        TempStore(
+            std::env::temp_dir().join(format!("jpmd-store-test-{}-{tag}.jpt", std::process::id())),
+        )
+    }
+}
+
+impl Drop for TempStore {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+fn build(seed: u64) -> Trace {
+    WorkloadBuilder::new()
+        .data_set_bytes(GIB / 2)
+        .rate_bytes_per_sec(8 * MIB)
+        .duration_secs(900.0)
+        .seed(seed)
+        .build()
+        .expect("workload generation")
+}
+
+#[test]
+fn streamed_replay_is_bit_identical_to_in_memory_replay() {
+    let scale = SimScale::small_test();
+    let trace = build(11);
+    assert!(!trace.records().is_empty());
+    let file = TempStore::new("replay");
+    jpmd::store::write_trace(&file.0, &trace).expect("write store");
+
+    for spec in [
+        methods::always_on(&scale),
+        methods::joint(&scale),
+        methods::power_down(&scale, methods::DiskPolicyKind::TwoCompetitive),
+    ] {
+        let in_memory = methods::run_method(&spec, &scale, &trace, 300.0, 900.0, 300.0);
+        let streamed = methods::run_method_source(
+            &spec,
+            &scale,
+            TraceReader::open(&file.0).expect("open store"),
+            300.0,
+            900.0,
+            300.0,
+        )
+        .expect("streamed replay");
+        assert_eq!(
+            in_memory, streamed,
+            "streamed replay diverged for {}",
+            spec.label
+        );
+    }
+}
+
+#[test]
+fn round_trip_through_store_preserves_the_trace_exactly() {
+    let trace = build(12);
+    let file = TempStore::new("roundtrip");
+    jpmd::store::write_trace(&file.0, &trace).expect("write store");
+    let back = jpmd::store::read_trace(&file.0).expect("read store");
+    assert_eq!(trace, back);
+}
+
+#[test]
+fn corrupted_store_fails_replay_with_a_typed_error_not_a_panic() {
+    let scale = SimScale::small_test();
+    let trace = build(13);
+    let file = TempStore::new("corrupt");
+    jpmd::store::write_trace(&file.0, &trace).expect("write store");
+
+    // Flip one byte in the middle of the data region.
+    let mut bytes = std::fs::read(&file.0).expect("read bytes");
+    let mid = 64 + (bytes.len() - 64) / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(&file.0, &bytes).expect("rewrite");
+
+    let spec = methods::always_on(&scale);
+    let err = methods::run_method_source(
+        &spec,
+        &scale,
+        TraceReader::open(&file.0).expect("header is intact"),
+        300.0,
+        900.0,
+        300.0,
+    )
+    .expect_err("corrupt store must not replay");
+    let store_error = err
+        .downcast_ref::<StoreError>()
+        .expect("typed StoreError behind the SourceError");
+    assert!(
+        matches!(store_error, StoreError::Checksum { .. }),
+        "unexpected error: {store_error}"
+    );
+}
+
+#[test]
+fn header_corruption_is_rejected_at_open() {
+    let trace = build(14);
+    let file = TempStore::new("header");
+    jpmd::store::write_trace(&file.0, &trace).expect("write store");
+    let mut bytes = std::fs::read(&file.0).expect("read bytes");
+    bytes[0] = b'Z';
+    std::fs::write(&file.0, &bytes).expect("rewrite");
+    assert!(matches!(
+        TraceReader::open(&file.0),
+        Err(StoreError::BadMagic { .. })
+    ));
+}

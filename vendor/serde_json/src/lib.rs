@@ -1,6 +1,6 @@
 //! Offline stand-in for `serde_json`.
 //!
-//! Renders the vendored `serde` [`Value`](serde::Value) tree as JSON and
+//! Renders the vendored `serde` [`Value`] tree as JSON and
 //! parses JSON text back into it. Matches real `serde_json` where the
 //! workspace depends on the behavior: compact and pretty writers, reader /
 //! writer adapters, and non-finite floats serializing as `null`.
