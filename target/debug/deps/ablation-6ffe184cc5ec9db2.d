@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-6ffe184cc5ec9db2.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/libablation-6ffe184cc5ec9db2.rmeta: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/array-6b3cb4e469765128.d: crates/bench/src/bin/array.rs
+
+/root/repo/target/debug/deps/libarray-6b3cb4e469765128.rmeta: crates/bench/src/bin/array.rs
+
+crates/bench/src/bin/array.rs:

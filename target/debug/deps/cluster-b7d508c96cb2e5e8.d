@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cluster-b7d508c96cb2e5e8.d: crates/bench/src/bin/cluster.rs
+
+/root/repo/target/debug/deps/libcluster-b7d508c96cb2e5e8.rmeta: crates/bench/src/bin/cluster.rs
+
+crates/bench/src/bin/cluster.rs:

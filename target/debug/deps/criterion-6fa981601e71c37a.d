@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-6fa981601e71c37a.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-6fa981601e71c37a.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/csv_export-cd73f341e190ce7a.d: crates/bench/src/bin/csv_export.rs
+
+/root/repo/target/debug/deps/libcsv_export-cd73f341e190ce7a.rmeta: crates/bench/src/bin/csv_export.rs
+
+crates/bench/src/bin/csv_export.rs:

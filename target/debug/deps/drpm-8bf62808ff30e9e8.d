@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/drpm-8bf62808ff30e9e8.d: crates/bench/src/bin/drpm.rs
+
+/root/repo/target/debug/deps/libdrpm-8bf62808ff30e9e8.rmeta: crates/bench/src/bin/drpm.rs
+
+crates/bench/src/bin/drpm.rs:

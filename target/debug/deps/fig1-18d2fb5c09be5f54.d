@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-18d2fb5c09be5f54.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/libfig1-18d2fb5c09be5f54.rmeta: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

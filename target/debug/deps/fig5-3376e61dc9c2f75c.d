@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-3376e61dc9c2f75c.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/libfig5-3376e61dc9c2f75c.rmeta: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

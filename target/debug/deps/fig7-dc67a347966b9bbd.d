@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-dc67a347966b9bbd.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/libfig7-dc67a347966b9bbd.rmeta: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-a447ba65a3bc2baf.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/libfig8-a447ba65a3bc2baf.rmeta: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-e4404b1de58ae6b8.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/libfig9-e4404b1de58ae6b8.rmeta: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/jpmd-a8e9fbca87b16718.d: src/lib.rs
+
+/root/repo/target/debug/deps/libjpmd-a8e9fbca87b16718.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pareto_validation-27ac2fb9656da879.d: crates/bench/src/bin/pareto_validation.rs
+
+/root/repo/target/debug/deps/libpareto_validation-27ac2fb9656da879.rmeta: crates/bench/src/bin/pareto_validation.rs
+
+crates/bench/src/bin/pareto_validation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-a681fac119240405.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-a681fac119240405.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

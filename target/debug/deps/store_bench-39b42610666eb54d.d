@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/store_bench-39b42610666eb54d.d: crates/bench/src/bin/store_bench.rs
+
+/root/repo/target/debug/deps/libstore_bench-39b42610666eb54d.rmeta: crates/bench/src/bin/store_bench.rs
+
+crates/bench/src/bin/store_bench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-691cba868e51c961.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/libtable3-691cba868e51c961.rmeta: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

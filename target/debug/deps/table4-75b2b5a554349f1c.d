@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-75b2b5a554349f1c.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/libtable4-75b2b5a554349f1c.rmeta: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

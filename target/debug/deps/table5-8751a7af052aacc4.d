@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-8751a7af052aacc4.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/libtable5-8751a7af052aacc4.rmeta: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

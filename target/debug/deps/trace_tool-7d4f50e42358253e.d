@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_tool-7d4f50e42358253e.d: crates/store/src/bin/trace_tool.rs
+
+/root/repo/target/debug/deps/libtrace_tool-7d4f50e42358253e.rmeta: crates/store/src/bin/trace_tool.rs
+
+crates/store/src/bin/trace_tool.rs:

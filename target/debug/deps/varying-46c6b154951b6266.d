@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/varying-46c6b154951b6266.d: crates/bench/src/bin/varying.rs
+
+/root/repo/target/debug/deps/libvarying-46c6b154951b6266.rmeta: crates/bench/src/bin/varying.rs
+
+crates/bench/src/bin/varying.rs:

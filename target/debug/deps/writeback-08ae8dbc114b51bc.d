@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/writeback-08ae8dbc114b51bc.d: crates/bench/src/bin/writeback.rs
+
+/root/repo/target/debug/deps/libwriteback-08ae8dbc114b51bc.rmeta: crates/bench/src/bin/writeback.rs
+
+crates/bench/src/bin/writeback.rs:
