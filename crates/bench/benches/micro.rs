@@ -239,6 +239,105 @@ fn bench_evacuation(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_obs_handles(c: &mut Criterion) {
+    // The disabled-handle contract: a metric handle from a disabled
+    // registry must cost one branch — indistinguishable from no
+    // instrumentation at all on the hot path.
+    use jpmd_obs::{MetricsRegistry, Telemetry};
+    let mut group = c.benchmark_group("obs");
+    group.throughput(Throughput::Elements(10_000));
+    let live = MetricsRegistry::new().counter("bench.events");
+    let dead = MetricsRegistry::disabled().counter("bench.events");
+    group.bench_function("counter_enabled_10k", |b| {
+        b.iter(|| {
+            for _ in 0..10_000 {
+                black_box(&live).inc();
+            }
+        });
+    });
+    group.bench_function("counter_disabled_10k", |b| {
+        b.iter(|| {
+            for _ in 0..10_000 {
+                black_box(&dead).inc();
+            }
+        });
+    });
+    group.bench_function("loop_baseline_10k", |b| {
+        b.iter(|| {
+            for i in 0..10_000u64 {
+                black_box(i);
+            }
+        });
+    });
+    let off = Telemetry::disabled();
+    group.bench_function("emit_with_disabled_10k", |b| {
+        b.iter(|| {
+            for i in 0..10_000u64 {
+                // The closure must never run on a disabled handle.
+                off.emit_with(|| jpmd_obs::ObsEvent::Message {
+                    text: format!("never built {i}"),
+                });
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_engine_telemetry_overhead(c: &mut Criterion) {
+    // The overhead contract from DESIGN.md: replaying a trace with
+    // telemetry wired to a null sink must stay within a few percent of
+    // the uninstrumented replay (the disabled path must be ≈ free).
+    // Compare `replay_disabled` against `replay_null_sink` in the report.
+    use jpmd_core::methods;
+    use jpmd_obs::{NullSink, Telemetry};
+    use jpmd_trace::{WorkloadBuilder, GIB, MIB};
+    let scale = SimScale::small_test();
+    let trace = WorkloadBuilder::new()
+        .data_set_bytes(GIB / 2)
+        .rate_bytes_per_sec(4 * MIB)
+        .page_bytes(scale.page_bytes)
+        .duration_secs(700.0)
+        .seed(9)
+        .build()
+        .expect("workload");
+    let spec = methods::joint(&scale);
+    let mut group = c.benchmark_group("obs_engine");
+    group.bench_function("replay_disabled", |b| {
+        b.iter(|| {
+            black_box(
+                methods::run_method_source_with(
+                    &spec,
+                    &scale,
+                    trace.source(),
+                    0.0,
+                    700.0,
+                    300.0,
+                    &Telemetry::disabled(),
+                )
+                .expect("in-memory source"),
+            )
+        });
+    });
+    group.bench_function("replay_null_sink", |b| {
+        b.iter(|| {
+            let telemetry = Telemetry::new(Box::new(NullSink));
+            black_box(
+                methods::run_method_source_with(
+                    &spec,
+                    &scale,
+                    trace.source(),
+                    0.0,
+                    700.0,
+                    300.0,
+                    &telemetry,
+                )
+                .expect("in-memory source"),
+            )
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_stack_profiler,
@@ -249,6 +348,8 @@ criterion_group!(
     bench_joint_decision,
     bench_disk,
     bench_multispeed,
-    bench_evacuation
+    bench_evacuation,
+    bench_obs_handles,
+    bench_engine_telemetry_overhead
 );
 criterion_main!(benches);

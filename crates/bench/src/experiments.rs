@@ -3,6 +3,7 @@
 use jpmd_core::{methods, JointConfig, JointPolicy, SimScale};
 use jpmd_disk::SpinDownPolicy;
 use jpmd_mem::IdlePolicy;
+use jpmd_obs::{MemorySink, Telemetry};
 use jpmd_sim::{run_simulation, RunReport};
 use jpmd_stats::Pareto;
 use jpmd_trace::{Trace, WorkloadBuilder, GIB, MIB};
@@ -102,29 +103,46 @@ fn run_suite_parallel(
     suite: &[methods::MethodSpec],
     trace: &Trace,
 ) -> Vec<Result<RunReport, MethodError>> {
-    runner::run_queue(suite, runner::default_workers(), |spec| {
-        run(cfg, spec, trace)
+    // One bounded in-memory sink per method, created *before* the queue
+    // closures: a sink made inside a panicking task would unwind with it,
+    // but these are shared by handle, so the last events a dying method
+    // emitted survive and ride along on its error.
+    let sinks: Vec<MemorySink> = suite.iter().map(|_| MemorySink::bounded(32)).collect();
+    let items: Vec<(usize, &methods::MethodSpec)> = suite.iter().enumerate().collect();
+    runner::run_queue(&items, runner::default_workers(), |&(i, spec)| {
+        let telemetry = Telemetry::new(Box::new(sinks[i].clone()));
+        run_with(cfg, spec, trace, &telemetry)
     })
     .into_iter()
-    .zip(suite)
-    .map(|(result, spec)| {
-        result.map_err(|message| MethodError {
-            label: spec.label.clone(),
-            message,
+    .zip(suite.iter().zip(&sinks))
+    .map(|(result, (spec, sink))| {
+        result.map_err(|message| {
+            MethodError::new(spec.label.clone(), message).with_events(sink.lines())
         })
     })
     .collect()
 }
 
 fn run(cfg: &ExperimentConfig, spec: &methods::MethodSpec, trace: &Trace) -> RunReport {
-    methods::run_method(
+    run_with(cfg, spec, trace, &Telemetry::disabled())
+}
+
+fn run_with(
+    cfg: &ExperimentConfig,
+    spec: &methods::MethodSpec,
+    trace: &Trace,
+    telemetry: &Telemetry,
+) -> RunReport {
+    methods::run_method_source_with(
         spec,
         &cfg.scale,
-        trace,
+        trace.source(),
         cfg.warmup_secs,
         cfg.duration_secs,
         cfg.period_secs,
+        telemetry,
     )
+    .expect("in-memory trace sources cannot fail")
 }
 
 /// The paper's FM sizes, GiB.
@@ -482,25 +500,28 @@ pub fn fig9(cfg: &ExperimentConfig) -> (Table, Table) {
         .iter()
         .map(|&gb| methods::fixed_memory(&cfg.scale, methods::DiskPolicyKind::TwoCompetitive, gb))
         .collect();
-    let runs: Vec<RunReport> = runner::run_queue(&specs, 2, |spec| run(cfg, spec, &trace))
-        .into_iter()
-        .zip(&specs)
-        .map(|(outcome, spec)| {
-            // Both fixed-memory series are required to build the figure, so
-            // a failed run is fatal here — but it now names the method.
-            let r = outcome.unwrap_or_else(|message| {
-                panic!(
-                    "{}",
-                    MethodError {
-                        label: spec.label.clone(),
-                        message,
-                    }
-                )
-            });
-            eprintln!("fig9: {} done", spec.label);
-            r
-        })
-        .collect();
+    let sinks: Vec<MemorySink> = specs.iter().map(|_| MemorySink::bounded(32)).collect();
+    let items: Vec<(usize, &methods::MethodSpec)> = specs.iter().enumerate().collect();
+    let runs: Vec<RunReport> = runner::run_queue(&items, 2, |&(i, spec)| {
+        let telemetry = Telemetry::new(Box::new(sinks[i].clone()));
+        run_with(cfg, spec, &trace, &telemetry)
+    })
+    .into_iter()
+    .zip(specs.iter().zip(&sinks))
+    .map(|(outcome, (spec, sink))| {
+        // Both fixed-memory series are required to build the figure, so
+        // a failed run is fatal here — but it now names the method and
+        // dumps its final telemetry events.
+        let r = outcome.unwrap_or_else(|message| {
+            panic!(
+                "{}",
+                MethodError::new(spec.label.clone(), message).with_events(sink.lines())
+            )
+        });
+        eprintln!("fig9: {} done", spec.label);
+        r
+    })
+    .collect();
     let periods = runs[0].periods.len().min(runs[1].periods.len());
     for p in 0..periods {
         let a = &runs[0].periods[p].observation;

@@ -21,11 +21,45 @@ pub struct MethodError {
     pub label: String,
     /// The captured panic message.
     pub message: String,
+    /// The last telemetry events the method emitted before dying (JSONL
+    /// lines from its bounded in-memory sink). Empty when the run was not
+    /// instrumented. The sink lives *outside* the panicking closure, so
+    /// these survive the unwind — a flight recorder for the post-mortem.
+    pub recent_events: Vec<String>,
+}
+
+impl MethodError {
+    /// An error with no captured telemetry.
+    pub fn new(label: impl Into<String>, message: impl Into<String>) -> Self {
+        Self {
+            label: label.into(),
+            message: message.into(),
+            recent_events: Vec::new(),
+        }
+    }
+
+    /// Attaches the events salvaged from the method's telemetry sink.
+    #[must_use]
+    pub fn with_events(mut self, events: Vec<String>) -> Self {
+        self.recent_events = events;
+        self
+    }
 }
 
 impl fmt::Display for MethodError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "method '{}' panicked: {}", self.label, self.message)
+        write!(f, "method '{}' panicked: {}", self.label, self.message)?;
+        if !self.recent_events.is_empty() {
+            write!(
+                f,
+                " (last {} telemetry events follow)",
+                self.recent_events.len()
+            )?;
+            for line in &self.recent_events {
+                write!(f, "\n  {line}")?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -148,10 +182,17 @@ mod tests {
 
     #[test]
     fn method_error_formats_label_and_message() {
-        let e = MethodError {
-            label: "2TFM-16GB".into(),
-            message: "queue overflow".into(),
-        };
+        let e = MethodError::new("2TFM-16GB", "queue overflow");
         assert_eq!(e.to_string(), "method '2TFM-16GB' panicked: queue overflow");
+    }
+
+    #[test]
+    fn method_error_display_includes_salvaged_events() {
+        let e = MethodError::new("Joint", "bank index out of range").with_events(vec![
+            r#"{"seq":7,"event":{"Message":{"text":"period 3"}}}"#.to_string(),
+        ]);
+        let s = e.to_string();
+        assert!(s.contains("last 1 telemetry events"), "{s}");
+        assert!(s.contains("period 3"), "{s}");
     }
 }

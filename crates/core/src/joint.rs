@@ -93,6 +93,13 @@ pub struct CandidateEvaluation {
     pub predicted_latency_secs: f64,
     /// Whether the candidate satisfies the performance constraints.
     pub feasible: bool,
+    /// Fitted Pareto shape `α` of the candidate's predicted idle intervals
+    /// (0 when no fit was possible).
+    #[serde(default)]
+    pub pareto_alpha: f64,
+    /// Fitted Pareto scale `β` (0 when no fit was possible).
+    #[serde(default)]
+    pub pareto_beta: f64,
 }
 
 impl CandidateEvaluation {
@@ -167,6 +174,8 @@ impl CandidateEvaluation {
 pub struct JointPolicy {
     config: JointConfig,
     last_evaluations: Vec<CandidateEvaluation>,
+    telemetry: jpmd_obs::Telemetry,
+    period: u64,
 }
 
 impl JointPolicy {
@@ -177,6 +186,18 @@ impl JointPolicy {
     /// Panics if the geometry is degenerate (zero banks/pages) or limits
     /// are outside their domains.
     pub fn new(config: JointConfig) -> Self {
+        Self::with_telemetry(config, jpmd_obs::Telemetry::disabled())
+    }
+
+    /// Like [`JointPolicy::new`], emitting one
+    /// [`PolicyDecision`](jpmd_obs::ObsEvent::PolicyDecision) per period —
+    /// the fitted Pareto model, chosen operating point, and the full
+    /// candidate power table — through `telemetry`.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`JointPolicy::new`].
+    pub fn with_telemetry(config: JointConfig, telemetry: jpmd_obs::Telemetry) -> Self {
         assert!(config.bank_pages > 0 && config.total_banks > 0);
         assert!((1..=config.total_banks).contains(&config.min_banks));
         assert!(config.period_secs > 0.0 && config.window_secs > 0.0);
@@ -184,6 +205,8 @@ impl JointPolicy {
         Self {
             config,
             last_evaluations: Vec::new(),
+            telemetry,
+            period: 0,
         }
     }
 
@@ -266,6 +289,9 @@ impl JointPolicy {
             cache_accesses as f64 * cfg.page_mb() * cfg.mem_model.dynamic_j_per_mb() / t;
 
         let feasible = !cfg.enforce_performance || utilization <= cfg.util_limit;
+        let (pareto_alpha, pareto_beta) = pareto
+            .as_ref()
+            .map_or((0.0, 0.0), |d| (d.shape(), d.scale()));
         CandidateEvaluation {
             banks,
             disk_accesses: pred.disk_accesses,
@@ -276,6 +302,8 @@ impl JointPolicy {
             utilization,
             predicted_latency_secs: crate::timeout::predicted_response_time(service, utilization),
             feasible,
+            pareto_alpha,
+            pareto_beta,
         }
     }
 }
@@ -283,12 +311,28 @@ impl JointPolicy {
 impl PeriodController for JointPolicy {
     fn on_period_end(&mut self, obs: &PeriodObservation, log: &AccessLog) -> ControlAction {
         let cfg = self.config;
+        let period = self.period;
+        self.period += 1;
         if log.is_empty() {
             // Nothing observed: keep the memory, let the disk sleep.
             self.last_evaluations.clear();
+            let timeout = cfg.disk_power.break_even_s();
+            self.telemetry
+                .emit_with(|| jpmd_obs::ObsEvent::PolicyDecision {
+                    period,
+                    start_s: obs.start,
+                    end_s: obs.end,
+                    alpha: 0.0,
+                    beta: 0.0,
+                    timeout_s: timeout,
+                    banks: obs.enabled_banks,
+                    cache_accesses: 0,
+                    candidates: Vec::new(),
+                    all_infeasible: false,
+                });
             return ControlAction {
                 enabled_banks: None,
-                disk_timeout: Some(cfg.disk_power.break_even_s()),
+                disk_timeout: Some(timeout),
             };
         }
 
@@ -338,6 +382,32 @@ impl PeriodController for JointPolicy {
             })
             .copied();
         self.last_evaluations = evaluations;
+
+        self.telemetry.emit_with(|| {
+            let all_infeasible = self.last_evaluations.iter().all(|e| !e.feasible);
+            jpmd_obs::ObsEvent::PolicyDecision {
+                period,
+                start_s: obs.start,
+                end_s: obs.end,
+                alpha: best.map_or(0.0, |c| c.pareto_alpha),
+                beta: best.map_or(0.0, |c| c.pareto_beta),
+                timeout_s: best.map_or(obs.disk_timeout, |c| c.timeout_secs),
+                banks: best.map_or(obs.enabled_banks, |c| c.banks),
+                cache_accesses: log.len() as u64,
+                candidates: self
+                    .last_evaluations
+                    .iter()
+                    .map(|e| jpmd_obs::CandidatePower {
+                        banks: e.banks,
+                        power_w: e.total_power_w(),
+                        timeout_s: e.timeout_secs,
+                        utilization: e.utilization,
+                        feasible: e.feasible,
+                    })
+                    .collect(),
+                all_infeasible,
+            }
+        });
 
         match best {
             Some(choice) => ControlAction {

@@ -17,7 +17,8 @@ use serde::{Deserialize, Serialize};
 
 use jpmd_disk::SpinDownPolicy;
 use jpmd_mem::{IdlePolicy, MemConfig, Replacement};
-use jpmd_sim::{run_simulation_source, NullController, RunReport, SimConfig};
+use jpmd_obs::Telemetry;
+use jpmd_sim::{run_simulation_source_with, NullController, RunReport, SimConfig};
 use jpmd_trace::{SourceError, Trace, TraceSource};
 
 use crate::{JointConfig, JointPolicy, SimScale};
@@ -232,6 +233,39 @@ pub fn run_method_source<S: TraceSource>(
     duration_secs: f64,
     period_secs: f64,
 ) -> Result<RunReport, SourceError> {
+    run_method_source_with(
+        spec,
+        scale,
+        source,
+        warmup_secs,
+        duration_secs,
+        period_secs,
+        &Telemetry::disabled(),
+    )
+}
+
+/// Like [`run_method_source`], with telemetry: the simulator emits run
+/// lifecycle and per-period traffic events, and the joint method
+/// additionally emits one `PolicyDecision` per period (fitted Pareto α/β,
+/// chosen timeout and memory size, and the candidate power table).
+///
+/// With a disabled handle this *is* [`run_method_source`]; with any sink
+/// the returned report is bit-identical to the uninstrumented run (the
+/// `determinism` tests in `jpmd-obs` assert both).
+///
+/// # Errors
+///
+/// Propagates the first [`SourceError`] the source yields.
+#[allow(clippy::too_many_arguments)]
+pub fn run_method_source_with<S: TraceSource>(
+    spec: &MethodSpec,
+    scale: &SimScale,
+    source: S,
+    warmup_secs: f64,
+    duration_secs: f64,
+    period_secs: f64,
+    telemetry: &Telemetry,
+) -> Result<RunReport, SourceError> {
     let mut sim = scale.sim_config(spec.mem_policy, spec.initial_banks);
     sim.warmup_secs = warmup_secs;
     sim.period_secs = period_secs;
@@ -241,23 +275,25 @@ pub fn run_method_source<S: TraceSource>(
         Some(joint_cfg) => {
             let mut cfg = *joint_cfg;
             cfg.period_secs = period_secs;
-            let mut controller = JointPolicy::new(cfg);
-            run_simulation_source(
+            let mut controller = JointPolicy::with_telemetry(cfg, telemetry.clone());
+            run_simulation_source_with(
                 &sim,
                 spec.spindown.clone(),
                 &mut controller,
                 source,
                 duration_secs,
                 &spec.label,
+                telemetry,
             )
         }
-        None => run_simulation_source(
+        None => run_simulation_source_with(
             &sim,
             spec.spindown.clone(),
             &mut NullController,
             source,
             duration_secs,
             &spec.label,
+            telemetry,
         ),
     }
 }

@@ -84,6 +84,26 @@ impl DiskEnergy {
     }
 }
 
+impl std::ops::Sub for DiskEnergy {
+    type Output = DiskEnergy;
+
+    /// Component-wise difference, used to window cumulative meters.
+    fn sub(self, rhs: DiskEnergy) -> DiskEnergy {
+        DiskEnergy {
+            active_j: self.active_j - rhs.active_j,
+            idle_j: self.idle_j - rhs.idle_j,
+            standby_j: self.standby_j - rhs.standby_j,
+            transition_j: self.transition_j - rhs.transition_j,
+        }
+    }
+}
+
+impl std::ops::SubAssign for DiskEnergy {
+    fn sub_assign(&mut self, rhs: DiskEnergy) {
+        *self = *self - rhs;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,5 +125,27 @@ mod tests {
             transition_j: 4.0,
         };
         assert_eq!(e.total_j(), 10.0);
+    }
+
+    #[test]
+    fn energy_subtracts_componentwise() {
+        let late = DiskEnergy {
+            active_j: 10.0,
+            idle_j: 20.0,
+            standby_j: 30.0,
+            transition_j: 40.0,
+        };
+        let early = DiskEnergy {
+            active_j: 1.0,
+            idle_j: 2.0,
+            standby_j: 3.0,
+            transition_j: 4.0,
+        };
+        let mut windowed = late;
+        windowed -= early;
+        assert_eq!(windowed, late - early);
+        assert_eq!(windowed.total_j(), 90.0);
+        assert_eq!(windowed.active_j, 9.0);
+        assert_eq!(windowed.transition_j, 36.0);
     }
 }

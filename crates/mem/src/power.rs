@@ -97,6 +97,24 @@ impl MemEnergy {
     }
 }
 
+impl std::ops::Sub for MemEnergy {
+    type Output = MemEnergy;
+
+    /// Component-wise difference, used to window cumulative meters.
+    fn sub(self, rhs: MemEnergy) -> MemEnergy {
+        MemEnergy {
+            static_j: self.static_j - rhs.static_j,
+            dynamic_j: self.dynamic_j - rhs.dynamic_j,
+        }
+    }
+}
+
+impl std::ops::SubAssign for MemEnergy {
+    fn sub_assign(&mut self, rhs: MemEnergy) {
+        *self = *self - rhs;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,5 +137,25 @@ mod tests {
             dynamic_j: 0.5,
         };
         assert_eq!(e.total_j(), 2.0);
+    }
+
+    #[test]
+    fn mem_energy_subtracts_componentwise() {
+        let late = MemEnergy {
+            static_j: 5.0,
+            dynamic_j: 3.0,
+        };
+        let mut windowed = late;
+        windowed -= MemEnergy {
+            static_j: 2.0,
+            dynamic_j: 1.0,
+        };
+        assert_eq!(
+            windowed,
+            MemEnergy {
+                static_j: 3.0,
+                dynamic_j: 2.0,
+            }
+        );
     }
 }

@@ -1,0 +1,225 @@
+//! `obs-tool` — inspect JSONL telemetry files produced by `jpmd-obs`.
+//!
+//! ```text
+//! obs-tool summary <file>
+//! obs-tool grep <file> --event <name>
+//! obs-tool timings <file>
+//! obs-tool tail <file> [n]
+//! ```
+//!
+//! `summary` counts records by event type and sketches the run (periods
+//! seen, policy decisions, last decision's operating point). `grep`
+//! prints the raw lines of one event type, suitable for piping into
+//! further tooling. `timings` aggregates `SpanEnd` events per span name.
+//! `tail` prints the last `n` records (default 10) with their sequence
+//! numbers.
+//!
+//! Exit codes: `0` success, `1` runtime failure (missing file, malformed
+//! line), `2` usage error.
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{BufRead, BufReader};
+use std::process::ExitCode;
+
+use jpmd_obs::{ObsEvent, ObsRecord};
+
+const USAGE: &str = "usage:
+  obs-tool summary <file>
+  obs-tool grep <file> --event <name>
+  obs-tool timings <file>
+  obs-tool tail <file> [n]
+
+<file> is a JSONL telemetry stream written by a JsonlSink";
+
+/// A CLI failure, split by who is at fault: bad invocation (exit 2,
+/// usage printed) vs. a failing operation (exit 1).
+enum CliError {
+    Usage(String),
+    Runtime(Box<dyn std::error::Error>),
+}
+
+impl<E: std::error::Error + 'static> From<E> for CliError {
+    fn from(e: E) -> Self {
+        CliError::Runtime(Box::new(e))
+    }
+}
+
+fn require<'a>(args: &'a [String], index: usize, name: &str) -> Result<&'a str, CliError> {
+    args.get(index)
+        .map(String::as_str)
+        .ok_or_else(|| CliError::Usage(format!("missing argument <{name}>")))
+}
+
+/// Parses every line of `path`, yielding `(line_no, raw_line, record)`.
+/// A malformed line is a runtime error naming the offending line number.
+fn read_records(path: &str) -> Result<Vec<(usize, String, ObsRecord)>, CliError> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut out = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record = ObsRecord::from_line(&line).map_err(|e| {
+            CliError::Runtime(format!("{path}:{}: malformed record: {e}", idx + 1).into())
+        })?;
+        out.push((idx + 1, line, record));
+    }
+    Ok(out)
+}
+
+fn summary(path: &str) -> Result<(), CliError> {
+    let records = read_records(path)?;
+    let mut counts: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut periods = 0u64;
+    let mut decisions = 0u64;
+    let mut last_decision: Option<&ObsRecord> = None;
+    let mut infeasible_periods = 0u64;
+    for (_, _, record) in &records {
+        *counts.entry(record.event.name()).or_insert(0) += 1;
+        match &record.event {
+            ObsEvent::Period { .. } => periods += 1,
+            ObsEvent::PolicyDecision { all_infeasible, .. } => {
+                decisions += 1;
+                if *all_infeasible {
+                    infeasible_periods += 1;
+                }
+                last_decision = Some(record);
+            }
+            _ => {}
+        }
+    }
+    println!("records            {}", records.len());
+    for (name, count) in &counts {
+        println!("  {name:<16} {count}");
+    }
+    println!("periods            {periods}");
+    println!("policy_decisions   {decisions}");
+    if decisions > 0 {
+        println!("all_infeasible     {infeasible_periods}");
+    }
+    if let Some(record) = last_decision {
+        if let ObsEvent::PolicyDecision {
+            period,
+            alpha,
+            beta,
+            timeout_s,
+            banks,
+            candidates,
+            ..
+        } = &record.event
+        {
+            println!(
+                "last decision      period {period}: {banks} banks, timeout {timeout_s:.2} s, \
+                 pareto(α={alpha:.3}, β={beta:.3}), {} candidates",
+                candidates.len()
+            );
+        }
+    }
+    Ok(())
+}
+
+fn grep(path: &str, event: &str) -> Result<(), CliError> {
+    let mut matched = 0u64;
+    for (_, line, record) in read_records(path)? {
+        if record.event.name() == event {
+            println!("{line}");
+            matched += 1;
+        }
+    }
+    eprintln!("{matched} matching record(s)");
+    Ok(())
+}
+
+fn timings(path: &str) -> Result<(), CliError> {
+    struct Agg {
+        calls: u64,
+        total: f64,
+        max: f64,
+    }
+    let mut aggs: BTreeMap<String, Agg> = BTreeMap::new();
+    for (_, _, record) in read_records(path)? {
+        if let ObsEvent::SpanEnd { name, secs } = record.event {
+            let agg = aggs.entry(name).or_insert(Agg {
+                calls: 0,
+                total: 0.0,
+                max: 0.0,
+            });
+            agg.calls += 1;
+            agg.total += secs;
+            if secs > agg.max {
+                agg.max = secs;
+            }
+        }
+    }
+    if aggs.is_empty() {
+        println!("no SpanEnd records");
+        return Ok(());
+    }
+    println!(
+        "{:<24} {:>8} {:>12} {:>12} {:>12}",
+        "span", "calls", "total_s", "mean_s", "max_s"
+    );
+    for (name, agg) in &aggs {
+        println!(
+            "{:<24} {:>8} {:>12.6} {:>12.6} {:>12.6}",
+            name,
+            agg.calls,
+            agg.total,
+            agg.total / agg.calls as f64,
+            agg.max
+        );
+    }
+    Ok(())
+}
+
+fn tail(path: &str, n: usize) -> Result<(), CliError> {
+    let records = read_records(path)?;
+    let skip = records.len().saturating_sub(n);
+    for (_, line, record) in records.iter().skip(skip) {
+        println!("{:>8} {}", record.seq, line);
+    }
+    Ok(())
+}
+
+fn run(args: &[String]) -> Result<(), CliError> {
+    let cmd = require(args, 1, "subcommand")?;
+    match cmd {
+        "summary" => summary(require(args, 2, "file")?),
+        "grep" => {
+            let path = require(args, 2, "file")?;
+            if require(args, 3, "--event")? != "--event" {
+                return Err(CliError::Usage("expected '--event <name>'".into()));
+            }
+            grep(path, require(args, 4, "name")?)
+        }
+        "timings" => timings(require(args, 2, "file")?),
+        "tail" => {
+            let path = require(args, 2, "file")?;
+            let n = match args.get(3) {
+                None => 10,
+                Some(raw) => raw.parse().map_err(|_| {
+                    CliError::Usage(format!("argument <n> must be a count, got '{raw}'"))
+                })?,
+            };
+            tail(path, n)
+        }
+        unknown => Err(CliError::Usage(format!("unknown subcommand '{unknown}'"))),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(CliError::Runtime(e)) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+        Err(CliError::Usage(message)) => {
+            eprintln!("error: {message}\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

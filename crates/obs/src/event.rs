@@ -1,0 +1,252 @@
+//! Typed telemetry events and the JSONL record envelope.
+//!
+//! Every emission is an [`ObsRecord`]: a per-telemetry-handle sequence
+//! number, an *optional* wall-clock timestamp, and the [`ObsEvent`]
+//! payload. The timestamp is `None` unless a clock was injected into the
+//! [`Telemetry`](crate::Telemetry) handle, so the default event stream is
+//! fully deterministic — the property the `determinism` integration tests
+//! assert byte for byte. The only other wall-clock field in the schema is
+//! [`ObsEvent::SpanEnd::secs`]; consumers comparing streams must treat it
+//! like a timestamp (see [`ObsRecord::normalized_line`]).
+
+use serde::{Deserialize, Serialize};
+
+/// One row of the per-candidate power table a policy decision weighed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CandidatePower {
+    /// Candidate memory size, banks.
+    pub banks: u32,
+    /// Estimated total (memory + disk) power at this size, W.
+    pub power_w: f64,
+    /// Disk timeout the policy would pair with this size, s.
+    pub timeout_s: f64,
+    /// Estimated disk utilization at this size.
+    pub utilization: f64,
+    /// Whether the candidate satisfies the performance constraints.
+    pub feasible: bool,
+}
+
+/// A structured telemetry event.
+///
+/// Variants map to the introspection points of the control loop: run
+/// lifecycle, per-period traffic (from the simulator's
+/// `TelemetryObserver`), the joint policy's period decision with its
+/// fitted model, and span timings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ObsEvent {
+    /// A simulation run started.
+    RunStart {
+        /// Method label ("Joint", "2TFM-16GB", …).
+        label: String,
+        /// Simulated duration the run will cover, s.
+        duration_s: f64,
+    },
+    /// A simulation run finished.
+    RunEnd {
+        /// Method label.
+        label: String,
+        /// Control periods closed during the run.
+        periods: u64,
+        /// Total events the engine dispatched.
+        events: u64,
+    },
+    /// The warm-up window ended; measurement starts.
+    WarmupEnd {
+        /// Simulation time, s.
+        sim_time_s: f64,
+    },
+    /// One control period's traffic totals (emitted at every period
+    /// boundary by the simulator's telemetry observer).
+    Period {
+        /// 0-based period index.
+        index: u64,
+        /// Period start, simulation seconds.
+        start_s: f64,
+        /// Period end, simulation seconds.
+        end_s: f64,
+        /// Disk-cache page lookups inside the period.
+        accesses: u64,
+        /// Lookups served from memory.
+        hits: u64,
+        /// Coalesced miss runs.
+        misses: u64,
+        /// Disk requests (user + background).
+        disk_requests: u64,
+        /// Flush-daemon ticks.
+        syncs: u64,
+        /// Total energy spent inside the period, J.
+        energy_j: f64,
+    },
+    /// The joint policy's decision for one period: the fitted idle-time
+    /// model, the chosen operating point, and the candidate table it was
+    /// chosen from.
+    PolicyDecision {
+        /// 0-based period index (the policy's own decision counter).
+        period: u64,
+        /// Period start, simulation seconds.
+        start_s: f64,
+        /// Period end (the decision instant), simulation seconds.
+        end_s: f64,
+        /// Fitted Pareto shape `α` of the chosen candidate's predicted
+        /// idle intervals (0 when no fit was possible).
+        alpha: f64,
+        /// Fitted Pareto scale `β` (the aggregation window; 0 when no
+        /// fit was possible).
+        beta: f64,
+        /// Chosen disk spin-down timeout, s.
+        timeout_s: f64,
+        /// Chosen memory size, banks.
+        banks: u32,
+        /// Cache accesses observed in the closing period.
+        cache_accesses: u64,
+        /// Per-candidate power table (empty when the period saw no
+        /// traffic and the policy fell back to "keep memory, sleep
+        /// disk").
+        candidates: Vec<CandidatePower>,
+        /// True when *no* candidate satisfied the performance
+        /// constraints and the policy picked the least-infeasible one.
+        all_infeasible: bool,
+    },
+    /// A named span closed.
+    SpanEnd {
+        /// Span name ("engine.replay", "controller.decide", …).
+        name: String,
+        /// Wall-clock duration, s. **Not deterministic** — normalize it
+        /// away when comparing streams.
+        secs: f64,
+    },
+    /// Free-form annotation.
+    Message {
+        /// The annotation text.
+        text: String,
+    },
+}
+
+impl ObsEvent {
+    /// The variant name, as it appears as the externally-tagged JSON key
+    /// (`{"PolicyDecision": {...}}`); what `obs_tool grep --event`
+    /// matches on.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ObsEvent::RunStart { .. } => "RunStart",
+            ObsEvent::RunEnd { .. } => "RunEnd",
+            ObsEvent::WarmupEnd { .. } => "WarmupEnd",
+            ObsEvent::Period { .. } => "Period",
+            ObsEvent::PolicyDecision { .. } => "PolicyDecision",
+            ObsEvent::SpanEnd { .. } => "SpanEnd",
+            ObsEvent::Message { .. } => "Message",
+        }
+    }
+}
+
+/// The envelope one JSONL line carries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObsRecord {
+    /// Emission index within one telemetry handle (0-based, gap-free).
+    pub seq: u64,
+    /// Wall-clock timestamp in milliseconds from the injected clock, or
+    /// `None` when the telemetry has no clock (the default).
+    pub t_wall_ms: Option<u64>,
+    /// The event payload.
+    pub event: ObsEvent,
+}
+
+impl ObsRecord {
+    /// Renders the record as one compact JSON line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(self).expect("ObsRecord serialization is infallible")
+    }
+
+    /// Parses one JSONL line.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying parse error on malformed JSON or a shape
+    /// mismatch.
+    pub fn from_line(line: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(line)
+    }
+
+    /// The record with every wall-clock field zeroed (`t_wall_ms` and
+    /// [`ObsEvent::SpanEnd::secs`]), rendered as a line — the canonical
+    /// form for byte-wise stream comparison.
+    pub fn normalized_line(&self) -> String {
+        let mut copy = self.clone();
+        copy.t_wall_ms = None;
+        if let ObsEvent::SpanEnd { secs, .. } = &mut copy.event {
+            *secs = 0.0;
+        }
+        copy.to_line()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decision() -> ObsEvent {
+        ObsEvent::PolicyDecision {
+            period: 3,
+            start_s: 1200.0,
+            end_s: 1800.0,
+            alpha: 1.7,
+            beta: 0.1,
+            timeout_s: 11.7,
+            banks: 12,
+            cache_accesses: 4096,
+            candidates: vec![CandidatePower {
+                banks: 12,
+                power_w: 9.5,
+                timeout_s: 11.7,
+                utilization: 0.04,
+                feasible: true,
+            }],
+            all_infeasible: false,
+        }
+    }
+
+    #[test]
+    fn records_round_trip_through_jsonl() {
+        let record = ObsRecord {
+            seq: 7,
+            t_wall_ms: Some(1234),
+            event: decision(),
+        };
+        let line = record.to_line();
+        assert!(!line.contains('\n'));
+        assert_eq!(ObsRecord::from_line(&line).unwrap(), record);
+    }
+
+    #[test]
+    fn event_names_match_external_tag() {
+        let record = ObsRecord {
+            seq: 0,
+            t_wall_ms: None,
+            event: decision(),
+        };
+        assert!(record.to_line().contains("\"PolicyDecision\""));
+        assert_eq!(record.event.name(), "PolicyDecision");
+    }
+
+    #[test]
+    fn normalization_strips_wall_clock_fields() {
+        let a = ObsRecord {
+            seq: 1,
+            t_wall_ms: Some(99),
+            event: ObsEvent::SpanEnd {
+                name: "engine.replay".into(),
+                secs: 0.123,
+            },
+        };
+        let b = ObsRecord {
+            seq: 1,
+            t_wall_ms: None,
+            event: ObsEvent::SpanEnd {
+                name: "engine.replay".into(),
+                secs: 0.456,
+            },
+        };
+        assert_ne!(a.to_line(), b.to_line());
+        assert_eq!(a.normalized_line(), b.normalized_line());
+    }
+}

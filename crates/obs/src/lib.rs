@@ -1,0 +1,195 @@
+//! `jpmd-obs` — zero-dependency observability for the jpmd workspace.
+//!
+//! Three pieces, composable and individually optional:
+//!
+//! * **Metrics** ([`MetricsRegistry`]): named counters, gauges, and
+//!   histograms behind cheap `Arc`-atomic handles. A disabled registry
+//!   hands out no-op handles whose operations are a single branch.
+//! * **Events** ([`ObsEvent`] / [`ObsRecord`]): typed records of what the
+//!   control loop did — per-period traffic, the joint policy's fitted
+//!   Pareto model and chosen operating point, span timings — emitted
+//!   through a pluggable [`Sink`] (JSONL file, in-memory ring, null).
+//! * **Spans** ([`SpanRecorder`]): RAII wall-clock timers aggregated per
+//!   name, surfaced in `RunReport` and by `obs_tool timings`.
+//!
+//! The overhead contract: with telemetry disabled ([`Telemetry::disabled`],
+//! [`MetricsRegistry::disabled`]) every instrumentation point reduces to a
+//! branch on an `Option`, and simulation output is bit-identical to an
+//! uninstrumented run. The default event stream is deterministic — records
+//! carry no wall-clock timestamp unless a clock is injected with
+//! [`Telemetry::with_clock`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod metrics;
+mod sink;
+mod span;
+
+pub use event::{CandidatePower, ObsEvent, ObsRecord};
+pub use metrics::{Counter, Gauge, HistogramHandle, MetricValue, MetricsRegistry, MetricsSnapshot};
+pub use sink::{JsonlSink, MemorySink, NullSink, Sink};
+pub use span::{SpanGuard, SpanRecorder, SpanTiming};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A wall-clock source: milliseconds since some epoch.
+pub type ClockFn = dyn Fn() -> u64 + Send + Sync;
+
+struct TelemetryInner {
+    sink: Box<dyn Sink>,
+    registry: MetricsRegistry,
+    seq: AtomicU64,
+    clock: Option<Box<ClockFn>>,
+}
+
+/// The telemetry handle instrumentation points hold.
+///
+/// Cloning shares the sink, registry, and sequence counter. A disabled
+/// handle ([`Telemetry::disabled`]) makes every operation a no-op; in
+/// particular [`Telemetry::emit_with`] never runs its closure, so event
+/// construction costs nothing when telemetry is off.
+///
+/// Records get no wall-clock timestamp (`t_wall_ms: None`) unless a clock
+/// is injected — by default the emitted stream is a pure function of the
+/// simulated run, which is what the determinism tests assert.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<TelemetryInner>>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Telemetry {
+    /// A no-op handle: nothing is emitted, the registry is disabled.
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// A live handle emitting into `sink`, with a fresh enabled
+    /// [`MetricsRegistry`] and no clock.
+    pub fn new(sink: Box<dyn Sink>) -> Self {
+        Telemetry {
+            inner: Some(Arc::new(TelemetryInner {
+                sink,
+                registry: MetricsRegistry::new(),
+                seq: AtomicU64::new(0),
+                clock: None,
+            })),
+        }
+    }
+
+    /// Like [`Telemetry::new`], but every record is stamped with
+    /// `clock()` milliseconds.
+    pub fn with_clock(sink: Box<dyn Sink>, clock: Box<ClockFn>) -> Self {
+        Telemetry {
+            inner: Some(Arc::new(TelemetryInner {
+                sink,
+                registry: MetricsRegistry::new(),
+                seq: AtomicU64::new(0),
+                clock: Some(clock),
+            })),
+        }
+    }
+
+    /// Whether this handle emits anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The registry shared by this handle (a disabled registry when the
+    /// handle is disabled).
+    pub fn registry(&self) -> MetricsRegistry {
+        self.inner
+            .as_ref()
+            .map_or_else(MetricsRegistry::disabled, |inner| inner.registry.clone())
+    }
+
+    /// Emits one event.
+    pub fn emit(&self, event: ObsEvent) {
+        if let Some(inner) = &self.inner {
+            let record = ObsRecord {
+                seq: inner.seq.fetch_add(1, Ordering::Relaxed),
+                t_wall_ms: inner.clock.as_ref().map(|clock| clock()),
+                event,
+            };
+            inner.sink.emit(&record);
+        }
+    }
+
+    /// Emits the event built by `build` — the closure runs only when the
+    /// handle is enabled, so callers can assemble expensive payloads
+    /// (candidate tables, formatted strings) for free when telemetry is
+    /// off.
+    #[inline]
+    pub fn emit_with(&self, build: impl FnOnce() -> ObsEvent) {
+        if self.inner.is_some() {
+            self.emit(build());
+        }
+    }
+
+    /// Flushes the sink.
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            inner.sink.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_never_runs_the_builder() {
+        let telemetry = Telemetry::disabled();
+        telemetry.emit_with(|| panic!("builder must not run when disabled"));
+        telemetry.emit(ObsEvent::Message { text: "x".into() });
+        telemetry.flush();
+        assert!(!telemetry.is_enabled());
+        assert!(!telemetry.registry().is_enabled());
+    }
+
+    #[test]
+    fn seq_is_gap_free_across_clones() {
+        let sink = MemorySink::new();
+        let telemetry = Telemetry::new(Box::new(sink.clone()));
+        let clone = telemetry.clone();
+        telemetry.emit(ObsEvent::Message { text: "a".into() });
+        clone.emit(ObsEvent::Message { text: "b".into() });
+        telemetry.emit(ObsEvent::Message { text: "c".into() });
+        let seqs: Vec<u64> = sink.records().iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn default_handle_has_no_timestamps() {
+        let sink = MemorySink::new();
+        let telemetry = Telemetry::new(Box::new(sink.clone()));
+        telemetry.emit(ObsEvent::Message { text: "a".into() });
+        assert_eq!(sink.records()[0].t_wall_ms, None);
+    }
+
+    #[test]
+    fn injected_clock_stamps_records() {
+        let sink = MemorySink::new();
+        let telemetry = Telemetry::with_clock(Box::new(sink.clone()), Box::new(|| 42));
+        telemetry.emit(ObsEvent::Message { text: "a".into() });
+        assert_eq!(sink.records()[0].t_wall_ms, Some(42));
+    }
+
+    #[test]
+    fn registry_is_shared() {
+        let telemetry = Telemetry::new(Box::new(NullSink));
+        telemetry.registry().counter("n").add(3);
+        assert_eq!(telemetry.registry().snapshot().counter("n"), Some(3));
+    }
+}

@@ -1,0 +1,351 @@
+//! The metrics registry: named counters, gauges, and histograms with
+//! cheap cloneable handles.
+//!
+//! Handles are `Arc`-backed atomics, so the parallel bench runner can
+//! bump the same counter from every worker thread without locks on the
+//! hot path (histograms take a mutex — they are recorded off the hot
+//! path). A registry created with [`MetricsRegistry::disabled`] hands out
+//! empty handles whose operations compile to a single branch on an
+//! `Option` — the overhead contract verified by the `obs` group of the
+//! Criterion microbench in `jpmd-bench`.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use jpmd_stats::Histogram;
+use serde::{Deserialize, Serialize};
+
+/// A monotonically increasing `u64` metric.
+///
+/// Cloning shares the underlying atomic; a handle from a disabled
+/// registry is a no-op.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// A detached no-op counter (what a disabled registry hands out).
+    pub fn noop() -> Self {
+        Counter(None)
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value (0 for a no-op handle).
+    pub fn get(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
+/// A last-value-wins `f64` metric (stored as bits in an atomic).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    /// A detached no-op gauge.
+    pub fn noop() -> Self {
+        Gauge(None)
+    }
+
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        if let Some(cell) = &self.0 {
+            cell.store(value.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0.0 for a no-op handle).
+    pub fn get(&self) -> f64 {
+        self.0
+            .as_ref()
+            .map_or(0.0, |cell| f64::from_bits(cell.load(Ordering::Relaxed)))
+    }
+}
+
+/// A shared fixed-width histogram (backed by [`jpmd_stats::Histogram`]).
+#[derive(Debug, Clone, Default)]
+pub struct HistogramHandle(Option<Arc<Mutex<Histogram>>>);
+
+impl HistogramHandle {
+    /// A detached no-op histogram.
+    pub fn noop() -> Self {
+        HistogramHandle(None)
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, x: f64) {
+        if let Some(cell) = &self.0 {
+            cell.lock().expect("histogram lock").record(x);
+        }
+    }
+
+    /// A snapshot of the sketch (`None` for a no-op handle).
+    pub fn snapshot(&self) -> Option<Histogram> {
+        self.0
+            .as_ref()
+            .map(|cell| cell.lock().expect("histogram lock").clone())
+    }
+}
+
+enum Metric {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>),
+    Histogram(Arc<Mutex<Histogram>>),
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+/// A named collection of [`Counter`]s, [`Gauge`]s, and
+/// [`HistogramHandle`]s.
+///
+/// Cloning shares the registry. Handle lookup takes a lock; do it once at
+/// setup time and keep the handle — the handle operations themselves are
+/// lock-free (counters/gauges) or short-critical-section (histograms).
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Option<Arc<RegistryInner>>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl MetricsRegistry {
+    /// A live registry.
+    pub fn new() -> Self {
+        MetricsRegistry {
+            inner: Some(Arc::new(RegistryInner::default())),
+        }
+    }
+
+    /// A registry whose handles are all no-ops. Registration returns
+    /// detached handles and [`MetricsRegistry::snapshot`] is empty.
+    pub fn disabled() -> Self {
+        MetricsRegistry { inner: None }
+    }
+
+    /// Whether this registry records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The counter named `name`, creating it at zero on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        let Some(inner) = &self.inner else {
+            return Counter::noop();
+        };
+        let mut metrics = inner.metrics.lock().expect("registry lock");
+        let metric = metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(AtomicU64::new(0))));
+        match metric {
+            Metric::Counter(cell) => Counter(Some(Arc::clone(cell))),
+            _ => panic!("metric '{name}' is not a counter"),
+        }
+    }
+
+    /// The gauge named `name`, creating it at zero on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let Some(inner) = &self.inner else {
+            return Gauge::noop();
+        };
+        let mut metrics = inner.metrics.lock().expect("registry lock");
+        let metric = metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(AtomicU64::new(0.0f64.to_bits()))));
+        match metric {
+            Metric::Gauge(cell) => Gauge(Some(Arc::clone(cell))),
+            _ => panic!("metric '{name}' is not a gauge"),
+        }
+    }
+
+    /// The histogram named `name` over `[lo, hi)` with `bins` buckets,
+    /// creating it on first use (later calls reuse the existing sketch and
+    /// ignore the bounds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind,
+    /// or on a degenerate range (see [`Histogram::new`]).
+    pub fn histogram(&self, name: &str, lo: f64, hi: f64, bins: usize) -> HistogramHandle {
+        let Some(inner) = &self.inner else {
+            return HistogramHandle::noop();
+        };
+        let mut metrics = inner.metrics.lock().expect("registry lock");
+        let metric = metrics.entry(name.to_string()).or_insert_with(|| {
+            Metric::Histogram(Arc::new(Mutex::new(Histogram::new(lo, hi, bins))))
+        });
+        match metric {
+            Metric::Histogram(cell) => HistogramHandle(Some(Arc::clone(cell))),
+            _ => panic!("metric '{name}' is not a histogram"),
+        }
+    }
+
+    /// A point-in-time copy of every registered metric, sorted by name
+    /// (empty for a disabled registry).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut values = Vec::new();
+        if let Some(inner) = &self.inner {
+            let metrics = inner.metrics.lock().expect("registry lock");
+            for (name, metric) in metrics.iter() {
+                let value = match metric {
+                    Metric::Counter(cell) => MetricValue::Counter(cell.load(Ordering::Relaxed)),
+                    Metric::Gauge(cell) => {
+                        MetricValue::Gauge(f64::from_bits(cell.load(Ordering::Relaxed)))
+                    }
+                    Metric::Histogram(cell) => {
+                        MetricValue::Histogram(cell.lock().expect("histogram lock").clone())
+                    }
+                };
+                values.push((name.clone(), value));
+            }
+        }
+        MetricsSnapshot { values }
+    }
+}
+
+/// One metric's value inside a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Full histogram sketch.
+    Histogram(Histogram),
+}
+
+/// A point-in-time copy of a registry, sorted by metric name.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` pairs in ascending name order.
+    pub values: Vec<(String, MetricValue)>,
+}
+
+impl MetricsSnapshot {
+    /// The counter named `name`, or `None`.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.values.iter().find_map(|(n, v)| match v {
+            MetricValue::Counter(c) if n == name => Some(*c),
+            _ => None,
+        })
+    }
+
+    /// The gauge named `name`, or `None`.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.values.iter().find_map(|(n, v)| match v {
+            MetricValue::Gauge(g) if n == name => Some(*g),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_share_state_across_handles_and_threads() {
+        let registry = MetricsRegistry::new();
+        let a = registry.counter("events");
+        let b = registry.counter("events");
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let c = a.clone();
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        b.add(5);
+        assert_eq!(a.get(), 4005);
+        assert_eq!(registry.snapshot().counter("events"), Some(4005));
+    }
+
+    #[test]
+    fn gauges_hold_last_value() {
+        let registry = MetricsRegistry::new();
+        let g = registry.gauge("utilization");
+        g.set(0.25);
+        g.set(0.5);
+        assert_eq!(g.get(), 0.5);
+        assert_eq!(registry.snapshot().gauge("utilization"), Some(0.5));
+    }
+
+    #[test]
+    fn histograms_record_through_shared_handle() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("latency", 0.0, 1.0, 10);
+        h.record(0.05);
+        registry.histogram("latency", 0.0, 1.0, 10).record(0.15);
+        let sketch = h.snapshot().expect("live histogram");
+        assert_eq!(sketch.total(), 2);
+    }
+
+    #[test]
+    fn disabled_registry_hands_out_noops() {
+        let registry = MetricsRegistry::disabled();
+        let c = registry.counter("x");
+        let g = registry.gauge("y");
+        let h = registry.histogram("z", 0.0, 1.0, 4);
+        c.inc();
+        g.set(3.0);
+        h.record(0.5);
+        assert_eq!(c.get(), 0);
+        assert_eq!(g.get(), 0.0);
+        assert!(h.snapshot().is_none());
+        assert!(registry.snapshot().values.is_empty());
+        assert!(!registry.is_enabled());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn kind_collision_panics() {
+        let registry = MetricsRegistry::new();
+        registry.gauge("mixed");
+        registry.counter("mixed");
+    }
+
+    #[test]
+    fn snapshot_is_name_sorted() {
+        let registry = MetricsRegistry::new();
+        registry.counter("zebra").inc();
+        registry.counter("alpha").inc();
+        let snapshot = registry.snapshot();
+        let names: Vec<&str> = snapshot.values.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "zebra"]);
+    }
+}

@@ -1,0 +1,195 @@
+//! Pluggable telemetry sinks: where emitted [`ObsRecord`]s go.
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use crate::ObsRecord;
+
+/// A destination for telemetry records.
+///
+/// Implementations must be cheap per emission and thread-safe: the
+/// parallel bench runner emits from worker threads through shared
+/// [`Telemetry`](crate::Telemetry) handles.
+pub trait Sink: Send + Sync {
+    /// Consumes one record.
+    fn emit(&self, record: &ObsRecord);
+
+    /// Forces buffered records out (a no-op for unbuffered sinks).
+    fn flush(&self) {}
+}
+
+/// Discards everything.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn emit(&self, _record: &ObsRecord) {}
+}
+
+/// Appends records as compact JSON lines to a file.
+///
+/// Writes go through a mutex-guarded [`BufWriter`]; the file is flushed
+/// on [`Sink::flush`] and when the sink is dropped.
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) `path` as a JSONL telemetry file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the file-creation failure.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(JsonlSink {
+            writer: Mutex::new(BufWriter::new(File::create(path)?)),
+        })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn emit(&self, record: &ObsRecord) {
+        let mut writer = self.writer.lock().expect("jsonl sink lock");
+        // A full disk mid-run must not abort the simulation it observes;
+        // telemetry writes are best-effort.
+        let _ = writeln!(writer, "{}", record.to_line());
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().expect("jsonl sink lock").flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        Sink::flush(self);
+    }
+}
+
+/// Keeps records in memory — unbounded, or a ring of the most recent N.
+///
+/// Cloning shares the buffer, so a caller can hand the sink to a
+/// [`Telemetry`](crate::Telemetry) handle and still read what was
+/// captured afterwards (the bench runner uses a bounded ring to attach
+/// the last-emitted events to a panicking method's error).
+#[derive(Debug, Clone, Default)]
+pub struct MemorySink {
+    buf: Arc<Mutex<VecDeque<ObsRecord>>>,
+    cap: usize,
+}
+
+impl MemorySink {
+    /// An unbounded in-memory sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// A ring keeping only the `cap` most recent records (`cap == 0`
+    /// means unbounded).
+    pub fn bounded(cap: usize) -> Self {
+        MemorySink {
+            buf: Arc::default(),
+            cap,
+        }
+    }
+
+    /// A copy of the captured records, oldest first.
+    pub fn records(&self) -> Vec<ObsRecord> {
+        self.buf
+            .lock()
+            .expect("memory sink lock")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// The captured records rendered as JSON lines, oldest first.
+    pub fn lines(&self) -> Vec<String> {
+        self.buf
+            .lock()
+            .expect("memory sink lock")
+            .iter()
+            .map(ObsRecord::to_line)
+            .collect()
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.buf.lock().expect("memory sink lock").len()
+    }
+
+    /// Whether nothing was captured (yet).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for MemorySink {
+    fn emit(&self, record: &ObsRecord) {
+        let mut buf = self.buf.lock().expect("memory sink lock");
+        if self.cap > 0 && buf.len() == self.cap {
+            buf.pop_front();
+        }
+        buf.push_back(record.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ObsEvent;
+
+    fn record(seq: u64) -> ObsRecord {
+        ObsRecord {
+            seq,
+            t_wall_ms: None,
+            event: ObsEvent::Message {
+                text: format!("m{seq}"),
+            },
+        }
+    }
+
+    #[test]
+    fn memory_sink_shares_buffer_across_clones() {
+        let sink = MemorySink::new();
+        let clone = sink.clone();
+        clone.emit(&record(0));
+        clone.emit(&record(1));
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.records()[1].seq, 1);
+    }
+
+    #[test]
+    fn bounded_sink_keeps_most_recent() {
+        let sink = MemorySink::bounded(2);
+        for seq in 0..5 {
+            sink.emit(&record(seq));
+        }
+        let seqs: Vec<u64> = sink.records().iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![3, 4]);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_record() {
+        let path = std::env::temp_dir().join(format!("jpmd_obs_sink_{}.jsonl", std::process::id()));
+        {
+            let sink = JsonlSink::create(&path).expect("create sink");
+            sink.emit(&record(0));
+            sink.emit(&record(1));
+        } // drop flushes
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(ObsRecord::from_line(lines[1]).unwrap(), record(1));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn null_sink_discards() {
+        NullSink.emit(&record(0));
+        NullSink.flush();
+    }
+}

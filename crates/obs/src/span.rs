@@ -1,0 +1,182 @@
+//! RAII span timers and their aggregated timings.
+//!
+//! A [`SpanRecorder`] hands out [`SpanGuard`]s; dropping a guard folds
+//! its wall-clock duration into the per-name aggregate. Spans are always
+//! recorded (they are how `RunReport` carries per-method timings even
+//! with telemetry off), so [`SpanTiming`] equality deliberately ignores
+//! the wall-clock fields — two reports from identical simulations compare
+//! equal even though their wall timings differ. This mirrors how
+//! `EngineStats` excludes `replay_wall_secs` from its `PartialEq`.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Telemetry;
+
+#[derive(Debug, Default, Clone, Copy)]
+struct SpanAgg {
+    calls: u64,
+    total_secs: f64,
+    max_secs: f64,
+}
+
+/// Aggregated timing of one named span.
+///
+/// Equality compares only `name` and `calls`; the wall-clock fields are
+/// excluded so that structurally identical runs (same trace, same seed)
+/// produce comparable values.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SpanTiming {
+    /// Span name.
+    pub name: String,
+    /// How many guards closed under this name.
+    pub calls: u64,
+    /// Summed wall-clock time, s. Excluded from equality.
+    pub total_secs: f64,
+    /// Longest single call, s. Excluded from equality.
+    pub max_secs: f64,
+}
+
+impl PartialEq for SpanTiming {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.calls == other.calls
+    }
+}
+
+/// Collects span timings; cloning shares the aggregate.
+#[derive(Debug, Clone, Default)]
+pub struct SpanRecorder {
+    aggs: Arc<Mutex<BTreeMap<String, SpanAgg>>>,
+}
+
+impl SpanRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        SpanRecorder::default()
+    }
+
+    /// Starts a span; the returned guard records on drop.
+    pub fn time(&self, name: &str) -> SpanGuard {
+        SpanGuard {
+            recorder: self.clone(),
+            name: name.to_string(),
+            started: Instant::now(),
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Starts a span that additionally emits an
+    /// [`ObsEvent::SpanEnd`](crate::ObsEvent::SpanEnd) through `telemetry`
+    /// when it closes.
+    pub fn time_with(&self, name: &str, telemetry: &Telemetry) -> SpanGuard {
+        SpanGuard {
+            recorder: self.clone(),
+            name: name.to_string(),
+            started: Instant::now(),
+            telemetry: telemetry.clone(),
+        }
+    }
+
+    fn record(&self, name: &str, secs: f64) {
+        let mut aggs = self.aggs.lock().expect("span recorder lock");
+        let agg = aggs.entry(name.to_string()).or_default();
+        agg.calls += 1;
+        agg.total_secs += secs;
+        if secs > agg.max_secs {
+            agg.max_secs = secs;
+        }
+    }
+
+    /// The aggregated timings, sorted by span name.
+    pub fn snapshot(&self) -> Vec<SpanTiming> {
+        self.aggs
+            .lock()
+            .expect("span recorder lock")
+            .iter()
+            .map(|(name, agg)| SpanTiming {
+                name: name.clone(),
+                calls: agg.calls,
+                total_secs: agg.total_secs,
+                max_secs: agg.max_secs,
+            })
+            .collect()
+    }
+}
+
+/// An open span; recording happens when it drops.
+#[must_use = "a span guard records its duration on drop — binding it to _ closes it immediately"]
+pub struct SpanGuard {
+    recorder: SpanRecorder,
+    name: String,
+    started: Instant,
+    telemetry: Telemetry,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let secs = self.started.elapsed().as_secs_f64();
+        self.recorder.record(&self.name, secs);
+        self.telemetry.emit_with(|| crate::ObsEvent::SpanEnd {
+            name: self.name.clone(),
+            secs,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guards_aggregate_by_name() {
+        let recorder = SpanRecorder::new();
+        {
+            let _a = recorder.time("outer");
+            let _b = recorder.time("inner");
+        }
+        drop(recorder.time("inner"));
+        let timings = recorder.snapshot();
+        assert_eq!(timings.len(), 2);
+        assert_eq!(timings[0].name, "inner");
+        assert_eq!(timings[0].calls, 2);
+        assert_eq!(timings[1].name, "outer");
+        assert_eq!(timings[1].calls, 1);
+        assert!(timings[0].total_secs >= timings[0].max_secs);
+    }
+
+    #[test]
+    fn equality_ignores_wall_clock() {
+        let a = SpanTiming {
+            name: "engine.replay".into(),
+            calls: 3,
+            total_secs: 1.0,
+            max_secs: 0.5,
+        };
+        let b = SpanTiming {
+            name: "engine.replay".into(),
+            calls: 3,
+            total_secs: 9.0,
+            max_secs: 9.0,
+        };
+        assert_eq!(a, b);
+        let c = SpanTiming { calls: 4, ..a };
+        assert_ne!(c, b);
+    }
+
+    #[test]
+    fn time_with_emits_span_end() {
+        let sink = crate::MemorySink::new();
+        let telemetry = Telemetry::new(Box::new(sink.clone()));
+        let recorder = SpanRecorder::new();
+        drop(recorder.time_with("controller.decide", &telemetry));
+        let records = sink.records();
+        assert_eq!(records.len(), 1);
+        assert!(matches!(
+            &records[0].event,
+            crate::ObsEvent::SpanEnd { name, .. } if name == "controller.decide"
+        ));
+    }
+}

@@ -340,6 +340,7 @@ pub fn run_array_simulation(
         spin_downs: array.spin_downs() - w_spin,
         periods: rows,
         engine: crate::EngineStats::default(),
+        spans: Vec::new(),
     }
 }
 

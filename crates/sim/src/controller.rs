@@ -79,6 +79,43 @@ impl PeriodController for NullController {
     }
 }
 
+/// Wraps a controller so every decision is timed under the
+/// `controller.decide` span (and, when telemetry is enabled, emits a
+/// `SpanEnd` event). Pure delegation otherwise — the wrapped controller's
+/// decisions are untouched, which is what keeps instrumented runs
+/// bit-identical to plain ones.
+pub struct TimedController<'a> {
+    inner: &'a mut dyn PeriodController,
+    spans: jpmd_obs::SpanRecorder,
+    telemetry: jpmd_obs::Telemetry,
+}
+
+impl<'a> TimedController<'a> {
+    /// Times `inner` under `spans`, emitting through `telemetry`.
+    pub fn new(
+        inner: &'a mut dyn PeriodController,
+        spans: jpmd_obs::SpanRecorder,
+        telemetry: jpmd_obs::Telemetry,
+    ) -> Self {
+        TimedController {
+            inner,
+            spans,
+            telemetry,
+        }
+    }
+}
+
+impl PeriodController for TimedController<'_> {
+    fn on_period_end(&mut self, observation: &PeriodObservation, log: &AccessLog) -> ControlAction {
+        let _span = self.spans.time_with("controller.decide", &self.telemetry);
+        self.inner.on_period_end(observation, log)
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -103,12 +103,25 @@ pub struct Engine {
     stats: EngineStats,
     segment: EventCounts,
     segment_start: f64,
+    registry: jpmd_obs::MetricsRegistry,
 }
 
 impl Engine {
     /// A fresh engine.
     pub fn new() -> Self {
         Engine::default()
+    }
+
+    /// An engine that publishes its end-of-run counters into `registry`
+    /// (`engine.events`, `engine.accesses`, `engine.disk_requests`, and
+    /// the throughput gauges). Publication happens once, after the replay
+    /// — the hot loop is untouched, and a disabled registry makes this
+    /// identical to [`Engine::new`].
+    pub fn with_metrics(registry: jpmd_obs::MetricsRegistry) -> Self {
+        Engine {
+            registry,
+            ..Engine::default()
+        }
     }
 
     /// Replays an in-memory `trace` against `hw` until `duration`,
@@ -165,6 +178,23 @@ impl Engine {
         self.stats.replay_wall_secs = wall.elapsed().as_secs_f64();
         self.stats.accesses_per_sec =
             self.stats.counts.accesses as f64 / self.stats.replay_wall_secs.max(f64::MIN_POSITIVE);
+        if self.registry.is_enabled() {
+            self.registry
+                .counter("engine.events")
+                .add(self.stats.events_processed);
+            self.registry
+                .counter("engine.accesses")
+                .add(self.stats.counts.accesses);
+            self.registry
+                .counter("engine.disk_requests")
+                .add(self.stats.counts.disk_requests);
+            self.registry
+                .gauge("engine.replay_wall_secs")
+                .set(self.stats.replay_wall_secs);
+            self.registry
+                .gauge("engine.accesses_per_sec")
+                .set(self.stats.accesses_per_sec);
+        }
         Ok(self.stats)
     }
 

@@ -275,6 +275,7 @@ pub fn run_simulation_legacy(
         spin_downs: disk.spin_downs() - w_spin,
         periods: rows,
         engine: EngineStats::default(),
+        spans: Vec::new(),
     }
 }
 

@@ -81,18 +81,23 @@ pub use array_system::{
     ArrayPeriodObservation, DiskPeriodStats, NullArrayController,
 };
 pub use config::SimConfig;
-pub use controller::{ControlAction, NullController, PeriodController, PeriodObservation};
+pub use controller::{
+    ControlAction, NullController, PeriodController, PeriodObservation, TimedController,
+};
 pub use engine::{Engine, EngineStats, PeriodEvents, SimObserver};
 pub use events::{EventCounts, SimEvent};
 pub use hw::HwState;
 pub use metrics::{EnergyBreakdown, PeriodRow, RunReport};
 pub use observers::{
     EnergyMeter, EnergySummary, FlushDaemon, LatencySummary, LatencyTracker, PeriodAccounting,
-    WarmupWindow,
+    TelemetryObserver, WarmupWindow,
 };
-pub use system::{run_simulation, run_simulation_source};
+pub use system::{run_simulation, run_simulation_source, run_simulation_source_with};
 
 // Re-exported so downstream callers can build configurations without
 // importing every substrate crate explicitly.
 pub use jpmd_disk::{DiskPowerModel, ServiceModel, SpinDownPolicy};
 pub use jpmd_mem::{IdlePolicy, MemConfig, RdramModel};
+// Re-exported so callers wiring telemetry into a run don't need a direct
+// jpmd-obs dependency for the common cases.
+pub use jpmd_obs::{JsonlSink, MemorySink, NullSink, Telemetry};

@@ -23,18 +23,25 @@ impl EnergyBreakdown {
     /// Component-wise difference (`self − earlier`), used to subtract the
     /// warm-up window.
     pub fn since(&self, earlier: &EnergyBreakdown) -> EnergyBreakdown {
+        *self - *earlier
+    }
+}
+
+impl std::ops::Sub for EnergyBreakdown {
+    type Output = EnergyBreakdown;
+
+    /// Component-wise difference over both devices.
+    fn sub(self, rhs: EnergyBreakdown) -> EnergyBreakdown {
         EnergyBreakdown {
-            mem: MemEnergy {
-                static_j: self.mem.static_j - earlier.mem.static_j,
-                dynamic_j: self.mem.dynamic_j - earlier.mem.dynamic_j,
-            },
-            disk: DiskEnergy {
-                active_j: self.disk.active_j - earlier.disk.active_j,
-                idle_j: self.disk.idle_j - earlier.disk.idle_j,
-                standby_j: self.disk.standby_j - earlier.disk.standby_j,
-                transition_j: self.disk.transition_j - earlier.disk.transition_j,
-            },
+            mem: self.mem - rhs.mem,
+            disk: self.disk - rhs.disk,
         }
+    }
+}
+
+impl std::ops::SubAssign for EnergyBreakdown {
+    fn sub_assign(&mut self, rhs: EnergyBreakdown) {
+        *self = *self - rhs;
     }
 }
 
@@ -88,6 +95,11 @@ pub struct RunReport {
     /// Engine observability: event totals, the per-period event log, and
     /// replay throughput (wall-clock fields are excluded from equality).
     pub engine: EngineStats,
+    /// Aggregated span timings (engine replay, controller decisions,
+    /// report finalization). Always collected; equality ignores the
+    /// wall-clock fields, like [`EngineStats`].
+    #[serde(default)]
+    pub spans: Vec<jpmd_obs::SpanTiming>,
 }
 
 impl RunReport {
@@ -168,6 +180,7 @@ mod tests {
             spin_downs: 2,
             periods: Vec::new(),
             engine: EngineStats::default(),
+            spans: Vec::new(),
         }
     }
 
@@ -196,5 +209,72 @@ mod tests {
         assert!((diff.mem.static_j - 5.0).abs() < 1e-12);
         assert!((diff.disk.idle_j - 30.0).abs() < 1e-12);
         assert!((diff.total_j() - 35.0).abs() < 1e-12);
+        let mut assigned = late;
+        assigned -= early;
+        assert_eq!(assigned, diff);
+    }
+
+    /// Walks two serialized values in lockstep, asserting every numeric
+    /// leaf of `diff` equals the corresponding `a − b`.
+    fn assert_leafwise_difference(a: &serde::Value, b: &serde::Value, diff: &serde::Value) {
+        use serde::Value;
+        match (a, b, diff) {
+            (Value::F64(xa), Value::F64(xb), Value::F64(xd)) => {
+                assert!(
+                    (xd - (xa - xb)).abs() < 1e-12,
+                    "leaf {xd} != {xa} - {xb}: a field is missing from a Sub impl"
+                );
+            }
+            (Value::Object(fa), Value::Object(fb), Value::Object(fd)) => {
+                assert_eq!(fa.len(), fd.len(), "field sets diverged");
+                for (((ka, va), (kb, vb)), (kd, vd)) in fa.iter().zip(fb).zip(fd) {
+                    assert_eq!(ka, kb);
+                    assert_eq!(ka, kd);
+                    assert_leafwise_difference(va, vb, vd);
+                }
+            }
+            _ => panic!(
+                "unexpected shapes: {} / {} / {}",
+                a.kind(),
+                b.kind(),
+                diff.kind()
+            ),
+        }
+    }
+
+    /// Guards the `Sub` impls against silently-missed fields: every numeric
+    /// leaf of the serialized breakdown — whatever fields the energy structs
+    /// grow — must be subtracted. A field skipped by a future `Sub` edit
+    /// (e.g. via `..rhs` struct update) fails the leafwise comparison.
+    #[test]
+    fn subtraction_covers_every_energy_field() {
+        use serde::Serialize;
+        let late = EnergyBreakdown {
+            mem: MemEnergy {
+                static_j: 11.0,
+                dynamic_j: 13.0,
+            },
+            disk: DiskEnergy {
+                active_j: 17.0,
+                idle_j: 19.0,
+                standby_j: 23.0,
+                transition_j: 29.0,
+            },
+        };
+        let early = EnergyBreakdown {
+            mem: MemEnergy {
+                static_j: 1.0,
+                dynamic_j: 2.0,
+            },
+            disk: DiskEnergy {
+                active_j: 3.0,
+                idle_j: 4.0,
+                standby_j: 5.0,
+                transition_j: 6.0,
+            },
+        };
+        let diff = late - early;
+        assert_leafwise_difference(&late.to_value(), &early.to_value(), &diff.to_value());
+        assert_eq!(diff, late.since(&early));
     }
 }

@@ -10,6 +10,7 @@
 //! is closed, then the flush daemon writes back (its traffic lands in the
 //! *next* period).
 
+use jpmd_obs::{Counter, ObsEvent, Telemetry};
 use jpmd_stats::{IdleIntervals, Welford};
 
 use crate::{
@@ -336,6 +337,107 @@ impl SimObserver for EnergyMeter {
             self.busy = hw.disk.busy_secs();
             self.spins = hw.disk.spin_downs();
             self.pages = hw.disk_pages;
+        }
+    }
+}
+
+/// Streams engine activity into a [`Telemetry`] handle: whole-run counters
+/// into its metrics registry, and one [`ObsEvent::Period`] per period
+/// boundary carrying the period's traffic deltas and energy.
+///
+/// Purely passive — it only reads the hardware state — so registering it
+/// cannot perturb the simulation; `run_simulation_source_with` registers
+/// it **last** (after the standard stack) and only when the telemetry
+/// handle is enabled, keeping the disabled path free of it entirely.
+pub struct TelemetryObserver {
+    telemetry: Telemetry,
+    energy_base: EnergyBreakdown,
+    accesses: u64,
+    hits: u64,
+    misses: u64,
+    disk_requests: u64,
+    syncs: u64,
+    c_accesses: Counter,
+    c_hits: Counter,
+    c_misses: Counter,
+    c_disk_requests: Counter,
+    c_syncs: Counter,
+    c_periods: Counter,
+}
+
+impl TelemetryObserver {
+    /// An observer emitting through `telemetry` (and its registry).
+    pub fn new(telemetry: &Telemetry) -> Self {
+        let registry = telemetry.registry();
+        TelemetryObserver {
+            telemetry: telemetry.clone(),
+            energy_base: EnergyBreakdown::default(),
+            accesses: 0,
+            hits: 0,
+            misses: 0,
+            disk_requests: 0,
+            syncs: 0,
+            c_accesses: registry.counter("sim.accesses"),
+            c_hits: registry.counter("sim.hits"),
+            c_misses: registry.counter("sim.misses"),
+            c_disk_requests: registry.counter("sim.disk_requests"),
+            c_syncs: registry.counter("sim.syncs"),
+            c_periods: registry.counter("sim.periods"),
+        }
+    }
+}
+
+impl SimObserver for TelemetryObserver {
+    fn on_event(&mut self, event: &SimEvent, hw: &mut HwState) {
+        match *event {
+            SimEvent::Access { hit, .. } => {
+                self.accesses += 1;
+                self.c_accesses.inc();
+                if hit {
+                    self.hits += 1;
+                    self.c_hits.inc();
+                }
+            }
+            SimEvent::Miss { .. } => {
+                self.misses += 1;
+                self.c_misses.inc();
+            }
+            SimEvent::DiskRequest { .. } => {
+                self.disk_requests += 1;
+                self.c_disk_requests.inc();
+            }
+            SimEvent::Sync { .. } => {
+                self.syncs += 1;
+                self.c_syncs.inc();
+            }
+            SimEvent::WarmupEnd { time } => {
+                self.telemetry
+                    .emit_with(|| ObsEvent::WarmupEnd { sim_time_s: time });
+            }
+            SimEvent::PeriodBoundary { index, start, end } => {
+                self.c_periods.inc();
+                // The hardware is already settled at `end` by
+                // PeriodAccounting, so the snapshot is exact.
+                let energy = hw.snapshot_energy();
+                let energy_j = (energy - self.energy_base).total_j();
+                self.telemetry.emit_with(|| ObsEvent::Period {
+                    index: index as u64,
+                    start_s: start,
+                    end_s: end,
+                    accesses: self.accesses,
+                    hits: self.hits,
+                    misses: self.misses,
+                    disk_requests: self.disk_requests,
+                    syncs: self.syncs,
+                    energy_j,
+                });
+                self.energy_base = energy;
+                self.accesses = 0;
+                self.hits = 0;
+                self.misses = 0;
+                self.disk_requests = 0;
+                self.syncs = 0;
+            }
         }
     }
 }

@@ -3,11 +3,12 @@
 //! [`RunReport`].
 
 use jpmd_disk::SpinDownPolicy;
+use jpmd_obs::{ObsEvent, SpanRecorder, Telemetry};
 use jpmd_trace::{SourceError, Trace, TraceSource};
 
 use crate::{
     EnergyMeter, Engine, FlushDaemon, HwState, LatencyTracker, PeriodAccounting, PeriodController,
-    RunReport, SimConfig, SimObserver, WarmupWindow,
+    RunReport, SimConfig, SimObserver, TelemetryObserver, TimedController, WarmupWindow,
 };
 
 /// Runs one complete system simulation: the trace drives the disk cache,
@@ -79,6 +80,47 @@ pub fn run_simulation_source<S: TraceSource>(
     duration: f64,
     label: &str,
 ) -> Result<RunReport, SourceError> {
+    run_simulation_source_with(
+        config,
+        spindown,
+        controller,
+        source,
+        duration,
+        label,
+        &Telemetry::disabled(),
+    )
+}
+
+/// Like [`run_simulation_source`], with telemetry: run lifecycle, per-period
+/// traffic, and span-timing events are emitted through `telemetry`, and the
+/// engine publishes its end-of-run counters into the handle's metrics
+/// registry.
+///
+/// The instrumentation is overhead-honest: with a disabled handle this *is*
+/// [`run_simulation_source`] (which delegates here), and with any sink the
+/// returned [`RunReport`] is bit-identical to the uninstrumented run — the
+/// telemetry observer only reads hardware state, and span wall-clock fields
+/// are excluded from report equality. Asserted by the `determinism`
+/// integration tests in `jpmd-obs`.
+///
+/// # Errors
+///
+/// Propagates the first [`SourceError`] the source yields.
+///
+/// # Panics
+///
+/// Panics if the source's page size differs from the memory
+/// configuration's, or if `duration` does not exceed the warm-up.
+#[allow(clippy::too_many_arguments)]
+pub fn run_simulation_source_with<S: TraceSource>(
+    config: &SimConfig,
+    spindown: SpinDownPolicy,
+    controller: &mut dyn PeriodController,
+    source: S,
+    duration: f64,
+    label: &str,
+    telemetry: &Telemetry,
+) -> Result<RunReport, SourceError> {
     config.validate();
     assert_eq!(
         source.page_bytes(),
@@ -90,34 +132,56 @@ pub fn run_simulation_source<S: TraceSource>(
         "duration must exceed the warm-up window"
     );
 
+    telemetry.emit_with(|| ObsEvent::RunStart {
+        label: label.to_string(),
+        duration_s: duration,
+    });
+    let spans = SpanRecorder::new();
+
     let mut hw = HwState::new(config, spindown, source.total_pages().max(1));
+    let mut timed = TimedController::new(controller, spans.clone(), telemetry.clone());
     let mut warmup = WarmupWindow::new(config.warmup_secs);
     let mut periods = PeriodAccounting::new(
-        controller,
+        &mut timed,
         config.period_secs,
         config.aggregation_window_secs,
     );
     let mut flush = FlushDaemon::new(config.sync_interval_secs);
     let mut latency = LatencyTracker::new(config.warmup_secs, config.long_latency_secs);
     let mut energy = EnergyMeter::new();
+    let mut observer = TelemetryObserver::new(telemetry);
 
     let engine = {
         // Registration order is load-bearing: same-instant timers fire in
         // this order (warm-up snapshot, then period row, then sync tick).
-        let mut observers: [&mut dyn SimObserver; 5] = [
+        // The telemetry observer goes last — it is purely passive, so its
+        // position only matters in that it must see events after the
+        // components that settle the hardware.
+        let mut observers: Vec<&mut dyn SimObserver> = vec![
             &mut warmup,
             &mut periods,
             &mut flush,
             &mut latency,
             &mut energy,
         ];
-        Engine::new().run_source(source, duration, &mut hw, &mut observers)?
+        if telemetry.is_enabled() {
+            observers.push(&mut observer);
+        }
+        let _replay = spans.time_with("engine.replay", telemetry);
+        Engine::with_metrics(telemetry.registry()).run_source(
+            source,
+            duration,
+            &mut hw,
+            &mut observers,
+        )?
     };
 
     let window = duration - config.warmup_secs;
-    let traffic = energy.finalize(&hw, window);
-    let lat = latency.finalize();
-    Ok(RunReport {
+    let (traffic, lat) = {
+        let _finalize = spans.time_with("report.finalize", telemetry);
+        (energy.finalize(&hw, window), latency.finalize())
+    };
+    let report = RunReport {
         label: label.to_string(),
         duration_secs: window,
         energy: traffic.energy,
@@ -134,7 +198,15 @@ pub fn run_simulation_source<S: TraceSource>(
         spin_downs: traffic.spin_downs,
         periods: periods.into_rows(),
         engine,
-    })
+        spans: spans.snapshot(),
+    };
+    telemetry.emit_with(|| ObsEvent::RunEnd {
+        label: report.label.clone(),
+        periods: report.periods.len() as u64,
+        events: report.engine.events_processed,
+    });
+    telemetry.flush();
+    Ok(report)
 }
 
 #[cfg(test)]
