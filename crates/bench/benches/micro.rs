@@ -113,6 +113,7 @@ fn bench_joint_decision(c: &mut Criterion) {
         disk_requests: 400,
         disk_busy_secs: 50.0,
         idle: IdleIntervals::default().stats(),
+        delayed_page_accesses: 0,
         enabled_banks: scale.total_banks(),
         disk_timeout: 11.7,
         energy_total_j: 0.0,

@@ -1,0 +1,101 @@
+//! Chaos smoke: runs the joint method under the standard fault plan —
+//! corrupted trace records, disk stalls, failed spin-ups, flaky banks,
+//! and a burst of injected policy failures — and verifies the stack
+//! degrades *gracefully*: no panic, typed fallbacks with telemetry, and a
+//! recovery back to the joint policy before the run ends.
+//!
+//! Exits non-zero if the run never degraded, never recovered, did not end
+//! on the joint level, or blew the delayed-request bound. CI greps the
+//! resulting JSONL via `obs_tool summary` for `fallbacks`/`recoveries`.
+//!
+//! Usage: `chaos [OUT.jsonl] [SEED]` (default `results/chaos.jsonl`, seed 1)
+
+use jpmd_core::JointConfig;
+use jpmd_faults::{chaos_trace, run_chaos, ChaosConfig, FallbackLevel, GuardConfig};
+use jpmd_mem::IdlePolicy;
+use jpmd_obs::{JsonlSink, Telemetry};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results/chaos.jsonl".to_string());
+    let seed: u64 = match std::env::args().nth(2) {
+        Some(s) => s.parse()?,
+        None => 1,
+    };
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+
+    let chaos = ChaosConfig::small_test(seed);
+    let trace = chaos_trace(&chaos.scale, chaos.duration_secs, 42);
+    let telemetry = Telemetry::new(Box::new(JsonlSink::create(&out)?));
+    let result = run_chaos(&chaos, trace.source(), &telemetry)?;
+
+    let cfg = JointConfig::from_sim(
+        &chaos
+            .scale
+            .sim_config(IdlePolicy::Nap, chaos.scale.total_banks()),
+    );
+    let delay_bound = GuardConfig::from_joint(&cfg).delay_ratio_limit;
+
+    println!(
+        "chaos: seed {seed}, {} periods, {:.1} kJ, events -> {out}",
+        result.report.periods.len(),
+        result.report.energy.total_j() / 1e3,
+    );
+    println!(
+        "  injected: {} source faults ({} transient), {} hw faults ({:.2} s stalled), {} policy faults",
+        result.source_faults.total(),
+        result.source_faults.transient_errors,
+        result.hw_faults.total(),
+        result.hw_faults.stall_secs_injected,
+        result.injected_policy_faults,
+    );
+    println!(
+        "  guard: {} fallbacks, {} watchdog trips, {} promotions, {} recoveries, final level {}",
+        result.guard.fallbacks,
+        result.guard.watchdog_trips,
+        result.guard.promotions,
+        result.guard.recoveries,
+        result.final_level.as_str(),
+    );
+    println!(
+        "  engine: {} source retries, {} records dropped, {} clamped",
+        result.report.engine.source_retries,
+        result.report.engine.records_dropped,
+        result.report.engine.records_clamped,
+    );
+    println!(
+        "  delayed ratio {:.5} (bound {delay_bound}), utilization {:.5}",
+        result.delayed_ratio(),
+        result.report.utilization,
+    );
+
+    let mut failures = Vec::new();
+    if result.guard.fallbacks + result.guard.watchdog_trips == 0 {
+        failures.push("no degradation occurred (fault injection ineffective)".to_string());
+    }
+    if result.guard.recoveries == 0 {
+        failures.push("guard never recovered to the joint level".to_string());
+    }
+    if result.final_level != FallbackLevel::Joint {
+        failures.push(format!(
+            "run ended degraded (level {})",
+            result.final_level.as_str()
+        ));
+    }
+    if result.delayed_ratio() > delay_bound {
+        failures.push(format!(
+            "delayed ratio {:.5} exceeds bound {delay_bound}",
+            result.delayed_ratio()
+        ));
+    }
+    if !failures.is_empty() {
+        return Err(failures.join("; ").into());
+    }
+    println!("  OK: degraded gracefully and recovered");
+    Ok(())
+}

@@ -1,0 +1,149 @@
+//! Typed errors for the policy decision path.
+//!
+//! Historically a degenerate period — an unfittable idle-interval tail, a
+//! candidate table where nothing satisfies the constraints, a non-finite
+//! power estimate — was handled *silently*: the policy picked the least-bad
+//! action and moved on, and nothing upstream could tell a healthy decision
+//! from a rescued one. [`PolicyError`] names those conditions, and
+//! [`PolicyFailure`] pairs each with the exact action the silent path would
+//! have taken, so callers choose their own stance:
+//!
+//! * [`JointPolicy::on_period_end`](crate::JointPolicy) keeps the legacy
+//!   behavior bit for bit by applying the carried fallback;
+//! * `jpmd-faults`' `DegradationGuard` instead treats the error as a signal
+//!   to retreat down its fallback chain (joint → fixed-timeout power-down →
+//!   always-on).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Why a period decision could not be made cleanly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PolicyError {
+    /// The policy configuration violates its domain (degenerate geometry,
+    /// non-positive period/window, limits outside their ranges).
+    InvalidConfig {
+        /// Which requirement was violated.
+        reason: String,
+    },
+    /// Candidate enumeration produced no sizes to evaluate.
+    EmptyCandidateTable,
+    /// Idle intervals were predicted but no Pareto tail could be fitted at
+    /// any candidate size (non-finite or non-positive mean — aggregation
+    /// artifacts a healthy log cannot produce).
+    UnfittablePareto {
+        /// Number of candidates evaluated.
+        candidates: usize,
+    },
+    /// Every candidate violated the performance constraints (utilization
+    /// limit `U`): the policy cannot pick a compliant operating point.
+    AllInfeasible {
+        /// Number of candidates evaluated.
+        candidates: usize,
+    },
+    /// A power estimate came out non-finite (NaN/∞), poisoning the
+    /// candidate comparison.
+    NonFiniteEnergy {
+        /// The candidate size whose estimate was non-finite.
+        banks: u32,
+    },
+    /// A fault harness injected this failure (`jpmd-faults`).
+    Injected {
+        /// Harness-supplied description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyError::InvalidConfig { reason } => {
+                write!(f, "invalid policy configuration: {reason}")
+            }
+            PolicyError::EmptyCandidateTable => {
+                write!(f, "candidate enumeration produced no sizes")
+            }
+            PolicyError::UnfittablePareto { candidates } => {
+                write!(
+                    f,
+                    "no Pareto tail fittable across {candidates} candidate(s)"
+                )
+            }
+            PolicyError::AllInfeasible { candidates } => {
+                write!(
+                    f,
+                    "all {candidates} candidate(s) violate the performance constraints"
+                )
+            }
+            PolicyError::NonFiniteEnergy { banks } => {
+                write!(f, "non-finite power estimate at {banks} bank(s)")
+            }
+            PolicyError::Injected { reason } => write!(f, "injected policy fault: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
+impl PolicyError {
+    /// A short stable tag for telemetry and summaries.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PolicyError::InvalidConfig { .. } => "invalid_config",
+            PolicyError::EmptyCandidateTable => "empty_candidate_table",
+            PolicyError::UnfittablePareto { .. } => "unfittable_pareto",
+            PolicyError::AllInfeasible { .. } => "all_infeasible",
+            PolicyError::NonFiniteEnergy { .. } => "non_finite_energy",
+            PolicyError::Injected { .. } => "injected",
+        }
+    }
+}
+
+/// A decision failure plus the safe action the legacy silent path would
+/// have taken for the same period.
+///
+/// Carrying the fallback keeps the two stances equivalent in the healthy
+/// direction: `on_period_end` = `try_decide(...).unwrap_or_else(|f|
+/// f.fallback)` is *bit-identical* to the pre-taxonomy behavior, while a
+/// guard that wants to retreat still sees the typed error.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyFailure {
+    /// What went wrong.
+    pub error: PolicyError,
+    /// The least-bad action the legacy path would have applied.
+    pub fallback: jpmd_sim::ControlAction,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_kind_cover_every_variant() {
+        let variants = [
+            PolicyError::InvalidConfig { reason: "x".into() },
+            PolicyError::EmptyCandidateTable,
+            PolicyError::UnfittablePareto { candidates: 3 },
+            PolicyError::AllInfeasible { candidates: 2 },
+            PolicyError::NonFiniteEnergy { banks: 4 },
+            PolicyError::Injected {
+                reason: "chaos".into(),
+            },
+        ];
+        let mut kinds: Vec<&str> = variants.iter().map(PolicyError::kind).collect();
+        for v in &variants {
+            assert!(!v.to_string().is_empty());
+        }
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), variants.len(), "kinds must be distinct");
+    }
+
+    #[test]
+    fn round_trips_through_serde() {
+        let e = PolicyError::AllInfeasible { candidates: 7 };
+        let s = serde_json::to_string(&e).unwrap();
+        assert_eq!(serde_json::from_str::<PolicyError>(&s).unwrap(), e);
+    }
+}

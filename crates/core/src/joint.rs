@@ -5,6 +5,7 @@ use jpmd_mem::{AccessLog, RdramModel};
 use jpmd_sim::{ControlAction, PeriodController, PeriodObservation, SimConfig};
 use jpmd_stats::fit;
 
+use crate::error::{PolicyError, PolicyFailure};
 use crate::predict::{candidate_banks, predict_sizes, SizePrediction};
 use crate::timeout::{disk_static_power, optimal_timeout, perf_constrained_timeout};
 
@@ -198,16 +199,56 @@ impl JointPolicy {
     ///
     /// Panics under the same conditions as [`JointPolicy::new`].
     pub fn with_telemetry(config: JointConfig, telemetry: jpmd_obs::Telemetry) -> Self {
-        assert!(config.bank_pages > 0 && config.total_banks > 0);
-        assert!((1..=config.total_banks).contains(&config.min_banks));
-        assert!(config.period_secs > 0.0 && config.window_secs > 0.0);
-        assert!(config.util_limit > 0.0 && config.delay_ratio_limit > 0.0);
-        Self {
+        match Self::try_with_telemetry(config, telemetry) {
+            Ok(policy) => policy,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible twin of [`JointPolicy::with_telemetry`]: returns
+    /// [`PolicyError::InvalidConfig`] instead of panicking, so embedding
+    /// layers can surface a bad configuration as an error.
+    ///
+    /// # Errors
+    ///
+    /// [`PolicyError::InvalidConfig`] when the geometry is degenerate
+    /// (zero banks/pages, `min_banks` outside `1..=total_banks`) or the
+    /// period, window, or constraint limits are outside their domains.
+    pub fn try_with_telemetry(
+        config: JointConfig,
+        telemetry: jpmd_obs::Telemetry,
+    ) -> Result<Self, PolicyError> {
+        let require = |ok: bool, reason: &str| {
+            if ok {
+                Ok(())
+            } else {
+                Err(PolicyError::InvalidConfig {
+                    reason: reason.to_string(),
+                })
+            }
+        };
+        require(
+            config.bank_pages > 0 && config.total_banks > 0,
+            "bank_pages and total_banks must be positive",
+        )?;
+        require(
+            (1..=config.total_banks).contains(&config.min_banks),
+            "min_banks must lie in 1..=total_banks",
+        )?;
+        require(
+            config.period_secs > 0.0 && config.window_secs > 0.0,
+            "period_secs and window_secs must be positive",
+        )?;
+        require(
+            config.util_limit > 0.0 && config.delay_ratio_limit > 0.0,
+            "util_limit and delay_ratio_limit must be positive",
+        )?;
+        Ok(Self {
             config,
             last_evaluations: Vec::new(),
             telemetry,
             period: 0,
-        }
+        })
     }
 
     /// The configuration in force.
@@ -306,10 +347,34 @@ impl JointPolicy {
             pareto_beta,
         }
     }
-}
 
-impl PeriodController for JointPolicy {
-    fn on_period_end(&mut self, obs: &PeriodObservation, log: &AccessLog) -> ControlAction {
+    /// The period decision with its failure modes surfaced.
+    ///
+    /// Runs the identical control loop as
+    /// [`on_period_end`](PeriodController::on_period_end) — candidate
+    /// enumeration, per-size prediction, Pareto fit, timeout choice, power
+    /// comparison, telemetry emission — but reports degenerate periods as
+    /// a typed [`PolicyFailure`] instead of silently rescuing them. The
+    /// failure carries the exact action the silent path would have taken,
+    /// so `try_decide(...).unwrap_or_else(|f| f.fallback)` is bit-identical
+    /// to `on_period_end` (which is implemented exactly that way), while a
+    /// degradation guard can use the error to retreat to a simpler method.
+    ///
+    /// # Errors
+    ///
+    /// * [`PolicyError::EmptyCandidateTable`] — enumeration produced no
+    ///   sizes to evaluate.
+    /// * [`PolicyError::NonFiniteEnergy`] — a candidate's power estimate
+    ///   came out NaN/∞, poisoning the comparison.
+    /// * [`PolicyError::UnfittablePareto`] — idle intervals were predicted
+    ///   but no candidate's tail could be fitted.
+    /// * [`PolicyError::AllInfeasible`] — every candidate violates the
+    ///   performance constraints.
+    pub fn try_decide(
+        &mut self,
+        obs: &PeriodObservation,
+        log: &AccessLog,
+    ) -> Result<ControlAction, PolicyFailure> {
         let cfg = self.config;
         let period = self.period;
         self.period += 1;
@@ -330,10 +395,10 @@ impl PeriodController for JointPolicy {
                     candidates: Vec::new(),
                     all_infeasible: false,
                 });
-            return ControlAction {
+            return Ok(ControlAction {
                 enabled_banks: None,
                 disk_timeout: Some(timeout),
-            };
+            });
         }
 
         // Candidate sizes where the disk I/O changes, at bank granularity.
@@ -409,13 +474,49 @@ impl PeriodController for JointPolicy {
             }
         });
 
-        match best {
+        let action = match best {
             Some(choice) => ControlAction {
                 enabled_banks: Some(choice.banks),
                 disk_timeout: Some(choice.timeout_secs),
             },
             None => ControlAction::default(),
+        };
+
+        // Classify degenerate periods, carrying `action` so the silent
+        // path (`on_period_end`) stays bit-identical to the pre-taxonomy
+        // behavior.
+        let fail = |error: PolicyError| PolicyFailure {
+            error,
+            fallback: action,
+        };
+        let evals = &self.last_evaluations;
+        if evals.is_empty() {
+            return Err(fail(PolicyError::EmptyCandidateTable));
         }
+        if let Some(bad) = evals.iter().find(|e| !e.total_power_w().is_finite()) {
+            return Err(fail(PolicyError::NonFiniteEnergy { banks: bad.banks }));
+        }
+        let needs_fit = evals
+            .iter()
+            .any(|e| e.disk_accesses > 0 && e.idle_count > 0);
+        if needs_fit && !evals.iter().any(|e| e.pareto_alpha > 0.0) {
+            return Err(fail(PolicyError::UnfittablePareto {
+                candidates: evals.len(),
+            }));
+        }
+        if evals.iter().all(|e| !e.feasible) {
+            return Err(fail(PolicyError::AllInfeasible {
+                candidates: evals.len(),
+            }));
+        }
+        Ok(action)
+    }
+}
+
+impl PeriodController for JointPolicy {
+    fn on_period_end(&mut self, obs: &PeriodObservation, log: &AccessLog) -> ControlAction {
+        self.try_decide(obs, log)
+            .unwrap_or_else(|failure| failure.fallback)
     }
 
     fn name(&self) -> &str {
@@ -456,6 +557,7 @@ mod tests {
                 max: 0.0,
                 total: 0.0,
             },
+            delayed_page_accesses: 0,
             enabled_banks: banks,
             disk_timeout: f64::INFINITY,
             energy_total_j: 0.0,
@@ -600,5 +702,76 @@ mod tests {
         if let Some(to) = action.disk_timeout {
             assert!(to >= policy.config().window_secs);
         }
+    }
+
+    #[test]
+    fn try_with_telemetry_rejects_degenerate_configs() {
+        let telemetry = jpmd_obs::Telemetry::disabled;
+        let mut bad = config(8);
+        bad.min_banks = 9;
+        let err = JointPolicy::try_with_telemetry(bad, telemetry()).unwrap_err();
+        assert!(matches!(err, crate::PolicyError::InvalidConfig { .. }));
+
+        let mut bad = config(8);
+        bad.period_secs = f64::NAN;
+        assert!(JointPolicy::try_with_telemetry(bad, telemetry()).is_err());
+
+        let mut bad = config(8);
+        bad.util_limit = 0.0;
+        assert!(JointPolicy::try_with_telemetry(bad, telemetry()).is_err());
+
+        assert!(JointPolicy::try_with_telemetry(config(8), telemetry()).is_ok());
+    }
+
+    #[test]
+    fn try_decide_matches_on_period_end_bit_for_bit() {
+        // The two stances must agree on every period: healthy logs via the
+        // Ok action, degenerate ones via the carried fallback.
+        let logs = [AccessLog::new(), cyclic_log(8, 2000, 0.3), {
+            let mut profiler = StackProfiler::new();
+            let mut log = AccessLog::new();
+            for i in 0..200_000u64 {
+                log.record(i as f64 * 1e-3, i, profiler.observe(i));
+            }
+            log
+        }];
+        for log in &logs {
+            let mut silent = JointPolicy::new(config(4));
+            let mut typed = JointPolicy::new(config(4));
+            let expected = silent.on_period_end(&observation(4), log);
+            let got = typed
+                .try_decide(&observation(4), log)
+                .unwrap_or_else(|f| f.fallback);
+            assert_eq!(expected, got);
+        }
+    }
+
+    #[test]
+    fn try_decide_reports_all_infeasible_with_fallback() {
+        // The saturating workload from infeasible_everywhere_* now also
+        // surfaces a typed error alongside the identical fallback action.
+        let mut profiler = StackProfiler::new();
+        let mut log = AccessLog::new();
+        for i in 0..200_000u64 {
+            log.record(i as f64 * 1e-3, i, profiler.observe(i));
+        }
+        let mut policy = JointPolicy::new(config(4));
+        let failure = policy.try_decide(&observation(4), &log).unwrap_err();
+        assert!(matches!(
+            failure.error,
+            crate::PolicyError::AllInfeasible { candidates } if candidates > 0
+        ));
+        assert_eq!(failure.fallback.enabled_banks, Some(1));
+        assert_eq!(failure.error.kind(), "all_infeasible");
+    }
+
+    #[test]
+    fn try_decide_accepts_healthy_periods() {
+        let log = cyclic_log(8, 2000, 0.3);
+        let mut policy = JointPolicy::new(config(16));
+        let action = policy
+            .try_decide(&observation(16), &log)
+            .expect("healthy period must decide cleanly");
+        assert!(action.enabled_banks.is_some());
     }
 }

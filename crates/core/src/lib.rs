@@ -64,6 +64,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod error;
 mod joint;
 pub mod methods;
 mod multidisk;
@@ -71,6 +72,7 @@ pub mod predict;
 mod scale;
 pub mod timeout;
 
+pub use error::{PolicyError, PolicyFailure};
 pub use joint::{CandidateEvaluation, JointConfig, JointPolicy};
 pub use methods::{DiskPolicyKind, MethodSpec};
 pub use multidisk::{ArrayCandidate, ArrayJointPolicy};

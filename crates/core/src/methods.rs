@@ -275,7 +275,8 @@ pub fn run_method_source_with<S: TraceSource>(
         Some(joint_cfg) => {
             let mut cfg = *joint_cfg;
             cfg.period_secs = period_secs;
-            let mut controller = JointPolicy::with_telemetry(cfg, telemetry.clone());
+            let mut controller = JointPolicy::try_with_telemetry(cfg, telemetry.clone())
+                .map_err(SourceError::new)?;
             run_simulation_source_with(
                 &sim,
                 spec.spindown.clone(),

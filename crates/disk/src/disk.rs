@@ -241,6 +241,28 @@ impl Disk {
         }
     }
 
+    /// Extends the in-flight work by `secs` of extra busy time, as if the
+    /// last request's service took longer than the model predicted (a bad
+    /// sector retry, a recalibration, an injected fault).
+    ///
+    /// The extra time is charged as active service: it pushes `busy_until`
+    /// (delaying queued work and the idle clock that drives spin-down) and
+    /// counts toward [`busy_secs`](Self::busy_secs), so energy and
+    /// utilization accounting see it like any other service time. Call it
+    /// right after [`submit`](Self::submit) to inflate that request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or non-finite.
+    pub fn stall(&mut self, secs: f64) {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "stall must be a finite, non-negative duration (got {secs})"
+        );
+        self.busy_until += secs;
+        self.busy_secs += secs;
+    }
+
     /// Settles energy accounting up to `now` (end of period / simulation).
     pub fn settle(&mut self, now: f64) {
         self.accrue(now);
@@ -414,6 +436,30 @@ mod tests {
         d.submit(10.0, 0, 1, 4096);
         d.settle(20.0);
         d.submit(5.0, 0, 1, 4096);
+    }
+
+    #[test]
+    fn stall_charges_active_time_and_delays_the_idle_clock() {
+        let mut plain = disk();
+        plain.set_timeout(10.0);
+        let out = plain.submit(0.0, 0, 1, 1 << 20);
+
+        let mut stalled = disk();
+        stalled.set_timeout(10.0);
+        stalled.submit(0.0, 0, 1, 1 << 20);
+        stalled.stall(3.0);
+
+        assert!((stalled.busy_secs() - (plain.busy_secs() + 3.0)).abs() < 1e-12);
+        // Settle both just past the plain disk's spin-down point: the
+        // stalled disk's timeout clock started 3 s later, so it is still On.
+        let probe = out.completion + 10.0 + 1.0;
+        plain.settle(probe);
+        stalled.settle(probe);
+        assert_eq!(plain.mode(), DiskMode::Standby);
+        assert_eq!(stalled.mode(), DiskMode::On);
+        // The stall seconds are charged at active power.
+        let extra = stalled.energy().active_j - plain.energy().active_j;
+        assert!((extra - 12.5 * 3.0).abs() < 1e-9, "extra = {extra}");
     }
 
     #[test]

@@ -1,0 +1,389 @@
+//! The chaos harness: one call that wires every fault wrapper of a
+//! [`FaultPlan`] around the standard simulation pipeline and reports what
+//! was injected, what degraded, and what recovered.
+//!
+//! [`run_instrumented`] is the injector-aware twin of
+//! [`jpmd_sim::run_simulation_source_with`]: identical wiring, plus an
+//! optional [`FaultInjector`] installed into the hardware. With `None` it
+//! produces bit-identical reports (asserted by the `noop` integration
+//! tests). [`run_chaos`] builds the full stack — faulty source, faulty
+//! hardware, faulty policy under a [`DegradationGuard`] — from a plan and
+//! a scale, runs it, and returns a [`ChaosReport`].
+
+use jpmd_core::{JointConfig, JointPolicy, SimScale};
+use jpmd_disk::SpinDownPolicy;
+use jpmd_mem::IdlePolicy;
+use jpmd_obs::{ObsEvent, SpanRecorder, Telemetry};
+use jpmd_sim::{
+    EnergyMeter, Engine, FaultInjector, FlushDaemon, HwState, LatencyTracker, PeriodAccounting,
+    PeriodController, RunReport, SimConfig, SimObserver, TelemetryObserver, TimedController,
+    WarmupWindow,
+};
+use jpmd_trace::{SourceError, Trace, TraceSource, WorkloadBuilder, GIB, MIB};
+
+use crate::guard::{DegradationGuard, FallbackLevel, FaultyPolicy, GuardConfig, GuardStats};
+use crate::inject::{HwFaultCounts, HwFaults};
+use crate::plan::FaultPlan;
+use crate::rng::FaultRng;
+use crate::source::{FaultyTraceSource, SourceFaultCounts};
+
+/// Stream tags for [`FaultRng::fork`]: each wrapper draws from its own
+/// stream so fault classes never perturb each other's sequences.
+const SOURCE_STREAM: u64 = 0;
+const HW_STREAM: u64 = 1;
+const POLICY_STREAM: u64 = 2;
+
+/// Like [`jpmd_sim::run_simulation_source_with`], with an optional
+/// [`FaultInjector`] installed into the hardware before replay. The wiring
+/// is otherwise identical — observer stack, span timing, telemetry
+/// lifecycle, report assembly — so with `injector: None` the report is
+/// bit-identical to the uninstrumented entry point.
+///
+/// # Errors
+///
+/// Propagates the first non-transient [`SourceError`] the source yields.
+///
+/// # Panics
+///
+/// Panics if the source's page size differs from the memory
+/// configuration's, or if `duration` does not exceed the warm-up.
+#[allow(clippy::too_many_arguments)] // mirrors run_simulation_source_with + injector
+pub fn run_instrumented<S: TraceSource>(
+    config: &SimConfig,
+    spindown: SpinDownPolicy,
+    controller: &mut dyn PeriodController,
+    source: S,
+    duration: f64,
+    label: &str,
+    telemetry: &Telemetry,
+    injector: Option<Box<dyn FaultInjector>>,
+) -> Result<RunReport, SourceError> {
+    config.validate();
+    assert_eq!(
+        source.page_bytes(),
+        config.mem.page_bytes,
+        "trace and memory must agree on the page size"
+    );
+    assert!(
+        duration > config.warmup_secs,
+        "duration must exceed the warm-up window"
+    );
+
+    telemetry.emit_with(|| ObsEvent::RunStart {
+        label: label.to_string(),
+        duration_s: duration,
+    });
+    let spans = SpanRecorder::new();
+
+    let mut hw = HwState::new(config, spindown, source.total_pages().max(1));
+    if let Some(injector) = injector {
+        hw.set_fault_injector(injector);
+    }
+    let mut timed = TimedController::new(controller, spans.clone(), telemetry.clone());
+    let mut warmup = WarmupWindow::new(config.warmup_secs);
+    let mut periods = PeriodAccounting::new(
+        &mut timed,
+        config.period_secs,
+        config.aggregation_window_secs,
+        config.long_latency_secs,
+    );
+    let mut flush = FlushDaemon::new(config.sync_interval_secs);
+    let mut latency = LatencyTracker::new(config.warmup_secs, config.long_latency_secs);
+    let mut energy = EnergyMeter::new();
+    let mut observer = TelemetryObserver::new(telemetry);
+
+    let engine = {
+        let mut observers: Vec<&mut dyn SimObserver> = vec![
+            &mut warmup,
+            &mut periods,
+            &mut flush,
+            &mut latency,
+            &mut energy,
+        ];
+        if telemetry.is_enabled() {
+            observers.push(&mut observer);
+        }
+        let _replay = spans.time_with("engine.replay", telemetry);
+        Engine::with_metrics(telemetry.registry()).run_source(
+            source,
+            duration,
+            &mut hw,
+            &mut observers,
+        )?
+    };
+
+    let window = duration - config.warmup_secs;
+    let (traffic, lat) = {
+        let _finalize = spans.time_with("report.finalize", telemetry);
+        (energy.finalize(&hw, window), latency.finalize())
+    };
+    let report = RunReport {
+        label: label.to_string(),
+        duration_secs: window,
+        energy: traffic.energy,
+        cache_accesses: traffic.cache_accesses,
+        hits: traffic.hits,
+        disk_page_accesses: traffic.disk_page_accesses,
+        disk_requests: traffic.disk_requests,
+        mean_latency_secs: lat.mean_latency_secs,
+        request_latency_p50_secs: lat.request_latency_p50_secs,
+        request_latency_p99_secs: lat.request_latency_p99_secs,
+        max_latency_secs: lat.max_latency_secs,
+        long_latency_count: lat.long_latency_count,
+        utilization: traffic.utilization,
+        spin_downs: traffic.spin_downs,
+        periods: periods.into_rows(),
+        engine,
+        spans: spans.snapshot(),
+    };
+    telemetry.emit_with(|| ObsEvent::RunEnd {
+        label: report.label.clone(),
+        periods: report.periods.len() as u64,
+        events: report.engine.events_processed,
+    });
+    telemetry.flush();
+    Ok(report)
+}
+
+/// A complete chaos-run recipe: what to inject and at what scale/cadence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    /// What to inject.
+    pub plan: FaultPlan,
+    /// Hardware scale.
+    pub scale: SimScale,
+    /// Warm-up excluded from the measured window, s.
+    pub warmup_secs: f64,
+    /// Total simulated time, s.
+    pub duration_secs: f64,
+    /// Control period, s.
+    pub period_secs: f64,
+}
+
+impl ChaosConfig {
+    /// The standard smoke recipe used by the `chaos` bench binary and CI:
+    /// the [`FaultPlan::chaos`] mix at the small test scale, long enough
+    /// (12 control periods) for the guard to degrade under the injected
+    /// policy-failure burst, back off, and climb back to the joint level.
+    pub fn small_test(seed: u64) -> Self {
+        ChaosConfig {
+            plan: FaultPlan::chaos(seed),
+            scale: SimScale::small_test(),
+            warmup_secs: 600.0,
+            duration_secs: 3600.0,
+            period_secs: 300.0,
+        }
+    }
+}
+
+/// What a chaos run did: the ordinary report plus the injection and
+/// degradation ledgers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosReport {
+    /// The simulation report (same shape as any other run's).
+    pub report: RunReport,
+    /// What the [`DegradationGuard`] did.
+    pub guard: GuardStats,
+    /// The guard's level when the run ended.
+    pub final_level: FallbackLevel,
+    /// Trace-layer faults injected.
+    pub source_faults: SourceFaultCounts,
+    /// Hardware faults injected.
+    pub hw_faults: HwFaultCounts,
+    /// Policy decisions failed by injection.
+    pub injected_policy_faults: u64,
+}
+
+impl ChaosReport {
+    /// The fraction of measured accesses delayed beyond the long-latency
+    /// threshold — the paper's delayed-request metric, which a chaos run
+    /// must keep within the configured bound even while faults land.
+    pub fn delayed_ratio(&self) -> f64 {
+        if self.report.cache_accesses == 0 {
+            0.0
+        } else {
+            self.report.long_latency_count as f64 / self.report.cache_accesses as f64
+        }
+    }
+}
+
+/// Runs the joint method under the full fault stack of `chaos.plan`:
+/// the trace source wrapped in a [`FaultyTraceSource`], the hardware
+/// carrying [`HwFaults`], and the joint policy wrapped in a
+/// [`FaultyPolicy`] under a [`DegradationGuard`].
+///
+/// All wrappers fork independent RNG streams from the plan's seed, so the
+/// same plan over the same trace replays the same faults — and with
+/// telemetry attached, the same normalized event stream.
+///
+/// # Errors
+///
+/// Propagates a [`SourceError`] if the joint configuration is invalid or
+/// the source fails non-transiently.
+///
+/// # Panics
+///
+/// Panics if the source's page size differs from the scale's, or if the
+/// duration does not exceed the warm-up.
+pub fn run_chaos<S: TraceSource>(
+    chaos: &ChaosConfig,
+    source: S,
+    telemetry: &Telemetry,
+) -> Result<ChaosReport, SourceError> {
+    let plan = chaos.plan;
+    let mut sim = chaos
+        .scale
+        .sim_config(IdlePolicy::Nap, chaos.scale.total_banks());
+    sim.warmup_secs = chaos.warmup_secs;
+    sim.period_secs = chaos.period_secs;
+
+    let mut cfg = JointConfig::from_sim(&sim);
+    cfg.period_secs = chaos.period_secs;
+    let joint =
+        JointPolicy::try_with_telemetry(cfg, telemetry.clone()).map_err(SourceError::new)?;
+    let faulty = FaultyPolicy::new(joint, plan.policy, FaultRng::fork(plan.seed, POLICY_STREAM));
+    let mut guard = DegradationGuard::new(faulty, GuardConfig::from_joint(&cfg), telemetry.clone());
+
+    let mut faulty_source = FaultyTraceSource::new(
+        source,
+        plan.source,
+        FaultRng::fork(plan.seed, SOURCE_STREAM),
+    );
+
+    let (hw_faults, hw_counts) =
+        HwFaults::new(plan.disk, plan.banks, FaultRng::fork(plan.seed, HW_STREAM));
+    let injector: Option<Box<dyn FaultInjector>> = if plan.disk.is_noop() && plan.banks.is_noop() {
+        None
+    } else {
+        Some(Box::new(hw_faults))
+    };
+
+    let report = run_instrumented(
+        &sim,
+        SpinDownPolicy::controlled(f64::INFINITY),
+        &mut guard,
+        &mut faulty_source,
+        chaos.duration_secs,
+        "Chaos-Joint",
+        telemetry,
+        injector,
+    )?;
+
+    let hw_faults = *hw_counts.borrow();
+    Ok(ChaosReport {
+        report,
+        guard: *guard.stats(),
+        final_level: guard.level(),
+        source_faults: *faulty_source.counts(),
+        hw_faults,
+        injected_policy_faults: guard.inner().injected(),
+    })
+}
+
+/// The standard chaos workload: the same synthetic stream the
+/// observability determinism tests replay (data set half the installed
+/// memory at the small scale, modest arrival rate), sized to `duration`.
+///
+/// # Panics
+///
+/// Panics if the workload parameters are rejected by the builder
+/// (impossible for the fixed values used here).
+pub fn chaos_trace(scale: &SimScale, duration_secs: f64, seed: u64) -> Trace {
+    WorkloadBuilder::new()
+        .data_set_bytes(GIB / 2)
+        .rate_bytes_per_sec(4 * MIB)
+        .page_bytes(scale.page_bytes)
+        .duration_secs(duration_secs)
+        .seed(seed)
+        .build()
+        .expect("fixed chaos workload parameters are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_run_degrades_recovers_and_honors_the_delay_bound() {
+        let chaos = ChaosConfig::small_test(1);
+        let trace = chaos_trace(&chaos.scale, chaos.duration_secs, 42);
+        let sink = jpmd_obs::MemorySink::new();
+        let telemetry = Telemetry::new(Box::new(sink.clone()));
+        let out = run_chaos(&chaos, trace.source(), &telemetry).expect("chaos run completes");
+
+        // The injected policy-failure burst forced at least one retreat…
+        assert!(out.guard.fallbacks >= 1, "guard: {:?}", out.guard);
+        assert!(out.injected_policy_faults >= 1);
+        // …and the run climbed back to the joint policy before ending.
+        assert!(out.guard.recoveries >= 1, "guard: {:?}", out.guard);
+        assert_eq!(out.final_level, FallbackLevel::Joint);
+
+        // The other seams injected too.
+        assert!(out.source_faults.total() > 0, "{:?}", out.source_faults);
+        assert!(out.hw_faults.total() > 0, "{:?}", out.hw_faults);
+        // Retried transient reads lose no records: every trace access is
+        // accounted for in the engine's counters.
+        assert!(out.report.engine.source_retries >= out.source_faults.transient_errors);
+
+        // Graceful degradation is not allowed to blow the delayed-request
+        // bound the watchdog enforces.
+        let cfg = JointConfig::from_sim(
+            &chaos
+                .scale
+                .sim_config(IdlePolicy::Nap, chaos.scale.total_banks()),
+        );
+        let bound = GuardConfig::from_joint(&cfg).delay_ratio_limit;
+        assert!(
+            out.delayed_ratio() <= bound,
+            "delayed ratio {} exceeds bound {bound}",
+            out.delayed_ratio(),
+        );
+
+        // Every transition was narrated through telemetry.
+        let degradations = sink
+            .records()
+            .iter()
+            .filter(|r| matches!(r.event, ObsEvent::Degradation { .. }))
+            .count() as u64;
+        assert_eq!(
+            degradations,
+            out.guard.fallbacks + out.guard.watchdog_trips + out.guard.promotions
+        );
+    }
+
+    #[test]
+    fn chaos_runs_are_deterministic_per_plan() {
+        let chaos = ChaosConfig::small_test(7);
+        let run = || {
+            let trace = chaos_trace(&chaos.scale, chaos.duration_secs, 42);
+            run_chaos(&chaos, trace.source(), &Telemetry::disabled()).expect("chaos run")
+        };
+        assert_eq!(run(), run());
+
+        let other = ChaosConfig::small_test(8);
+        let trace = chaos_trace(&other.scale, other.duration_secs, 42);
+        let b = run_chaos(&other, trace.source(), &Telemetry::disabled()).expect("chaos run");
+        assert_ne!(
+            run().hw_faults,
+            b.hw_faults,
+            "different seeds must inject differently"
+        );
+    }
+
+    #[test]
+    fn disabled_plan_injects_nothing() {
+        let chaos = ChaosConfig {
+            plan: FaultPlan::disabled(),
+            duration_secs: 1800.0,
+            warmup_secs: 300.0,
+            ..ChaosConfig::small_test(0)
+        };
+        let trace = chaos_trace(&chaos.scale, chaos.duration_secs, 42);
+        let out = run_chaos(&chaos, trace.source(), &Telemetry::disabled()).expect("chaos run");
+        assert_eq!(out.source_faults.total(), 0);
+        assert_eq!(out.hw_faults, HwFaultCounts::default());
+        assert_eq!(out.injected_policy_faults, 0);
+        assert_eq!(out.guard.fallbacks + out.guard.watchdog_trips, 0);
+        assert_eq!(out.final_level, FallbackLevel::Joint);
+    }
+}

@@ -1,0 +1,217 @@
+//! [`HwFaults`]: the [`FaultInjector`] implementation driving the disk and
+//! memory-bank faults of a [`FaultPlan`](crate::FaultPlan).
+//!
+//! The injector is installed into the simulated hardware with
+//! [`HwState::set_fault_injector`](jpmd_sim::HwState) and consulted at the
+//! existing seams — after each disk request (extra stall seconds) and
+//! before each bank resize (flaky banks refusing the power transition).
+//! Injected stalls are charged as active disk time by the hardware, so
+//! energy and utilization accounting see the faults too.
+//!
+//! The injector moves into the [`HwState`](jpmd_sim::HwState) as a boxed
+//! trait object, so its counters are shared out through an
+//! `Rc<RefCell<...>>` handle returned by [`HwFaults::new`].
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use jpmd_disk::RequestOutcome;
+use jpmd_sim::FaultInjector;
+
+use crate::plan::{BankFaults, DiskFaults};
+use crate::rng::FaultRng;
+
+/// How many hardware faults a run injected.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HwFaultCounts {
+    /// Disk requests whose service time was inflated.
+    pub service_stalls: u64,
+    /// Spin-ups that failed on first attempt and retried.
+    pub spinup_failures: u64,
+    /// Total stall seconds injected into the disk.
+    pub stall_secs_injected: f64,
+    /// Bank resizes refused (the previous count was kept).
+    pub bank_refusals: u64,
+}
+
+impl HwFaultCounts {
+    /// Total hardware faults injected across all classes.
+    pub fn total(&self) -> u64 {
+        self.service_stalls + self.spinup_failures + self.bank_refusals
+    }
+}
+
+/// A seeded [`FaultInjector`] for the disk and memory-bank seams.
+pub struct HwFaults {
+    disk: DiskFaults,
+    banks: BankFaults,
+    rng: FaultRng,
+    last_granted: Option<u32>,
+    counts: Rc<RefCell<HwFaultCounts>>,
+}
+
+impl HwFaults {
+    /// Builds the injector and the shared counter handle that stays
+    /// readable after the injector moves into the hardware.
+    pub fn new(
+        disk: DiskFaults,
+        banks: BankFaults,
+        rng: FaultRng,
+    ) -> (Self, Rc<RefCell<HwFaultCounts>>) {
+        let counts = Rc::new(RefCell::new(HwFaultCounts::default()));
+        (
+            HwFaults {
+                disk,
+                banks,
+                rng,
+                last_granted: None,
+                counts: Rc::clone(&counts),
+            },
+            counts,
+        )
+    }
+}
+
+impl FaultInjector for HwFaults {
+    fn on_disk_request(&mut self, _at: f64, outcome: &RequestOutcome) -> f64 {
+        let mut extra = 0.0;
+        if outcome.woke_disk
+            && self.disk.spinup_retry_secs > 0.0
+            && self.rng.chance(self.disk.spinup_fail_prob)
+        {
+            extra += self.disk.spinup_retry_secs;
+            self.counts.borrow_mut().spinup_failures += 1;
+        }
+        if self.disk.stall_secs > 0.0 && self.rng.chance(self.disk.stall_prob) {
+            extra += self.disk.stall_secs;
+            self.counts.borrow_mut().service_stalls += 1;
+        }
+        if extra > 0.0 {
+            self.counts.borrow_mut().stall_secs_injected += extra;
+        }
+        extra
+    }
+
+    fn filter_banks(&mut self, requested: u32) -> u32 {
+        if self.rng.chance(self.banks.refuse_resize_prob) {
+            // Flaky banks: the transition is refused and the previously
+            // granted count stays in force. The very first resize has
+            // nothing to fall back to and always succeeds.
+            if let Some(last) = self.last_granted {
+                if last != requested {
+                    self.counts.borrow_mut().bank_refusals += 1;
+                }
+                return last;
+            }
+        }
+        self.last_granted = Some(requested);
+        requested
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(woke: bool) -> RequestOutcome {
+        RequestOutcome {
+            completion: 1.0,
+            latency: 0.1,
+            woke_disk: woke,
+            idle_before: 0.0,
+        }
+    }
+
+    #[test]
+    fn noop_faults_inject_nothing() {
+        let (mut inj, counts) = HwFaults::new(
+            DiskFaults::default(),
+            BankFaults::default(),
+            FaultRng::new(1),
+        );
+        for i in 0..100 {
+            assert_eq!(inj.on_disk_request(i as f64, &outcome(i % 3 == 0)), 0.0);
+            assert_eq!(inj.filter_banks(1 + i % 4), 1 + i % 4);
+            assert_eq!(inj.filter_timeout(5.0), 5.0);
+        }
+        assert_eq!(*counts.borrow(), HwFaultCounts::default());
+    }
+
+    #[test]
+    fn stalls_fire_only_on_their_trigger() {
+        let disk = DiskFaults {
+            stall_prob: 0.0,
+            stall_secs: 1.0,
+            spinup_fail_prob: 1.0,
+            spinup_retry_secs: 2.5,
+        };
+        let (mut inj, counts) = HwFaults::new(disk, BankFaults::default(), FaultRng::new(2));
+        // A request that did not wake the disk cannot hit a spin-up fault.
+        assert_eq!(inj.on_disk_request(0.0, &outcome(false)), 0.0);
+        assert_eq!(inj.on_disk_request(1.0, &outcome(true)), 2.5);
+        let c = *counts.borrow();
+        assert_eq!(c.spinup_failures, 1);
+        assert_eq!(c.service_stalls, 0);
+        assert!((c.stall_secs_injected - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn service_stalls_accumulate() {
+        let disk = DiskFaults {
+            stall_prob: 1.0,
+            stall_secs: 0.25,
+            spinup_fail_prob: 0.0,
+            spinup_retry_secs: 0.0,
+        };
+        let (mut inj, counts) = HwFaults::new(disk, BankFaults::default(), FaultRng::new(3));
+        for i in 0..8 {
+            assert_eq!(inj.on_disk_request(i as f64, &outcome(false)), 0.25);
+        }
+        assert_eq!(counts.borrow().service_stalls, 8);
+        assert!((counts.borrow().stall_secs_injected - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flaky_banks_keep_the_last_granted_count() {
+        let banks = BankFaults {
+            refuse_resize_prob: 1.0,
+        };
+        let (mut inj, counts) = HwFaults::new(DiskFaults::default(), banks, FaultRng::new(4));
+        // First resize always succeeds (nothing to fall back to).
+        assert_eq!(inj.filter_banks(8), 8);
+        // Every later resize is refused and returns the granted count.
+        assert_eq!(inj.filter_banks(2), 8);
+        assert_eq!(inj.filter_banks(5), 8);
+        // A refused "resize" to the same count is not a refusal.
+        assert_eq!(inj.filter_banks(8), 8);
+        assert_eq!(counts.borrow().bank_refusals, 2);
+    }
+
+    #[test]
+    fn injections_are_deterministic_per_seed() {
+        let disk = DiskFaults {
+            stall_prob: 0.5,
+            stall_secs: 0.1,
+            spinup_fail_prob: 0.5,
+            spinup_retry_secs: 1.0,
+        };
+        let banks = BankFaults {
+            refuse_resize_prob: 0.5,
+        };
+        let run = |seed| {
+            let (mut inj, counts) = HwFaults::new(disk, banks, FaultRng::new(seed));
+            let mut stalls = Vec::new();
+            for i in 0..200u32 {
+                stalls.push(
+                    inj.on_disk_request(i as f64, &outcome(i % 2 == 0))
+                        .to_bits(),
+                );
+                stalls.push(u64::from(inj.filter_banks(1 + i % 6)));
+            }
+            let c = *counts.borrow();
+            (stalls, c.total())
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+}

@@ -1,0 +1,221 @@
+//! The [`FaultPlan`]: one serializable value that fully determines a
+//! chaos run's injected faults.
+//!
+//! A plan pairs a seed with per-seam probability knobs. Equal plans drive
+//! equal fault sequences against the same simulation — the property the
+//! chaos determinism tests assert byte for byte — and a plan with every
+//! knob at zero injects nothing at all, leaving the run bit-identical to
+//! an unwrapped one (asserted by the `noop` integration tests).
+
+use serde::{Deserialize, Serialize};
+
+/// Faults injected at the trace-source seam
+/// ([`FaultyTraceSource`](crate::FaultyTraceSource)).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SourceFaults {
+    /// Per-record probability of a transient read failure. The record is
+    /// not lost: the wrapper holds it and hands it out when the engine
+    /// retries the pull.
+    pub transient_error_prob: f64,
+    /// Per-record probability (records spanning > 1 page) of a short
+    /// read: the record's page run is truncated to a random prefix.
+    pub short_read_prob: f64,
+    /// Per-record probability of an out-of-order timestamp (the engine
+    /// clamps these forward to restore arrival order).
+    pub out_of_order_prob: f64,
+    /// Per-record probability of a non-finite timestamp (the engine
+    /// drops these records).
+    pub non_finite_prob: f64,
+}
+
+impl SourceFaults {
+    /// Whether every knob is zero (the wrapper is a pure pass-through).
+    pub fn is_noop(&self) -> bool {
+        self.transient_error_prob <= 0.0
+            && self.short_read_prob <= 0.0
+            && self.out_of_order_prob <= 0.0
+            && self.non_finite_prob <= 0.0
+    }
+}
+
+/// Faults injected at the disk seam ([`HwFaults`](crate::HwFaults)).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct DiskFaults {
+    /// Per-request probability of an inflated service time (a bad-sector
+    /// retry or a transient I/O error absorbed by the drive).
+    pub stall_prob: f64,
+    /// Seconds each service stall adds.
+    pub stall_secs: f64,
+    /// Probability that a spin-up fails on first attempt and the drive
+    /// retries (applies only to requests that woke the disk).
+    pub spinup_fail_prob: f64,
+    /// Seconds a failed spin-up attempt costs before the retry succeeds.
+    pub spinup_retry_secs: f64,
+}
+
+impl DiskFaults {
+    /// Whether this fault class can never fire.
+    pub fn is_noop(&self) -> bool {
+        (self.stall_prob <= 0.0 || self.stall_secs <= 0.0)
+            && (self.spinup_fail_prob <= 0.0 || self.spinup_retry_secs <= 0.0)
+    }
+}
+
+/// Faults injected at the memory-bank seam ([`HwFaults`](crate::HwFaults)).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct BankFaults {
+    /// Per-resize probability that the banks refuse the power transition
+    /// and stay at the previously granted count.
+    pub refuse_resize_prob: f64,
+}
+
+impl BankFaults {
+    /// Whether this fault class can never fire.
+    pub fn is_noop(&self) -> bool {
+        self.refuse_resize_prob <= 0.0
+    }
+}
+
+/// Faults injected at the policy seam ([`FaultyPolicy`](crate::FaultyPolicy)).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PolicyFaults {
+    /// Per-decision probability of an injected
+    /// [`PolicyError::Injected`](jpmd_core::PolicyError) inside the
+    /// window.
+    pub error_prob: f64,
+    /// First decision index (0-based) at which injection may fire.
+    pub from_period: u64,
+    /// Decision index at which injection stops (exclusive). A bounded
+    /// window lets a chaos run demonstrate *recovery*: once the window
+    /// closes the guard's backoff expires and the run climbs back to the
+    /// joint policy.
+    pub until_period: u64,
+}
+
+impl PolicyFaults {
+    /// Whether this fault class can never fire.
+    pub fn is_noop(&self) -> bool {
+        self.error_prob <= 0.0 || self.from_period >= self.until_period
+    }
+}
+
+/// A complete, seeded, serializable description of what a chaos run
+/// injects and where.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Master seed; every wrapper forks its own independent stream from
+    /// it, so the same plan replays the same faults.
+    pub seed: u64,
+    /// Trace-source faults.
+    pub source: SourceFaults,
+    /// Disk faults.
+    pub disk: DiskFaults,
+    /// Memory-bank faults.
+    pub banks: BankFaults,
+    /// Policy faults.
+    pub policy: PolicyFaults,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing — wrappers built from it are pure
+    /// pass-throughs and the run is bit-identical to an unwrapped one.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// The standard chaos mix used by the `chaos` bench binary and the CI
+    /// smoke: a bounded burst of guaranteed policy failures (so the run
+    /// demonstrably degrades *and* recovers), light trace corruption, disk
+    /// stalls kept below the long-latency threshold, spin-up retries, and
+    /// flaky banks.
+    pub fn chaos(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            source: SourceFaults {
+                transient_error_prob: 0.002,
+                short_read_prob: 0.001,
+                out_of_order_prob: 0.001,
+                non_finite_prob: 0.0005,
+            },
+            disk: DiskFaults {
+                stall_prob: 0.05,
+                // Below the 0.5 s long-latency threshold: stalls cost
+                // energy and utilization without flooding the delayed-
+                // request ratio.
+                stall_secs: 0.05,
+                spinup_fail_prob: 0.2,
+                spinup_retry_secs: 0.5,
+            },
+            banks: BankFaults {
+                refuse_resize_prob: 0.2,
+            },
+            policy: PolicyFaults {
+                error_prob: 1.0,
+                from_period: 1,
+                until_period: 3,
+            },
+        }
+    }
+
+    /// Whether *no* fault class can ever fire.
+    pub fn is_noop(&self) -> bool {
+        self.source.is_noop()
+            && self.disk.is_noop()
+            && self.banks.is_noop()
+            && self.policy.is_noop()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_plan_is_noop() {
+        assert!(FaultPlan::disabled().is_noop());
+        assert!(SourceFaults::default().is_noop());
+        assert!(DiskFaults::default().is_noop());
+        assert!(BankFaults::default().is_noop());
+        assert!(PolicyFaults::default().is_noop());
+    }
+
+    #[test]
+    fn chaos_plan_is_not_noop() {
+        let plan = FaultPlan::chaos(7);
+        assert!(!plan.is_noop());
+        assert!(!plan.source.is_noop());
+        assert!(!plan.disk.is_noop());
+        assert!(!plan.banks.is_noop());
+        assert!(!plan.policy.is_noop());
+        assert_eq!(plan.seed, 7);
+    }
+
+    #[test]
+    fn zero_magnitude_disk_faults_are_noop() {
+        let disk = DiskFaults {
+            stall_prob: 0.5,
+            stall_secs: 0.0,
+            spinup_fail_prob: 0.5,
+            spinup_retry_secs: 0.0,
+        };
+        assert!(disk.is_noop());
+    }
+
+    #[test]
+    fn empty_policy_window_is_noop() {
+        let policy = PolicyFaults {
+            error_prob: 1.0,
+            from_period: 5,
+            until_period: 5,
+        };
+        assert!(policy.is_noop());
+    }
+
+    #[test]
+    fn plans_round_trip_through_serde() {
+        let plan = FaultPlan::chaos(42);
+        let json = serde_json::to_string(&plan).expect("serialize");
+        let back: FaultPlan = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, plan);
+    }
+}

@@ -1,0 +1,101 @@
+//! The fault harness's own deterministic generator.
+//!
+//! Injection must be reproducible from a [`FaultPlan`](crate::FaultPlan)
+//! seed alone and must not perturb any other random stream in the
+//! simulator, so the harness carries its own tiny SplitMix64 — the same
+//! finalizer `rand`'s shim uses for seeding, but consumed independently.
+
+/// A seeded SplitMix64 stream.
+#[derive(Debug, Clone)]
+pub struct FaultRng {
+    state: u64,
+}
+
+impl FaultRng {
+    /// A stream seeded with `seed`; equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Derives an independent child stream (used to give each wrapper its
+    /// own stream so their draws never interleave).
+    pub fn fork(seed: u64, stream: u64) -> Self {
+        let mut parent = Self::new(seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        // Burn one draw so fork(s, 0) differs from new(s).
+        parent.next_u64();
+        parent
+    }
+
+    /// The next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A Bernoulli draw. `p <= 0` returns `false` without consuming any
+    /// randomness, so a zero-probability fault class leaves the stream —
+    /// and therefore every other class's draws — untouched.
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        self.next_f64() < p
+    }
+
+    /// A uniform draw in `[0, n)`; `n` must be positive.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_give_equal_streams() {
+        let mut a = FaultRng::new(7);
+        let mut b = FaultRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn forks_are_distinct_from_parent_and_siblings() {
+        let mut parent = FaultRng::new(7);
+        let mut f0 = FaultRng::fork(7, 0);
+        let mut f1 = FaultRng::fork(7, 1);
+        let (p, a, b) = (parent.next_u64(), f0.next_u64(), f1.next_u64());
+        assert_ne!(p, a);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn zero_probability_consumes_nothing() {
+        let mut a = FaultRng::new(9);
+        let mut b = FaultRng::new(9);
+        assert!(!a.chance(0.0));
+        assert!(!a.chance(-1.0));
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn unit_interval_and_below_stay_in_range() {
+        let mut rng = FaultRng::new(3);
+        for _ in 0..1000 {
+            let f = rng.next_f64();
+            assert!((0.0..1.0).contains(&f));
+            assert!(rng.below(7) < 7);
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! [`FaultyTraceSource`]: a [`TraceSource`] wrapper that injects the
+//! trace-layer faults of a [`FaultPlan`](crate::FaultPlan).
+//!
+//! Four fault classes, all exercising resilience paths the replay engine
+//! and its callers already own:
+//!
+//! * **transient errors** — the pull fails with a *transient*
+//!   [`SourceError`]; the wrapped record is held back and handed out when
+//!   the engine retries, so no data is lost (the engine's bounded retry
+//!   budget absorbs these);
+//! * **short reads** — a record's page run is truncated to a prefix;
+//! * **out-of-order timestamps** — pulled backwards; the engine clamps
+//!   them forward;
+//! * **non-finite timestamps** — NaN; the engine drops the record.
+//!
+//! With every knob at zero the wrapper never draws from its RNG and the
+//! record stream is bit-identical to the inner source's.
+
+use std::error::Error;
+use std::fmt;
+
+use jpmd_trace::{SourceError, TraceRecord, TraceSource};
+
+use crate::plan::SourceFaults;
+use crate::rng::FaultRng;
+
+/// The concrete error carried by injected transient failures, reachable
+/// through [`SourceError::downcast_ref`] for callers that want to tell
+/// injected faults from real ones.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedSourceFault {
+    /// 0-based index of the record whose pull was failed.
+    pub record_index: u64,
+}
+
+impl fmt::Display for InjectedSourceFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "injected transient read failure at record {}",
+            self.record_index
+        )
+    }
+}
+
+impl Error for InjectedSourceFault {}
+
+/// How many faults of each class a [`FaultyTraceSource`] injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SourceFaultCounts {
+    /// Records pulled from the inner source.
+    pub records_seen: u64,
+    /// Transient errors returned (each later retried successfully).
+    pub transient_errors: u64,
+    /// Records whose page runs were truncated.
+    pub short_reads: u64,
+    /// Records whose timestamps were pulled out of order.
+    pub out_of_order: u64,
+    /// Records given non-finite timestamps.
+    pub non_finite: u64,
+}
+
+impl SourceFaultCounts {
+    /// Total faults injected across all classes.
+    pub fn total(&self) -> u64 {
+        self.transient_errors + self.short_reads + self.out_of_order + self.non_finite
+    }
+}
+
+/// A [`TraceSource`] wrapper injecting seeded trace-layer faults.
+pub struct FaultyTraceSource<S> {
+    inner: S,
+    faults: SourceFaults,
+    rng: FaultRng,
+    pending: Option<TraceRecord>,
+    counts: SourceFaultCounts,
+}
+
+impl<S: TraceSource> FaultyTraceSource<S> {
+    /// Wraps `inner`, injecting per `faults` from `rng`'s stream.
+    pub fn new(inner: S, faults: SourceFaults, rng: FaultRng) -> Self {
+        FaultyTraceSource {
+            inner,
+            faults,
+            rng,
+            pending: None,
+            counts: SourceFaultCounts::default(),
+        }
+    }
+
+    /// What was injected so far.
+    pub fn counts(&self) -> &SourceFaultCounts {
+        &self.counts
+    }
+
+    /// The wrapped source.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    fn mutate(&mut self, mut record: TraceRecord) -> TraceRecord {
+        if record.pages > 1 && self.rng.chance(self.faults.short_read_prob) {
+            record.pages = 1 + self.rng.below(record.pages - 1);
+            self.counts.short_reads += 1;
+        }
+        if self.rng.chance(self.faults.out_of_order_prob) {
+            // Pull the timestamp backwards; the engine clamps it forward
+            // to the last in-order arrival.
+            record.time = (record.time * 0.5).max(0.0);
+            self.counts.out_of_order += 1;
+        }
+        if self.rng.chance(self.faults.non_finite_prob) {
+            record.time = f64::NAN;
+            self.counts.non_finite += 1;
+        }
+        record
+    }
+}
+
+impl<S: TraceSource> TraceSource for FaultyTraceSource<S> {
+    fn page_bytes(&self) -> u64 {
+        self.inner.page_bytes()
+    }
+
+    fn total_pages(&self) -> u64 {
+        self.inner.total_pages()
+    }
+
+    fn next_record(&mut self) -> Option<Result<TraceRecord, SourceError>> {
+        // A retried pull after an injected transient error: release the
+        // held-back record untouched.
+        if let Some(record) = self.pending.take() {
+            return Some(Ok(record));
+        }
+        let record = match self.inner.next_record()? {
+            Ok(record) => record,
+            Err(e) => return Some(Err(e)),
+        };
+        let record_index = self.counts.records_seen;
+        self.counts.records_seen += 1;
+        let record = self.mutate(record);
+        if self.rng.chance(self.faults.transient_error_prob) {
+            self.counts.transient_errors += 1;
+            self.pending = Some(record);
+            return Some(Err(SourceError::transient(InjectedSourceFault {
+                record_index,
+            })));
+        }
+        Some(Ok(record))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jpmd_trace::{AccessKind, FileId, Trace};
+
+    fn trace() -> Trace {
+        let records = (0..200u64)
+            .map(|i| TraceRecord {
+                time: i as f64,
+                file: FileId(0),
+                first_page: i % 32,
+                pages: 1 + i % 5,
+                kind: AccessKind::Read,
+            })
+            .collect();
+        Trace::new(records, 1 << 20, 64)
+    }
+
+    fn drain<S: TraceSource>(source: &mut S) -> (Vec<TraceRecord>, u64) {
+        let mut out = Vec::new();
+        let mut errors = 0;
+        loop {
+            match source.next_record() {
+                Some(Ok(record)) => out.push(record),
+                Some(Err(e)) => {
+                    assert!(e.is_transient(), "only transient faults are injected");
+                    errors += 1;
+                }
+                None => return (out, errors),
+            }
+        }
+    }
+
+    #[test]
+    fn disabled_faults_pass_records_through_bit_identical() {
+        let t = trace();
+        let mut wrapped =
+            FaultyTraceSource::new(t.source(), SourceFaults::default(), FaultRng::new(1));
+        let (records, errors) = drain(&mut wrapped);
+        assert_eq!(errors, 0);
+        assert_eq!(records, t.records().to_vec());
+        assert_eq!(wrapped.counts().total(), 0);
+        assert_eq!(wrapped.page_bytes(), 1 << 20);
+        assert_eq!(wrapped.total_pages(), 64);
+    }
+
+    #[test]
+    fn transient_errors_lose_no_records() {
+        let t = trace();
+        let faults = SourceFaults {
+            transient_error_prob: 0.3,
+            ..SourceFaults::default()
+        };
+        let mut wrapped = FaultyTraceSource::new(t.source(), faults, FaultRng::new(7));
+        let (records, errors) = drain(&mut wrapped);
+        assert!(errors > 0, "0.3 over 200 records must fire");
+        assert_eq!(wrapped.counts().transient_errors, errors);
+        // Retrying after each error recovers the exact stream.
+        assert_eq!(records, t.records().to_vec());
+        let mut w = FaultyTraceSource::new(t.source(), faults, FaultRng::new(7));
+        let e = std::iter::from_fn(|| w.next_record())
+            .find_map(Result::err)
+            .expect("same seed must fault again");
+        assert!(e.downcast_ref::<InjectedSourceFault>().is_some());
+    }
+
+    #[test]
+    fn mutations_are_deterministic_per_seed() {
+        let t = trace();
+        let faults = SourceFaults {
+            transient_error_prob: 0.05,
+            short_read_prob: 0.2,
+            out_of_order_prob: 0.1,
+            non_finite_prob: 0.05,
+        };
+        let run = |seed| {
+            let mut w = FaultyTraceSource::new(t.source(), faults, FaultRng::new(seed));
+            let (records, errors) = drain(&mut w);
+            (
+                records
+                    .iter()
+                    .map(|r| (r.time.to_bits(), r.pages))
+                    .collect::<Vec<_>>(),
+                errors,
+                *w.counts(),
+            )
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3).0, run(4).0, "different seeds, different faults");
+    }
+
+    #[test]
+    fn each_mutation_class_fires_and_is_counted() {
+        let t = trace();
+        let faults = SourceFaults {
+            transient_error_prob: 0.0,
+            short_read_prob: 1.0,
+            out_of_order_prob: 1.0,
+            non_finite_prob: 0.0,
+        };
+        let mut wrapped = FaultyTraceSource::new(t.source(), faults, FaultRng::new(5));
+        let (records, _) = drain(&mut wrapped);
+        // Every multi-page record was shortened; every record pulled back.
+        for (original, mutated) in t.records().iter().zip(&records) {
+            if original.pages > 1 {
+                assert!(mutated.pages < original.pages);
+            }
+            if original.time > 0.0 {
+                assert!(mutated.time < original.time);
+            }
+        }
+        assert!(wrapped.counts().short_reads > 0);
+        assert_eq!(wrapped.counts().out_of_order, 200);
+
+        let nan_only = SourceFaults {
+            non_finite_prob: 1.0,
+            ..SourceFaults::default()
+        };
+        let mut wrapped = FaultyTraceSource::new(t.source(), nan_only, FaultRng::new(5));
+        let (records, _) = drain(&mut wrapped);
+        assert!(records.iter().all(|r| r.time.is_nan()));
+        assert_eq!(wrapped.counts().non_finite, 200);
+    }
+}

@@ -76,6 +76,9 @@ fn summary(path: &str) -> Result<(), CliError> {
     let mut decisions = 0u64;
     let mut last_decision: Option<&ObsRecord> = None;
     let mut infeasible_periods = 0u64;
+    let mut fallbacks = 0u64;
+    let mut recoveries = 0u64;
+    let mut last_degradation: Option<&ObsRecord> = None;
     for (_, _, record) in &records {
         *counts.entry(record.event.name()).or_insert(0) += 1;
         match &record.event {
@@ -86,6 +89,14 @@ fn summary(path: &str) -> Result<(), CliError> {
                     infeasible_periods += 1;
                 }
                 last_decision = Some(record);
+            }
+            ObsEvent::Degradation { kind, .. } => {
+                match kind.as_str() {
+                    "fallback" | "watchdog" => fallbacks += 1,
+                    "recovery" => recoveries += 1,
+                    _ => {}
+                }
+                last_degradation = Some(record);
             }
             _ => {}
         }
@@ -98,6 +109,23 @@ fn summary(path: &str) -> Result<(), CliError> {
     println!("policy_decisions   {decisions}");
     if decisions > 0 {
         println!("all_infeasible     {infeasible_periods}");
+    }
+    if last_degradation.is_some() {
+        println!("fallbacks          {fallbacks}");
+        println!("recoveries         {recoveries}");
+    }
+    if let Some(record) = last_degradation {
+        if let ObsEvent::Degradation {
+            period,
+            from,
+            to,
+            kind,
+            reason,
+            ..
+        } = &record.event
+        {
+            println!("last degradation   period {period}: {from} -> {to} ({kind}: {reason})");
+        }
     }
     if let Some(record) = last_decision {
         if let ObsEvent::PolicyDecision {

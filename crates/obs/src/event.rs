@@ -107,6 +107,31 @@ pub enum ObsEvent {
         /// constraints and the policy picked the least-infeasible one.
         all_infeasible: bool,
     },
+    /// A graceful-degradation transition: the run's controller moved
+    /// between fallback levels (joint → fixed-timeout power-down →
+    /// always-on, or a promotion back up) in response to a policy failure
+    /// or a watchdog-detected constraint violation.
+    Degradation {
+        /// 0-based period index at which the transition took effect.
+        period: u64,
+        /// Simulation time of the transition, s.
+        time_s: f64,
+        /// Level left ("joint", "power_down", "always_on").
+        from: String,
+        /// Level entered.
+        to: String,
+        /// What drove the transition: "fallback" (a typed policy
+        /// failure), "watchdog" (constraint-violation streak), "promote"
+        /// (backoff expired, trying the richer level again), or
+        /// "recovery" (back at the top level).
+        kind: String,
+        /// Human-readable cause (the policy error, or the violated
+        /// constraint).
+        reason: String,
+        /// Periods the guard will wait before re-promoting (the current
+        /// backoff), 0 for promotions.
+        backoff_periods: u64,
+    },
     /// A named span closed.
     SpanEnd {
         /// Span name ("engine.replay", "controller.decide", …).
@@ -133,6 +158,7 @@ impl ObsEvent {
             ObsEvent::WarmupEnd { .. } => "WarmupEnd",
             ObsEvent::Period { .. } => "Period",
             ObsEvent::PolicyDecision { .. } => "PolicyDecision",
+            ObsEvent::Degradation { .. } => "Degradation",
             ObsEvent::SpanEnd { .. } => "SpanEnd",
             ObsEvent::Message { .. } => "Message",
         }

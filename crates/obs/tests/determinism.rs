@@ -188,6 +188,44 @@ fn wall_clock_appears_only_with_an_injected_clock() {
 }
 
 #[test]
+fn chaos_telemetry_is_byte_identical_for_equal_fault_plans() {
+    // Same FaultPlan seed, same trace: the fault wrappers replay the same
+    // injections and the whole telemetry stream — degradations included —
+    // is byte-identical after normalization. A different seed diverges.
+    use jpmd_faults::{chaos_trace, run_chaos, ChaosConfig};
+
+    let run = |plan_seed: u64| {
+        let chaos = ChaosConfig::small_test(plan_seed);
+        let trace = chaos_trace(&chaos.scale, chaos.duration_secs, 42);
+        let sink = MemorySink::new();
+        let telemetry = Telemetry::new(Box::new(sink.clone()));
+        let out = run_chaos(&chaos, trace.source(), &telemetry).expect("chaos run completes");
+        let lines: Vec<String> = sink
+            .records()
+            .iter()
+            .map(ObsRecord::normalized_line)
+            .collect();
+        (lines, out)
+    };
+
+    let (a_lines, a) = run(1);
+    let (b_lines, b) = run(1);
+    assert!(!a_lines.is_empty());
+    assert!(
+        a_lines.iter().any(|l| l.contains("\"Degradation\"")),
+        "chaos stream must narrate degradations"
+    );
+    assert_eq!(
+        a_lines, b_lines,
+        "equal fault plans must replay identically"
+    );
+    assert_eq!(a, b);
+
+    let (c_lines, _) = run(2);
+    assert_ne!(a_lines, c_lines, "different seeds must inject differently");
+}
+
+#[test]
 fn sequence_numbers_are_gap_free_per_handle() {
     let scale = SimScale::small_test();
     let trace = trace(&scale);

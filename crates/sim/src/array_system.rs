@@ -234,6 +234,9 @@ pub fn run_array_simulation(
                         disk_requests: observation.per_disk.iter().map(|d| d.requests).sum(),
                         disk_busy_secs: observation.per_disk.iter().map(|d| d.busy_secs).sum(),
                         idle: IdleIntervals::default().stats(),
+                        // The array path does not track per-request latency
+                        // against the long-latency threshold.
+                        delayed_page_accesses: 0,
                         enabled_banks: observation.enabled_banks,
                         disk_timeout: policies[0].timeout(),
                         energy_total_j: snapshot_energy!().since(&p_energy).total_j(),

@@ -23,6 +23,11 @@ pub struct PeriodObservation {
     /// Idle intervals of the *actual* disk request stream, aggregated with
     /// window `w` (count = `n_i`, plus mean/min/max).
     pub idle: IntervalStats,
+    /// Page accesses delayed past the long-latency threshold during the
+    /// period (every page of a user disk request whose latency exceeded
+    /// the configured threshold — paper eq. 6's delayed requests).
+    #[serde(default)]
+    pub delayed_page_accesses: u64,
     /// Banks enabled during (the end of) the period.
     pub enabled_banks: u32,
     /// Disk timeout in force at the end of the period, s.
@@ -40,6 +45,17 @@ impl PeriodObservation {
     /// Mean total power over the period, W.
     pub fn mean_power_w(&self) -> f64 {
         self.energy_total_j / (self.end - self.start).max(f64::MIN_POSITIVE)
+    }
+
+    /// Fraction of the period's page accesses that were delayed past the
+    /// long-latency threshold (the paper's delayed-request ratio, checked
+    /// against the limit `D`). Zero for an idle period.
+    pub fn delayed_ratio(&self) -> f64 {
+        if self.cache_accesses == 0 {
+            0.0
+        } else {
+            self.delayed_page_accesses as f64 / self.cache_accesses as f64
+        }
     }
 }
 
@@ -130,11 +146,13 @@ mod tests {
             disk_requests: 3,
             disk_busy_secs: 60.0,
             idle: jpmd_stats::IdleIntervals::default().stats(),
+            delayed_page_accesses: 2,
             enabled_banks: 4,
             disk_timeout: 11.7,
             energy_total_j: 0.0,
         };
         assert!((obs.utilization() - 0.1).abs() < 1e-12);
+        assert!((obs.delayed_ratio() - 0.2).abs() < 1e-12);
     }
 
     #[test]
@@ -147,6 +165,7 @@ mod tests {
             disk_requests: 0,
             disk_busy_secs: 0.0,
             idle: jpmd_stats::IdleIntervals::default().stats(),
+            delayed_page_accesses: 0,
             enabled_banks: 1,
             disk_timeout: 1.0,
             energy_total_j: 0.0,

@@ -81,6 +81,18 @@ pub struct EngineStats {
     /// Structured per-period event log (one row per control period, plus a
     /// trailing row for a partial final period).
     pub period_log: Vec<PeriodEvents>,
+    /// Transient [`SourceError`]s absorbed by retrying the pull (bounded
+    /// per-pull by [`MAX_SOURCE_RETRIES`]; zero for healthy sources).
+    #[serde(default)]
+    pub source_retries: u64,
+    /// Records discarded because they were unusable (non-finite timestamp
+    /// or zero pages); zero for valid traces.
+    #[serde(default)]
+    pub records_dropped: u64,
+    /// Records whose timestamps were clamped forward to restore arrival
+    /// order; zero for valid traces.
+    #[serde(default)]
+    pub records_clamped: u64,
     /// Wall-clock time spent replaying, s (not part of equality).
     pub replay_wall_secs: f64,
     /// Replay throughput, page accesses per wall-clock second (not part of
@@ -93,8 +105,18 @@ impl PartialEq for EngineStats {
         self.events_processed == other.events_processed
             && self.counts == other.counts
             && self.period_log == other.period_log
+            && self.source_retries == other.source_retries
+            && self.records_dropped == other.records_dropped
+            && self.records_clamped == other.records_clamped
     }
 }
+
+/// How many *consecutive* transient [`SourceError`]s [`Engine::run_source`]
+/// absorbs before giving up and propagating the error. A successful pull
+/// resets the budget, so a long trace with scattered transient faults
+/// replays to completion; a source stuck in a transient-failure loop still
+/// terminates.
+pub const MAX_SOURCE_RETRIES: u32 = 8;
 
 /// The event-driven replay core. See the [module docs](self) for the
 /// execution model.
@@ -151,9 +173,18 @@ impl Engine {
     ///
     /// # Errors
     ///
-    /// Propagates the first [`SourceError`] the source yields (I/O failure
-    /// or corruption in a streaming source); the partial replay's stats
-    /// are discarded.
+    /// Propagates the first non-transient [`SourceError`] the source
+    /// yields (I/O failure or corruption in a streaming source); the
+    /// partial replay's stats are discarded. Transient errors
+    /// ([`SourceError::is_transient`]) are retried up to
+    /// [`MAX_SOURCE_RETRIES`] consecutive times (counted in
+    /// [`EngineStats::source_retries`]) before being propagated.
+    ///
+    /// The engine also refuses to let a misbehaving source corrupt the
+    /// replay clock: records with a non-finite timestamp or zero pages are
+    /// dropped, and records arriving out of order are clamped forward to
+    /// the last replayed instant (both counted in the stats; all three
+    /// counters stay zero for valid traces).
     pub fn run_source<S: TraceSource>(
         mut self,
         mut source: S,
@@ -162,8 +193,28 @@ impl Engine {
         observers: &mut [&mut dyn SimObserver],
     ) -> Result<EngineStats, SourceError> {
         let wall = Instant::now();
+        let mut last_time = 0.0f64;
+        let mut consecutive_retries = 0u32;
         while let Some(next) = source.next_record() {
-            let record = next?;
+            let mut record = match next {
+                Ok(record) => record,
+                Err(e) if e.is_transient() && consecutive_retries < MAX_SOURCE_RETRIES => {
+                    consecutive_retries += 1;
+                    self.stats.source_retries += 1;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            consecutive_retries = 0;
+            if !record.time.is_finite() || record.pages == 0 {
+                self.stats.records_dropped += 1;
+                continue;
+            }
+            if record.time < last_time {
+                record.time = last_time;
+                self.stats.records_clamped += 1;
+            }
+            last_time = record.time;
             if record.time >= duration {
                 break;
             }
@@ -463,6 +514,96 @@ mod tests {
             .position(|e| matches!(e, SimEvent::Access { time, .. } if *time == 9.0))
             .expect("second access");
         assert!(sync_pos < second_access);
+    }
+
+    /// Yields a scripted sequence of pulls (for fault-path tests).
+    struct Scripted(std::collections::VecDeque<Result<TraceRecord, SourceError>>);
+
+    impl Scripted {
+        fn new(items: Vec<Result<TraceRecord, SourceError>>) -> Self {
+            Scripted(items.into())
+        }
+    }
+
+    impl TraceSource for Scripted {
+        fn page_bytes(&self) -> u64 {
+            1 << 20
+        }
+        fn total_pages(&self) -> u64 {
+            64
+        }
+        fn next_record(&mut self) -> Option<Result<TraceRecord, SourceError>> {
+            self.0.pop_front()
+        }
+    }
+
+    fn transient_err() -> SourceError {
+        SourceError::transient(std::io::Error::other("blip"))
+    }
+
+    #[test]
+    fn transient_source_errors_are_retried() {
+        let mut hw = hw();
+        let source = Scripted::new(vec![
+            Err(transient_err()),
+            Ok(record(1.0, 0, 1)),
+            Err(transient_err()),
+            Err(transient_err()),
+            Ok(record(2.0, 1, 1)),
+        ]);
+        let stats = Engine::new()
+            .run_source(source, 10.0, &mut hw, &mut [])
+            .expect("transient errors must be absorbed");
+        assert_eq!(stats.source_retries, 3);
+        assert_eq!(stats.counts.accesses, 2);
+    }
+
+    #[test]
+    fn transient_retry_budget_is_bounded() {
+        let mut hw = hw();
+        let source = Scripted::new(
+            (0..=MAX_SOURCE_RETRIES)
+                .map(|_| Err(transient_err()))
+                .collect(),
+        );
+        let err = Engine::new()
+            .run_source(source, 10.0, &mut hw, &mut [])
+            .expect_err("a stuck source must eventually fail");
+        assert!(err.is_transient());
+    }
+
+    #[test]
+    fn non_transient_source_error_aborts_immediately() {
+        let mut hw = hw();
+        let source = Scripted::new(vec![
+            Ok(record(1.0, 0, 1)),
+            Err(SourceError::new(std::io::Error::other("dead"))),
+            Ok(record(2.0, 1, 1)),
+        ]);
+        assert!(Engine::new()
+            .run_source(source, 10.0, &mut hw, &mut [])
+            .is_err());
+    }
+
+    #[test]
+    fn unusable_records_are_dropped_and_out_of_order_clamped() {
+        let mut hw = hw();
+        let source = Scripted::new(vec![
+            Ok(record(5.0, 0, 1)),
+            Ok(record(f64::NAN, 1, 1)),      // dropped
+            Ok(record(6.0, 2, 0)),           // dropped (zero pages)
+            Ok(record(3.0, 3, 1)),           // clamped to 5.0
+            Ok(record(f64::INFINITY, 4, 1)), // dropped
+            Ok(record(7.0, 5, 1)),
+        ]);
+        let stats = Engine::new()
+            .run_source(source, 10.0, &mut hw, &mut [])
+            .expect("sanitized replay succeeds");
+        assert_eq!(stats.records_dropped, 3);
+        assert_eq!(stats.records_clamped, 1);
+        assert_eq!(stats.counts.accesses, 3);
+        // The disk saw monotone arrivals despite the scrambled source.
+        assert_eq!(hw.disk.requests(), 3);
     }
 
     #[test]

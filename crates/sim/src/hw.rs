@@ -7,6 +7,37 @@ use jpmd_mem::MemoryManager;
 
 use crate::{ControlAction, EnergyBreakdown, SimConfig, SimEvent};
 
+/// Hook consulted at the hardware seams, letting a harness perturb what the
+/// simulated hardware does without touching the replay engine. `jpmd-faults`
+/// implements this for deterministic fault injection; when no injector is
+/// installed ([`HwState::set_fault_injector`] never called) every seam is a
+/// straight pass-through and the hot path pays only an `Option` check.
+pub trait FaultInjector {
+    /// Called after the disk serves a request; returns extra service
+    /// seconds to stall the disk with (0.0 = no fault). The stall is
+    /// charged as active disk time and added to the request's latency —
+    /// an inflated service time, a bad-sector retry, or a failed spin-up
+    /// attempt (`outcome.woke_disk` tells the injector a spin-up
+    /// happened).
+    fn on_disk_request(&mut self, at: f64, outcome: &RequestOutcome) -> f64 {
+        let _ = (at, outcome);
+        0.0
+    }
+
+    /// Filters a controller's bank resize before it reaches the memory
+    /// manager. Returning a different count models banks that refuse the
+    /// power transition; implementations must return a count the memory
+    /// configuration accepts.
+    fn filter_banks(&mut self, requested: u32) -> u32 {
+        requested
+    }
+
+    /// Filters a controller's disk-timeout setting before it is applied.
+    fn filter_timeout(&mut self, requested: f64) -> f64 {
+        requested
+    }
+}
+
 /// The hardware under simulation.
 ///
 /// Observers receive `&mut HwState` with every callback: they read counters
@@ -28,6 +59,7 @@ pub struct HwState {
     pub period_disk_times: Vec<f64>,
     page_bytes: u64,
     disk_power: DiskPowerModel,
+    injector: Option<Box<dyn FaultInjector>>,
 }
 
 impl HwState {
@@ -48,7 +80,14 @@ impl HwState {
             period_disk_times: Vec::new(),
             page_bytes: config.mem.page_bytes,
             disk_power: config.disk_power,
+            injector: None,
         }
+    }
+
+    /// Installs a [`FaultInjector`] consulted at every hardware seam.
+    /// Without one (the default) all seams are pass-throughs.
+    pub fn set_fault_injector(&mut self, injector: Box<dyn FaultInjector>) {
+        self.injector = Some(injector);
     }
 
     /// Advances both components' internal clocks to `t` (idempotent).
@@ -69,7 +108,15 @@ impl HwState {
     /// spin-down policy react, and records the request in the period
     /// bookkeeping.
     pub fn submit_request(&mut self, at: f64, first_page: u64, pages: u64) -> RequestOutcome {
-        let outcome = self.disk.submit(at, first_page, pages, self.page_bytes);
+        let mut outcome = self.disk.submit(at, first_page, pages, self.page_bytes);
+        if let Some(injector) = self.injector.as_mut() {
+            let extra = injector.on_disk_request(at, &outcome);
+            if extra > 0.0 {
+                self.disk.stall(extra);
+                outcome.completion += extra;
+                outcome.latency += extra;
+            }
+        }
         let timeout = self.spindown.after_request(&outcome, &self.disk_power);
         self.disk.set_timeout(timeout);
         self.period_disk_times.push(at);
@@ -109,9 +156,17 @@ impl HwState {
     /// Applies a controller's decision at time `t`.
     pub fn apply_action(&mut self, action: &ControlAction, t: f64) {
         if let Some(banks) = action.enabled_banks {
+            let banks = match self.injector.as_mut() {
+                Some(injector) => injector.filter_banks(banks),
+                None => banks,
+            };
             self.mem.set_enabled_banks(banks, t);
         }
         if let Some(timeout) = action.disk_timeout {
+            let timeout = match self.injector.as_mut() {
+                Some(injector) => injector.filter_timeout(timeout),
+                None => timeout,
+            };
             self.spindown.set_controlled_timeout(timeout);
             self.disk.set_timeout(timeout);
         }
@@ -156,6 +211,41 @@ mod tests {
             }
             _ => panic!("expected DiskRequest"),
         }
+    }
+
+    #[test]
+    fn fault_injector_stalls_requests_and_filters_actions() {
+        struct Nasty;
+        impl FaultInjector for Nasty {
+            fn on_disk_request(&mut self, _at: f64, _outcome: &RequestOutcome) -> f64 {
+                2.0
+            }
+            fn filter_banks(&mut self, requested: u32) -> u32 {
+                requested.max(6)
+            }
+            fn filter_timeout(&mut self, _requested: f64) -> f64 {
+                9.0
+            }
+        }
+        let mut plain = hw(SpinDownPolicy::controlled(f64::INFINITY));
+        let baseline = plain.submit_request(1.0, 0, 1);
+
+        let mut faulty = hw(SpinDownPolicy::controlled(f64::INFINITY));
+        faulty.set_fault_injector(Box::new(Nasty));
+        let outcome = faulty.submit_request(1.0, 0, 1);
+        assert!((outcome.latency - (baseline.latency + 2.0)).abs() < 1e-12);
+        assert!((outcome.completion - (baseline.completion + 2.0)).abs() < 1e-12);
+        assert!((faulty.disk.busy_secs() - (plain.disk.busy_secs() + 2.0)).abs() < 1e-12);
+
+        faulty.apply_action(
+            &ControlAction {
+                enabled_banks: Some(2),
+                disk_timeout: Some(7.0),
+            },
+            10.0,
+        );
+        assert_eq!(faulty.mem.enabled_banks(), 6, "flaky banks refused");
+        assert_eq!(faulty.disk.timeout(), 9.0, "timeout filtered");
     }
 
     #[test]

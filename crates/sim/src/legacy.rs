@@ -55,6 +55,7 @@ pub fn run_simulation_legacy(
     let mut p_acc = 0u64;
     let mut p_req = 0u64;
     let mut p_busy = 0.0f64;
+    let mut p_delayed = 0u64;
     let mut p_energy = EnergyBreakdown::default();
     let mut period_disk_times: Vec<f64> = Vec::new();
 
@@ -156,6 +157,7 @@ pub fn run_simulation_legacy(
                         config.aggregation_window_secs,
                     )
                     .stats(),
+                    delayed_page_accesses: p_delayed,
                     enabled_banks: mem.enabled_banks(),
                     disk_timeout: disk.timeout(),
                     energy_total_j: snapshot_energy!().since(&p_energy).total_j(),
@@ -179,6 +181,7 @@ pub fn run_simulation_legacy(
                 p_pages = disk_pages;
                 p_req = disk.requests();
                 p_busy = disk.busy_secs();
+                p_delayed = 0;
                 p_energy = snapshot_energy!();
                 period_disk_times.clear();
             }
@@ -206,6 +209,9 @@ pub fn run_simulation_legacy(
                     disk.set_timeout(timeout);
                     period_disk_times.push(now);
                     disk_pages += run_len;
+                    if outcome.latency > config.long_latency_secs {
+                        p_delayed += run_len;
+                    }
                     if measuring {
                         request_latencies.push(outcome.latency);
                         for _ in 0..run_len {

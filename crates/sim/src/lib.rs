@@ -84,9 +84,9 @@ pub use config::SimConfig;
 pub use controller::{
     ControlAction, NullController, PeriodController, PeriodObservation, TimedController,
 };
-pub use engine::{Engine, EngineStats, PeriodEvents, SimObserver};
+pub use engine::{Engine, EngineStats, PeriodEvents, SimObserver, MAX_SOURCE_RETRIES};
 pub use events::{EventCounts, SimEvent};
-pub use hw::HwState;
+pub use hw::{FaultInjector, HwState};
 pub use metrics::{EnergyBreakdown, PeriodRow, RunReport};
 pub use observers::{
     EnergyMeter, EnergySummary, FlushDaemon, LatencySummary, LatencyTracker, PeriodAccounting,

@@ -63,12 +63,14 @@ pub struct PeriodAccounting<'a> {
     controller: &'a mut dyn PeriodController,
     period_secs: f64,
     aggregation_window_secs: f64,
+    long_latency_secs: f64,
     period_start: f64,
     next_period: f64,
     p_acc: u64,
     p_pages: u64,
     p_req: u64,
     p_busy: f64,
+    p_delayed: u64,
     p_energy: EnergyBreakdown,
     rows: Vec<PeriodRow>,
 }
@@ -76,22 +78,27 @@ pub struct PeriodAccounting<'a> {
 impl<'a> PeriodAccounting<'a> {
     /// Period accounting driving `controller` every `period_secs`, with
     /// idle intervals aggregated at `aggregation_window_secs` (paper
-    /// Sec. 4.2).
+    /// Sec. 4.2). User page accesses slower than `long_latency_secs`
+    /// count as the period's delayed accesses (the observation's
+    /// delayed-request ratio, paper eq. 6).
     pub fn new(
         controller: &'a mut dyn PeriodController,
         period_secs: f64,
         aggregation_window_secs: f64,
+        long_latency_secs: f64,
     ) -> Self {
         PeriodAccounting {
             controller,
             period_secs,
             aggregation_window_secs,
+            long_latency_secs,
             period_start: 0.0,
             next_period: period_secs,
             p_acc: 0,
             p_pages: 0,
             p_req: 0,
             p_busy: 0.0,
+            p_delayed: 0,
             p_energy: EnergyBreakdown::default(),
             rows: Vec::new(),
         }
@@ -123,6 +130,7 @@ impl SimObserver for PeriodAccounting<'_> {
                 self.aggregation_window_secs,
             )
             .stats(),
+            delayed_page_accesses: self.p_delayed,
             enabled_banks: hw.mem.enabled_banks(),
             disk_timeout: hw.disk.timeout(),
             energy_total_j: hw.snapshot_energy().since(&self.p_energy).total_j(),
@@ -145,8 +153,23 @@ impl SimObserver for PeriodAccounting<'_> {
         self.p_pages = hw.disk_pages;
         self.p_req = hw.disk.requests();
         self.p_busy = hw.disk.busy_secs();
+        self.p_delayed = 0;
         self.p_energy = hw.snapshot_energy();
         hw.period_disk_times.clear();
+    }
+
+    fn on_event(&mut self, event: &SimEvent, _hw: &mut HwState) {
+        if let SimEvent::DiskRequest {
+            latency,
+            pages,
+            user: true,
+            ..
+        } = *event
+        {
+            if latency > self.long_latency_secs {
+                self.p_delayed += pages;
+            }
+        }
     }
 }
 

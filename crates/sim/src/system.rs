@@ -145,6 +145,7 @@ pub fn run_simulation_source_with<S: TraceSource>(
         &mut timed,
         config.period_secs,
         config.aggregation_window_secs,
+        config.long_latency_secs,
     );
     let mut flush = FlushDaemon::new(config.sync_interval_secs);
     let mut latency = LatencyTracker::new(config.warmup_secs, config.long_latency_secs);

@@ -7,6 +7,7 @@
 //! trace-tool cat <trace> [limit]
 //! trace-tool convert <in> <out>
 //! trace-tool verify <trace>
+//! trace-tool scan <trace.jpt>
 //! trace-tool scale-rate <in> <out> <factor>
 //! trace-tool scale-data <in> <out> <growth>
 //! ```
@@ -38,10 +39,12 @@ const USAGE: &str = "usage:
   trace-tool cat <trace> [limit]
   trace-tool convert <in> <out>
   trace-tool verify <trace>
+  trace-tool scan <trace.jpt>
   trace-tool scale-rate <in> <out> <factor>
   trace-tool scale-data <in> <out> <growth>
 
-traces ending in .jpt use the paged binary store; all others are JSON";
+traces ending in .jpt use the paged binary store; all others are JSON
+(scan reads a .jpt in recovery mode, reporting every page's health)";
 
 /// A CLI failure, split by who is at fault: bad invocation (exit 2,
 /// usage printed) vs. a failing operation (exit 1).
@@ -168,6 +171,65 @@ fn verify(path: &str) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Reads a binary store in recovery mode, reporting every data page's
+/// health (ok / corrupt / unreadable past a truncation) and the records
+/// salvaged. Fails only when *nothing* is salvageable — a store with a
+/// valid header and zero readable data pages.
+fn scan(path: &str) -> Result<(), CliError> {
+    if !is_binary(path) {
+        return Err(CliError::Usage("scan requires a .jpt binary store".into()));
+    }
+    let mut reader = jpmd_store::TraceReader::open_recovering(path)?;
+    let header = *reader.header();
+    let mut records = 0u64;
+    for record in &mut reader {
+        record?; // only I/O errors survive recovery mode
+        records += 1;
+    }
+    let skipped = reader.skipped().clone();
+    let visited = reader.pages_read();
+    let data_pages = header.data_pages();
+    let capacity = u64::from(header.capacity());
+    let mut ok_pages = 0u64;
+    for page in 1..=data_pages {
+        if let Some(bad) = skipped.pages.iter().find(|s| s.page == page) {
+            let status = if bad.reason.contains("truncated") {
+                "truncated"
+            } else {
+                "corrupt"
+            };
+            println!(
+                "page {page:>6}  {status}: {} ({} records lost)",
+                bad.reason, bad.expected_records
+            );
+        } else if page <= visited {
+            // Every page but the last is full; the last holds the rest.
+            let held = if page == data_pages {
+                header.record_count - (data_pages - 1) * capacity
+            } else {
+                capacity
+            };
+            println!("page {page:>6}  ok ({held} records)");
+            ok_pages += 1;
+        } else {
+            println!("page {page:>6}  unreadable (past truncation)");
+        }
+    }
+    println!(
+        "scanned {data_pages} data pages: {ok_pages} ok, {} skipped; \
+         {records} of {} records recovered ({} lost)",
+        data_pages - ok_pages,
+        header.record_count,
+        skipped.records_lost
+    );
+    if data_pages > 0 && ok_pages == 0 {
+        return Err(CliError::Runtime(
+            "no readable data pages in store".to_string().into(),
+        ));
+    }
+    Ok(())
+}
+
 fn cat(path: &str, limit: usize) -> Result<(), CliError> {
     let trace = load(path)?;
     println!(
@@ -224,6 +286,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
             save(&load(inp)?, out)?;
         }
         "verify" => verify(require(args, 2, "trace")?)?,
+        "scan" => scan(require(args, 2, "trace.jpt")?)?,
         "scale-rate" => {
             let inp = require(args, 2, "in")?;
             let out = require(args, 3, "out")?;

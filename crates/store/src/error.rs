@@ -78,6 +78,24 @@ pub enum StoreError {
     },
 }
 
+impl StoreError {
+    /// True when the error condemns the *contents of one data page* —
+    /// exactly the class a recovering reader
+    /// ([`TraceReader::open_recovering`](crate::TraceReader::open_recovering))
+    /// can skip past, because the store's fixed-size pages make the next
+    /// page boundary a known resync point. I/O failures, truncation, and
+    /// header-level errors are not page-local and stay fatal.
+    pub fn is_page_corruption(&self) -> bool {
+        matches!(
+            self,
+            StoreError::Checksum { .. }
+                | StoreError::BadPageCount { .. }
+                | StoreError::BadKind { .. }
+                | StoreError::InvalidRecord(_)
+        )
+    }
+}
+
 impl fmt::Display for StoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -160,6 +178,31 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("page 3") && s.contains("0xdeadbeef"), "{s}");
         assert!(StoreError::Truncated { page: 0 }.to_string().contains("0"));
+    }
+
+    #[test]
+    fn page_corruption_classification() {
+        assert!(StoreError::Checksum {
+            page: 1,
+            stored: 0,
+            computed: 1
+        }
+        .is_page_corruption());
+        assert!(StoreError::BadPageCount {
+            page: 1,
+            found: 2,
+            expected: 3
+        }
+        .is_page_corruption());
+        assert!(StoreError::BadKind { index: 0, value: 9 }.is_page_corruption());
+        assert!(StoreError::InvalidRecord(TraceError::InvalidRecord {
+            index: 0,
+            reason: "x"
+        })
+        .is_page_corruption());
+        assert!(!StoreError::Io(io::Error::other("x")).is_page_corruption());
+        assert!(!StoreError::Truncated { page: 2 }.is_page_corruption());
+        assert!(!StoreError::BadMagic { found: [0; 8] }.is_page_corruption());
     }
 
     #[test]

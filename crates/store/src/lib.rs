@@ -62,5 +62,5 @@ mod writer;
 pub use crc32::crc32;
 pub use error::StoreError;
 pub use format::Header;
-pub use reader::{read_trace, TraceReader};
+pub use reader::{read_trace, SkippedPage, SkippedPages, TraceReader};
 pub use writer::{write_trace, TraceWriter};

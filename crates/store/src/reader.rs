@@ -10,6 +10,34 @@ use crate::crc32::crc32;
 use crate::format::{Header, HEADER_BYTES, RECORD_BYTES};
 use crate::StoreError;
 
+/// One data page a recovering reader skipped, with why.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkippedPage {
+    /// Data page number (1-based; 0 is the header).
+    pub page: u64,
+    /// Records the header implied the page held — the upper bound on what
+    /// skipping it lost.
+    pub expected_records: u32,
+    /// The corruption diagnostic (rendered [`StoreError`]).
+    pub reason: String,
+}
+
+/// Summary of everything a recovering reader skipped over.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SkippedPages {
+    /// The skipped pages, in stream order.
+    pub pages: Vec<SkippedPage>,
+    /// Total records lost across all skipped pages.
+    pub records_lost: u64,
+}
+
+impl SkippedPages {
+    /// True when nothing was skipped (a clean read).
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+}
+
 /// Streams [`TraceRecord`]s out of a `.jpt` store one page at a time.
 ///
 /// The header is read and validated eagerly in [`TraceReader::new`]; data
@@ -18,6 +46,14 @@ use crate::StoreError;
 /// memory stays O(page) however large the trace is. Corruption surfaces as
 /// a typed [`StoreError`] — never a panic — and fuses the reader (further
 /// pulls return `None`).
+///
+/// [`TraceReader::open_recovering`] flips the failure stance: a corrupt
+/// *page* ([`StoreError::is_page_corruption`]) is skipped instead of
+/// fatal. Because pages are fixed-size, the next page boundary is a known
+/// resync point — the reader drops at most the records of the damaged
+/// page, records the loss in [`TraceReader::skipped`], and streams on.
+/// Truncation ends the stream cleanly (charging the unreachable tail);
+/// I/O and header errors stay fatal either way.
 ///
 /// `TraceReader` implements both `Iterator<Item = Result<TraceRecord,
 /// StoreError>>` and [`TraceSource`], so it plugs straight into
@@ -32,8 +68,12 @@ pub struct TraceReader<R: Read> {
     cursor: usize,
     pages_read: u64,
     records_out: u64,
+    /// Records charged to skipped pages (recovery mode only).
+    records_lost: u64,
     prev_time: f64,
     fused: bool,
+    recovery: bool,
+    skipped: SkippedPages,
 }
 
 impl TraceReader<BufReader<File>> {
@@ -44,6 +84,17 @@ impl TraceReader<BufReader<File>> {
     /// Propagates open/read failures and header validation errors.
     pub fn open(path: impl AsRef<Path>) -> Result<Self, StoreError> {
         Self::new(BufReader::new(File::open(path)?))
+    }
+
+    /// Opens a store file in recovery mode: corrupt data pages are skipped
+    /// (resyncing at the next page boundary) instead of ending the stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates open/read failures and header validation errors — a
+    /// damaged *header* is not recoverable.
+    pub fn open_recovering(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        Self::new_recovering(BufReader::new(File::open(path)?))
     }
 }
 
@@ -66,9 +117,24 @@ impl<R: Read> TraceReader<R> {
             cursor: 0,
             pages_read: 0,
             records_out: 0,
+            records_lost: 0,
             prev_time: f64::NEG_INFINITY,
             fused: false,
+            recovery: false,
+            skipped: SkippedPages::default(),
         })
+    }
+
+    /// Like [`TraceReader::new`], in recovery mode (see
+    /// [`TraceReader::open_recovering`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TraceReader::new`]: header validation is never skipped.
+    pub fn new_recovering(input: R) -> Result<Self, StoreError> {
+        let mut reader = Self::new(input)?;
+        reader.recovery = true;
+        Ok(reader)
     }
 
     /// The validated file header.
@@ -81,10 +147,52 @@ impl<R: Read> TraceReader<R> {
         self.header.record_count
     }
 
+    /// What a recovery-mode read skipped so far (empty for a clean file
+    /// and always empty in strict mode).
+    pub fn skipped(&self) -> &SkippedPages {
+        &self.skipped
+    }
+
+    /// Data pages whose bytes have been consumed so far (including pages
+    /// a recovering reader skipped; excluding a trailing truncated page).
+    pub fn pages_read(&self) -> u64 {
+        self.pages_read
+    }
+
+    /// Records consumed from the stream so far: yielded plus charged to
+    /// skipped pages.
+    fn records_consumed(&self) -> u64 {
+        self.records_out + self.records_lost
+    }
+
+    /// Records the header implies the *next* data page holds: every page
+    /// but the last must be full; the last holds the rest.
+    fn next_page_expected(&self) -> u32 {
+        let remaining = self.header.record_count - self.records_consumed();
+        remaining.min(self.header.capacity() as u64) as u32
+    }
+
     /// Reads, checks, and decodes the next data page into `buffered`.
+    ///
+    /// On failure the reader's decode state (`prev_time`, `buffered`) is
+    /// rolled back so a recovering caller can charge the page as lost and
+    /// resync at the next boundary — the page bytes are always fully
+    /// consumed from the input before validation begins.
     fn load_page(&mut self) -> Result<(), StoreError> {
         let page = self.pages_read + 1; // 1-based in errors; 0 is the header
         read_exact_or_truncated(&mut self.input, &mut self.page, page)?;
+        self.pages_read += 1;
+        let prev_time = self.prev_time;
+        let result = self.decode_page(page);
+        if result.is_err() {
+            self.prev_time = prev_time;
+            self.buffered.clear();
+            self.cursor = 0;
+        }
+        result
+    }
+
+    fn decode_page(&mut self, page: u64) -> Result<(), StoreError> {
         let len = self.page.len();
         let stored = u32::from_le_bytes(self.page[len - 4..].try_into().unwrap());
         let computed = crc32(&self.page[..len - 4]);
@@ -96,9 +204,7 @@ impl<R: Read> TraceReader<R> {
             });
         }
         let found = u32::from_le_bytes(self.page[0..4].try_into().unwrap());
-        // Every page but the last must be full; the last holds the rest.
-        let remaining = self.header.record_count - self.records_out;
-        let expected = remaining.min(self.header.capacity() as u64) as u32;
+        let expected = self.next_page_expected();
         if found != expected {
             return Err(StoreError::BadPageCount {
                 page,
@@ -109,15 +215,50 @@ impl<R: Read> TraceReader<R> {
         self.buffered.clear();
         for i in 0..found as usize {
             let at = 4 + i * RECORD_BYTES;
-            let index = self.records_out + i as u64;
+            let index = self.records_consumed() + i as u64;
             let record = crate::format::decode_record(&self.page[at..at + RECORD_BYTES], index)?;
             check_record(&record, self.prev_time, self.header.total_pages, index)?;
             self.prev_time = record.time;
             self.buffered.push(record);
         }
         self.cursor = 0;
-        self.pages_read += 1;
         Ok(())
+    }
+
+    /// Recovery-mode reaction to a failed page load: returns `None` to
+    /// retry at the next page, or `Some(item)` to end the stream.
+    fn recover(&mut self, e: StoreError) -> Option<Option<Result<TraceRecord, StoreError>>> {
+        if e.is_page_corruption() {
+            // The failed page's bytes were fully consumed, so the input
+            // already sits at the next page boundary: charge the page's
+            // records as lost and resync.
+            let lost = self.next_page_expected();
+            self.skipped.pages.push(SkippedPage {
+                page: self.pages_read,
+                expected_records: lost,
+                reason: e.to_string(),
+            });
+            self.skipped.records_lost += u64::from(lost);
+            self.records_lost += u64::from(lost);
+            return None;
+        }
+        if let StoreError::Truncated { page } = e {
+            // No more page boundaries to resync at: charge the whole
+            // unreachable tail and end the stream cleanly.
+            let lost = self.header.record_count - self.records_consumed();
+            self.skipped.pages.push(SkippedPage {
+                page,
+                expected_records: self.next_page_expected(),
+                reason: e.to_string(),
+            });
+            self.skipped.records_lost += lost;
+            self.records_lost += lost;
+            self.fused = true;
+            return Some(None);
+        }
+        // I/O and any other failure stays fatal even in recovery.
+        self.fused = true;
+        Some(Some(Err(e)))
     }
 }
 
@@ -142,14 +283,22 @@ impl<R: Read> Iterator for TraceReader<R> {
         if self.fused {
             return None;
         }
-        if self.cursor == self.buffered.len() {
-            if self.records_out == self.header.record_count {
+        while self.cursor == self.buffered.len() {
+            if self.records_consumed() == self.header.record_count {
                 self.fused = true;
                 return None;
             }
-            if let Err(e) = self.load_page() {
-                self.fused = true;
-                return Some(Err(e));
+            match self.load_page() {
+                Ok(()) => break,
+                Err(e) if self.recovery => {
+                    if let Some(outcome) = self.recover(e) {
+                        return outcome;
+                    }
+                }
+                Err(e) => {
+                    self.fused = true;
+                    return Some(Err(e));
+                }
             }
         }
         let record = self.buffered[self.cursor];
@@ -266,5 +415,49 @@ mod tests {
         ));
         assert!(reader.next().is_none());
         assert!(reader.next_record().is_none());
+    }
+
+    #[test]
+    fn recovering_reader_skips_exactly_the_corrupt_page() {
+        // 13 records, capacity 2 -> 7 pages; corrupt page 3 (records 4, 5).
+        let records: Vec<TraceRecord> = (0..13).map(|i| rec(i as f64, i, 2)).collect();
+        let mut bytes = store(&records, 66);
+        let page_bytes = 66;
+        let flip = HEADER_BYTES + 2 * page_bytes + 10;
+        bytes[flip] ^= 0xFF;
+
+        let mut reader = TraceReader::new_recovering(Cursor::new(bytes)).unwrap();
+        let back: Vec<TraceRecord> = (&mut reader).map(Result::unwrap).collect();
+        let expected: Vec<TraceRecord> =
+            records[..4].iter().chain(&records[6..]).copied().collect();
+        assert_eq!(back, expected);
+        let skipped = reader.skipped();
+        assert_eq!(skipped.records_lost, 2);
+        assert_eq!(skipped.pages.len(), 1);
+        assert_eq!(skipped.pages[0].page, 3);
+        assert_eq!(skipped.pages[0].expected_records, 2);
+        assert!(skipped.pages[0].reason.contains("checksum"));
+    }
+
+    #[test]
+    fn recovering_reader_ends_cleanly_on_truncation() {
+        let records: Vec<TraceRecord> = (0..13).map(|i| rec(i as f64, i, 2)).collect();
+        let mut bytes = store(&records, 66);
+        bytes.truncate(bytes.len() - 70); // kill page 7 and part of page 6
+        let mut reader = TraceReader::new_recovering(Cursor::new(bytes)).unwrap();
+        let back: Vec<TraceRecord> = (&mut reader).map(Result::unwrap).collect();
+        assert_eq!(back, records[..10]);
+        assert_eq!(reader.skipped().records_lost, 3);
+        assert!(reader.next().is_none());
+    }
+
+    #[test]
+    fn strict_reader_is_unchanged_by_recovery_plumbing() {
+        let records: Vec<TraceRecord> = (0..13).map(|i| rec(i as f64, i, 2)).collect();
+        let bytes = store(&records, 66);
+        let mut reader = TraceReader::new(Cursor::new(bytes)).unwrap();
+        let back: Vec<TraceRecord> = (&mut reader).map(Result::unwrap).collect();
+        assert_eq!(back, records);
+        assert!(reader.skipped().is_empty());
     }
 }

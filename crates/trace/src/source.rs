@@ -28,35 +28,59 @@ use crate::{Trace, TraceRecord};
 /// mismatch, malformed records); this type erases the concrete error while
 /// keeping it reachable through [`SourceError::inner`] /
 /// [`Error::source`] for callers that want to match on it.
+///
+/// An error may be flagged *transient* ([`SourceError::transient`]): the
+/// source expects the same pull to succeed if retried (a flaky network
+/// hop, an interrupted read). The replay engine retries transient errors
+/// with a bounded budget; non-transient errors abort the replay.
 #[derive(Debug)]
-pub struct SourceError(Box<dyn Error + Send + Sync + 'static>);
+pub struct SourceError {
+    inner: Box<dyn Error + Send + Sync + 'static>,
+    transient: bool,
+}
 
 impl SourceError {
-    /// Wraps a concrete source error.
+    /// Wraps a concrete, non-transient source error.
     pub fn new<E: Error + Send + Sync + 'static>(inner: E) -> Self {
-        SourceError(Box::new(inner))
+        SourceError {
+            inner: Box::new(inner),
+            transient: false,
+        }
+    }
+
+    /// Wraps a concrete error that a retry of the same pull may clear.
+    pub fn transient<E: Error + Send + Sync + 'static>(inner: E) -> Self {
+        SourceError {
+            inner: Box::new(inner),
+            transient: true,
+        }
+    }
+
+    /// Whether retrying the pull may succeed.
+    pub fn is_transient(&self) -> bool {
+        self.transient
     }
 
     /// The concrete error this wraps.
     pub fn inner(&self) -> &(dyn Error + Send + Sync + 'static) {
-        self.0.as_ref()
+        self.inner.as_ref()
     }
 
     /// Attempts to view the concrete error as an `E`.
     pub fn downcast_ref<E: Error + 'static>(&self) -> Option<&E> {
-        self.0.downcast_ref::<E>()
+        self.inner.downcast_ref::<E>()
     }
 }
 
 impl fmt::Display for SourceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "trace source error: {}", self.0)
+        write!(f, "trace source error: {}", self.inner)
     }
 }
 
 impl Error for SourceError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
-        Some(self.0.as_ref())
+        Some(self.inner.as_ref())
     }
 }
 
@@ -77,6 +101,23 @@ pub trait TraceSource {
     /// for unreadable/corrupt sources. After an error or `None` the source
     /// is exhausted; further calls return `None`.
     fn next_record(&mut self) -> Option<Result<TraceRecord, SourceError>>;
+}
+
+/// A mutable reference to a source is itself a source, so callers can keep
+/// ownership of a reader/wrapper (e.g. to inspect its counters or recovery
+/// summary) while the replay engine drives it.
+impl<T: TraceSource + ?Sized> TraceSource for &mut T {
+    fn page_bytes(&self) -> u64 {
+        (**self).page_bytes()
+    }
+
+    fn total_pages(&self) -> u64 {
+        (**self).total_pages()
+    }
+
+    fn next_record(&mut self) -> Option<Result<TraceRecord, SourceError>> {
+        (**self).next_record()
+    }
 }
 
 /// The in-memory [`TraceSource`] over a [`Trace`] (see [`Trace::source`]).
@@ -147,5 +188,27 @@ mod tests {
         assert!(e.to_string().contains("rate"));
         assert_eq!(e.downcast_ref::<crate::TraceError>(), Some(&inner));
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn transient_flag_distinguishes_retryable_errors() {
+        let inner = crate::TraceError::InvalidConfig {
+            name: "x",
+            requirement: "y",
+        };
+        assert!(!SourceError::new(inner.clone()).is_transient());
+        assert!(SourceError::transient(inner).is_transient());
+    }
+
+    #[test]
+    fn mut_reference_is_a_source() {
+        let t = Trace::new(vec![rec(1.0, 0)], 4096, 8);
+        let mut s = t.source();
+        let mut by_ref = &mut s;
+        assert_eq!(TraceSource::page_bytes(&by_ref), 4096);
+        assert_eq!(TraceSource::total_pages(&by_ref), 8);
+        assert!(matches!(TraceSource::next_record(&mut by_ref), Some(Ok(_))));
+        // The original source observed the pull.
+        assert!(s.next_record().is_none());
     }
 }
