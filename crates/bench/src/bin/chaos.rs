@@ -8,32 +8,184 @@
 //! on the joint level, or blew the delayed-request bound. CI greps the
 //! resulting JSONL via `obs_tool summary` for `fallbacks`/`recoveries`.
 //!
-//! Usage: `chaos [OUT.jsonl] [SEED]` (default `results/chaos.jsonl`, seed 1)
+//! With `--ckpt` the run snapshots into a `.jck` file (see `jpmd-ckpt`)
+//! and the telemetry sink becomes a flush-per-record WAL; `--die-after N`
+//! stops the process right after the Nth checkpoint is sealed (the CI
+//! crash-resume smoke's deterministic stand-in for `kill -9`), and
+//! `--resume` restarts from whatever the `.jck` and WAL remember,
+//! producing a report bit-identical to an uninterrupted run.
+//!
+//! Usage:
+//!
+//! ```text
+//! chaos [OUT.jsonl] [SEED] [--ckpt PATH] [--every N] [--die-after N]
+//!       [--resume] [--report PATH]
+//! ```
+//!
+//! (default `results/chaos.jsonl`, seed 1, checkpoint every period)
 
+use jpmd_ckpt::{load_checkpoint, CkptMeta, FileCheckpointer};
 use jpmd_core::JointConfig;
-use jpmd_faults::{chaos_trace, run_chaos, ChaosConfig, FallbackLevel, GuardConfig};
+use jpmd_faults::{
+    chaos_trace, run_chaos, run_chaos_checkpointed, ChaosConfig, ChaosOutcome, ChaosReport,
+    FallbackLevel, GuardConfig,
+};
 use jpmd_mem::IdlePolicy;
-use jpmd_obs::{JsonlSink, Telemetry};
+use jpmd_obs::{JsonlSink, Telemetry, WalPolicy};
+use jpmd_sim::{CheckpointOptions, CheckpointPolicy, SimCheckpoint};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let out = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "results/chaos.jsonl".to_string());
-    let seed: u64 = match std::env::args().nth(2) {
-        Some(s) => s.parse()?,
-        None => 1,
+const TRACE_SEED: u64 = 42;
+
+struct Args {
+    out: String,
+    seed: u64,
+    ckpt: Option<String>,
+    every: u64,
+    die_after: Option<u64>,
+    resume: bool,
+    report: Option<String>,
+}
+
+fn parse_args() -> Result<Args, Box<dyn std::error::Error>> {
+    let mut args = Args {
+        out: "results/chaos.jsonl".to_string(),
+        seed: 1,
+        ckpt: None,
+        every: 1,
+        die_after: None,
+        resume: false,
+        report: None,
     };
-    if let Some(dir) = std::path::Path::new(&out).parent() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional = 0usize;
+    let mut i = 0usize;
+    while i < raw.len() {
+        let flag_value = |i: &mut usize| -> Result<String, Box<dyn std::error::Error>> {
+            *i += 1;
+            raw.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("flag {} needs a value", raw[*i - 1]).into())
+        };
+        match raw[i].as_str() {
+            "--ckpt" => args.ckpt = Some(flag_value(&mut i)?),
+            "--every" => args.every = flag_value(&mut i)?.parse()?,
+            "--die-after" => args.die_after = Some(flag_value(&mut i)?.parse()?),
+            "--resume" => args.resume = true,
+            "--report" => args.report = Some(flag_value(&mut i)?),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other}").into());
+            }
+            other => {
+                match positional {
+                    0 => args.out = other.to_string(),
+                    1 => args.seed = other.parse()?,
+                    _ => return Err(format!("unexpected argument {other}").into()),
+                }
+                positional += 1;
+            }
+        }
+        i += 1;
+    }
+    if (args.die_after.is_some() || args.resume) && args.ckpt.is_none() {
+        return Err("--die-after/--resume require --ckpt".into());
+    }
+    Ok(args)
+}
+
+fn ensure_parent(path: &str) -> std::io::Result<()> {
+    if let Some(dir) = std::path::Path::new(path).parent() {
         if !dir.as_os_str().is_empty() {
             std::fs::create_dir_all(dir)?;
         }
     }
+    Ok(())
+}
 
-    let chaos = ChaosConfig::small_test(seed);
-    let trace = chaos_trace(&chaos.scale, chaos.duration_secs, 42);
-    let telemetry = Telemetry::new(Box::new(JsonlSink::create(&out)?));
-    let result = run_chaos(&chaos, trace.source(), &telemetry)?;
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = parse_args()?;
+    ensure_parent(&args.out)?;
+    if let Some(ckpt) = &args.ckpt {
+        ensure_parent(ckpt)?;
+    }
 
+    let result = match &args.ckpt {
+        None => {
+            let chaos = ChaosConfig::small_test(args.seed);
+            let trace = chaos_trace(&chaos.scale, chaos.duration_secs, TRACE_SEED);
+            let telemetry = Telemetry::new(Box::new(JsonlSink::create(&args.out)?));
+            run_chaos(&chaos, trace.source(), &telemetry)?
+        }
+        Some(ckpt_path) if args.resume => {
+            let (meta, ckpt) = load_checkpoint(ckpt_path)?;
+            if meta.kind != "chaos-small" {
+                return Err(
+                    format!("checkpoint kind '{}' is not resumable here", meta.kind).into(),
+                );
+            }
+            let chaos = ChaosConfig::small_test(meta.seed);
+            let trace = chaos_trace(&chaos.scale, chaos.duration_secs, meta.trace_seed);
+            let wal = meta.telemetry.clone().unwrap_or_else(|| args.out.clone());
+            let telemetry = Telemetry::new(Box::new(JsonlSink::resume(
+                &wal,
+                ckpt.telemetry_seq,
+                WalPolicy::wal(),
+            )?));
+            println!(
+                "chaos: resuming seed {} from {ckpt_path} (period {}, telemetry seq {})",
+                meta.seed, ckpt.engine.stats.counts.period_boundaries, ckpt.telemetry_seq,
+            );
+            match run_chaos_checkpointed(&chaos, trace.source(), &telemetry, Some(&ckpt), None)? {
+                ChaosOutcome::Completed(report) => *report,
+                ChaosOutcome::Interrupted => unreachable!("resume runs without a checkpoint stop"),
+            }
+        }
+        Some(ckpt_path) => {
+            let chaos = ChaosConfig::small_test(args.seed);
+            let trace = chaos_trace(&chaos.scale, chaos.duration_secs, TRACE_SEED);
+            let telemetry = Telemetry::new(Box::new(JsonlSink::create_with(
+                &args.out,
+                WalPolicy::wal(),
+            )?));
+            let meta =
+                CkptMeta::chaos_small(args.seed, TRACE_SEED).with_telemetry(args.out.clone());
+            let mut saver = FileCheckpointer::new(ckpt_path, meta, telemetry.clone());
+            let die_after = args.die_after;
+            let every = args.every;
+            let mut on_checkpoint = |ckpt: SimCheckpoint| {
+                saver.save(&ckpt) && die_after.is_none_or(|n| saver.saved() < n)
+            };
+            let outcome = run_chaos_checkpointed(
+                &chaos,
+                trace.source(),
+                &telemetry,
+                None,
+                Some(CheckpointOptions {
+                    policy: CheckpointPolicy::every(every),
+                    on_checkpoint: &mut on_checkpoint,
+                }),
+            )?;
+            if let Some(e) = saver.take_error() {
+                return Err(format!("checkpoint save failed: {e}").into());
+            }
+            match outcome {
+                ChaosOutcome::Completed(report) => *report,
+                ChaosOutcome::Interrupted => {
+                    println!(
+                        "chaos: interrupted after {} checkpoint(s), state in {ckpt_path}; \
+                         rerun with --ckpt {ckpt_path} --resume",
+                        saver.saved(),
+                    );
+                    return Ok(());
+                }
+            }
+        }
+    };
+
+    report_and_check(&args, &result)
+}
+
+fn report_and_check(args: &Args, result: &ChaosReport) -> Result<(), Box<dyn std::error::Error>> {
+    let chaos = ChaosConfig::small_test(args.seed);
     let cfg = JointConfig::from_sim(
         &chaos
             .scale
@@ -42,9 +194,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let delay_bound = GuardConfig::from_joint(&cfg).delay_ratio_limit;
 
     println!(
-        "chaos: seed {seed}, {} periods, {:.1} kJ, events -> {out}",
+        "chaos: seed {}, {} periods, {:.1} kJ, events -> {}",
+        args.seed,
         result.report.periods.len(),
         result.report.energy.total_j() / 1e3,
+        args.out,
     );
     println!(
         "  injected: {} source faults ({} transient), {} hw faults ({:.2} s stalled), {} policy faults",
@@ -73,6 +227,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         result.delayed_ratio(),
         result.report.utilization,
     );
+
+    if let Some(report_path) = &args.report {
+        // Wall-clock fields are excluded from RunReport equality; zero
+        // them here too so two equal runs produce byte-identical JSON
+        // (the CI crash-resume smoke diffs these files).
+        let mut report = result.report.clone();
+        report.engine.replay_wall_secs = 0.0;
+        report.engine.accesses_per_sec = 0.0;
+        for span in &mut report.spans {
+            span.total_secs = 0.0;
+            span.max_secs = 0.0;
+        }
+        ensure_parent(report_path)?;
+        std::fs::write(report_path, serde_json::to_string_pretty(&report)?)?;
+        println!("  report -> {report_path} (wall-clock fields zeroed)");
+    }
 
     let mut failures = Vec::new();
     if result.guard.fallbacks + result.guard.watchdog_trips == 0 {

@@ -1,0 +1,73 @@
+//! [`CkptError`]: one typed error per way a `.jck` file can be wrong.
+//!
+//! The split mirrors `jpmd_store::StoreError`: a foreign file is named as
+//! such ([`CkptError::BadMagic`]) before any checksum work, a future
+//! format is refused cleanly ([`CkptError::UnsupportedVersion`]), and
+//! every physical corruption mode — short file, unsealed header, length
+//! or checksum mismatch — is a [`CkptError::Torn`] with a human-readable
+//! detail, never a panic.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Why a checkpoint could not be saved or loaded.
+#[derive(Debug)]
+pub enum CkptError {
+    /// An underlying I/O operation failed.
+    Io(io::Error),
+    /// The file does not start with the `.jck` magic — it is not a
+    /// checkpoint at all.
+    BadMagic {
+        /// The first eight bytes actually found.
+        found: [u8; 8],
+    },
+    /// The file is a checkpoint, but from a format version this build
+    /// does not understand.
+    UnsupportedVersion {
+        /// The version the header claims.
+        found: u16,
+    },
+    /// The file is physically damaged: truncated, unsealed (the writer
+    /// crashed before committing), or failing a checksum.
+    Torn {
+        /// What exactly did not add up.
+        detail: String,
+    },
+    /// The payload is physically intact but does not decode into a
+    /// checkpoint (foreign schema, tampered value tree).
+    Decode(String),
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CkptError::BadMagic { found } => write!(
+                f,
+                "not a jpmd checkpoint (magic {:02x?}, expected \"JPMDCKP1\")",
+                found
+            ),
+            CkptError::UnsupportedVersion { found } => {
+                write!(f, "unsupported checkpoint format version {found}")
+            }
+            CkptError::Torn { detail } => write!(f, "torn checkpoint: {detail}"),
+            CkptError::Decode(detail) => write!(f, "undecodable checkpoint payload: {detail}"),
+        }
+    }
+}
+
+impl Error for CkptError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CkptError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CkptError {
+    fn from(e: io::Error) -> Self {
+        CkptError::Io(e)
+    }
+}

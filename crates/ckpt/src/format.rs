@@ -1,0 +1,219 @@
+//! The `.jck` on-disk format: a 64-byte CRC-guarded header followed by
+//! one binary-encoded value tree (see [`crate::codec`]).
+//!
+//! ```text
+//! offset  size  field
+//!      0     8  magic  b"JPMDCKP1"
+//!      8     2  format version (LE), currently 1
+//!     10     8  payload length in bytes (LE); u64::MAX = unsealed poison
+//!     18     4  CRC-32 of the payload (LE)
+//!     22    38  reserved, zero
+//!     60     4  CRC-32 of header bytes 0..60 (LE)
+//!     64     —  payload (binary value tree)
+//! ```
+//!
+//! **Write protocol** (crash-consistent): the file is written under a
+//! temporary sibling name with a *poisoned* header (`payload_len =
+//! u64::MAX`), the payload appended, the header rewritten sealed, the
+//! file fsynced, atomically renamed over the destination, and the parent
+//! directory fsynced ([`jpmd_store::sync_parent_dir`]). A crash at any
+//! point leaves either the previous good checkpoint (rename not yet
+//! durable) or a file that [`read_jck`] rejects as
+//! [`CkptError::Torn`] — never a silently wrong resume point.
+//!
+//! **Read protocol**: magic, then version, then header CRC, then the
+//! poison check, then payload length and CRC, in that order — so a
+//! foreign file is named as foreign before any checksum complaint, and
+//! every physical defect is a typed error.
+
+use std::fs::{self, File};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::Path;
+
+use jpmd_store::{crc32, sync_parent_dir};
+use serde::Value;
+
+use crate::codec;
+use crate::error::CkptError;
+
+/// The eight magic bytes opening every `.jck` file.
+pub const MAGIC: [u8; 8] = *b"JPMDCKP1";
+/// The format version this build reads and writes.
+pub const VERSION: u16 = 1;
+/// Fixed header size, bytes.
+pub const HEADER_BYTES: usize = 64;
+/// The `payload_len` a header carries while its file is still being
+/// written; a surviving poison marks a writer that crashed mid-save.
+const POISON_LEN: u64 = u64::MAX;
+
+fn encode_header(payload_len: u64, payload_crc: u32) -> [u8; HEADER_BYTES] {
+    let mut buf = [0u8; HEADER_BYTES];
+    buf[0..8].copy_from_slice(&MAGIC);
+    buf[8..10].copy_from_slice(&VERSION.to_le_bytes());
+    buf[10..18].copy_from_slice(&payload_len.to_le_bytes());
+    buf[18..22].copy_from_slice(&payload_crc.to_le_bytes());
+    let crc = crc32(&buf[..HEADER_BYTES - 4]);
+    buf[HEADER_BYTES - 4..].copy_from_slice(&crc.to_le_bytes());
+    buf
+}
+
+/// Serializes `root` into `path` with the crash-consistent write
+/// protocol described in the module docs.
+pub(crate) fn write_jck(path: &Path, root: &Value) -> Result<(), CkptError> {
+    let payload = codec::encode(root);
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| CkptError::Io(std::io::Error::other("checkpoint path has no file name")))?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+
+    let mut file = File::create(&tmp)?;
+    file.write_all(&encode_header(POISON_LEN, 0))?;
+    file.write_all(&payload)?;
+    file.seek(SeekFrom::Start(0))?;
+    file.write_all(&encode_header(payload.len() as u64, crc32(&payload)))?;
+    file.sync_all()?;
+    drop(file);
+
+    fs::rename(&tmp, path)?;
+    sync_parent_dir(path)?;
+    Ok(())
+}
+
+/// Loads and validates `path`, returning the decoded payload tree.
+pub(crate) fn read_jck(path: &Path) -> Result<Value, CkptError> {
+    let data = fs::read(path)?;
+    // Name a foreign file as foreign before complaining about its size.
+    if data.len() >= 8 && data[0..8] != MAGIC {
+        let mut found = [0u8; 8];
+        found.copy_from_slice(&data[0..8]);
+        return Err(CkptError::BadMagic { found });
+    }
+    if data.len() < HEADER_BYTES {
+        return Err(CkptError::Torn {
+            detail: format!(
+                "file is {} bytes, shorter than the {HEADER_BYTES}-byte header",
+                data.len()
+            ),
+        });
+    }
+    let header = &data[..HEADER_BYTES];
+    let version = u16::from_le_bytes([header[8], header[9]]);
+    if version != VERSION {
+        return Err(CkptError::UnsupportedVersion { found: version });
+    }
+    let stored_header_crc = u32::from_le_bytes([header[60], header[61], header[62], header[63]]);
+    if crc32(&header[..HEADER_BYTES - 4]) != stored_header_crc {
+        return Err(CkptError::Torn {
+            detail: "header checksum mismatch".into(),
+        });
+    }
+    let payload_len = u64::from_le_bytes(header[10..18].try_into().expect("8-byte slice"));
+    if payload_len == POISON_LEN {
+        return Err(CkptError::Torn {
+            detail: "unsealed header: the writer crashed before committing".into(),
+        });
+    }
+    let payload_crc = u32::from_le_bytes(header[18..22].try_into().expect("4-byte slice"));
+    let payload = &data[HEADER_BYTES..];
+    if payload.len() as u64 != payload_len {
+        return Err(CkptError::Torn {
+            detail: format!(
+                "payload truncated: header promises {payload_len} bytes, file carries {}",
+                payload.len()
+            ),
+        });
+    }
+    if crc32(payload) != payload_crc {
+        return Err(CkptError::Torn {
+            detail: "payload checksum mismatch".into(),
+        });
+    }
+    codec::decode(payload).map_err(CkptError::Decode)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("jpmd-ckpt-format-{tag}-{}.jck", std::process::id()))
+    }
+
+    fn sample() -> Value {
+        Value::Object(vec![
+            ("label".into(), Value::Str("run".into())),
+            (
+                "floats".into(),
+                Value::Array(vec![Value::F64(f64::NAN), Value::F64(-0.0)]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn writes_seal_atomically_and_read_back() {
+        let path = tmp_path("roundtrip");
+        write_jck(&path, &sample()).expect("write");
+        let back = read_jck(&path).expect("read");
+        assert_eq!(format!("{back:?}"), format!("{:?}", sample()));
+        // Overwriting in place goes through the same temp+rename publish.
+        write_jck(&path, &Value::Null).expect("rewrite");
+        assert_eq!(read_jck(&path).expect("reread"), Value::Null);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn foreign_and_future_files_are_named_before_checksums() {
+        let path = tmp_path("foreign");
+        fs::write(&path, b"JPMDTRC1this is a trace store, not a checkpoint").expect("write");
+        match read_jck(&path) {
+            Err(CkptError::BadMagic { found }) => assert_eq!(&found, b"JPMDTRC1"),
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
+
+        write_jck(&path, &sample()).expect("write");
+        let mut bytes = fs::read(&path).expect("read");
+        bytes[8..10].copy_from_slice(&7u16.to_le_bytes());
+        // Re-seal the header CRC so only the version is wrong.
+        let crc = crc32(&bytes[..HEADER_BYTES - 4]);
+        bytes[HEADER_BYTES - 4..HEADER_BYTES].copy_from_slice(&crc.to_le_bytes());
+        fs::write(&path, &bytes).expect("rewrite");
+        match read_jck(&path) {
+            Err(CkptError::UnsupportedVersion { found: 7 }) => {}
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn a_surviving_poison_header_reads_as_torn() {
+        let path = tmp_path("poison");
+        write_jck(&path, &sample()).expect("write");
+        let mut bytes = fs::read(&path).expect("read");
+        bytes[10..18].copy_from_slice(&u64::MAX.to_le_bytes());
+        let crc = crc32(&bytes[..HEADER_BYTES - 4]);
+        bytes[HEADER_BYTES - 4..HEADER_BYTES].copy_from_slice(&crc.to_le_bytes());
+        fs::write(&path, &bytes).expect("rewrite");
+        match read_jck(&path) {
+            Err(CkptError::Torn { detail }) => assert!(detail.contains("unsealed"), "{detail}"),
+            other => panic!("expected Torn, got {other:?}"),
+        }
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn payload_corruption_is_torn() {
+        let path = tmp_path("flip");
+        write_jck(&path, &sample()).expect("write");
+        let mut bytes = fs::read(&path).expect("read");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        fs::write(&path, &bytes).expect("rewrite");
+        match read_jck(&path) {
+            Err(CkptError::Torn { detail }) => assert!(detail.contains("checksum"), "{detail}"),
+            other => panic!("expected Torn, got {other:?}"),
+        }
+        fs::remove_file(&path).ok();
+    }
+}

@@ -513,6 +513,18 @@ impl JointPolicy {
     }
 }
 
+/// The dynamic state of a [`JointPolicy`], captured into checkpoints: the
+/// period counter (it numbers `PolicyDecision` telemetry events) and the
+/// most recent candidate table (exposed through
+/// [`JointPolicy::last_evaluations`]). The configuration and telemetry
+/// handle are *not* part of the snapshot — a resumed run reconstructs
+/// them the same way the original did.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct JointSnapshot {
+    period: u64,
+    last_evaluations: Vec<CandidateEvaluation>,
+}
+
 impl PeriodController for JointPolicy {
     fn on_period_end(&mut self, obs: &PeriodObservation, log: &AccessLog) -> ControlAction {
         self.try_decide(obs, log)
@@ -521,6 +533,20 @@ impl PeriodController for JointPolicy {
 
     fn name(&self) -> &str {
         "joint"
+    }
+
+    fn snapshot_state(&self) -> serde::Value {
+        serde::Serialize::to_value(&JointSnapshot {
+            period: self.period,
+            last_evaluations: self.last_evaluations.clone(),
+        })
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        let snapshot = <JointSnapshot as serde::Deserialize>::from_value(state)?;
+        self.period = snapshot.period;
+        self.last_evaluations = snapshot.last_evaluations;
+        Ok(())
     }
 }
 

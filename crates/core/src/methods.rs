@@ -18,7 +18,10 @@ use serde::{Deserialize, Serialize};
 use jpmd_disk::SpinDownPolicy;
 use jpmd_mem::{IdlePolicy, MemConfig, Replacement};
 use jpmd_obs::Telemetry;
-use jpmd_sim::{run_simulation_source_with, NullController, RunReport, SimConfig};
+use jpmd_sim::{
+    run_simulation_full, CheckpointOptions, NullController, RunReport, SimCheckpoint, SimConfig,
+    SimOutcome,
+};
 use jpmd_trace::{SourceError, Trace, TraceSource};
 
 use crate::{JointConfig, JointPolicy, SimScale};
@@ -266,6 +269,54 @@ pub fn run_method_source_with<S: TraceSource>(
     period_secs: f64,
     telemetry: &Telemetry,
 ) -> Result<RunReport, SourceError> {
+    match run_method_checkpointed(
+        spec,
+        scale,
+        source,
+        warmup_secs,
+        duration_secs,
+        period_secs,
+        telemetry,
+        None,
+        None,
+    )? {
+        SimOutcome::Completed(report) => Ok(*report),
+        SimOutcome::Interrupted => unreachable!("no checkpoint policy was installed"),
+    }
+}
+
+/// The checkpointable twin of [`run_method_source_with`]: the same method
+/// wiring, with optional checkpoint capture and resume-from-checkpoint
+/// forwarded to [`run_simulation_full`].
+///
+/// The resume contract is [`run_simulation_full`]'s: a resumed run must be
+/// rebuilt from the **same** spec, scale, cadence, and an identical source
+/// (the engine replays and discards the consumed prefix), after which the
+/// completed report is bit-identical to the uninterrupted run's. The
+/// joint method's controller state (period counter, last candidate table)
+/// travels inside the checkpoint's observer/controller images.
+///
+/// # Errors
+///
+/// Propagates the first [`SourceError`] the source yields, an invalid
+/// joint configuration, or a checkpoint that fails to restore.
+///
+/// # Panics
+///
+/// Panics if the source's page size differs from the scale's, or if
+/// `duration_secs` does not exceed the warm-up.
+#[allow(clippy::too_many_arguments)] // mirrors run_method_source_with + resume/checkpoints
+pub fn run_method_checkpointed<S: TraceSource>(
+    spec: &MethodSpec,
+    scale: &SimScale,
+    source: S,
+    warmup_secs: f64,
+    duration_secs: f64,
+    period_secs: f64,
+    telemetry: &Telemetry,
+    resume: Option<&SimCheckpoint>,
+    checkpoints: Option<CheckpointOptions<'_>>,
+) -> Result<SimOutcome, SourceError> {
     let mut sim = scale.sim_config(spec.mem_policy, spec.initial_banks);
     sim.warmup_secs = warmup_secs;
     sim.period_secs = period_secs;
@@ -277,7 +328,7 @@ pub fn run_method_source_with<S: TraceSource>(
             cfg.period_secs = period_secs;
             let mut controller = JointPolicy::try_with_telemetry(cfg, telemetry.clone())
                 .map_err(SourceError::new)?;
-            run_simulation_source_with(
+            run_simulation_full(
                 &sim,
                 spec.spindown.clone(),
                 &mut controller,
@@ -285,9 +336,12 @@ pub fn run_method_source_with<S: TraceSource>(
                 duration_secs,
                 &spec.label,
                 telemetry,
+                None,
+                resume,
+                checkpoints,
             )
         }
-        None => run_simulation_source_with(
+        None => run_simulation_full(
             &sim,
             spec.spindown.clone(),
             &mut NullController,
@@ -295,6 +349,9 @@ pub fn run_method_source_with<S: TraceSource>(
             duration_secs,
             &spec.label,
             telemetry,
+            None,
+            resume,
+            checkpoints,
         ),
     }
 }

@@ -292,6 +292,65 @@ impl Disk {
     pub fn bytes_transferred(&self) -> u64 {
         self.bytes_transferred
     }
+
+    /// Captures the disk's dynamic state (mode, clocks, head position,
+    /// energy, counters) for checkpointing. The power/service models and
+    /// page space come from construction and are not captured; restore into
+    /// a disk built with the same models.
+    pub fn snapshot_state(&self) -> serde::Value {
+        DiskSnapshot {
+            timeout: self.timeout,
+            mode: self.mode,
+            busy_until: self.busy_until,
+            spin_up_until: self.spin_up_until,
+            settled: self.settled,
+            head_page: self.head_page,
+            energy: self.energy,
+            busy_secs: self.busy_secs,
+            spin_downs: self.spin_downs,
+            requests: self.requests,
+            bytes_transferred: self.bytes_transferred,
+        }
+        .to_value()
+    }
+
+    /// Restores state captured by [`Disk::snapshot_state`] into a disk
+    /// built with the same models.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `value` does not decode as a disk snapshot.
+    pub fn restore_state(&mut self, value: &serde::Value) -> Result<(), serde::Error> {
+        let s = DiskSnapshot::from_value(value)?;
+        self.timeout = s.timeout;
+        self.mode = s.mode;
+        self.busy_until = s.busy_until;
+        self.spin_up_until = s.spin_up_until;
+        self.settled = s.settled;
+        self.head_page = s.head_page;
+        self.energy = s.energy;
+        self.busy_secs = s.busy_secs;
+        self.spin_downs = s.spin_downs;
+        self.requests = s.requests;
+        self.bytes_transferred = s.bytes_transferred;
+        Ok(())
+    }
+}
+
+/// Serializable image of a [`Disk`]'s dynamic fields.
+#[derive(Serialize, Deserialize)]
+struct DiskSnapshot {
+    timeout: f64,
+    mode: DiskMode,
+    busy_until: f64,
+    spin_up_until: f64,
+    settled: f64,
+    head_page: u64,
+    energy: DiskEnergy,
+    busy_secs: f64,
+    spin_downs: u64,
+    requests: u64,
+    bytes_transferred: u64,
 }
 
 #[cfg(test)]
@@ -521,6 +580,32 @@ mod tests {
                 prop_assert!(out.latency >= 10.0);
             }
         }
+    }
+
+    #[test]
+    fn snapshot_round_trip_resumes_identically() {
+        let mut a = disk();
+        a.set_timeout(8.0);
+        a.submit(0.0, 0, 4, 1 << 20);
+        a.submit(30.0, 512, 2, 1 << 20);
+        a.settle(45.0);
+        let snap = a.snapshot_state();
+        let mut b = disk();
+        b.restore_state(&snap).unwrap();
+        assert_eq!(a.mode(), b.mode());
+        assert_eq!(a.timeout().to_bits(), b.timeout().to_bits());
+        let (oa, ob) = (
+            a.submit(60.0, 9_000, 1, 4096),
+            b.submit(60.0, 9_000, 1, 4096),
+        );
+        assert_eq!(oa, ob);
+        a.settle(200.0);
+        b.settle(200.0);
+        assert_eq!(a.energy(), b.energy());
+        assert_eq!(a.spin_downs(), b.spin_downs());
+        assert_eq!(a.requests(), b.requests());
+        assert_eq!(a.bytes_transferred(), b.bytes_transferred());
+        assert_eq!(a.busy_secs().to_bits(), b.busy_secs().to_bits());
     }
 
     #[test]

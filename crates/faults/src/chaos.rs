@@ -13,11 +13,10 @@
 use jpmd_core::{JointConfig, JointPolicy, SimScale};
 use jpmd_disk::SpinDownPolicy;
 use jpmd_mem::IdlePolicy;
-use jpmd_obs::{ObsEvent, SpanRecorder, Telemetry};
+use jpmd_obs::Telemetry;
 use jpmd_sim::{
-    EnergyMeter, Engine, FaultInjector, FlushDaemon, HwState, LatencyTracker, PeriodAccounting,
-    PeriodController, RunReport, SimConfig, SimObserver, TelemetryObserver, TimedController,
-    WarmupWindow,
+    run_simulation_full, CheckpointOptions, FaultInjector, PeriodController, RunReport,
+    SimCheckpoint, SimConfig, SimOutcome,
 };
 use jpmd_trace::{SourceError, Trace, TraceSource, WorkloadBuilder, GIB, MIB};
 
@@ -58,91 +57,12 @@ pub fn run_instrumented<S: TraceSource>(
     telemetry: &Telemetry,
     injector: Option<Box<dyn FaultInjector>>,
 ) -> Result<RunReport, SourceError> {
-    config.validate();
-    assert_eq!(
-        source.page_bytes(),
-        config.mem.page_bytes,
-        "trace and memory must agree on the page size"
-    );
-    assert!(
-        duration > config.warmup_secs,
-        "duration must exceed the warm-up window"
-    );
-
-    telemetry.emit_with(|| ObsEvent::RunStart {
-        label: label.to_string(),
-        duration_s: duration,
-    });
-    let spans = SpanRecorder::new();
-
-    let mut hw = HwState::new(config, spindown, source.total_pages().max(1));
-    if let Some(injector) = injector {
-        hw.set_fault_injector(injector);
+    match run_simulation_full(
+        config, spindown, controller, source, duration, label, telemetry, injector, None, None,
+    )? {
+        SimOutcome::Completed(report) => Ok(*report),
+        SimOutcome::Interrupted => unreachable!("no checkpoint policy was installed"),
     }
-    let mut timed = TimedController::new(controller, spans.clone(), telemetry.clone());
-    let mut warmup = WarmupWindow::new(config.warmup_secs);
-    let mut periods = PeriodAccounting::new(
-        &mut timed,
-        config.period_secs,
-        config.aggregation_window_secs,
-        config.long_latency_secs,
-    );
-    let mut flush = FlushDaemon::new(config.sync_interval_secs);
-    let mut latency = LatencyTracker::new(config.warmup_secs, config.long_latency_secs);
-    let mut energy = EnergyMeter::new();
-    let mut observer = TelemetryObserver::new(telemetry);
-
-    let engine = {
-        let mut observers: Vec<&mut dyn SimObserver> = vec![
-            &mut warmup,
-            &mut periods,
-            &mut flush,
-            &mut latency,
-            &mut energy,
-        ];
-        if telemetry.is_enabled() {
-            observers.push(&mut observer);
-        }
-        let _replay = spans.time_with("engine.replay", telemetry);
-        Engine::with_metrics(telemetry.registry()).run_source(
-            source,
-            duration,
-            &mut hw,
-            &mut observers,
-        )?
-    };
-
-    let window = duration - config.warmup_secs;
-    let (traffic, lat) = {
-        let _finalize = spans.time_with("report.finalize", telemetry);
-        (energy.finalize(&hw, window), latency.finalize())
-    };
-    let report = RunReport {
-        label: label.to_string(),
-        duration_secs: window,
-        energy: traffic.energy,
-        cache_accesses: traffic.cache_accesses,
-        hits: traffic.hits,
-        disk_page_accesses: traffic.disk_page_accesses,
-        disk_requests: traffic.disk_requests,
-        mean_latency_secs: lat.mean_latency_secs,
-        request_latency_p50_secs: lat.request_latency_p50_secs,
-        request_latency_p99_secs: lat.request_latency_p99_secs,
-        max_latency_secs: lat.max_latency_secs,
-        long_latency_count: lat.long_latency_count,
-        utilization: traffic.utilization,
-        spin_downs: traffic.spin_downs,
-        periods: periods.into_rows(),
-        engine,
-        spans: spans.snapshot(),
-    };
-    telemetry.emit_with(|| ObsEvent::RunEnd {
-        label: report.label.clone(),
-        periods: report.periods.len() as u64,
-        events: report.engine.events_processed,
-    });
-    telemetry.flush();
-    Ok(report)
 }
 
 /// A complete chaos-run recipe: what to inject and at what scale/cadence.
@@ -207,6 +127,26 @@ impl ChaosReport {
     }
 }
 
+/// Outcome of a checkpointable chaos run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChaosOutcome {
+    /// The run reached its target duration; the chaos report is final.
+    Completed(Box<ChaosReport>),
+    /// The run stopped early at a checkpoint; the last checkpoint handed
+    /// to the callback is the resume point.
+    Interrupted,
+}
+
+impl ChaosOutcome {
+    /// The completed report, or `None` for an interrupted run.
+    pub fn into_report(self) -> Option<ChaosReport> {
+        match self {
+            ChaosOutcome::Completed(report) => Some(*report),
+            ChaosOutcome::Interrupted => None,
+        }
+    }
+}
+
 /// Runs the joint method under the full fault stack of `chaos.plan`:
 /// the trace source wrapped in a [`FaultyTraceSource`], the hardware
 /// carrying [`HwFaults`], and the joint policy wrapped in a
@@ -230,6 +170,46 @@ pub fn run_chaos<S: TraceSource>(
     source: S,
     telemetry: &Telemetry,
 ) -> Result<ChaosReport, SourceError> {
+    match run_chaos_checkpointed(chaos, source, telemetry, None, None)? {
+        ChaosOutcome::Completed(report) => Ok(*report),
+        ChaosOutcome::Interrupted => unreachable!("no checkpoint policy was installed"),
+    }
+}
+
+/// The checkpointable twin of [`run_chaos`]: the same fault stack, with
+/// optional checkpoint capture and resume-from-checkpoint.
+///
+/// Every stateful element of the stack participates in the checkpoint:
+/// the [`DegradationGuard`]'s chain position and streaks, the
+/// [`FaultyPolicy`]'s RNG/window cursor, the wrapped [`JointPolicy`]'s
+/// period counter, and the [`HwFaults`] injector's RNG and ledger. The
+/// faulty *source* carries no snapshot — resume rebuilds it from the same
+/// plan and replays the discarded prefix, which regenerates the identical
+/// fault stream (injection is a pure function of the RNG position, which
+/// the replay advances identically).
+///
+/// A resumed chaos run must be constructed from the **same**
+/// [`ChaosConfig`] (plan, scale, cadence) and an identical source, exactly
+/// like [`run_simulation_full`]'s resume contract; the completed
+/// [`ChaosReport`] is then bit-identical to the uninterrupted run's.
+///
+/// # Errors
+///
+/// Propagates a [`SourceError`] if the joint configuration is invalid,
+/// the source fails non-transiently, or a resume checkpoint does not
+/// decode against this stack.
+///
+/// # Panics
+///
+/// Panics if the source's page size differs from the scale's, or if the
+/// duration does not exceed the warm-up.
+pub fn run_chaos_checkpointed<S: TraceSource>(
+    chaos: &ChaosConfig,
+    source: S,
+    telemetry: &Telemetry,
+    resume: Option<&SimCheckpoint>,
+    checkpoints: Option<CheckpointOptions<'_>>,
+) -> Result<ChaosOutcome, SourceError> {
     let plan = chaos.plan;
     let mut sim = chaos
         .scale
@@ -258,7 +238,7 @@ pub fn run_chaos<S: TraceSource>(
         Some(Box::new(hw_faults))
     };
 
-    let report = run_instrumented(
+    let outcome = run_simulation_full(
         &sim,
         SpinDownPolicy::controlled(f64::INFINITY),
         &mut guard,
@@ -267,17 +247,23 @@ pub fn run_chaos<S: TraceSource>(
         "Chaos-Joint",
         telemetry,
         injector,
+        resume,
+        checkpoints,
     )?;
+    let report = match outcome {
+        SimOutcome::Completed(report) => *report,
+        SimOutcome::Interrupted => return Ok(ChaosOutcome::Interrupted),
+    };
 
     let hw_faults = *hw_counts.borrow();
-    Ok(ChaosReport {
+    Ok(ChaosOutcome::Completed(Box::new(ChaosReport {
         report,
         guard: *guard.stats(),
         final_level: guard.level(),
         source_faults: *faulty_source.counts(),
         hw_faults,
         injected_policy_faults: guard.inner().injected(),
-    })
+    })))
 }
 
 /// The standard chaos workload: the same synthetic stream the
@@ -302,6 +288,7 @@ pub fn chaos_trace(scale: &SimScale, duration_secs: f64, seed: u64) -> Trace {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use jpmd_obs::ObsEvent;
 
     #[test]
     fn chaos_run_degrades_recovers_and_honors_the_delay_bound() {

@@ -52,6 +52,24 @@ pub trait FalliblePolicy {
     fn name(&self) -> &str {
         "fallible"
     }
+
+    /// The policy's internal state for checkpoints, mirroring
+    /// [`PeriodController::snapshot_state`]. Stateless policies keep the
+    /// default ([`serde::Value::Null`]).
+    fn snapshot_state(&self) -> serde::Value {
+        serde::Value::Null
+    }
+
+    /// Restores the state captured by [`FalliblePolicy::snapshot_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a decode error when `state` does not match this policy's
+    /// snapshot layout.
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        let _ = state;
+        Ok(())
+    }
 }
 
 impl FalliblePolicy for JointPolicy {
@@ -65,6 +83,14 @@ impl FalliblePolicy for JointPolicy {
 
     fn name(&self) -> &str {
         "joint"
+    }
+
+    fn snapshot_state(&self) -> serde::Value {
+        PeriodController::snapshot_state(self)
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        PeriodController::restore_state(self, state)
     }
 }
 
@@ -103,6 +129,17 @@ impl<P: FalliblePolicy> FaultyPolicy<P> {
     }
 }
 
+/// The dynamic state of a [`FaultyPolicy`]: its RNG stream position, the
+/// period cursor that anchors the fault window, the injection count, and
+/// the wrapped policy's own snapshot.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+struct FaultySnapshot {
+    rng_state: u64,
+    period: u64,
+    injected: u64,
+    inner: serde::Value,
+}
+
 impl<P: FalliblePolicy> FalliblePolicy for FaultyPolicy<P> {
     fn try_decide(
         &mut self,
@@ -134,10 +171,27 @@ impl<P: FalliblePolicy> FalliblePolicy for FaultyPolicy<P> {
     fn name(&self) -> &str {
         self.inner.name()
     }
+
+    fn snapshot_state(&self) -> serde::Value {
+        serde::Serialize::to_value(&FaultySnapshot {
+            rng_state: self.rng.state(),
+            period: self.period,
+            injected: self.injected,
+            inner: self.inner.snapshot_state(),
+        })
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        let snapshot = <FaultySnapshot as serde::Deserialize>::from_value(state)?;
+        self.rng = FaultRng::from_state(snapshot.rng_state);
+        self.period = snapshot.period;
+        self.injected = snapshot.injected;
+        self.inner.restore_state(&snapshot.inner)
+    }
 }
 
 /// The guard's operating level, top (richest) to bottom (safest).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum FallbackLevel {
     /// The wrapped policy decides.
     Joint,
@@ -226,7 +280,7 @@ impl GuardConfig {
 }
 
 /// What the guard did over a run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub struct GuardStats {
     /// Periods decided (guard invocations).
     pub decisions: u64,
@@ -411,6 +465,24 @@ impl<P: FalliblePolicy> DegradationGuard<P> {
     }
 }
 
+/// The dynamic state of a [`DegradationGuard`]: the fallback-chain
+/// position, the streak counters and backoff that drive
+/// demotion/promotion, the cumulative [`GuardStats`], and the wrapped
+/// policy's own snapshot. The [`GuardConfig`] and telemetry handle are
+/// reconstructed by the resuming caller, not checkpointed.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+struct GuardSnapshot {
+    level: FallbackLevel,
+    floor: FallbackLevel,
+    period: u64,
+    violation_streak: u32,
+    healthy_streak: u32,
+    failure_streak: u32,
+    backoff_remaining: u64,
+    stats: GuardStats,
+    inner: serde::Value,
+}
+
 impl<P: FalliblePolicy> PeriodController for DegradationGuard<P> {
     fn on_period_end(&mut self, obs: &PeriodObservation, log: &AccessLog) -> ControlAction {
         let period = self.period;
@@ -469,6 +541,33 @@ impl<P: FalliblePolicy> PeriodController for DegradationGuard<P> {
 
     fn name(&self) -> &str {
         "guarded"
+    }
+
+    fn snapshot_state(&self) -> serde::Value {
+        serde::Serialize::to_value(&GuardSnapshot {
+            level: self.level,
+            floor: self.floor,
+            period: self.period,
+            violation_streak: self.violation_streak,
+            healthy_streak: self.healthy_streak,
+            failure_streak: self.failure_streak,
+            backoff_remaining: self.backoff_remaining,
+            stats: self.stats,
+            inner: self.inner.snapshot_state(),
+        })
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        let snapshot = <GuardSnapshot as serde::Deserialize>::from_value(state)?;
+        self.level = snapshot.level;
+        self.floor = snapshot.floor;
+        self.period = snapshot.period;
+        self.violation_streak = snapshot.violation_streak;
+        self.healthy_streak = snapshot.healthy_streak;
+        self.failure_streak = snapshot.failure_streak;
+        self.backoff_remaining = snapshot.backoff_remaining;
+        self.stats = snapshot.stats;
+        self.inner.restore_state(&snapshot.inner)
     }
 }
 

@@ -22,7 +22,7 @@ use crate::plan::{BankFaults, DiskFaults};
 use crate::rng::FaultRng;
 
 /// How many hardware faults a run injected.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
 pub struct HwFaultCounts {
     /// Disk requests whose service time was inflated.
     pub service_stalls: u64,
@@ -72,6 +72,16 @@ impl HwFaults {
     }
 }
 
+/// The injector's dynamic state: RNG stream position, the last granted
+/// bank count (the flaky-bank fallback), and the fault ledger. The plan
+/// knobs are reconstructed by the resuming caller.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+struct HwFaultsSnapshot {
+    rng_state: u64,
+    last_granted: Option<u32>,
+    counts: HwFaultCounts,
+}
+
 impl FaultInjector for HwFaults {
     fn on_disk_request(&mut self, _at: f64, outcome: &RequestOutcome) -> f64 {
         let mut extra = 0.0;
@@ -106,6 +116,22 @@ impl FaultInjector for HwFaults {
         }
         self.last_granted = Some(requested);
         requested
+    }
+
+    fn snapshot_state(&self) -> serde::Value {
+        serde::Serialize::to_value(&HwFaultsSnapshot {
+            rng_state: self.rng.state(),
+            last_granted: self.last_granted,
+            counts: *self.counts.borrow(),
+        })
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        let snapshot = <HwFaultsSnapshot as serde::Deserialize>::from_value(state)?;
+        self.rng = FaultRng::from_state(snapshot.rng_state);
+        self.last_granted = snapshot.last_granted;
+        *self.counts.borrow_mut() = snapshot.counts;
+        Ok(())
     }
 }
 

@@ -41,7 +41,10 @@ mod plan;
 mod rng;
 mod source;
 
-pub use chaos::{chaos_trace, run_chaos, run_instrumented, ChaosConfig, ChaosReport};
+pub use chaos::{
+    chaos_trace, run_chaos, run_chaos_checkpointed, run_instrumented, ChaosConfig, ChaosOutcome,
+    ChaosReport,
+};
 pub use guard::{
     DegradationGuard, FallbackLevel, FalliblePolicy, FaultyPolicy, GuardConfig, GuardStats,
 };

@@ -67,7 +67,7 @@ impl IdlePolicy {
 /// let e = banks.energy();
 /// assert!(e.static_j > 0.0 && e.dynamic_j > 0.0);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BankArray {
     model: RdramModel,
     bank_mb: f64,

@@ -36,7 +36,7 @@ pub struct CacheAccess {
     pub writeback: Option<u64>,
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
 struct Frame {
     page: u64,
     occupied: bool,
@@ -75,7 +75,7 @@ struct Frame {
 /// cache.resize(1);                // drop to one bank
 /// assert!(cache.capacity_pages() == 4);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct DiskCache {
     frames: Vec<Frame>,
     map: HashMap<u64, u32>,

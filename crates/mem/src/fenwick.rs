@@ -1,7 +1,7 @@
 /// A Fenwick (binary-indexed) tree over `u32` counts, used by the
 /// stack-distance profiler to count "still most-recent" access slots in a
 /// time range in O(log n).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
 pub(crate) struct Fenwick {
     tree: Vec<u32>,
 }

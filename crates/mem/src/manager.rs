@@ -58,7 +58,7 @@ impl MemConfig {
 }
 
 /// What a heap entry does when it fires.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 enum ExpiryKind {
     /// The disable timeout passed: drop the bank's pages.
     Invalidate,
@@ -68,7 +68,7 @@ enum ExpiryKind {
 }
 
 /// Heap entry for lazy disable-mode expiry sweeping.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 struct Expiry {
     at: f64,
     bank: u32,
@@ -415,6 +415,68 @@ impl MemoryManager {
     pub fn log(&self) -> &AccessLog {
         &self.log
     }
+
+    /// Captures the full dynamic state (cache contents, bank clocks,
+    /// profiler history, expiry timers, counters) for checkpointing. The
+    /// configuration is *not* captured; restore into a manager built with
+    /// the same [`MemConfig`].
+    pub fn snapshot_state(&self) -> serde::Value {
+        MemSnapshot {
+            cache: self.cache.clone(),
+            banks: self.banks.clone(),
+            profiler: self.profiler.clone(),
+            log: self.log.clone(),
+            // Sorted for a deterministic byte representation; heap order
+            // is rebuilt on restore.
+            ds_heap: self.ds_heap.clone().into_sorted_vec(),
+            accesses: self.accesses,
+            hits: self.hits,
+            consolidate: self.consolidate,
+            pages_migrated: self.pages_migrated,
+            pending_writebacks: self.pending_writebacks.clone(),
+            read_misses: self.read_misses,
+        }
+        .to_value()
+    }
+
+    /// Restores state captured by [`MemoryManager::snapshot_state`] into a
+    /// manager built with the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `value` does not decode as a memory snapshot.
+    pub fn restore_state(&mut self, value: &serde::Value) -> Result<(), serde::Error> {
+        let s = MemSnapshot::from_value(value)?;
+        self.cache = s.cache;
+        self.banks = s.banks;
+        self.profiler = s.profiler;
+        self.log = s.log;
+        self.ds_heap = BinaryHeap::from(s.ds_heap);
+        self.accesses = s.accesses;
+        self.hits = s.hits;
+        self.consolidate = s.consolidate;
+        self.pages_migrated = s.pages_migrated;
+        self.pending_writebacks = s.pending_writebacks;
+        self.read_misses = s.read_misses;
+        Ok(())
+    }
+}
+
+/// Serializable image of a [`MemoryManager`]'s dynamic fields (the heap
+/// flattened to a vector — `BinaryHeap` itself has no serde support).
+#[derive(Serialize, Deserialize)]
+struct MemSnapshot {
+    cache: DiskCache,
+    banks: BankArray,
+    profiler: StackProfiler,
+    log: AccessLog,
+    ds_heap: Vec<Expiry>,
+    accesses: u64,
+    hits: u64,
+    consolidate: bool,
+    pages_migrated: u64,
+    pending_writebacks: Vec<u64>,
+    read_misses: u64,
 }
 
 #[cfg(test)]
@@ -661,6 +723,32 @@ mod tests {
         let mut wb = m.take_writebacks();
         wb.sort_unstable();
         assert_eq!(wb, vec![12, 13, 14, 15]);
+    }
+
+    #[test]
+    fn snapshot_round_trip_resumes_identically() {
+        let mut a = MemoryManager::new(config(IdlePolicy::DisableAfter(10.0)));
+        a.set_consolidation(true);
+        for p in 0..10u64 {
+            a.access_rw(p, p as f64 * 0.5, p % 3 == 0);
+        }
+        let snap = a.snapshot_state();
+        let mut b = MemoryManager::new(config(IdlePolicy::DisableAfter(10.0)));
+        b.restore_state(&snap).unwrap();
+        // Both managers must behave identically from here on.
+        for p in [1u64, 50, 2, 1, 60] {
+            assert_eq!(a.access(p, 20.0), b.access(p, 20.0));
+        }
+        assert_eq!(a.accesses(), b.accesses());
+        assert_eq!(a.hits(), b.hits());
+        assert_eq!(a.take_writebacks(), b.take_writebacks());
+        a.settle(30.0);
+        b.settle(30.0);
+        assert_eq!(a.energy().static_j.to_bits(), b.energy().static_j.to_bits());
+        assert_eq!(
+            a.energy().dynamic_j.to_bits(),
+            b.energy().dynamic_j.to_bits()
+        );
     }
 
     #[test]

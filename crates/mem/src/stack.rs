@@ -59,7 +59,7 @@ impl StackDistance {
 /// }
 /// assert_eq!(hits_at_4, 2); // eight disk accesses with 4-page memory
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct StackProfiler {
     /// Most recent access slot of each page.
     last_slot: HashMap<u64, usize>,

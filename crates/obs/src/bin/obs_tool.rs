@@ -15,13 +15,14 @@
 //! numbers.
 //!
 //! Exit codes: `0` success, `1` runtime failure (missing file, malformed
-//! line), `2` usage error.
+//! line), `2` usage error (the shared `jpmd_obs::cli` convention).
 
 use std::collections::BTreeMap;
 use std::fs::File;
 use std::io::{BufRead, BufReader};
 use std::process::ExitCode;
 
+use jpmd_obs::cli::{exit_with, parse_arg, require, CliError};
 use jpmd_obs::{ObsEvent, ObsRecord};
 
 const USAGE: &str = "usage:
@@ -31,25 +32,6 @@ const USAGE: &str = "usage:
   obs-tool tail <file> [n]
 
 <file> is a JSONL telemetry stream written by a JsonlSink";
-
-/// A CLI failure, split by who is at fault: bad invocation (exit 2,
-/// usage printed) vs. a failing operation (exit 1).
-enum CliError {
-    Usage(String),
-    Runtime(Box<dyn std::error::Error>),
-}
-
-impl<E: std::error::Error + 'static> From<E> for CliError {
-    fn from(e: E) -> Self {
-        CliError::Runtime(Box::new(e))
-    }
-}
-
-fn require<'a>(args: &'a [String], index: usize, name: &str) -> Result<&'a str, CliError> {
-    args.get(index)
-        .map(String::as_str)
-        .ok_or_else(|| CliError::Usage(format!("missing argument <{name}>")))
-}
 
 /// Parses every line of `path`, yielding `(line_no, raw_line, record)`.
 /// A malformed line is a runtime error naming the offending line number.
@@ -79,7 +61,15 @@ fn summary(path: &str) -> Result<(), CliError> {
     let mut fallbacks = 0u64;
     let mut recoveries = 0u64;
     let mut last_degradation: Option<&ObsRecord> = None;
+    let mut seq_gaps = 0u64;
+    let mut prev_seq: Option<u64> = None;
     for (_, _, record) in &records {
+        if let Some(prev) = prev_seq {
+            if record.seq != prev + 1 {
+                seq_gaps += 1;
+            }
+        }
+        prev_seq = Some(record.seq);
         *counts.entry(record.event.name()).or_insert(0) += 1;
         match &record.event {
             ObsEvent::Period { .. } => periods += 1,
@@ -105,6 +95,7 @@ fn summary(path: &str) -> Result<(), CliError> {
     for (name, count) in &counts {
         println!("  {name:<16} {count}");
     }
+    println!("seq_gaps           {seq_gaps}");
     println!("periods            {periods}");
     println!("policy_decisions   {decisions}");
     if decisions > 0 {
@@ -225,12 +216,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "timings" => timings(require(args, 2, "file")?),
         "tail" => {
             let path = require(args, 2, "file")?;
-            let n = match args.get(3) {
-                None => 10,
-                Some(raw) => raw.parse().map_err(|_| {
-                    CliError::Usage(format!("argument <n> must be a count, got '{raw}'"))
-                })?,
-            };
+            let n: usize = parse_arg(args, 3, "n", 10)?;
             tail(path, n)
         }
         unknown => Err(CliError::Usage(format!("unknown subcommand '{unknown}'"))),
@@ -239,15 +225,5 @@ fn run(args: &[String]) -> Result<(), CliError> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
-    match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(CliError::Runtime(e)) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
-        }
-        Err(CliError::Usage(message)) => {
-            eprintln!("error: {message}\n{USAGE}");
-            ExitCode::from(2)
-        }
-    }
+    exit_with(run(&args), USAGE)
 }

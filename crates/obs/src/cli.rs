@@ -1,0 +1,140 @@
+//! Shared command-line plumbing for the workspace's tool binaries
+//! (`trace_tool`, `obs_tool`, `ckpt_tool`).
+//!
+//! All tools follow one exit-code convention:
+//!
+//! * `0` — success;
+//! * `1` — runtime failure (I/O, corrupt file, failing operation);
+//! * `2` — usage error (unknown subcommand, missing or unparsable
+//!   argument), with the tool's usage text printed to stderr.
+//!
+//! A binary's `main` parses with the helpers here, returns
+//! `Result<(), CliError>` from its `run` function, and maps it through
+//! [`exit_with`].
+
+use std::error::Error;
+use std::process::ExitCode;
+use std::str::FromStr;
+
+/// A CLI failure, split by who is at fault: bad invocation (exit 2,
+/// usage printed) vs. a failing operation (exit 1).
+#[derive(Debug)]
+pub enum CliError {
+    /// The invocation was malformed; the message explains how.
+    Usage(String),
+    /// The requested operation failed.
+    Runtime(Box<dyn Error>),
+}
+
+impl<E: Error + 'static> From<E> for CliError {
+    fn from(e: E) -> Self {
+        CliError::Runtime(Box::new(e))
+    }
+}
+
+/// A runtime error from a plain message (no typed source).
+pub fn runtime(message: impl Into<String>) -> CliError {
+    CliError::Runtime(message.into().into())
+}
+
+/// Positional argument `index` as a string, or a usage error naming it.
+pub fn require<'a>(args: &'a [String], index: usize, name: &str) -> Result<&'a str, CliError> {
+    args.get(index)
+        .map(String::as_str)
+        .ok_or_else(|| CliError::Usage(format!("missing argument <{name}>")))
+}
+
+/// Parses `raw` as a `T`; a malformed value is a usage error, not a
+/// runtime error.
+pub fn parse_value<T: FromStr>(raw: &str, name: &str) -> Result<T, CliError> {
+    raw.parse().map_err(|_| {
+        CliError::Usage(format!(
+            "argument <{name}> must be a {}, got '{raw}'",
+            std::any::type_name::<T>()
+        ))
+    })
+}
+
+/// Parses positional argument `index` (named `name` in diagnostics),
+/// falling back to `default` when absent.
+pub fn parse_arg<T: FromStr>(
+    args: &[String],
+    index: usize,
+    name: &str,
+    default: T,
+) -> Result<T, CliError> {
+    match args.get(index) {
+        None => Ok(default),
+        Some(raw) => parse_value(raw, name),
+    }
+}
+
+/// Like [`parse_arg`], but the argument is mandatory.
+pub fn parse_required<T: FromStr>(
+    args: &[String],
+    index: usize,
+    name: &str,
+) -> Result<T, CliError> {
+    parse_value(require(args, index, name)?, name)
+}
+
+/// Maps a tool's run result to the unified exit codes, printing
+/// diagnostics to stderr: `0` ok, `1` runtime failure (with the typed
+/// cause chain one level deep), `2` usage error followed by `usage`.
+pub fn exit_with(result: Result<(), CliError>, usage: &str) -> ExitCode {
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(CliError::Runtime(e)) => {
+            eprintln!("error: {e}");
+            if let Some(cause) = e.source() {
+                eprintln!("  caused by: {cause}");
+            }
+            ExitCode::FAILURE
+        }
+        Err(CliError::Usage(message)) => {
+            eprintln!("error: {message}\n{usage}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn require_reports_missing_arguments_as_usage() {
+        let a = args(&["tool", "cmd"]);
+        assert_eq!(require(&a, 1, "subcommand").unwrap(), "cmd");
+        match require(&a, 2, "file") {
+            Err(CliError::Usage(m)) => assert!(m.contains("<file>")),
+            _ => panic!("missing argument must be a usage error"),
+        }
+    }
+
+    #[test]
+    fn parse_arg_defaults_and_rejects_garbage() {
+        let a = args(&["tool", "cmd", "7", "x"]);
+        assert_eq!(parse_arg(&a, 2, "n", 1u64).unwrap(), 7);
+        assert_eq!(parse_arg(&a, 9, "n", 1u64).unwrap(), 1);
+        assert!(matches!(
+            parse_arg(&a, 3, "n", 1u64),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_required::<u64>(&a, 9, "n"),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn io_errors_become_runtime_errors() {
+        let e: CliError = std::io::Error::other("boom").into();
+        assert!(matches!(e, CliError::Runtime(_)));
+        assert!(matches!(runtime("bad"), CliError::Runtime(_)));
+    }
+}

@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 mod event;
 mod metrics;
 mod sink;
@@ -29,7 +30,7 @@ mod span;
 
 pub use event::{CandidatePower, ObsEvent, ObsRecord};
 pub use metrics::{Counter, Gauge, HistogramHandle, MetricValue, MetricsRegistry, MetricsSnapshot};
-pub use sink::{JsonlSink, MemorySink, NullSink, Sink};
+pub use sink::{JsonlSink, MemorySink, NullSink, Sink, WalPolicy};
 pub use span::{SpanGuard, SpanRecorder, SpanTiming};
 
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -142,6 +143,45 @@ impl Telemetry {
             inner.sink.flush();
         }
     }
+
+    /// The next sequence number this handle would assign (equivalently,
+    /// the number of records emitted so far). Checkpoints capture this so
+    /// a resumed run continues the gap-free stream.
+    pub fn seq(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |inner| inner.seq.load(Ordering::Relaxed))
+    }
+
+    /// Fast-forwards the sequence counter (used when resuming from a
+    /// checkpoint: the next emission gets `seq`, keeping the combined
+    /// stream gap-free across the resume boundary).
+    pub fn set_seq(&self, seq: u64) {
+        if let Some(inner) = &self.inner {
+            inner.seq.store(seq, Ordering::Relaxed);
+        }
+    }
+
+    /// Closes out a run: if the sink dropped any records (write errors),
+    /// surfaces the count through the `telemetry.dropped_records` registry
+    /// counter and a final [`ObsEvent::Message`], then flushes.
+    ///
+    /// Returns the number of records the sink failed to persist.
+    pub fn close(&self) -> u64 {
+        let Some(inner) = &self.inner else { return 0 };
+        let dropped = inner.sink.dropped_records();
+        if dropped > 0 {
+            inner
+                .registry
+                .counter("telemetry.dropped_records")
+                .add(dropped);
+            self.emit(ObsEvent::Message {
+                text: format!("telemetry sink dropped {dropped} record(s) on write errors"),
+            });
+        }
+        inner.sink.flush();
+        dropped
+    }
 }
 
 #[cfg(test)]
@@ -191,5 +231,42 @@ mod tests {
         let telemetry = Telemetry::new(Box::new(NullSink));
         telemetry.registry().counter("n").add(3);
         assert_eq!(telemetry.registry().snapshot().counter("n"), Some(3));
+    }
+
+    #[test]
+    fn seq_can_be_checkpointed_and_restored() {
+        let sink = MemorySink::new();
+        let telemetry = Telemetry::new(Box::new(sink.clone()));
+        telemetry.emit(ObsEvent::Message { text: "a".into() });
+        assert_eq!(telemetry.seq(), 1);
+        telemetry.set_seq(10);
+        telemetry.emit(ObsEvent::Message { text: "b".into() });
+        assert_eq!(sink.records()[1].seq, 10);
+        assert_eq!(Telemetry::disabled().seq(), 0);
+    }
+
+    #[test]
+    fn close_surfaces_dropped_records() {
+        struct LossySink(MemorySink);
+        impl Sink for LossySink {
+            fn emit(&self, record: &ObsRecord) {
+                self.0.emit(record);
+            }
+            fn dropped_records(&self) -> u64 {
+                3
+            }
+        }
+        let mem = MemorySink::new();
+        let telemetry = Telemetry::new(Box::new(LossySink(mem.clone())));
+        assert_eq!(telemetry.close(), 3);
+        assert_eq!(
+            telemetry
+                .registry()
+                .snapshot()
+                .counter("telemetry.dropped_records"),
+            Some(3)
+        );
+        assert!(matches!(&mem.records()[0].event, ObsEvent::Message { .. }));
+        assert_eq!(Telemetry::disabled().close(), 0);
     }
 }

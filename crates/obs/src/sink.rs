@@ -1,9 +1,10 @@
 //! Pluggable telemetry sinks: where emitted [`ObsRecord`]s go.
 
 use std::collections::VecDeque;
-use std::fs::File;
-use std::io::{BufWriter, Write};
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Seek, SeekFrom, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::ObsRecord;
@@ -19,6 +20,12 @@ pub trait Sink: Send + Sync {
 
     /// Forces buffered records out (a no-op for unbuffered sinks).
     fn flush(&self) {}
+
+    /// Records the sink failed to persist (write errors). Sinks that
+    /// cannot lose records return 0 (the default).
+    fn dropped_records(&self) -> u64 {
+        0
+    }
 }
 
 /// Discards everything.
@@ -29,24 +36,133 @@ impl Sink for NullSink {
     fn emit(&self, _record: &ObsRecord) {}
 }
 
+/// Durability policy of a [`JsonlSink`]: how often buffered records reach
+/// the OS and the platter.
+///
+/// The default (`flush_every: 0`, `fsync: false`) is the original
+/// buffered behavior: records reach the file on [`Sink::flush`] and drop.
+/// A write-ahead-log configuration (`flush_every: 1`, `fsync: true`)
+/// guarantees every record that was emitted before a checkpoint survives
+/// a crash — the checkpoint machinery flushes the telemetry sink before
+/// sealing a snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalPolicy {
+    /// Flush the buffer to the OS after every N records (0 = only on
+    /// explicit [`Sink::flush`] / drop).
+    pub flush_every: u64,
+    /// Also `fsync` the file on every flush, pushing records to stable
+    /// storage rather than just the page cache.
+    pub fsync: bool,
+}
+
+impl WalPolicy {
+    /// The write-ahead-log configuration: flush and fsync every record.
+    pub fn wal() -> Self {
+        WalPolicy {
+            flush_every: 1,
+            fsync: true,
+        }
+    }
+}
+
 /// Appends records as compact JSON lines to a file.
 ///
 /// Writes go through a mutex-guarded [`BufWriter`]; the file is flushed
-/// on [`Sink::flush`] and when the sink is dropped.
+/// on [`Sink::flush`], when the sink is dropped, and per the configured
+/// [`WalPolicy`]. Write failures are **counted** (not silently
+/// swallowed): [`Sink::dropped_records`] reports how many records never
+/// reached the file, and [`Telemetry::close`](crate::Telemetry::close)
+/// surfaces the count through the metrics registry and a final
+/// [`Message`](crate::ObsEvent::Message) event.
 pub struct JsonlSink {
     writer: Mutex<BufWriter<File>>,
+    policy: WalPolicy,
+    emitted: AtomicU64,
+    dropped: AtomicU64,
 }
 
 impl JsonlSink {
-    /// Creates (truncating) `path` as a JSONL telemetry file.
+    /// Creates (truncating) `path` as a JSONL telemetry file with the
+    /// default (buffered, no-fsync) policy.
     ///
     /// # Errors
     ///
     /// Propagates the file-creation failure.
     pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Self::create_with(path, WalPolicy::default())
+    }
+
+    /// Creates (truncating) `path` with an explicit durability policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the file-creation failure.
+    pub fn create_with(path: impl AsRef<Path>, policy: WalPolicy) -> std::io::Result<Self> {
         Ok(JsonlSink {
             writer: Mutex::new(BufWriter::new(File::create(path)?)),
+            policy,
+            emitted: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
         })
+    }
+
+    /// Reopens an existing telemetry file for a resumed run: keeps every
+    /// leading line whose record parses and has `seq < from_seq`,
+    /// truncates the rest (records emitted after the checkpoint being
+    /// resumed from, or a torn trailing line), and appends from there.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures opening, scanning, or truncating the file.
+    pub fn resume(
+        path: impl AsRef<Path>,
+        from_seq: u64,
+        policy: WalPolicy,
+    ) -> std::io::Result<Self> {
+        let path = path.as_ref();
+        let mut keep: u64 = 0;
+        if path.exists() {
+            let mut reader = BufReader::new(File::open(path)?);
+            let mut line = String::new();
+            loop {
+                line.clear();
+                let n = reader.read_line(&mut line)?;
+                if n == 0 {
+                    break;
+                }
+                // A kept line must be complete (newline-terminated),
+                // parseable, and from before the checkpoint.
+                if !line.ends_with('\n') {
+                    break;
+                }
+                match ObsRecord::from_line(line.trim_end()) {
+                    Ok(record) if record.seq < from_seq => keep += n as u64,
+                    _ => break,
+                }
+            }
+        }
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        file.set_len(keep)?;
+        file.seek(SeekFrom::Start(keep))?;
+        Ok(JsonlSink {
+            writer: Mutex::new(BufWriter::new(file)),
+            policy,
+            emitted: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        })
+    }
+
+    fn flush_inner(&self, writer: &mut BufWriter<File>) -> std::io::Result<()> {
+        writer.flush()?;
+        if self.policy.fsync {
+            writer.get_ref().sync_data()?;
+        }
+        Ok(())
     }
 }
 
@@ -54,12 +170,27 @@ impl Sink for JsonlSink {
     fn emit(&self, record: &ObsRecord) {
         let mut writer = self.writer.lock().expect("jsonl sink lock");
         // A full disk mid-run must not abort the simulation it observes;
-        // telemetry writes are best-effort.
-        let _ = writeln!(writer, "{}", record.to_line());
+        // failures are counted and surfaced at close instead.
+        let result = writeln!(writer, "{}", record.to_line()).and_then(|()| {
+            let n = self.emitted.fetch_add(1, Ordering::Relaxed) + 1;
+            if self.policy.flush_every > 0 && n.is_multiple_of(self.policy.flush_every) {
+                self.flush_inner(&mut writer)
+            } else {
+                Ok(())
+            }
+        });
+        if result.is_err() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     fn flush(&self) {
-        let _ = self.writer.lock().expect("jsonl sink lock").flush();
+        let mut writer = self.writer.lock().expect("jsonl sink lock");
+        let _ = self.flush_inner(&mut writer);
+    }
+
+    fn dropped_records(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 }
 
@@ -191,5 +322,64 @@ mod tests {
     fn null_sink_discards() {
         NullSink.emit(&record(0));
         NullSink.flush();
+        assert_eq!(NullSink.dropped_records(), 0);
+    }
+
+    #[test]
+    fn wal_policy_flushes_every_record() {
+        let path = std::env::temp_dir().join(format!("jpmd_obs_wal_{}.jsonl", std::process::id()));
+        let sink = JsonlSink::create_with(&path, WalPolicy::wal()).expect("create sink");
+        sink.emit(&record(0));
+        // No flush, no drop: the WAL policy already pushed it out.
+        let text = std::fs::read_to_string(&path).expect("read back");
+        assert_eq!(text.lines().count(), 1);
+        assert_eq!(sink.dropped_records(), 0);
+        drop(sink);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_trims_records_at_and_after_the_checkpoint_seq() {
+        let path =
+            std::env::temp_dir().join(format!("jpmd_obs_resume_{}.jsonl", std::process::id()));
+        {
+            let sink = JsonlSink::create(&path).expect("create sink");
+            for seq in 0..5 {
+                sink.emit(&record(seq));
+            }
+        }
+        // Simulate a torn trailing write from a crash.
+        {
+            use std::io::Write;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            write!(f, "{{\"seq\":9,").unwrap();
+        }
+        {
+            let sink = JsonlSink::resume(&path, 3, WalPolicy::default()).expect("resume");
+            sink.emit(&record(3));
+        }
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let seqs: Vec<u64> = text
+            .lines()
+            .map(|l| ObsRecord::from_line(l).unwrap().seq)
+            .collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3], "kept prefix + resumed append");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_of_missing_file_starts_empty() {
+        let path = std::env::temp_dir().join(format!(
+            "jpmd_obs_resume_missing_{}.jsonl",
+            std::process::id()
+        ));
+        std::fs::remove_file(&path).ok();
+        {
+            let sink = JsonlSink::resume(&path, 0, WalPolicy::default()).expect("resume");
+            sink.emit(&record(0));
+        }
+        let text = std::fs::read_to_string(&path).expect("read back");
+        assert_eq!(text.lines().count(), 1);
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -90,6 +90,28 @@ impl SpanRecorder {
         }
     }
 
+    /// The per-span call counts, sorted by span name — the deterministic
+    /// part of the aggregate (wall-clock sums are excluded). Checkpoints
+    /// capture this so a resumed run's spans compare equal (by
+    /// [`SpanTiming`]'s calls-only equality) to the uninterrupted run's.
+    pub fn call_counts(&self) -> Vec<(String, u64)> {
+        self.aggs
+            .lock()
+            .expect("span recorder lock")
+            .iter()
+            .map(|(name, agg)| (name.clone(), agg.calls))
+            .collect()
+    }
+
+    /// Pre-seeds call counts from a checkpoint (wall-clock fields start at
+    /// zero — they are excluded from equality and genuinely restart).
+    pub fn seed_calls(&self, counts: &[(String, u64)]) {
+        let mut aggs = self.aggs.lock().expect("span recorder lock");
+        for (name, calls) in counts {
+            aggs.entry(name.clone()).or_default().calls = *calls;
+        }
+    }
+
     /// The aggregated timings, sorted by span name.
     pub fn snapshot(&self) -> Vec<SpanTiming> {
         self.aggs
@@ -164,6 +186,23 @@ mod tests {
         assert_eq!(a, b);
         let c = SpanTiming { calls: 4, ..a };
         assert_ne!(c, b);
+    }
+
+    #[test]
+    fn call_counts_round_trip_through_seed() {
+        let a = SpanRecorder::new();
+        drop(a.time("x"));
+        drop(a.time("x"));
+        drop(a.time("y"));
+        let counts = a.call_counts();
+        assert_eq!(counts, vec![("x".into(), 2), ("y".into(), 1)]);
+        let b = SpanRecorder::new();
+        b.seed_calls(&counts);
+        drop(b.time("x"));
+        assert_eq!(b.call_counts(), vec![("x".into(), 3), ("y".into(), 1)]);
+        // Seeded snapshots compare equal name-and-calls-wise.
+        drop(a.time("x"));
+        assert_eq!(a.snapshot(), b.snapshot());
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! `obs_tool` honors the workspace exit-code convention: `0` ok, `1`
+//! runtime failure, `2` bad invocation — the shared `jpmd_obs::cli`
+//! contract, tested by spawning the real binary. Also pins the
+//! `seq_gaps` line of `summary`, which the CI crash-resume smoke greps.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use jpmd_obs::{JsonlSink, ObsEvent, Telemetry};
+
+fn tool(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_obs_tool"))
+        .args(args)
+        .output()
+        .expect("spawn obs_tool")
+}
+
+fn code(output: &Output) -> i32 {
+    output.status.code().expect("exit code")
+}
+
+fn scratch(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("jpmd-obs-exit-{}-{name}", std::process::id()))
+}
+
+fn telemetry_file(name: &str, messages: u64) -> PathBuf {
+    let path = scratch(name);
+    let telemetry = Telemetry::new(Box::new(
+        JsonlSink::create(&path).expect("create telemetry file"),
+    ));
+    for i in 0..messages {
+        telemetry.emit(ObsEvent::Message {
+            text: format!("m{i}"),
+        });
+    }
+    let _ = telemetry.close();
+    path
+}
+
+#[test]
+fn bad_invocations_exit_2_with_usage() {
+    for args in [
+        &[][..],
+        &["frobnicate"][..],
+        &["summary"][..],
+        &["grep", "file.jsonl", "--wrong", "Period"][..],
+    ] {
+        let out = tool(args);
+        assert_eq!(code(&out), 2, "args {args:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("usage:"), "args {args:?}: {stderr}");
+    }
+}
+
+#[test]
+fn runtime_failures_exit_1() {
+    let missing = tool(&["summary", "/nonexistent/telemetry.jsonl"]);
+    assert_eq!(code(&missing), 1);
+    assert!(String::from_utf8_lossy(&missing.stderr).contains("error:"));
+
+    let malformed_path = scratch("malformed.jsonl");
+    std::fs::write(&malformed_path, "this is not a telemetry record\n").expect("write file");
+    let malformed = tool(&["summary", malformed_path.to_str().unwrap()]);
+    assert_eq!(code(&malformed), 1);
+    assert!(String::from_utf8_lossy(&malformed.stderr).contains("malformed"));
+    std::fs::remove_file(&malformed_path).ok();
+}
+
+#[test]
+fn summary_of_a_gap_free_stream_exits_0_and_reports_zero_gaps() {
+    let path = telemetry_file("clean.jsonl", 5);
+    let out = tool(&["summary", path.to_str().unwrap()]);
+    assert_eq!(code(&out), 0, "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The exact line the CI crash-resume smoke greps (`^seq_gaps +0`).
+    let gaps = stdout
+        .lines()
+        .find(|l| l.starts_with("seq_gaps"))
+        .expect("summary prints a seq_gaps line");
+    assert_eq!(gaps.split_whitespace().last(), Some("0"), "{stdout}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn summary_counts_a_manufactured_seq_gap() {
+    let path = telemetry_file("gappy.jsonl", 6);
+    // Drop a middle line: seq 0,1,3,4,5 has exactly one gap.
+    let text = std::fs::read_to_string(&path).expect("read telemetry");
+    let kept: Vec<&str> = text
+        .lines()
+        .enumerate()
+        .filter(|(i, _)| *i != 2)
+        .map(|(_, l)| l)
+        .collect();
+    std::fs::write(&path, kept.join("\n")).expect("rewrite telemetry");
+
+    let out = tool(&["summary", path.to_str().unwrap()]);
+    assert_eq!(code(&out), 0);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let gaps = stdout
+        .lines()
+        .find(|l| l.starts_with("seq_gaps"))
+        .expect("summary prints a seq_gaps line");
+    assert_eq!(gaps.split_whitespace().last(), Some("1"), "{stdout}");
+    std::fs::remove_file(&path).ok();
+}

@@ -83,6 +83,27 @@ pub trait PeriodController {
     fn name(&self) -> &str {
         "static"
     }
+
+    /// The controller's internal state (learned models, period counters)
+    /// as a serializable value, captured into checkpoints. The default
+    /// ([`serde::Value::Null`]) is correct for stateless controllers such
+    /// as [`NullController`].
+    fn snapshot_state(&self) -> serde::Value {
+        serde::Value::Null
+    }
+
+    /// Restores the state captured by
+    /// [`PeriodController::snapshot_state`]. The default ignores the value
+    /// (stateless controllers).
+    ///
+    /// # Errors
+    ///
+    /// Returns a decode error when `state` does not match this
+    /// controller's snapshot layout.
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        let _ = state;
+        Ok(())
+    }
 }
 
 /// A controller that never changes anything — all non-joint methods.
@@ -129,6 +150,14 @@ impl PeriodController for TimedController<'_> {
 
     fn name(&self) -> &str {
         self.inner.name()
+    }
+
+    fn snapshot_state(&self) -> serde::Value {
+        self.inner.snapshot_state()
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        self.inner.restore_state(state)
     }
 }
 

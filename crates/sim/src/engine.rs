@@ -25,6 +25,8 @@
 //! Events an observer emits from a timer callback are dispatched to all
 //! observers immediately, before the next timer fires.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use jpmd_trace::{AccessKind, SourceError, Trace, TraceRecord, TraceSource};
@@ -52,6 +54,26 @@ pub trait SimObserver {
 
     /// Event callback; fired for every event in causal order.
     fn on_event(&mut self, _event: &SimEvent, _hw: &mut HwState) {}
+
+    /// This observer's internal state as a serializable value, captured at
+    /// a period boundary for a crash-consistent checkpoint. The default
+    /// ([`serde::Value::Null`]) is correct for stateless observers.
+    fn snapshot_state(&self) -> serde::Value {
+        serde::Value::Null
+    }
+
+    /// Restores the state captured by [`SimObserver::snapshot_state`]
+    /// before a resumed replay starts. The default ignores the value
+    /// (stateless observers).
+    ///
+    /// # Errors
+    ///
+    /// Returns a decode error when `state` does not match this observer's
+    /// snapshot layout (a corrupt or incompatible checkpoint).
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        let _ = state;
+        Ok(())
+    }
 }
 
 /// Event totals for one stretch of the run (engine observability).
@@ -93,6 +115,12 @@ pub struct EngineStats {
     /// order; zero for valid traces.
     #[serde(default)]
     pub records_clamped: u64,
+    /// Every `Some(_)` the source yielded — replayed, retried, dropped, or
+    /// clamped. This is the resume cursor: restarting the same source and
+    /// discarding exactly this many pulls reproduces the interrupted run's
+    /// position.
+    #[serde(default)]
+    pub records_pulled: u64,
     /// Wall-clock time spent replaying, s (not part of equality).
     pub replay_wall_secs: f64,
     /// Replay throughput, page accesses per wall-clock second (not part of
@@ -108,7 +136,72 @@ impl PartialEq for EngineStats {
             && self.source_retries == other.source_retries
             && self.records_dropped == other.records_dropped
             && self.records_clamped == other.records_clamped
+            && self.records_pulled == other.records_pulled
     }
+}
+
+/// When a checkpointable replay ([`Engine::run_source_with_checkpoints`])
+/// captures checkpoints. Checkpoints are only taken at period boundaries —
+/// the one instant where the hardware is settled and the controller's view
+/// is consistent — and fire on the first record replayed after the
+/// boundary.
+#[derive(Clone, Default)]
+pub struct CheckpointPolicy {
+    /// Capture a checkpoint once this many control periods have completed
+    /// since the last one (`0` = never on cadence; only on shutdown).
+    pub every_periods: u64,
+    /// Cooperative shutdown flag (set it from a signal handler): when
+    /// observed at a period boundary the engine captures a final
+    /// checkpoint and returns with `interrupted = true`.
+    pub shutdown: Option<Arc<AtomicBool>>,
+}
+
+impl CheckpointPolicy {
+    /// A policy checkpointing every `every_periods` completed periods.
+    pub fn every(every_periods: u64) -> Self {
+        CheckpointPolicy {
+            every_periods,
+            shutdown: None,
+        }
+    }
+}
+
+/// A crash-consistent image of a replay in flight, captured at a period
+/// boundary. Contains everything the *engine* owns (stats, the open
+/// segment, the replay clock) plus opaque snapshots of the hardware and
+/// every registered observer, in registration order.
+///
+/// To resume: rebuild the identical source/hardware/observer stack, restore
+/// the hardware from [`EngineCheckpoint::hw`] and each observer from its
+/// entry in [`EngineCheckpoint::observers`], then pass the checkpoint to
+/// [`Engine::run_source_with_checkpoints`] — the engine restores its own
+/// fields and discards the already-consumed source pulls.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineCheckpoint {
+    /// Engine counters at the capture instant (wall-clock fields are
+    /// meaningless here and excluded from equality anyway).
+    pub stats: EngineStats,
+    /// Event counts of the open (not yet closed) period segment.
+    pub segment: EventCounts,
+    /// Start time of the open segment, s.
+    pub segment_start: f64,
+    /// Timestamp of the last replayed record, s (the clamp floor).
+    pub last_time: f64,
+    /// Opaque hardware snapshot ([`HwState::snapshot_state`]).
+    pub hw: serde::Value,
+    /// Opaque observer snapshots, in registration order.
+    pub observers: Vec<serde::Value>,
+}
+
+/// Outcome of a checkpointable replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineRun {
+    /// The engine's counters (final when `interrupted` is false).
+    pub stats: EngineStats,
+    /// True when the replay stopped early at a checkpoint (cooperative
+    /// shutdown, or the checkpoint callback returned `false`). The trailing
+    /// settle/close was skipped; the stats describe the partial replay.
+    pub interrupted: bool,
 }
 
 /// How many *consecutive* transient [`SourceError`]s [`Engine::run_source`]
@@ -126,6 +219,8 @@ pub struct Engine {
     segment: EventCounts,
     segment_start: f64,
     registry: jpmd_obs::MetricsRegistry,
+    boundary_pending: bool,
+    periods_since_ckpt: u64,
 }
 
 impl Engine {
@@ -186,16 +281,75 @@ impl Engine {
     /// the last replayed instant (both counted in the stats; all three
     /// counters stay zero for valid traces).
     pub fn run_source<S: TraceSource>(
+        self,
+        source: S,
+        duration: f64,
+        hw: &mut HwState,
+        observers: &mut [&mut dyn SimObserver],
+    ) -> Result<EngineStats, SourceError> {
+        let run = self.run_source_with_checkpoints(
+            source,
+            duration,
+            hw,
+            observers,
+            None,
+            &mut |_| true,
+            None,
+        )?;
+        debug_assert!(!run.interrupted, "no checkpoint policy can interrupt");
+        Ok(run.stats)
+    }
+
+    /// Like [`Engine::run_source`], with crash-consistent checkpointing.
+    ///
+    /// When `policy` asks for a checkpoint (cadence reached, or its
+    /// shutdown flag set) the engine captures an [`EngineCheckpoint`] at
+    /// the first record replayed after a period boundary and hands it to
+    /// `on_checkpoint`. If the callback returns `false`, or the policy's
+    /// shutdown flag is set, the replay stops immediately (no trailing
+    /// settle) and the run comes back with `interrupted = true`.
+    ///
+    /// When `resume` is given the engine restores its own counters and
+    /// clock from the checkpoint and discards the checkpoint's
+    /// [`EngineStats::records_pulled`] source pulls before replaying; the
+    /// caller must have restored the hardware and every observer from the
+    /// checkpoint's images first (see
+    /// [`run_simulation_full`](crate::run_simulation_full), which does all
+    /// of this). The resumed run's final stats and observer state are
+    /// bit-identical to the uninterrupted run's.
+    ///
+    /// # Errors
+    ///
+    /// Propagates source errors exactly like [`Engine::run_source`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_source_with_checkpoints<S: TraceSource>(
         mut self,
         mut source: S,
         duration: f64,
         hw: &mut HwState,
         observers: &mut [&mut dyn SimObserver],
-    ) -> Result<EngineStats, SourceError> {
+        policy: Option<&CheckpointPolicy>,
+        on_checkpoint: &mut dyn FnMut(EngineCheckpoint) -> bool,
+        resume: Option<&EngineCheckpoint>,
+    ) -> Result<EngineRun, SourceError> {
         let wall = Instant::now();
         let mut last_time = 0.0f64;
+        if let Some(ckpt) = resume {
+            self.stats = ckpt.stats.clone();
+            self.segment = ckpt.segment;
+            self.segment_start = ckpt.segment_start;
+            last_time = ckpt.last_time;
+            // Skip what the interrupted run already consumed. Every
+            // `Some(_)` counts one pull — replayed, retried, dropped, or
+            // clamped — so the restored stats already account for these.
+            let mut discard = ckpt.stats.records_pulled;
+            while discard > 0 && source.next_record().is_some() {
+                discard -= 1;
+            }
+        }
         let mut consecutive_retries = 0u32;
         while let Some(next) = source.next_record() {
+            self.stats.records_pulled += 1;
             let mut record = match next {
                 Ok(record) => record,
                 Err(e) if e.is_transient() && consecutive_retries < MAX_SOURCE_RETRIES => {
@@ -220,6 +374,29 @@ impl Engine {
             }
             self.advance_to(record.time, hw, observers);
             self.replay_record(&record, hw, observers);
+            if let Some(policy) = policy {
+                if self.boundary_pending {
+                    self.boundary_pending = false;
+                    let shutdown = policy
+                        .shutdown
+                        .as_ref()
+                        .is_some_and(|flag| flag.load(Ordering::Relaxed));
+                    let due =
+                        policy.every_periods > 0 && self.periods_since_ckpt >= policy.every_periods;
+                    if shutdown || due {
+                        self.periods_since_ckpt = 0;
+                        let ckpt = self.capture(last_time, hw, observers);
+                        let keep_going = on_checkpoint(ckpt);
+                        if shutdown || !keep_going {
+                            self.stats.replay_wall_secs = wall.elapsed().as_secs_f64();
+                            return Ok(EngineRun {
+                                stats: self.stats,
+                                interrupted: true,
+                            });
+                        }
+                    }
+                }
+            }
         }
         self.advance_to(duration, hw, observers);
         hw.settle(duration);
@@ -246,7 +423,28 @@ impl Engine {
                 .gauge("engine.accesses_per_sec")
                 .set(self.stats.accesses_per_sec);
         }
-        Ok(self.stats)
+        Ok(EngineRun {
+            stats: self.stats,
+            interrupted: false,
+        })
+    }
+
+    /// Builds a checkpoint of the current replay state (engine counters,
+    /// hardware, observers in registration order).
+    fn capture(
+        &self,
+        last_time: f64,
+        hw: &HwState,
+        observers: &[&mut dyn SimObserver],
+    ) -> EngineCheckpoint {
+        EngineCheckpoint {
+            stats: self.stats.clone(),
+            segment: self.segment,
+            segment_start: self.segment_start,
+            last_time,
+            hw: hw.snapshot_state(),
+            observers: observers.iter().map(|ob| ob.snapshot_state()).collect(),
+        }
     }
 
     /// Fires every observer timer due at or before `target`, earliest
@@ -371,6 +569,8 @@ impl Engine {
             self.segment.record(event);
             if let SimEvent::PeriodBoundary { end, .. } = event {
                 self.close_segment(*end);
+                self.boundary_pending = true;
+                self.periods_since_ckpt += 1;
             }
             for observer in observers.iter_mut() {
                 observer.on_event(event, hw);

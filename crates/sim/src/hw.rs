@@ -36,6 +36,37 @@ pub trait FaultInjector {
     fn filter_timeout(&mut self, requested: f64) -> f64 {
         requested
     }
+
+    /// The injector's internal state (RNG position, counters) as a
+    /// serializable value, captured into checkpoints so a resumed run
+    /// replays the exact same fault sequence. The default
+    /// ([`serde::Value::Null`]) is correct for stateless injectors.
+    fn snapshot_state(&self) -> serde::Value {
+        serde::Value::Null
+    }
+
+    /// Restores the state captured by [`FaultInjector::snapshot_state`].
+    /// The default ignores the value (stateless injectors).
+    ///
+    /// # Errors
+    ///
+    /// Returns a decode error when `state` does not match this injector's
+    /// snapshot layout.
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        let _ = state;
+        Ok(())
+    }
+}
+
+/// Serializable image of the hardware's dynamic state.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct HwSnapshot {
+    mem: serde::Value,
+    disk: serde::Value,
+    spindown: SpinDownPolicy,
+    disk_pages: u64,
+    period_disk_times: Vec<f64>,
+    injector: serde::Value,
 }
 
 /// The hardware under simulation.
@@ -88,6 +119,49 @@ impl HwState {
     /// Without one (the default) all seams are pass-throughs.
     pub fn set_fault_injector(&mut self, injector: Box<dyn FaultInjector>) {
         self.injector = Some(injector);
+    }
+
+    /// The hardware's full dynamic state (memory, disk, spin-down policy,
+    /// request bookkeeping, and the injector's state when one is
+    /// installed) as a serializable value — the hardware half of a
+    /// checkpoint.
+    pub fn snapshot_state(&self) -> serde::Value {
+        use serde::Serialize;
+        HwSnapshot {
+            mem: self.mem.snapshot_state(),
+            disk: self.disk.snapshot_state(),
+            spindown: self.spindown.clone(),
+            disk_pages: self.disk_pages,
+            period_disk_times: self.period_disk_times.clone(),
+            injector: self
+                .injector
+                .as_deref()
+                .map_or(serde::Value::Null, |injector| injector.snapshot_state()),
+        }
+        .to_value()
+    }
+
+    /// Restores the state captured by [`HwState::snapshot_state`]. An
+    /// injector, when the checkpointed run had one, must already be
+    /// installed (its configuration is rebuilt by the caller; only its
+    /// dynamic state lives in the snapshot).
+    ///
+    /// # Errors
+    ///
+    /// Returns a decode error when `value` does not match the hardware
+    /// snapshot layout (a corrupt or incompatible checkpoint).
+    pub fn restore_state(&mut self, value: &serde::Value) -> Result<(), serde::Error> {
+        use serde::Deserialize;
+        let snapshot = HwSnapshot::from_value(value)?;
+        self.mem.restore_state(&snapshot.mem)?;
+        self.disk.restore_state(&snapshot.disk)?;
+        self.spindown = snapshot.spindown;
+        self.disk_pages = snapshot.disk_pages;
+        self.period_disk_times = snapshot.period_disk_times;
+        if let Some(injector) = self.injector.as_deref_mut() {
+            injector.restore_state(&snapshot.injector)?;
+        }
+        Ok(())
     }
 
     /// Advances both components' internal clocks to `t` (idempotent).

@@ -84,7 +84,10 @@ pub use config::SimConfig;
 pub use controller::{
     ControlAction, NullController, PeriodController, PeriodObservation, TimedController,
 };
-pub use engine::{Engine, EngineStats, PeriodEvents, SimObserver, MAX_SOURCE_RETRIES};
+pub use engine::{
+    CheckpointPolicy, Engine, EngineCheckpoint, EngineRun, EngineStats, PeriodEvents, SimObserver,
+    MAX_SOURCE_RETRIES,
+};
 pub use events::{EventCounts, SimEvent};
 pub use hw::{FaultInjector, HwState};
 pub use metrics::{EnergyBreakdown, PeriodRow, RunReport};
@@ -92,7 +95,10 @@ pub use observers::{
     EnergyMeter, EnergySummary, FlushDaemon, LatencySummary, LatencyTracker, PeriodAccounting,
     TelemetryObserver, WarmupWindow,
 };
-pub use system::{run_simulation, run_simulation_source, run_simulation_source_with};
+pub use system::{
+    run_simulation, run_simulation_full, run_simulation_source, run_simulation_source_with,
+    CheckpointOptions, SimCheckpoint, SimOutcome,
+};
 
 // Re-exported so downstream callers can build configurations without
 // importing every substrate crate explicitly.

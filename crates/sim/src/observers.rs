@@ -12,6 +12,7 @@
 
 use jpmd_obs::{Counter, ObsEvent, Telemetry};
 use jpmd_stats::{IdleIntervals, Welford};
+use serde::{Deserialize, Serialize};
 
 use crate::{
     EnergyBreakdown, HwState, PeriodController, PeriodObservation, PeriodRow, SimEvent, SimObserver,
@@ -36,6 +37,13 @@ impl WarmupWindow {
     }
 }
 
+/// Serializable image of a [`WarmupWindow`].
+#[derive(Serialize, Deserialize)]
+struct WarmupSnapshot {
+    at: f64,
+    done: bool,
+}
+
 impl SimObserver for WarmupWindow {
     fn next_timer(&self) -> f64 {
         if self.done {
@@ -49,6 +57,21 @@ impl SimObserver for WarmupWindow {
         self.done = true;
         hw.settle(t);
         out.push(SimEvent::WarmupEnd { time: t });
+    }
+
+    fn snapshot_state(&self) -> serde::Value {
+        WarmupSnapshot {
+            at: self.at,
+            done: self.done,
+        }
+        .to_value()
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        let snapshot = WarmupSnapshot::from_value(state)?;
+        self.at = snapshot.at;
+        self.done = snapshot.done;
+        Ok(())
     }
 }
 
@@ -111,6 +134,24 @@ impl<'a> PeriodAccounting<'a> {
     }
 }
 
+/// Serializable image of [`PeriodAccounting`]'s dynamic state. The wrapped
+/// controller's state rides along in `controller` — this is the seam that
+/// routes a policy's learned state (LRU stack fits, degradation level)
+/// into checkpoints without the engine knowing about controllers.
+#[derive(Serialize, Deserialize)]
+struct PeriodAccountingSnapshot {
+    period_start: f64,
+    next_period: f64,
+    p_acc: u64,
+    p_pages: u64,
+    p_req: u64,
+    p_busy: f64,
+    p_delayed: u64,
+    p_energy: EnergyBreakdown,
+    rows: Vec<PeriodRow>,
+    controller: serde::Value,
+}
+
 impl SimObserver for PeriodAccounting<'_> {
     fn next_timer(&self) -> f64 {
         self.next_period
@@ -171,6 +212,36 @@ impl SimObserver for PeriodAccounting<'_> {
             }
         }
     }
+
+    fn snapshot_state(&self) -> serde::Value {
+        PeriodAccountingSnapshot {
+            period_start: self.period_start,
+            next_period: self.next_period,
+            p_acc: self.p_acc,
+            p_pages: self.p_pages,
+            p_req: self.p_req,
+            p_busy: self.p_busy,
+            p_delayed: self.p_delayed,
+            p_energy: self.p_energy,
+            rows: self.rows.clone(),
+            controller: self.controller.snapshot_state(),
+        }
+        .to_value()
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        let snapshot = PeriodAccountingSnapshot::from_value(state)?;
+        self.period_start = snapshot.period_start;
+        self.next_period = snapshot.next_period;
+        self.p_acc = snapshot.p_acc;
+        self.p_pages = snapshot.p_pages;
+        self.p_req = snapshot.p_req;
+        self.p_busy = snapshot.p_busy;
+        self.p_delayed = snapshot.p_delayed;
+        self.p_energy = snapshot.p_energy;
+        self.rows = snapshot.rows;
+        self.controller.restore_state(&snapshot.controller)
+    }
 }
 
 /// The dirty-page flush daemon: every `interval` it writes all dirty pages
@@ -194,6 +265,13 @@ impl FlushDaemon {
     }
 }
 
+/// Serializable image of a [`FlushDaemon`] (the interval is
+/// configuration; only the next tick is dynamic).
+#[derive(Serialize, Deserialize)]
+struct FlushSnapshot {
+    next_sync: f64,
+}
+
 impl SimObserver for FlushDaemon {
     fn next_timer(&self) -> f64 {
         self.next_sync
@@ -205,6 +283,18 @@ impl SimObserver for FlushDaemon {
         out.extend(hw.submit_writes(dirty, t));
         out.push(SimEvent::Sync { time: t, pages });
         self.next_sync += self.interval;
+    }
+
+    fn snapshot_state(&self) -> serde::Value {
+        FlushSnapshot {
+            next_sync: self.next_sync,
+        }
+        .to_value()
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        self.next_sync = FlushSnapshot::from_value(state)?.next_sync;
+        Ok(())
     }
 }
 
@@ -266,7 +356,38 @@ impl LatencyTracker {
     }
 }
 
+/// Serializable image of a [`LatencyTracker`].
+#[derive(Serialize, Deserialize)]
+struct LatencySnapshot {
+    measuring: bool,
+    latency: Welford,
+    request_latencies: Vec<f64>,
+    long_count: u64,
+    max_latency: f64,
+}
+
 impl SimObserver for LatencyTracker {
+    fn snapshot_state(&self) -> serde::Value {
+        LatencySnapshot {
+            measuring: self.measuring,
+            latency: self.latency,
+            request_latencies: self.request_latencies.clone(),
+            long_count: self.long_count,
+            max_latency: self.max_latency,
+        }
+        .to_value()
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        let snapshot = LatencySnapshot::from_value(state)?;
+        self.measuring = snapshot.measuring;
+        self.latency = snapshot.latency;
+        self.request_latencies = snapshot.request_latencies;
+        self.long_count = snapshot.long_count;
+        self.max_latency = snapshot.max_latency;
+        Ok(())
+    }
+
     fn on_event(&mut self, event: &SimEvent, _hw: &mut HwState) {
         match *event {
             SimEvent::WarmupEnd { .. } => self.measuring = true,
@@ -350,6 +471,19 @@ impl EnergyMeter {
     }
 }
 
+/// Serializable image of an [`EnergyMeter`] (the measured-window
+/// baselines).
+#[derive(Serialize, Deserialize)]
+struct EnergyMeterSnapshot {
+    baseline: EnergyBreakdown,
+    acc: u64,
+    hits: u64,
+    req: u64,
+    busy: f64,
+    spins: u64,
+    pages: u64,
+}
+
 impl SimObserver for EnergyMeter {
     fn on_event(&mut self, event: &SimEvent, hw: &mut HwState) {
         if let SimEvent::WarmupEnd { .. } = event {
@@ -361,6 +495,31 @@ impl SimObserver for EnergyMeter {
             self.spins = hw.disk.spin_downs();
             self.pages = hw.disk_pages;
         }
+    }
+
+    fn snapshot_state(&self) -> serde::Value {
+        EnergyMeterSnapshot {
+            baseline: self.baseline,
+            acc: self.acc,
+            hits: self.hits,
+            req: self.req,
+            busy: self.busy,
+            spins: self.spins,
+            pages: self.pages,
+        }
+        .to_value()
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        let snapshot = EnergyMeterSnapshot::from_value(state)?;
+        self.baseline = snapshot.baseline;
+        self.acc = snapshot.acc;
+        self.hits = snapshot.hits;
+        self.req = snapshot.req;
+        self.busy = snapshot.busy;
+        self.spins = snapshot.spins;
+        self.pages = snapshot.pages;
+        Ok(())
     }
 }
 
@@ -410,7 +569,44 @@ impl TelemetryObserver {
     }
 }
 
+/// Serializable image of a [`TelemetryObserver`]'s per-period deltas
+/// (counter handles are rebuilt from the live registry on resume; the
+/// registry's own totals restart, which is fine — registry metrics are
+/// advisory, not part of report equality).
+#[derive(Serialize, Deserialize)]
+struct TelemetrySnapshot {
+    energy_base: EnergyBreakdown,
+    accesses: u64,
+    hits: u64,
+    misses: u64,
+    disk_requests: u64,
+    syncs: u64,
+}
+
 impl SimObserver for TelemetryObserver {
+    fn snapshot_state(&self) -> serde::Value {
+        TelemetrySnapshot {
+            energy_base: self.energy_base,
+            accesses: self.accesses,
+            hits: self.hits,
+            misses: self.misses,
+            disk_requests: self.disk_requests,
+            syncs: self.syncs,
+        }
+        .to_value()
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        let snapshot = TelemetrySnapshot::from_value(state)?;
+        self.energy_base = snapshot.energy_base;
+        self.accesses = snapshot.accesses;
+        self.hits = snapshot.hits;
+        self.misses = snapshot.misses;
+        self.disk_requests = snapshot.disk_requests;
+        self.syncs = snapshot.syncs;
+        Ok(())
+    }
+
     fn on_event(&mut self, event: &SimEvent, hw: &mut HwState) {
         match *event {
             SimEvent::Access { hit, .. } => {

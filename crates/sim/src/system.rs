@@ -5,11 +5,76 @@
 use jpmd_disk::SpinDownPolicy;
 use jpmd_obs::{ObsEvent, SpanRecorder, Telemetry};
 use jpmd_trace::{SourceError, Trace, TraceSource};
+use serde::{Deserialize, Serialize};
 
 use crate::{
-    EnergyMeter, Engine, FlushDaemon, HwState, LatencyTracker, PeriodAccounting, PeriodController,
-    RunReport, SimConfig, SimObserver, TelemetryObserver, TimedController, WarmupWindow,
+    engine::{CheckpointPolicy, EngineCheckpoint},
+    EnergyMeter, Engine, FaultInjector, FlushDaemon, HwState, LatencyTracker, PeriodAccounting,
+    PeriodController, RunReport, SimConfig, SimObserver, TelemetryObserver, TimedController,
+    WarmupWindow,
 };
+
+/// A crash-consistent image of a full simulation run in flight: the
+/// engine-level checkpoint plus the run identity and telemetry cursor.
+/// This is what `jpmd-ckpt` serializes into `.jck` files.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimCheckpoint {
+    /// The interrupted run's label (resume asserts it matches).
+    pub label: String,
+    /// The interrupted run's target duration, s (resume asserts it
+    /// matches).
+    pub duration: f64,
+    /// The telemetry sequence counter at the capture instant; resume
+    /// fast-forwards the handle here so the combined event stream stays
+    /// gap-free.
+    pub telemetry_seq: u64,
+    /// Span call counts at the capture instant (the deterministic half of
+    /// the span aggregate).
+    pub span_calls: Vec<(String, u64)>,
+    /// The engine's checkpoint: stats, clock, hardware, observers.
+    pub engine: EngineCheckpoint,
+}
+
+/// Outcome of a checkpointable simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimOutcome {
+    /// The run reached its target duration; the report is final.
+    Completed(Box<RunReport>),
+    /// The run stopped early at a checkpoint (cooperative shutdown, or the
+    /// checkpoint callback returned `false`). The last checkpoint handed
+    /// to the callback is the resume point; no report exists.
+    Interrupted,
+}
+
+impl SimOutcome {
+    /// The completed report, or `None` for an interrupted run.
+    pub fn into_report(self) -> Option<RunReport> {
+        match self {
+            SimOutcome::Completed(report) => Some(*report),
+            SimOutcome::Interrupted => None,
+        }
+    }
+}
+
+/// Checkpointing configuration for [`run_simulation_full`]: when to
+/// capture, and where captured checkpoints go. The callback returns
+/// whether the run should continue (`false` stops it, leaving the
+/// just-delivered checkpoint as the resume point).
+pub struct CheckpointOptions<'a> {
+    /// When checkpoints are captured.
+    pub policy: CheckpointPolicy,
+    /// Receives each captured checkpoint.
+    pub on_checkpoint: &'a mut dyn FnMut(SimCheckpoint) -> bool,
+}
+
+/// Wraps a checkpoint-restore decode failure as a [`SourceError`] so the
+/// unified entry point keeps a single error type.
+fn restore_error(e: serde::Error) -> SourceError {
+    SourceError::new(std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!("checkpoint restore failed: {e}"),
+    ))
+}
 
 /// Runs one complete system simulation: the trace drives the disk cache,
 /// cache misses drive the disk, and the controller is invoked at every
@@ -121,6 +186,61 @@ pub fn run_simulation_source_with<S: TraceSource>(
     label: &str,
     telemetry: &Telemetry,
 ) -> Result<RunReport, SourceError> {
+    match run_simulation_full(
+        config, spindown, controller, source, duration, label, telemetry, None, None, None,
+    )? {
+        SimOutcome::Completed(report) => Ok(*report),
+        SimOutcome::Interrupted => unreachable!("no checkpoint policy was installed"),
+    }
+}
+
+/// The fully-featured entry point behind every `run_simulation*` wrapper:
+/// telemetry, fault injection, crash-consistent checkpointing, and
+/// resume-from-checkpoint in one wiring of the standard observer stack.
+///
+/// * `injector` — an optional [`FaultInjector`] installed into the
+///   hardware before the replay (what `jpmd-faults` uses; `None` for
+///   healthy hardware).
+/// * `resume` — continue an interrupted run from its [`SimCheckpoint`].
+///   The *same* configuration, spin-down policy, controller type, source,
+///   and injector construction must be supplied; the checkpoint carries
+///   only dynamic state. No `RunStart` is re-emitted, the telemetry
+///   sequence counter fast-forwards to the checkpoint's, and span call
+///   counts are pre-seeded, so the resumed run's report — and its
+///   normalized telemetry stream — is bit-identical to the uninterrupted
+///   run's.
+/// * `checkpoints` — capture checkpoints per its policy and hand them to
+///   its callback; see [`CheckpointOptions`].
+///
+/// Completed runs close the telemetry handle ([`Telemetry::close`]), which
+/// surfaces any records the sink dropped on write errors; interrupted runs
+/// return [`SimOutcome::Interrupted`] immediately without a report (the
+/// checkpoint callback has already seen the resume point).
+///
+/// # Errors
+///
+/// Propagates the first [`SourceError`] the source yields. A checkpoint
+/// whose images do not decode against this run's observer stack fails with
+/// a `SourceError` wrapping the decode error.
+///
+/// # Panics
+///
+/// Panics if the source's page size differs from the memory
+/// configuration's, if `duration` does not exceed the warm-up, or if a
+/// resume checkpoint's label/duration disagree with the arguments.
+#[allow(clippy::too_many_arguments)]
+pub fn run_simulation_full<S: TraceSource>(
+    config: &SimConfig,
+    spindown: SpinDownPolicy,
+    controller: &mut dyn PeriodController,
+    source: S,
+    duration: f64,
+    label: &str,
+    telemetry: &Telemetry,
+    injector: Option<Box<dyn FaultInjector>>,
+    resume: Option<&SimCheckpoint>,
+    checkpoints: Option<CheckpointOptions<'_>>,
+) -> Result<SimOutcome, SourceError> {
     config.validate();
     assert_eq!(
         source.page_bytes(),
@@ -131,14 +251,34 @@ pub fn run_simulation_source_with<S: TraceSource>(
         duration > config.warmup_secs,
         "duration must exceed the warm-up window"
     );
+    if let Some(ckpt) = resume {
+        assert_eq!(
+            ckpt.label, label,
+            "checkpoint was captured from a different run"
+        );
+        assert_eq!(
+            ckpt.duration, duration,
+            "checkpoint was captured for a different duration"
+        );
+    }
 
-    telemetry.emit_with(|| ObsEvent::RunStart {
-        label: label.to_string(),
-        duration_s: duration,
-    });
     let spans = SpanRecorder::new();
+    if let Some(ckpt) = resume {
+        // Continue the interrupted stream: no second RunStart, the next
+        // event gets the next sequence number, spans keep their counts.
+        telemetry.set_seq(ckpt.telemetry_seq);
+        spans.seed_calls(&ckpt.span_calls);
+    } else {
+        telemetry.emit_with(|| ObsEvent::RunStart {
+            label: label.to_string(),
+            duration_s: duration,
+        });
+    }
 
     let mut hw = HwState::new(config, spindown, source.total_pages().max(1));
+    if let Some(injector) = injector {
+        hw.set_fault_injector(injector);
+    }
     let mut timed = TimedController::new(controller, spans.clone(), telemetry.clone());
     let mut warmup = WarmupWindow::new(config.warmup_secs);
     let mut periods = PeriodAccounting::new(
@@ -152,12 +292,18 @@ pub fn run_simulation_source_with<S: TraceSource>(
     let mut energy = EnergyMeter::new();
     let mut observer = TelemetryObserver::new(telemetry);
 
-    let engine = {
+    let (policy, mut on_checkpoint) = match checkpoints {
+        Some(options) => (Some(options.policy), Some(options.on_checkpoint)),
+        None => (None, None),
+    };
+
+    let run = {
         // Registration order is load-bearing: same-instant timers fire in
         // this order (warm-up snapshot, then period row, then sync tick).
         // The telemetry observer goes last — it is purely passive, so its
         // position only matters in that it must see events after the
-        // components that settle the hardware.
+        // components that settle the hardware. Checkpoint observer images
+        // are stored in this same order.
         let mut observers: Vec<&mut dyn SimObserver> = vec![
             &mut warmup,
             &mut periods,
@@ -168,14 +314,46 @@ pub fn run_simulation_source_with<S: TraceSource>(
         if telemetry.is_enabled() {
             observers.push(&mut observer);
         }
+        if let Some(ckpt) = resume {
+            hw.restore_state(&ckpt.engine.hw).map_err(restore_error)?;
+            if ckpt.engine.observers.len() != observers.len() {
+                return Err(restore_error(serde::Error::custom(format!(
+                    "checkpoint holds {} observer images but this run registers {} observers \
+                     (was telemetry toggled between capture and resume?)",
+                    ckpt.engine.observers.len(),
+                    observers.len()
+                ))));
+            }
+            for (observer, state) in observers.iter_mut().zip(&ckpt.engine.observers) {
+                observer.restore_state(state).map_err(restore_error)?;
+            }
+        }
+        let mut forward = |engine: EngineCheckpoint| -> bool {
+            match on_checkpoint.as_mut() {
+                Some(callback) => callback(SimCheckpoint {
+                    label: label.to_string(),
+                    duration,
+                    telemetry_seq: telemetry.seq(),
+                    span_calls: spans.call_counts(),
+                    engine,
+                }),
+                None => true,
+            }
+        };
         let _replay = spans.time_with("engine.replay", telemetry);
-        Engine::with_metrics(telemetry.registry()).run_source(
+        Engine::with_metrics(telemetry.registry()).run_source_with_checkpoints(
             source,
             duration,
             &mut hw,
             &mut observers,
+            policy.as_ref(),
+            &mut forward,
+            resume.map(|ckpt| &ckpt.engine),
         )?
     };
+    if run.interrupted {
+        return Ok(SimOutcome::Interrupted);
+    }
 
     let window = duration - config.warmup_secs;
     let (traffic, lat) = {
@@ -198,7 +376,7 @@ pub fn run_simulation_source_with<S: TraceSource>(
         utilization: traffic.utilization,
         spin_downs: traffic.spin_downs,
         periods: periods.into_rows(),
-        engine,
+        engine: run.stats,
         spans: spans.snapshot(),
     };
     telemetry.emit_with(|| ObsEvent::RunEnd {
@@ -206,8 +384,8 @@ pub fn run_simulation_source_with<S: TraceSource>(
         periods: report.periods.len() as u64,
         events: report.engine.events_processed,
     });
-    telemetry.flush();
-    Ok(report)
+    telemetry.close();
+    Ok(SimOutcome::Completed(Box::new(report)))
 }
 
 #[cfg(test)]

@@ -22,14 +22,14 @@
 //!
 //! Exit codes: `0` success, `1` runtime failure (I/O, corrupt store,
 //! malformed trace), `2` usage error (unknown subcommand, missing or
-//! unparsable argument).
+//! unparsable argument) — the shared `jpmd_obs::cli` convention.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::path::Path;
 use std::process::ExitCode;
-use std::str::FromStr;
 
+use jpmd_obs::cli::{self, parse_arg, parse_required, require, CliError};
 use jpmd_store::TraceReader;
 use jpmd_trace::{synth, Trace, TraceStats, WorkloadBuilder, GIB, MIB};
 
@@ -45,54 +45,6 @@ const USAGE: &str = "usage:
 
 traces ending in .jpt use the paged binary store; all others are JSON
 (scan reads a .jpt in recovery mode, reporting every page's health)";
-
-/// A CLI failure, split by who is at fault: bad invocation (exit 2,
-/// usage printed) vs. a failing operation (exit 1).
-enum CliError {
-    Usage(String),
-    Runtime(Box<dyn std::error::Error>),
-}
-
-impl<E: std::error::Error + 'static> From<E> for CliError {
-    fn from(e: E) -> Self {
-        CliError::Runtime(Box::new(e))
-    }
-}
-
-/// Parses positional argument `index` (named `name` in diagnostics),
-/// falling back to `default` when absent. Malformed values are usage
-/// errors, not runtime errors.
-fn parse_arg<T: FromStr>(
-    args: &[String],
-    index: usize,
-    name: &str,
-    default: T,
-) -> Result<T, CliError> {
-    match args.get(index) {
-        None => Ok(default),
-        Some(raw) => parse_value(raw, name),
-    }
-}
-
-/// Like [`parse_arg`], but the argument is mandatory.
-fn parse_required<T: FromStr>(args: &[String], index: usize, name: &str) -> Result<T, CliError> {
-    parse_value(require(args, index, name)?, name)
-}
-
-fn parse_value<T: FromStr>(raw: &str, name: &str) -> Result<T, CliError> {
-    raw.parse().map_err(|_| {
-        CliError::Usage(format!(
-            "argument <{name}> must be a {}, got '{raw}'",
-            std::any::type_name::<T>()
-        ))
-    })
-}
-
-fn require<'a>(args: &'a [String], index: usize, name: &str) -> Result<&'a str, CliError> {
-    args.get(index)
-        .map(String::as_str)
-        .ok_or_else(|| CliError::Usage(format!("missing argument <{name}>")))
-}
 
 /// `.jpt` selects the binary store; everything else is JSON.
 fn is_binary(path: &str) -> bool {
@@ -223,9 +175,7 @@ fn scan(path: &str) -> Result<(), CliError> {
         skipped.records_lost
     );
     if data_pages > 0 && ok_pages == 0 {
-        return Err(CliError::Runtime(
-            "no readable data pages in store".to_string().into(),
-        ));
+        return Err(cli::runtime("no readable data pages in store"));
     }
     Ok(())
 }
@@ -307,9 +257,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
                 .iter()
                 .map(|r| r.file.0)
                 .max()
-                .ok_or_else(|| {
-                    CliError::Runtime("cannot scale an empty trace".to_string().into())
-                })?;
+                .ok_or_else(|| cli::runtime("cannot scale an empty trace"))?;
             let mut counts: Vec<u64> = vec![1; max_file as usize + 1];
             for r in trace.records() {
                 counts[r.file.0 as usize] = r.pages;
@@ -327,20 +275,5 @@ fn run(args: &[String]) -> Result<(), CliError> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
-    match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(CliError::Runtime(e)) => {
-            eprintln!("error: {e}");
-            // Surface the typed chain (e.g. StoreError::Checksum inside a
-            // SourceError) one level deep for diagnosability.
-            if let Some(cause) = e.source() {
-                eprintln!("  caused by: {cause}");
-            }
-            ExitCode::FAILURE
-        }
-        Err(CliError::Usage(message)) => {
-            eprintln!("error: {message}\n{USAGE}");
-            ExitCode::from(2)
-        }
-    }
+    cli::exit_with(run(&args), USAGE)
 }

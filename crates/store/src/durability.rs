@@ -1,0 +1,49 @@
+//! Directory-level durability for the write-temp-then-rename protocol.
+//!
+//! `fsync` on a file makes its *contents* durable, but the rename that
+//! published the file lives in the parent directory's entries — until the
+//! directory itself is synced, a crash can forget the rename and leave
+//! the old name (or nothing) behind. Every atomic publish in this
+//! workspace (`.jpt` traces, `.jck` checkpoints) therefore ends with
+//! [`sync_parent_dir`] on the destination path.
+
+use std::fs::File;
+use std::io;
+use std::path::Path;
+
+/// Fsyncs the directory containing `path`, making a just-completed rename
+/// of `path` durable.
+///
+/// A path with no parent component (a bare file name) syncs the current
+/// directory. On platforms where directories cannot be opened for sync
+/// (e.g. Windows), the open error is swallowed — the rename is still
+/// atomic, only its durability against power loss is weakened, which
+/// matches what the platform can promise.
+///
+/// # Errors
+///
+/// Propagates a failing `fsync` on a successfully opened directory.
+pub fn sync_parent_dir(path: &Path) -> io::Result<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    match File::open(parent) {
+        Ok(dir) => dir.sync_all(),
+        // Directories are not openable everywhere; treat that as
+        // "platform cannot provide directory durability", not a failure.
+        Err(_) => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn syncs_real_parents_and_tolerates_bare_names() {
+        let dir = std::env::temp_dir();
+        sync_parent_dir(&dir.join("some-file.bin")).expect("sync temp dir");
+        sync_parent_dir(Path::new("bare-name.bin")).expect("sync cwd");
+    }
+}

@@ -54,12 +54,14 @@
 #![warn(missing_docs)]
 
 mod crc32;
+mod durability;
 mod error;
 pub mod format;
 mod reader;
 mod writer;
 
 pub use crc32::crc32;
+pub use durability::sync_parent_dir;
 pub use error::StoreError;
 pub use format::Header;
 pub use reader::{read_trace, SkippedPage, SkippedPages, TraceReader};

@@ -2,11 +2,12 @@
 
 use std::fs::File;
 use std::io::{BufWriter, Seek, SeekFrom, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use jpmd_trace::{check_record, Trace, TraceRecord};
 
 use crate::crc32::crc32;
+use crate::durability::sync_parent_dir;
 use crate::format::{Header, DEFAULT_PAGE_SIZE, RECORD_BYTES};
 use crate::StoreError;
 
@@ -29,6 +30,9 @@ pub struct TraceWriter<W: Write + Seek> {
     in_page: u32,
     written: u64,
     prev_time: f64,
+    /// Set by [`TraceWriter::create`] so [`TraceWriter::finish_durable`]
+    /// can fsync the parent directory; `None` for in-memory writers.
+    path: Option<PathBuf>,
 }
 
 impl TraceWriter<BufWriter<File>> {
@@ -43,7 +47,36 @@ impl TraceWriter<BufWriter<File>> {
         page_bytes: u64,
         total_pages: u64,
     ) -> Result<Self, StoreError> {
-        Self::new(BufWriter::new(File::create(path)?), page_bytes, total_pages)
+        let path = path.as_ref();
+        let mut writer = Self::new(BufWriter::new(File::create(path)?), page_bytes, total_pages)?;
+        writer.path = Some(path.to_path_buf());
+        Ok(writer)
+    }
+
+    /// [`TraceWriter::finish`], then pushed all the way to stable storage:
+    /// the sealed file is fsynced, and — for writers opened with
+    /// [`TraceWriter::create`] — so is its parent directory, so neither
+    /// the patched header nor the directory entry can be lost to a crash.
+    ///
+    /// The store does not need a write-temp-then-rename dance for
+    /// crash *detection* (the poison record count already makes an
+    /// unfinished file typed garbage every reader rejects); this call is
+    /// about making a *finished* file permanent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write, flush, and fsync failures.
+    pub fn finish_durable(self) -> Result<(), StoreError> {
+        let path = self.path.clone();
+        let out = self.finish()?;
+        let file = out
+            .into_inner()
+            .map_err(|e| StoreError::Io(e.into_error()))?;
+        file.sync_all()?;
+        if let Some(path) = path {
+            sync_parent_dir(&path)?;
+        }
+        Ok(())
     }
 }
 
@@ -92,6 +125,7 @@ impl<W: Write + Seek> TraceWriter<W> {
             in_page: 0,
             written: 0,
             prev_time: f64::NEG_INFINITY,
+            path: None,
         })
     }
 
@@ -157,7 +191,8 @@ impl<W: Write + Seek> TraceWriter<W> {
     }
 }
 
-/// Writes a whole in-memory [`Trace`] to `path` in the binary format.
+/// Writes a whole in-memory [`Trace`] to `path` in the binary format and
+/// fsyncs it (file and parent directory) before returning.
 ///
 /// # Errors
 ///
@@ -167,8 +202,7 @@ pub fn write_trace(path: impl AsRef<Path>, trace: &Trace) -> Result<(), StoreErr
     for record in trace.records() {
         writer.write_record(record)?;
     }
-    writer.finish()?;
-    Ok(())
+    writer.finish_durable()
 }
 
 #[cfg(test)]
@@ -227,6 +261,20 @@ mod tests {
         let header =
             Header::decode(bytes[..crate::format::HEADER_BYTES].try_into().unwrap()).unwrap();
         assert_eq!(header.record_count, u64::MAX);
+    }
+
+    #[test]
+    fn finish_durable_seals_a_readable_file() {
+        let path =
+            std::env::temp_dir().join(format!("jpmd-store-durable-{}.jpt", std::process::id()));
+        let mut w = TraceWriter::create(&path, 4096, 100).unwrap();
+        for i in 0..5u64 {
+            w.write_record(&rec(i as f64, i, 1)).unwrap();
+        }
+        w.finish_durable().unwrap();
+        let trace = crate::read_trace(&path).unwrap();
+        assert_eq!(trace.records().len(), 5);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

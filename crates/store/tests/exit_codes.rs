@@ -1,0 +1,73 @@
+//! `trace_tool` honors the workspace exit-code convention: `0` ok, `1`
+//! runtime failure, `2` bad invocation — the shared `jpmd_obs::cli`
+//! contract, tested by spawning the real binary.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn tool(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_trace_tool"))
+        .args(args)
+        .output()
+        .expect("spawn trace_tool")
+}
+
+fn code(output: &Output) -> i32 {
+    output.status.code().expect("exit code")
+}
+
+fn scratch(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("jpmd-store-exit-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn bad_invocations_exit_2_with_usage() {
+    for args in [
+        &[][..],
+        &["frobnicate"][..],
+        &["gen"][..],
+        &["verify"][..],
+        &["scale-rate", "a", "b", "not-a-number"][..],
+    ] {
+        let out = tool(args);
+        assert_eq!(code(&out), 2, "args {args:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("usage:"), "args {args:?}: {stderr}");
+    }
+
+    // `scan` on a non-.jpt path is a usage error too.
+    let out = tool(&["scan", "trace.json"]);
+    assert_eq!(code(&out), 2);
+}
+
+#[test]
+fn runtime_failures_exit_1() {
+    let out = tool(&["verify", "/nonexistent/trace.jpt"]);
+    assert_eq!(code(&out), 1);
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error:"));
+
+    // A poisoned (never-finished) store is a typed runtime failure, not a
+    // crash: header with record_count == u64::MAX.
+    let torn = scratch("torn.jpt");
+    let mut bytes = vec![0u8; 64];
+    bytes[0..8].copy_from_slice(b"JPMDTRC1");
+    std::fs::write(&torn, &bytes).expect("write torn store");
+    let out = tool(&["verify", torn.to_str().unwrap()]);
+    assert_eq!(code(&out), 1);
+    std::fs::remove_file(&torn).ok();
+}
+
+#[test]
+fn gen_and_verify_round_trip_exit_0() {
+    let path = scratch("roundtrip.jpt");
+    let path_str = path.to_str().unwrap();
+
+    let gen = tool(&["gen", path_str, "1", "4", "0.1", "60", "7"]);
+    assert_eq!(code(&gen), 0, "{}", String::from_utf8_lossy(&gen.stderr));
+    assert!(String::from_utf8_lossy(&gen.stdout).contains("wrote"));
+
+    let verify = tool(&["verify", path_str]);
+    assert_eq!(code(&verify), 0);
+    assert!(String::from_utf8_lossy(&verify.stdout).starts_with("ok:"));
+    std::fs::remove_file(&path).ok();
+}
