@@ -23,6 +23,10 @@
 //! ```
 //!
 //! (default `results/chaos.jsonl`, seed 1, checkpoint every period)
+//!
+//! The telemetry WAL is always written **indexed**: a `<OUT>.jx` sparse
+//! period index rides along (stride 64), so `obs_tool seek`/`range`
+//! answer period queries without scanning the whole stream.
 
 use jpmd_ckpt::{load_checkpoint, CkptMeta, FileCheckpointer};
 use jpmd_core::JointConfig;
@@ -35,6 +39,11 @@ use jpmd_obs::{JsonlSink, Telemetry, WalPolicy};
 use jpmd_sim::{CheckpointOptions, CheckpointPolicy, SimCheckpoint};
 
 const TRACE_SEED: u64 = 42;
+
+/// Sparse-index stride for the telemetry WAL: one `(period, seq, offset)`
+/// entry per 64 period-carrying records keeps the `.jx` sidecar tiny
+/// while `obs_tool seek`/`range` stay O(index + stride).
+const INDEX_STRIDE: u32 = 64;
 
 struct Args {
     out: String,
@@ -112,7 +121,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         None => {
             let chaos = ChaosConfig::small_test(args.seed);
             let trace = chaos_trace(&chaos.scale, chaos.duration_secs, TRACE_SEED);
-            let telemetry = Telemetry::new(Box::new(JsonlSink::create(&args.out)?));
+            let telemetry = Telemetry::new(Box::new(JsonlSink::create_indexed(
+                &args.out,
+                WalPolicy::default(),
+                INDEX_STRIDE,
+            )?));
             run_chaos(&chaos, trace.source(), &telemetry)?
         }
         Some(ckpt_path) if args.resume => {
@@ -125,10 +138,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let chaos = ChaosConfig::small_test(meta.seed);
             let trace = chaos_trace(&chaos.scale, chaos.duration_secs, meta.trace_seed);
             let wal = meta.telemetry.clone().unwrap_or_else(|| args.out.clone());
-            let telemetry = Telemetry::new(Box::new(JsonlSink::resume(
+            let telemetry = Telemetry::new(Box::new(JsonlSink::resume_indexed(
                 &wal,
                 ckpt.telemetry_seq,
                 WalPolicy::wal(),
+                INDEX_STRIDE,
             )?));
             println!(
                 "chaos: resuming seed {} from {ckpt_path} (period {}, telemetry seq {})",
@@ -142,9 +156,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Some(ckpt_path) => {
             let chaos = ChaosConfig::small_test(args.seed);
             let trace = chaos_trace(&chaos.scale, chaos.duration_secs, TRACE_SEED);
-            let telemetry = Telemetry::new(Box::new(JsonlSink::create_with(
+            let telemetry = Telemetry::new(Box::new(JsonlSink::create_indexed(
                 &args.out,
                 WalPolicy::wal(),
+                INDEX_STRIDE,
             )?));
             let meta =
                 CkptMeta::chaos_small(args.seed, TRACE_SEED).with_telemetry(args.out.clone());

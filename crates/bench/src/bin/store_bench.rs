@@ -14,16 +14,24 @@
 //! load+replay seconds, on-disk file size, and the peak-RSS delta the
 //! load inflicted (Linux `VmHWM`; `NaN` elsewhere). The binary rows run
 //! first so the JSON path's allocations cannot mask their high-water
-//! mark. Results land in `results/store_bench.json` via the existing
-//! runner conventions: a failing path fills its row with `NaN` and the
-//! bench keeps going, like the figure drivers.
+//! mark.
+//!
+//! A second table measures **seek-to-period** on a large telemetry WAL
+//! (~10^6 period records, ~10^5 with `--quick`): the `.jx` sparse period
+//! index ([`jpmd_obs::wal`]) against a full scan from byte 0, both
+//! returning the identical record. Results land in
+//! `results/store_bench.json` as `{"replay": ..., "seek": ...}` via the
+//! existing runner conventions: a failing path fills its row with `NaN`
+//! and the bench keeps going, like the figure drivers.
 //!
 //! Usage: `store-bench [--quick]`
 
+use std::io::Write;
 use std::time::Instant;
 
 use jpmd_bench::{write_json, ExperimentConfig, Table, WorkloadPoint};
 use jpmd_core::methods;
+use jpmd_obs::{wal, ObsEvent, ObsRecord};
 use jpmd_store::TraceReader;
 use jpmd_trace::Trace;
 
@@ -42,8 +50,106 @@ struct PathResult {
     peak_rss_delta_mb: f64,
 }
 
+/// Writes a WAL of `periods` period-carrying records plus its `.jx`
+/// sidecar, then measures `seek_to_period` near the end of the stream
+/// through the index and through a full scan. Both paths must return the
+/// identical record — the index is only allowed to buy speed.
+fn seek_bench(quick: bool) -> Result<Table, Box<dyn std::error::Error>> {
+    let periods: u64 = if quick { 100_000 } else { 1_000_000 };
+    let stride: u32 = 512;
+    let dir = std::env::temp_dir();
+    let wal_path = dir.join(format!("jpmd-seek-bench-{}.jsonl", std::process::id()));
+
+    println!("\nwriting seek workload ({periods} period records)…");
+    {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(&wal_path)?);
+        for p in 0..periods {
+            let record = ObsRecord {
+                seq: p,
+                t_wall_ms: None,
+                event: ObsEvent::Period {
+                    index: p,
+                    start_s: p as f64,
+                    end_s: p as f64 + 1.0,
+                    accesses: 1000 + p % 64,
+                    hits: 900,
+                    misses: 7,
+                    disk_requests: 12,
+                    syncs: 1,
+                    energy_j: 3.5,
+                },
+            };
+            writeln!(f, "{}", record.to_line())?;
+        }
+        f.flush()?;
+    }
+    let entries = wal::build_index(&wal_path, stride)?;
+    let wal_mb = std::fs::metadata(&wal_path)?.len() as f64 / (1024.0 * 1024.0);
+    println!("indexed: {entries} entr(ies) at stride {stride} over {wal_mb:.1} MB");
+
+    // Seek into the last tenth of the stream — the worst case for a full
+    // scan, a binary search plus <= stride lines for the index.
+    let target = periods - periods / 10;
+
+    let start = Instant::now();
+    let full = wal::seek_period_full_scan(&wal_path, target)?;
+    let full_secs = start.elapsed().as_secs_f64();
+
+    // The indexed path is microseconds; average a batch for a stable
+    // number. Distinct nearby targets keep the page cache honest-ish
+    // without changing the scan length class.
+    let iters: u64 = 100;
+    let start = Instant::now();
+    let mut indexed = wal::seek_period(&wal_path, target)?;
+    for i in 1..iters {
+        indexed = wal::seek_period(&wal_path, target + (i % 64))?;
+    }
+    let indexed_secs = start.elapsed().as_secs_f64() / iters as f64;
+
+    let check = wal::seek_period(&wal_path, target)?;
+    assert!(check.used_index, "sidecar must position the seek");
+    assert_eq!(
+        check.hit.as_ref().map(|(o, r)| (*o, r.seq)),
+        full.hit.as_ref().map(|(o, r)| (*o, r.seq)),
+        "indexed and full-scan seeks must agree"
+    );
+
+    let mut table = Table::new(
+        format!("WAL seek-to-period, {periods} records: sparse index vs full scan"),
+        vec![
+            "seeks/s".into(),
+            "ms/seek".into(),
+            "lines scanned".into(),
+            "speedup x".into(),
+        ],
+    );
+    table.push(
+        "indexed",
+        vec![
+            1.0 / indexed_secs.max(f64::MIN_POSITIVE),
+            indexed_secs * 1e3,
+            indexed.lines_scanned as f64,
+            full_secs / indexed_secs.max(f64::MIN_POSITIVE),
+        ],
+    );
+    table.push(
+        "full-scan",
+        vec![
+            1.0 / full_secs.max(f64::MIN_POSITIVE),
+            full_secs * 1e3,
+            full.lines_scanned as f64,
+            1.0,
+        ],
+    );
+
+    let _ = std::fs::remove_file(jpmd_store::index_path(&wal_path));
+    let _ = std::fs::remove_file(&wal_path);
+    Ok(table)
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = ExperimentConfig::from_args();
+    let quick = std::env::args().any(|a| a == "--quick");
     let point = WorkloadPoint {
         data_gb: 4,
         ..WorkloadPoint::default_point()
@@ -132,7 +238,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     table.print();
-    write_json("store_bench", &table)?;
+
+    let seek_table = seek_bench(quick)?;
+    seek_table.print();
+
+    #[derive(serde::Serialize)]
+    struct StoreBenchResults {
+        replay: Table,
+        seek: Table,
+    }
+    write_json(
+        "store_bench",
+        &StoreBenchResults {
+            replay: table,
+            seek: seek_table,
+        },
+    )?;
 
     let _ = std::fs::remove_file(&json_path);
     let _ = std::fs::remove_file(&jpt_path);

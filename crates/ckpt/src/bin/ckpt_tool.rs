@@ -49,6 +49,13 @@ fn inspect(args: &[String]) -> Result<(), CliError> {
         meta.telemetry.as_deref().unwrap_or("-")
     );
     println!("telemetry_seq    {}", ckpt.telemetry_seq);
+    match meta.wal_index {
+        Some(pos) => {
+            println!("wal_offset       {}", pos.offset);
+            println!("wal_index_ents   {}", pos.index_entries);
+        }
+        None => println!("wal_offset       -"),
+    }
     println!(
         "periods_done     {}",
         ckpt.engine.stats.counts.period_boundaries

@@ -65,6 +65,14 @@ pub struct CkptMeta {
     /// Path of the telemetry WAL this run appends to, if any — resume
     /// reopens it with [`jpmd_obs::JsonlSink::resume`].
     pub telemetry: Option<String>,
+    /// The WAL/index position the checkpoint sealed against: stamped by
+    /// [`FileCheckpointer::save`] *after* flushing telemetry, so the
+    /// recorded offset is a durable prefix of the `.jsonl` and
+    /// `index_entries` a valid prefix of its `.jx` sidecar. `None` for
+    /// runs without a WAL-positioned sink, and when loading checkpoints
+    /// written before the field existed (`#[serde(default)]`).
+    #[serde(default)]
+    pub wal_index: Option<jpmd_obs::WalIndexPos>,
 }
 
 impl CkptMeta {
@@ -75,6 +83,7 @@ impl CkptMeta {
             seed: 0,
             trace_seed: 0,
             telemetry: None,
+            wal_index: None,
         }
     }
 
@@ -87,6 +96,7 @@ impl CkptMeta {
             seed,
             trace_seed,
             telemetry: None,
+            wal_index: None,
         }
     }
 
@@ -191,8 +201,13 @@ impl FileCheckpointer {
     /// the run continue; a failed save returns `false` (stopping the run
     /// at a well-defined boundary beats running on without crash safety)
     /// and parks the error for [`FileCheckpointer::take_error`].
+    ///
+    /// The published metadata carries the WAL/index position
+    /// ([`jpmd_obs::Telemetry::wal_index`]) read **after** the flush, so
+    /// every byte and index entry the checkpoint claims is durable.
     pub fn save(&mut self, ckpt: &SimCheckpoint) -> bool {
         self.telemetry.flush();
+        self.meta.wal_index = self.telemetry.wal_index();
         match save_checkpoint(&self.path, &self.meta, ckpt) {
             Ok(()) => {
                 self.saved += 1;

@@ -76,6 +76,17 @@ fn chaos_run_resumes_from_jck_and_wal_files() {
     assert_eq!(meta.kind, "chaos-small");
     assert_eq!(meta.seed, 1);
     assert_eq!(meta.trace_seed, 42);
+    // The checkpoint seals against a durable WAL prefix: the stamped
+    // offset lands on a line boundary and the prefix ends at exactly the
+    // record before the checkpoint's telemetry sequence.
+    let pos = meta.wal_index.expect("checkpoint stamps the WAL position");
+    let wal_bytes = fs::read(&run_wal).expect("read run WAL");
+    assert!(pos.offset > 0 && pos.offset as usize <= wal_bytes.len());
+    let prefix = std::str::from_utf8(&wal_bytes[..pos.offset as usize]).expect("utf8 prefix");
+    assert!(prefix.ends_with('\n'), "sealed offset is a line boundary");
+    let last = ObsRecord::from_line(prefix.lines().last().expect("non-empty prefix"))
+        .expect("sealed prefix parses");
+    assert_eq!(last.seq, ckpt.telemetry_seq - 1);
     let resumed = {
         let telemetry = Telemetry::new(Box::new(
             JsonlSink::resume(&run_wal, ckpt.telemetry_seq, WalPolicy::wal()).expect("WAL reopens"),

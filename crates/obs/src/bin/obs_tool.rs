@@ -5,6 +5,10 @@
 //! obs-tool grep <file> --event <name>
 //! obs-tool timings <file>
 //! obs-tool tail <file> [n]
+//! obs-tool seek <file> <period>
+//! obs-tool range <file> <from> <to>
+//! obs-tool index <file> [stride]
+//! obs-tool compact <base> <out>
 //! ```
 //!
 //! `summary` counts records by event type and sketches the run (periods
@@ -12,7 +16,15 @@
 //! prints the raw lines of one event type, suitable for piping into
 //! further tooling. `timings` aggregates `SpanEnd` events per span name.
 //! `tail` prints the last `n` records (default 10) with their sequence
-//! numbers.
+//! numbers, seeking backward from the end — O(n lines), not O(file).
+//!
+//! The indexed queries ride the `<file>.jx` sparse period index
+//! ([`jpmd_obs::wal`]): `seek` jumps to the first record at-or-past a
+//! period, `range` prints every period-carrying record in an inclusive
+//! period window, `index` (re)builds the sidecar for an existing WAL,
+//! and `compact` folds a segmented WAL chain into one gap-free stream.
+//! All of them verify the index before trusting it and fall back to a
+//! full scan, so answers are identical with or without a sidecar.
 //!
 //! Exit codes: `0` success, `1` runtime failure (missing file, malformed
 //! line), `2` usage error (the shared `jpmd_obs::cli` convention).
@@ -22,16 +34,22 @@ use std::fs::File;
 use std::io::{BufRead, BufReader};
 use std::process::ExitCode;
 
-use jpmd_obs::cli::{exit_with, parse_arg, require, CliError};
-use jpmd_obs::{ObsEvent, ObsRecord};
+use jpmd_obs::cli::{exit_with, parse_arg, parse_required, require, CliError};
+use jpmd_obs::{wal, ObsEvent, ObsRecord};
 
 const USAGE: &str = "usage:
   obs-tool summary <file>
   obs-tool grep <file> --event <name>
   obs-tool timings <file>
   obs-tool tail <file> [n]
+  obs-tool seek <file> <period>
+  obs-tool range <file> <from> <to>
+  obs-tool index <file> [stride]
+  obs-tool compact <base> <out>
 
-<file> is a JSONL telemetry stream written by a JsonlSink";
+<file> is a JSONL telemetry stream written by a JsonlSink; seek/range
+use the <file>.jx sparse period index when present (build one with
+'index'), compact folds <base> + <base>.segN resume segments into <out>";
 
 /// Parses every line of `path`, yielding `(line_no, raw_line, record)`.
 /// A malformed line is a runtime error naming the offending line number.
@@ -194,11 +212,68 @@ fn timings(path: &str) -> Result<(), CliError> {
 }
 
 fn tail(path: &str, n: usize) -> Result<(), CliError> {
-    let records = read_records(path)?;
-    let skip = records.len().saturating_sub(n);
-    for (_, line, record) in records.iter().skip(skip) {
+    // Backward block reads from the end: tail on a multi-GB WAL costs
+    // O(n lines), and a torn trailing write is skipped, not fatal.
+    for line in wal::tail_lines(path, n)? {
+        let record = ObsRecord::from_line(&line)
+            .map_err(|e| CliError::Runtime(format!("{path}: malformed record: {e}").into()))?;
         println!("{:>8} {}", record.seq, line);
     }
+    Ok(())
+}
+
+fn seek(path: &str, period: u64) -> Result<(), CliError> {
+    let out = wal::seek_period(path, period)?;
+    let via = if out.used_index { "index" } else { "full scan" };
+    match out.hit {
+        Some((offset, record)) => {
+            println!("{}", record.to_line());
+            eprintln!(
+                "found period {} (seq {}) at byte {offset} via {via} ({} line(s) scanned)",
+                record.event.period().unwrap_or(period),
+                record.seq,
+                out.lines_scanned
+            );
+            Ok(())
+        }
+        None => Err(jpmd_obs::cli::runtime(format!(
+            "no record at or past period {period} ({} line(s) scanned via {via})",
+            out.lines_scanned
+        ))),
+    }
+}
+
+fn range(path: &str, from: u64, to: u64) -> Result<(), CliError> {
+    if from > to {
+        return Err(CliError::Usage(format!(
+            "range requires <from> <= <to>, got {from} > {to}"
+        )));
+    }
+    let out = wal::range_periods(path, from, to)?;
+    for record in &out.records {
+        println!("{}", record.to_line());
+    }
+    eprintln!(
+        "{} record(s) in periods [{from}, {to}] via {} ({} line(s) scanned)",
+        out.records.len(),
+        if out.used_index { "index" } else { "full scan" },
+        out.lines_scanned
+    );
+    Ok(())
+}
+
+fn index(path: &str, stride: u32) -> Result<(), CliError> {
+    let entries = wal::build_index(path, stride)?;
+    println!("indexed {path}: {entries} entr(ies) at stride {stride} -> {path}.jx");
+    Ok(())
+}
+
+fn compact(base: &str, out: &str) -> Result<(), CliError> {
+    let report = wal::compact(base, out)?;
+    println!(
+        "compacted {} segment(s): {} line(s) in, {} out ({} shadowed, {} corrupt) -> {out}",
+        report.segments, report.lines_in, report.lines_out, report.shadowed, report.dropped
+    );
     Ok(())
 }
 
@@ -218,6 +293,27 @@ fn run(args: &[String]) -> Result<(), CliError> {
             let path = require(args, 2, "file")?;
             let n: usize = parse_arg(args, 3, "n", 10)?;
             tail(path, n)
+        }
+        "seek" => {
+            let path = require(args, 2, "file")?;
+            let period: u64 = parse_required(args, 3, "period")?;
+            seek(path, period)
+        }
+        "range" => {
+            let path = require(args, 2, "file")?;
+            let from: u64 = parse_required(args, 3, "from")?;
+            let to: u64 = parse_required(args, 4, "to")?;
+            range(path, from, to)
+        }
+        "index" => {
+            let path = require(args, 2, "file")?;
+            let stride: u32 = parse_arg(args, 3, "stride", 64)?;
+            index(path, stride)
+        }
+        "compact" => {
+            let base = require(args, 2, "base")?;
+            let out = require(args, 3, "out")?;
+            compact(base, out)
         }
         unknown => Err(CliError::Usage(format!("unknown subcommand '{unknown}'"))),
     }

@@ -163,6 +163,21 @@ impl ObsEvent {
             ObsEvent::Message { .. } => "Message",
         }
     }
+
+    /// The control period this event reports on, when it carries one
+    /// (`Period` → its index, `PolicyDecision` and `Degradation` → their
+    /// period field). Period-carrying records in a healthy WAL are
+    /// non-decreasing, which is the invariant the sparse period index
+    /// (`jpmd_store::index`) and the `obs_tool seek`/`range` queries
+    /// rely on.
+    pub fn period(&self) -> Option<u64> {
+        match self {
+            ObsEvent::Period { index, .. } => Some(*index),
+            ObsEvent::PolicyDecision { period, .. } => Some(*period),
+            ObsEvent::Degradation { period, .. } => Some(*period),
+            _ => None,
+        }
+    }
 }
 
 /// The envelope one JSONL line carries.
@@ -252,6 +267,32 @@ mod tests {
         };
         assert!(record.to_line().contains("\"PolicyDecision\""));
         assert_eq!(record.event.name(), "PolicyDecision");
+    }
+
+    #[test]
+    fn period_carrying_events_expose_their_period() {
+        assert_eq!(decision().period(), Some(3));
+        let period = ObsEvent::Period {
+            index: 9,
+            start_s: 0.0,
+            end_s: 1.0,
+            accesses: 0,
+            hits: 0,
+            misses: 0,
+            disk_requests: 0,
+            syncs: 0,
+            energy_j: 0.0,
+        };
+        assert_eq!(period.period(), Some(9));
+        assert_eq!(ObsEvent::Message { text: "x".into() }.period(), None);
+        assert_eq!(
+            ObsEvent::SpanEnd {
+                name: "s".into(),
+                secs: 0.0
+            }
+            .period(),
+            None
+        );
     }
 
     #[test]

@@ -22,15 +22,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod cli;
 mod event;
 mod metrics;
 mod sink;
 mod span;
+pub mod wal;
+
+// The shared tool-binary plumbing lives in `jpmd-store` (the bottom of
+// the storage stack); re-exported here so `jpmd_obs::cli` keeps working
+// for the tools that grew up importing it from obs.
+pub use jpmd_store::cli;
 
 pub use event::{CandidatePower, ObsEvent, ObsRecord};
 pub use metrics::{Counter, Gauge, HistogramHandle, MetricValue, MetricsRegistry, MetricsSnapshot};
-pub use sink::{JsonlSink, MemorySink, NullSink, Sink, WalPolicy};
+pub use sink::{JsonlSink, MemorySink, NullSink, Sink, WalIndexPos, WalPolicy};
 pub use span::{SpanGuard, SpanRecorder, SpanTiming};
 
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -160,6 +165,14 @@ impl Telemetry {
         if let Some(inner) = &self.inner {
             inner.seq.store(seq, Ordering::Relaxed);
         }
+    }
+
+    /// The sink's WAL/index position ([`Sink::wal_index`]): `None` for a
+    /// disabled handle or a sink without a WAL. The checkpointer stamps
+    /// this (after flushing) into [`CkptMeta`](../jpmd_ckpt/struct.CkptMeta.html)
+    /// so a snapshot records exactly which WAL prefix it sealed against.
+    pub fn wal_index(&self) -> Option<WalIndexPos> {
+        self.inner.as_ref().and_then(|inner| inner.sink.wal_index())
     }
 
     /// Closes out a run: if the sink dropped any records (write errors),

@@ -3,9 +3,15 @@
 use std::collections::VecDeque;
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, BufWriter, Seek, SeekFrom, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+use jpmd_store::{
+    index_path, next_segment_path, IndexEntry, PeriodIndex, PeriodIndexWriter, INDEX_ENTRY_BYTES,
+    INDEX_HEADER_BYTES,
+};
+use serde::{Deserialize, Serialize};
 
 use crate::ObsRecord;
 
@@ -26,6 +32,25 @@ pub trait Sink: Send + Sync {
     fn dropped_records(&self) -> u64 {
         0
     }
+
+    /// The sink's WAL position, when it maintains one: where the next
+    /// record will land and how far the sparse period index reaches.
+    /// Checkpoints capture this so `ckpt_tool inspect` can say exactly
+    /// which prefix of the WAL (and its index) a snapshot sealed
+    /// against. Sinks without a WAL return `None` (the default).
+    fn wal_index(&self) -> Option<WalIndexPos> {
+        None
+    }
+}
+
+/// A sink's position in its WAL and index sidecar at some instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WalIndexPos {
+    /// Byte offset where the next record line will start.
+    pub offset: u64,
+    /// Entries in the `<wal>.jx` sparse period index (0 when the sink
+    /// is unindexed).
+    pub index_entries: u64,
 }
 
 /// Discards everything.
@@ -65,6 +90,23 @@ impl WalPolicy {
     }
 }
 
+/// The sparse-index side of a [`JsonlSink`]: the sidecar writer plus the
+/// count of period-carrying records seen (every `stride`-th one gets an
+/// entry).
+struct IndexState {
+    writer: PeriodIndexWriter,
+    indexable_seen: u64,
+}
+
+/// Everything the emit path mutates under one lock: the buffered file,
+/// the byte offset the *next* line will start at, and the optional
+/// index.
+struct SinkState {
+    writer: BufWriter<File>,
+    offset: u64,
+    index: Option<IndexState>,
+}
+
 /// Appends records as compact JSON lines to a file.
 ///
 /// Writes go through a mutex-guarded [`BufWriter`]; the file is flushed
@@ -74,8 +116,16 @@ impl WalPolicy {
 /// reached the file, and [`Telemetry::close`](crate::Telemetry::close)
 /// surfaces the count through the metrics registry and a final
 /// [`Message`](crate::ObsEvent::Message) event.
+///
+/// An **indexed** sink ([`JsonlSink::create_indexed`]) additionally
+/// maintains the `<wal>.jx` sparse period index: every `stride`-th
+/// period-carrying record gets a `(period, seq, offset)` entry, appended
+/// only after its line was written. Indexing is strictly best-effort —
+/// on any write failure (of the WAL or the sidecar) indexing stops for
+/// the rest of the run, leaving a valid shorter sidecar; readers verify
+/// entries before trusting them (see [`crate::wal`]).
 pub struct JsonlSink {
-    writer: Mutex<BufWriter<File>>,
+    state: Mutex<SinkState>,
     policy: WalPolicy,
     emitted: AtomicU64,
     dropped: AtomicU64,
@@ -83,7 +133,7 @@ pub struct JsonlSink {
 
 impl JsonlSink {
     /// Creates (truncating) `path` as a JSONL telemetry file with the
-    /// default (buffered, no-fsync) policy.
+    /// default (buffered, no-fsync) policy and no index.
     ///
     /// # Errors
     ///
@@ -99,7 +149,42 @@ impl JsonlSink {
     /// Propagates the file-creation failure.
     pub fn create_with(path: impl AsRef<Path>, policy: WalPolicy) -> std::io::Result<Self> {
         Ok(JsonlSink {
-            writer: Mutex::new(BufWriter::new(File::create(path)?)),
+            state: Mutex::new(SinkState {
+                writer: BufWriter::new(File::create(path)?),
+                offset: 0,
+                index: None,
+            }),
+            policy,
+            emitted: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        })
+    }
+
+    /// Creates (truncating) `path` plus its `<path>.jx` sparse period
+    /// index, entering an entry for every `stride`-th period-carrying
+    /// record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates WAL/sidecar creation failures; a zero `stride` is
+    /// rejected by the sidecar writer.
+    pub fn create_indexed(
+        path: impl AsRef<Path>,
+        policy: WalPolicy,
+        stride: u32,
+    ) -> std::io::Result<Self> {
+        let path = path.as_ref();
+        let index =
+            PeriodIndexWriter::create(index_path(path), stride).map_err(std::io::Error::other)?;
+        Ok(JsonlSink {
+            state: Mutex::new(SinkState {
+                writer: BufWriter::new(File::create(path)?),
+                offset: 0,
+                index: Some(IndexState {
+                    writer: index,
+                    indexable_seen: 0,
+                }),
+            }),
             policy,
             emitted: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
@@ -111,6 +196,13 @@ impl JsonlSink {
     /// truncates the rest (records emitted after the checkpoint being
     /// resumed from, or a torn trailing line), and appends from there.
     ///
+    /// When a `<path>.jx` sidecar exists, the trim-point scan starts
+    /// from the last index entry at-or-before `from_seq` instead of
+    /// byte 0 (O(index + tail) instead of O(file)), and the sidecar is
+    /// trimmed to the entries that survive the truncation. The resumed
+    /// sink does not extend the index — use [`JsonlSink::resume_indexed`]
+    /// for that.
+    ///
     /// # Errors
     ///
     /// Propagates I/O failures opening, scanning, or truncating the file.
@@ -119,10 +211,62 @@ impl JsonlSink {
         from_seq: u64,
         policy: WalPolicy,
     ) -> std::io::Result<Self> {
-        let path = path.as_ref();
+        Self::resume_inner(path.as_ref(), from_seq, policy, None)
+    }
+
+    /// [`JsonlSink::resume`], but the trimmed sidecar is reopened and
+    /// extended as the resumed run emits (created fresh with `stride`
+    /// when missing or unreadable).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures on the WAL itself; sidecar failures fall
+    /// back to an unindexed (but still resumed) sink.
+    pub fn resume_indexed(
+        path: impl AsRef<Path>,
+        from_seq: u64,
+        policy: WalPolicy,
+        stride: u32,
+    ) -> std::io::Result<Self> {
+        Self::resume_inner(path.as_ref(), from_seq, policy, Some(stride))
+    }
+
+    /// Opens a **new segment** for a resumed run instead of rewriting
+    /// `base` in place: the existing chain is left untouched and a fresh
+    /// indexed sink is created at the next `<base>.segN` path (see
+    /// [`jpmd_store::segment`]). Returns the sink and the segment path
+    /// it writes to; [`crate::wal::compact`] folds the chain back into
+    /// one gap-free stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates segment-creation failures.
+    pub fn resume_segmented(
+        base: impl AsRef<Path>,
+        policy: WalPolicy,
+        stride: u32,
+    ) -> std::io::Result<(Self, PathBuf)> {
+        let segment = next_segment_path(base.as_ref());
+        let sink = Self::create_indexed(&segment, policy, stride)?;
+        Ok((sink, segment))
+    }
+
+    fn resume_inner(
+        path: &Path,
+        from_seq: u64,
+        policy: WalPolicy,
+        index_stride: Option<u32>,
+    ) -> std::io::Result<Self> {
         let mut keep: u64 = 0;
         if path.exists() {
             let mut reader = BufReader::new(File::open(path)?);
+            // Satellite of the index refactor: start the trim-point scan
+            // from the last verified index entry strictly before
+            // `from_seq` — its line is kept, so the scan resumes there.
+            if let Some(start) = index_start_for_resume(path, from_seq)? {
+                reader.seek(SeekFrom::Start(start))?;
+                keep = start;
+            }
             let mut line = String::new();
             loop {
                 line.clear();
@@ -149,8 +293,13 @@ impl JsonlSink {
             .open(path)?;
         file.set_len(keep)?;
         file.seek(SeekFrom::Start(keep))?;
+        let index = trim_sidecar(path, from_seq, keep, index_stride);
         Ok(JsonlSink {
-            writer: Mutex::new(BufWriter::new(file)),
+            state: Mutex::new(SinkState {
+                writer: BufWriter::new(file),
+                offset: keep,
+                index,
+            }),
             policy,
             emitted: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
@@ -166,31 +315,154 @@ impl JsonlSink {
     }
 }
 
+/// A verified scan-start offset for resuming at `from_seq`: the offset
+/// of the last index entry with `seq < from_seq`, only if its line
+/// still parses and carries that seq. `None` means scan from byte 0.
+fn index_start_for_resume(path: &Path, from_seq: u64) -> std::io::Result<Option<u64>> {
+    let ipath = index_path(path);
+    let Some(limit) = from_seq.checked_sub(1) else {
+        return Ok(None);
+    };
+    if !ipath.exists() {
+        return Ok(None);
+    }
+    let Ok(index) = PeriodIndex::load(&ipath) else {
+        return Ok(None);
+    };
+    let Some(entry) = index.entry_at_or_before_seq(limit) else {
+        return Ok(None);
+    };
+    let mut reader = BufReader::new(File::open(path)?);
+    reader.seek(SeekFrom::Start(entry.offset))?;
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let verified = matches!(
+        ObsRecord::from_line(line.trim_end()),
+        Ok(record) if record.seq == entry.seq
+    );
+    Ok(verified.then_some(entry.offset))
+}
+
+/// After a resume truncated the WAL to `keep` bytes, drops every sidecar
+/// entry past the trim point (`seq >= from_seq` or `offset >= keep`) so
+/// no entry dangles into bytes about to be rewritten. With
+/// `reopen_stride` set, returns a live index writer over the trimmed
+/// sidecar (created fresh when missing/unreadable); sidecar failures
+/// degrade to an unindexed sink, never an error.
+fn trim_sidecar(
+    path: &Path,
+    from_seq: u64,
+    keep: u64,
+    reopen_stride: Option<u32>,
+) -> Option<IndexState> {
+    let ipath = index_path(path);
+    if ipath.exists() {
+        match PeriodIndex::load(&ipath) {
+            Ok(index) => {
+                let valid = index
+                    .entries
+                    .iter()
+                    .take_while(|e| e.seq < from_seq && e.offset < keep)
+                    .count();
+                let len = INDEX_HEADER_BYTES as u64 + (valid * INDEX_ENTRY_BYTES) as u64;
+                if let Ok(f) = OpenOptions::new().write(true).open(&ipath) {
+                    if f.set_len(len).is_err() {
+                        std::fs::remove_file(&ipath).ok();
+                    }
+                } else {
+                    std::fs::remove_file(&ipath).ok();
+                }
+            }
+            Err(_) => {
+                // An unreadable sidecar is worse than none.
+                std::fs::remove_file(&ipath).ok();
+            }
+        }
+    }
+    let stride = reopen_stride?;
+    let writer = if ipath.exists() {
+        PeriodIndexWriter::open_append(&ipath)
+            .or_else(|_| PeriodIndexWriter::create(&ipath, stride))
+    } else {
+        PeriodIndexWriter::create(&ipath, stride)
+    };
+    writer.ok().map(|writer| IndexState {
+        // Stride-counting restarts after a resume; entries stay sparse
+        // and monotonic either way, which is all readers assume.
+        indexable_seen: 0,
+        writer,
+    })
+}
+
 impl Sink for JsonlSink {
     fn emit(&self, record: &ObsRecord) {
-        let mut writer = self.writer.lock().expect("jsonl sink lock");
+        let mut state = self.state.lock().expect("jsonl sink lock");
+        let state = &mut *state;
+        let line = record.to_line();
+        let line_start = state.offset;
         // A full disk mid-run must not abort the simulation it observes;
         // failures are counted and surfaced at close instead.
-        let result = writeln!(writer, "{}", record.to_line()).and_then(|()| {
-            let n = self.emitted.fetch_add(1, Ordering::Relaxed) + 1;
-            if self.policy.flush_every > 0 && n.is_multiple_of(self.policy.flush_every) {
-                self.flush_inner(&mut writer)
-            } else {
-                Ok(())
+        let result = state
+            .writer
+            .write_all(line.as_bytes())
+            .and_then(|()| state.writer.write_all(b"\n"))
+            .and_then(|()| {
+                let n = self.emitted.fetch_add(1, Ordering::Relaxed) + 1;
+                if self.policy.flush_every > 0 && n.is_multiple_of(self.policy.flush_every) {
+                    self.flush_inner(&mut state.writer)
+                } else {
+                    Ok(())
+                }
+            });
+        match result {
+            Ok(()) => {
+                state.offset = line_start + line.len() as u64 + 1;
+                let mut index_failed = false;
+                if let (Some(index), Some(period)) = (state.index.as_mut(), record.event.period()) {
+                    let due = index
+                        .indexable_seen
+                        .is_multiple_of(u64::from(index.writer.stride()));
+                    index.indexable_seen += 1;
+                    if due {
+                        let entry = IndexEntry {
+                            period,
+                            seq: record.seq,
+                            offset: line_start,
+                        };
+                        index_failed = index.writer.append(entry).is_err();
+                    }
+                }
+                if index_failed {
+                    // Best-effort: the sidecar keeps its valid prefix and
+                    // simply stops growing.
+                    state.index = None;
+                }
             }
-        });
-        if result.is_err() {
-            self.dropped.fetch_add(1, Ordering::Relaxed);
+            Err(_) => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                // The file may now hold a partial line, so the tracked
+                // offset is unreliable; never write an index entry that
+                // could point into it.
+                state.index = None;
+            }
         }
     }
 
     fn flush(&self) {
-        let mut writer = self.writer.lock().expect("jsonl sink lock");
-        let _ = self.flush_inner(&mut writer);
+        let mut state = self.state.lock().expect("jsonl sink lock");
+        let _ = self.flush_inner(&mut state.writer);
     }
 
     fn dropped_records(&self) -> u64 {
         self.dropped.load(Ordering::Relaxed)
+    }
+
+    fn wal_index(&self) -> Option<WalIndexPos> {
+        let state = self.state.lock().expect("jsonl sink lock");
+        Some(WalIndexPos {
+            offset: state.offset,
+            index_entries: state.index.as_ref().map_or(0, |i| i.writer.entries()),
+        })
     }
 }
 
@@ -283,6 +555,22 @@ mod tests {
         }
     }
 
+    fn period_record(seq: u64, period: u64) -> ObsRecord {
+        ObsRecord {
+            seq,
+            t_wall_ms: None,
+            event: ObsEvent::Degradation {
+                period,
+                time_s: period as f64,
+                from: "joint".into(),
+                to: "always_on".into(),
+                kind: "fallback".into(),
+                reason: "r".into(),
+                backoff_periods: 1,
+            },
+        }
+    }
+
     #[test]
     fn memory_sink_shares_buffer_across_clones() {
         let sink = MemorySink::new();
@@ -291,6 +579,7 @@ mod tests {
         clone.emit(&record(1));
         assert_eq!(sink.len(), 2);
         assert_eq!(sink.records()[1].seq, 1);
+        assert_eq!(sink.wal_index(), None);
     }
 
     #[test]
@@ -323,6 +612,7 @@ mod tests {
         NullSink.emit(&record(0));
         NullSink.flush();
         assert_eq!(NullSink.dropped_records(), 0);
+        assert_eq!(NullSink.wal_index(), None);
     }
 
     #[test]
@@ -381,5 +671,98 @@ mod tests {
         let text = std::fs::read_to_string(&path).expect("read back");
         assert_eq!(text.lines().count(), 1);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn indexed_sink_writes_verifiable_entries() {
+        let path =
+            std::env::temp_dir().join(format!("jpmd_obs_indexed_{}.jsonl", std::process::id()));
+        {
+            let sink = JsonlSink::create_indexed(&path, WalPolicy::default(), 2).unwrap();
+            let mut seq = 0;
+            for p in 0..6u64 {
+                sink.emit(&record(seq)); // not period-carrying: never indexed
+                seq += 1;
+                sink.emit(&period_record(seq, p));
+                seq += 1;
+            }
+            let pos = sink.wal_index().unwrap();
+            assert_eq!(pos.index_entries, 3, "periods 0, 2, 4 at stride 2");
+            assert!(pos.offset > 0);
+        }
+        let index = PeriodIndex::load(index_path(&path)).unwrap();
+        assert_eq!(index.stride, 2);
+        let wal = std::fs::read_to_string(&path).unwrap();
+        for entry in &index.entries {
+            let line = wal[entry.offset as usize..].lines().next().unwrap();
+            let rec = ObsRecord::from_line(line).unwrap();
+            assert_eq!(rec.seq, entry.seq, "entry points at its own line");
+            assert_eq!(rec.event.period(), Some(entry.period));
+        }
+        std::fs::remove_file(index_path(&path)).ok();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn indexed_resume_trims_the_sidecar_with_the_wal() {
+        let path =
+            std::env::temp_dir().join(format!("jpmd_obs_idx_resume_{}.jsonl", std::process::id()));
+        {
+            let sink = JsonlSink::create_indexed(&path, WalPolicy::default(), 1).unwrap();
+            for seq in 0..8u64 {
+                sink.emit(&period_record(seq, seq));
+            }
+        }
+        assert_eq!(PeriodIndex::load(index_path(&path)).unwrap().len(), 8);
+        {
+            let sink = JsonlSink::resume_indexed(&path, 4, WalPolicy::default(), 1).unwrap();
+            assert_eq!(
+                sink.wal_index().unwrap().index_entries,
+                4,
+                "entries for seq 4..8 trimmed away"
+            );
+            sink.emit(&period_record(4, 4));
+        }
+        let index = PeriodIndex::load(index_path(&path)).unwrap();
+        assert_eq!(index.len(), 5, "4 kept + 1 re-emitted");
+        let wal = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(wal.lines().count(), 5);
+        for entry in &index.entries {
+            let line = wal[entry.offset as usize..].lines().next().unwrap();
+            assert_eq!(ObsRecord::from_line(line).unwrap().seq, entry.seq);
+        }
+        std::fs::remove_file(index_path(&path)).ok();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn segmented_resume_leaves_the_base_untouched() {
+        let dir = std::env::temp_dir().join(format!("jpmd_obs_segres_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("wal.jsonl");
+        {
+            let sink = JsonlSink::create_indexed(&base, WalPolicy::default(), 4).unwrap();
+            for seq in 0..6u64 {
+                sink.emit(&period_record(seq, seq));
+            }
+        }
+        let before = std::fs::read(&base).unwrap();
+        let (sink, segment) = JsonlSink::resume_segmented(&base, WalPolicy::default(), 4).unwrap();
+        for seq in 4..9u64 {
+            sink.emit(&period_record(seq, seq));
+        }
+        drop(sink);
+        assert_eq!(std::fs::read(&base).unwrap(), before, "base untouched");
+        assert_eq!(segment, jpmd_store::segment_path(&base, 1));
+        let out = dir.join("compact.jsonl");
+        let report = crate::wal::compact(&base, &out).unwrap();
+        assert_eq!(report.lines_out, 9, "gap-free 0..9 after compaction");
+        let seqs: Vec<u64> = std::fs::read_to_string(&out)
+            .unwrap()
+            .lines()
+            .map(|l| ObsRecord::from_line(l).unwrap().seq)
+            .collect();
+        assert_eq!(seqs, (0..9).collect::<Vec<u64>>());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

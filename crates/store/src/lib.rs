@@ -20,8 +20,24 @@
 //!   producing **bit-identical** `RunReport`s to in-memory replay (the
 //!   workspace `store_stream` integration tests assert this).
 //!
+//! On top of the append-only trace format, the crate is the workspace's
+//! **run database** (ROADMAP item 5):
+//!
+//! * [`PagedFile`] — a random-access page store with a page-level
+//!   write-ahead [`Journal`] (commit = journal fsync, checkpoint =
+//!   write-back + truncate, recovery = replay on open) and a safe LRU
+//!   [`PageCache`];
+//! * [`mod@index`] — sparse per-period `<wal>.jx` sidecars that make
+//!   `seek_to_period` on JSONL telemetry WALs O(index) instead of
+//!   O(file);
+//! * [`mod@segment`] — segmented WALs with gap-free compaction of
+//!   resumed segments;
+//! * [`mod@cli`] — the shared exit-code/argument plumbing every tool
+//!   binary in the workspace uses.
+//!
 //! The `trace-tool` binary (this crate) converts between `.json` and
-//! `.jpt`, prints and verifies stores, and generates workloads.
+//! `.jpt`, prints and verifies stores, generates workloads, and
+//! exercises the journal crash protocol (`db-torture`/`db-verify`).
 //!
 //! # Example
 //!
@@ -53,16 +69,31 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 mod crc32;
 mod durability;
 mod error;
 pub mod format;
+pub mod index;
+pub mod journal;
+mod pagecache;
+mod pagedfile;
 mod reader;
+pub mod segment;
 mod writer;
 
 pub use crc32::crc32;
 pub use durability::sync_parent_dir;
 pub use error::StoreError;
 pub use format::Header;
+pub use index::{
+    index_path, IndexEntry, PeriodIndex, PeriodIndexWriter, INDEX_ENTRY_BYTES, INDEX_HEADER_BYTES,
+};
+pub use journal::{journal_path, Journal, JournalReplay};
+pub use pagecache::PageCache;
+pub use pagedfile::{PagedFile, PagedFileStats};
 pub use reader::{read_trace, SkippedPage, SkippedPages, TraceReader};
+pub use segment::{
+    compact_segments, next_segment_path, segment_path, segment_paths, CompactionReport,
+};
 pub use writer::{write_trace, TraceWriter};

@@ -1,0 +1,271 @@
+//! Fixed-capacity LRU page cache for the run database.
+//!
+//! The classic storage-engine page cache (PoloDB's `pagecache.rs` is the
+//! reference idiom) threads an intrusive doubly-linked recency list
+//! through the nodes with raw pointers. This is the same O(1) structure
+//! done safely: nodes live in a slab (`Vec`) and the links are slab
+//! *indices*, so there is no `unsafe`, no allocator churn on touch, and
+//! the borrow checker still holds.
+//!
+//! The cache holds **clean** page images only — [`PagedFile`] keeps
+//! uncommitted and committed-but-not-checkpointed pages in separate maps,
+//! so evicting here never loses data; it only costs a re-read.
+//!
+//! [`PagedFile`]: crate::PagedFile
+
+use std::collections::HashMap;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Node {
+    prev: usize,
+    next: usize,
+    key: u64,
+    data: Vec<u8>,
+}
+
+/// A fixed-capacity LRU map from page id to page image.
+#[derive(Debug)]
+pub struct PageCache {
+    cap: usize,
+    map: HashMap<u64, usize>,
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl PageCache {
+    /// A cache holding at most `cap` pages (`cap` is clamped to ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        PageCache {
+            cap,
+            map: HashMap::with_capacity(cap),
+            nodes: Vec::with_capacity(cap),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Pages currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The capacity the cache was built with.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Lookups served from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that missed so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Unlinks node `i` from the recency list.
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.nodes[i].prev, self.nodes[i].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.nodes[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.nodes[next].prev = prev;
+        }
+    }
+
+    /// Links node `i` at the head (most recently used).
+    fn link_front(&mut self, i: usize) {
+        self.nodes[i].prev = NIL;
+        self.nodes[i].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    /// Looks `key` up, promoting it to most-recently-used on a hit.
+    pub fn get(&mut self, key: u64) -> Option<&[u8]> {
+        match self.map.get(&key).copied() {
+            Some(i) => {
+                self.hits += 1;
+                if self.head != i {
+                    self.unlink(i);
+                    self.link_front(i);
+                }
+                Some(&self.nodes[i].data)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) `key`, returning the evicted `(key, image)`
+    /// if the insert pushed the least-recently-used page out.
+    pub fn insert(&mut self, key: u64, data: Vec<u8>) -> Option<(u64, Vec<u8>)> {
+        if let Some(&i) = self.map.get(&key) {
+            self.nodes[i].data = data;
+            if self.head != i {
+                self.unlink(i);
+                self.link_front(i);
+            }
+            return None;
+        }
+        let evicted = if self.map.len() == self.cap {
+            let lru = self.tail;
+            let evicted_key = self.nodes[lru].key;
+            self.unlink(lru);
+            self.map.remove(&evicted_key);
+            let data = std::mem::take(&mut self.nodes[lru].data);
+            self.free.push(lru);
+            Some((evicted_key, data))
+        } else {
+            None
+        };
+        let i = match self.free.pop() {
+            Some(slot) => {
+                self.nodes[slot] = Node {
+                    prev: NIL,
+                    next: NIL,
+                    key,
+                    data,
+                };
+                slot
+            }
+            None => {
+                self.nodes.push(Node {
+                    prev: NIL,
+                    next: NIL,
+                    key,
+                    data,
+                });
+                self.nodes.len() - 1
+            }
+        };
+        self.link_front(i);
+        self.map.insert(key, i);
+        evicted
+    }
+
+    /// Removes `key`, returning its image.
+    pub fn remove(&mut self, key: u64) -> Option<Vec<u8>> {
+        let i = self.map.remove(&key)?;
+        self.unlink(i);
+        self.free.push(i);
+        Some(std::mem::take(&mut self.nodes[i].data))
+    }
+
+    /// Drops every cached page (counters are kept).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.nodes.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    /// Cached keys from most to least recently used (test/debug aid).
+    #[cfg(test)]
+    fn recency_order(&self) -> Vec<u64> {
+        let mut order = Vec::with_capacity(self.map.len());
+        let mut i = self.head;
+        while i != NIL {
+            order.push(self.nodes[i].key);
+            i = self.nodes[i].next;
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn img(b: u8) -> Vec<u8> {
+        vec![b; 4]
+    }
+
+    #[test]
+    fn eviction_follows_recency_not_insertion() {
+        let mut c = PageCache::new(3);
+        assert!(c.insert(1, img(1)).is_none());
+        assert!(c.insert(2, img(2)).is_none());
+        assert!(c.insert(3, img(3)).is_none());
+        // Touch 1: now 2 is the LRU.
+        assert_eq!(c.get(1), Some(&img(1)[..]));
+        let (evicted, data) = c.insert(4, img(4)).expect("cache full");
+        assert_eq!((evicted, data), (2, img(2)));
+        assert_eq!(c.recency_order(), vec![4, 1, 3]);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn reinsert_replaces_and_promotes() {
+        let mut c = PageCache::new(2);
+        c.insert(1, img(1));
+        c.insert(2, img(2));
+        assert!(c.insert(1, img(9)).is_none(), "replace is not an eviction");
+        assert_eq!(c.get(1), Some(&img(9)[..]));
+        assert_eq!(c.recency_order(), vec![1, 2]);
+    }
+
+    #[test]
+    fn remove_frees_a_slot_for_reuse() {
+        let mut c = PageCache::new(2);
+        c.insert(1, img(1));
+        c.insert(2, img(2));
+        assert_eq!(c.remove(1), Some(img(1)));
+        assert_eq!(c.remove(1), None);
+        assert!(c.insert(3, img(3)).is_none(), "freed slot, no eviction");
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.recency_order(), vec![3, 2]);
+    }
+
+    #[test]
+    fn hit_miss_counters_track_lookups() {
+        let mut c = PageCache::new(2);
+        c.insert(7, img(7));
+        c.get(7);
+        c.get(8);
+        c.get(7);
+        assert_eq!((c.hits(), c.misses()), (2, 1));
+    }
+
+    #[test]
+    fn single_slot_cache_churns_correctly() {
+        let mut c = PageCache::new(0); // clamped to 1
+        assert_eq!(c.cap(), 1);
+        assert!(c.insert(1, img(1)).is_none());
+        assert_eq!(c.insert(2, img(2)), Some((1, img(1))));
+        assert_eq!(c.get(2), Some(&img(2)[..]));
+        assert_eq!(c.get(1), None);
+        c.clear();
+        assert!(c.is_empty());
+        assert!(c.insert(3, img(3)).is_none());
+    }
+}

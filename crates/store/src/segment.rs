@@ -1,0 +1,283 @@
+//! Segmented JSONL WALs and gap-free compaction.
+//!
+//! Resuming a run used to mean rewriting the telemetry WAL in place
+//! (scan, trim, append) — O(file) work per resume and a fault window
+//! while the rewrite runs. Segments make resume O(1): the original WAL
+//! stays untouched as segment 0 (`<base>`), and each resume opens a new
+//! append-only segment next to it (`<base>.seg1`, `<base>.seg2`, …)
+//! starting at the resumed sequence number.
+//!
+//! A later segment *shadows* the tail of every earlier one from its
+//! first sequence number onward (the resumed run re-emits those
+//! records). [`compact_segments`] folds the chain back into one
+//! gap-free stream: for each segment it keeps exactly the lines whose
+//! seq precedes the next segment's first seq, drops unparseable lines
+//! (torn tails from crashes), and writes the result atomically
+//! (temp file + rename + parent-dir fsync).
+//!
+//! The module is generic over *how* a line's seq is extracted — callers
+//! pass a closure — so the store crate never needs to know the JSON
+//! shape of `ObsRecord`.
+
+use std::fs::{self, File};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use crate::durability::sync_parent_dir;
+use crate::StoreError;
+
+/// The path of segment `n` of a WAL: the base itself for `n == 0`,
+/// `<base>.seg<n>` otherwise.
+pub fn segment_path(base: &Path, n: u32) -> PathBuf {
+    if n == 0 {
+        return base.to_path_buf();
+    }
+    let mut name = base.file_name().unwrap_or_default().to_os_string();
+    name.push(format!(".seg{n}"));
+    base.with_file_name(name)
+}
+
+/// Discovers the segment chain for `base`: `[base, base.seg1, …]`,
+/// stopping at the first missing generation (segments are created in
+/// order, so a gap means the chain ends there). Returns an empty vec
+/// when not even the base exists.
+pub fn segment_paths(base: &Path) -> Vec<PathBuf> {
+    let mut paths = Vec::new();
+    if !base.exists() {
+        return paths;
+    }
+    paths.push(base.to_path_buf());
+    for n in 1.. {
+        let p = segment_path(base, n);
+        if !p.exists() {
+            break;
+        }
+        paths.push(p);
+    }
+    paths
+}
+
+/// The path a new resume segment should be created at: the first unused
+/// generation after the existing chain.
+pub fn next_segment_path(base: &Path) -> PathBuf {
+    let existing = segment_paths(base).len() as u32;
+    // No base yet → the base itself is "segment 0".
+    segment_path(base, existing.max(1) * u32::from(existing > 0))
+}
+
+/// What [`compact_segments`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Segments that fed the compaction.
+    pub segments: usize,
+    /// Lines read across all segments.
+    pub lines_in: u64,
+    /// Lines written to the compacted stream.
+    pub lines_out: u64,
+    /// Lines dropped because a later segment shadowed them.
+    pub shadowed: u64,
+    /// Lines dropped because the seq extractor rejected them
+    /// (torn/corrupt lines).
+    pub dropped: u64,
+}
+
+/// Folds the segment chain of `base` into one gap-free stream at `out`,
+/// atomically. `seq_of` extracts the sequence number from one line
+/// (without its newline); returning `None` drops the line as corrupt.
+///
+/// Within each segment, only lines with strictly increasing seq are
+/// kept (a corrupt middle cannot smuggle a replay in); across segments,
+/// a segment's lines are kept only up to (exclusive) the next segment's
+/// first seq.
+///
+/// # Errors
+///
+/// [`StoreError::InvalidConfig`] when `base` has no segments, or when
+/// `out` equals one of the input segments; I/O failures otherwise.
+pub fn compact_segments(
+    base: &Path,
+    out: &Path,
+    mut seq_of: impl FnMut(&str) -> Option<u64>,
+) -> Result<CompactionReport, StoreError> {
+    let segments = segment_paths(base);
+    if segments.is_empty() {
+        return Err(StoreError::InvalidConfig {
+            reason: "no segments to compact",
+        });
+    }
+    if segments.iter().any(|s| s == out) {
+        return Err(StoreError::InvalidConfig {
+            reason: "compaction output must not be an input segment",
+        });
+    }
+
+    // First parseable seq of each segment; the cut-off for segment i is
+    // the minimum first-seq of any *later* segment (resume targets only
+    // move backward relative to what they shadow).
+    let mut first_seqs: Vec<Option<u64>> = Vec::with_capacity(segments.len());
+    for path in &segments {
+        let reader = BufReader::new(File::open(path)?);
+        let mut first = None;
+        for line in reader.lines() {
+            if let Some(seq) = seq_of(&line?) {
+                first = Some(seq);
+                break;
+            }
+        }
+        first_seqs.push(first);
+    }
+    let mut cutoffs: Vec<Option<u64>> = vec![None; segments.len()];
+    let mut min_later: Option<u64> = None;
+    for i in (0..segments.len()).rev() {
+        cutoffs[i] = min_later;
+        if let Some(f) = first_seqs[i] {
+            min_later = Some(min_later.map_or(f, |m: u64| m.min(f)));
+        }
+    }
+
+    let tmp = out.with_extension("compact.tmp");
+    let mut writer = BufWriter::new(File::create(&tmp)?);
+    let mut report = CompactionReport {
+        segments: segments.len(),
+        lines_in: 0,
+        lines_out: 0,
+        shadowed: 0,
+        dropped: 0,
+    };
+    let mut last_written: Option<u64> = None;
+    for (i, path) in segments.iter().enumerate() {
+        let reader = BufReader::new(File::open(path)?);
+        for line in reader.lines() {
+            let line = line?;
+            report.lines_in += 1;
+            let Some(seq) = seq_of(&line) else {
+                report.dropped += 1;
+                continue;
+            };
+            if cutoffs[i].is_some_and(|cut| seq >= cut) {
+                report.shadowed += 1;
+                continue;
+            }
+            if last_written.is_some_and(|last| seq <= last) {
+                report.dropped += 1;
+                continue;
+            }
+            writer.write_all(line.as_bytes())?;
+            writer.write_all(b"\n")?;
+            last_written = Some(seq);
+            report.lines_out += 1;
+        }
+    }
+    writer.flush()?;
+    writer
+        .into_inner()
+        .map_err(|e| e.into_error())?
+        .sync_data()?;
+    fs::rename(&tmp, out)?;
+    sync_parent_dir(out)?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("jpmd-seg-{tag}-{}", std::process::id()));
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn seq_of(line: &str) -> Option<u64> {
+        line.strip_prefix("s=")?.parse().ok()
+    }
+
+    fn write_lines(path: &Path, seqs: &[u64]) {
+        let body: String = seqs.iter().map(|s| format!("s={s}\n")).collect();
+        fs::write(path, body).unwrap();
+    }
+
+    #[test]
+    fn segment_paths_and_naming() {
+        let d = tmpdir("paths");
+        let base = d.join("wal.jsonl");
+        assert_eq!(segment_path(&base, 0), base);
+        assert_eq!(segment_path(&base, 2), d.join("wal.jsonl.seg2"));
+        assert!(segment_paths(&base).is_empty());
+        write_lines(&base, &[1]);
+        assert_eq!(next_segment_path(&base), d.join("wal.jsonl.seg1"));
+        write_lines(&d.join("wal.jsonl.seg1"), &[1]);
+        write_lines(&d.join("wal.jsonl.seg3"), &[1]); // gap: ignored
+        assert_eq!(segment_paths(&base).len(), 2);
+        assert_eq!(next_segment_path(&base), d.join("wal.jsonl.seg2"));
+        fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn compaction_shadows_resumed_tails_gap_free() {
+        let d = tmpdir("shadow");
+        let base = d.join("wal.jsonl");
+        write_lines(&base, &[1, 2, 3, 4, 5]);
+        write_lines(&segment_path(&base, 1), &[4, 5, 6, 7]); // resumed at 4
+        write_lines(&segment_path(&base, 2), &[6, 7, 8]); // resumed at 6
+        let out = d.join("compact.jsonl");
+        let report = compact_segments(&base, &out, seq_of).unwrap();
+        assert_eq!(report.lines_out, 8);
+        assert_eq!(report.shadowed, 4, "4,5 of base and 6,7 of seg1");
+        assert_eq!(report.dropped, 0);
+        let got: Vec<u64> = fs::read_to_string(&out)
+            .unwrap()
+            .lines()
+            .map(|l| seq_of(l).unwrap())
+            .collect();
+        assert_eq!(got, vec![1, 2, 3, 4, 5, 6, 7, 8], "gap-free stream");
+        fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn corrupt_lines_drop_without_breaking_order() {
+        let d = tmpdir("rot");
+        let base = d.join("wal.jsonl");
+        fs::write(&base, "s=1\ngarbage\ns=2\ns=9\ns=3\n").unwrap();
+        write_lines(&segment_path(&base, 1), &[3, 4]);
+        let out = d.join("compact.jsonl");
+        let report = compact_segments(&base, &out, seq_of).unwrap();
+        let got: Vec<u64> = fs::read_to_string(&out)
+            .unwrap()
+            .lines()
+            .map(|l| seq_of(l).unwrap())
+            .collect();
+        assert_eq!(got, vec![1, 2, 3, 4], "garbage + shadowed 9 + stale 3 gone");
+        assert_eq!(report.dropped, 1, "only `garbage` fails the extractor");
+        assert_eq!(report.shadowed, 2, "9 and the stale 3 fall past seg1's cut");
+        fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn single_segment_compaction_is_identity_modulo_corruption() {
+        let d = tmpdir("single");
+        let base = d.join("wal.jsonl");
+        write_lines(&base, &[1, 2, 3]);
+        let out = d.join("compact.jsonl");
+        let report = compact_segments(&base, &out, seq_of).unwrap();
+        assert_eq!(report.lines_out, 3);
+        assert_eq!(report.shadowed, 0);
+        fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn misuse_is_typed() {
+        let d = tmpdir("typed");
+        let base = d.join("missing.jsonl");
+        assert!(matches!(
+            compact_segments(&base, &d.join("out"), seq_of),
+            Err(StoreError::InvalidConfig { .. })
+        ));
+        write_lines(&base, &[1]);
+        assert!(matches!(
+            compact_segments(&base, &base, seq_of),
+            Err(StoreError::InvalidConfig { .. })
+        ));
+        fs::remove_dir_all(&d).ok();
+    }
+}

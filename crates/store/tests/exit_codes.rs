@@ -1,5 +1,5 @@
 //! `trace_tool` honors the workspace exit-code convention: `0` ok, `1`
-//! runtime failure, `2` bad invocation — the shared `jpmd_obs::cli`
+//! runtime failure, `2` bad invocation — the shared `jpmd_store::cli`
 //! contract, tested by spawning the real binary.
 
 use std::path::PathBuf;

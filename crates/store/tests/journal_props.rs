@@ -1,0 +1,240 @@
+//! Crash-window property tests for the journaled page file: a process
+//! killed at **any byte** of the commit protocol reopens to exactly the
+//! state after some committed prefix — never a panic, never a torn page,
+//! never state that no commit sequence could have produced. A journal
+//! belonging to a different store is rejected before it can touch the
+//! main file.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+use jpmd_store::{journal_path, PagedFile, StoreError};
+use proptest::prelude::*;
+
+const PS: u32 = 32;
+/// Commits folded into the main file by the base checkpoint.
+const BASE_COMMITS: u64 = 2;
+/// Total commits; those past `BASE_COMMITS` live only in the journal.
+const TOTAL_COMMITS: u64 = 6;
+const DATA_PAGES: u64 = 3;
+
+/// The page fill byte commit `c` writes (distinct per commit, so page 0
+/// identifies the last applied commit after recovery).
+fn fill(c: u64) -> u8 {
+    (c * 31 + 7) as u8
+}
+
+fn img(b: u8) -> Vec<u8> {
+    vec![b; PS as usize]
+}
+
+/// The pages commit `c` (1-based) writes: page 0 as a commit counter,
+/// plus one rotating data page.
+fn commit_pages(c: u64) -> Vec<(u64, Vec<u8>)> {
+    vec![(0, img(fill(c))), ((c - 1) % DATA_PAGES + 1, img(fill(c)))]
+}
+
+/// The full expected page image after commits `1..=k`.
+fn state_after(k: u64) -> BTreeMap<u64, Vec<u8>> {
+    let mut state = BTreeMap::new();
+    for c in 1..=k {
+        state.extend(commit_pages(c));
+    }
+    state
+}
+
+struct Fixture {
+    main_bytes: Vec<u8>,
+    journal_bytes: Vec<u8>,
+}
+
+/// One store built the same way for every property case: two commits
+/// checkpointed into the main file, four more durable only in the
+/// journal.
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let path = scratch("seed");
+        let mut db = PagedFile::create(&path, PS, 4).expect("create fixture store");
+        for c in 1..=TOTAL_COMMITS {
+            for (id, image) in commit_pages(c) {
+                db.write_page(id, &image).expect("stage page");
+            }
+            db.commit().expect("commit");
+            if c == BASE_COMMITS {
+                db.checkpoint().expect("base checkpoint");
+            }
+        }
+        drop(db);
+        let fixture = Fixture {
+            main_bytes: fs::read(&path).expect("read main file"),
+            journal_bytes: fs::read(journal_path(&path)).expect("read journal"),
+        };
+        fs::remove_file(&path).ok();
+        fs::remove_file(journal_path(&path)).ok();
+        fixture
+    })
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "jpmd-journal-props-{tag}-{}.jdb",
+        std::process::id()
+    ))
+}
+
+/// Materializes the fixture's main file plus an arbitrary journal image,
+/// opens it (running recovery), and returns every readable page.
+fn open_mutated(
+    tag: &str,
+    journal_bytes: &[u8],
+) -> Result<(BTreeMap<u64, Vec<u8>>, u64), StoreError> {
+    let path = scratch(tag);
+    fs::write(&path, &fixture().main_bytes).expect("write main file");
+    fs::write(journal_path(&path), journal_bytes).expect("write journal");
+    let result = (|| {
+        let mut db = PagedFile::open(&path, 4)?;
+        let mut pages = BTreeMap::new();
+        for id in 0..db.page_count() {
+            pages.insert(id, db.read_page(id)?);
+        }
+        Ok((pages, db.stats().recovered_commits))
+    })();
+    fs::remove_file(&path).ok();
+    fs::remove_file(journal_path(&path)).ok();
+    result
+}
+
+/// Asserts a recovered page image is exactly `state_after(k)` for some
+/// commit prefix `k`, identified by the counter page, with at least the
+/// checkpointed commits present. Returns `k`.
+fn assert_is_commit_prefix(pages: &BTreeMap<u64, Vec<u8>>) -> u64 {
+    let counter = pages.get(&0).expect("page 0 always exists");
+    let k = (BASE_COMMITS..=TOTAL_COMMITS)
+        .find(|&c| counter == &img(fill(c)))
+        .unwrap_or_else(|| panic!("counter page matches no commit: {:?}…", &counter[..4]));
+    assert_eq!(
+        pages,
+        &state_after(k),
+        "recovered state must be exactly the commit-{k} prefix"
+    );
+    k
+}
+
+proptest! {
+    // Killing the process at any byte of the journal — mid-frame,
+    // mid-marker, even inside the header — reopens to a committed
+    // prefix, or fails with a typed error when the header itself is
+    // gone. Never a panic, never a half-applied transaction.
+    #[test]
+    fn truncation_at_any_offset_recovers_a_commit_prefix(cut_seed in any::<u64>()) {
+        let journal = &fixture().journal_bytes;
+        let cut = (cut_seed % (journal.len() as u64 + 1)) as usize;
+        match open_mutated("truncate", &journal[..cut]) {
+            Ok((pages, recovered)) => {
+                let k = assert_is_commit_prefix(&pages);
+                prop_assert_eq!(recovered, k - BASE_COMMITS, "replayed exactly the prefix");
+                // A cut past a commit's marker must preserve that commit.
+                if cut == journal.len() {
+                    prop_assert_eq!(k, TOTAL_COMMITS, "an intact journal loses nothing");
+                }
+            }
+            Err(err) => {
+                // Only a destroyed journal *header* may refuse to open.
+                prop_assert!(
+                    cut < jpmd_store::journal::JOURNAL_HEADER_BYTES,
+                    "cut at {} of {} must recover, got {:?}",
+                    cut,
+                    journal.len(),
+                    err
+                );
+            }
+        }
+    }
+
+    // Any single rotten byte anywhere in the journal is either caught by
+    // a CRC (the damaged suffix is discarded, the prefix replays) or
+    // rejected as a typed header error. The recovered state is always a
+    // commit prefix — rot can cost durability of the tail, never
+    // integrity of what remains.
+    #[test]
+    fn single_byte_rot_recovers_a_prefix_or_types_an_error(
+        offset_seed in any::<u64>(),
+        xor in 1u8..=255,
+    ) {
+        let mut journal = fixture().journal_bytes.clone();
+        let offset = (offset_seed % journal.len() as u64) as usize;
+        journal[offset] ^= xor;
+        match open_mutated("rot", &journal) {
+            Ok((pages, _)) => {
+                assert_is_commit_prefix(&pages);
+            }
+            Err(StoreError::Io(e)) => {
+                panic!("rot at {offset} (xor {xor:#04x}) must be typed, got Io({e})");
+            }
+            Err(_) => {} // typed rejection (header rot) is the other legal outcome
+        }
+    }
+}
+
+#[test]
+fn a_foreign_journal_never_touches_the_main_file() {
+    // Store B is healthy and checkpointed; store A's journal (same
+    // geometry, different random file id) lands next to it — the
+    // restored-from-backup scenario. Recovery must refuse before
+    // rewriting a single page.
+    let a = scratch("foreign-a");
+    let b = scratch("foreign-b");
+    let mut db = PagedFile::create(&a, PS, 4).unwrap();
+    db.write_page(0, &img(0xAA)).unwrap();
+    db.commit().unwrap(); // journal holds an image for page 0
+    drop(db);
+    let mut db = PagedFile::create(&b, PS, 4).unwrap();
+    db.write_page(0, &img(0xBB)).unwrap();
+    db.commit_and_checkpoint().unwrap();
+    drop(db);
+    let b_main = fs::read(&b).unwrap();
+
+    fs::copy(journal_path(&a), journal_path(&b)).unwrap();
+    match PagedFile::open(&b, 4) {
+        Err(StoreError::ForeignJournal { .. }) => {}
+        other => panic!("expected ForeignJournal, got {other:?}"),
+    }
+    assert_eq!(
+        fs::read(&b).unwrap(),
+        b_main,
+        "the rejected journal must not have modified the main file"
+    );
+
+    // Operator remediation — removing the foreign sidecar — restores
+    // service with the store's own checkpointed state.
+    fs::remove_file(journal_path(&b)).unwrap();
+    let mut db = PagedFile::open(&b, 4).unwrap();
+    assert_eq!(db.read_page(0).unwrap(), img(0xBB));
+    for p in [&a, &b] {
+        fs::remove_file(p).ok();
+        fs::remove_file(journal_path(p)).ok();
+    }
+}
+
+#[test]
+fn a_geometry_mismatched_journal_is_rejected() {
+    let a = scratch("geom-a");
+    let b = scratch("geom-b");
+    let mut db = PagedFile::create(&a, 64, 4).unwrap();
+    db.write_page(0, &[1u8; 64]).unwrap();
+    db.commit().unwrap();
+    drop(db);
+    PagedFile::create(&b, PS, 4).unwrap();
+    fs::copy(journal_path(&a), journal_path(&b)).unwrap();
+    assert!(
+        PagedFile::open(&b, 4).is_err(),
+        "a journal with the wrong page size must not replay"
+    );
+    for p in [&a, &b] {
+        fs::remove_file(p).ok();
+        fs::remove_file(journal_path(p)).ok();
+    }
+}
