@@ -67,6 +67,7 @@ fn seek_bench(quick: bool) -> Result<Table, Box<dyn std::error::Error>> {
             let record = ObsRecord {
                 seq: p,
                 t_wall_ms: None,
+                shard: None,
                 event: ObsEvent::Period {
                     index: p,
                     start_s: p as f64,

@@ -37,6 +37,7 @@
 mod codec;
 mod error;
 mod format;
+mod manifest;
 
 use std::path::{Path, PathBuf};
 
@@ -46,6 +47,7 @@ use serde::Value;
 
 pub use error::CkptError;
 pub use format::{HEADER_BYTES, MAGIC, VERSION};
+pub use manifest::{load_manifest, save_manifest, FleetManifest, ShardEntry};
 
 /// Run identity stored alongside the checkpoint, so a tool (or a
 /// supervisor restarting a task) can rebuild the right run without

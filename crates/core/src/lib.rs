@@ -64,6 +64,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod coordinate;
 mod error;
 mod joint;
 pub mod methods;
@@ -72,6 +73,9 @@ pub mod predict;
 mod scale;
 pub mod timeout;
 
+pub use coordinate::{
+    allocate_budget, BiddingJointPolicy, PeriodBid, PlanPoint, PlannedController,
+};
 pub use error::{PolicyError, PolicyFailure};
 pub use joint::{CandidateEvaluation, JointConfig, JointPolicy};
 pub use methods::{DiskPolicyKind, MethodSpec};

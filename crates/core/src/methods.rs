@@ -356,6 +356,55 @@ pub fn run_method_checkpointed<S: TraceSource>(
     }
 }
 
+/// Runs an arbitrary [`PeriodController`](jpmd_sim::PeriodController)
+/// over a workload with the same
+/// wiring as [`run_method_checkpointed`] — the seam the fleet layer uses
+/// for its bidding and planned passes, where the controller is not one of
+/// the paper's named methods. The memory idle policy is `Nap` with global
+/// LRU (the joint method's configuration); `spindown` and `initial_banks`
+/// are the caller's.
+///
+/// The resume contract is unchanged: rebuild the run with the same
+/// arguments and a controller of the same type (its dynamic state is
+/// restored from the checkpoint's controller image), and the completed
+/// report is bit-identical to the uninterrupted run's.
+///
+/// # Errors
+///
+/// Propagates the first [`SourceError`] the source yields, or a
+/// checkpoint that fails to restore.
+#[allow(clippy::too_many_arguments)] // mirrors run_method_checkpointed
+pub fn run_controller_checkpointed<S: TraceSource>(
+    label: &str,
+    scale: &SimScale,
+    spindown: SpinDownPolicy,
+    initial_banks: u32,
+    controller: &mut dyn jpmd_sim::PeriodController,
+    source: S,
+    warmup_secs: f64,
+    duration_secs: f64,
+    period_secs: f64,
+    telemetry: &Telemetry,
+    resume: Option<&SimCheckpoint>,
+    checkpoints: Option<CheckpointOptions<'_>>,
+) -> Result<SimOutcome, SourceError> {
+    let mut sim = scale.sim_config(IdlePolicy::Nap, initial_banks);
+    sim.warmup_secs = warmup_secs;
+    sim.period_secs = period_secs;
+    run_simulation_full(
+        &sim,
+        spindown,
+        controller,
+        source,
+        duration_secs,
+        label,
+        telemetry,
+        None,
+        resume,
+        checkpoints,
+    )
+}
+
 /// Runs one method over a trace on a **disk array**, mirroring
 /// [`run_method`]: the joint method becomes the array-aware
 /// [`ArrayJointPolicy`](crate::ArrayJointPolicy) (per-disk Pareto fits and

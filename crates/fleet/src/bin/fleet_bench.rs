@@ -1,0 +1,218 @@
+//! `fleet_bench` — head-to-head: global coordinator vs per-shard-greedy
+//! under the same memory-bank budget, on a hot-spot-skewed fleet trace.
+//!
+//! ```text
+//! fleet_bench [--quick] [--shards N] [--budget BANKS] [--seed S]
+//! ```
+//!
+//! Prints the per-mode energy breakdown, throughput, and imbalance, and
+//! writes `results/fleet_bench.json`. Exits non-zero unless the
+//! coordinated fleet's total energy is **strictly lower** than
+//! per-shard-greedy's — the acceptance bar the CI fleet smoke enforces.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use jpmd_bench::{write_json, Table};
+use jpmd_core::SimScale;
+use jpmd_fleet::{run_fleet, skewed_fleet_trace, FleetConfig, FleetMode, FleetReport, SkewSpec};
+use serde::Serialize;
+
+struct Args {
+    quick: bool,
+    shards: u32,
+    budget: Option<u32>,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        quick: false,
+        shards: 8,
+        budget: None,
+        seed: 7,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => args.quick = true,
+            "--shards" => {
+                args.shards = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--shards needs a number")?
+            }
+            "--budget" => {
+                args.budget = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--budget needs a number")?,
+                )
+            }
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seed needs a number")?
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if args.shards < 2 {
+        return Err("--shards must be >= 2".to_string());
+    }
+    Ok(args)
+}
+
+/// Everything `results/fleet_bench.json` records.
+#[derive(Serialize)]
+struct FleetBenchResult {
+    shards: u32,
+    budget_banks: u32,
+    per_shard_banks: u32,
+    records: usize,
+    records_per_sec_greedy: f64,
+    records_per_sec_coordinated: f64,
+    greedy_energy_j: f64,
+    coordinated_energy_j: f64,
+    saving_pct: f64,
+    greedy_p99_secs: f64,
+    coordinated_p99_secs: f64,
+    greedy_delay_ratios: Vec<f64>,
+    coordinated_delay_ratios: Vec<f64>,
+    imbalance_max_over_mean: f64,
+    imbalance_cv: f64,
+    per_shard_accesses: Vec<u64>,
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("fleet_bench: {e}");
+            eprintln!("usage: fleet_bench [--quick] [--shards N] [--budget BANKS] [--seed S]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let scale = SimScale::small_test();
+    let duration = if args.quick { 2400.0 } else { 4800.0 };
+    let spec = SkewSpec {
+        shards: args.shards,
+        hot_shards: 1,
+        hot_factor: 16.0,
+        shard_bytes: 512 << 20,
+        base_rate: 1 << 20,
+        duration_secs: duration,
+        seed: args.seed,
+    };
+    let cfg = FleetConfig {
+        scale,
+        shards: args.shards,
+        budget_banks: args.budget.unwrap_or(8 * args.shards),
+        warmup_secs: 0.0,
+        duration_secs: duration,
+        period_secs: 600.0,
+        workers: 0,
+        seed: args.seed,
+    };
+
+    let (trace, router) = match skewed_fleet_trace(&cfg.scale, &spec) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("fleet_bench: workload generation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "fleet_bench: {} shards ({} hot x{}), {} records, budget {} banks ({} per shard)",
+        cfg.shards,
+        spec.hot_shards,
+        spec.hot_factor,
+        trace.records().len(),
+        cfg.budget_banks,
+        cfg.per_shard_banks(),
+    );
+
+    let run = |mode: FleetMode| -> Result<(FleetReport, f64), String> {
+        let start = Instant::now();
+        let report = run_fleet(&cfg, mode, &trace, &router).map_err(|e| e.to_string())?;
+        Ok((report, start.elapsed().as_secs_f64()))
+    };
+    let (greedy, greedy_wall) = match run(FleetMode::PerShardGreedy) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fleet_bench: per-shard-greedy run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (coord, coord_wall) = match run(FleetMode::Coordinated) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fleet_bench: coordinated run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut table = Table::new(
+        format!("Fleet energy under a {}-bank budget", cfg.budget_banks),
+        vec![
+            "total J".to_string(),
+            "mem J".to_string(),
+            "disk J".to_string(),
+            "p99 s".to_string(),
+        ],
+    );
+    for report in [&greedy, &coord] {
+        table.push(
+            report.mode.clone(),
+            vec![
+                report.total_energy_j(),
+                report.energy.mem.total_j(),
+                report.energy.disk.total_j(),
+                report.p99_secs,
+            ],
+        );
+    }
+    table.print();
+    let records = trace.records().len();
+    let saving_pct = 100.0 * (1.0 - coord.total_energy_j() / greedy.total_energy_j().max(1e-12));
+    println!(
+        "imbalance: max/mean {:.2}, cv {:.2}; coordinator saves {:.2}%",
+        coord.imbalance.max_over_mean, coord.imbalance.cv, saving_pct,
+    );
+
+    let result = FleetBenchResult {
+        shards: cfg.shards,
+        budget_banks: cfg.budget_banks,
+        per_shard_banks: cfg.per_shard_banks(),
+        records,
+        records_per_sec_greedy: records as f64 / greedy_wall.max(1e-9),
+        records_per_sec_coordinated: records as f64 / coord_wall.max(1e-9),
+        greedy_energy_j: greedy.total_energy_j(),
+        coordinated_energy_j: coord.total_energy_j(),
+        saving_pct,
+        greedy_p99_secs: greedy.p99_secs,
+        coordinated_p99_secs: coord.p99_secs,
+        greedy_delay_ratios: greedy.delay_ratios.clone(),
+        coordinated_delay_ratios: coord.delay_ratios.clone(),
+        imbalance_max_over_mean: coord.imbalance.max_over_mean,
+        imbalance_cv: coord.imbalance.cv,
+        per_shard_accesses: coord.imbalance.per_shard_accesses.clone(),
+    };
+    if let Err(e) = write_json("fleet_bench", &result) {
+        eprintln!("fleet_bench: writing results failed: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    if coord.total_energy_j() < greedy.total_energy_j() {
+        println!("PASS: coordinated fleet beats per-shard-greedy");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "FAIL: coordinated {:.1} J >= per-shard-greedy {:.1} J",
+            coord.total_energy_j(),
+            greedy.total_energy_j()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,172 @@
+//! `fleet_chaos` — kill-and-resume smoke for the whole-fleet checkpoint
+//! protocol.
+//!
+//! ```text
+//! fleet_chaos <dir> [--die-after K] [--resume] [--report PATH] [--mode greedy|coordinated]
+//! ```
+//!
+//! The recipe is fixed (8 shards, hot-spot-skewed trace, 64-bank budget,
+//! seed 7) so three invocations over the same `--mode` are comparable:
+//!
+//! 1. `fleet_chaos refdir --report ref.json` — uninterrupted run;
+//! 2. `fleet_chaos rundir --die-after K` — every shard stops after `K`
+//!    published checkpoints, leaving `rundir` with the manifest,
+//!    per-shard `.jck`s, and sealed WAL prefixes;
+//! 3. `fleet_chaos rundir --resume --report resumed.json` — resumes from
+//!    the manifest; `resumed.json` must equal `ref.json` byte for byte
+//!    (wall-clock fields are zeroed in both).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use jpmd_core::SimScale;
+use jpmd_fleet::{
+    manifest_path, run_fleet_checkpointed, skewed_fleet_trace, FleetConfig, FleetMode,
+    FleetOutcome, SkewSpec,
+};
+
+struct Args {
+    dir: PathBuf,
+    die_after: Option<u64>,
+    resume: bool,
+    report: Option<PathBuf>,
+    mode: FleetMode,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut it = std::env::args().skip(1);
+    let dir = PathBuf::from(it.next().ok_or("missing <dir>")?);
+    let mut args = Args {
+        dir,
+        die_after: None,
+        resume: false,
+        report: None,
+        mode: FleetMode::Coordinated,
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--die-after" => {
+                args.die_after = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--die-after needs a number")?,
+                )
+            }
+            "--resume" => args.resume = true,
+            "--report" => {
+                args.report = Some(PathBuf::from(it.next().ok_or("--report needs a path")?))
+            }
+            "--mode" => {
+                args.mode = match it.next().as_deref() {
+                    Some("greedy") => FleetMode::PerShardGreedy,
+                    Some("coordinated") => FleetMode::Coordinated,
+                    _ => return Err("--mode must be greedy or coordinated".to_string()),
+                }
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if args.resume && args.die_after.is_some() {
+        return Err("--resume and --die-after are mutually exclusive".to_string());
+    }
+    Ok(args)
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let scale = SimScale::small_test();
+    let spec = SkewSpec {
+        shards: 8,
+        hot_shards: 1,
+        hot_factor: 16.0,
+        shard_bytes: 512 << 20,
+        base_rate: 1 << 20,
+        duration_secs: 2400.0,
+        seed: 7,
+    };
+    let cfg = FleetConfig {
+        scale,
+        shards: spec.shards,
+        budget_banks: 64,
+        warmup_secs: 0.0,
+        duration_secs: spec.duration_secs,
+        period_secs: 300.0,
+        workers: 0,
+        seed: 7,
+    };
+    let manifest = manifest_path(&args.dir);
+    if args.resume && !manifest.exists() {
+        return Err(format!("--resume: no manifest at {}", manifest.display()));
+    }
+    if !args.resume && manifest.exists() {
+        return Err(format!(
+            "{} already holds a fleet run; pass --resume or use a fresh directory",
+            args.dir.display()
+        ));
+    }
+
+    let (trace, router) = skewed_fleet_trace(&cfg.scale, &spec).map_err(|e| e.to_string())?;
+    let outcome =
+        run_fleet_checkpointed(&cfg, args.mode, &trace, &router, &args.dir, args.die_after)
+            .map_err(|e| e.to_string())?;
+
+    match outcome {
+        FleetOutcome::Interrupted => {
+            if args.die_after.is_none() {
+                return Err("run interrupted without --die-after".to_string());
+            }
+            println!(
+                "interrupted: {} shards checkpointed under {} (resume with --resume)",
+                cfg.shards,
+                args.dir.display()
+            );
+            Ok(())
+        }
+        FleetOutcome::Completed(report) => {
+            let mut report = *report;
+            println!(
+                "completed ({}): {} shards, {:.1} J total, p99 {:.3} s, max/mean {:.2}",
+                report.mode,
+                report.shards.len(),
+                report.total_energy_j(),
+                report.p99_secs,
+                report.imbalance.max_over_mean,
+            );
+            if args.die_after.is_some() {
+                return Err(
+                    "run completed before the --die-after limit; lower the limit".to_string(),
+                );
+            }
+            if let Some(path) = &args.report {
+                report.zero_wall_clock();
+                let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+                if let Some(parent) = path.parent() {
+                    std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
+                }
+                std::fs::write(path, json).map_err(|e| e.to_string())?;
+                println!("report -> {} (wall-clock fields zeroed)", path.display());
+            }
+            Ok(())
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("fleet_chaos: {e}");
+            eprintln!(
+                "usage: fleet_chaos <dir> [--die-after K] [--resume] [--report PATH] \
+                 [--mode greedy|coordinated]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fleet_chaos: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

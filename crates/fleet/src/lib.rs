@@ -1,0 +1,50 @@
+//! `jpmd-fleet` — the sharded multi-disk fleet engine.
+//!
+//! Scales the single joint power manager of
+//! [`jpmd-core`](jpmd_core) to a *fleet*: N independent disk/cache
+//! engines fed by a deterministic trace router, run in parallel on the
+//! bench work queue, and — the point of the exercise — managed under one
+//! **global memory-bank budget**. The paper (Cai & Lu, DATE 2005)
+//! optimizes one machine's memory/disk pair; a deployment provisions
+//! DRAM fleet-wide, and splitting that budget evenly strands banks on
+//! shards whose energy curve is flat while hot shards burn disk energy
+//! for want of cache. The fleet coordinator reallocates the budget each
+//! control period by marginal energy saving and strictly beats the
+//! per-shard-greedy split on skewed traffic (asserted by the
+//! `coordinator_wins` test and the CI fleet smoke).
+//!
+//! The layers, bottom up:
+//!
+//! * [`Partitioner`] (+ [`HashPartitioner`], [`RangePartitioner`],
+//!   [`SkewedPartitioner`], [`ShardSource`], [`partition`]) —
+//!   deterministic routing of a trace across shards;
+//! * [`skewed_fleet_trace`] — a synthetic hot-spot fleet workload whose
+//!   exact router is a [`RangePartitioner`];
+//! * [`run_fleet`] / [`run_fleet_checkpointed`] — the parallel driver:
+//!   per-shard-greedy vs coordinated modes, whole-fleet crash safety via
+//!   per-shard WAL + `.jck` pairs and one
+//!   [`FleetManifest`](jpmd_ckpt::FleetManifest);
+//! * [`FleetReport`] — merged per-shard results with aggregate energy,
+//!   tail latency, and traffic-imbalance statistics.
+//!
+//! Binaries: `fleet_bench` (coordinator-vs-greedy comparison →
+//! `results/fleet_bench.json`), `fleet_chaos` (kill / resume smoke over
+//! the manifest).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod driver;
+mod partition;
+mod report;
+mod synth;
+
+pub use driver::{
+    manifest_path, plan_from_bids, run_fleet, run_fleet_checkpointed, FleetConfig, FleetError,
+    FleetMode, FleetOutcome,
+};
+pub use partition::{
+    partition, HashPartitioner, Partitioner, RangePartitioner, ShardSource, SkewedPartitioner,
+};
+pub use report::{FleetReport, Imbalance};
+pub use synth::{skewed_fleet_trace, SkewSpec};

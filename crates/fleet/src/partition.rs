@@ -1,0 +1,291 @@
+//! Trace partitioning: deterministic routing of a request stream across
+//! the shards of a fleet.
+//!
+//! A [`Partitioner`] is a pure function from a [`TraceRecord`] to a shard
+//! id. Routing by *record content only* (never by arrival order or by
+//! mutable router state) is what makes fan-out reproducible: the same
+//! trace and the same partitioner always produce the same per-shard
+//! streams, whether the split happens up front ([`partition`]) or lazily
+//! while streaming ([`ShardSource`]). The `partition_props` suite asserts
+//! determinism, totality (every record lands on exactly one shard), and
+//! the streaming/eager equivalence.
+
+use jpmd_trace::{SourceError, Trace, TraceRecord, TraceSource};
+
+/// `splitmix64` — the same cheap avalanche permutation the workload
+/// generator family uses; good diffusion from sequential ids.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A deterministic router from records to shards.
+///
+/// Implementations must be pure: the shard of a record depends only on
+/// the record and the partitioner's configuration, so any subsequence of
+/// a trace routes identically to the whole.
+pub trait Partitioner {
+    /// Number of shards this partitioner routes to (≥ 1).
+    fn shards(&self) -> u32;
+
+    /// The shard `record` belongs to, in `0..shards()`.
+    fn shard_of(&self, record: &TraceRecord) -> u32;
+
+    /// Display name of the strategy (`"hash"`, `"range"`, `"skewed"`).
+    fn name(&self) -> &str;
+}
+
+/// Routes by seeded hash of the file id: a file's requests all land on
+/// one shard (preserving per-file locality), files spread uniformly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashPartitioner {
+    shards: u32,
+    seed: u64,
+}
+
+impl HashPartitioner {
+    /// A hash router over `shards` shards (≥ 1 enforced by clamping).
+    pub fn new(shards: u32, seed: u64) -> Self {
+        HashPartitioner {
+            shards: shards.max(1),
+            seed,
+        }
+    }
+}
+
+impl Partitioner for HashPartitioner {
+    fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    fn shard_of(&self, record: &TraceRecord) -> u32 {
+        (splitmix64(u64::from(record.file.0) ^ self.seed.rotate_left(17)) % u64::from(self.shards))
+            as u32
+    }
+
+    fn name(&self) -> &str {
+        "hash"
+    }
+}
+
+/// Routes by position in the page space: shard `k` owns the `k`-th
+/// equal slice of `0..total_pages` (by the record's first page). This is
+/// the natural router for fleet traces laid out shard-contiguously (see
+/// [`skewed_fleet_trace`](crate::skewed_fleet_trace)) and mirrors
+/// partitioned data placement across a disk array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RangePartitioner {
+    shards: u32,
+    total_pages: u64,
+}
+
+impl RangePartitioner {
+    /// A range router slicing `0..total_pages` into `shards` equal runs.
+    pub fn new(shards: u32, total_pages: u64) -> Self {
+        RangePartitioner {
+            shards: shards.max(1),
+            total_pages: total_pages.max(1),
+        }
+    }
+}
+
+impl Partitioner for RangePartitioner {
+    fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    fn shard_of(&self, record: &TraceRecord) -> u32 {
+        let page = record.first_page.min(self.total_pages - 1);
+        // page * shards cannot overflow for realistic page spaces, but be
+        // exact anyway via u128.
+        ((u128::from(page) * u128::from(self.shards)) / u128::from(self.total_pages)) as u32
+    }
+
+    fn name(&self) -> &str {
+        "range"
+    }
+}
+
+/// Hot-spot-skewed routing: records touching the *hot prefix* of the page
+/// space are concentrated onto the first `hot_shards` shards (by hash),
+/// everything else spreads over the remaining shards. Models a fleet
+/// where popular data is pinned to few spindles — the configuration where
+/// per-shard-greedy power management leaves the most on the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SkewedPartitioner {
+    shards: u32,
+    hot_shards: u32,
+    hot_pages: u64,
+    seed: u64,
+}
+
+impl SkewedPartitioner {
+    /// A skewed router: pages below `hot_pages` go to the first
+    /// `hot_shards` shards (clamped to `1..shards`), the rest to the
+    /// remaining `shards - hot_shards`.
+    pub fn new(shards: u32, hot_shards: u32, hot_pages: u64, seed: u64) -> Self {
+        let shards = shards.max(2);
+        SkewedPartitioner {
+            shards,
+            hot_shards: hot_shards.clamp(1, shards - 1),
+            hot_pages,
+            seed,
+        }
+    }
+}
+
+impl Partitioner for SkewedPartitioner {
+    fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    fn shard_of(&self, record: &TraceRecord) -> u32 {
+        let hash = splitmix64(u64::from(record.file.0) ^ self.seed.rotate_left(29));
+        if record.first_page < self.hot_pages {
+            (hash % u64::from(self.hot_shards)) as u32
+        } else {
+            self.hot_shards + (hash % u64::from(self.shards - self.hot_shards)) as u32
+        }
+    }
+
+    fn name(&self) -> &str {
+        "skewed"
+    }
+}
+
+/// Splits a trace eagerly into one [`Trace`] per shard.
+///
+/// Every shard trace keeps the parent's page size **and full page space**:
+/// shard engines are sized like the unsharded engine, so per-shard replays
+/// are directly comparable (and their traffic sums to the unsharded
+/// replay's — asserted by the `traffic_sum` tests). Record order within a
+/// shard is the parent's order.
+pub fn partition(trace: &Trace, partitioner: &dyn Partitioner) -> Vec<Trace> {
+    let mut buckets: Vec<Vec<TraceRecord>> = vec![Vec::new(); partitioner.shards() as usize];
+    for record in trace.records() {
+        buckets[partitioner.shard_of(record) as usize].push(*record);
+    }
+    buckets
+        .into_iter()
+        .map(|records| Trace::new(records, trace.page_bytes(), trace.total_pages()))
+        .collect()
+}
+
+/// A streaming one-shard view of any [`TraceSource`]: yields exactly the
+/// records the partitioner routes to `shard`, in source order, at O(1)
+/// memory — the router a real fleet front-end would run per shard.
+pub struct ShardSource<S, P> {
+    source: S,
+    partitioner: P,
+    shard: u32,
+}
+
+impl<S: TraceSource, P: Partitioner> ShardSource<S, P> {
+    /// Filters `source` down to the records routed to `shard`.
+    pub fn new(source: S, partitioner: P, shard: u32) -> Self {
+        ShardSource {
+            source,
+            partitioner,
+            shard,
+        }
+    }
+}
+
+impl<S: TraceSource, P: Partitioner> TraceSource for ShardSource<S, P> {
+    fn page_bytes(&self) -> u64 {
+        self.source.page_bytes()
+    }
+
+    fn total_pages(&self) -> u64 {
+        self.source.total_pages()
+    }
+
+    fn next_record(&mut self) -> Option<Result<TraceRecord, SourceError>> {
+        loop {
+            match self.source.next_record()? {
+                Ok(record) if self.partitioner.shard_of(&record) == self.shard => {
+                    return Some(Ok(record))
+                }
+                Ok(_) => continue,
+                Err(e) => return Some(Err(e)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jpmd_trace::{AccessKind, FileId};
+
+    fn rec(time: f64, file: u32, first_page: u64) -> TraceRecord {
+        TraceRecord {
+            time,
+            file: FileId(file),
+            first_page,
+            pages: 1,
+            kind: AccessKind::Read,
+        }
+    }
+
+    #[test]
+    fn range_partitioner_slices_the_page_space_evenly() {
+        let p = RangePartitioner::new(4, 100);
+        assert_eq!(p.shard_of(&rec(0.0, 0, 0)), 0);
+        assert_eq!(p.shard_of(&rec(0.0, 0, 24)), 0);
+        assert_eq!(p.shard_of(&rec(0.0, 0, 25)), 1);
+        assert_eq!(p.shard_of(&rec(0.0, 0, 99)), 3);
+        // Out-of-range pages clamp into the last shard, never panic.
+        assert_eq!(p.shard_of(&rec(0.0, 0, 10_000)), 3);
+    }
+
+    #[test]
+    fn hash_partitioner_keeps_a_file_on_one_shard() {
+        let p = HashPartitioner::new(8, 42);
+        let s = p.shard_of(&rec(0.0, 7, 3));
+        assert_eq!(p.shard_of(&rec(99.0, 7, 12345)), s);
+        assert!(s < 8);
+    }
+
+    #[test]
+    fn skewed_partitioner_separates_hot_and_cold_pages() {
+        let p = SkewedPartitioner::new(8, 2, 1000, 1);
+        for f in 0..64 {
+            assert!(p.shard_of(&rec(0.0, f, 10)) < 2, "hot pages → hot shards");
+            let cold = p.shard_of(&rec(0.0, f, 5000));
+            assert!((2..8).contains(&cold), "cold pages → cold shards");
+        }
+    }
+
+    #[test]
+    fn partition_is_total_and_order_preserving() {
+        let records = vec![rec(1.0, 0, 0), rec(2.0, 1, 50), rec(3.0, 0, 10)];
+        let trace = Trace::new(records, 1 << 20, 100);
+        let shards = partition(&trace, &RangePartitioner::new(2, 100));
+        assert_eq!(shards.len(), 2);
+        let total: usize = shards.iter().map(|t| t.records().len()).sum();
+        assert_eq!(total, 3);
+        assert_eq!(shards[0].records().len(), 2);
+        assert_eq!(shards[0].total_pages(), 100, "full page space kept");
+    }
+
+    #[test]
+    fn shard_source_matches_eager_partition() {
+        let records: Vec<TraceRecord> = (0..40)
+            .map(|i| rec(f64::from(i), i as u32, (i as u64 * 7) % 96))
+            .collect();
+        let trace = Trace::new(records, 1 << 20, 96);
+        let p = SkewedPartitioner::new(4, 1, 32, 9);
+        let eager = partition(&trace, &p);
+        for shard in 0..4 {
+            let mut streamed = Vec::new();
+            let mut source = ShardSource::new(trace.source(), p, shard);
+            while let Some(r) = source.next_record() {
+                streamed.push(r.unwrap());
+            }
+            assert_eq!(streamed, eager[shard as usize].records());
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Sharding conserves traffic: replaying each shard's stream through its
+//! own engine and summing the measured cache accesses reproduces the
+//! unsharded replay's total, for both the hash and range routers. (With
+//! zero warm-up every record of every stream is measured, so the sums
+//! must match exactly — partitioning moves records, it never drops or
+//! duplicates them.)
+
+use jpmd_core::{methods, SimScale};
+use jpmd_fleet::{partition, skewed_fleet_trace, HashPartitioner, Partitioner, SkewSpec};
+
+fn assert_traffic_conserved(p: &dyn Partitioner) {
+    let scale = SimScale::small_test();
+    let spec = SkewSpec {
+        shards: 4,
+        hot_shards: 1,
+        hot_factor: 8.0,
+        shard_bytes: 128 << 20,
+        base_rate: 1 << 20,
+        duration_secs: 900.0,
+        seed: 21,
+    };
+    let (trace, _) = skewed_fleet_trace(&scale, &spec).expect("fleet trace");
+    let spec_run = methods::always_on(&scale);
+    let unsharded = methods::run_method(&spec_run, &scale, &trace, 0.0, 900.0, 300.0);
+    assert!(unsharded.cache_accesses > 0, "workload must carry traffic");
+
+    let mut sharded_total = 0;
+    for shard_trace in partition(&trace, p) {
+        let report = methods::run_method(&spec_run, &scale, &shard_trace, 0.0, 900.0, 300.0);
+        sharded_total += report.cache_accesses;
+    }
+    assert_eq!(
+        sharded_total,
+        unsharded.cache_accesses,
+        "{} partitioning must conserve measured traffic",
+        p.name()
+    );
+}
+
+#[test]
+fn range_sharding_conserves_traffic() {
+    let scale = SimScale::small_test();
+    let spec = SkewSpec {
+        shards: 4,
+        hot_shards: 1,
+        hot_factor: 8.0,
+        shard_bytes: 128 << 20,
+        base_rate: 1 << 20,
+        duration_secs: 900.0,
+        seed: 21,
+    };
+    let (trace, router) = skewed_fleet_trace(&scale, &spec).expect("fleet trace");
+    drop(trace);
+    assert_traffic_conserved(&router);
+}
+
+#[test]
+fn hash_sharding_conserves_traffic() {
+    assert_traffic_conserved(&HashPartitioner::new(4, 99));
+}

@@ -38,7 +38,7 @@ use jpmd_obs::cli::{exit_with, parse_arg, parse_required, require, CliError};
 use jpmd_obs::{wal, ObsEvent, ObsRecord};
 
 const USAGE: &str = "usage:
-  obs-tool summary <file>
+  obs-tool summary <file> [more files...]
   obs-tool grep <file> --event <name>
   obs-tool timings <file>
   obs-tool tail <file> [n]
@@ -69,8 +69,24 @@ fn read_records(path: &str) -> Result<Vec<(usize, String, ObsRecord)>, CliError>
     Ok(out)
 }
 
-fn summary(path: &str) -> Result<(), CliError> {
-    let records = read_records(path)?;
+/// Per-shard (or per-file) aggregation of one tagged stream: sequence
+/// continuity is tracked inside the stream, never across streams, so
+/// concurrent shards don't produce seq-gap false positives.
+#[derive(Default)]
+struct StreamAgg {
+    records: u64,
+    decisions: u64,
+    seq_gaps: u64,
+    prev_seq: Option<u64>,
+}
+
+fn summary(paths: &[&str]) -> Result<(), CliError> {
+    let mut records = Vec::new();
+    for (file_idx, path) in paths.iter().enumerate() {
+        for (_, _, record) in read_records(path)? {
+            records.push((file_idx, record));
+        }
+    }
     let mut counts: BTreeMap<&'static str, u64> = BTreeMap::new();
     let mut periods = 0u64;
     let mut decisions = 0u64;
@@ -80,14 +96,22 @@ fn summary(path: &str) -> Result<(), CliError> {
     let mut recoveries = 0u64;
     let mut last_degradation: Option<&ObsRecord> = None;
     let mut seq_gaps = 0u64;
-    let mut prev_seq: Option<u64> = None;
-    for (_, _, record) in &records {
-        if let Some(prev) = prev_seq {
+    // Each (file, shard tag) pair is its own gap-free sequence space:
+    // a shard-tagged WAL and an untagged one never share a counter.
+    let mut streams: BTreeMap<(usize, Option<u32>), StreamAgg> = BTreeMap::new();
+    for (file_idx, record) in &records {
+        let agg = streams.entry((*file_idx, record.shard)).or_default();
+        if let Some(prev) = agg.prev_seq {
             if record.seq != prev + 1 {
+                agg.seq_gaps += 1;
                 seq_gaps += 1;
             }
         }
-        prev_seq = Some(record.seq);
+        agg.prev_seq = Some(record.seq);
+        agg.records += 1;
+        if matches!(record.event, ObsEvent::PolicyDecision { .. }) {
+            agg.decisions += 1;
+        }
         *counts.entry(record.event.name()).or_insert(0) += 1;
         match &record.event {
             ObsEvent::Period { .. } => periods += 1,
@@ -116,6 +140,20 @@ fn summary(path: &str) -> Result<(), CliError> {
     println!("seq_gaps           {seq_gaps}");
     println!("periods            {periods}");
     println!("policy_decisions   {decisions}");
+    // Per-shard breakdown whenever any record carries a shard tag (one
+    // line per tagged stream), so a fleet's merged view stays legible.
+    if streams.keys().any(|(_, shard)| shard.is_some()) {
+        for ((file_idx, shard), agg) in &streams {
+            let label = match shard {
+                Some(id) => format!("shard {id}"),
+                None => format!("untagged[{}]", paths[*file_idx]),
+            };
+            println!(
+                "  {label:<16} records {:<6} policy_decisions {:<4} seq_gaps {}",
+                agg.records, agg.decisions, agg.seq_gaps
+            );
+        }
+    }
     if decisions > 0 {
         println!("all_infeasible     {infeasible_periods}");
     }
@@ -280,7 +318,11 @@ fn compact(base: &str, out: &str) -> Result<(), CliError> {
 fn run(args: &[String]) -> Result<(), CliError> {
     let cmd = require(args, 1, "subcommand")?;
     match cmd {
-        "summary" => summary(require(args, 2, "file")?),
+        "summary" => {
+            require(args, 2, "file")?;
+            let paths: Vec<&str> = args[2..].iter().map(String::as_str).collect();
+            summary(&paths)
+        }
         "grep" => {
             let path = require(args, 2, "file")?;
             if require(args, 3, "--event")? != "--event" {

@@ -181,15 +181,56 @@ impl ObsEvent {
 }
 
 /// The envelope one JSONL line carries.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ObsRecord {
     /// Emission index within one telemetry handle (0-based, gap-free).
     pub seq: u64,
     /// Wall-clock timestamp in milliseconds from the injected clock, or
     /// `None` when the telemetry has no clock (the default).
     pub t_wall_ms: Option<u64>,
+    /// Fleet shard this record came from, or `None` for a single-engine
+    /// stream. Tagged streams from concurrent shards each keep their own
+    /// gap-free `seq` space, so consumers (`obs_tool summary`) must track
+    /// sequence continuity **per shard**, never across shards.
+    pub shard: Option<u32>,
     /// The event payload.
     pub event: ObsEvent,
+}
+
+// Hand-written (instead of derived) so `shard: None` stays off the wire:
+// every stream written before the field existed remains byte-identical,
+// and untagged single-engine streams keep their historical shape.
+impl Serialize for ObsRecord {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("seq".to_string(), self.seq.to_value()),
+            ("t_wall_ms".to_string(), self.t_wall_ms.to_value()),
+        ];
+        if let Some(shard) = self.shard {
+            fields.push(("shard".to_string(), shard.to_value()));
+        }
+        fields.push(("event".to_string(), self.event.to_value()));
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for ObsRecord {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let field = |name: &str| {
+            value
+                .get(name)
+                .ok_or_else(|| serde::Error::custom(format!("ObsRecord: missing field '{name}'")))
+        };
+        Ok(ObsRecord {
+            seq: Deserialize::from_value(field("seq")?)?,
+            t_wall_ms: Deserialize::from_value(field("t_wall_ms")?)?,
+            shard: match value.get("shard") {
+                Some(v) => Deserialize::from_value(v)?,
+                None => None,
+            },
+            event: Deserialize::from_value(field("event")?)?,
+        })
+    }
 }
 
 impl ObsRecord {
@@ -251,6 +292,7 @@ mod tests {
         let record = ObsRecord {
             seq: 7,
             t_wall_ms: Some(1234),
+            shard: None,
             event: decision(),
         };
         let line = record.to_line();
@@ -263,6 +305,7 @@ mod tests {
         let record = ObsRecord {
             seq: 0,
             t_wall_ms: None,
+            shard: None,
             event: decision(),
         };
         assert!(record.to_line().contains("\"PolicyDecision\""));
@@ -296,10 +339,47 @@ mod tests {
     }
 
     #[test]
+    fn untagged_records_keep_the_historical_wire_shape() {
+        let record = ObsRecord {
+            seq: 0,
+            t_wall_ms: None,
+            shard: None,
+            event: ObsEvent::Message { text: "x".into() },
+        };
+        let line = record.to_line();
+        assert!(
+            !line.contains("shard"),
+            "shard must stay off the wire when untagged: {line}"
+        );
+        // Exactly the shape every pre-fleet WAL was written with.
+        assert_eq!(
+            line,
+            r#"{"seq":0,"t_wall_ms":null,"event":{"Message":{"text":"x"}}}"#
+        );
+        assert_eq!(ObsRecord::from_line(&line).unwrap(), record);
+    }
+
+    #[test]
+    fn shard_tags_round_trip() {
+        let record = ObsRecord {
+            seq: 3,
+            t_wall_ms: None,
+            shard: Some(7),
+            event: ObsEvent::Message { text: "x".into() },
+        };
+        let line = record.to_line();
+        assert!(line.contains("\"shard\":7"));
+        assert_eq!(ObsRecord::from_line(&line).unwrap(), record);
+        // The tag survives normalization — it is not a wall-clock field.
+        assert!(record.normalized_line().contains("\"shard\":7"));
+    }
+
+    #[test]
     fn normalization_strips_wall_clock_fields() {
         let a = ObsRecord {
             seq: 1,
             t_wall_ms: Some(99),
+            shard: None,
             event: ObsEvent::SpanEnd {
                 name: "engine.replay".into(),
                 secs: 0.123,
@@ -308,6 +388,7 @@ mod tests {
         let b = ObsRecord {
             seq: 1,
             t_wall_ms: None,
+            shard: None,
             event: ObsEvent::SpanEnd {
                 name: "engine.replay".into(),
                 secs: 0.456,

@@ -49,6 +49,7 @@ struct TelemetryInner {
     registry: MetricsRegistry,
     seq: AtomicU64,
     clock: Option<Box<ClockFn>>,
+    shard: Option<u32>,
 }
 
 /// The telemetry handle instrumentation points hold.
@@ -89,6 +90,7 @@ impl Telemetry {
                 registry: MetricsRegistry::new(),
                 seq: AtomicU64::new(0),
                 clock: None,
+                shard: None,
             })),
         }
     }
@@ -102,8 +104,31 @@ impl Telemetry {
                 registry: MetricsRegistry::new(),
                 seq: AtomicU64::new(0),
                 clock: Some(clock),
+                shard: None,
             })),
         }
+    }
+
+    /// Like [`Telemetry::new`], but every record carries `shard` in its
+    /// envelope — the namespace tag for one member of a fleet. Each shard
+    /// gets its **own** handle (and usually its own WAL), so its `seq`
+    /// space stays gap-free on its own; consumers aggregating tagged
+    /// streams must check sequence continuity per shard.
+    pub fn for_shard(sink: Box<dyn Sink>, shard: u32) -> Self {
+        Telemetry {
+            inner: Some(Arc::new(TelemetryInner {
+                sink,
+                registry: MetricsRegistry::new(),
+                seq: AtomicU64::new(0),
+                clock: None,
+                shard: Some(shard),
+            })),
+        }
+    }
+
+    /// The shard tag stamped on this handle's records, if any.
+    pub fn shard(&self) -> Option<u32> {
+        self.inner.as_ref().and_then(|inner| inner.shard)
     }
 
     /// Whether this handle emits anything.
@@ -125,6 +150,7 @@ impl Telemetry {
             let record = ObsRecord {
                 seq: inner.seq.fetch_add(1, Ordering::Relaxed),
                 t_wall_ms: inner.clock.as_ref().map(|clock| clock()),
+                shard: inner.shard,
                 event,
             };
             inner.sink.emit(&record);
@@ -237,6 +263,22 @@ mod tests {
         let telemetry = Telemetry::with_clock(Box::new(sink.clone()), Box::new(|| 42));
         telemetry.emit(ObsEvent::Message { text: "a".into() });
         assert_eq!(sink.records()[0].t_wall_ms, Some(42));
+    }
+
+    #[test]
+    fn shard_handles_tag_every_record() {
+        let sink = MemorySink::new();
+        let telemetry = Telemetry::for_shard(Box::new(sink.clone()), 5);
+        assert_eq!(telemetry.shard(), Some(5));
+        telemetry.emit(ObsEvent::Message { text: "a".into() });
+        telemetry
+            .clone()
+            .emit(ObsEvent::Message { text: "b".into() });
+        for record in sink.records() {
+            assert_eq!(record.shard, Some(5));
+        }
+        assert_eq!(Telemetry::new(Box::new(NullSink)).shard(), None);
+        assert_eq!(Telemetry::disabled().shard(), None);
     }
 
     #[test]

@@ -549,6 +549,7 @@ mod tests {
         ObsRecord {
             seq,
             t_wall_ms: None,
+            shard: None,
             event: ObsEvent::Message {
                 text: format!("m{seq}"),
             },
@@ -559,6 +560,7 @@ mod tests {
         ObsRecord {
             seq,
             t_wall_ms: None,
+            shard: None,
             event: ObsEvent::Degradation {
                 period,
                 time_s: period as f64,

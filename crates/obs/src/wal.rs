@@ -273,6 +273,7 @@ mod tests {
         ObsRecord {
             seq,
             t_wall_ms: None,
+            shard: None,
             event: ObsEvent::Period {
                 index: period,
                 start_s: period as f64,
@@ -291,6 +292,7 @@ mod tests {
         ObsRecord {
             seq,
             t_wall_ms: None,
+            shard: None,
             event: ObsEvent::Message {
                 text: format!("m{seq}"),
             },
