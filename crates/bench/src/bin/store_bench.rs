@@ -24,7 +24,12 @@
 //! existing runner conventions: a failing path fills its row with `NaN`
 //! and the bench keeps going, like the figure drivers.
 //!
-//! Usage: `store-bench [--quick]`
+//! Usage: `store-bench [--quick] [--floor RECORDS_PER_SEC]`
+//!
+//! `--floor N` turns the benchmark into a regression gate: if the binary
+//! path's replay throughput lands below `N` records/s the process exits
+//! nonzero after writing results, so CI catches a store slowdown the
+//! same way it catches a failing test.
 
 use std::io::Write;
 use std::time::Instant;
@@ -151,6 +156,18 @@ fn seek_bench(quick: bool) -> Result<Table, Box<dyn std::error::Error>> {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = ExperimentConfig::from_args();
     let quick = std::env::args().any(|a| a == "--quick");
+    let floor: Option<f64> = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter().position(|a| a == "--floor").map(|i| {
+            args.get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .filter(|v: &f64| v.is_finite() && *v > 0.0)
+                .unwrap_or_else(|| {
+                    eprintln!("--floor needs a positive records/s value");
+                    std::process::exit(2);
+                })
+        })
+    };
     let point = WorkloadPoint {
         data_gb: 4,
         ..WorkloadPoint::default_point()
@@ -221,17 +238,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "peak ΔRSS MB".into(),
         ],
     );
+    let mut binary_records_per_sec = f64::NAN;
     for ((kind, _), outcome) in tasks.iter().zip(outcomes) {
         match outcome {
-            Ok(r) => table.push(
-                *kind,
-                vec![
-                    r.records_per_sec,
-                    r.load_replay_secs,
-                    r.file_bytes / (1024.0 * 1024.0),
-                    r.peak_rss_delta_mb,
-                ],
-            ),
+            Ok(r) => {
+                if *kind == "binary" {
+                    binary_records_per_sec = r.records_per_sec;
+                }
+                table.push(
+                    *kind,
+                    vec![
+                        r.records_per_sec,
+                        r.load_replay_secs,
+                        r.file_bytes / (1024.0 * 1024.0),
+                        r.peak_rss_delta_mb,
+                    ],
+                )
+            }
             Err(message) => {
                 eprintln!("[{kind} path failed: {message}]");
                 table.push(*kind, vec![f64::NAN; 4]);
@@ -258,5 +281,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let _ = std::fs::remove_file(&json_path);
     let _ = std::fs::remove_file(&jpt_path);
+
+    if let Some(floor) = floor {
+        // NaN (the path failed) must trip the gate too.
+        if binary_records_per_sec.is_nan() || binary_records_per_sec < floor {
+            eprintln!(
+                "FAIL: binary replay throughput {binary_records_per_sec:.0} records/s \
+                 is below the floor of {floor:.0} records/s"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "floor check passed: binary replay {binary_records_per_sec:.0} records/s \
+             >= {floor:.0} records/s"
+        );
+    }
     Ok(())
 }

@@ -47,7 +47,10 @@ use serde::Value;
 
 pub use error::CkptError;
 pub use format::{HEADER_BYTES, MAGIC, VERSION};
-pub use manifest::{load_manifest, save_manifest, FleetManifest, ShardEntry};
+pub use manifest::{
+    load_manifest, load_tenant_manifest, save_manifest, save_tenant_manifest, FleetManifest,
+    ShardEntry, TenantEntry, TenantManifest,
+};
 
 /// Run identity stored alongside the checkpoint, so a tool (or a
 /// supervisor restarting a task) can rebuild the right run without

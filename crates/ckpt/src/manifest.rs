@@ -91,6 +91,93 @@ impl FleetManifest {
     }
 }
 
+/// One tenant's row in a serving daemon's roster (`jpmd-serve`).
+///
+/// Unlike fleet shards, tenants are named, arrive and depart at runtime,
+/// and carry the stream parameters (`pages`) a resume needs to rebuild
+/// the tenant's policy stack identically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantEntry {
+    /// Tenant name (the wire-protocol identifier).
+    pub name: String,
+    /// Page-space size of the tenant's stream (checkpoint/resume must
+    /// agree on it — it sizes the simulated hardware).
+    pub pages: u64,
+    /// Records the daemon had accepted for this tenant when the manifest
+    /// sealed (informational; the checkpoint holds the binding cursor).
+    pub records: u64,
+    /// Path of the tenant's own `.jck` checkpoint file.
+    pub checkpoint: String,
+    /// Path of the tenant's telemetry WAL, if the daemon streams
+    /// telemetry.
+    pub telemetry: Option<String>,
+}
+
+/// The serving daemon's shutdown manifest: which tenants were live, and
+/// where each one's sealed checkpoint and WAL live. Written *after* every
+/// tenant checkpoint seals (the reverse of the fleet manifest's
+/// write-first protocol, because the roster isn't known until shutdown);
+/// a crash mid-seal leaves either no manifest (cold start) or a manifest
+/// whose entries all point at sealed files.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantManifest {
+    /// The daemon recipe (free-form, like
+    /// [`CkptMeta::kind`](crate::CkptMeta::kind)).
+    pub kind: String,
+    /// The daemon's configuration seed, when one applies.
+    pub seed: u64,
+    /// One entry per live tenant, in name order.
+    pub tenants: Vec<TenantEntry>,
+    /// Driver-owned payload ([`Value::Null`] when unused).
+    pub extra: Value,
+}
+
+impl TenantManifest {
+    /// An empty manifest for a daemon of the given kind and seed.
+    pub fn new(kind: impl Into<String>, seed: u64) -> Self {
+        TenantManifest {
+            kind: kind.into(),
+            seed,
+            tenants: Vec::new(),
+            extra: Value::Null,
+        }
+    }
+}
+
+/// Publishes a tenant manifest with the crash-consistent `.jck` write
+/// protocol.
+///
+/// # Errors
+///
+/// Propagates I/O failures as [`CkptError::Io`].
+pub fn save_tenant_manifest(
+    path: impl AsRef<Path>,
+    manifest: &TenantManifest,
+) -> Result<(), CkptError> {
+    let root = Value::Object(vec![(
+        "tenant_manifest".to_string(),
+        Serialize::to_value(manifest),
+    )]);
+    format::write_jck(path.as_ref(), &root)
+}
+
+/// Loads and validates a tenant manifest.
+///
+/// # Errors
+///
+/// The same typed defects as [`load_manifest`]; an intact `.jck` that is
+/// a fleet manifest or a checkpoint is [`CkptError::Decode`].
+pub fn load_tenant_manifest(path: impl AsRef<Path>) -> Result<TenantManifest, CkptError> {
+    let root = format::read_jck(path.as_ref())?;
+    let manifest = root.get("tenant_manifest").ok_or_else(|| {
+        CkptError::Decode(
+            "top-level field 'tenant_manifest' missing (not a tenant manifest)".to_string(),
+        )
+    })?;
+    <TenantManifest as Deserialize>::from_value(manifest)
+        .map_err(|e| CkptError::Decode(format!("tenant_manifest: {e}")))
+}
+
 /// Publishes `manifest` to `path` with the crash-consistent `.jck` write
 /// protocol (temp file, poisoned header until sealed, fsync, atomic
 /// rename, parent-directory fsync).
@@ -174,6 +261,38 @@ mod tests {
             other => panic!("expected Torn error, got {other:?}"),
         }
         fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tenant_manifest_round_trips_and_is_distinct() {
+        let path = temp_path("tenants.jck");
+        let mut manifest = TenantManifest::new("serve", 9);
+        manifest.tenants.push(TenantEntry {
+            name: "alpha".into(),
+            pages: 4096,
+            records: 120_000,
+            checkpoint: "/runs/alpha.jck".into(),
+            telemetry: Some("/runs/alpha.jsonl".into()),
+        });
+        manifest.tenants.push(TenantEntry {
+            name: "beta".into(),
+            pages: 2048,
+            records: 7,
+            checkpoint: "/runs/beta.jck".into(),
+            telemetry: None,
+        });
+        save_tenant_manifest(&path, &manifest).unwrap();
+        assert_eq!(load_tenant_manifest(&path).unwrap(), manifest);
+        // A fleet manifest is not a tenant manifest, and vice versa.
+        assert!(matches!(load_manifest(&path), Err(CkptError::Decode(_))));
+        let fleet_path = temp_path("fleet-not-tenant.jck");
+        save_manifest(&fleet_path, &sample()).unwrap();
+        assert!(matches!(
+            load_tenant_manifest(&fleet_path),
+            Err(CkptError::Decode(_))
+        ));
+        fs::remove_file(&path).ok();
+        fs::remove_file(&fleet_path).ok();
     }
 
     #[test]

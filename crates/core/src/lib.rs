@@ -71,6 +71,7 @@ pub mod methods;
 mod multidisk;
 pub mod predict;
 mod scale;
+pub mod stepper;
 pub mod timeout;
 
 pub use coordinate::{
@@ -84,3 +85,4 @@ pub use predict::{
     candidate_banks, irm_miss_rate, predict_sizes, predict_sizes_routed, SizePrediction,
 };
 pub use scale::SimScale;
+pub use stepper::{FeedOutcome, PolicyStepper};

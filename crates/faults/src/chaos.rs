@@ -255,7 +255,7 @@ pub fn run_chaos_checkpointed<S: TraceSource>(
         SimOutcome::Interrupted => return Ok(ChaosOutcome::Interrupted),
     };
 
-    let hw_faults = *hw_counts.borrow();
+    let hw_faults = *hw_counts.lock().expect("fault counter lock");
     Ok(ChaosOutcome::Completed(Box::new(ChaosReport {
         report,
         guard: *guard.stats(),

@@ -10,10 +10,11 @@
 //!
 //! The injector moves into the [`HwState`](jpmd_sim::HwState) as a boxed
 //! trait object, so its counters are shared out through an
-//! `Rc<RefCell<...>>` handle returned by [`HwFaults::new`].
+//! `Arc<Mutex<...>>` handle returned by [`HwFaults::new`] (the injector
+//! must be `Send` — engines run on worker threads in the fleet and
+//! serving drivers).
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use jpmd_disk::RequestOutcome;
 use jpmd_sim::FaultInjector;
@@ -47,7 +48,7 @@ pub struct HwFaults {
     banks: BankFaults,
     rng: FaultRng,
     last_granted: Option<u32>,
-    counts: Rc<RefCell<HwFaultCounts>>,
+    counts: Arc<Mutex<HwFaultCounts>>,
 }
 
 impl HwFaults {
@@ -57,15 +58,15 @@ impl HwFaults {
         disk: DiskFaults,
         banks: BankFaults,
         rng: FaultRng,
-    ) -> (Self, Rc<RefCell<HwFaultCounts>>) {
-        let counts = Rc::new(RefCell::new(HwFaultCounts::default()));
+    ) -> (Self, Arc<Mutex<HwFaultCounts>>) {
+        let counts = Arc::new(Mutex::new(HwFaultCounts::default()));
         (
             HwFaults {
                 disk,
                 banks,
                 rng,
                 last_granted: None,
-                counts: Rc::clone(&counts),
+                counts: Arc::clone(&counts),
             },
             counts,
         )
@@ -90,14 +91,23 @@ impl FaultInjector for HwFaults {
             && self.rng.chance(self.disk.spinup_fail_prob)
         {
             extra += self.disk.spinup_retry_secs;
-            self.counts.borrow_mut().spinup_failures += 1;
+            self.counts
+                .lock()
+                .expect("fault counter lock")
+                .spinup_failures += 1;
         }
         if self.disk.stall_secs > 0.0 && self.rng.chance(self.disk.stall_prob) {
             extra += self.disk.stall_secs;
-            self.counts.borrow_mut().service_stalls += 1;
+            self.counts
+                .lock()
+                .expect("fault counter lock")
+                .service_stalls += 1;
         }
         if extra > 0.0 {
-            self.counts.borrow_mut().stall_secs_injected += extra;
+            self.counts
+                .lock()
+                .expect("fault counter lock")
+                .stall_secs_injected += extra;
         }
         extra
     }
@@ -109,7 +119,10 @@ impl FaultInjector for HwFaults {
             // nothing to fall back to and always succeeds.
             if let Some(last) = self.last_granted {
                 if last != requested {
-                    self.counts.borrow_mut().bank_refusals += 1;
+                    self.counts
+                        .lock()
+                        .expect("fault counter lock")
+                        .bank_refusals += 1;
                 }
                 return last;
             }
@@ -122,7 +135,7 @@ impl FaultInjector for HwFaults {
         serde::Serialize::to_value(&HwFaultsSnapshot {
             rng_state: self.rng.state(),
             last_granted: self.last_granted,
-            counts: *self.counts.borrow(),
+            counts: *self.counts.lock().expect("fault counter lock"),
         })
     }
 
@@ -130,7 +143,7 @@ impl FaultInjector for HwFaults {
         let snapshot = <HwFaultsSnapshot as serde::Deserialize>::from_value(state)?;
         self.rng = FaultRng::from_state(snapshot.rng_state);
         self.last_granted = snapshot.last_granted;
-        *self.counts.borrow_mut() = snapshot.counts;
+        *self.counts.lock().expect("fault counter lock") = snapshot.counts;
         Ok(())
     }
 }
@@ -160,7 +173,7 @@ mod tests {
             assert_eq!(inj.filter_banks(1 + i % 4), 1 + i % 4);
             assert_eq!(inj.filter_timeout(5.0), 5.0);
         }
-        assert_eq!(*counts.borrow(), HwFaultCounts::default());
+        assert_eq!(*counts.lock().unwrap(), HwFaultCounts::default());
     }
 
     #[test]
@@ -175,7 +188,7 @@ mod tests {
         // A request that did not wake the disk cannot hit a spin-up fault.
         assert_eq!(inj.on_disk_request(0.0, &outcome(false)), 0.0);
         assert_eq!(inj.on_disk_request(1.0, &outcome(true)), 2.5);
-        let c = *counts.borrow();
+        let c = *counts.lock().unwrap();
         assert_eq!(c.spinup_failures, 1);
         assert_eq!(c.service_stalls, 0);
         assert!((c.stall_secs_injected - 2.5).abs() < 1e-12);
@@ -193,8 +206,8 @@ mod tests {
         for i in 0..8 {
             assert_eq!(inj.on_disk_request(i as f64, &outcome(false)), 0.25);
         }
-        assert_eq!(counts.borrow().service_stalls, 8);
-        assert!((counts.borrow().stall_secs_injected - 2.0).abs() < 1e-12);
+        assert_eq!(counts.lock().unwrap().service_stalls, 8);
+        assert!((counts.lock().unwrap().stall_secs_injected - 2.0).abs() < 1e-12);
     }
 
     #[test]
@@ -210,7 +223,7 @@ mod tests {
         assert_eq!(inj.filter_banks(5), 8);
         // A refused "resize" to the same count is not a refusal.
         assert_eq!(inj.filter_banks(8), 8);
-        assert_eq!(counts.borrow().bank_refusals, 2);
+        assert_eq!(counts.lock().unwrap().bank_refusals, 2);
     }
 
     #[test]
@@ -234,7 +247,7 @@ mod tests {
                 );
                 stalls.push(u64::from(inj.filter_banks(1 + i % 6)));
             }
-            let c = *counts.borrow();
+            let c = *counts.lock().unwrap();
             (stalls, c.total())
         };
         assert_eq!(run(9), run(9));

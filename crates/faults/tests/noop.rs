@@ -123,5 +123,5 @@ fn noop_hw_injector_is_also_invisible() {
     )
     .expect("in-memory trace source");
     assert_eq!(plain, faulted, "noop injector changed the outcome");
-    assert_eq!(counts.borrow().total(), 0);
+    assert_eq!(counts.lock().unwrap().total(), 0);
 }

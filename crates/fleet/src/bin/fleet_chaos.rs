@@ -2,11 +2,13 @@
 //! protocol.
 //!
 //! ```text
-//! fleet_chaos <dir> [--die-after K] [--resume] [--report PATH] [--mode greedy|coordinated]
+//! fleet_chaos <dir> [--shards N] [--die-after K] [--resume] [--report PATH]
+//!             [--mode greedy|coordinated]
 //! ```
 //!
-//! The recipe is fixed (8 shards, hot-spot-skewed trace, 64-bank budget,
-//! seed 7) so three invocations over the same `--mode` are comparable:
+//! The recipe is fixed apart from the shard count (hot-spot-skewed
+//! trace, 8 budget banks per shard, seed 7) so invocations over the same
+//! `--shards`/`--mode` pair are comparable:
 //!
 //! 1. `fleet_chaos refdir --report ref.json` — uninterrupted run;
 //! 2. `fleet_chaos rundir --die-after K` — every shard stops after `K`
@@ -27,6 +29,7 @@ use jpmd_fleet::{
 
 struct Args {
     dir: PathBuf,
+    shards: u32,
     die_after: Option<u64>,
     resume: bool,
     report: Option<PathBuf>,
@@ -38,6 +41,7 @@ fn parse_args() -> Result<Args, String> {
     let dir = PathBuf::from(it.next().ok_or("missing <dir>")?);
     let mut args = Args {
         dir,
+        shards: 8,
         die_after: None,
         resume: false,
         report: None,
@@ -45,6 +49,13 @@ fn parse_args() -> Result<Args, String> {
     };
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--shards" => {
+                args.shards = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|n| *n >= 1)
+                    .ok_or("--shards needs a positive shard count")?
+            }
             "--die-after" => {
                 args.die_after = Some(
                     it.next()
@@ -75,7 +86,7 @@ fn parse_args() -> Result<Args, String> {
 fn run(args: &Args) -> Result<(), String> {
     let scale = SimScale::small_test();
     let spec = SkewSpec {
-        shards: 8,
+        shards: args.shards,
         hot_shards: 1,
         hot_factor: 16.0,
         shard_bytes: 512 << 20,
@@ -83,10 +94,12 @@ fn run(args: &Args) -> Result<(), String> {
         duration_secs: 2400.0,
         seed: 7,
     };
+    // The budget scales with the fleet: 8 banks per shard keeps the
+    // coordinator under the same per-shard pressure at any size.
     let cfg = FleetConfig {
         scale,
         shards: spec.shards,
-        budget_banks: 64,
+        budget_banks: 8 * spec.shards,
         warmup_secs: 0.0,
         duration_secs: spec.duration_secs,
         period_secs: 300.0,
@@ -156,8 +169,8 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("fleet_chaos: {e}");
             eprintln!(
-                "usage: fleet_chaos <dir> [--die-after K] [--resume] [--report PATH] \
-                 [--mode greedy|coordinated]"
+                "usage: fleet_chaos <dir> [--shards N] [--die-after K] [--resume] \
+                 [--report PATH] [--mode greedy|coordinated]"
             );
             return ExitCode::FAILURE;
         }

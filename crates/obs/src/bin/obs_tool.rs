@@ -5,6 +5,7 @@
 //! obs-tool grep <file> --event <name>
 //! obs-tool timings <file>
 //! obs-tool tail <file> [n]
+//! obs-tool follow <file> [--from-end N | --from-period P] [--poll-ms M] [--max-secs S] [--max-lines L]
 //! obs-tool seek <file> <period>
 //! obs-tool range <file> <from> <to>
 //! obs-tool index <file> [stride]
@@ -17,6 +18,12 @@
 //! further tooling. `timings` aggregates `SpanEnd` events per span name.
 //! `tail` prints the last `n` records (default 10) with their sequence
 //! numbers, seeking backward from the end — O(n lines), not O(file).
+//! `follow` keeps watching a live WAL ([`jpmd_obs::wal::Follower`]):
+//! print the last `--from-end` lines (default 10) — or seek a period
+//! via the `.jx` index with `--from-period` — then poll every
+//! `--poll-ms` (default 200) for appended lines, reassembling torn
+//! writes, until interrupted or `--max-secs`/`--max-lines` is reached
+//! (0, the default, means unbounded: watch a daemon forever).
 //!
 //! The indexed queries ride the `<file>.jx` sparse period index
 //! ([`jpmd_obs::wal`]): `seek` jumps to the first record at-or-past a
@@ -42,6 +49,7 @@ const USAGE: &str = "usage:
   obs-tool grep <file> --event <name>
   obs-tool timings <file>
   obs-tool tail <file> [n]
+  obs-tool follow <file> [--from-end N | --from-period P] [--poll-ms M] [--max-secs S] [--max-lines L]
   obs-tool seek <file> <period>
   obs-tool range <file> <from> <to>
   obs-tool index <file> [stride]
@@ -49,7 +57,8 @@ const USAGE: &str = "usage:
 
 <file> is a JSONL telemetry stream written by a JsonlSink; seek/range
 use the <file>.jx sparse period index when present (build one with
-'index'), compact folds <base> + <base>.segN resume segments into <out>";
+'index'), compact folds <base> + <base>.segN resume segments into <out>,
+follow tails a live WAL (0 for --max-secs/--max-lines = unbounded)";
 
 /// Parses every line of `path`, yielding `(line_no, raw_line, record)`.
 /// A malformed line is a runtime error naming the offending line number.
@@ -260,6 +269,85 @@ fn tail(path: &str, n: usize) -> Result<(), CliError> {
     Ok(())
 }
 
+struct FollowOpts {
+    from_end: usize,
+    from_period: Option<u64>,
+    poll_ms: u64,
+    max_secs: f64,
+    max_lines: u64,
+}
+
+fn parse_follow_opts(args: &[String]) -> Result<FollowOpts, CliError> {
+    let mut opts = FollowOpts {
+        from_end: 10,
+        from_period: None,
+        poll_ms: 200,
+        max_secs: 0.0,
+        max_lines: 0,
+    };
+    let mut i = 0;
+    let value = |args: &[String], i: usize, flag: &str| -> Result<String, CliError> {
+        args.get(i + 1)
+            .cloned()
+            .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+    };
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let raw = value(args, i, flag)?;
+        let bad = |e: &dyn std::fmt::Display| CliError::Usage(format!("{flag} {raw}: {e}"));
+        match flag {
+            "--from-end" => opts.from_end = raw.parse().map_err(|e| bad(&e))?,
+            "--from-period" => opts.from_period = Some(raw.parse().map_err(|e| bad(&e))?),
+            "--poll-ms" => opts.poll_ms = raw.parse().map_err(|e| bad(&e))?,
+            "--max-secs" => opts.max_secs = raw.parse().map_err(|e| bad(&e))?,
+            "--max-lines" => opts.max_lines = raw.parse().map_err(|e| bad(&e))?,
+            unknown => return Err(CliError::Usage(format!("unknown flag '{unknown}'"))),
+        }
+        i += 2;
+    }
+    Ok(opts)
+}
+
+fn follow(path: &str, opts: &FollowOpts) -> Result<(), CliError> {
+    use std::io::Write;
+    let mut follower = match opts.from_period {
+        Some(period) => {
+            let (follower, used_index) = wal::Follower::from_period(path, period)?;
+            eprintln!(
+                "following {path} from period {period} (via {})",
+                if used_index { "index" } else { "full scan" }
+            );
+            follower
+        }
+        None => wal::Follower::from_end(path, opts.from_end)?,
+    };
+    let started = std::time::Instant::now();
+    let mut printed = 0u64;
+    let stdout = std::io::stdout();
+    loop {
+        let lines = follower.poll()?;
+        let mut out = stdout.lock();
+        for line in &lines {
+            // Malformed lines pass through raw: a live stream mid-write
+            // is not a reason to die.
+            match ObsRecord::from_line(line) {
+                Ok(record) => writeln!(out, "{:>8} {line}", record.seq)?,
+                Err(_) => writeln!(out, "       ? {line}")?,
+            }
+            printed += 1;
+            if opts.max_lines > 0 && printed >= opts.max_lines {
+                return Ok(());
+            }
+        }
+        out.flush()?;
+        drop(out);
+        if opts.max_secs > 0.0 && started.elapsed().as_secs_f64() >= opts.max_secs {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(opts.poll_ms));
+    }
+}
+
 fn seek(path: &str, period: u64) -> Result<(), CliError> {
     let out = wal::seek_period(path, period)?;
     let via = if out.used_index { "index" } else { "full scan" };
@@ -335,6 +423,11 @@ fn run(args: &[String]) -> Result<(), CliError> {
             let path = require(args, 2, "file")?;
             let n: usize = parse_arg(args, 3, "n", 10)?;
             tail(path, n)
+        }
+        "follow" => {
+            let path = require(args, 2, "file")?;
+            let opts = parse_follow_opts(&args[3..])?;
+            follow(path, &opts)
         }
         "seek" => {
             let path = require(args, 2, "file")?;

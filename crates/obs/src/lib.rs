@@ -34,7 +34,9 @@ pub mod wal;
 pub use jpmd_store::cli;
 
 pub use event::{CandidatePower, ObsEvent, ObsRecord};
-pub use metrics::{Counter, Gauge, HistogramHandle, MetricValue, MetricsRegistry, MetricsSnapshot};
+pub use metrics::{
+    labeled, Counter, Gauge, HistogramHandle, MetricValue, MetricsRegistry, MetricsSnapshot,
+};
 pub use sink::{JsonlSink, MemorySink, NullSink, Sink, WalIndexPos, WalPolicy};
 pub use span::{SpanGuard, SpanRecorder, SpanTiming};
 

@@ -235,6 +235,102 @@ impl MetricsRegistry {
     }
 }
 
+/// Builds a labeled metric name — `name{key="value",…}` — for use as a
+/// registry key, escaping label values the way the Prometheus text
+/// exposition expects (`\` → `\\`, `"` → `\"`, newline → `\n`).
+///
+/// The registry itself treats the result as an opaque name; the labels
+/// become real Prometheus labels when the snapshot is rendered with
+/// [`MetricsSnapshot::to_prometheus_text`]. Keys should be valid
+/// Prometheus label names (`[a-zA-Z_][a-zA-Z0-9_]*`); they are emitted
+/// as-is.
+///
+/// ```
+/// use jpmd_obs::labeled;
+/// assert_eq!(labeled("serve.decisions", &[("tenant", "t0")]),
+///            "serve.decisions{tenant=\"t0\"}");
+/// ```
+pub fn labeled(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut out = String::with_capacity(name.len() + 16 * labels.len());
+    out.push_str(name);
+    out.push('{');
+    for (i, (key, value)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(key);
+        out.push_str("=\"");
+        for c in value.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+/// Maps a registry metric name to a valid Prometheus metric name: dots
+/// (this codebase's namespace separator) and any other invalid character
+/// become underscores, with a leading underscore added when the name
+/// starts with a digit.
+fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        match c {
+            'a'..='z' | 'A'..='Z' | '_' | ':' => out.push(c),
+            '0'..='9' => {
+                if i == 0 {
+                    out.push('_');
+                }
+                out.push(c);
+            }
+            _ => out.push('_'),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` the way the Prometheus text exposition expects
+/// (`+Inf` / `-Inf` / `NaN` spellings).
+fn prometheus_f64(value: f64) -> String {
+    if value.is_nan() {
+        "NaN".to_string()
+    } else if value == f64::INFINITY {
+        "+Inf".to_string()
+    } else if value == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{value}")
+    }
+}
+
+/// Splits a registry key into its Prometheus family name and label block
+/// (`""` when unlabeled): `"a.b{t=\"x\"}"` → (`"a_b"`, `"{t=\"x\"}"`).
+fn split_family(key: &str) -> (String, &str) {
+    match key.find('{') {
+        Some(brace) => (prometheus_name(&key[..brace]), &key[brace..]),
+        None => (prometheus_name(key), ""),
+    }
+}
+
+/// Merges an extra `le` (or similar) label into an existing label block.
+fn with_extra_label(labels: &str, key: &str, value: &str) -> String {
+    if labels.is_empty() {
+        format!("{{{key}=\"{value}\"}}")
+    } else {
+        let inner = &labels[1..labels.len() - 1];
+        format!("{{{inner},{key}=\"{value}\"}}")
+    }
+}
+
 /// One metric's value inside a [`MetricsSnapshot`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum MetricValue {
@@ -268,6 +364,73 @@ impl MetricsSnapshot {
             MetricValue::Gauge(g) if n == name => Some(*g),
             _ => None,
         })
+    }
+
+    /// Renders the snapshot in Prometheus text-exposition format
+    /// (version 0.0.4, the `text/plain` scrape format).
+    ///
+    /// Registry names are mapped to Prometheus names (dots become
+    /// underscores, illegal characters too); a `{…}` suffix
+    /// produced by [`labeled`] becomes real labels. All samples of one
+    /// family are grouped under a single `# TYPE` line, as the format
+    /// requires. Counters render as integers, gauges as floats
+    /// (`+Inf`/`-Inf`/`NaN` spelled the Prometheus way), and histograms
+    /// as cumulative `_bucket{le=…}` series plus `_count` and `_sum` —
+    /// the sum is estimated from bin midpoints because the underlying
+    /// sketch stores counts only.
+    pub fn to_prometheus_text(&self) -> String {
+        // Group samples by family so every family gets exactly one
+        // `# TYPE` line (BTreeMap keeps output deterministic).
+        let mut families: BTreeMap<String, (&'static str, Vec<String>)> = BTreeMap::new();
+        for (key, value) in &self.values {
+            let (family, labels) = split_family(key);
+            match value {
+                MetricValue::Counter(count) => {
+                    families
+                        .entry(family.clone())
+                        .or_insert(("counter", Vec::new()))
+                        .1
+                        .push(format!("{family}{labels} {count}"));
+                }
+                MetricValue::Gauge(gauge) => {
+                    families
+                        .entry(family.clone())
+                        .or_insert(("gauge", Vec::new()))
+                        .1
+                        .push(format!("{family}{labels} {}", prometheus_f64(*gauge)));
+                }
+                MetricValue::Histogram(hist) => {
+                    let entry = families
+                        .entry(family.clone())
+                        .or_insert(("histogram", Vec::new()));
+                    let mut cumulative = hist.underflow();
+                    let mut sum = 0.0;
+                    for i in 0..hist.num_bins() {
+                        let (lo, hi) = hist.bin_bounds(i);
+                        cumulative += hist.bin_count(i);
+                        sum += hist.bin_count(i) as f64 * (lo + hi) / 2.0;
+                        let le = with_extra_label(labels, "le", &prometheus_f64(hi));
+                        entry.1.push(format!("{family}_bucket{le} {cumulative}"));
+                    }
+                    cumulative += hist.overflow();
+                    let le = with_extra_label(labels, "le", "+Inf");
+                    entry.1.push(format!("{family}_bucket{le} {cumulative}"));
+                    entry
+                        .1
+                        .push(format!("{family}_sum{labels} {}", prometheus_f64(sum)));
+                    entry.1.push(format!("{family}_count{labels} {cumulative}"));
+                }
+            }
+        }
+        let mut out = String::new();
+        for (family, (kind, lines)) in &families {
+            out.push_str(&format!("# TYPE {family} {kind}\n"));
+            for line in lines {
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        out
     }
 }
 
@@ -337,6 +500,78 @@ mod tests {
         let registry = MetricsRegistry::new();
         registry.gauge("mixed");
         registry.counter("mixed");
+    }
+
+    #[test]
+    fn labeled_escapes_values() {
+        assert_eq!(labeled("m", &[]), "m");
+        assert_eq!(
+            labeled("serve.qps", &[("tenant", "a\"b\\c\nd")]),
+            "serve.qps{tenant=\"a\\\"b\\\\c\\nd\"}"
+        );
+        assert_eq!(
+            labeled("m", &[("a", "1"), ("b", "2")]),
+            "m{a=\"1\",b=\"2\"}"
+        );
+    }
+
+    #[test]
+    fn prometheus_text_renders_all_kinds() {
+        let registry = MetricsRegistry::new();
+        registry
+            .counter(&labeled("serve.decisions", &[("tenant", "t0")]))
+            .add(3);
+        registry
+            .counter(&labeled("serve.decisions", &[("tenant", "t1")]))
+            .add(5);
+        registry.gauge("serve.tenants").set(2.0);
+        registry.gauge("serve.inf").set(f64::INFINITY);
+        let h = registry.histogram("serve.latency", 0.0, 1.0, 2);
+        h.record(0.25);
+        h.record(0.75);
+        h.record(9.0); // overflow
+        let text = registry.snapshot().to_prometheus_text();
+        assert!(text.contains("# TYPE serve_decisions counter\n"));
+        assert!(text.contains("serve_decisions{tenant=\"t0\"} 3\n"));
+        assert!(text.contains("serve_decisions{tenant=\"t1\"} 5\n"));
+        assert!(text.contains("# TYPE serve_tenants gauge\n"));
+        assert!(text.contains("serve_tenants 2\n"));
+        assert!(text.contains("serve_inf +Inf\n"));
+        assert!(text.contains("# TYPE serve_latency histogram\n"));
+        assert!(text.contains("serve_latency_bucket{le=\"0.5\"} 1\n"));
+        assert!(text.contains("serve_latency_bucket{le=\"1\"} 2\n"));
+        assert!(text.contains("serve_latency_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("serve_latency_count 3\n"));
+
+        // Structural validity: every non-comment line is `name[{labels}] value`,
+        // each family has exactly one TYPE line, samples follow their TYPE.
+        let mut seen_types = std::collections::BTreeSet::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split(' ');
+                let family = parts.next().expect("family");
+                let kind = parts.next().expect("kind");
+                assert!(["counter", "gauge", "histogram"].contains(&kind));
+                assert!(seen_types.insert(family.to_string()), "duplicate TYPE");
+            } else {
+                let (series, value) = line.rsplit_once(' ').expect("sample line");
+                let name = series.split('{').next().expect("name");
+                assert!(name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'));
+                assert!(
+                    value.parse::<f64>().is_ok() || ["+Inf", "-Inf", "NaN"].contains(&value),
+                    "unparseable value: {value}"
+                );
+                let family = seen_types.iter().any(|f: &String| {
+                    name == *f
+                        || name == format!("{f}_bucket")
+                        || name == format!("{f}_sum")
+                        || name == format!("{f}_count")
+                });
+                assert!(family, "sample before its TYPE line: {line}");
+            }
+        }
     }
 
     #[test]

@@ -146,6 +146,166 @@ pub fn tail_lines(path: impl AsRef<Path>, n: usize) -> io::Result<Vec<String>> {
     Ok(complete[skip..].iter().map(|s| s.to_string()).collect())
 }
 
+/// A polling tail over a live, append-only WAL: remembers its byte
+/// offset between [`Follower::poll`] calls and returns only complete
+/// lines appended since the last poll. A torn trailing write (no final
+/// newline yet) is buffered and completed by a later poll; a file that
+/// shrank (rotation/truncation) resets the follower to byte 0.
+///
+/// Built for `obs-tool follow`, but usable anywhere a process wants to
+/// watch another process's telemetry stream without holding it open.
+#[derive(Debug)]
+pub struct Follower {
+    path: std::path::PathBuf,
+    offset: u64,
+    partial: Vec<u8>,
+}
+
+impl Follower {
+    /// A follower positioned at byte 0 (replays the whole existing file
+    /// on the first poll, then follows).
+    pub fn from_start(path: impl AsRef<Path>) -> Follower {
+        Follower {
+            path: path.as_ref().to_path_buf(),
+            offset: 0,
+            partial: Vec::new(),
+        }
+    }
+
+    /// A follower positioned `last_lines` complete lines before the
+    /// current end of file — the first poll returns that backlog, later
+    /// polls return only new lines. Finds the position with backward
+    /// block reads (O(`last_lines`), not O(file)), like [`tail_lines`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures (a missing file is an error here; create
+    /// the WAL before following it).
+    pub fn from_end(path: impl AsRef<Path>, last_lines: usize) -> io::Result<Follower> {
+        const BLOCK: u64 = 64 * 1024;
+        let path = path.as_ref();
+        let mut file = File::open(path)?;
+        let len = file.metadata()?.len();
+        let mut tail: Vec<u8> = Vec::new();
+        let mut unread = len;
+        while unread > 0 {
+            let start = unread.saturating_sub(BLOCK);
+            let mut block = vec![0u8; (unread - start) as usize];
+            file.seek(SeekFrom::Start(start))?;
+            file.read_exact(&mut block)?;
+            block.extend_from_slice(&tail);
+            tail = block;
+            unread = start;
+            if tail.iter().filter(|&&b| b == b'\n').count() > last_lines {
+                break;
+            }
+        }
+        // Complete lines start at byte 0 (when the scan reached it) or
+        // right after a newline, and are terminated by a later newline.
+        let newlines: Vec<usize> = tail
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| (b == b'\n').then_some(i))
+            .collect();
+        let offset = match newlines.last() {
+            None => unread, // no complete line in view: follow from here
+            Some(&last_nl) => {
+                let mut starts: Vec<u64> = Vec::new();
+                if unread == 0 {
+                    starts.push(0);
+                }
+                starts.extend(
+                    newlines
+                        .iter()
+                        .filter(|&&nl| nl < last_nl)
+                        .map(|&nl| unread + nl as u64 + 1),
+                );
+                if last_lines == 0 || starts.len() < last_lines {
+                    // Either no backlog wanted, or fewer complete lines
+                    // exist than asked for: start after the last newline
+                    // (backlog = everything in view) respectively.
+                    if last_lines == 0 {
+                        unread + last_nl as u64 + 1
+                    } else {
+                        *starts.first().unwrap_or(&(unread + last_nl as u64 + 1))
+                    }
+                } else {
+                    starts[starts.len() - last_lines]
+                }
+            }
+        };
+        Ok(Follower {
+            path: path.to_path_buf(),
+            offset,
+            partial: Vec::new(),
+        })
+    }
+
+    /// A follower positioned at the first record at-or-past `period`,
+    /// using the `<wal>.jx` index when present and verified (the bool
+    /// reports whether it was). When no such record exists yet the
+    /// follower starts at the end of the file, waiting for it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn from_period(path: impl AsRef<Path>, period: u64) -> io::Result<(Follower, bool)> {
+        let path = path.as_ref();
+        let outcome = seek_period(path, period)?;
+        match outcome.hit {
+            Some((offset, _)) => Ok((
+                Follower {
+                    path: path.to_path_buf(),
+                    offset,
+                    partial: Vec::new(),
+                },
+                outcome.used_index,
+            )),
+            None => Ok((Follower::from_end(path, 0)?, outcome.used_index)),
+        }
+    }
+
+    /// The follower's current byte offset (start of the next unread
+    /// line, plus any buffered torn tail).
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Complete lines appended since the last poll (or since the
+    /// follower's start position). Empty when nothing new landed. A file
+    /// that shrank resets the follower to byte 0 and replays from there.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures (including the file disappearing).
+    pub fn poll(&mut self) -> io::Result<Vec<String>> {
+        let mut file = File::open(&self.path)?;
+        let len = file.metadata()?.len();
+        if len < self.offset {
+            self.offset = 0;
+            self.partial.clear();
+        }
+        if len > self.offset {
+            file.seek(SeekFrom::Start(self.offset))?;
+            let mut fresh = Vec::with_capacity((len - self.offset) as usize);
+            file.take(len - self.offset).read_to_end(&mut fresh)?;
+            self.offset += fresh.len() as u64;
+            self.partial.extend_from_slice(&fresh);
+        }
+        let Some(last_nl) = self.partial.iter().rposition(|&b| b == b'\n') else {
+            return Ok(Vec::new());
+        };
+        let rest = self.partial.split_off(last_nl + 1);
+        let complete = std::mem::replace(&mut self.partial, rest);
+        let text = String::from_utf8_lossy(&complete);
+        Ok(text
+            .split('\n')
+            .filter(|line| !line.is_empty())
+            .map(str::to_string)
+            .collect())
+    }
+}
+
 /// Rebuilds the `<wal>.jx` sidecar for an existing WAL from scratch,
 /// indexing every `stride`-th period-carrying record. Returns the number
 /// of entries written.
@@ -404,6 +564,72 @@ mod tests {
         assert!(tail_lines(&path, 0).unwrap().is_empty());
         let all = tail_lines(&path, 10_000).unwrap();
         assert_eq!(all.len(), 20, "asking for more than exists returns all");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn follower_sees_appends_and_buffers_torn_tails() {
+        let path = tmp("follow");
+        write_wal(&path, 5);
+        let mut follower = Follower::from_end(&path, 2).unwrap();
+        // Backlog: the last 2 complete lines.
+        let backlog = follower.poll().unwrap();
+        assert_eq!(backlog.len(), 2);
+        assert_eq!(
+            ObsRecord::from_line(&backlog[1]).unwrap().event.period(),
+            Some(4)
+        );
+        assert!(follower.poll().unwrap().is_empty());
+        // Torn write: half a line now, the rest (plus another line) later.
+        let full = period_record(100, 50).to_line();
+        let (head, rest) = full.split_at(10);
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        write!(f, "{head}").unwrap();
+        f.sync_all().unwrap();
+        assert!(follower.poll().unwrap().is_empty(), "torn tail must wait");
+        writeln!(f, "{rest}").unwrap();
+        writeln!(f, "{}", message_record(101).to_line()).unwrap();
+        drop(f);
+        let lines = follower.poll().unwrap();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], full, "torn halves reassembled");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn follower_from_start_end_and_period() {
+        let path = tmp("follow-pos");
+        write_wal(&path, 20);
+        build_index(&path, 4).unwrap();
+        let mut all = Follower::from_start(&path);
+        assert_eq!(all.poll().unwrap().len(), 40);
+
+        let mut fresh = Follower::from_end(&path, 0).unwrap();
+        assert!(fresh.poll().unwrap().is_empty());
+
+        let (mut from_p, used_index) = Follower::from_period(&path, 15).unwrap();
+        assert!(used_index);
+        let lines = from_p.poll().unwrap();
+        assert_eq!(
+            ObsRecord::from_line(&lines[0]).unwrap().event.period(),
+            Some(15)
+        );
+        // period 15..19 plus the message between each: 10 lines? Each
+        // period record is followed by the next period's message.
+        assert_eq!(lines.len(), 9);
+
+        // Asking for more backlog than exists returns everything.
+        let mut big = Follower::from_end(&path, 10_000).unwrap();
+        assert_eq!(big.poll().unwrap().len(), 40);
+
+        // Truncation resets to byte 0.
+        write_wal(&path, 2);
+        let replay = from_p.poll().unwrap();
+        assert_eq!(replay.len(), 4);
+        std::fs::remove_file(index_path(&path)).ok();
         std::fs::remove_file(&path).ok();
     }
 

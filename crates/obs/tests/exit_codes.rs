@@ -82,6 +82,67 @@ fn summary_of_a_gap_free_stream_exits_0_and_reports_zero_gaps() {
 }
 
 #[test]
+fn follow_streams_backlog_then_live_appends() {
+    use std::io::Write;
+
+    let path = telemetry_file("follow.jsonl", 4);
+    let child = Command::new(env!("CARGO_BIN_EXE_obs_tool"))
+        .args([
+            "follow",
+            path.to_str().unwrap(),
+            "--from-end",
+            "2",
+            "--poll-ms",
+            "25",
+            "--max-lines",
+            "5",
+            "--max-secs",
+            "30", // safety net only; --max-lines ends the run
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn obs_tool follow");
+
+    // Give the follower time to position and drain its backlog, then
+    // append three live records the way a running daemon would.
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&path)
+        .expect("reopen WAL");
+    for i in 0..3 {
+        writeln!(
+            f,
+            "{}",
+            jpmd_obs::ObsRecord {
+                seq: 4 + i,
+                t_wall_ms: None,
+                shard: None,
+                event: ObsEvent::Message {
+                    text: format!("live{i}"),
+                },
+            }
+            .to_line()
+        )
+        .expect("append record");
+        f.sync_all().expect("sync");
+    }
+    drop(f);
+
+    let out = child.wait_with_output().expect("follow output");
+    assert_eq!(out.status.code(), Some(0), "follow must exit cleanly");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 5, "2 backlog + 3 live: {stdout}");
+    assert!(lines[0].contains("m2"), "backlog starts 2 from the end");
+    assert!(lines[1].contains("m3"));
+    for (i, line) in lines[2..].iter().enumerate() {
+        assert!(line.contains(&format!("live{i}")), "{stdout}");
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn summary_counts_a_manufactured_seq_gap() {
     let path = telemetry_file("gappy.jsonl", 6);
     // Drop a middle line: seq 0,1,3,4,5 has exactly one gap.

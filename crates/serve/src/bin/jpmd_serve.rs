@@ -1,0 +1,115 @@
+//! The `jpmd-serve` daemon binary.
+//!
+//! Binds a loopback TCP listener, serves the line protocol and
+//! `GET /metrics`, and seals per-tenant checkpoints on `SHUTDOWN` or
+//! `SIGTERM`. With `--port 0` (the default) the kernel picks the port;
+//! `--addr-file` publishes the bound address for scripts.
+//!
+//! ```text
+//! jpmd_serve --dir runs/serve [--port 0] [--addr-file PATH]
+//!            [--period-secs 300] [--default-pages 4096]
+//!            [--shed-high 100000] [--shed-low 20000]
+//!            [--batch 512] [--workers 0] [--max-tenants 1024]
+//!            [--resume] [--no-telemetry]
+//! ```
+//!
+//! Exit codes follow the workspace convention: `0` clean shutdown, `1`
+//! runtime failure, `2` bad invocation.
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use jpmd_serve::{install_sigterm_handler, Daemon, ServeConfig};
+
+const USAGE: &str = "usage: jpmd_serve --dir DIR [--port N] [--addr-file PATH] \
+[--period-secs S] [--duration-secs S] [--default-pages N] [--max-tenants N] \
+[--shed-high N] [--shed-low N] [--batch N] [--workers N] [--resume] [--no-telemetry]";
+
+enum CliError {
+    Usage(String),
+    Runtime(String),
+}
+
+fn parse_value<T: std::str::FromStr>(
+    args: &[String],
+    i: &mut usize,
+    flag: &str,
+) -> Result<T, CliError> {
+    *i += 1;
+    let word = args
+        .get(*i)
+        .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))?;
+    word.parse()
+        .map_err(|_| CliError::Usage(format!("bad value '{word}' for {flag}")))
+}
+
+fn parse_config(args: &[String]) -> Result<(ServeConfig, Option<String>), CliError> {
+    let mut dir: Option<String> = None;
+    let mut addr_file: Option<String> = None;
+    let mut cfg = ServeConfig::new(".");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--dir" => dir = Some(parse_value(args, &mut i, "--dir")?),
+            "--addr-file" => addr_file = Some(parse_value(args, &mut i, "--addr-file")?),
+            "--port" => cfg.port = parse_value(args, &mut i, "--port")?,
+            "--period-secs" => cfg.period_secs = parse_value(args, &mut i, "--period-secs")?,
+            "--duration-secs" => cfg.duration_secs = parse_value(args, &mut i, "--duration-secs")?,
+            "--default-pages" => cfg.default_pages = parse_value(args, &mut i, "--default-pages")?,
+            "--max-tenants" => cfg.max_tenants = parse_value(args, &mut i, "--max-tenants")?,
+            "--shed-high" => cfg.shed_high = parse_value(args, &mut i, "--shed-high")?,
+            "--shed-low" => cfg.shed_low = parse_value(args, &mut i, "--shed-low")?,
+            "--batch" => cfg.batch = parse_value(args, &mut i, "--batch")?,
+            "--workers" => cfg.workers = parse_value(args, &mut i, "--workers")?,
+            "--resume" => cfg.resume = true,
+            "--no-telemetry" => cfg.telemetry = false,
+            other => return Err(CliError::Usage(format!("unknown flag '{other}'"))),
+        }
+        i += 1;
+    }
+    let dir = dir.ok_or_else(|| CliError::Usage("--dir is required".into()))?;
+    cfg.dir = dir.into();
+    if cfg.shed_low >= cfg.shed_high {
+        return Err(CliError::Usage(
+            "--shed-low must be below --shed-high".into(),
+        ));
+    }
+    Ok((cfg, addr_file))
+}
+
+fn run(args: &[String]) -> Result<(), CliError> {
+    let (cfg, addr_file) = parse_config(args)?;
+    install_sigterm_handler();
+    let resumed = cfg.resume;
+    let daemon = Daemon::start(cfg).map_err(|e| CliError::Runtime(e.to_string()))?;
+    let addr = daemon.addr();
+    if let Some(path) = addr_file {
+        // Write-then-rename so a watcher never reads a half-written
+        // address.
+        let tmp = format!("{path}.tmp");
+        std::fs::write(&tmp, format!("{addr}\n")).map_err(|e| CliError::Runtime(e.to_string()))?;
+        std::fs::rename(&tmp, &path).map_err(|e| CliError::Runtime(e.to_string()))?;
+    }
+    println!(
+        "jpmd-serve listening on {addr}{}",
+        if resumed { " (resumed)" } else { "" }
+    );
+    std::io::stdout().flush().ok();
+    daemon.join().map_err(|e| CliError::Runtime(e.to_string()))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(CliError::Usage(msg)) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+        Err(CliError::Runtime(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(1)
+        }
+    }
+}

@@ -1,0 +1,432 @@
+//! Load generator and control client for the `jpmd-serve` daemon.
+//!
+//! `run` drives N concurrent tenants over TCP with seeded synthetic
+//! workloads ([`jpmd_trace::WorkloadBuilder`]) — closed-loop (paced by
+//! `PING` backlog probes) or open-loop (target records/s per tenant) —
+//! optionally churning tenants (close + reopen mid-stream), waits for
+//! the daemon to drain, and reports sustained tenants × records/s into
+//! a JSON results file.
+//!
+//! The other verbs are thin control-plane clients so scripts and CI
+//! need neither `curl` nor `nc`:
+//!
+//! ```text
+//! serve_loadgen run --addr HOST:PORT [--tenants 32] [--seed 1]
+//!                   [--duration-secs 1800] [--data-mb 256] [--rate-mb 2]
+//!                   [--qps N] [--churn] [--max-backlog 200000]
+//!                   [--report results/serve_bench.json]
+//! serve_loadgen metrics --addr HOST:PORT          # GET /metrics body
+//! serve_loadgen query --addr HOST:PORT TENANT timeout|banks|misscurve|energy|status
+//! serve_loadgen stats --addr HOST:PORT
+//! serve_loadgen shutdown --addr HOST:PORT
+//! ```
+//!
+//! Exit codes: `0` ok, `1` runtime failure (including an `ERR`
+//! response), `2` bad invocation.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use jpmd_serve::proto::format_feed;
+use jpmd_trace::{TraceSource, WorkloadBuilder, MIB};
+
+const USAGE: &str =
+    "usage: serve_loadgen <run|metrics|query|stats|shutdown> --addr HOST:PORT [options]
+  run      [--tenants N] [--seed N] [--duration-secs S] [--data-mb N] [--rate-mb N]
+           [--qps N] [--churn] [--max-backlog N] [--report PATH] [--no-drain]
+  query    TENANT timeout|banks|misscurve|energy|status";
+
+enum CliError {
+    Usage(String),
+    Runtime(String),
+}
+
+fn runtime(e: impl std::fmt::Display) -> CliError {
+    CliError::Runtime(e.to_string())
+}
+
+/// One request/response exchange on a fresh connection.
+fn exchange(addr: &str, line: &str) -> Result<String, CliError> {
+    let stream = TcpStream::connect(addr).map_err(runtime)?;
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone().map_err(runtime)?);
+    let mut writer = stream;
+    writeln!(writer, "{line}").map_err(runtime)?;
+    writer.flush().map_err(runtime)?;
+    let mut response = String::new();
+    reader.read_line(&mut response).map_err(runtime)?;
+    Ok(response.trim_end().to_string())
+}
+
+/// Fetches an HTTP path from the daemon and returns the body.
+fn http_get(addr: &str, path: &str) -> Result<String, CliError> {
+    let mut stream = TcpStream::connect(addr).map_err(runtime)?;
+    write!(stream, "GET {path} HTTP/1.0\r\nHost: jpmd-serve\r\n\r\n").map_err(runtime)?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).map_err(runtime)?;
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body)
+        .unwrap_or("");
+    Ok(body.to_string())
+}
+
+/// Parses the backlog out of an `OK pong queued <n>` response.
+fn parse_queued(response: &str) -> Option<u64> {
+    let mut words = response.split_ascii_whitespace();
+    while let Some(word) = words.next() {
+        if word == "queued" {
+            return words.next()?.parse().ok();
+        }
+    }
+    None
+}
+
+/// A persistent protocol connection: `feed` is fire-and-forget,
+/// `ask` is one request/response round trip.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: std::io::BufWriter<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Result<Self, CliError> {
+        let stream = TcpStream::connect(addr).map_err(runtime)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone().map_err(runtime)?),
+            writer: std::io::BufWriter::new(stream),
+        })
+    }
+
+    fn feed(&mut self, line: &str) -> Result<(), CliError> {
+        writeln!(self.writer, "{line}").map_err(runtime)
+    }
+
+    fn ask(&mut self, line: &str) -> Result<String, CliError> {
+        writeln!(self.writer, "{line}").map_err(runtime)?;
+        self.writer.flush().map_err(runtime)?;
+        let mut response = String::new();
+        self.reader.read_line(&mut response).map_err(runtime)?;
+        Ok(response.trim_end().to_string())
+    }
+
+    /// `OPEN` with retries — the daemon rejects admissions while
+    /// shedding, and a churning tenant must get back in eventually.
+    fn open(&mut self, name: &str, pages: u64) -> Result<(), CliError> {
+        let mut last = String::new();
+        for _ in 0..50 {
+            let reply = self.ask(&format!("OPEN {name} {pages}"))?;
+            if reply.starts_with("OK") {
+                return Ok(());
+            }
+            last = reply;
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        Err(CliError::Runtime(format!("open {name}: {last}")))
+    }
+}
+
+#[derive(Clone)]
+struct RunOpts {
+    addr: String,
+    tenants: usize,
+    seed: u64,
+    duration_secs: f64,
+    data_mb: u64,
+    rate_mb: u64,
+    /// Open-loop target records/s per tenant; 0 = closed loop.
+    qps: f64,
+    churn: bool,
+    max_backlog: u64,
+    report: String,
+    drain: bool,
+}
+
+impl RunOpts {
+    fn new(addr: String) -> Self {
+        RunOpts {
+            addr,
+            tenants: 32,
+            seed: 1,
+            duration_secs: 1800.0,
+            data_mb: 256,
+            rate_mb: 2,
+            qps: 0.0,
+            churn: false,
+            max_backlog: 200_000,
+            report: "results/serve_bench.json".into(),
+            drain: true,
+        }
+    }
+}
+
+/// Streams one tenant's workload; returns records sent.
+fn drive_tenant(opts: &RunOpts, index: usize) -> Result<u64, CliError> {
+    let name = format!("tenant-{index:03}");
+    let trace = WorkloadBuilder::new()
+        .data_set_bytes(opts.data_mb * MIB)
+        .rate_bytes_per_sec(opts.rate_mb * MIB)
+        .duration_secs(opts.duration_secs)
+        .seed(opts.seed + index as u64)
+        .build()
+        .map_err(runtime)?;
+    let pages = trace.total_pages();
+
+    let mut client = Client::connect(&opts.addr)?;
+    client.open(&name, pages)?;
+
+    let records: Vec<_> = {
+        let mut source = trace.source();
+        let mut out = Vec::new();
+        while let Some(next) = source.next_record() {
+            out.push(next.map_err(runtime)?);
+        }
+        out
+    };
+    let churn_at = if opts.churn {
+        records.len() / 2
+    } else {
+        usize::MAX
+    };
+    let started = Instant::now();
+    let mut sent = 0u64;
+    for (i, record) in records.iter().enumerate() {
+        if i == churn_at {
+            let reply = client.ask(&format!("CLOSE {name}"))?;
+            if !reply.starts_with("OK") {
+                return Err(CliError::Runtime(format!("close {name}: {reply}")));
+            }
+            client.open(&name, pages)?;
+        }
+        client.feed(&format_feed(&name, record))?;
+        sent += 1;
+        if sent.is_multiple_of(256) {
+            if opts.qps > 0.0 {
+                // Open loop: pace to the target rate, never wait on the
+                // daemon.
+                client.writer.flush().map_err(runtime)?;
+                let due = sent as f64 / opts.qps;
+                let elapsed = started.elapsed().as_secs_f64();
+                if due > elapsed {
+                    std::thread::sleep(Duration::from_secs_f64(due - elapsed));
+                }
+            } else {
+                // Closed loop: one PING round trip per batch, plus a
+                // backlog cap so the daemon is paced, not buried.
+                loop {
+                    let reply = client.ask("PING")?;
+                    match parse_queued(&reply) {
+                        Some(queued) if queued > opts.max_backlog => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        _ => break,
+                    }
+                }
+            }
+        }
+    }
+    client.writer.flush().map_err(runtime)?;
+    Ok(sent)
+}
+
+#[derive(serde::Serialize)]
+struct RunReportJson {
+    tenants: usize,
+    records_sent: u64,
+    send_secs: f64,
+    drain_secs: f64,
+    wall_secs: f64,
+    records_per_sec: f64,
+    mode: String,
+    qps_per_tenant: f64,
+    churn: bool,
+    seed: u64,
+    duration_secs: f64,
+    daemon_stats: String,
+}
+
+fn cmd_run(opts: &RunOpts) -> Result<(), CliError> {
+    let started = Instant::now();
+    let workers: Vec<_> = (0..opts.tenants)
+        .map(|index| {
+            let opts = opts.clone();
+            std::thread::spawn(move || drive_tenant(&opts, index))
+        })
+        .collect();
+    let mut records_sent = 0u64;
+    for worker in workers {
+        records_sent += worker
+            .join()
+            .map_err(|_| CliError::Runtime("tenant thread panicked".into()))??;
+    }
+    let send_secs = started.elapsed().as_secs_f64();
+
+    // Sustained throughput counts work the daemon *finished*: wait for
+    // the backlog to drain before stopping the clock.
+    let drain_started = Instant::now();
+    if opts.drain {
+        loop {
+            let reply = exchange(&opts.addr, "PING")?;
+            match parse_queued(&reply) {
+                Some(0) => break,
+                Some(_) => std::thread::sleep(Duration::from_millis(20)),
+                None => return Err(CliError::Runtime(format!("bad ping reply: {reply}"))),
+            }
+            if drain_started.elapsed() > Duration::from_secs(600) {
+                return Err(CliError::Runtime("drain timed out".into()));
+            }
+        }
+    }
+    let wall_secs = started.elapsed().as_secs_f64();
+    let stats = exchange(&opts.addr, "STATS")?;
+    let report = RunReportJson {
+        tenants: opts.tenants,
+        records_sent,
+        send_secs,
+        drain_secs: drain_started.elapsed().as_secs_f64(),
+        wall_secs,
+        records_per_sec: records_sent as f64 / wall_secs.max(f64::MIN_POSITIVE),
+        mode: if opts.qps > 0.0 { "open" } else { "closed" }.into(),
+        qps_per_tenant: opts.qps,
+        churn: opts.churn,
+        seed: opts.seed,
+        duration_secs: opts.duration_secs,
+        daemon_stats: stats,
+    };
+    println!(
+        "sustained {} tenants x {:.0} records/s ({} records in {:.2} s)",
+        report.tenants, report.records_per_sec, report.records_sent, report.wall_secs
+    );
+    if !opts.report.is_empty() {
+        if let Some(parent) = std::path::Path::new(&opts.report).parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(runtime)?;
+            }
+        }
+        let json = serde_json::to_string(&report).map_err(runtime)?;
+        std::fs::write(&opts.report, json + "\n").map_err(runtime)?;
+        println!("wrote {}", opts.report);
+    }
+    Ok(())
+}
+
+fn parse_value<T: std::str::FromStr>(
+    args: &[String],
+    i: &mut usize,
+    flag: &str,
+) -> Result<T, CliError> {
+    *i += 1;
+    let word = args
+        .get(*i)
+        .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))?;
+    word.parse()
+        .map_err(|_| CliError::Usage(format!("bad value '{word}' for {flag}")))
+}
+
+fn split_flags(args: &[String]) -> Result<(String, Vec<String>, Vec<String>), CliError> {
+    let mut addr = None;
+    let mut positional = Vec::new();
+    let mut flags = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--addr" {
+            addr = Some(parse_value::<String>(args, &mut i, "--addr")?);
+        } else if args[i].starts_with("--") {
+            flags.push(args[i].clone());
+            if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                flags.push(args[i + 1].clone());
+                i += 1;
+            }
+        } else {
+            positional.push(args[i].clone());
+        }
+        i += 1;
+    }
+    let addr = addr.ok_or_else(|| CliError::Usage("--addr is required".into()))?;
+    Ok((addr, positional, flags))
+}
+
+fn parse_run_opts(addr: String, flags: &[String]) -> Result<RunOpts, CliError> {
+    let mut opts = RunOpts::new(addr);
+    let mut i = 0;
+    while i < flags.len() {
+        match flags[i].as_str() {
+            "--tenants" => opts.tenants = parse_value(flags, &mut i, "--tenants")?,
+            "--seed" => opts.seed = parse_value(flags, &mut i, "--seed")?,
+            "--duration-secs" => {
+                opts.duration_secs = parse_value(flags, &mut i, "--duration-secs")?
+            }
+            "--data-mb" => opts.data_mb = parse_value(flags, &mut i, "--data-mb")?,
+            "--rate-mb" => opts.rate_mb = parse_value(flags, &mut i, "--rate-mb")?,
+            "--qps" => opts.qps = parse_value(flags, &mut i, "--qps")?,
+            "--churn" => opts.churn = true,
+            "--max-backlog" => opts.max_backlog = parse_value(flags, &mut i, "--max-backlog")?,
+            "--report" => opts.report = parse_value(flags, &mut i, "--report")?,
+            "--no-drain" => opts.drain = false,
+            other => return Err(CliError::Usage(format!("unknown flag '{other}'"))),
+        }
+        i += 1;
+    }
+    if opts.tenants == 0 {
+        return Err(CliError::Usage("--tenants must be positive".into()));
+    }
+    Ok(opts)
+}
+
+fn run(args: &[String]) -> Result<(), CliError> {
+    let verb = args
+        .first()
+        .ok_or_else(|| CliError::Usage("missing subcommand".into()))?;
+    let (addr, positional, flags) = split_flags(&args[1..])?;
+    match verb.as_str() {
+        "run" => {
+            if !positional.is_empty() {
+                return Err(CliError::Usage("run takes no positional arguments".into()));
+            }
+            cmd_run(&parse_run_opts(addr, &flags)?)
+        }
+        "metrics" => {
+            print!("{}", http_get(&addr, "/metrics")?);
+            Ok(())
+        }
+        "query" => {
+            let [tenant, what] = positional.as_slice() else {
+                return Err(CliError::Usage("query TENANT WHAT".into()));
+            };
+            let reply = exchange(&addr, &format!("QUERY {tenant} {what}"))?;
+            println!("{reply}");
+            if reply.starts_with("ERR") {
+                return Err(CliError::Runtime(format!("query failed: {reply}")));
+            }
+            Ok(())
+        }
+        "stats" => {
+            println!("{}", exchange(&addr, "STATS")?);
+            Ok(())
+        }
+        "shutdown" => {
+            println!("{}", exchange(&addr, "SHUTDOWN")?);
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!("unknown subcommand '{other}'"))),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(CliError::Usage(msg)) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+        Err(CliError::Runtime(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(1)
+        }
+    }
+}

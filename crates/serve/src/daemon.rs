@@ -1,0 +1,738 @@
+//! The daemon: listener, worker pool, tenant registry, metrics
+//! endpoint, and the shutdown/seal/resume machinery.
+//!
+//! ## Threading model
+//!
+//! One **accept** thread owns the listener and, at shutdown, the seal.
+//! Each client connection gets its own thread that parses request
+//! lines; `FEED` pushes the record onto the tenant's queue and wakes
+//! the worker pool, every other verb answers inline. A fixed pool of
+//! **worker** threads pulls runnable tenants off an MPMC-ish channel
+//! (an `mpsc` receiver behind a mutex) and advances each tenant's
+//! [`PolicyStepper`] by at most one batch before yielding the tenant
+//! back to the queue — so a tenant with a deep backlog cannot starve
+//! the rest, and control queries (which take the same per-tenant lock)
+//! wait at most one batch.
+//!
+//! ## Backpressure
+//!
+//! The global queued-record count is the control signal. Crossing
+//! [`ServeConfig::shed_high`] flips the shared overload flag: every
+//! tenant's next period decision fails through
+//! [`OverloadPolicy`](crate::OverloadPolicy) (the degradation guard
+//! retreats joint → power-down → always-on) and new `OPEN`s are
+//! rejected. Draining below [`ServeConfig::shed_low`] clears the flag;
+//! the guards promote back on their own healthy-streak ladder. The
+//! daemon never blocks a stream to protect itself — it degrades
+//! decision quality instead.
+//!
+//! ## Durability
+//!
+//! `SHUTDOWN` (or `SIGTERM`) stops admissions, lets the workers drain,
+//! seals one `.jck` checkpoint per tenant ([`jpmd_ckpt`]'s
+//! crash-consistent protocol, WAL flushed first), and publishes a
+//! [`TenantManifest`] naming them all. A restart with
+//! [`ServeConfig::resume`] rebuilds every tenant from its image;
+//! clients replay their streams from the start and the stepper
+//! discards the already-consumed prefix.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use jpmd_ckpt::{
+    load_checkpoint, load_tenant_manifest, save_tenant_manifest, CkptMeta, FileCheckpointer,
+    TenantEntry, TenantManifest,
+};
+use jpmd_core::PolicyStepper;
+use jpmd_faults::FallbackLevel;
+use jpmd_obs::{labeled, Counter, Gauge, JsonlSink, MetricsRegistry, Telemetry, WalPolicy};
+use jpmd_trace::TraceRecord;
+
+use crate::proto::{parse_request, QueryKind, Request};
+use crate::tenant::{build_stepper, TenantController};
+use crate::{sigterm_received, ServeConfig};
+
+/// How often the accept loop polls for shutdown between connections.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+/// How long an idle worker waits before re-checking the exit condition.
+const WORKER_POLL: Duration = Duration::from_millis(50);
+
+/// One tenant as the daemon sees it: the inbound record queue and the
+/// policy stack behind it, separately locked so feeding never waits on
+/// a decision in progress.
+struct TenantHandle {
+    name: String,
+    /// Records accepted but not yet stepped.
+    queue: Mutex<VecDeque<TraceRecord>>,
+    /// True while the handle sits in the worker channel or a worker is
+    /// draining it — at most one worker touches a tenant at a time,
+    /// which is what keeps per-tenant telemetry deterministic.
+    scheduled: AtomicBool,
+    state: Mutex<TenantState>,
+}
+
+struct TenantState {
+    stepper: PolicyStepper<TenantController>,
+    telemetry: Telemetry,
+    pages: u64,
+    /// Feeds accepted over the tenant's lifetime (including a resumed
+    /// stream's discarded prefix).
+    records: u64,
+    /// The tenant's WAL path, when telemetry is on.
+    wal: Option<String>,
+    decisions: Counter,
+    records_metric: Counter,
+    level_gauge: Gauge,
+    energy_gauge: Gauge,
+}
+
+impl TenantState {
+    fn feed_batch(&mut self, batch: impl IntoIterator<Item = TraceRecord>) -> u64 {
+        let mut fed = 0u64;
+        for record in batch {
+            self.stepper.feed(record);
+            fed += 1;
+        }
+        let fresh = self.stepper.poll_rows().len() as u64;
+        self.decisions.add(fresh);
+        self.records += fed;
+        self.records_metric.add(fed);
+        let level = match self.stepper.controller().level() {
+            FallbackLevel::Joint => 0.0,
+            FallbackLevel::PowerDown => 1.0,
+            FallbackLevel::AlwaysOn => 2.0,
+        };
+        self.level_gauge.set(level);
+        self.energy_gauge.set(self.stepper.energy_so_far_j());
+        fed
+    }
+}
+
+/// A point-in-time copy of the daemon's global counters (the `STATS`
+/// verb, and the integration tests' window into the admission state).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DaemonStats {
+    /// Open tenants.
+    pub tenants: usize,
+    /// Records accepted but not yet stepped, across all tenants.
+    pub queued: u64,
+    /// Whether admission shedding is in force.
+    pub shedding: bool,
+    /// Records accepted over the daemon's lifetime.
+    pub records_total: u64,
+    /// `OPEN`s rejected (shedding or tenant cap).
+    pub rejected_opens: u64,
+}
+
+struct ServerState {
+    cfg: ServeConfig,
+    registry: MetricsRegistry,
+    tenants: Mutex<BTreeMap<String, Arc<TenantHandle>>>,
+    ready_tx: Mutex<Sender<Arc<TenantHandle>>>,
+    queued: AtomicU64,
+    /// Shared with every tenant's [`OverloadPolicy`](crate::OverloadPolicy):
+    /// one flag drives both policy degradation and `OPEN` rejection.
+    overload: Arc<AtomicBool>,
+    shutdown: AtomicBool,
+    tenants_gauge: Gauge,
+    queued_gauge: Gauge,
+    admission_gauge: Gauge,
+    records_total: Counter,
+    rejected_opens: Counter,
+    connections: Counter,
+}
+
+impl ServerState {
+    fn new(cfg: ServeConfig, ready_tx: Sender<Arc<TenantHandle>>) -> Self {
+        let registry = MetricsRegistry::new();
+        ServerState {
+            tenants_gauge: registry.gauge("serve.tenants"),
+            queued_gauge: registry.gauge("serve.queued"),
+            admission_gauge: registry.gauge("serve.admission.shedding"),
+            records_total: registry.counter("serve.records_total"),
+            rejected_opens: registry.counter("serve.rejected_opens"),
+            connections: registry.counter("serve.connections"),
+            cfg,
+            registry,
+            tenants: Mutex::new(BTreeMap::new()),
+            ready_tx: Mutex::new(ready_tx),
+            queued: AtomicU64::new(0),
+            overload: Arc::new(AtomicBool::new(false)),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    fn stats(&self) -> DaemonStats {
+        DaemonStats {
+            tenants: self.tenants.lock().expect("tenant map lock").len(),
+            queued: self.queued.load(Ordering::Acquire),
+            shedding: self.overload.load(Ordering::Relaxed),
+            records_total: self.records_total.get(),
+            rejected_opens: self.rejected_opens.get(),
+        }
+    }
+
+    fn lookup(&self, name: &str) -> Option<Arc<TenantHandle>> {
+        self.tenants
+            .lock()
+            .expect("tenant map lock")
+            .get(name)
+            .cloned()
+    }
+
+    fn schedule(&self, handle: Arc<TenantHandle>) {
+        // A send can only fail after the workers are gone, i.e. during
+        // shutdown — the seal drains whatever the channel missed.
+        let _ = self
+            .ready_tx
+            .lock()
+            .expect("ready sender lock")
+            .send(handle);
+    }
+
+    fn tenant_metrics(&self, name: &str) -> (Counter, Counter, Gauge, Gauge) {
+        let labels = [("tenant", name)];
+        (
+            self.registry
+                .counter(&labeled("serve.tenant.decisions", &labels)),
+            self.registry
+                .counter(&labeled("serve.tenant.records", &labels)),
+            self.registry.gauge(&labeled("serve.tenant.level", &labels)),
+            self.registry
+                .gauge(&labeled("serve.tenant.energy_j", &labels)),
+        )
+    }
+
+    fn wal_path(&self, name: &str) -> std::path::PathBuf {
+        self.cfg.dir.join(format!("{name}.jsonl"))
+    }
+
+    fn ckpt_path(&self, name: &str) -> std::path::PathBuf {
+        self.cfg.dir.join(format!("{name}.jck"))
+    }
+
+    /// Admits a tenant. Idempotent for an already-open name.
+    fn open(&self, name: &str, pages: Option<u64>) -> String {
+        if self.shutdown.load(Ordering::Acquire) {
+            return "ERR shutting down".into();
+        }
+        if self.overload.load(Ordering::Relaxed) {
+            self.rejected_opens.inc();
+            return "ERR shedding load, admission closed".into();
+        }
+        if let Some(existing) = self.lookup(name) {
+            let pages = existing.state.lock().expect("tenant state lock").pages;
+            return format!("OK opened {name} pages {pages}");
+        }
+        {
+            let tenants = self.tenants.lock().expect("tenant map lock");
+            if tenants.len() >= self.cfg.max_tenants {
+                self.rejected_opens.inc();
+                return format!("ERR tenant limit {} reached", self.cfg.max_tenants);
+            }
+        }
+        let pages = pages.unwrap_or(self.cfg.default_pages).max(1);
+        let (telemetry, wal) = if self.cfg.telemetry {
+            let path = self.wal_path(name);
+            match JsonlSink::create_with(&path, WalPolicy::wal()) {
+                Ok(sink) => (
+                    Telemetry::new(Box::new(sink)),
+                    Some(path.to_string_lossy().into_owned()),
+                ),
+                Err(e) => return format!("ERR telemetry: {e}"),
+            }
+        } else {
+            (Telemetry::disabled(), None)
+        };
+        let stepper = match build_stepper(
+            &self.cfg,
+            name,
+            pages,
+            &telemetry,
+            Arc::clone(&self.overload),
+            None,
+        ) {
+            Ok(stepper) => stepper,
+            Err(e) => return format!("ERR open failed: {e}"),
+        };
+        self.insert(name, stepper, telemetry, pages, 0, wal);
+        format!("OK opened {name} pages {pages}")
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn insert(
+        &self,
+        name: &str,
+        stepper: PolicyStepper<TenantController>,
+        telemetry: Telemetry,
+        pages: u64,
+        records: u64,
+        wal: Option<String>,
+    ) {
+        let (decisions, records_metric, level_gauge, energy_gauge) = self.tenant_metrics(name);
+        let handle = Arc::new(TenantHandle {
+            name: name.to_string(),
+            queue: Mutex::new(VecDeque::new()),
+            scheduled: AtomicBool::new(false),
+            state: Mutex::new(TenantState {
+                stepper,
+                telemetry,
+                pages,
+                records,
+                wal,
+                decisions,
+                records_metric,
+                level_gauge,
+                energy_gauge,
+            }),
+        });
+        let mut tenants = self.tenants.lock().expect("tenant map lock");
+        tenants.insert(name.to_string(), handle);
+        self.tenants_gauge.set(tenants.len() as f64);
+    }
+
+    /// The `FEED` fast path: enqueue, bump the backlog, wake a worker.
+    /// Fire-and-forget — records for unknown tenants (or after
+    /// shutdown began) are dropped.
+    fn feed(&self, name: &str, record: TraceRecord) {
+        if self.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let Some(handle) = self.lookup(name) else {
+            return;
+        };
+        handle
+            .queue
+            .lock()
+            .expect("tenant queue lock")
+            .push_back(record);
+        let backlog = self.queued.fetch_add(1, Ordering::AcqRel) + 1;
+        self.queued_gauge.set(backlog as f64);
+        if backlog >= self.cfg.shed_high && !self.overload.swap(true, Ordering::Relaxed) {
+            self.admission_gauge.set(1.0);
+        }
+        if !handle.scheduled.swap(true, Ordering::AcqRel) {
+            self.schedule(handle);
+        }
+    }
+
+    /// One worker turn: drain at most one batch from the tenant, then
+    /// yield it back to the run queue if records remain.
+    fn drain_one(&self, handle: &Arc<TenantHandle>) {
+        let drained = {
+            let mut state = handle.state.lock().expect("tenant state lock");
+            let batch: Vec<TraceRecord> = {
+                let mut queue = handle.queue.lock().expect("tenant queue lock");
+                let take = queue.len().min(self.cfg.batch.max(1));
+                queue.drain(..take).collect()
+            };
+            let fed = state.feed_batch(batch);
+            self.records_total.add(fed);
+            fed
+        };
+        if drained > 0 {
+            let backlog = self.queued.fetch_sub(drained, Ordering::AcqRel) - drained;
+            self.queued_gauge.set(backlog as f64);
+            if backlog < self.cfg.shed_low && self.overload.swap(false, Ordering::Relaxed) {
+                self.admission_gauge.set(0.0);
+            }
+        }
+        if !handle.queue.lock().expect("tenant queue lock").is_empty() {
+            // Still backlogged: keep `scheduled` set and requeue.
+            self.schedule(Arc::clone(handle));
+            return;
+        }
+        handle.scheduled.store(false, Ordering::Release);
+        // Close the race with a concurrent feed that saw `scheduled`
+        // still true and skipped the wake-up.
+        if !handle.queue.lock().expect("tenant queue lock").is_empty()
+            && !handle.scheduled.swap(true, Ordering::AcqRel)
+        {
+            self.schedule(Arc::clone(handle));
+        }
+    }
+
+    fn query(&self, name: &str, what: QueryKind) -> String {
+        let Some(handle) = self.lookup(name) else {
+            return format!("ERR unknown tenant '{name}'");
+        };
+        let state = handle.state.lock().expect("tenant state lock");
+        match what {
+            QueryKind::Timeout => format!("OK timeout_s {}", state.stepper.disk_timeout()),
+            QueryKind::Banks => format!(
+                "OK banks {} total {}",
+                state.stepper.enabled_banks(),
+                state.stepper.total_banks()
+            ),
+            QueryKind::Energy => format!("OK energy_j {}", state.stepper.energy_so_far_j()),
+            QueryKind::MissCurve => {
+                let evals = state
+                    .stepper
+                    .controller()
+                    .inner()
+                    .joint()
+                    .last_evaluations();
+                let mut line = format!("OK misscurve {}", evals.len());
+                for eval in evals {
+                    line.push_str(&format!(" {}:{}", eval.banks, eval.disk_accesses));
+                }
+                line
+            }
+            QueryKind::Status => {
+                let queued = handle.queue.lock().expect("tenant queue lock").len();
+                format!(
+                    "OK tenant {name} records {} periods {} level {} queued {queued}",
+                    state.records,
+                    state.stepper.rows().len(),
+                    state.stepper.controller().level().as_str(),
+                )
+            }
+        }
+    }
+
+    fn close(&self, name: &str) -> String {
+        let removed = {
+            let mut tenants = self.tenants.lock().expect("tenant map lock");
+            let removed = tenants.remove(name);
+            self.tenants_gauge.set(tenants.len() as f64);
+            removed
+        };
+        match removed {
+            Some(handle) => match self.seal_tenant(&handle) {
+                Ok(_) => format!("OK closed {name}"),
+                Err(e) => format!("ERR seal failed for {name}: {e}"),
+            },
+            None => format!("ERR unknown tenant '{name}'"),
+        }
+    }
+
+    /// Drains the tenant's remaining queue inline, captures its
+    /// checkpoint, and publishes the `.jck` (WAL flushed first by the
+    /// checkpointer). The handle must already be out of the map.
+    fn seal_tenant(&self, handle: &Arc<TenantHandle>) -> Result<TenantEntry, String> {
+        let mut state = handle.state.lock().expect("tenant state lock");
+        loop {
+            let batch: Vec<TraceRecord> = {
+                let mut queue = handle.queue.lock().expect("tenant queue lock");
+                queue.drain(..).collect()
+            };
+            if batch.is_empty() {
+                break;
+            }
+            let fed = state.feed_batch(batch);
+            self.records_total.add(fed);
+            let backlog = self.queued.fetch_sub(fed, Ordering::AcqRel) - fed;
+            self.queued_gauge.set(backlog as f64);
+        }
+        let ckpt = state.stepper.checkpoint();
+        let ckpt_path = self.ckpt_path(&handle.name);
+        let mut meta = CkptMeta::new("serve-tenant");
+        if let Some(wal) = &state.wal {
+            meta = meta.with_telemetry(wal.clone());
+        }
+        let mut saver = FileCheckpointer::new(&ckpt_path, meta, state.telemetry.clone());
+        if !saver.save(&ckpt) {
+            return Err(saver
+                .take_error()
+                .map_or_else(|| "unknown checkpoint error".into(), |e| e.to_string()));
+        }
+        Ok(TenantEntry {
+            name: handle.name.clone(),
+            pages: state.pages,
+            records: state.records,
+            checkpoint: ckpt_path.to_string_lossy().into_owned(),
+            telemetry: state.wal.clone(),
+        })
+    }
+
+    /// Seals every remaining tenant and publishes the shutdown
+    /// manifest. Runs on the accept thread after the workers joined.
+    fn seal_all(&self) {
+        let tenants = std::mem::take(&mut *self.tenants.lock().expect("tenant map lock"));
+        self.tenants_gauge.set(0.0);
+        let mut manifest = TenantManifest::new("serve", 0);
+        for handle in tenants.values() {
+            match self.seal_tenant(handle) {
+                Ok(entry) => manifest.tenants.push(entry),
+                Err(e) => eprintln!("jpmd-serve: seal failed for {}: {e}", handle.name),
+            }
+        }
+        let path = self.cfg.dir.join("tenants.jck");
+        if let Err(e) = save_tenant_manifest(&path, &manifest) {
+            eprintln!("jpmd-serve: manifest save failed: {e}");
+        }
+    }
+
+    /// Rebuilds every tenant named by a previous shutdown's manifest.
+    fn resume_tenants(&self) -> io::Result<usize> {
+        let path = self.cfg.dir.join("tenants.jck");
+        if !path.exists() {
+            return Ok(0);
+        }
+        let manifest = load_tenant_manifest(&path)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let mut resumed = 0;
+        for entry in &manifest.tenants {
+            let (_meta, ckpt) = load_checkpoint(&entry.checkpoint)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            let (telemetry, wal) = match &entry.telemetry {
+                Some(wal) => {
+                    let sink = JsonlSink::resume(wal, ckpt.telemetry_seq, WalPolicy::wal())?;
+                    (Telemetry::new(Box::new(sink)), Some(wal.clone()))
+                }
+                None => (Telemetry::disabled(), None),
+            };
+            let stepper = build_stepper(
+                &self.cfg,
+                &entry.name,
+                entry.pages,
+                &telemetry,
+                Arc::clone(&self.overload),
+                Some(&ckpt),
+            )
+            .map_err(io::Error::other)?;
+            self.insert(
+                &entry.name,
+                stepper,
+                telemetry,
+                entry.pages,
+                entry.records,
+                wal,
+            );
+            resumed += 1;
+        }
+        Ok(resumed)
+    }
+}
+
+fn worker_loop(state: &Arc<ServerState>, ready_rx: &Mutex<Receiver<Arc<TenantHandle>>>) {
+    loop {
+        let next = {
+            let rx = ready_rx.lock().expect("ready receiver lock");
+            rx.recv_timeout(WORKER_POLL)
+        };
+        match next {
+            Ok(handle) => state.drain_one(&handle),
+            Err(RecvTimeoutError::Timeout) => {
+                if state.shutdown.load(Ordering::Acquire)
+                    && state.queued.load(Ordering::Acquire) == 0
+                {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Executes one parsed request; `None` means no response line (`FEED`).
+fn execute(state: &Arc<ServerState>, request: Request) -> Option<String> {
+    match request {
+        Request::Feed { tenant, record } => {
+            state.feed(&tenant, record);
+            None
+        }
+        Request::Open { tenant, pages } => Some(state.open(&tenant, pages)),
+        Request::Query { tenant, what } => Some(state.query(&tenant, what)),
+        Request::Close { tenant } => Some(state.close(&tenant)),
+        Request::Ping => Some(format!(
+            "OK pong queued {}",
+            state.queued.load(Ordering::Acquire)
+        )),
+        Request::Stats => {
+            let s = state.stats();
+            Some(format!(
+                "OK tenants {} queued {} shedding {} records {} rejected {}",
+                s.tenants,
+                s.queued,
+                u8::from(s.shedding),
+                s.records_total,
+                s.rejected_opens
+            ))
+        }
+        Request::Shutdown => {
+            state.shutdown.store(true, Ordering::Release);
+            Some("OK shutting-down".into())
+        }
+    }
+}
+
+/// Serves `GET /metrics` (Prometheus text exposition) over just enough
+/// HTTP/1.0: read the request head, write one response, close.
+fn serve_http<R: BufRead>(
+    state: &Arc<ServerState>,
+    reader: &mut R,
+    writer: &mut impl Write,
+    request_line: &str,
+) -> io::Result<()> {
+    // Drain the request head so the client's write never sees a reset.
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 || line.trim_end().is_empty() {
+            break;
+        }
+    }
+    let target = request_line.split_ascii_whitespace().nth(1).unwrap_or("");
+    let (status, body) = if target == "/metrics" {
+        ("200 OK", state.registry.snapshot().to_prometheus_text())
+    } else {
+        ("404 Not Found", String::from("not found\n"))
+    };
+    write!(
+        writer,
+        "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    writer.flush()
+}
+
+fn handle_connection(state: Arc<ServerState>, stream: TcpStream) -> io::Result<()> {
+    state.connections.inc();
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(());
+    }
+    let first = line.trim_end().to_string();
+    if first.starts_with("GET ") || first.starts_with("HEAD ") {
+        return serve_http(&state, &mut reader, &mut writer, &first);
+    }
+    loop {
+        let trimmed = line.trim_end();
+        if !trimmed.is_empty() {
+            match parse_request(trimmed) {
+                Ok(request) => {
+                    let is_shutdown = request == Request::Shutdown;
+                    if let Some(response) = execute(&state, request) {
+                        writeln!(writer, "{response}")?;
+                        writer.flush()?;
+                    }
+                    if is_shutdown {
+                        return Ok(());
+                    }
+                }
+                Err(reason) => {
+                    writeln!(writer, "ERR {reason}")?;
+                    writer.flush()?;
+                }
+            }
+        }
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(());
+        }
+    }
+}
+
+/// A running daemon: the handle [`Daemon::start`] returns.
+pub struct Daemon {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Binds the listener (loopback only), optionally resumes tenants
+    /// from a previous shutdown's manifest, and starts the worker pool
+    /// and accept loop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/IO failures, and resume failures (a torn or
+    /// foreign manifest/checkpoint) as [`io::ErrorKind::InvalidData`].
+    pub fn start(cfg: ServeConfig) -> io::Result<Daemon> {
+        std::fs::create_dir_all(&cfg.dir)?;
+        let listener = TcpListener::bind(("127.0.0.1", cfg.port))?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let workers = if cfg.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(2)
+        } else {
+            cfg.workers
+        };
+        let resume = cfg.resume;
+        let (ready_tx, ready_rx) = mpsc::channel();
+        let state = Arc::new(ServerState::new(cfg, ready_tx));
+        if resume {
+            state.resume_tenants()?;
+        }
+        let ready_rx = Arc::new(Mutex::new(ready_rx));
+        let accept_state = Arc::clone(&state);
+        let accept = std::thread::spawn(move || {
+            let mut pool = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                let state = Arc::clone(&accept_state);
+                let rx = Arc::clone(&ready_rx);
+                pool.push(std::thread::spawn(move || worker_loop(&state, &rx)));
+            }
+            loop {
+                if sigterm_received() {
+                    accept_state.shutdown.store(true, Ordering::Release);
+                }
+                if accept_state.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let state = Arc::clone(&accept_state);
+                        std::thread::spawn(move || {
+                            let _ = handle_connection(state, stream);
+                        });
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                    Err(_) => std::thread::sleep(ACCEPT_POLL),
+                }
+            }
+            for worker in pool {
+                let _ = worker.join();
+            }
+            accept_state.seal_all();
+        });
+        Ok(Daemon {
+            addr,
+            state,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (read the ephemeral port here).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Daemon-wide counters right now.
+    pub fn stats(&self) -> DaemonStats {
+        self.state.stats()
+    }
+
+    /// Requests shutdown without a client connection (what the binary
+    /// does on `SIGTERM` if the flag was polled elsewhere).
+    pub fn request_shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::Release);
+    }
+
+    /// Blocks until the daemon has shut down, drained, and sealed every
+    /// tenant.
+    pub fn join(mut self) -> io::Result<()> {
+        if let Some(accept) = self.accept.take() {
+            accept
+                .join()
+                .map_err(|_| io::Error::other("accept thread panicked"))?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,259 @@
+//! The daemon's line-based wire protocol.
+//!
+//! One request per line, ASCII, space-separated; every response is a
+//! single line starting `OK` or `ERR`. The only asymmetric verb is
+//! `FEED`, which is **fire-and-forget** — a per-record acknowledgement
+//! would serialize the stream on round trips. Clients that want flow
+//! control interleave `PING`, which answers with the daemon's current
+//! global backlog so a closed-loop sender can pace itself.
+//!
+//! ```text
+//! OPEN <tenant> [pages]                      -> OK opened <tenant> pages <n> | ERR ...
+//! FEED <tenant> <time> <file> <page> <n> <r|w>   (no response)
+//! PING                                       -> OK pong queued <backlog>
+//! QUERY <tenant> timeout|banks|misscurve|energy|status -> OK ...
+//! STATS                                      -> OK tenants <n> queued <n> shedding <0|1> ...
+//! CLOSE <tenant>                             -> OK closed <tenant> (checkpoint sealed)
+//! SHUTDOWN                                   -> OK shutting-down
+//! ```
+//!
+//! The same listening socket also speaks just enough HTTP/1.0 for
+//! `GET /metrics` (see [`crate::daemon`]); the dispatcher sniffs the
+//! first line.
+
+use jpmd_trace::{AccessKind, FileId, TraceRecord};
+
+/// What a control query asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryKind {
+    /// The disk spin-down timeout currently in force, s.
+    Timeout,
+    /// Enabled / total memory banks.
+    Banks,
+    /// The candidate table from the tenant's most recent joint decision:
+    /// predicted disk accesses per candidate size (the paper's miss
+    /// curve).
+    MissCurve,
+    /// Total energy accrued so far, J.
+    Energy,
+    /// One-line tenant status: records, periods, degradation level.
+    Status,
+}
+
+impl QueryKind {
+    fn parse(word: &str) -> Option<Self> {
+        Some(match word {
+            "timeout" => QueryKind::Timeout,
+            "banks" => QueryKind::Banks,
+            "misscurve" => QueryKind::MissCurve,
+            "energy" => QueryKind::Energy,
+            "status" => QueryKind::Status,
+            _ => return None,
+        })
+    }
+}
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Admit a tenant (idempotent for an already-open name).
+    Open {
+        /// Tenant name.
+        tenant: String,
+        /// Page-space size; the daemon default when absent.
+        pages: Option<u64>,
+    },
+    /// Stream one access record into a tenant.
+    Feed {
+        /// Tenant name.
+        tenant: String,
+        /// The record.
+        record: TraceRecord,
+    },
+    /// Ask about a tenant's live operating point.
+    Query {
+        /// Tenant name.
+        tenant: String,
+        /// What to report.
+        what: QueryKind,
+    },
+    /// Daemon-wide counters.
+    Stats,
+    /// Liveness + backlog probe (the flow-control verb).
+    Ping,
+    /// Seal and close one tenant.
+    Close {
+        /// Tenant name.
+        tenant: String,
+    },
+    /// Seal every tenant and stop the daemon.
+    Shutdown,
+}
+
+/// Validates a tenant name: nonempty, at most 64 bytes, and safe to
+/// embed in file names and metric labels (`[A-Za-z0-9._-]`).
+fn valid_tenant(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-')
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// A one-line human-readable reason, already shaped for an `ERR `
+/// response.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let mut words = line.split_ascii_whitespace();
+    let verb = words.next().ok_or("empty request")?;
+    let rest: Vec<&str> = words.collect();
+    let tenant_arg = |idx: usize| -> Result<String, String> {
+        let name = *rest.get(idx).ok_or("missing tenant name")?;
+        if !valid_tenant(name) {
+            return Err(format!("invalid tenant name '{name}'"));
+        }
+        Ok(name.to_string())
+    };
+    match verb {
+        "OPEN" => {
+            let tenant = tenant_arg(0)?;
+            let pages = match rest.get(1) {
+                Some(word) => Some(
+                    word.parse::<u64>()
+                        .map_err(|_| format!("bad page count '{word}'"))?,
+                ),
+                None => None,
+            };
+            if rest.len() > 2 {
+                return Err("OPEN takes at most <tenant> [pages]".into());
+            }
+            Ok(Request::Open { tenant, pages })
+        }
+        "FEED" => {
+            let tenant = tenant_arg(0)?;
+            if rest.len() != 6 {
+                return Err("FEED <tenant> <time> <file> <page> <pages> <r|w>".into());
+            }
+            let num = |idx: usize, what: &str| -> Result<u64, String> {
+                rest[idx]
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad {what} '{}'", rest[idx]))
+            };
+            let time: f64 = rest[1]
+                .parse()
+                .map_err(|_| format!("bad time '{}'", rest[1]))?;
+            if !time.is_finite() || time < 0.0 {
+                return Err(format!("bad time '{}'", rest[1]));
+            }
+            let file = num(2, "file id")?;
+            let file = u32::try_from(file).map_err(|_| format!("bad file id '{file}'"))?;
+            let kind = match rest[5] {
+                "r" => AccessKind::Read,
+                "w" => AccessKind::Write,
+                other => return Err(format!("bad access kind '{other}' (want r|w)")),
+            };
+            Ok(Request::Feed {
+                tenant,
+                record: TraceRecord {
+                    time,
+                    file: FileId(file),
+                    first_page: num(3, "first page")?,
+                    pages: num(4, "page count")?,
+                    kind,
+                },
+            })
+        }
+        "QUERY" => {
+            let tenant = tenant_arg(0)?;
+            let word = *rest.get(1).ok_or("missing query kind")?;
+            let what = QueryKind::parse(word).ok_or_else(|| {
+                format!("unknown query '{word}' (want timeout|banks|misscurve|energy|status)")
+            })?;
+            Ok(Request::Query { tenant, what })
+        }
+        "STATS" => Ok(Request::Stats),
+        "PING" => Ok(Request::Ping),
+        "CLOSE" => Ok(Request::Close {
+            tenant: tenant_arg(0)?,
+        }),
+        "SHUTDOWN" => Ok(Request::Shutdown),
+        other => Err(format!("unknown verb '{other}'")),
+    }
+}
+
+/// Formats a record as the `FEED` line [`parse_request`] reverses —
+/// the load generator's encoder.
+pub fn format_feed(tenant: &str, record: &TraceRecord) -> String {
+    format!(
+        "FEED {tenant} {} {} {} {} {}",
+        record.time,
+        record.file.0,
+        record.first_page,
+        record.pages,
+        match record.kind {
+            AccessKind::Read => "r",
+            AccessKind::Write => "w",
+        }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feed_lines_round_trip() {
+        let record = TraceRecord {
+            time: 12.5,
+            file: FileId(7),
+            first_page: 1024,
+            pages: 3,
+            kind: AccessKind::Write,
+        };
+        let line = format_feed("web-01", &record);
+        match parse_request(&line).unwrap() {
+            Request::Feed { tenant, record: r } => {
+                assert_eq!(tenant, "web-01");
+                assert_eq!(r, record);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+    }
+
+    #[test]
+    fn verbs_parse_and_junk_is_rejected() {
+        assert_eq!(
+            parse_request("OPEN a 4096").unwrap(),
+            Request::Open {
+                tenant: "a".into(),
+                pages: Some(4096)
+            }
+        );
+        assert_eq!(parse_request("PING").unwrap(), Request::Ping);
+        assert_eq!(parse_request("STATS").unwrap(), Request::Stats);
+        assert_eq!(parse_request("SHUTDOWN").unwrap(), Request::Shutdown);
+        assert_eq!(
+            parse_request("QUERY a misscurve").unwrap(),
+            Request::Query {
+                tenant: "a".into(),
+                what: QueryKind::MissCurve
+            }
+        );
+        for bad in [
+            "",
+            "NOPE",
+            "OPEN",
+            "OPEN bad/name",
+            "OPEN a x",
+            "FEED a 1 2 3",
+            "FEED a -1 0 0 1 r",
+            "FEED a 1 0 0 1 z",
+            "QUERY a everything",
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+}

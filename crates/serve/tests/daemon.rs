@@ -1,0 +1,417 @@
+//! End-to-end daemon tests over real TCP connections: Prometheus
+//! exposition, run-to-run determinism of the per-tenant telemetry WALs,
+//! kill-and-restart resume, and overload shedding with recovery.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use jpmd_obs::ObsRecord;
+use jpmd_serve::{Daemon, ServeConfig};
+use jpmd_trace::{TraceRecord, TraceSource, WorkloadBuilder, MIB};
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("jpmd-serve-it-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn workload(seed: u64, duration_secs: f64) -> Vec<TraceRecord> {
+    let trace = WorkloadBuilder::new()
+        .data_set_bytes(256 * MIB)
+        .rate_bytes_per_sec(2 * MIB)
+        .duration_secs(duration_secs)
+        .seed(seed)
+        .build()
+        .expect("workload");
+    let mut source = trace.source();
+    let mut out = Vec::new();
+    while let Some(next) = source.next_record() {
+        out.push(next.expect("in-memory sources cannot fail"));
+    }
+    out
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).ok();
+        Client {
+            reader: BufReader::new(stream.try_clone().expect("clone stream")),
+            writer: stream,
+        }
+    }
+
+    fn feed(&mut self, tenant: &str, record: &TraceRecord) {
+        writeln!(
+            self.writer,
+            "{}",
+            jpmd_serve::proto::format_feed(tenant, record)
+        )
+        .expect("feed");
+    }
+
+    fn ask(&mut self, line: &str) -> String {
+        writeln!(self.writer, "{line}").expect("send");
+        self.writer.flush().expect("flush");
+        let mut response = String::new();
+        self.reader.read_line(&mut response).expect("response");
+        response.trim_end().to_string()
+    }
+
+    fn queued(&mut self) -> u64 {
+        let reply = self.ask("PING");
+        reply
+            .rsplit(' ')
+            .next()
+            .and_then(|w| w.parse().ok())
+            .unwrap_or_else(|| panic!("bad ping reply: {reply}"))
+    }
+
+    fn wait_drained(&mut self) {
+        let started = Instant::now();
+        while self.queued() > 0 {
+            assert!(
+                started.elapsed() < Duration::from_secs(120),
+                "daemon failed to drain"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+}
+
+fn http_get_metrics(addr: std::net::SocketAddr) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(stream, "GET /metrics HTTP/1.0\r\nHost: test\r\n\r\n").expect("request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+    (head.to_string(), body.to_string())
+}
+
+/// A strict-enough Prometheus text-exposition parser: every non-comment
+/// line must be `name[{labels}] value`, names must be legal, and label
+/// blocks must be `key="value"` pairs. Returns (metric line → value).
+fn parse_prometheus(body: &str) -> std::collections::BTreeMap<String, f64> {
+    let mut out = std::collections::BTreeMap::new();
+    for line in body.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').unwrap_or_else(|| {
+            panic!("sample line without value: {line:?}");
+        });
+        let value: f64 = value
+            .parse()
+            .unwrap_or_else(|_| panic!("bad sample value in {line:?}"));
+        let name_part = series.split('{').next().unwrap();
+        assert!(
+            !name_part.is_empty()
+                && name_part
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+                && !name_part.starts_with(|c: char| c.is_ascii_digit()),
+            "illegal metric name in {line:?}"
+        );
+        if let Some(rest) = series.strip_prefix(name_part) {
+            if !rest.is_empty() {
+                assert!(
+                    rest.starts_with('{') && rest.ends_with('}'),
+                    "malformed label block in {line:?}"
+                );
+                for pair in rest[1..rest.len() - 1].split(',') {
+                    let (key, val) = pair.split_once('=').unwrap_or_else(|| {
+                        panic!("malformed label pair {pair:?} in {line:?}");
+                    });
+                    assert!(
+                        !key.is_empty() && val.starts_with('"') && val.ends_with('"'),
+                        "malformed label value in {line:?}"
+                    );
+                }
+            }
+        }
+        out.insert(series.to_string(), value);
+    }
+    out
+}
+
+fn normalized_wal(path: &Path) -> Vec<String> {
+    let text = std::fs::read_to_string(path).expect("read WAL");
+    text.lines()
+        .map(|line| {
+            ObsRecord::from_line(line)
+                .unwrap_or_else(|e| panic!("malformed WAL line {line:?}: {e}"))
+                .normalized_line()
+        })
+        .collect()
+}
+
+fn wal_seqs_are_gap_free(path: &Path) {
+    let text = std::fs::read_to_string(path).expect("read WAL");
+    for (i, line) in text.lines().enumerate() {
+        let record = ObsRecord::from_line(line).expect("parse WAL line");
+        assert_eq!(record.seq, i as u64, "seq gap in {path:?} at line {i}");
+    }
+}
+
+fn base_config(dir: &Path) -> ServeConfig {
+    let mut cfg = ServeConfig::new(dir);
+    cfg.duration_secs = 1e9;
+    cfg.period_secs = 300.0;
+    cfg
+}
+
+#[test]
+fn metrics_endpoint_serves_valid_prometheus_with_tenant_labels() {
+    let dir = scratch_dir("metrics");
+    let daemon = Daemon::start(base_config(&dir)).expect("start daemon");
+    let addr = daemon.addr();
+
+    let mut client = Client::connect(addr);
+    for (tenant, seed) in [("alpha", 21u64), ("beta", 22)] {
+        assert!(client.ask(&format!("OPEN {tenant} 256")).starts_with("OK"));
+        for record in workload(seed, 1800.0) {
+            client.feed(tenant, &record);
+        }
+    }
+    client.wait_drained();
+
+    let (head, body) = http_get_metrics(addr);
+    assert!(head.starts_with("HTTP/1.0 200"), "{head}");
+    assert!(head.contains("text/plain"), "{head}");
+    let samples = parse_prometheus(&body);
+    for tenant in ["alpha", "beta"] {
+        let decisions = samples
+            .get(&format!("serve_tenant_decisions{{tenant=\"{tenant}\"}}"))
+            .unwrap_or_else(|| panic!("no decision counter for {tenant} in:\n{body}"));
+        assert!(
+            *decisions >= 1.0,
+            "{tenant} made no period decisions:\n{body}"
+        );
+        let records = samples
+            .get(&format!("serve_tenant_records{{tenant=\"{tenant}\"}}"))
+            .expect("records counter");
+        assert!(*records > 0.0);
+    }
+    assert_eq!(samples.get("serve_tenants"), Some(&2.0));
+    assert_eq!(samples.get("serve_queued"), Some(&0.0));
+
+    // An unknown path is a 404, not a hang or a protocol error.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(stream, "GET /nope HTTP/1.0\r\n\r\n").expect("request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read");
+    assert!(raw.starts_with("HTTP/1.0 404"), "{raw}");
+
+    assert!(client.ask("SHUTDOWN").starts_with("OK"));
+    daemon.join().expect("join");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn two_runs_of_the_same_script_write_identical_normalized_wals() {
+    let run = |tag: &str| -> Vec<Vec<String>> {
+        let dir = scratch_dir(tag);
+        let daemon = Daemon::start(base_config(&dir)).expect("start daemon");
+        let mut client = Client::connect(daemon.addr());
+        for tenant in ["t0", "t1", "t2"] {
+            assert!(client.ask(&format!("OPEN {tenant} 256")).starts_with("OK"));
+        }
+        // Interleave tenants record by record — worker scheduling must
+        // not leak into any tenant's event stream.
+        let scripts: Vec<(&str, Vec<TraceRecord>)> = vec![
+            ("t0", workload(31, 1800.0)),
+            ("t1", workload(32, 1800.0)),
+            ("t2", workload(33, 1800.0)),
+        ];
+        let longest = scripts.iter().map(|(_, r)| r.len()).max().unwrap();
+        for i in 0..longest {
+            for (tenant, records) in &scripts {
+                if let Some(record) = records.get(i) {
+                    client.feed(tenant, record);
+                }
+            }
+        }
+        client.wait_drained();
+        assert!(client.ask("SHUTDOWN").starts_with("OK"));
+        daemon.join().expect("join");
+        let wals = ["t0", "t1", "t2"]
+            .iter()
+            .map(|t| normalized_wal(&dir.join(format!("{t}.jsonl"))))
+            .collect();
+        let _ = std::fs::remove_dir_all(&dir);
+        wals
+    };
+    let first = run("det-a");
+    let second = run("det-b");
+    assert!(
+        first.iter().all(|wal| wal.len() > 3),
+        "WALs must carry period events, got lengths {:?}",
+        first.iter().map(Vec::len).collect::<Vec<_>>()
+    );
+    assert_eq!(first, second, "normalized WALs must be byte-identical");
+}
+
+#[test]
+fn shutdown_seals_and_restart_resumes_gap_free() {
+    let records = workload(41, 1800.0);
+    let half = records.len() / 2;
+
+    // Reference: one uninterrupted run.
+    let ref_dir = scratch_dir("resume-ref");
+    let (ref_wal, ref_answers) = {
+        let daemon = Daemon::start(base_config(&ref_dir)).expect("start daemon");
+        let mut client = Client::connect(daemon.addr());
+        assert!(client.ask("OPEN t0 256").starts_with("OK"));
+        for record in &records {
+            client.feed("t0", record);
+        }
+        client.wait_drained();
+        let answers = (
+            client.ask("QUERY t0 banks"),
+            client.ask("QUERY t0 timeout"),
+            client.ask("QUERY t0 energy"),
+        );
+        assert!(client.ask("SHUTDOWN").starts_with("OK"));
+        daemon.join().expect("join");
+        (normalized_wal(&ref_dir.join("t0.jsonl")), answers)
+    };
+
+    // Interrupted: feed half, shut down (seals checkpoint + manifest).
+    let dir = scratch_dir("resume");
+    {
+        let daemon = Daemon::start(base_config(&dir)).expect("start daemon");
+        let mut client = Client::connect(daemon.addr());
+        assert!(client.ask("OPEN t0 256").starts_with("OK"));
+        for record in &records[..half] {
+            client.feed("t0", record);
+        }
+        client.wait_drained();
+        assert!(client.ask("SHUTDOWN").starts_with("OK"));
+        daemon.join().expect("join");
+    }
+    assert!(dir.join("tenants.jck").exists(), "manifest must be sealed");
+    assert!(dir.join("t0.jck").exists(), "tenant checkpoint must exist");
+
+    // Restart with resume; the client replays the stream from the start.
+    {
+        let mut cfg = base_config(&dir);
+        cfg.resume = true;
+        let daemon = Daemon::start(cfg).expect("resume daemon");
+        assert_eq!(daemon.stats().tenants, 1, "tenant must be resumed");
+        let mut client = Client::connect(daemon.addr());
+        // No OPEN needed — the tenant is already live.
+        let status = client.ask("QUERY t0 status");
+        assert!(status.starts_with("OK"), "{status}");
+        for record in &records {
+            client.feed("t0", record);
+        }
+        client.wait_drained();
+        assert_eq!(client.ask("QUERY t0 banks"), ref_answers.0);
+        assert_eq!(client.ask("QUERY t0 timeout"), ref_answers.1);
+        assert_eq!(client.ask("QUERY t0 energy"), ref_answers.2);
+        assert!(client.ask("SHUTDOWN").starts_with("OK"));
+        daemon.join().expect("join");
+    }
+    let resumed_wal = normalized_wal(&dir.join("t0.jsonl"));
+    wal_seqs_are_gap_free(&dir.join("t0.jsonl"));
+    assert_eq!(
+        resumed_wal, ref_wal,
+        "resumed WAL must match the uninterrupted run's"
+    );
+    let _ = std::fs::remove_dir_all(&ref_dir);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn overload_sheds_rejects_admissions_and_recovers() {
+    let dir = scratch_dir("overload");
+    let mut cfg = base_config(&dir);
+    cfg.workers = 1;
+    cfg.batch = 16;
+    cfg.shed_high = 64;
+    cfg.shed_low = 16;
+    let daemon = Daemon::start(cfg).expect("start daemon");
+    let mut client = Client::connect(daemon.addr());
+    assert!(client.ask("OPEN hog 256").starts_with("OK"));
+
+    // Phase 1: flood — hundreds of periods' worth of records in one
+    // burst. The synthetic workload yields roughly one record per 16
+    // stream-seconds, so the horizon here buys a few thousand records.
+    let records = workload(51, 120_000.0);
+    let half = records.len() / 2;
+    for record in &records[..half] {
+        client.feed("hog", record);
+    }
+    client.writer.flush().expect("flush");
+
+    // The daemon must shed: admission closed, but queries still answered.
+    let mut saw_shedding = false;
+    let started = Instant::now();
+    while started.elapsed() < Duration::from_secs(60) {
+        let stats = daemon.stats();
+        if stats.shedding {
+            saw_shedding = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(saw_shedding, "the flood must cross the shed watermark");
+    let mut second = Client::connect(daemon.addr());
+    assert!(
+        second.ask("OPEN late 256").starts_with("ERR"),
+        "admission must be closed while shedding"
+    );
+    let reply = second.ask("QUERY hog banks");
+    assert!(
+        reply.starts_with("OK banks"),
+        "queries must be answered under load: {reply}"
+    );
+
+    // Phase 2: paced tail — chunks stay well under the high watermark so
+    // the backlog drains, shedding clears, and the guard's promotion
+    // ladder lifts the tenant back toward Joint over the healthy periods.
+    for chunk in records[half..].chunks(32) {
+        for record in chunk {
+            client.feed("hog", record);
+        }
+        while client.queued() > 8 {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+    client.wait_drained();
+    let stats = daemon.stats();
+    assert!(!stats.shedding, "shedding must clear after the drain");
+    assert!(stats.rejected_opens >= 1);
+
+    assert!(client.ask("SHUTDOWN").starts_with("OK"));
+    daemon.join().expect("join");
+
+    // The WAL carries the degradation story: at least one fallback while
+    // overloaded and at least one promotion after recovery.
+    let text = std::fs::read_to_string(dir.join("hog.jsonl")).expect("read WAL");
+    let mut kinds = Vec::new();
+    for line in text.lines() {
+        let record = ObsRecord::from_line(line).expect("parse WAL line");
+        if record.event.name() == "Degradation" {
+            kinds.push(line.to_string());
+        }
+    }
+    assert!(
+        kinds.iter().any(|l| l.contains("\"fallback\"")),
+        "expected a fallback Degradation event, got {kinds:?}"
+    );
+    assert!(
+        kinds
+            .iter()
+            .any(|l| l.contains("\"promote\"") || l.contains("\"recovery\"")),
+        "expected a promote/recovery Degradation event, got {kinds:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -106,6 +106,46 @@ pub trait PeriodController {
     }
 }
 
+/// Mutable references delegate, so `&mut dyn PeriodController` (the batch
+/// simulation's wiring) satisfies generic `C: PeriodController` bounds.
+impl<C: PeriodController + ?Sized> PeriodController for &mut C {
+    fn on_period_end(&mut self, observation: &PeriodObservation, log: &AccessLog) -> ControlAction {
+        (**self).on_period_end(observation, log)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn snapshot_state(&self) -> serde::Value {
+        (**self).snapshot_state()
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        (**self).restore_state(state)
+    }
+}
+
+/// Boxes delegate, so `Box<dyn PeriodController>` works where an owned
+/// controller is needed (the incremental `PolicyStepper`).
+impl<C: PeriodController + ?Sized> PeriodController for Box<C> {
+    fn on_period_end(&mut self, observation: &PeriodObservation, log: &AccessLog) -> ControlAction {
+        (**self).on_period_end(observation, log)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn snapshot_state(&self) -> serde::Value {
+        (**self).snapshot_state()
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        (**self).restore_state(state)
+    }
+}
+
 /// A controller that never changes anything — all non-joint methods.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NullController;
@@ -121,28 +161,38 @@ impl PeriodController for NullController {
 /// `SpanEnd` event). Pure delegation otherwise — the wrapped controller's
 /// decisions are untouched, which is what keeps instrumented runs
 /// bit-identical to plain ones.
-pub struct TimedController<'a> {
-    inner: &'a mut dyn PeriodController,
+///
+/// Generic over the controller it owns: the batch simulation instantiates
+/// it with `&mut dyn PeriodController`, while a long-lived incremental
+/// stepper owns its controller outright.
+pub struct TimedController<C> {
+    inner: C,
     spans: jpmd_obs::SpanRecorder,
     telemetry: jpmd_obs::Telemetry,
 }
 
-impl<'a> TimedController<'a> {
+impl<C: PeriodController> TimedController<C> {
     /// Times `inner` under `spans`, emitting through `telemetry`.
-    pub fn new(
-        inner: &'a mut dyn PeriodController,
-        spans: jpmd_obs::SpanRecorder,
-        telemetry: jpmd_obs::Telemetry,
-    ) -> Self {
+    pub fn new(inner: C, spans: jpmd_obs::SpanRecorder, telemetry: jpmd_obs::Telemetry) -> Self {
         TimedController {
             inner,
             spans,
             telemetry,
         }
     }
+
+    /// The wrapped controller.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+
+    /// The wrapped controller, mutably.
+    pub fn inner_mut(&mut self) -> &mut C {
+        &mut self.inner
+    }
 }
 
-impl PeriodController for TimedController<'_> {
+impl<C: PeriodController> PeriodController for TimedController<C> {
     fn on_period_end(&mut self, observation: &PeriodObservation, log: &AccessLog) -> ControlAction {
         let _span = self.spans.time_with("controller.decide", &self.telemetry);
         self.inner.on_period_end(observation, log)

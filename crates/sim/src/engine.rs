@@ -213,6 +213,19 @@ pub const MAX_SOURCE_RETRIES: u32 = 8;
 
 /// The event-driven replay core. See the [module docs](self) for the
 /// execution model.
+///
+/// Two driving styles share one implementation:
+///
+/// * **Batch**: [`Engine::run_source`] / [`Engine::run_source_with_checkpoints`]
+///   pull records from a [`TraceSource`] until the duration is reached.
+/// * **Incremental**: a long-lived owner (the `jpmd-core` `PolicyStepper`,
+///   and through it the `jpmd-serve` daemon) feeds records one at a time
+///   with [`Engine::step_record`], polls [`Engine::take_boundary`] for
+///   period rollovers, captures checkpoints on demand with
+///   [`Engine::capture_now`], and closes the run with [`Engine::finish`].
+///
+/// The batch loop is written *on top of* the incremental methods, so the
+/// two styles are bit-identical by construction.
 #[derive(Default)]
 pub struct Engine {
     stats: EngineStats,
@@ -221,6 +234,7 @@ pub struct Engine {
     registry: jpmd_obs::MetricsRegistry,
     boundary_pending: bool,
     periods_since_ckpt: u64,
+    last_time: f64,
 }
 
 impl Engine {
@@ -333,12 +347,8 @@ impl Engine {
         resume: Option<&EngineCheckpoint>,
     ) -> Result<EngineRun, SourceError> {
         let wall = Instant::now();
-        let mut last_time = 0.0f64;
         if let Some(ckpt) = resume {
-            self.stats = ckpt.stats.clone();
-            self.segment = ckpt.segment;
-            self.segment_start = ckpt.segment_start;
-            last_time = ckpt.last_time;
+            self.restore(ckpt);
             // Skip what the interrupted run already consumed. Every
             // `Some(_)` counts one pull — replayed, retried, dropped, or
             // clamped — so the restored stats already account for these.
@@ -349,10 +359,10 @@ impl Engine {
         }
         let mut consecutive_retries = 0u32;
         while let Some(next) = source.next_record() {
-            self.stats.records_pulled += 1;
-            let mut record = match next {
+            let record = match next {
                 Ok(record) => record,
                 Err(e) if e.is_transient() && consecutive_retries < MAX_SOURCE_RETRIES => {
+                    self.stats.records_pulled += 1;
                     consecutive_retries += 1;
                     self.stats.source_retries += 1;
                     continue;
@@ -360,23 +370,11 @@ impl Engine {
                 Err(e) => return Err(e),
             };
             consecutive_retries = 0;
-            if !record.time.is_finite() || record.pages == 0 {
-                self.stats.records_dropped += 1;
-                continue;
-            }
-            if record.time < last_time {
-                record.time = last_time;
-                self.stats.records_clamped += 1;
-            }
-            last_time = record.time;
-            if record.time >= duration {
+            if !self.step_record(record, duration, hw, observers) {
                 break;
             }
-            self.advance_to(record.time, hw, observers);
-            self.replay_record(&record, hw, observers);
             if let Some(policy) = policy {
-                if self.boundary_pending {
-                    self.boundary_pending = false;
+                if self.take_boundary() {
                     let shutdown = policy
                         .shutdown
                         .as_ref()
@@ -385,7 +383,7 @@ impl Engine {
                         policy.every_periods > 0 && self.periods_since_ckpt >= policy.every_periods;
                     if shutdown || due {
                         self.periods_since_ckpt = 0;
-                        let ckpt = self.capture(last_time, hw, observers);
+                        let ckpt = self.capture_now(hw, observers);
                         let keep_going = on_checkpoint(ckpt);
                         if shutdown || !keep_going {
                             self.stats.replay_wall_secs = wall.elapsed().as_secs_f64();
@@ -398,12 +396,101 @@ impl Engine {
                 }
             }
         }
+        let stats = self.finish(duration, hw, observers, wall.elapsed().as_secs_f64());
+        Ok(EngineRun {
+            stats,
+            interrupted: false,
+        })
+    }
+
+    /// Restores the engine's own counters and replay clock from a
+    /// checkpoint (the caller restores the hardware and observers from the
+    /// checkpoint's opaque images). Part of the incremental driving
+    /// surface; the batch resume path uses it too.
+    pub fn restore(&mut self, ckpt: &EngineCheckpoint) {
+        self.stats = ckpt.stats.clone();
+        self.segment = ckpt.segment;
+        self.segment_start = ckpt.segment_start;
+        self.last_time = ckpt.last_time;
+    }
+
+    /// Feeds one record into the replay: counts the pull, sanitizes it
+    /// (drop non-finite/zero-page, clamp out-of-order), fires due timers,
+    /// and replays the accesses. Returns `false` when `record.time` is at
+    /// or past `duration` — the record is counted but not replayed, and
+    /// the caller should stop feeding and call [`Engine::finish`].
+    ///
+    /// This is the single per-record step both the batch loop and the
+    /// incremental `PolicyStepper` drive, so the two are bit-identical.
+    pub fn step_record(
+        &mut self,
+        mut record: TraceRecord,
+        duration: f64,
+        hw: &mut HwState,
+        observers: &mut [&mut dyn SimObserver],
+    ) -> bool {
+        self.stats.records_pulled += 1;
+        if !record.time.is_finite() || record.pages == 0 {
+            self.stats.records_dropped += 1;
+            return true;
+        }
+        if record.time < self.last_time {
+            record.time = self.last_time;
+            self.stats.records_clamped += 1;
+        }
+        self.last_time = record.time;
+        if record.time >= duration {
+            return false;
+        }
+        self.advance_to(record.time, hw, observers);
+        self.replay_record(&record, hw, observers);
+        true
+    }
+
+    /// True when one or more period boundaries closed since the last call
+    /// (the flag is cleared). Incremental drivers poll this after each
+    /// [`Engine::step_record`] to learn about rollovers.
+    pub fn take_boundary(&mut self) -> bool {
+        std::mem::take(&mut self.boundary_pending)
+    }
+
+    /// Timestamp of the last replayed record, s (the replay clock).
+    pub fn last_time(&self) -> f64 {
+        self.last_time
+    }
+
+    /// The engine's counters so far (final only after [`Engine::finish`]).
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Builds a checkpoint of the current replay state at the replay
+    /// clock's current instant (see [`EngineCheckpoint`]).
+    pub fn capture_now(
+        &self,
+        hw: &HwState,
+        observers: &[&mut dyn SimObserver],
+    ) -> EngineCheckpoint {
+        self.capture(self.last_time, hw, observers)
+    }
+
+    /// Closes out an incremental replay: fires all timers due by
+    /// `duration`, settles the hardware there, closes the trailing event
+    /// segment, stamps the wall-clock stats, and publishes the registry
+    /// counters. Consumes the engine and returns its final counters.
+    pub fn finish(
+        mut self,
+        duration: f64,
+        hw: &mut HwState,
+        observers: &mut [&mut dyn SimObserver],
+        replay_wall_secs: f64,
+    ) -> EngineStats {
         self.advance_to(duration, hw, observers);
         hw.settle(duration);
         if self.segment_start < duration || self.segment.total() > 0 {
             self.close_segment(duration);
         }
-        self.stats.replay_wall_secs = wall.elapsed().as_secs_f64();
+        self.stats.replay_wall_secs = replay_wall_secs;
         self.stats.accesses_per_sec =
             self.stats.counts.accesses as f64 / self.stats.replay_wall_secs.max(f64::MIN_POSITIVE);
         if self.registry.is_enabled() {
@@ -423,10 +510,7 @@ impl Engine {
                 .gauge("engine.accesses_per_sec")
                 .set(self.stats.accesses_per_sec);
         }
-        Ok(EngineRun {
-            stats: self.stats,
-            interrupted: false,
-        })
+        self.stats
     }
 
     /// Builds a checkpoint of the current replay state (engine counters,

@@ -12,7 +12,7 @@ use crate::{ControlAction, EnergyBreakdown, SimConfig, SimEvent};
 /// implements this for deterministic fault injection; when no injector is
 /// installed ([`HwState::set_fault_injector`] never called) every seam is a
 /// straight pass-through and the hot path pays only an `Option` check.
-pub trait FaultInjector {
+pub trait FaultInjector: Send {
     /// Called after the disk serves a request; returns extra service
     /// seconds to stall the disk with (0.0 = no fault). The stall is
     /// charged as active disk time and added to the request's latency —

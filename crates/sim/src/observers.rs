@@ -81,9 +81,14 @@ impl SimObserver for WarmupWindow {
 /// (memory resize, disk timeout) to the hardware, records the
 /// [`PeriodRow`], and emits [`SimEvent::PeriodBoundary`].
 ///
+/// Generic over the controller: the batch simulation wires it with
+/// `&mut dyn PeriodController`, the incremental `PolicyStepper` owns its
+/// controller outright (both satisfy [`PeriodController`] via the blanket
+/// impls in the controller module).
+///
 /// [`ControlAction`]: crate::ControlAction
-pub struct PeriodAccounting<'a> {
-    controller: &'a mut dyn PeriodController,
+pub struct PeriodAccounting<C> {
+    controller: C,
     period_secs: f64,
     aggregation_window_secs: f64,
     long_latency_secs: f64,
@@ -98,14 +103,14 @@ pub struct PeriodAccounting<'a> {
     rows: Vec<PeriodRow>,
 }
 
-impl<'a> PeriodAccounting<'a> {
+impl<C: PeriodController> PeriodAccounting<C> {
     /// Period accounting driving `controller` every `period_secs`, with
     /// idle intervals aggregated at `aggregation_window_secs` (paper
     /// Sec. 4.2). User page accesses slower than `long_latency_secs`
     /// count as the period's delayed accesses (the observation's
     /// delayed-request ratio, paper eq. 6).
     pub fn new(
-        controller: &'a mut dyn PeriodController,
+        controller: C,
         period_secs: f64,
         aggregation_window_secs: f64,
         long_latency_secs: f64,
@@ -132,6 +137,22 @@ impl<'a> PeriodAccounting<'a> {
     pub fn into_rows(self) -> Vec<PeriodRow> {
         self.rows
     }
+
+    /// The rows recorded so far — incremental drivers poll this after each
+    /// record to see freshly closed periods and their control actions.
+    pub fn rows(&self) -> &[PeriodRow] {
+        &self.rows
+    }
+
+    /// The wrapped controller.
+    pub fn controller(&self) -> &C {
+        &self.controller
+    }
+
+    /// The wrapped controller, mutably.
+    pub fn controller_mut(&mut self) -> &mut C {
+        &mut self.controller
+    }
 }
 
 /// Serializable image of [`PeriodAccounting`]'s dynamic state. The wrapped
@@ -152,7 +173,7 @@ struct PeriodAccountingSnapshot {
     controller: serde::Value,
 }
 
-impl SimObserver for PeriodAccounting<'_> {
+impl<C: PeriodController> SimObserver for PeriodAccounting<C> {
     fn next_timer(&self) -> f64 {
         self.next_period
     }
