@@ -39,7 +39,7 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -62,6 +62,17 @@ use crate::{sigterm_received, ServeConfig};
 const ACCEPT_POLL: Duration = Duration::from_millis(25);
 /// How long an idle worker waits before re-checking the exit condition.
 const WORKER_POLL: Duration = Duration::from_millis(50);
+/// Read timeout on accepted connections — how often a blocked read
+/// wakes to re-check the shutdown flag, so a stalled client can't pin
+/// its thread past shutdown.
+const CONN_READ_TIMEOUT: Duration = Duration::from_millis(200);
+/// Consecutive read timeouts an HTTP client gets to finish its request
+/// head (~10 s) before the connection is dropped; the line protocol has
+/// no such limit because an idle session between requests is normal.
+const HTTP_IDLE_LIMIT: u32 = 50;
+/// Cap on simultaneously live connection threads; accepts past the cap
+/// are dropped on the floor rather than exhausting threads.
+const MAX_CONNECTIONS: usize = 256;
 
 /// One tenant as the daemon sees it: the inbound record queue and the
 /// policy stack behind it, separately locked so feeding never waits on
@@ -74,6 +85,11 @@ struct TenantHandle {
     /// draining it — at most one worker touches a tenant at a time,
     /// which is what keeps per-tenant telemetry deterministic.
     scheduled: AtomicBool,
+    /// Set (under the queue lock) by the seal's final drain; a feed
+    /// that observes it drops the record instead of stranding it on a
+    /// queue nobody will drain, which would pin the global backlog
+    /// above zero forever.
+    closed: AtomicBool,
     state: Mutex<TenantState>,
 }
 
@@ -146,6 +162,8 @@ struct ServerState {
     records_total: Counter,
     rejected_opens: Counter,
     connections: Counter,
+    /// Live connection threads, bounded by [`MAX_CONNECTIONS`].
+    live_connections: AtomicUsize,
 }
 
 impl ServerState {
@@ -165,6 +183,7 @@ impl ServerState {
             queued: AtomicU64::new(0),
             overload: Arc::new(AtomicBool::new(false)),
             shutdown: AtomicBool::new(false),
+            live_connections: AtomicUsize::new(0),
         }
     }
 
@@ -218,6 +237,14 @@ impl ServerState {
     }
 
     /// Admits a tenant. Idempotent for an already-open name.
+    ///
+    /// Holds the tenant-map lock across the existence check, the cap
+    /// check, and the insert: two concurrent `OPEN`s of one name must
+    /// not both build steppers (and WAL sinks on the same path) with
+    /// the loser overwriting the winner's handle, and concurrent
+    /// `OPEN`s of distinct names must not slip past `max_tenants`.
+    /// `OPEN` is a rare verb, so briefly blocking feeds/lookups on the
+    /// stepper build is the cheap side of that trade.
     fn open(&self, name: &str, pages: Option<u64>) -> String {
         if self.shutdown.load(Ordering::Acquire) {
             return "ERR shutting down".into();
@@ -226,16 +253,14 @@ impl ServerState {
             self.rejected_opens.inc();
             return "ERR shedding load, admission closed".into();
         }
-        if let Some(existing) = self.lookup(name) {
+        let mut tenants = self.tenants.lock().expect("tenant map lock");
+        if let Some(existing) = tenants.get(name) {
             let pages = existing.state.lock().expect("tenant state lock").pages;
             return format!("OK opened {name} pages {pages}");
         }
-        {
-            let tenants = self.tenants.lock().expect("tenant map lock");
-            if tenants.len() >= self.cfg.max_tenants {
-                self.rejected_opens.inc();
-                return format!("ERR tenant limit {} reached", self.cfg.max_tenants);
-            }
+        if tenants.len() >= self.cfg.max_tenants {
+            self.rejected_opens.inc();
+            return format!("ERR tenant limit {} reached", self.cfg.max_tenants);
         }
         let pages = pages.unwrap_or(self.cfg.default_pages).max(1);
         let (telemetry, wal) = if self.cfg.telemetry {
@@ -261,12 +286,14 @@ impl ServerState {
             Ok(stepper) => stepper,
             Err(e) => return format!("ERR open failed: {e}"),
         };
-        self.insert(name, stepper, telemetry, pages, 0, wal);
+        let handle = self.make_handle(name, stepper, telemetry, pages, 0, wal);
+        tenants.insert(name.to_string(), handle);
+        self.tenants_gauge.set(tenants.len() as f64);
         format!("OK opened {name} pages {pages}")
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn insert(
+    fn make_handle(
         &self,
         name: &str,
         stepper: PolicyStepper<TenantController>,
@@ -274,12 +301,13 @@ impl ServerState {
         pages: u64,
         records: u64,
         wal: Option<String>,
-    ) {
+    ) -> Arc<TenantHandle> {
         let (decisions, records_metric, level_gauge, energy_gauge) = self.tenant_metrics(name);
-        let handle = Arc::new(TenantHandle {
+        Arc::new(TenantHandle {
             name: name.to_string(),
             queue: Mutex::new(VecDeque::new()),
             scheduled: AtomicBool::new(false),
+            closed: AtomicBool::new(false),
             state: Mutex::new(TenantState {
                 stepper,
                 telemetry,
@@ -291,10 +319,7 @@ impl ServerState {
                 level_gauge,
                 energy_gauge,
             }),
-        });
-        let mut tenants = self.tenants.lock().expect("tenant map lock");
-        tenants.insert(name.to_string(), handle);
-        self.tenants_gauge.set(tenants.len() as f64);
+        })
     }
 
     /// The `FEED` fast path: enqueue, bump the backlog, wake a worker.
@@ -307,18 +332,51 @@ impl ServerState {
         let Some(handle) = self.lookup(name) else {
             return;
         };
-        handle
-            .queue
-            .lock()
-            .expect("tenant queue lock")
-            .push_back(record);
+        // Count the record *before* it becomes visible in the queue:
+        // the queue mutex then guarantees that any worker draining it
+        // observes this increment first, so the drain's decrement can
+        // never pull `queued` below zero.
         let backlog = self.queued.fetch_add(1, Ordering::AcqRel) + 1;
+        let pushed = {
+            let mut queue = handle.queue.lock().expect("tenant queue lock");
+            if handle.closed.load(Ordering::Acquire) {
+                false
+            } else {
+                queue.push_back(record);
+                true
+            }
+        };
+        if !pushed {
+            // Lost the race with a CLOSE seal: nobody will ever drain
+            // this record, so take its count back out.
+            self.record_drained(1);
+            return;
+        }
         self.queued_gauge.set(backlog as f64);
         if backlog >= self.cfg.shed_high && !self.overload.swap(true, Ordering::Relaxed) {
             self.admission_gauge.set(1.0);
         }
         if !handle.scheduled.swap(true, Ordering::AcqRel) {
             self.schedule(handle);
+        }
+    }
+
+    /// Takes `drained` records out of the global backlog and applies
+    /// the shed-low hysteresis — every drain path (worker batches, the
+    /// CLOSE/shutdown seal, a feed beaten by a seal) must go through
+    /// here so the overload flag can never stay latched after the
+    /// backlog empties.
+    fn record_drained(&self, drained: u64) {
+        if drained == 0 {
+            return;
+        }
+        let backlog = self
+            .queued
+            .fetch_sub(drained, Ordering::AcqRel)
+            .saturating_sub(drained);
+        self.queued_gauge.set(backlog as f64);
+        if backlog < self.cfg.shed_low && self.overload.swap(false, Ordering::Relaxed) {
+            self.admission_gauge.set(0.0);
         }
     }
 
@@ -336,13 +394,7 @@ impl ServerState {
             self.records_total.add(fed);
             fed
         };
-        if drained > 0 {
-            let backlog = self.queued.fetch_sub(drained, Ordering::AcqRel) - drained;
-            self.queued_gauge.set(backlog as f64);
-            if backlog < self.cfg.shed_low && self.overload.swap(false, Ordering::Relaxed) {
-                self.admission_gauge.set(0.0);
-            }
-        }
+        self.record_drained(drained);
         if !handle.queue.lock().expect("tenant queue lock").is_empty() {
             // Still backlogged: keep `scheduled` set and requeue.
             self.schedule(Arc::clone(handle));
@@ -420,6 +472,9 @@ impl ServerState {
         loop {
             let batch: Vec<TraceRecord> = {
                 let mut queue = handle.queue.lock().expect("tenant queue lock");
+                // Under the queue lock, so any later feed sees the flag
+                // and drops its record instead of stranding it here.
+                handle.closed.store(true, Ordering::Release);
                 queue.drain(..).collect()
             };
             if batch.is_empty() {
@@ -427,8 +482,7 @@ impl ServerState {
             }
             let fed = state.feed_batch(batch);
             self.records_total.add(fed);
-            let backlog = self.queued.fetch_sub(fed, Ordering::AcqRel) - fed;
-            self.queued_gauge.set(backlog as f64);
+            self.record_drained(fed);
         }
         let ckpt = state.stepper.checkpoint();
         let ckpt_path = self.ckpt_path(&handle.name);
@@ -497,7 +551,7 @@ impl ServerState {
                 Some(&ckpt),
             )
             .map_err(io::Error::other)?;
-            self.insert(
+            let handle = self.make_handle(
                 &entry.name,
                 stepper,
                 telemetry,
@@ -505,6 +559,9 @@ impl ServerState {
                 entry.records,
                 wal,
             );
+            let mut tenants = self.tenants.lock().expect("tenant map lock");
+            tenants.insert(entry.name.clone(), handle);
+            self.tenants_gauge.set(tenants.len() as f64);
             resumed += 1;
         }
         Ok(resumed)
@@ -563,6 +620,50 @@ fn execute(state: &Arc<ServerState>, request: Request) -> Option<String> {
     }
 }
 
+/// `read_line` against a stream carrying [`CONN_READ_TIMEOUT`]:
+/// timeouts retry (an idle protocol client between requests is normal)
+/// until the daemon begins shutdown or, when `idle_limit` is set, that
+/// many timeouts pass without a byte arriving. Returns the bytes
+/// appended to `line` (EOF after a partial, unterminated final line
+/// still delivers it, like blocking `read_line` would); `Ok(0)` means
+/// EOF with nothing buffered, or give-up — a timed-out partial line is
+/// incomplete by definition and is dropped with the connection.
+fn read_line_interruptible<R: BufRead>(
+    state: &ServerState,
+    reader: &mut R,
+    line: &mut String,
+    idle_limit: Option<u32>,
+) -> io::Result<usize> {
+    let before = line.len();
+    let mut last_len = before;
+    let mut idle = 0u32;
+    loop {
+        match reader.read_line(line) {
+            Ok(n) => return Ok(if n == 0 { line.len() - before } else { n }),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if state.shutdown.load(Ordering::Acquire) {
+                    return Ok(0);
+                }
+                if line.len() > last_len {
+                    // Partial progress mid-line: the client is slow,
+                    // not stalled.
+                    last_len = line.len();
+                    idle = 0;
+                } else {
+                    idle += 1;
+                    if idle_limit.is_some_and(|limit| idle >= limit) {
+                        return Ok(0);
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
 /// Serves `GET /metrics` (Prometheus text exposition) over just enough
 /// HTTP/1.0: read the request head, write one response, close.
 fn serve_http<R: BufRead>(
@@ -575,7 +676,9 @@ fn serve_http<R: BufRead>(
     let mut line = String::new();
     loop {
         line.clear();
-        if reader.read_line(&mut line)? == 0 || line.trim_end().is_empty() {
+        if read_line_interruptible(state, reader, &mut line, Some(HTTP_IDLE_LIMIT))? == 0
+            || line.trim_end().is_empty()
+        {
             break;
         }
     }
@@ -600,7 +703,7 @@ fn handle_connection(state: Arc<ServerState>, stream: TcpStream) -> io::Result<(
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     let mut line = String::new();
-    if reader.read_line(&mut line)? == 0 {
+    if read_line_interruptible(&state, &mut reader, &mut line, None)? == 0 {
         return Ok(());
     }
     let first = line.trim_end().to_string();
@@ -628,7 +731,7 @@ fn handle_connection(state: Arc<ServerState>, stream: TcpStream) -> io::Result<(
             }
         }
         line.clear();
-        if reader.read_line(&mut line)? == 0 {
+        if read_line_interruptible(&state, &mut reader, &mut line, None)? == 0 {
             return Ok(());
         }
     }
@@ -686,9 +789,22 @@ impl Daemon {
                 }
                 match listener.accept() {
                     Ok((stream, _)) => {
+                        if accept_state.live_connections.fetch_add(1, Ordering::AcqRel)
+                            >= MAX_CONNECTIONS
+                        {
+                            accept_state.live_connections.fetch_sub(1, Ordering::AcqRel);
+                            drop(stream);
+                            continue;
+                        }
+                        // The listener is non-blocking; make sure the
+                        // accepted socket isn't (inherited on some
+                        // platforms) or the read timeout would spin.
+                        stream.set_nonblocking(false).ok();
+                        stream.set_read_timeout(Some(CONN_READ_TIMEOUT)).ok();
                         let state = Arc::clone(&accept_state);
                         std::thread::spawn(move || {
-                            let _ = handle_connection(state, stream);
+                            let _ = handle_connection(Arc::clone(&state), stream);
+                            state.live_connections.fetch_sub(1, Ordering::AcqRel);
                         });
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {

@@ -330,6 +330,58 @@ fn shutdown_seals_and_restart_resumes_gap_free() {
 }
 
 #[test]
+fn close_while_shedding_clears_overload_and_reopens_admission() {
+    let dir = scratch_dir("close-shed");
+    let mut cfg = base_config(&dir);
+    cfg.workers = 1;
+    cfg.batch = 16;
+    cfg.shed_high = 64;
+    cfg.shed_low = 16;
+    let daemon = Daemon::start(cfg).expect("start daemon");
+    let mut client = Client::connect(daemon.addr());
+    assert!(client.ask("OPEN hog 256").starts_with("OK"));
+
+    // Flood the single tenant past the shed watermark.
+    let records = workload(61, 120_000.0);
+    for record in &records {
+        client.feed("hog", record);
+    }
+    client.writer.flush().expect("flush");
+    let started = Instant::now();
+    while !daemon.stats().shedding {
+        assert!(
+            started.elapsed() < Duration::from_secs(60),
+            "the flood must cross the shed watermark"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // CLOSE drains the whole backlog inline through the seal. The shed
+    // flag must clear with that drain — not stay latched with zero
+    // tenants left and every future OPEN rejected. (All FEEDs share
+    // this connection, so they are all enqueued before CLOSE runs; a
+    // worker may still hold the final in-flight batch, hence the poll.)
+    assert!(client.ask("CLOSE hog").starts_with("OK"));
+    assert_eq!(daemon.stats().tenants, 0);
+    let started = Instant::now();
+    while daemon.stats().shedding {
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "overload must clear once the CLOSE drain empties the backlog"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(
+        client.ask("OPEN fresh 256").starts_with("OK"),
+        "admission must reopen after the backlog drains"
+    );
+
+    assert!(client.ask("SHUTDOWN").starts_with("OK"));
+    daemon.join().expect("join");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn overload_sheds_rejects_admissions_and_recovers() {
     let dir = scratch_dir("overload");
     let mut cfg = base_config(&dir);
