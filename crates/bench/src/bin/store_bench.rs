@@ -5,6 +5,10 @@
 //! binary store, then measures end-to-end load + replay (always-on
 //! method) through each path:
 //!
+//! * `engine` — the bare [`jpmd_sim::Engine`] record loop streamed off
+//!   the paged store with **no** policy layer and no observers: the
+//!   raw-speed campaign's hot-path trajectory (ROADMAP item 2),
+//!   tracked per PR alongside the method rows;
 //! * `json` — parse the whole trace into memory, then replay it;
 //! * `binary` — stream records straight off the paged store
 //!   ([`run_method_source`](jpmd_core::methods::run_method_source)), at
@@ -36,7 +40,10 @@ use std::time::Instant;
 
 use jpmd_bench::{write_json, ExperimentConfig, Table, WorkloadPoint};
 use jpmd_core::methods;
+use jpmd_disk::SpinDownPolicy;
+use jpmd_mem::IdlePolicy;
 use jpmd_obs::{wal, ObsEvent, ObsRecord};
+use jpmd_sim::{Engine, HwState, SimObserver};
 use jpmd_store::TraceReader;
 use jpmd_trace::Trace;
 
@@ -177,6 +184,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("generating workload ({} GiB data set)…", point.data_gb);
     let trace = jpmd_bench::experiments::make_trace(&cfg, point);
     let records = trace.records().len();
+    let total_pages = trace.total_pages();
     println!("{records} records over {:.0} s", trace.span());
 
     let dir = std::env::temp_dir();
@@ -191,12 +199,44 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let duration = cfg.duration_secs;
     let period = cfg.period_secs;
 
-    // Run the binary path first: VmHWM is a high-water mark, so the
-    // smaller-footprint path must not run in the shadow of the larger.
-    let tasks: Vec<(&str, &std::path::Path)> = vec![("binary", &jpt_path), ("json", &json_path)];
+    // Run the lean paths first: VmHWM is a high-water mark, so the
+    // smaller-footprint paths must not run in the shadow of the larger.
+    let tasks: Vec<(&str, &std::path::Path)> = vec![
+        ("engine", &jpt_path),
+        ("binary", &jpt_path),
+        ("json", &json_path),
+    ];
     let outcomes = jpmd_bench::run_queue(&tasks, 1, |&(kind, path)| {
         let rss_before = peak_rss_bytes();
         let start = Instant::now();
+        if kind == "engine" {
+            // The bare record loop: stream the store through the engine
+            // with no policy and no observers — the per-record ceiling
+            // the method rows are chasing.
+            let sim = scale.sim_config(IdlePolicy::Nap, scale.total_banks());
+            let mut hw = HwState::new(&sim, SpinDownPolicy::AlwaysOn, total_pages);
+            let mut observers: [&mut dyn SimObserver; 0] = [];
+            let stats = Engine::new()
+                .run_source(
+                    TraceReader::open(path).expect("open store"),
+                    duration,
+                    &mut hw,
+                    &mut observers,
+                )
+                .expect("engine replay");
+            let secs = start.elapsed().as_secs_f64();
+            assert!(stats.events_processed > 0);
+            let delta = match (rss_before, peak_rss_bytes()) {
+                (Some(before), Some(after)) => (after - before) as f64 / (1024.0 * 1024.0),
+                _ => f64::NAN,
+            };
+            return PathResult {
+                records_per_sec: records as f64 / secs.max(f64::MIN_POSITIVE),
+                load_replay_secs: secs,
+                file_bytes: std::fs::metadata(path).map_or(f64::NAN, |m| m.len() as f64),
+                peak_rss_delta_mb: delta,
+            };
+        }
         let report = match kind {
             "binary" => methods::run_method_source(
                 &spec,
@@ -230,7 +270,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
 
     let mut table = Table::new(
-        "Trace store: load+replay, JSON vs paged binary",
+        "Trace store: load+replay — bare engine, paged binary, JSON",
         vec![
             "records/s".into(),
             "secs".into(),

@@ -26,11 +26,11 @@
 //! foreign file is named as foreign before any checksum complaint, and
 //! every physical defect is a typed error.
 
-use std::fs::{self, File};
+use std::fs;
 use std::io::{Seek, SeekFrom, Write};
 use std::path::Path;
 
-use jpmd_store::{crc32, sync_parent_dir};
+use jpmd_store::{crc32, SharedBackend};
 use serde::Value;
 
 use crate::codec;
@@ -60,6 +60,19 @@ fn encode_header(payload_len: u64, payload_crc: u32) -> [u8; HEADER_BYTES] {
 /// Serializes `root` into `path` with the crash-consistent write
 /// protocol described in the module docs.
 pub(crate) fn write_jck(path: &Path, root: &Value) -> Result<(), CkptError> {
+    write_jck_on(&SharedBackend::real_fs(), path, root)
+}
+
+/// [`write_jck`] through an explicit storage backend (the fault-injection
+/// seam). On **any** failure the temp sibling is deleted best-effort, so
+/// a failed seal never leaves a stale `<name>.jck.tmp` behind — and never
+/// a valid-looking `.jck`, since the destination is only ever touched by
+/// the final atomic rename.
+pub(crate) fn write_jck_on(
+    backend: &SharedBackend,
+    path: &Path,
+    root: &Value,
+) -> Result<(), CkptError> {
     let payload = codec::encode(root);
     let file_name = path
         .file_name()
@@ -68,17 +81,22 @@ pub(crate) fn write_jck(path: &Path, root: &Value) -> Result<(), CkptError> {
     tmp_name.push(".tmp");
     let tmp = path.with_file_name(tmp_name);
 
-    let mut file = File::create(&tmp)?;
-    file.write_all(&encode_header(POISON_LEN, 0))?;
-    file.write_all(&payload)?;
-    file.seek(SeekFrom::Start(0))?;
-    file.write_all(&encode_header(payload.len() as u64, crc32(&payload)))?;
-    file.sync_all()?;
-    drop(file);
-
-    fs::rename(&tmp, path)?;
-    sync_parent_dir(path)?;
-    Ok(())
+    let sealed = (|| -> Result<(), CkptError> {
+        let mut file = backend.create(&tmp)?;
+        file.write_all(&encode_header(POISON_LEN, 0))?;
+        file.write_all(&payload)?;
+        file.seek(SeekFrom::Start(0))?;
+        file.write_all(&encode_header(payload.len() as u64, crc32(&payload)))?;
+        file.sync_all()?;
+        drop(file);
+        backend.rename(&tmp, path)?;
+        backend.sync_parent_dir(path)?;
+        Ok(())
+    })();
+    if sealed.is_err() {
+        backend.remove_file(&tmp).ok();
+    }
+    sealed
 }
 
 /// Loads and validates `path`, returning the decoded payload tree.

@@ -43,6 +43,7 @@ use std::path::{Path, PathBuf};
 
 use jpmd_obs::Telemetry;
 use jpmd_sim::SimCheckpoint;
+use jpmd_store::SharedBackend;
 use serde::Value;
 
 pub use error::CkptError;
@@ -125,11 +126,29 @@ pub fn save_checkpoint(
     meta: &CkptMeta,
     ckpt: &SimCheckpoint,
 ) -> Result<(), CkptError> {
+    save_checkpoint_on(&SharedBackend::real_fs(), path, meta, ckpt)
+}
+
+/// [`save_checkpoint`] through an explicit storage backend (the
+/// fault-injection seam). The crash-consistency guarantees are the same
+/// under injected faults: a failed seal deletes its temp sibling and
+/// never touches the destination, so the previous good checkpoint (or
+/// nothing) is what remains.
+///
+/// # Errors
+///
+/// Propagates I/O failures (injected or real) as [`CkptError::Io`].
+pub fn save_checkpoint_on(
+    backend: &SharedBackend,
+    path: impl AsRef<Path>,
+    meta: &CkptMeta,
+    ckpt: &SimCheckpoint,
+) -> Result<(), CkptError> {
     let root = Value::Object(vec![
         ("meta".into(), serde::Serialize::to_value(meta)),
         ("checkpoint".into(), serde::Serialize::to_value(ckpt)),
     ]);
-    format::write_jck(path.as_ref(), &root)
+    format::write_jck_on(backend, path.as_ref(), &root)
 }
 
 /// Loads and validates a `.jck` file.
@@ -186,9 +205,17 @@ pub struct FileCheckpointer {
     path: PathBuf,
     meta: CkptMeta,
     telemetry: Telemetry,
+    backend: SharedBackend,
+    retries: u32,
+    retry_delay: std::time::Duration,
     saved: u64,
+    retried: u64,
     error: Option<CkptError>,
 }
+
+/// Attempts [`FileCheckpointer::save`] makes per checkpoint (the first
+/// try plus `SAVE_ATTEMPTS - 1` retries) before giving up.
+pub const SAVE_ATTEMPTS: u32 = 3;
 
 impl FileCheckpointer {
     /// A checkpointer publishing to `path` with the given run identity.
@@ -197,15 +224,41 @@ impl FileCheckpointer {
             path: path.into(),
             meta,
             telemetry,
+            backend: SharedBackend::real_fs(),
+            retries: SAVE_ATTEMPTS - 1,
+            retry_delay: std::time::Duration::from_millis(10),
             saved: 0,
+            retried: 0,
             error: None,
         }
     }
 
-    /// Flushes telemetry, then publishes `ckpt`. Returns `true` to let
-    /// the run continue; a failed save returns `false` (stopping the run
-    /// at a well-defined boundary beats running on without crash safety)
-    /// and parks the error for [`FileCheckpointer::take_error`].
+    /// Routes every seal through an explicit storage backend (the
+    /// fault-injection seam).
+    #[must_use]
+    pub fn with_backend(mut self, backend: SharedBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Overrides the retry budget: `attempts` total tries per save
+    /// (minimum 1) separated by `delay`. The default is [`SAVE_ATTEMPTS`]
+    /// tries 10 ms apart — enough to ride out a transient error without
+    /// stalling the simulation behind a dead disk.
+    #[must_use]
+    pub fn with_retry(mut self, attempts: u32, delay: std::time::Duration) -> Self {
+        self.retries = attempts.max(1) - 1;
+        self.retry_delay = delay;
+        self
+    }
+
+    /// Flushes telemetry, then publishes `ckpt`, retrying a failed seal
+    /// up to the configured attempt budget (each failed attempt cleans up
+    /// its own temp file; the destination is only touched by a successful
+    /// atomic rename). Returns `true` to let the run continue; exhausting
+    /// the budget returns `false` (stopping the run at a well-defined
+    /// boundary beats running on without crash safety) and parks the last
+    /// error for [`FileCheckpointer::take_error`].
     ///
     /// The published metadata carries the WAL/index position
     /// ([`jpmd_obs::Telemetry::wal_index`]) read **after** the flush, so
@@ -213,14 +266,25 @@ impl FileCheckpointer {
     pub fn save(&mut self, ckpt: &SimCheckpoint) -> bool {
         self.telemetry.flush();
         self.meta.wal_index = self.telemetry.wal_index();
-        match save_checkpoint(&self.path, &self.meta, ckpt) {
-            Ok(()) => {
-                self.saved += 1;
-                true
-            }
-            Err(e) => {
-                self.error = Some(e);
-                false
+        let mut attempt = 0;
+        loop {
+            match save_checkpoint_on(&self.backend, &self.path, &self.meta, ckpt) {
+                Ok(()) => {
+                    self.saved += 1;
+                    return true;
+                }
+                Err(e) if attempt < self.retries => {
+                    attempt += 1;
+                    self.retried += 1;
+                    drop(e);
+                    if !self.retry_delay.is_zero() {
+                        std::thread::sleep(self.retry_delay);
+                    }
+                }
+                Err(e) => {
+                    self.error = Some(e);
+                    return false;
+                }
             }
         }
     }
@@ -228,6 +292,12 @@ impl FileCheckpointer {
     /// Checkpoints successfully published so far.
     pub fn saved(&self) -> u64 {
         self.saved
+    }
+
+    /// Seal attempts that failed and were retried (a health signal: a
+    /// storage layer that needs retries is a storage layer to watch).
+    pub fn retried(&self) -> u64 {
+        self.retried
     }
 
     /// The save failure that stopped the run, if any.

@@ -11,6 +11,7 @@
 //! | disk | [`HwFaults`] (a [`jpmd_sim::FaultInjector`]) | inflated service times, failed spin-up first attempts |
 //! | memory banks | [`HwFaults`] | refused power transitions (the granted count sticks) |
 //! | policy | [`FaultyPolicy`] | injected typed decision failures in a bounded window |
+//! | storage | [`FaultyStorage`] (a [`jpmd_store::StorageBackend`]) | disk-full and hard I/O errors, torn writes, failed fsyncs, crashed renames — see [`IoFaultPlan`] |
 //!
 //! Failures surface to the [`DegradationGuard`], a
 //! [`PeriodController`](jpmd_sim::PeriodController) that retreats down a
@@ -40,6 +41,7 @@ mod inject;
 mod plan;
 mod rng;
 mod source;
+mod storage;
 
 pub use chaos::{
     chaos_trace, run_chaos, run_chaos_checkpointed, run_instrumented, ChaosConfig, ChaosOutcome,
@@ -52,3 +54,9 @@ pub use inject::{HwFaultCounts, HwFaults};
 pub use plan::{BankFaults, DiskFaults, FaultPlan, PolicyFaults, SourceFaults};
 pub use rng::FaultRng;
 pub use source::{FaultyTraceSource, InjectedSourceFault, SourceFaultCounts};
+pub use storage::{FaultyStorage, IoFaultCounts, IoFaultMonitor, IoFaultPlan, StorageFaults};
+
+// Consumers that only wire fault plans into the durability stack (the
+// serve daemon, the torture harness) reach the seam types through this
+// crate instead of growing their own `jpmd-store` dependency.
+pub use jpmd_store::{RealFs, SharedBackend, StorageBackend, StorageFile};

@@ -1,0 +1,200 @@
+//! Storage-fault property tests (the `store_torture` invariant, in
+//! miniature, over arbitrary seeds): a journaled paged store driven
+//! through a seeded [`IoFaultPlan`] either completes its workload or
+//! recovers to an **exact commit prefix** — after every injected
+//! failure, reopening yields the state of some commit `m` with
+//! `acked <= m <= attempted`, bit-exact per page. No panic, no silently
+//! wrong page, ever.
+
+use std::path::{Path, PathBuf};
+
+use jpmd_faults::{FaultyStorage, IoFaultPlan, SharedBackend, StorageFaults};
+use jpmd_store::{journal_path, PagedFile};
+use proptest::prelude::*;
+
+const PS: u32 = 64;
+const DATA_PAGES: u64 = 8;
+const TARGET_COMMITS: u64 = 40;
+
+/// Page 0 is the commit counter: the count in the first 8 bytes, the
+/// rest zeros.
+fn counter_image(commit: u64) -> Vec<u8> {
+    let mut img = vec![0u8; PS as usize];
+    img[..8].copy_from_slice(&commit.to_le_bytes());
+    img
+}
+
+/// Commit `c` (1-based) also rewrites one data page, round-robin.
+fn data_page_for(commit: u64) -> u64 {
+    (commit - 1) % DATA_PAGES + 1
+}
+
+fn data_image(commit: u64) -> Vec<u8> {
+    vec![(commit % 249 + 1) as u8; PS as usize]
+}
+
+/// The exact expected image of `page` after `m` commits, if it exists.
+fn expected_image(page: u64, m: u64) -> Option<Vec<u8>> {
+    if page == 0 {
+        return (m > 0).then(|| counter_image(m));
+    }
+    // The largest commit <= m that wrote this data page.
+    let last = (1..=m).rev().find(|&c| data_page_for(c) == page)?;
+    Some(data_image(last))
+}
+
+/// Reads the adopted commit count out of a (recovered) store.
+fn read_counter(db: &mut PagedFile) -> u64 {
+    match db.read_page(0) {
+        Ok(img) => u64::from_le_bytes(img[..8].try_into().unwrap()),
+        // No commit ever became durable.
+        Err(_) => 0,
+    }
+}
+
+/// Full-state check: the store holds exactly the prefix state `m`.
+fn assert_prefix_state(db: &mut PagedFile, m: u64) {
+    for page in 0..=DATA_PAGES.min(m) {
+        if let Some(want) = expected_image(page, m) {
+            let got = db.read_page(page);
+            assert!(got.is_ok(), "page {page} unreadable at prefix {m}");
+            assert_eq!(got.unwrap(), want, "page {page} at prefix {m}");
+        }
+    }
+}
+
+/// Reopens under continued fault injection, falling back to the real
+/// filesystem if the faults are so hot the open never lands — the files
+/// themselves are valid either way, which is the point.
+fn reopen(backend: &SharedBackend, path: &Path) -> PagedFile {
+    for _ in 0..50 {
+        if let Ok(db) = PagedFile::open_on(backend.clone(), path, 4) {
+            return db;
+        }
+    }
+    PagedFile::open(path, 4).expect("a valid store always opens faultless")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn faulted_journaled_store_recovers_to_an_exact_commit_prefix(seed in any::<u64>()) {
+        let dir: PathBuf = std::env::temp_dir().join(format!(
+            "jpmd-storage-props-{}-{seed:016x}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.jdb");
+        let plan = IoFaultPlan {
+            seed,
+            faults: StorageFaults {
+                enospc_prob: 0.05,
+                eio_prob: 0.03,
+                short_write_prob: 0.03,
+                fsync_fail_prob: 0.03,
+                rename_fail_prob: 0.0,
+            },
+            from_op: 0,
+            until_op: u64::MAX,
+        };
+        let storage = FaultyStorage::new(plan);
+        let monitor = storage.monitor();
+        let backend = SharedBackend::from(storage);
+
+        // Creation itself is faulted; retry until the store exists.
+        let mut db = None;
+        for _ in 0..50 {
+            match PagedFile::create_on(backend.clone(), &path, PS, 4) {
+                Ok(created) => { db = Some(created); break; }
+                Err(_) => continue,
+            }
+        }
+        let mut db = db.expect("store creation lands within the retry budget");
+
+        let mut m: u64 = 0; // adopted durable commit prefix
+        let mut attempts: u64 = 0;
+        while m < TARGET_COMMITS {
+            attempts += 1;
+            prop_assert!(attempts < 4000, "workload must terminate");
+            let next = m + 1;
+            let staged = db
+                .write_page(0, &counter_image(next))
+                .and_then(|()| db.write_page(data_page_for(next), &data_image(next)))
+                .and_then(|()| db.commit())
+                .and_then(|seq| {
+                    // Periodic checkpoints exercise write-back + truncate
+                    // under the same faults.
+                    if next.is_multiple_of(5) { db.checkpoint().map(|()| seq) } else { Ok(seq) }
+                });
+            match staged {
+                Ok(_) => {
+                    m = next;
+                }
+                Err(_) => {
+                    // Typed failure: treat it as a crash. Reopen and the
+                    // store must be at an exact prefix in [m, next].
+                    drop(db);
+                    db = reopen(&backend, &path);
+                    let recovered = read_counter(&mut db);
+                    prop_assert!(
+                        recovered == m || recovered == next,
+                        "recovered prefix {recovered} outside [{m}, {next}]"
+                    );
+                    assert_prefix_state(&mut db, recovered);
+                    m = recovered;
+                }
+            }
+        }
+
+        // Final verify through the raw filesystem: the surviving files
+        // are a complete, bit-exact prefix state.
+        drop(db);
+        let mut clean = PagedFile::open(&path, 4).expect("final faultless open");
+        prop_assert_eq!(read_counter(&mut clean), TARGET_COMMITS);
+        assert_prefix_state(&mut clean, TARGET_COMMITS);
+        // The run wasn't vacuous for most seeds; don't assert per-seed
+        // (a lucky stream may inject nothing), just keep the counters
+        // observable.
+        let _ = monitor.injected();
+        drop(clean);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(journal_path(&path)).ok();
+        std::fs::remove_dir(&dir).ok();
+    }
+
+    #[test]
+    fn disabled_plan_trace_store_is_byte_identical_to_direct_fs(seed in any::<u64>()) {
+        use jpmd_store::TraceWriter;
+        use jpmd_trace::{AccessKind, FileId, TraceRecord};
+        let dir: PathBuf = std::env::temp_dir().join(format!(
+            "jpmd-storage-ident-{}-{seed:016x}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let rec = |i: u64| TraceRecord {
+            time: i as f64,
+            file: FileId(1),
+            first_page: (seed.wrapping_add(i)) % 100,
+            pages: 1,
+            kind: if i.is_multiple_of(2) { AccessKind::Read } else { AccessKind::Write },
+        };
+        let direct = dir.join("direct.jpt");
+        let wrapped = dir.join("wrapped.jpt");
+        {
+            let mut w = TraceWriter::create(&direct, 4096, 100).unwrap();
+            for i in 0..200 { w.write_record(&rec(i)).unwrap(); }
+            w.finish_durable().unwrap();
+        }
+        {
+            let storage = FaultyStorage::new(IoFaultPlan { seed, ..IoFaultPlan::disabled() });
+            let monitor = storage.monitor();
+            let mut w = TraceWriter::create_on(SharedBackend::from(storage), &wrapped, 4096, 100).unwrap();
+            for i in 0..200 { w.write_record(&rec(i)).unwrap(); }
+            w.finish_durable().unwrap();
+            prop_assert_eq!(monitor.injected().total(), 0);
+        }
+        prop_assert_eq!(std::fs::read(&direct).unwrap(), std::fs::read(&wrapped).unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -37,7 +37,7 @@ pub use event::{CandidatePower, ObsEvent, ObsRecord};
 pub use metrics::{
     labeled, Counter, Gauge, HistogramHandle, MetricValue, MetricsRegistry, MetricsSnapshot,
 };
-pub use sink::{JsonlSink, MemorySink, NullSink, Sink, WalIndexPos, WalPolicy};
+pub use sink::{JsonlSink, MemorySink, NullSink, Sink, WalIndexPos, WalPolicy, WAL_RING_CAP};
 pub use span::{SpanGuard, SpanRecorder, SpanTiming};
 
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -201,6 +201,25 @@ impl Telemetry {
     /// so a snapshot records exactly which WAL prefix it sealed against.
     pub fn wal_index(&self) -> Option<WalIndexPos> {
         self.inner.as_ref().and_then(|inner| inner.sink.wal_index())
+    }
+
+    /// Write/flush errors the sink has absorbed so far
+    /// ([`Sink::write_errors`]): 0 for a disabled handle. Pollers (the
+    /// serve daemon's per-tenant metrics) read this as a live counter —
+    /// unlike [`Telemetry::close`], it does not imply records were lost.
+    pub fn write_errors(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |inner| inner.sink.write_errors())
+    }
+
+    /// Whether the sink is currently degraded
+    /// ([`Sink::storage_degraded`]): records held in memory or a torn
+    /// tail pending cleanup. `false` for a disabled handle.
+    pub fn storage_degraded(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|inner| inner.sink.storage_degraded())
     }
 
     /// Closes out a run: if the sink dropped any records (write errors),

@@ -2,18 +2,18 @@
 
 use std::collections::VecDeque;
 use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, BufWriter, Seek, SeekFrom, Write};
+use std::io::{BufRead, BufReader, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use jpmd_store::{
-    index_path, next_segment_path, IndexEntry, PeriodIndex, PeriodIndexWriter, INDEX_ENTRY_BYTES,
-    INDEX_HEADER_BYTES,
+    index_path, next_segment_path, IndexEntry, PeriodIndex, PeriodIndexWriter, SharedBackend,
+    StorageFile, INDEX_ENTRY_BYTES, INDEX_HEADER_BYTES,
 };
 use serde::{Deserialize, Serialize};
 
-use crate::ObsRecord;
+use crate::{ObsEvent, ObsRecord};
 
 /// A destination for telemetry records.
 ///
@@ -40,6 +40,22 @@ pub trait Sink: Send + Sync {
     /// against. Sinks without a WAL return `None` (the default).
     fn wal_index(&self) -> Option<WalIndexPos> {
         None
+    }
+
+    /// Write/flush errors the sink has absorbed so far (0 for sinks
+    /// that cannot fail). Unlike [`Sink::dropped_records`], this counts
+    /// every failed I/O attempt — a sink that buffered the record and
+    /// later persisted it still counts the error here.
+    fn write_errors(&self) -> u64 {
+        0
+    }
+
+    /// Whether the sink is currently degraded: records are being held
+    /// in memory (or a torn tail is pending cleanup) because the
+    /// backing storage is failing. A healthy or storage-less sink
+    /// returns `false` (the default).
+    fn storage_degraded(&self) -> bool {
+        false
     }
 }
 
@@ -98,24 +114,75 @@ struct IndexState {
     indexable_seen: u64,
 }
 
-/// Everything the emit path mutates under one lock: the buffered file,
-/// the byte offset the *next* line will start at, and the optional
-/// index.
+/// Most records a degraded [`JsonlSink`] holds in memory while the
+/// backing storage is failing; beyond this the oldest buffered record
+/// is dropped (and counted as lost).
+pub const WAL_RING_CAP: usize = 1024;
+
+/// Everything the emit path mutates under one lock: the file handle,
+/// the byte offset the *next* line will start at (the durable prefix),
+/// the degradation ring, and the optional index.
 struct SinkState {
-    writer: BufWriter<File>,
+    file: Box<dyn StorageFile>,
+    /// Bytes known good: every line up to here was fully written.
     offset: u64,
+    /// A failed write may have left a partial line after `offset`; the
+    /// tail must be truncated before anything else is appended.
+    dirty_tail: bool,
+    /// Records awaiting the disk's recovery, oldest first.
+    ring: VecDeque<ObsRecord>,
+    /// Records pushed out of the full ring since the last gap marker —
+    /// the count the next marker will document.
+    lost: u64,
+    /// Sequence number of the first lost record (the gap marker's seq).
+    first_lost_seq: Option<u64>,
+    /// Every record ever pushed out of the full ring; never reset, so
+    /// [`Sink::dropped_records`] stays an honest lifetime total even
+    /// after recovery documented the gap in-stream.
+    lost_total: u64,
     index: Option<IndexState>,
+}
+
+impl SinkState {
+    fn degraded(&self) -> bool {
+        self.dirty_tail || !self.ring.is_empty()
+    }
+
+    /// Buffers a record the disk would not take, evicting (and counting
+    /// as lost) the oldest buffered record when the ring is full.
+    fn enqueue(&mut self, record: &ObsRecord) {
+        if self.ring.len() >= WAL_RING_CAP {
+            if let Some(evicted) = self.ring.pop_front() {
+                if self.first_lost_seq.is_none() {
+                    self.first_lost_seq = Some(evicted.seq);
+                }
+                self.lost += 1;
+                self.lost_total += 1;
+            }
+        }
+        self.ring.push_back(record.clone());
+    }
 }
 
 /// Appends records as compact JSON lines to a file.
 ///
-/// Writes go through a mutex-guarded [`BufWriter`]; the file is flushed
-/// on [`Sink::flush`], when the sink is dropped, and per the configured
-/// [`WalPolicy`]. Write failures are **counted** (not silently
-/// swallowed): [`Sink::dropped_records`] reports how many records never
-/// reached the file, and [`Telemetry::close`](crate::Telemetry::close)
-/// surfaces the count through the metrics registry and a final
-/// [`Message`](crate::ObsEvent::Message) event.
+/// Writes are **write-through**: each record's line goes to the file in
+/// one write, so the tracked offset is always the durable-prefix
+/// boundary and a failed write never leaves buffered bytes in limbo.
+/// The configured [`WalPolicy`] controls how often the file is
+/// additionally fsynced.
+///
+/// **Degradation instead of data loss**: when a write fails (full disk,
+/// I/O error), the record is kept in a bounded in-memory ring
+/// ([`WAL_RING_CAP`]) and every later emission first retries recovery —
+/// truncating any torn tail back to the durable prefix, then draining
+/// the ring. If records were pushed out of the full ring while the disk
+/// was down, the drained stream starts with a gap-marker
+/// [`Message`](crate::ObsEvent::Message) carrying the first lost seq, so
+/// readers can see exactly where (and how much) was lost.
+/// [`Sink::write_errors`] counts failed attempts,
+/// [`Sink::storage_degraded`] reports live degradation, and
+/// [`Sink::dropped_records`] reports what was actually lost.
 ///
 /// An **indexed** sink ([`JsonlSink::create_indexed`]) additionally
 /// maintains the `<wal>.jx` sparse period index: every `stride`-th
@@ -128,7 +195,7 @@ pub struct JsonlSink {
     state: Mutex<SinkState>,
     policy: WalPolicy,
     emitted: AtomicU64,
-    dropped: AtomicU64,
+    write_errors: AtomicU64,
 }
 
 impl JsonlSink {
@@ -148,16 +215,22 @@ impl JsonlSink {
     ///
     /// Propagates the file-creation failure.
     pub fn create_with(path: impl AsRef<Path>, policy: WalPolicy) -> std::io::Result<Self> {
-        Ok(JsonlSink {
-            state: Mutex::new(SinkState {
-                writer: BufWriter::new(File::create(path)?),
-                offset: 0,
-                index: None,
-            }),
-            policy,
-            emitted: AtomicU64::new(0),
-            dropped: AtomicU64::new(0),
-        })
+        Self::create_with_on(SharedBackend::real_fs(), path, policy)
+    }
+
+    /// [`JsonlSink::create_with`] through an explicit storage backend
+    /// (the fault-injection seam).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the file-creation failure (injected or real).
+    pub fn create_with_on(
+        backend: SharedBackend,
+        path: impl AsRef<Path>,
+        policy: WalPolicy,
+    ) -> std::io::Result<Self> {
+        let file = backend.create(path.as_ref())?;
+        Ok(Self::from_parts(file, 0, None, policy))
     }
 
     /// Creates (truncating) `path` plus its `<path>.jx` sparse period
@@ -173,22 +246,56 @@ impl JsonlSink {
         policy: WalPolicy,
         stride: u32,
     ) -> std::io::Result<Self> {
+        Self::create_indexed_on(SharedBackend::real_fs(), path, policy, stride)
+    }
+
+    /// [`JsonlSink::create_indexed`] through an explicit storage backend.
+    ///
+    /// # Errors
+    ///
+    /// Propagates WAL/sidecar creation failures (injected or real).
+    pub fn create_indexed_on(
+        backend: SharedBackend,
+        path: impl AsRef<Path>,
+        policy: WalPolicy,
+        stride: u32,
+    ) -> std::io::Result<Self> {
         let path = path.as_ref();
-        let index =
-            PeriodIndexWriter::create(index_path(path), stride).map_err(std::io::Error::other)?;
-        Ok(JsonlSink {
+        let index = PeriodIndexWriter::create_on(&*backend, index_path(path), stride)
+            .map_err(std::io::Error::other)?;
+        let file = backend.create(path)?;
+        Ok(Self::from_parts(
+            file,
+            0,
+            Some(IndexState {
+                writer: index,
+                indexable_seen: 0,
+            }),
+            policy,
+        ))
+    }
+
+    fn from_parts(
+        file: Box<dyn StorageFile>,
+        offset: u64,
+        index: Option<IndexState>,
+        policy: WalPolicy,
+    ) -> Self {
+        JsonlSink {
             state: Mutex::new(SinkState {
-                writer: BufWriter::new(File::create(path)?),
-                offset: 0,
-                index: Some(IndexState {
-                    writer: index,
-                    indexable_seen: 0,
-                }),
+                file,
+                offset,
+                dirty_tail: false,
+                ring: VecDeque::new(),
+                lost: 0,
+                first_lost_seq: None,
+                lost_total: 0,
+                index,
             }),
             policy,
             emitted: AtomicU64::new(0),
-            dropped: AtomicU64::new(0),
-        })
+            write_errors: AtomicU64::new(0),
+        }
     }
 
     /// Reopens an existing telemetry file for a resumed run: keeps every
@@ -211,7 +318,30 @@ impl JsonlSink {
         from_seq: u64,
         policy: WalPolicy,
     ) -> std::io::Result<Self> {
-        Self::resume_inner(path.as_ref(), from_seq, policy, None)
+        Self::resume_inner(
+            SharedBackend::real_fs(),
+            path.as_ref(),
+            from_seq,
+            policy,
+            None,
+        )
+    }
+
+    /// [`JsonlSink::resume`] through an explicit storage backend. The
+    /// trim-point *scan* reads the real file directly (recovery must see
+    /// what actually survived); only the writable handle and truncation
+    /// go through the backend.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures opening, scanning, or truncating the file.
+    pub fn resume_on(
+        backend: SharedBackend,
+        path: impl AsRef<Path>,
+        from_seq: u64,
+        policy: WalPolicy,
+    ) -> std::io::Result<Self> {
+        Self::resume_inner(backend, path.as_ref(), from_seq, policy, None)
     }
 
     /// [`JsonlSink::resume`], but the trimmed sidecar is reopened and
@@ -228,7 +358,30 @@ impl JsonlSink {
         policy: WalPolicy,
         stride: u32,
     ) -> std::io::Result<Self> {
-        Self::resume_inner(path.as_ref(), from_seq, policy, Some(stride))
+        Self::resume_inner(
+            SharedBackend::real_fs(),
+            path.as_ref(),
+            from_seq,
+            policy,
+            Some(stride),
+        )
+    }
+
+    /// [`JsonlSink::resume_indexed`] through an explicit storage backend
+    /// (see [`JsonlSink::resume_on`] for what goes through it).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures on the WAL itself; sidecar failures fall
+    /// back to an unindexed (but still resumed) sink.
+    pub fn resume_indexed_on(
+        backend: SharedBackend,
+        path: impl AsRef<Path>,
+        from_seq: u64,
+        policy: WalPolicy,
+        stride: u32,
+    ) -> std::io::Result<Self> {
+        Self::resume_inner(backend, path.as_ref(), from_seq, policy, Some(stride))
     }
 
     /// Opens a **new segment** for a resumed run instead of rewriting
@@ -252,6 +405,7 @@ impl JsonlSink {
     }
 
     fn resume_inner(
+        backend: SharedBackend,
         path: &Path,
         from_seq: u64,
         policy: WalPolicy,
@@ -285,31 +439,102 @@ impl JsonlSink {
                 }
             }
         }
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(path)?;
+        let mut file = if backend.exists(path) {
+            backend.open_rw(path)?
+        } else {
+            backend.create(path)?
+        };
         file.set_len(keep)?;
         file.seek(SeekFrom::Start(keep))?;
         let index = trim_sidecar(path, from_seq, keep, index_stride);
-        Ok(JsonlSink {
-            state: Mutex::new(SinkState {
-                writer: BufWriter::new(file),
-                offset: keep,
-                index,
-            }),
-            policy,
-            emitted: AtomicU64::new(0),
-            dropped: AtomicU64::new(0),
-        })
+        Ok(Self::from_parts(file, keep, index, policy))
     }
 
-    fn flush_inner(&self, writer: &mut BufWriter<File>) -> std::io::Result<()> {
-        writer.flush()?;
+    /// Writes one already-rendered line at the durable-prefix boundary.
+    /// On success the offset advances past it; on failure the tail is
+    /// marked dirty (the line may be half on disk) and indexing stops
+    /// for good — no entry may ever point into unreliable bytes.
+    fn write_line_locked(&self, state: &mut SinkState, line: &str) -> std::io::Result<()> {
+        debug_assert!(!state.dirty_tail, "never append after a torn tail");
+        let mut bytes = Vec::with_capacity(line.len() + 1);
+        bytes.extend_from_slice(line.as_bytes());
+        bytes.push(b'\n');
+        match state.file.write_all(&bytes) {
+            Ok(()) => {
+                state.offset += bytes.len() as u64;
+                Ok(())
+            }
+            Err(err) => {
+                self.write_errors.fetch_add(1, Ordering::Relaxed);
+                state.dirty_tail = true;
+                state.index = None;
+                Err(err)
+            }
+        }
+    }
+
+    /// Brings a degraded sink back to healthy if the storage lets it:
+    /// truncates any torn tail back to the durable prefix, then drains
+    /// the ring (prefixed by a gap-marker line when records were lost).
+    /// A no-op for a healthy sink; returns whether the sink is healthy
+    /// afterwards.
+    fn recover_locked(&self, state: &mut SinkState) -> bool {
+        if !state.degraded() {
+            return true;
+        }
+        if state.dirty_tail {
+            let cleaned = state
+                .file
+                .set_len(state.offset)
+                .and_then(|()| state.file.seek(SeekFrom::Start(state.offset)).map(|_| ()));
+            if let Err(_err) = cleaned {
+                self.write_errors.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            state.dirty_tail = false;
+        }
+        // Lost records are a contiguous run evicted from the ring front,
+        // so one marker carrying the first lost seq documents the whole
+        // gap. It inherits the shard of the oldest surviving record so
+        // per-shard seq streams stay coherent for readers.
+        if state.lost > 0 {
+            let marker = ObsRecord {
+                seq: state.first_lost_seq.unwrap_or(0),
+                t_wall_ms: None,
+                shard: state.ring.front().and_then(|r| r.shard),
+                event: ObsEvent::Message {
+                    text: format!(
+                        "wal gap: {} record(s) lost to storage errors starting at seq {}",
+                        state.lost,
+                        state.first_lost_seq.unwrap_or(0)
+                    ),
+                },
+            };
+            if self.write_line_locked(state, &marker.to_line()).is_err() {
+                return false;
+            }
+            state.lost = 0;
+            state.first_lost_seq = None;
+        }
+        while let Some(record) = state.ring.front() {
+            let line = record.to_line();
+            if self.write_line_locked(state, &line).is_err() {
+                return false;
+            }
+            state.ring.pop_front();
+        }
+        true
+    }
+
+    fn fsync_locked(&self, state: &mut SinkState) -> std::io::Result<()> {
         if self.policy.fsync {
-            writer.get_ref().sync_data()?;
+            if let Err(err) = state.file.sync_data() {
+                // The bytes were written and the offset is exact, so the
+                // sink stays healthy — but the error is still counted:
+                // durability was weaker than the policy promised.
+                self.write_errors.fetch_add(1, Ordering::Relaxed);
+                return Err(err);
+            }
         }
         Ok(())
     }
@@ -398,63 +623,55 @@ impl Sink for JsonlSink {
     fn emit(&self, record: &ObsRecord) {
         let mut state = self.state.lock().expect("jsonl sink lock");
         let state = &mut *state;
-        let line = record.to_line();
+        let n = self.emitted.fetch_add(1, Ordering::Relaxed) + 1;
+        // A full disk mid-run must not abort the simulation it observes:
+        // a record the storage won't take rides the in-memory ring until
+        // recovery succeeds (or the ring evicts it, which is counted).
+        if !self.recover_locked(state) {
+            state.enqueue(record);
+            return;
+        }
         let line_start = state.offset;
-        // A full disk mid-run must not abort the simulation it observes;
-        // failures are counted and surfaced at close instead.
-        let result = state
-            .writer
-            .write_all(line.as_bytes())
-            .and_then(|()| state.writer.write_all(b"\n"))
-            .and_then(|()| {
-                let n = self.emitted.fetch_add(1, Ordering::Relaxed) + 1;
-                if self.policy.flush_every > 0 && n.is_multiple_of(self.policy.flush_every) {
-                    self.flush_inner(&mut state.writer)
-                } else {
-                    Ok(())
-                }
-            });
-        match result {
-            Ok(()) => {
-                state.offset = line_start + line.len() as u64 + 1;
-                let mut index_failed = false;
-                if let (Some(index), Some(period)) = (state.index.as_mut(), record.event.period()) {
-                    let due = index
-                        .indexable_seen
-                        .is_multiple_of(u64::from(index.writer.stride()));
-                    index.indexable_seen += 1;
-                    if due {
-                        let entry = IndexEntry {
-                            period,
-                            seq: record.seq,
-                            offset: line_start,
-                        };
-                        index_failed = index.writer.append(entry).is_err();
-                    }
-                }
-                if index_failed {
-                    // Best-effort: the sidecar keeps its valid prefix and
-                    // simply stops growing.
-                    state.index = None;
-                }
+        if self.write_line_locked(state, &record.to_line()).is_err() {
+            state.enqueue(record);
+            return;
+        }
+        let mut index_failed = false;
+        if let (Some(index), Some(period)) = (state.index.as_mut(), record.event.period()) {
+            let due = index
+                .indexable_seen
+                .is_multiple_of(u64::from(index.writer.stride()));
+            index.indexable_seen += 1;
+            if due {
+                let entry = IndexEntry {
+                    period,
+                    seq: record.seq,
+                    offset: line_start,
+                };
+                index_failed = index.writer.append(entry).is_err();
             }
-            Err(_) => {
-                self.dropped.fetch_add(1, Ordering::Relaxed);
-                // The file may now hold a partial line, so the tracked
-                // offset is unreliable; never write an index entry that
-                // could point into it.
-                state.index = None;
-            }
+        }
+        if index_failed {
+            // Best-effort: the sidecar keeps its valid prefix and
+            // simply stops growing.
+            state.index = None;
+        }
+        if self.policy.flush_every > 0 && n.is_multiple_of(self.policy.flush_every) {
+            let _ = self.fsync_locked(state);
         }
     }
 
     fn flush(&self) {
         let mut state = self.state.lock().expect("jsonl sink lock");
-        let _ = self.flush_inner(&mut state.writer);
+        let state = &mut *state;
+        if self.recover_locked(state) {
+            let _ = self.fsync_locked(state);
+        }
     }
 
     fn dropped_records(&self) -> u64 {
-        self.dropped.load(Ordering::Relaxed)
+        let state = self.state.lock().expect("jsonl sink lock");
+        state.lost_total + state.ring.len() as u64
     }
 
     fn wal_index(&self) -> Option<WalIndexPos> {
@@ -463,6 +680,14 @@ impl Sink for JsonlSink {
             offset: state.offset,
             index_entries: state.index.as_ref().map_or(0, |i| i.writer.entries()),
         })
+    }
+
+    fn write_errors(&self) -> u64 {
+        self.write_errors.load(Ordering::Relaxed)
+    }
+
+    fn storage_degraded(&self) -> bool {
+        self.state.lock().expect("jsonl sink lock").degraded()
     }
 }
 

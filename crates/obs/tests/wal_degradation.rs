@@ -1,0 +1,209 @@
+//! WAL-under-fault tests: a [`JsonlSink`] over failing storage degrades
+//! to its in-memory ring instead of losing records, resumes file writing
+//! when the disk heals, and documents any real loss with a gap-marker
+//! line. A sink over a noop fault plan stays byte-identical to one over
+//! the raw filesystem.
+
+use std::path::PathBuf;
+
+use jpmd_faults::{FaultyStorage, IoFaultPlan, SharedBackend, StorageFaults};
+use jpmd_obs::{JsonlSink, ObsEvent, ObsRecord, Sink, WalPolicy};
+
+fn scratch(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "jpmd-obs-degrade-{tag}-{}.jsonl",
+        std::process::id()
+    ))
+}
+
+fn record(seq: u64) -> ObsRecord {
+    ObsRecord {
+        seq,
+        t_wall_ms: None,
+        shard: Some(2),
+        event: ObsEvent::Message {
+            text: format!("m{seq}"),
+        },
+    }
+}
+
+fn read_seqs(path: &std::path::Path) -> Vec<u64> {
+    std::fs::read_to_string(path)
+        .expect("read wal")
+        .lines()
+        .map(|l| ObsRecord::from_line(l).expect("parseable line").seq)
+        .collect()
+}
+
+#[test]
+fn outage_degrades_to_the_ring_and_drains_on_recovery() {
+    let path = scratch("outage");
+    // The sink's create goes through unfaulted; ops 0..6 then fail
+    // (three emits under the WAL policy: write + fsync each).
+    let storage = FaultyStorage::new(IoFaultPlan::outage(11, 1, 7));
+    let monitor = storage.monitor();
+    let sink =
+        JsonlSink::create_with_on(SharedBackend::from(storage), &path, WalPolicy::wal()).unwrap();
+
+    sink.emit(&record(0)); // healthy: write (op 0) + fsync lands in window — counted, not lost
+    for seq in 1..4 {
+        sink.emit(&record(seq)); // writes fail: ring
+    }
+    assert!(sink.storage_degraded(), "records are riding the ring");
+    assert!(sink.write_errors() > 0, "failed attempts were counted");
+    assert_eq!(sink.dropped_records(), 3, "ring holds them, none lost yet");
+
+    // The window is exhausted: the next emission recovers the backlog.
+    sink.emit(&record(4));
+    assert!(!sink.storage_degraded(), "drained back to healthy");
+    assert_eq!(sink.dropped_records(), 0, "nothing was actually lost");
+    sink.flush();
+
+    assert_eq!(
+        read_seqs(&path),
+        vec![0, 1, 2, 3, 4],
+        "gap-free after recovery"
+    );
+    assert!(monitor.injected().total() > 0);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn ring_overflow_is_documented_with_a_gap_marker() {
+    let path = scratch("gap");
+    // An outage long enough that the ring overflows before it heals
+    // (every record's failed attempts burn a handful of ops), then a
+    // healed tail that triggers the drain.
+    let sink = JsonlSink::create_with_on(
+        SharedBackend::from(FaultyStorage::new(IoFaultPlan::outage(5, 1, 5000))),
+        &path,
+        WalPolicy::default(),
+    )
+    .unwrap();
+    let emitted = jpmd_obs::WAL_RING_CAP as u64 + 600;
+    for seq in 0..emitted {
+        sink.emit(&record(seq));
+    }
+    let lost_mid_outage = sink.dropped_records() - {
+        // Everything unpersisted counts as dropped while degraded:
+        // evictions plus whatever still rides the ring.
+        jpmd_obs::WAL_RING_CAP as u64
+    };
+    assert!(sink.storage_degraded());
+    assert!(lost_mid_outage > 0, "the ring overflowed during the outage");
+
+    // Keep emitting until the op window is exhausted and the sink drains.
+    let mut extra = emitted;
+    while sink.storage_degraded() {
+        sink.emit(&record(extra));
+        extra += 1;
+        assert!(extra < emitted + 10_000, "the outage window must close");
+    }
+    sink.flush();
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<ObsRecord> = text
+        .lines()
+        .map(|l| ObsRecord::from_line(l).unwrap())
+        .collect();
+    let markers: Vec<&ObsRecord> = lines
+        .iter()
+        .filter(|r| match &r.event {
+            ObsEvent::Message { text } => text.contains("wal gap"),
+            _ => false,
+        })
+        .collect();
+    assert_eq!(markers.len(), 1, "one marker documents the whole gap");
+    let lost = sink.dropped_records();
+    assert!(
+        lost > 0,
+        "loss stays on the lifetime counter after recovery"
+    );
+    assert_eq!(
+        markers[0].seq, 1,
+        "the marker carries the first lost seq (seq 0 was written healthy)"
+    );
+    assert_eq!(markers[0].shard, Some(2), "marker inherits the lost shard");
+    // The stream after the marker is the surviving contiguous run: the
+    // first surviving seq is exactly first-lost + lost-count.
+    let marker_at = lines
+        .iter()
+        .position(|r| std::ptr::eq(r, markers[0]))
+        .unwrap();
+    assert_eq!(
+        lines[marker_at + 1].seq,
+        1 + lost,
+        "gap width matches the counter"
+    );
+    for pair in lines[marker_at + 1..].windows(2) {
+        assert_eq!(pair[1].seq, pair[0].seq + 1, "no gaps after the marker");
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn torn_write_tail_is_truncated_before_recovery_appends() {
+    let path = scratch("torn");
+    // One torn write (a prefix reaches the file, then the error), then
+    // the storage heals.
+    let plan = IoFaultPlan {
+        seed: 9,
+        faults: StorageFaults {
+            short_write_prob: 1.0,
+            ..StorageFaults::default()
+        },
+        from_op: 1,
+        until_op: 2,
+    };
+    let sink = JsonlSink::create_with_on(
+        SharedBackend::from(FaultyStorage::new(plan)),
+        &path,
+        WalPolicy::default(),
+    )
+    .unwrap();
+    sink.emit(&record(0)); // healthy (op 0)
+    sink.emit(&record(1)); // torn: half the line hits the file
+    assert!(sink.storage_degraded(), "the tail is dirty");
+    sink.emit(&record(2)); // heals: truncate tail, drain ring
+    sink.flush();
+    assert!(!sink.storage_degraded());
+    assert_eq!(
+        read_seqs(&path),
+        vec![0, 1, 2],
+        "no torn half-line survives in the stream"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn noop_fault_plan_wal_is_byte_identical_to_direct_fs() {
+    let direct = scratch("ident-direct");
+    let wrapped = scratch("ident-wrapped");
+    {
+        let sink = JsonlSink::create_with(&direct, WalPolicy::wal()).unwrap();
+        for seq in 0..50 {
+            sink.emit(&record(seq));
+        }
+    }
+    {
+        let storage = FaultyStorage::new(IoFaultPlan::disabled());
+        let monitor = storage.monitor();
+        let sink =
+            JsonlSink::create_with_on(SharedBackend::from(storage), &wrapped, WalPolicy::wal())
+                .unwrap();
+        for seq in 0..50 {
+            sink.emit(&record(seq));
+        }
+        assert_eq!(sink.write_errors(), 0);
+        assert!(!sink.storage_degraded());
+        assert_eq!(monitor.injected().total(), 0, "nothing ever fired");
+        drop(sink);
+    }
+    assert_eq!(
+        std::fs::read(&direct).unwrap(),
+        std::fs::read(&wrapped).unwrap(),
+        "disabled plan leaves the WAL bit-identical"
+    );
+    std::fs::remove_file(&direct).ok();
+    std::fs::remove_file(&wrapped).ok();
+}

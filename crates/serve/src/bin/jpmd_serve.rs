@@ -11,7 +11,16 @@
 //!            [--shed-high 100000] [--shed-low 20000]
 //!            [--batch 512] [--workers 0] [--max-tenants 1024]
 //!            [--resume] [--no-telemetry]
+//!            [--wal-faults FROM:UNTIL] [--fault-seed N]
 //! ```
+//!
+//! `--wal-faults FROM:UNTIL` routes every durable write (tenant WALs,
+//! checkpoint seals) through a deterministic
+//! [`FaultyStorage`](jpmd_faults::FaultyStorage) running a total outage
+//! while the global storage-operation counter is inside `[FROM, UNTIL)`
+//! — the chaos smoke's lever for proving the daemon keeps answering
+//! queries with `serve_storage_degraded` raised, then recovers to
+//! gap-free WALs.
 //!
 //! Exit codes follow the workspace convention: `0` clean shutdown, `1`
 //! runtime failure, `2` bad invocation.
@@ -19,11 +28,13 @@
 use std::io::Write;
 use std::process::ExitCode;
 
+use jpmd_faults::{FaultyStorage, IoFaultPlan, SharedBackend};
 use jpmd_serve::{install_sigterm_handler, Daemon, ServeConfig};
 
 const USAGE: &str = "usage: jpmd_serve --dir DIR [--port N] [--addr-file PATH] \
 [--period-secs S] [--duration-secs S] [--default-pages N] [--max-tenants N] \
-[--shed-high N] [--shed-low N] [--batch N] [--workers N] [--resume] [--no-telemetry]";
+[--shed-high N] [--shed-low N] [--batch N] [--workers N] [--resume] [--no-telemetry] \
+[--wal-faults FROM:UNTIL] [--fault-seed N]";
 
 enum CliError {
     Usage(String),
@@ -43,9 +54,17 @@ fn parse_value<T: std::str::FromStr>(
         .map_err(|_| CliError::Usage(format!("bad value '{word}' for {flag}")))
 }
 
+/// Parses `FROM:UNTIL` into an operation window.
+fn parse_window(word: &str) -> Option<(u64, u64)> {
+    let (from, until) = word.split_once(':')?;
+    Some((from.parse().ok()?, until.parse().ok()?))
+}
+
 fn parse_config(args: &[String]) -> Result<(ServeConfig, Option<String>), CliError> {
     let mut dir: Option<String> = None;
     let mut addr_file: Option<String> = None;
+    let mut wal_faults: Option<(u64, u64)> = None;
+    let mut fault_seed: u64 = 0;
     let mut cfg = ServeConfig::new(".");
     let mut i = 0;
     while i < args.len() {
@@ -63,6 +82,13 @@ fn parse_config(args: &[String]) -> Result<(ServeConfig, Option<String>), CliErr
             "--workers" => cfg.workers = parse_value(args, &mut i, "--workers")?,
             "--resume" => cfg.resume = true,
             "--no-telemetry" => cfg.telemetry = false,
+            "--wal-faults" => {
+                let word: String = parse_value(args, &mut i, "--wal-faults")?;
+                wal_faults = Some(parse_window(&word).ok_or_else(|| {
+                    CliError::Usage(format!("bad window '{word}' for --wal-faults (FROM:UNTIL)"))
+                })?);
+            }
+            "--fault-seed" => fault_seed = parse_value(args, &mut i, "--fault-seed")?,
             other => return Err(CliError::Usage(format!("unknown flag '{other}'"))),
         }
         i += 1;
@@ -73,6 +99,16 @@ fn parse_config(args: &[String]) -> Result<(ServeConfig, Option<String>), CliErr
         return Err(CliError::Usage(
             "--shed-low must be below --shed-high".into(),
         ));
+    }
+    if let Some((from, until)) = wal_faults {
+        if from >= until {
+            return Err(CliError::Usage(
+                "--wal-faults needs FROM below UNTIL".into(),
+            ));
+        }
+        cfg.backend = SharedBackend::from(FaultyStorage::new(IoFaultPlan::outage(
+            fault_seed, from, until,
+        )));
     }
     Ok((cfg, addr_file))
 }

@@ -106,6 +106,13 @@ struct TenantState {
     records_metric: Counter,
     level_gauge: Gauge,
     energy_gauge: Gauge,
+    wal_errors_metric: Counter,
+    /// WAL write errors already mirrored into the metrics (the
+    /// telemetry counter is cumulative; the registry wants deltas).
+    wal_errors_seen: u64,
+    /// Whether this tenant's WAL was degraded at the last poll (rides
+    /// the global degraded-tenant gauge on flips).
+    degraded: bool,
 }
 
 impl TenantState {
@@ -144,6 +151,12 @@ pub struct DaemonStats {
     pub records_total: u64,
     /// `OPEN`s rejected (shedding or tenant cap).
     pub rejected_opens: u64,
+    /// Tenant-WAL write failures absorbed so far (the records rode the
+    /// in-memory ring instead of dying with the daemon).
+    pub wal_write_errors: u64,
+    /// Tenants whose WAL is currently degraded (riding the ring or
+    /// carrying a dirty tail).
+    pub degraded_tenants: u64,
 }
 
 struct ServerState {
@@ -162,6 +175,14 @@ struct ServerState {
     records_total: Counter,
     rejected_opens: Counter,
     connections: Counter,
+    /// Daemon-wide sum of tenant-WAL write failures.
+    wal_errors: Counter,
+    /// Gauge mirror of [`ServerState::degraded_tenants`]
+    /// (`serve.storage_degraded` in `/metrics`).
+    degraded_gauge: Gauge,
+    /// Tenants currently in WAL degradation (source of truth behind the
+    /// gauge; flips are applied under the tenant's state lock).
+    degraded_tenants: AtomicU64,
     /// Live connection threads, bounded by [`MAX_CONNECTIONS`].
     live_connections: AtomicUsize,
 }
@@ -176,6 +197,9 @@ impl ServerState {
             records_total: registry.counter("serve.records_total"),
             rejected_opens: registry.counter("serve.rejected_opens"),
             connections: registry.counter("serve.connections"),
+            wal_errors: registry.counter("serve.wal_write_errors"),
+            degraded_gauge: registry.gauge("serve.storage_degraded"),
+            degraded_tenants: AtomicU64::new(0),
             cfg,
             registry,
             tenants: Mutex::new(BTreeMap::new()),
@@ -194,6 +218,8 @@ impl ServerState {
             shedding: self.overload.load(Ordering::Relaxed),
             records_total: self.records_total.get(),
             rejected_opens: self.rejected_opens.get(),
+            wal_write_errors: self.wal_errors.get(),
+            degraded_tenants: self.degraded_tenants.load(Ordering::Relaxed),
         }
     }
 
@@ -215,7 +241,7 @@ impl ServerState {
             .send(handle);
     }
 
-    fn tenant_metrics(&self, name: &str) -> (Counter, Counter, Gauge, Gauge) {
+    fn tenant_metrics(&self, name: &str) -> (Counter, Counter, Gauge, Gauge, Counter) {
         let labels = [("tenant", name)];
         (
             self.registry
@@ -225,7 +251,33 @@ impl ServerState {
             self.registry.gauge(&labeled("serve.tenant.level", &labels)),
             self.registry
                 .gauge(&labeled("serve.tenant.energy_j", &labels)),
+            self.registry
+                .counter(&labeled("serve.tenant.wal_write_errors", &labels)),
         )
+    }
+
+    /// Mirrors the tenant's WAL health (cumulative write-error count and
+    /// the degraded flag) into the registry and the daemon-wide
+    /// counters. Runs under the tenant's state lock, so the flip
+    /// accounting on the global degraded-tenant count is exact.
+    fn poll_wal_health(&self, state: &mut TenantState) {
+        let errors = state.telemetry.write_errors();
+        let delta = errors.saturating_sub(state.wal_errors_seen);
+        if delta > 0 {
+            state.wal_errors_seen = errors;
+            state.wal_errors_metric.add(delta);
+            self.wal_errors.add(delta);
+        }
+        let degraded = state.telemetry.storage_degraded();
+        if degraded != state.degraded {
+            state.degraded = degraded;
+            let now = if degraded {
+                self.degraded_tenants.fetch_add(1, Ordering::AcqRel) + 1
+            } else {
+                self.degraded_tenants.fetch_sub(1, Ordering::AcqRel) - 1
+            };
+            self.degraded_gauge.set(now as f64);
+        }
     }
 
     fn wal_path(&self, name: &str) -> std::path::PathBuf {
@@ -265,7 +317,7 @@ impl ServerState {
         let pages = pages.unwrap_or(self.cfg.default_pages).max(1);
         let (telemetry, wal) = if self.cfg.telemetry {
             let path = self.wal_path(name);
-            match JsonlSink::create_with(&path, WalPolicy::wal()) {
+            match JsonlSink::create_with_on(self.cfg.backend.clone(), &path, WalPolicy::wal()) {
                 Ok(sink) => (
                     Telemetry::new(Box::new(sink)),
                     Some(path.to_string_lossy().into_owned()),
@@ -302,7 +354,8 @@ impl ServerState {
         records: u64,
         wal: Option<String>,
     ) -> Arc<TenantHandle> {
-        let (decisions, records_metric, level_gauge, energy_gauge) = self.tenant_metrics(name);
+        let (decisions, records_metric, level_gauge, energy_gauge, wal_errors_metric) =
+            self.tenant_metrics(name);
         Arc::new(TenantHandle {
             name: name.to_string(),
             queue: Mutex::new(VecDeque::new()),
@@ -318,6 +371,9 @@ impl ServerState {
                 records_metric,
                 level_gauge,
                 energy_gauge,
+                wal_errors_metric,
+                wal_errors_seen: 0,
+                degraded: false,
             }),
         })
     }
@@ -392,6 +448,7 @@ impl ServerState {
             };
             let fed = state.feed_batch(batch);
             self.records_total.add(fed);
+            self.poll_wal_health(&mut state);
             fed
         };
         self.record_drained(drained);
@@ -490,8 +547,19 @@ impl ServerState {
         if let Some(wal) = &state.wal {
             meta = meta.with_telemetry(wal.clone());
         }
-        let mut saver = FileCheckpointer::new(&ckpt_path, meta, state.telemetry.clone());
-        if !saver.save(&ckpt) {
+        let mut saver = FileCheckpointer::new(&ckpt_path, meta, state.telemetry.clone())
+            .with_backend(self.cfg.backend.clone());
+        let sealed = saver.save(&ckpt);
+        // The save's WAL flush is the last write this tenant performs;
+        // fold its outcome into the metrics, then retire the tenant's
+        // degraded contribution — it is leaving the registry either way.
+        self.poll_wal_health(&mut state);
+        if state.degraded {
+            state.degraded = false;
+            let now = self.degraded_tenants.fetch_sub(1, Ordering::AcqRel) - 1;
+            self.degraded_gauge.set(now as f64);
+        }
+        if !sealed {
             return Err(saver
                 .take_error()
                 .map_or_else(|| "unknown checkpoint error".into(), |e| e.to_string()));
@@ -537,7 +605,12 @@ impl ServerState {
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
             let (telemetry, wal) = match &entry.telemetry {
                 Some(wal) => {
-                    let sink = JsonlSink::resume(wal, ckpt.telemetry_seq, WalPolicy::wal())?;
+                    let sink = JsonlSink::resume_on(
+                        self.cfg.backend.clone(),
+                        wal,
+                        ckpt.telemetry_seq,
+                        WalPolicy::wal(),
+                    )?;
                     (Telemetry::new(Box::new(sink)), Some(wal.clone()))
                 }
                 None => (Telemetry::disabled(), None),
@@ -605,12 +678,15 @@ fn execute(state: &Arc<ServerState>, request: Request) -> Option<String> {
         Request::Stats => {
             let s = state.stats();
             Some(format!(
-                "OK tenants {} queued {} shedding {} records {} rejected {}",
+                "OK tenants {} queued {} shedding {} records {} rejected {} \
+                 wal_errors {} degraded {}",
                 s.tenants,
                 s.queued,
                 u8::from(s.shedding),
                 s.records_total,
-                s.rejected_opens
+                s.rejected_opens,
+                s.wal_write_errors,
+                s.degraded_tenants
             ))
         }
         Request::Shutdown => {

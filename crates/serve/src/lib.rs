@@ -45,6 +45,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 
 use jpmd_core::SimScale;
+use jpmd_faults::SharedBackend;
 
 pub mod daemon;
 pub mod proto;
@@ -93,6 +94,12 @@ pub struct ServeConfig {
     pub telemetry: bool,
     /// Resume tenants from the manifest sealed by a previous shutdown.
     pub resume: bool,
+    /// Storage backend every durable write (tenant WALs, checkpoint
+    /// seals) goes through. The default is the real filesystem; the
+    /// chaos smoke swaps in a
+    /// [`FaultyStorage`](jpmd_faults::FaultyStorage) to prove the
+    /// daemon sheds telemetry, not tenants, when the disk misbehaves.
+    pub backend: SharedBackend,
 }
 
 impl ServeConfig {
@@ -113,6 +120,7 @@ impl ServeConfig {
             workers: 0,
             telemetry: true,
             resume: false,
+            backend: SharedBackend::real_fs(),
         }
     }
 }

@@ -23,10 +23,11 @@
 //! a short or CRC-failing final entry is discarded, mirroring the
 //! journal's torn-tail rule.
 
-use std::fs::{File, OpenOptions};
+use std::fs::File;
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
+use crate::backend::{RealFs, StorageBackend, StorageFile};
 use crate::crc32::crc32;
 use crate::StoreError;
 
@@ -204,7 +205,7 @@ impl PeriodIndex {
 /// prefix (readers still verify, per the module docs).
 #[derive(Debug)]
 pub struct PeriodIndexWriter {
-    file: File,
+    file: Box<dyn StorageFile>,
     stride: u32,
     last: Option<IndexEntry>,
     entries: u64,
@@ -217,16 +218,26 @@ impl PeriodIndexWriter {
     ///
     /// [`StoreError::InvalidConfig`] for a zero stride; I/O failures.
     pub fn create(path: impl AsRef<Path>, stride: u32) -> Result<Self, StoreError> {
+        PeriodIndexWriter::create_on(&RealFs, path, stride)
+    }
+
+    /// [`PeriodIndexWriter::create`] through an explicit storage backend
+    /// (the fault-injection seam).
+    ///
+    /// # Errors
+    ///
+    /// As [`PeriodIndexWriter::create`].
+    pub fn create_on(
+        backend: &dyn StorageBackend,
+        path: impl AsRef<Path>,
+        stride: u32,
+    ) -> Result<Self, StoreError> {
         if stride == 0 {
             return Err(StoreError::InvalidConfig {
                 reason: "index stride must be >= 1",
             });
         }
-        let mut file = OpenOptions::new()
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(path)?;
+        let mut file = backend.create(path.as_ref())?;
         file.write_all(&encode_index_header(stride))?;
         file.flush()?;
         Ok(PeriodIndexWriter {
@@ -244,11 +255,24 @@ impl PeriodIndexWriter {
     ///
     /// The same header errors as [`PeriodIndex::load`]; I/O failures.
     pub fn open_append(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        PeriodIndexWriter::open_append_on(&RealFs, path)
+    }
+
+    /// [`PeriodIndexWriter::open_append`] through an explicit storage
+    /// backend (the fault-injection seam).
+    ///
+    /// # Errors
+    ///
+    /// As [`PeriodIndexWriter::open_append`].
+    pub fn open_append_on(
+        backend: &dyn StorageBackend,
+        path: impl AsRef<Path>,
+    ) -> Result<Self, StoreError> {
         let path = path.as_ref();
         let index = PeriodIndex::load(path)?;
         let valid_len =
             INDEX_HEADER_BYTES as u64 + (index.entries.len() * INDEX_ENTRY_BYTES) as u64;
-        let mut file = OpenOptions::new().write(true).open(path)?;
+        let mut file = backend.open_rw(path)?;
         file.set_len(valid_len)?;
         file.seek(SeekFrom::End(0))?;
         Ok(PeriodIndexWriter {

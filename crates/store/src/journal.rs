@@ -49,10 +49,10 @@
 //! ```
 
 use std::collections::BTreeMap;
-use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
+use crate::backend::{RealFs, StorageBackend, StorageFile};
 use crate::crc32::crc32;
 use crate::StoreError;
 
@@ -147,13 +147,23 @@ pub struct JournalReplay {
     /// Whether a torn or corrupt tail was discarded after the last
     /// commit marker.
     pub tail_discarded: bool,
+    /// Body bytes up to and including the last commit marker — the
+    /// durable prefix the journal's append cursor resumes from.
+    pub durable_body_len: u64,
 }
 
 /// The open write-ahead journal of one [`PagedFile`](crate::PagedFile).
 #[derive(Debug)]
 pub struct Journal {
-    file: File,
+    file: Box<dyn StorageFile>,
     page_size: u32,
+    /// Bytes known durable: the header plus every fully-committed frame.
+    /// Appends resume exactly here, so a torn earlier append can never
+    /// strand garbage *between* valid commits.
+    tail: u64,
+    /// A failed append may have left partial bytes after `tail`; the
+    /// next append truncates them before writing.
+    dirty_tail: bool,
 }
 
 impl Journal {
@@ -164,15 +174,29 @@ impl Journal {
     ///
     /// Propagates I/O failures.
     pub fn create(path: &Path, page_size: u32, file_id: u64) -> Result<Self, StoreError> {
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(path)?;
+        Journal::create_on(&RealFs, path, page_size, file_id)
+    }
+
+    /// [`Journal::create`] through an explicit [`StorageBackend`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures (injected or real).
+    pub fn create_on(
+        backend: &dyn StorageBackend,
+        path: &Path,
+        page_size: u32,
+        file_id: u64,
+    ) -> Result<Self, StoreError> {
+        let mut file = backend.create(path)?;
         file.write_all(&encode_header(page_size, file_id))?;
         file.sync_data()?;
-        Ok(Journal { file, page_size })
+        Ok(Journal {
+            file,
+            page_size,
+            tail: JOURNAL_HEADER_BYTES as u64,
+            dirty_tail: false,
+        })
     }
 
     /// Opens an existing journal, validating its header, and scans it
@@ -191,14 +215,39 @@ impl Journal {
         page_size: u32,
         file_id: u64,
     ) -> Result<(Self, JournalReplay), StoreError> {
-        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        Journal::open_on(&RealFs, path, page_size, file_id)
+    }
+
+    /// [`Journal::open`] through an explicit [`StorageBackend`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Journal::open`].
+    pub fn open_on(
+        backend: &dyn StorageBackend,
+        path: &Path,
+        page_size: u32,
+        file_id: u64,
+    ) -> Result<(Self, JournalReplay), StoreError> {
+        let mut file = backend.open_rw(path)?;
         let mut header = [0u8; JOURNAL_HEADER_BYTES];
-        read_header(&mut file, &mut header)?;
+        read_header(file.as_mut(), &mut header)?;
         decode_header(&header, page_size, file_id)?;
         let mut body = Vec::new();
         file.read_to_end(&mut body)?;
         let replay = scan_frames(&body, page_size as usize);
-        Ok((Journal { file, page_size }, replay))
+        let tail = JOURNAL_HEADER_BYTES as u64 + replay.durable_body_len;
+        Ok((
+            Journal {
+                file,
+                page_size,
+                tail,
+                // Anything past the durable prefix is a discarded tail;
+                // the first append truncates it away.
+                dirty_tail: body.len() as u64 > replay.durable_body_len,
+            },
+            replay,
+        ))
     }
 
     /// Appends one transaction — a frame per page plus the commit
@@ -231,10 +280,28 @@ impl Journal {
         let crc = crc32(&buf[start..]);
         buf.extend_from_slice(&crc.to_le_bytes());
 
-        self.file.seek(SeekFrom::End(0))?;
-        self.file.write_all(&buf)?;
-        self.file.sync_data()?;
-        Ok(())
+        // A torn earlier append left partial bytes past the durable
+        // prefix; erase them first, or the new frames would land after
+        // garbage that stops every future recovery scan short.
+        if self.dirty_tail {
+            self.file.set_len(self.tail)?;
+            self.dirty_tail = false;
+        }
+        self.file.seek(SeekFrom::Start(self.tail))?;
+        let appended = self
+            .file
+            .write_all(&buf)
+            .and_then(|()| self.file.sync_data());
+        match appended {
+            Ok(()) => {
+                self.tail += buf.len() as u64;
+                Ok(())
+            }
+            Err(e) => {
+                self.dirty_tail = true;
+                Err(e.into())
+            }
+        }
     }
 
     /// Truncates the journal back to its header (after a checkpoint made
@@ -245,6 +312,8 @@ impl Journal {
     /// Propagates I/O failures.
     pub fn truncate(&mut self) -> Result<(), StoreError> {
         self.file.set_len(JOURNAL_HEADER_BYTES as u64)?;
+        self.tail = JOURNAL_HEADER_BYTES as u64;
+        self.dirty_tail = false;
         self.file.sync_data()?;
         Ok(())
     }
@@ -254,8 +323,8 @@ impl Journal {
     /// # Errors
     ///
     /// Propagates the metadata query failure.
-    pub fn len(&self) -> Result<u64, StoreError> {
-        Ok(self.file.metadata()?.len())
+    pub fn len(&mut self) -> Result<u64, StoreError> {
+        Ok(self.file.len()?)
     }
 
     /// Whether the journal holds nothing beyond its header.
@@ -263,12 +332,15 @@ impl Journal {
     /// # Errors
     ///
     /// Propagates the metadata query failure.
-    pub fn is_empty(&self) -> Result<bool, StoreError> {
+    pub fn is_empty(&mut self) -> Result<bool, StoreError> {
         Ok(self.len()? <= JOURNAL_HEADER_BYTES as u64)
     }
 }
 
-fn read_header(file: &mut File, buf: &mut [u8; JOURNAL_HEADER_BYTES]) -> Result<(), StoreError> {
+fn read_header(
+    file: &mut dyn StorageFile,
+    buf: &mut [u8; JOURNAL_HEADER_BYTES],
+) -> Result<(), StoreError> {
     file.read_exact(buf).map_err(|e| {
         if e.kind() == std::io::ErrorKind::UnexpectedEof {
             StoreError::Truncated { page: 0 }
@@ -320,6 +392,7 @@ fn scan_frames(body: &[u8], page_size: usize) -> JournalReplay {
                 replay.pages.append(&mut txn);
                 replay.commits += 1;
                 replay.last_commit_seq = replay.last_commit_seq.max(arg);
+                replay.durable_body_len = (at + frame_len) as u64;
             }
         }
         at += frame_len;
@@ -329,6 +402,7 @@ fn scan_frames(body: &[u8], page_size: usize) -> JournalReplay {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs::OpenOptions;
 
     const PS: usize = 64;
 

@@ -69,6 +69,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod cli;
 mod crc32;
 mod durability;
@@ -82,6 +83,7 @@ mod reader;
 pub mod segment;
 mod writer;
 
+pub use backend::{RealFs, SharedBackend, StorageBackend, StorageFile};
 pub use crc32::crc32;
 pub use durability::sync_parent_dir;
 pub use error::StoreError;

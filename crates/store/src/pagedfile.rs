@@ -22,10 +22,10 @@
 //! always sees its own writes and never a torn page.
 
 use std::collections::BTreeMap;
-use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
+use crate::backend::{SharedBackend, StorageFile};
 use crate::crc32::crc32;
 use crate::journal::{journal_path, Journal};
 use crate::pagecache::PageCache;
@@ -58,7 +58,7 @@ pub struct PagedFileStats {
 /// A journaled page file (see the module docs for the protocol).
 #[derive(Debug)]
 pub struct PagedFile {
-    file: File,
+    file: Box<dyn StorageFile>,
     path: PathBuf,
     page_size: u32,
     file_id: u64,
@@ -134,20 +134,30 @@ impl PagedFile {
         page_size: u32,
         cache_pages: usize,
     ) -> Result<Self, StoreError> {
+        PagedFile::create_on(SharedBackend::real_fs(), path, page_size, cache_pages)
+    }
+
+    /// [`PagedFile::create`] through an explicit storage backend (the
+    /// fault-injection seam).
+    ///
+    /// # Errors
+    ///
+    /// As [`PagedFile::create`], plus whatever the backend injects.
+    pub fn create_on(
+        backend: SharedBackend,
+        path: impl AsRef<Path>,
+        page_size: u32,
+        cache_pages: usize,
+    ) -> Result<Self, StoreError> {
         let path = path.as_ref();
         if !(PAGED_MIN_PAGE_SIZE..=PAGED_MAX_PAGE_SIZE).contains(&page_size) {
             return Err(StoreError::BadPageSize { found: page_size });
         }
         let file_id = random_file_id();
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(path)?;
+        let mut file = backend.create(path)?;
         file.write_all(&encode_main_header(page_size, file_id))?;
         file.sync_data()?;
-        let journal = Journal::create(&journal_path(path), page_size, file_id)?;
+        let journal = Journal::create_on(&*backend, &journal_path(path), page_size, file_id)?;
         Ok(PagedFile {
             file,
             path: path.to_path_buf(),
@@ -174,8 +184,24 @@ impl PagedFile {
     /// [`StoreError::ForeignJournal`] / [`StoreError::JournalGeometry`]
     /// when the sidecar belongs to a different store; I/O failures.
     pub fn open(path: impl AsRef<Path>, cache_pages: usize) -> Result<Self, StoreError> {
+        PagedFile::open_on(SharedBackend::real_fs(), path, cache_pages)
+    }
+
+    /// [`PagedFile::open`] through an explicit storage backend (the
+    /// fault-injection seam). Recovery writes — journal replay into the
+    /// main file, the post-replay truncation — go through the backend
+    /// too, so reopening under faults is itself tortured.
+    ///
+    /// # Errors
+    ///
+    /// As [`PagedFile::open`], plus whatever the backend injects.
+    pub fn open_on(
+        backend: SharedBackend,
+        path: impl AsRef<Path>,
+        cache_pages: usize,
+    ) -> Result<Self, StoreError> {
         let path = path.as_ref();
-        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut file = backend.open_rw(path)?;
         let mut header = [0u8; PAGED_HEADER_BYTES];
         file.read_exact(&mut header).map_err(|e| {
             if e.kind() == std::io::ErrorKind::UnexpectedEof {
@@ -187,17 +213,16 @@ impl PagedFile {
         let (page_size, file_id) = decode_main_header(&header)?;
         // A partially-written trailing page (a crash mid-checkpoint)
         // rounds down here; the journal replay below rewrites it whole.
-        let mut committed_pages =
-            (file.metadata()?.len() - PAGED_HEADER_BYTES as u64) / u64::from(page_size);
+        let mut committed_pages = (file.len()? - PAGED_HEADER_BYTES as u64) / u64::from(page_size);
 
         let jpath = journal_path(path);
         let mut stats = PagedFileStats::default();
         let mut next_commit_seq = 1;
-        let journal = if jpath.exists() {
-            let (mut journal, replay) = Journal::open(&jpath, page_size, file_id)?;
+        let journal = if backend.exists(&jpath) {
+            let (mut journal, replay) = Journal::open_on(&*backend, &jpath, page_size, file_id)?;
             if !replay.pages.is_empty() {
                 for (&id, image) in &replay.pages {
-                    write_page_at(&mut file, page_size, id, image)?;
+                    write_page_at(file.as_mut(), page_size, id, image)?;
                     committed_pages = committed_pages.max(id + 1);
                 }
                 file.sync_all()?;
@@ -210,7 +235,7 @@ impl PagedFile {
             next_commit_seq = replay.last_commit_seq + 1;
             journal
         } else {
-            Journal::create(&jpath, page_size, file_id)?
+            Journal::create_on(&*backend, &jpath, page_size, file_id)?
         };
 
         Ok(PagedFile {
@@ -372,7 +397,7 @@ impl PagedFile {
             return Ok(());
         }
         for (&id, image) in &self.pending {
-            write_page_at(&mut self.file, self.page_size, id, image)?;
+            write_page_at(self.file.as_mut(), self.page_size, id, image)?;
         }
         self.file.sync_all()?;
         self.journal.truncate()?;
@@ -402,7 +427,12 @@ fn page_offset(page_size: u32, id: u64) -> u64 {
     PAGED_HEADER_BYTES as u64 + id * u64::from(page_size)
 }
 
-fn write_page_at(file: &mut File, page_size: u32, id: u64, image: &[u8]) -> Result<(), StoreError> {
+fn write_page_at(
+    file: &mut dyn StorageFile,
+    page_size: u32,
+    id: u64,
+    image: &[u8],
+) -> Result<(), StoreError> {
     file.seek(SeekFrom::Start(page_offset(page_size, id)))?;
     file.write_all(image)?;
     Ok(())

@@ -6,6 +6,7 @@ use std::path::{Path, PathBuf};
 
 use jpmd_trace::{check_record, Trace, TraceRecord};
 
+use crate::backend::{SharedBackend, StorageFile};
 use crate::crc32::crc32;
 use crate::durability::sync_parent_dir;
 use crate::format::{Header, DEFAULT_PAGE_SIZE, RECORD_BYTES};
@@ -33,6 +34,9 @@ pub struct TraceWriter<W: Write + Seek> {
     /// Set by [`TraceWriter::create`] so [`TraceWriter::finish_durable`]
     /// can fsync the parent directory; `None` for in-memory writers.
     path: Option<PathBuf>,
+    /// Set by [`TraceWriter::create_on`] so the parent-directory sync
+    /// goes through the same backend that wrote the file.
+    backend: Option<SharedBackend>,
 }
 
 impl TraceWriter<BufWriter<File>> {
@@ -75,6 +79,51 @@ impl TraceWriter<BufWriter<File>> {
         file.sync_all()?;
         if let Some(path) = path {
             sync_parent_dir(&path)?;
+        }
+        Ok(())
+    }
+}
+
+impl TraceWriter<BufWriter<Box<dyn StorageFile>>> {
+    /// [`TraceWriter::create`] through an explicit storage backend (the
+    /// fault-injection seam).
+    ///
+    /// # Errors
+    ///
+    /// Propagates file creation and write failures (injected or real).
+    pub fn create_on(
+        backend: SharedBackend,
+        path: impl AsRef<Path>,
+        page_bytes: u64,
+        total_pages: u64,
+    ) -> Result<Self, StoreError> {
+        let path = path.as_ref();
+        let file = backend.create(path)?;
+        let mut writer = Self::new(BufWriter::new(file), page_bytes, total_pages)?;
+        writer.path = Some(path.to_path_buf());
+        writer.backend = Some(backend);
+        Ok(writer)
+    }
+
+    /// [`TraceWriter::finish_durable`] for a backend-created writer: the
+    /// fsyncs (file and parent directory) go through the backend too.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write, flush, and fsync failures.
+    pub fn finish_durable(self) -> Result<(), StoreError> {
+        let path = self.path.clone();
+        let backend = self.backend.clone();
+        let out = self.finish()?;
+        let mut file = out
+            .into_inner()
+            .map_err(|e| StoreError::Io(e.into_error()))?;
+        file.sync_all()?;
+        if let Some(path) = path {
+            match &backend {
+                Some(backend) => backend.sync_parent_dir(&path)?,
+                None => sync_parent_dir(&path)?,
+            }
         }
         Ok(())
     }
@@ -126,6 +175,7 @@ impl<W: Write + Seek> TraceWriter<W> {
             written: 0,
             prev_time: f64::NEG_INFINITY,
             path: None,
+            backend: None,
         })
     }
 

@@ -1,0 +1,117 @@
+//! Backend-seam identity tests: routing the writers through
+//! [`SharedBackend::real_fs`] (the `Box<dyn StorageFile>` path) produces
+//! files byte-identical to the direct `File` path, so threading the
+//! fault seam through the durability stack changed nothing when faults
+//! are off.
+
+use std::path::PathBuf;
+
+use jpmd_store::{
+    index_path, read_trace, IndexEntry, PagedFile, PeriodIndex, PeriodIndexWriter, RealFs,
+    SharedBackend, TraceWriter,
+};
+use jpmd_trace::{AccessKind, FileId, TraceRecord};
+
+fn scratch(tag: &str, ext: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "jpmd-store-ident-{tag}-{}.{ext}",
+        std::process::id()
+    ))
+}
+
+fn rec(time: f64, first_page: u64) -> TraceRecord {
+    TraceRecord {
+        time,
+        file: FileId(1),
+        first_page,
+        pages: 1,
+        kind: AccessKind::Read,
+    }
+}
+
+#[test]
+fn trace_writer_backend_path_is_byte_identical_to_direct() {
+    let direct = scratch("trace-direct", "jpt");
+    let wrapped = scratch("trace-wrapped", "jpt");
+    {
+        let mut w = TraceWriter::create(&direct, 4096, 100).unwrap();
+        for i in 0..500u64 {
+            w.write_record(&rec(i as f64, i % 100)).unwrap();
+        }
+        w.finish_durable().unwrap();
+    }
+    {
+        let mut w = TraceWriter::create_on(SharedBackend::real_fs(), &wrapped, 4096, 100).unwrap();
+        for i in 0..500u64 {
+            w.write_record(&rec(i as f64, i % 100)).unwrap();
+        }
+        w.finish_durable().unwrap();
+    }
+    assert_eq!(
+        std::fs::read(&direct).unwrap(),
+        std::fs::read(&wrapped).unwrap()
+    );
+    assert_eq!(read_trace(&wrapped).unwrap().records().len(), 500);
+    std::fs::remove_file(&direct).ok();
+    std::fs::remove_file(&wrapped).ok();
+}
+
+#[test]
+fn index_writer_backend_path_is_byte_identical_to_direct() {
+    let direct = scratch("idx-direct", "jsonl");
+    let wrapped = scratch("idx-wrapped", "jsonl");
+    let entries: Vec<IndexEntry> = (0..32)
+        .map(|i| IndexEntry {
+            period: i,
+            seq: i * 3,
+            offset: i * 100,
+        })
+        .collect();
+    {
+        let mut w = PeriodIndexWriter::create(index_path(&direct), 4).unwrap();
+        for entry in &entries {
+            w.append(*entry).unwrap();
+        }
+    }
+    {
+        let mut w = PeriodIndexWriter::create_on(&RealFs, index_path(&wrapped), 4).unwrap();
+        for entry in &entries {
+            w.append(*entry).unwrap();
+        }
+    }
+    assert_eq!(
+        std::fs::read(index_path(&direct)).unwrap(),
+        std::fs::read(index_path(&wrapped)).unwrap()
+    );
+    assert_eq!(PeriodIndex::load(index_path(&wrapped)).unwrap().len(), 32);
+    std::fs::remove_file(index_path(&direct)).ok();
+    std::fs::remove_file(index_path(&wrapped)).ok();
+}
+
+#[test]
+fn paged_file_backend_path_round_trips_commits_and_recovery() {
+    // Paged files embed a random file id, so byte equality across two
+    // creates is impossible by design; assert behavioral identity
+    // instead — the backend-routed store commits, checkpoints, survives
+    // reopen (recovery path), and reads back the same images.
+    let path = scratch("paged", "jdb");
+    let ps: u32 = 64;
+    {
+        let mut db = PagedFile::create_on(SharedBackend::real_fs(), &path, ps, 4).unwrap();
+        db.write_page(0, &vec![1u8; ps as usize]).unwrap();
+        db.write_page(1, &vec![2u8; ps as usize]).unwrap();
+        assert_eq!(db.commit().unwrap(), Some(1));
+        db.checkpoint().unwrap();
+        db.write_page(0, &vec![3u8; ps as usize]).unwrap();
+        assert_eq!(db.commit().unwrap(), Some(2));
+        // No checkpoint: page 0's newest image lives only in the journal.
+    }
+    {
+        let mut db = PagedFile::open_on(SharedBackend::real_fs(), &path, 4).unwrap();
+        assert_eq!(db.stats().recovered_commits, 1, "journal replayed");
+        assert_eq!(db.read_page(0).unwrap(), vec![3u8; ps as usize]);
+        assert_eq!(db.read_page(1).unwrap(), vec![2u8; ps as usize]);
+    }
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(jpmd_store::journal_path(&path)).ok();
+}
