@@ -1,0 +1,375 @@
+//! Network-chaos smoke for `jpmd-serve`: proves the exactly-once feed
+//! protocol loses nothing and duplicates nothing while every connection
+//! is being actively sabotaged.
+//!
+//! The harness runs the same seeded multi-tenant workload twice against
+//! two in-process daemons:
+//!
+//! 1. **reference** — plain TCP, no faults;
+//! 2. **chaos** — every client connection wrapped in a
+//!    [`FaultyStream`](jpmd_faults::FaultyStream) running
+//!    [`NetFaultPlan::storm`]: mid-write disconnects, torn writes,
+//!    garbage bytes, read stalls, and read-side resets, all seeded per
+//!    connection.
+//!
+//! It exits `0` only if, in the chaos run, the daemon stays up through a
+//! clean `SHUTDOWN`, no client gives up, the storm actually bit
+//! (injected faults and reconnects are both nonzero), every tenant's
+//! applied-record count equals the count its client fed (no loss, no
+//! duplication), every telemetry WAL is gap-free, and each chaos WAL is
+//! byte-identical (after normalization) to the reference run's — the
+//! stepper consumed the *same stream* despite the storm.
+//!
+//! `--no-dedup` is the negative control: the chaos daemon applies
+//! replayed records twice instead of deduplicating at the ack
+//! watermark, and the harness must exit `1` (CI asserts that it does).
+//!
+//! ```text
+//! serve_chaos [--dir DIR] [--seed N] [--tenants N]
+//!             [--duration-secs S] [--no-dedup]
+//! ```
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use jpmd_faults::{NetFaultInjector, NetFaultPlan};
+use jpmd_obs::ObsRecord;
+use jpmd_serve::{ClientOpts, ClientStats, Conn, Daemon, ServeClient, ServeConfig};
+use jpmd_trace::{TraceRecord, TraceSource, WorkloadBuilder, MIB};
+
+struct Args {
+    dir: String,
+    seed: u64,
+    tenants: usize,
+    duration_secs: f64,
+    dedup: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        dir: "results/serve_chaos".to_string(),
+        seed: 1,
+        tenants: 4,
+        duration_secs: 1800.0,
+        dedup: true,
+    };
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0usize;
+    while i < raw.len() {
+        let value = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            raw.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("flag {} needs a value", raw[*i - 1]))
+        };
+        match raw[i].as_str() {
+            "--dir" => args.dir = value(&mut i)?,
+            "--seed" => args.seed = value(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--tenants" => {
+                args.tenants = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--tenants: {e}"))?;
+            }
+            "--duration-secs" => {
+                args.duration_secs = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--duration-secs: {e}"))?;
+            }
+            "--no-dedup" => args.dedup = false,
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+        i += 1;
+    }
+    if args.tenants == 0 {
+        return Err("--tenants must be at least 1".into());
+    }
+    Ok(args)
+}
+
+fn tenant_name(index: usize) -> String {
+    format!("t{index:02}")
+}
+
+fn workload(seed: u64, duration_secs: f64) -> Vec<TraceRecord> {
+    let trace = WorkloadBuilder::new()
+        .data_set_bytes(256 * MIB)
+        .rate_bytes_per_sec(2 * MIB)
+        .duration_secs(duration_secs)
+        .seed(seed)
+        .build()
+        .expect("workload parameters are static and valid");
+    let mut source = trace.source();
+    let mut out = Vec::new();
+    while let Some(next) = source.next_record() {
+        out.push(next.expect("in-memory sources cannot fail"));
+    }
+    out
+}
+
+/// One request/reply round trip on a fresh, *un-faulted* control
+/// connection — the harness's own view of the daemon must not be
+/// subject to the storm it is grading.
+fn control(addr: SocketAddr, line: &str) -> Result<String, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("control connect: {e}"))?;
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(Duration::from_secs(10))).ok();
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| format!("control clone: {e}"))?;
+    writeln!(writer, "{line}").map_err(|e| format!("control write: {e}"))?;
+    writer.flush().map_err(|e| format!("control flush: {e}"))?;
+    let mut reply = String::new();
+    BufReader::new(stream)
+        .read_line(&mut reply)
+        .map_err(|e| format!("control read: {e}"))?;
+    Ok(reply.trim_end().to_string())
+}
+
+fn field_after(reply: &str, key: &str) -> Option<u64> {
+    let mut words = reply.split_whitespace();
+    while let Some(word) = words.next() {
+        if word == key {
+            return words.next()?.parse().ok();
+        }
+    }
+    None
+}
+
+fn wait_drained(addr: SocketAddr) -> Result<(), String> {
+    let started = Instant::now();
+    loop {
+        let reply = control(addr, "PING")?;
+        match field_after(&reply, "queued") {
+            Some(0) => return Ok(()),
+            Some(_) => std::thread::sleep(Duration::from_millis(10)),
+            None => return Err(format!("bad ping reply: {reply}")),
+        }
+        if started.elapsed() > Duration::from_secs(300) {
+            return Err("daemon failed to drain".into());
+        }
+    }
+}
+
+/// WAL lines normalized through [`ObsRecord`] so wall-clock timestamps
+/// do not defeat the byte-identity comparison.
+fn normalized_wal(path: &Path) -> Result<Vec<String>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    text.lines()
+        .map(|line| {
+            ObsRecord::from_line(line)
+                .map(|r| r.normalized_line())
+                .map_err(|e| format!("malformed WAL line in {}: {e}", path.display()))
+        })
+        .collect()
+}
+
+fn wal_gap_count(path: &Path) -> Result<u64, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let mut gaps = 0u64;
+    for (i, line) in text.lines().enumerate() {
+        let record = ObsRecord::from_line(line)
+            .map_err(|e| format!("malformed WAL line in {}: {e}", path.display()))?;
+        if record.seq != i as u64 {
+            gaps += 1;
+        }
+    }
+    Ok(gaps)
+}
+
+struct SideReport {
+    /// Tenant → (records the client fed, records the daemon applied).
+    tenants: BTreeMap<String, (u64, u64)>,
+    stats: ClientStats,
+    wals: BTreeMap<String, Vec<String>>,
+    wal_gaps: u64,
+    injected: u64,
+}
+
+/// Starts a daemon in `dir`, drives every tenant through connections
+/// wrapped by `plan`, drains, verifies counts over the control
+/// connection, shuts down cleanly, and reads back the sealed WALs.
+fn run_side(
+    dir: &Path,
+    args: &Args,
+    plan: NetFaultPlan,
+    dedup: bool,
+) -> Result<SideReport, String> {
+    let _ = std::fs::remove_dir_all(dir);
+    let mut cfg = ServeConfig::new(dir);
+    cfg.dedup = dedup;
+    let daemon = Daemon::start(cfg).map_err(|e| format!("start daemon: {e}"))?;
+    let addr = daemon.addr();
+    let injector = Arc::new(NetFaultInjector::new(plan));
+
+    let workers: Vec<_> = (0..args.tenants)
+        .map(|index| {
+            let injector = Arc::clone(&injector);
+            let name = tenant_name(index);
+            let records = workload(args.seed + index as u64, args.duration_secs);
+            let opts = ClientOpts {
+                // Write (and flush) every feed line individually so each
+                // record crosses the fault surface on its own, and give
+                // the reconnect loop enough budget to outlast a streak
+                // of poisoned dials — under `--no-dedup` the blind
+                // replay re-sends the whole ring per attempt, so long
+                // streaks of mid-replay kills are expected.
+                buffer_bytes: 0,
+                max_attempts: 32,
+                seed: args.seed ^ (index as u64).wrapping_mul(0x9e37),
+                ..ClientOpts::default()
+            };
+            std::thread::spawn(move || -> Result<(String, u64, ClientStats), String> {
+                let connector: Box<dyn FnMut() -> std::io::Result<Box<dyn Conn>> + Send> =
+                    Box::new(move || {
+                        let stream = TcpStream::connect(addr)?;
+                        stream.set_nodelay(true).ok();
+                        stream.set_read_timeout(Some(Duration::from_secs(5))).ok();
+                        Ok(Box::new(injector.wrap(stream)) as Box<dyn Conn>)
+                    });
+                let mut client = ServeClient::new(connector, &name, 4096, opts);
+                let total = records.len() as u64;
+                for (i, record) in records.into_iter().enumerate() {
+                    client
+                        .feed(record)
+                        .map_err(|e| format!("{name} feed {i}: {e}"))?;
+                    // A periodic barrier keeps the replay ring short and
+                    // exercises the ack watermark path mid-storm.
+                    if (i + 1) % 64 == 0 {
+                        client.sync().map_err(|e| format!("{name} sync: {e}"))?;
+                    }
+                }
+                client
+                    .sync()
+                    .map_err(|e| format!("{name} final sync: {e}"))?;
+                Ok((name, total, client.stats()))
+            })
+        })
+        .collect();
+
+    let mut fed = BTreeMap::new();
+    let mut stats = ClientStats::default();
+    for worker in workers {
+        let (name, total, s) = worker
+            .join()
+            .map_err(|_| "tenant thread panicked".to_string())??;
+        fed.insert(name, total);
+        stats.sent += s.sent;
+        stats.reconnects += s.reconnects;
+        stats.replayed += s.replayed;
+        stats.gave_up += s.gave_up;
+    }
+
+    wait_drained(addr)?;
+    let mut tenants = BTreeMap::new();
+    for (name, total) in &fed {
+        let reply = control(addr, &format!("QUERY {name} status"))?;
+        let applied = field_after(&reply, "records")
+            .ok_or_else(|| format!("bad status reply for {name}: {reply}"))?;
+        tenants.insert(name.clone(), (*total, applied));
+    }
+
+    let reply = control(addr, "SHUTDOWN")?;
+    if !reply.starts_with("OK") {
+        return Err(format!("shutdown refused: {reply}"));
+    }
+    daemon.join().map_err(|e| format!("daemon exit: {e}"))?;
+
+    let mut wals = BTreeMap::new();
+    let mut wal_gaps = 0u64;
+    for name in fed.keys() {
+        let path = dir.join(format!("{name}.jsonl"));
+        wal_gaps += wal_gap_count(&path)?;
+        wals.insert(name.clone(), normalized_wal(&path)?);
+    }
+    Ok(SideReport {
+        tenants,
+        stats,
+        wals,
+        wal_gaps,
+        injected: injector.monitor().injected().total(),
+    })
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    let root = PathBuf::from(&args.dir);
+    std::fs::create_dir_all(&root).map_err(|e| format!("create {}: {e}", root.display()))?;
+
+    println!("reference run (no faults) ...");
+    let reference = run_side(&root.join("ref"), &args, NetFaultPlan::disabled(), true)?;
+    println!(
+        "chaos run (storm seed {}, dedup {}) ...",
+        args.seed, args.dedup
+    );
+    let chaos = run_side(
+        &root.join("chaos"),
+        &args,
+        NetFaultPlan::storm(args.seed),
+        args.dedup,
+    )?;
+
+    let mut ok = true;
+    let mut lost = 0u64;
+    let mut duplicated = 0u64;
+    for (name, (fed, applied)) in &chaos.tenants {
+        lost += fed.saturating_sub(*applied);
+        duplicated += applied.saturating_sub(*fed);
+        let wal_matches = chaos.wals.get(name) == reference.wals.get(name);
+        if fed != applied || !wal_matches {
+            ok = false;
+        }
+        println!(
+            "tenant {name}: fed {fed} applied {applied} wal {}",
+            if wal_matches { "identical" } else { "DIVERGED" }
+        );
+    }
+    println!(
+        "chaos faults injected {} reconnects {} replayed {} gave_up {}",
+        chaos.injected, chaos.stats.reconnects, chaos.stats.replayed, chaos.stats.gave_up
+    );
+    if chaos.injected == 0 || chaos.stats.reconnects == 0 {
+        println!("FAIL: the storm never bit (no faults or no reconnects) — harness is vacuous");
+        ok = false;
+    }
+    if chaos.stats.gave_up > 0 {
+        println!("FAIL: {} reconnect bursts gave up", chaos.stats.gave_up);
+        ok = false;
+    }
+    if reference.wal_gaps > 0 || chaos.wal_gaps > 0 {
+        println!(
+            "FAIL: WAL seq gaps (reference {}, chaos {})",
+            reference.wal_gaps, chaos.wal_gaps
+        );
+        ok = false;
+    }
+    if reference.stats.reconnects > 0 || reference.injected > 0 {
+        println!("FAIL: the fault-free reference run saw faults or reconnects");
+        ok = false;
+    }
+    println!("total lost {lost} duplicated {duplicated}");
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => {
+            println!("serve_chaos: OK");
+            ExitCode::SUCCESS
+        }
+        Ok(false) => {
+            println!("serve_chaos: FAILED");
+            ExitCode::from(1)
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(1)
+        }
+    }
+}

@@ -106,6 +106,12 @@ pub struct TenantEntry {
     /// Records the daemon had accepted for this tenant when the manifest
     /// sealed (informational; the checkpoint holds the binding cursor).
     pub records: u64,
+    /// The tenant's feed ack watermark at seal: the highest contiguously
+    /// applied client-assigned feed seq (0 before any sequenced feed).
+    /// Restored on resume so replay after a daemon restart stays
+    /// exactly-once. Defaults to 0 when absent (pre-seq manifests).
+    #[serde(default)]
+    pub acked: u64,
     /// Path of the tenant's own `.jck` checkpoint file.
     pub checkpoint: String,
     /// Path of the tenant's telemetry WAL, if the daemon streams
@@ -271,6 +277,7 @@ mod tests {
             name: "alpha".into(),
             pages: 4096,
             records: 120_000,
+            acked: 120_000,
             checkpoint: "/runs/alpha.jck".into(),
             telemetry: Some("/runs/alpha.jsonl".into()),
         });
@@ -278,6 +285,7 @@ mod tests {
             name: "beta".into(),
             pages: 2048,
             records: 7,
+            acked: 0,
             checkpoint: "/runs/beta.jck".into(),
             telemetry: None,
         });

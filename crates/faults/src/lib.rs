@@ -12,6 +12,7 @@
 //! | memory banks | [`HwFaults`] | refused power transitions (the granted count sticks) |
 //! | policy | [`FaultyPolicy`] | injected typed decision failures in a bounded window |
 //! | storage | [`FaultyStorage`] (a [`jpmd_store::StorageBackend`]) | disk-full and hard I/O errors, torn writes, failed fsyncs, crashed renames — see [`IoFaultPlan`] |
+//! | network | [`FaultyStream`] (wrapping any `Read + Write`) | mid-write disconnects, short writes, garbage bytes, read stalls — see [`NetFaultPlan`] |
 //!
 //! Failures surface to the [`DegradationGuard`], a
 //! [`PeriodController`](jpmd_sim::PeriodController) that retreats down a
@@ -38,6 +39,7 @@
 mod chaos;
 mod guard;
 mod inject;
+mod net;
 mod plan;
 mod rng;
 mod source;
@@ -51,6 +53,9 @@ pub use guard::{
     DegradationGuard, FallbackLevel, FalliblePolicy, FaultyPolicy, GuardConfig, GuardStats,
 };
 pub use inject::{HwFaultCounts, HwFaults};
+pub use net::{
+    FaultyStream, NetFaultCounts, NetFaultInjector, NetFaultMonitor, NetFaultPlan, NetFaults,
+};
 pub use plan::{BankFaults, DiskFaults, FaultPlan, PolicyFaults, SourceFaults};
 pub use rng::FaultRng;
 pub use source::{FaultyTraceSource, InjectedSourceFault, SourceFaultCounts};

@@ -1,0 +1,125 @@
+//! Transport-seam property tests over arbitrary seeds: a disabled
+//! [`NetFaultPlan`] is bit-identical to the unwrapped stream (and burns
+//! no RNG draws or operation slots), equal storm plans replay equal
+//! fault sequences, and a poisoned stream never delivers another byte
+//! in either direction.
+
+use std::io::{self, Cursor, Read, Write};
+
+use jpmd_faults::{NetFaultInjector, NetFaultPlan, NetFaults};
+use proptest::prelude::*;
+
+/// Reads from a scripted input, collects writes.
+struct Duplex {
+    input: Cursor<Vec<u8>>,
+    output: Vec<u8>,
+}
+
+impl Duplex {
+    fn new(input: Vec<u8>) -> Self {
+        Duplex {
+            input: Cursor::new(input),
+            output: Vec::new(),
+        }
+    }
+}
+
+impl Read for Duplex {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.input.read(buf)
+    }
+}
+
+impl Write for Duplex {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.output.write(buf)
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+fn chunks() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..64), 1..24)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Disabled plan, arbitrary seed, arbitrary payloads: the wrapper is
+    // invisible — same bytes on the wire, same bytes read back, zero
+    // operations counted.
+    #[test]
+    fn disabled_plan_is_bit_identical(seed in any::<u64>(), writes in chunks(), reply in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let injector = NetFaultInjector::new(NetFaultPlan { seed, ..NetFaultPlan::disabled() });
+        let monitor = injector.monitor();
+        let mut wrapped = injector.wrap(Duplex::new(reply.clone()));
+        let mut direct = Duplex::new(reply.clone());
+        for chunk in &writes {
+            wrapped.write_all(chunk).unwrap();
+            direct.write_all(chunk).unwrap();
+        }
+        wrapped.flush().unwrap();
+        let mut got_wrapped = Vec::new();
+        let mut got_direct = Vec::new();
+        wrapped.read_to_end(&mut got_wrapped).unwrap();
+        direct.read_to_end(&mut got_direct).unwrap();
+        prop_assert_eq!(&got_wrapped, &got_direct);
+        prop_assert_eq!(got_wrapped, reply);
+        prop_assert_eq!(wrapped.into_inner().output, direct.output);
+        prop_assert_eq!(monitor.injected().total(), 0);
+        prop_assert_eq!(monitor.ops(), 0);
+    }
+
+    // Equal plans over equal connection/write sequences inject equal
+    // faults and leave equal bytes on the wire.
+    #[test]
+    fn equal_plans_replay_equal_fault_sequences(seed in any::<u64>(), writes in chunks()) {
+        let run = || {
+            let injector = NetFaultInjector::new(NetFaultPlan::storm(seed));
+            let mut wire = Vec::new();
+            let mut outcomes = Vec::new();
+            for _ in 0..3 {
+                let mut stream = injector.wrap(Duplex::new(Vec::new()));
+                for chunk in &writes {
+                    outcomes.push(match stream.write(chunk) {
+                        Ok(n) => Ok(n),
+                        Err(e) => Err(e.kind()),
+                    });
+                }
+                wire.extend(stream.into_inner().output);
+            }
+            (outcomes, wire, injector.monitor().injected())
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    // Once a disconnect-class fault fires, the stream stays dead: no
+    // later read or write ever succeeds.
+    #[test]
+    fn poison_is_permanent(seed in any::<u64>(), writes in chunks()) {
+        let plan = NetFaultPlan {
+            seed,
+            faults: NetFaults {
+                disconnect_prob: 0.3,
+                garbage_prob: 0.1,
+                read_disconnect_prob: 0.3,
+                ..NetFaults::default()
+            },
+            from_op: 0,
+            until_op: u64::MAX,
+        };
+        let injector = NetFaultInjector::new(plan);
+        let mut stream = injector.wrap(Duplex::new(vec![7u8; 64]));
+        let mut dead = false;
+        for chunk in &writes {
+            let write_failed = stream.write(chunk).is_err();
+            let mut buf = [0u8; 8];
+            let read_failed = stream.read(&mut buf).is_err();
+            if dead {
+                prop_assert!(write_failed && read_failed, "poisoned stream delivered");
+            }
+            dead = stream.is_poisoned();
+        }
+    }
+}

@@ -11,6 +11,7 @@
 //!            [--shed-high 100000] [--shed-low 20000]
 //!            [--batch 512] [--workers 0] [--max-tenants 1024]
 //!            [--resume] [--no-telemetry]
+//!            [--ack-every N] [--no-dedup]
 //!            [--wal-faults FROM:UNTIL] [--fault-seed N]
 //! ```
 //!
@@ -34,7 +35,7 @@ use jpmd_serve::{install_sigterm_handler, Daemon, ServeConfig};
 const USAGE: &str = "usage: jpmd_serve --dir DIR [--port N] [--addr-file PATH] \
 [--period-secs S] [--duration-secs S] [--default-pages N] [--max-tenants N] \
 [--shed-high N] [--shed-low N] [--batch N] [--workers N] [--resume] [--no-telemetry] \
-[--wal-faults FROM:UNTIL] [--fault-seed N]";
+[--ack-every N] [--no-dedup] [--wal-faults FROM:UNTIL] [--fault-seed N]";
 
 enum CliError {
     Usage(String),
@@ -82,6 +83,10 @@ fn parse_config(args: &[String]) -> Result<(ServeConfig, Option<String>), CliErr
             "--workers" => cfg.workers = parse_value(args, &mut i, "--workers")?,
             "--resume" => cfg.resume = true,
             "--no-telemetry" => cfg.telemetry = false,
+            "--ack-every" => cfg.ack_every = parse_value(args, &mut i, "--ack-every")?,
+            // The chaos harness's negative control: apply sequenced
+            // replays twice instead of deduplicating them.
+            "--no-dedup" => cfg.dedup = false,
             "--wal-faults" => {
                 let word: String = parse_value(args, &mut i, "--wal-faults")?;
                 wal_faults = Some(parse_window(&word).ok_or_else(|| {

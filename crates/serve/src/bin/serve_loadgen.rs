@@ -7,6 +7,12 @@
 //! the daemon to drain, and reports sustained tenants × records/s into
 //! a JSON results file.
 //!
+//! Every tenant streams through a [`jpmd_serve::ServeClient`]: feeds
+//! carry client-assigned seqs, un-acked records ride a bounded replay
+//! ring, and a dropped connection reconnects + replays transparently.
+//! The client-side `reconnects`/`replayed`/`gave_up` counters land in
+//! the stats line and `results/serve_bench.json`.
+//!
 //! The other verbs are thin control-plane clients so scripts and CI
 //! need neither `curl` nor `nc`:
 //!
@@ -29,7 +35,7 @@ use std::net::TcpStream;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
-use jpmd_serve::proto::format_feed;
+use jpmd_serve::{ClientOpts, ClientStats, ServeClient};
 use jpmd_trace::{TraceSource, WorkloadBuilder, MIB};
 
 const USAGE: &str =
@@ -84,51 +90,6 @@ fn parse_queued(response: &str) -> Option<u64> {
     None
 }
 
-/// A persistent protocol connection: `feed` is fire-and-forget,
-/// `ask` is one request/response round trip.
-struct Client {
-    reader: BufReader<TcpStream>,
-    writer: std::io::BufWriter<TcpStream>,
-}
-
-impl Client {
-    fn connect(addr: &str) -> Result<Self, CliError> {
-        let stream = TcpStream::connect(addr).map_err(runtime)?;
-        stream.set_nodelay(true).ok();
-        Ok(Client {
-            reader: BufReader::new(stream.try_clone().map_err(runtime)?),
-            writer: std::io::BufWriter::new(stream),
-        })
-    }
-
-    fn feed(&mut self, line: &str) -> Result<(), CliError> {
-        writeln!(self.writer, "{line}").map_err(runtime)
-    }
-
-    fn ask(&mut self, line: &str) -> Result<String, CliError> {
-        writeln!(self.writer, "{line}").map_err(runtime)?;
-        self.writer.flush().map_err(runtime)?;
-        let mut response = String::new();
-        self.reader.read_line(&mut response).map_err(runtime)?;
-        Ok(response.trim_end().to_string())
-    }
-
-    /// `OPEN` with retries — the daemon rejects admissions while
-    /// shedding, and a churning tenant must get back in eventually.
-    fn open(&mut self, name: &str, pages: u64) -> Result<(), CliError> {
-        let mut last = String::new();
-        for _ in 0..50 {
-            let reply = self.ask(&format!("OPEN {name} {pages}"))?;
-            if reply.starts_with("OK") {
-                return Ok(());
-            }
-            last = reply;
-            std::thread::sleep(Duration::from_millis(100));
-        }
-        Err(CliError::Runtime(format!("open {name}: {last}")))
-    }
-}
-
 #[derive(Clone)]
 struct RunOpts {
     addr: String,
@@ -163,8 +124,9 @@ impl RunOpts {
     }
 }
 
-/// Streams one tenant's workload; returns records sent.
-fn drive_tenant(opts: &RunOpts, index: usize) -> Result<u64, CliError> {
+/// Streams one tenant's workload through a [`ServeClient`]; returns
+/// records sent plus the client's reliability counters.
+fn drive_tenant(opts: &RunOpts, index: usize) -> Result<(u64, ClientStats), CliError> {
     let name = format!("tenant-{index:03}");
     let trace = WorkloadBuilder::new()
         .data_set_bytes(opts.data_mb * MIB)
@@ -175,8 +137,11 @@ fn drive_tenant(opts: &RunOpts, index: usize) -> Result<u64, CliError> {
         .map_err(runtime)?;
     let pages = trace.total_pages();
 
-    let mut client = Client::connect(&opts.addr)?;
-    client.open(&name, pages)?;
+    let client_opts = ClientOpts {
+        seed: opts.seed + index as u64,
+        ..ClientOpts::default()
+    };
+    let mut client = ServeClient::tcp(&opts.addr, &name, pages, client_opts);
 
     let records: Vec<_> = {
         let mut source = trace.source();
@@ -195,19 +160,23 @@ fn drive_tenant(opts: &RunOpts, index: usize) -> Result<u64, CliError> {
     let mut sent = 0u64;
     for (i, record) in records.iter().enumerate() {
         if i == churn_at {
-            let reply = client.ask(&format!("CLOSE {name}"))?;
-            if !reply.starts_with("OK") {
-                return Err(CliError::Runtime(format!("close {name}: {reply}")));
-            }
-            client.open(&name, pages)?;
+            // Seal and recreate the tenant mid-stream; the client
+            // resets its seq stream to match the fresh tenant.
+            client
+                .close()
+                .map_err(|e| CliError::Runtime(format!("close {name}: {e}")))?;
         }
-        client.feed(&format_feed(&name, record))?;
+        client
+            .feed(*record)
+            .map_err(|e| CliError::Runtime(format!("feed {name}: {e}")))?;
         sent += 1;
         if sent.is_multiple_of(256) {
             if opts.qps > 0.0 {
                 // Open loop: pace to the target rate, never wait on the
                 // daemon.
-                client.writer.flush().map_err(runtime)?;
+                client
+                    .flush_feeds()
+                    .map_err(|e| CliError::Runtime(format!("flush {name}: {e}")))?;
                 let due = sent as f64 / opts.qps;
                 let elapsed = started.elapsed().as_secs_f64();
                 if due > elapsed {
@@ -217,7 +186,9 @@ fn drive_tenant(opts: &RunOpts, index: usize) -> Result<u64, CliError> {
                 // Closed loop: one PING round trip per batch, plus a
                 // backlog cap so the daemon is paced, not buried.
                 loop {
-                    let reply = client.ask("PING")?;
+                    let reply = client
+                        .ask("PING")
+                        .map_err(|e| CliError::Runtime(format!("ping {name}: {e}")))?;
                     match parse_queued(&reply) {
                         Some(queued) if queued > opts.max_backlog => {
                             std::thread::sleep(Duration::from_millis(5));
@@ -228,8 +199,12 @@ fn drive_tenant(opts: &RunOpts, index: usize) -> Result<u64, CliError> {
             }
         }
     }
-    client.writer.flush().map_err(runtime)?;
-    Ok(sent)
+    // Final barrier: every record fed is acked (applied or queued)
+    // daemon-side before this tenant's thread reports success.
+    client
+        .sync()
+        .map_err(|e| CliError::Runtime(format!("final sync {name}: {e}")))?;
+    Ok((sent, client.stats()))
 }
 
 #[derive(serde::Serialize)]
@@ -245,6 +220,9 @@ struct RunReportJson {
     churn: bool,
     seed: u64,
     duration_secs: f64,
+    reconnects: u64,
+    replayed: u64,
+    gave_up: u64,
     daemon_stats: String,
 }
 
@@ -257,10 +235,15 @@ fn cmd_run(opts: &RunOpts) -> Result<(), CliError> {
         })
         .collect();
     let mut records_sent = 0u64;
+    let mut net = ClientStats::default();
     for worker in workers {
-        records_sent += worker
+        let (sent, stats) = worker
             .join()
             .map_err(|_| CliError::Runtime("tenant thread panicked".into()))??;
+        records_sent += sent;
+        net.reconnects += stats.reconnects;
+        net.replayed += stats.replayed;
+        net.gave_up += stats.gave_up;
     }
     let send_secs = started.elapsed().as_secs_f64();
 
@@ -294,11 +277,21 @@ fn cmd_run(opts: &RunOpts) -> Result<(), CliError> {
         churn: opts.churn,
         seed: opts.seed,
         duration_secs: opts.duration_secs,
+        reconnects: net.reconnects,
+        replayed: net.replayed,
+        gave_up: net.gave_up,
         daemon_stats: stats,
     };
     println!(
-        "sustained {} tenants x {:.0} records/s ({} records in {:.2} s)",
-        report.tenants, report.records_per_sec, report.records_sent, report.wall_secs
+        "sustained {} tenants x {:.0} records/s ({} records in {:.2} s) \
+reconnects {} replayed {} gave_up {}",
+        report.tenants,
+        report.records_per_sec,
+        report.records_sent,
+        report.wall_secs,
+        report.reconnects,
+        report.replayed,
+        report.gave_up
     );
     if !opts.report.is_empty() {
         if let Some(parent) = std::path::Path::new(&opts.report).parent() {

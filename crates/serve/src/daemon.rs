@@ -14,6 +14,18 @@
 //! the rest, and control queries (which take the same per-tenant lock)
 //! wait at most one batch.
 //!
+//! ## Exactly-once ingest
+//!
+//! A sequenced `FEED` carries a client-assigned per-tenant seq. The
+//! tenant's **ack watermark** (highest contiguously applied seq) is
+//! advanced under the queue lock, together with the push it
+//! acknowledges: replays at or below the watermark are dropped
+//! (counted in `serve.feed.duplicates`), seqs past `watermark + 1` are
+//! refused with `ERR feed seq gap`, and every `ack_every`-th accepted
+//! seq pushes a standalone `ACK <seq>` line. `OPEN`/`ATTACH` return
+//! the watermark, the manifest persists it, and resume restores it —
+//! so replay after any disconnect or restart is idempotent.
+//!
 //! ## Backpressure
 //!
 //! The global queued-record count is the control signal. Crossing
@@ -73,6 +85,15 @@ const HTTP_IDLE_LIMIT: u32 = 50;
 /// Cap on simultaneously live connection threads; accepts past the cap
 /// are dropped on the floor rather than exhausting threads.
 const MAX_CONNECTIONS: usize = 256;
+/// Longest accepted request line, bytes (newline included). A hostile
+/// or corrupted client that streams a line past this gets a typed
+/// `ERR line too long` and the connection closed — never unbounded
+/// `String` growth.
+const MAX_LINE: usize = 8192;
+/// Consecutive read timeouts (~5 s) a client holding a *partial* line
+/// gets before the connection is dropped as stalled. Idle between
+/// complete requests is unlimited — only a torn line pins this.
+const MIDLINE_IDLE_LIMIT: u32 = 25;
 
 /// One tenant as the daemon sees it: the inbound record queue and the
 /// policy stack behind it, separately locked so feeding never waits on
@@ -90,6 +111,15 @@ struct TenantHandle {
     /// queue nobody will drain, which would pin the global backlog
     /// above zero forever.
     closed: AtomicBool,
+    /// The feed ack watermark: highest client-assigned seq whose record
+    /// (and every predecessor) is queued or applied. Advanced only
+    /// under the queue lock, together with the push it acknowledges, so
+    /// an acked record can never have been dropped by a racing seal.
+    acked: AtomicU64,
+    /// Sequenced feeds at or below the watermark (replays after
+    /// reconnect) — dropped when dedup is on, applied twice when the
+    /// negative-control `--no-dedup` mode is proving the harness works.
+    duplicates: Counter,
     state: Mutex<TenantState>,
 }
 
@@ -137,6 +167,25 @@ impl TenantState {
     }
 }
 
+/// What became of one `FEED` (see [`ServerState::feed`]).
+enum FeedSlot {
+    /// Queued; `ack` carries a seq when this record crossed an
+    /// `ack_every` boundary and the connection should push `ACK <seq>`.
+    Accepted { ack: Option<u64> },
+    /// Sequenced replay at or below the watermark, deduplicated.
+    Duplicate,
+    /// Sequenced feed above `watermark + 1`; refused with a typed error
+    /// so the client re-attaches instead of leaving a hole.
+    Gap {
+        /// The seq the daemon will accept next.
+        want: u64,
+        /// The seq the client sent.
+        got: u64,
+    },
+    /// Unknown tenant, shutdown, or a seal race — fire-and-forget drop.
+    Dropped,
+}
+
 /// A point-in-time copy of the daemon's global counters (the `STATS`
 /// verb, and the integration tests' window into the admission state).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -157,6 +206,16 @@ pub struct DaemonStats {
     /// Tenants whose WAL is currently degraded (riding the ring or
     /// carrying a dirty tail).
     pub degraded_tenants: u64,
+    /// Connections accepted over the daemon's lifetime.
+    pub conns_accepted: u64,
+    /// Accepted connections dropped at the [`MAX_CONNECTIONS`] cap.
+    pub conns_dropped: u64,
+    /// Connections dropped because a partially-read line stalled past
+    /// the mid-line idle limit (or an HTTP head never finished).
+    pub read_timeouts: u64,
+    /// Sequenced feed replays at or below a tenant's ack watermark,
+    /// across all tenants.
+    pub feed_duplicates: u64,
 }
 
 struct ServerState {
@@ -175,6 +234,18 @@ struct ServerState {
     records_total: Counter,
     rejected_opens: Counter,
     connections: Counter,
+    /// Connections admitted by the accept loop
+    /// (`serve.conn.accepted`).
+    conn_accepted: Counter,
+    /// Connections the daemon dropped on purpose: refused at the
+    /// connection cap, or closed for an over-long request line
+    /// (`serve.conn.dropped`).
+    conn_dropped: Counter,
+    /// Stalled-read connection drops (`serve.conn.read_timeouts`).
+    read_timeouts: Counter,
+    /// Daemon-wide sum of per-tenant feed duplicates
+    /// (`serve.feed.duplicates`).
+    duplicates: Counter,
     /// Daemon-wide sum of tenant-WAL write failures.
     wal_errors: Counter,
     /// Gauge mirror of [`ServerState::degraded_tenants`]
@@ -197,6 +268,10 @@ impl ServerState {
             records_total: registry.counter("serve.records_total"),
             rejected_opens: registry.counter("serve.rejected_opens"),
             connections: registry.counter("serve.connections"),
+            conn_accepted: registry.counter("serve.conn.accepted"),
+            conn_dropped: registry.counter("serve.conn.dropped"),
+            read_timeouts: registry.counter("serve.conn.read_timeouts"),
+            duplicates: registry.counter("serve.feed.duplicates"),
             wal_errors: registry.counter("serve.wal_write_errors"),
             degraded_gauge: registry.gauge("serve.storage_degraded"),
             degraded_tenants: AtomicU64::new(0),
@@ -220,6 +295,10 @@ impl ServerState {
             rejected_opens: self.rejected_opens.get(),
             wal_write_errors: self.wal_errors.get(),
             degraded_tenants: self.degraded_tenants.load(Ordering::Relaxed),
+            conns_accepted: self.conn_accepted.get(),
+            conns_dropped: self.conn_dropped.get(),
+            read_timeouts: self.read_timeouts.get(),
+            feed_duplicates: self.duplicates.get(),
         }
     }
 
@@ -241,7 +320,7 @@ impl ServerState {
             .send(handle);
     }
 
-    fn tenant_metrics(&self, name: &str) -> (Counter, Counter, Gauge, Gauge, Counter) {
+    fn tenant_metrics(&self, name: &str) -> (Counter, Counter, Gauge, Gauge, Counter, Counter) {
         let labels = [("tenant", name)];
         (
             self.registry
@@ -253,6 +332,8 @@ impl ServerState {
                 .gauge(&labeled("serve.tenant.energy_j", &labels)),
             self.registry
                 .counter(&labeled("serve.tenant.wal_write_errors", &labels)),
+            self.registry
+                .counter(&labeled("serve.tenant.feed_duplicates", &labels)),
         )
     }
 
@@ -288,7 +369,10 @@ impl ServerState {
         self.cfg.dir.join(format!("{name}.jck"))
     }
 
-    /// Admits a tenant. Idempotent for an already-open name.
+    /// Admits a tenant (`OPEN`) or reconnects to one (`ATTACH`).
+    /// Idempotent for an already-open name; either way the reply
+    /// carries the tenant's feed ack watermark, which is what a
+    /// reconnecting client replays against.
     ///
     /// Holds the tenant-map lock across the existence check, the cap
     /// check, and the insert: two concurrent `OPEN`s of one name must
@@ -297,18 +381,33 @@ impl ServerState {
     /// `OPEN`s of distinct names must not slip past `max_tenants`.
     /// `OPEN` is a rare verb, so briefly blocking feeds/lookups on the
     /// stepper build is the cheap side of that trade.
-    fn open(&self, name: &str, pages: Option<u64>) -> String {
+    ///
+    /// The existence check runs *before* the overload check, and
+    /// `ATTACH` skips the overload check entirely: a reconnecting
+    /// client must always be able to learn the watermark — refusing it
+    /// while shedding would turn backpressure into data loss.
+    fn open_or_attach(&self, name: &str, pages: Option<u64>, attach: bool) -> String {
+        let verb = if attach { "attached" } else { "opened" };
         if self.shutdown.load(Ordering::Acquire) {
             return "ERR shutting down".into();
-        }
-        if self.overload.load(Ordering::Relaxed) {
-            self.rejected_opens.inc();
-            return "ERR shedding load, admission closed".into();
         }
         let mut tenants = self.tenants.lock().expect("tenant map lock");
         if let Some(existing) = tenants.get(name) {
             let pages = existing.state.lock().expect("tenant state lock").pages;
-            return format!("OK opened {name} pages {pages}");
+            // With ack-dedup disabled (the chaos harness's negative
+            // control) the daemon plays dumb wholesale: no watermark at
+            // attach, so reconnect replays are blind and already-applied
+            // records land twice.
+            let acked = if self.cfg.dedup {
+                existing.acked.load(Ordering::Acquire)
+            } else {
+                0
+            };
+            return format!("OK {verb} {name} pages {pages} acked {acked}");
+        }
+        if !attach && self.overload.load(Ordering::Relaxed) {
+            self.rejected_opens.inc();
+            return "ERR shedding load, admission closed".into();
         }
         if tenants.len() >= self.cfg.max_tenants {
             self.rejected_opens.inc();
@@ -338,10 +437,10 @@ impl ServerState {
             Ok(stepper) => stepper,
             Err(e) => return format!("ERR open failed: {e}"),
         };
-        let handle = self.make_handle(name, stepper, telemetry, pages, 0, wal);
+        let handle = self.make_handle(name, stepper, telemetry, pages, 0, 0, wal);
         tenants.insert(name.to_string(), handle);
         self.tenants_gauge.set(tenants.len() as f64);
-        format!("OK opened {name} pages {pages}")
+        format!("OK {verb} {name} pages {pages} acked 0")
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -352,15 +451,18 @@ impl ServerState {
         telemetry: Telemetry,
         pages: u64,
         records: u64,
+        acked: u64,
         wal: Option<String>,
     ) -> Arc<TenantHandle> {
-        let (decisions, records_metric, level_gauge, energy_gauge, wal_errors_metric) =
+        let (decisions, records_metric, level_gauge, energy_gauge, wal_errors_metric, duplicates) =
             self.tenant_metrics(name);
         Arc::new(TenantHandle {
             name: name.to_string(),
             queue: Mutex::new(VecDeque::new()),
             scheduled: AtomicBool::new(false),
             closed: AtomicBool::new(false),
+            acked: AtomicU64::new(acked),
+            duplicates,
             state: Mutex::new(TenantState {
                 stepper,
                 telemetry,
@@ -379,34 +481,74 @@ impl ServerState {
     }
 
     /// The `FEED` fast path: enqueue, bump the backlog, wake a worker.
-    /// Fire-and-forget — records for unknown tenants (or after
-    /// shutdown began) are dropped.
-    fn feed(&self, name: &str, record: TraceRecord) {
+    /// Records for unknown tenants (or after shutdown began) are
+    /// dropped. A sequenced feed is judged against the tenant's ack
+    /// watermark — the dedup/gap decision, the watermark advance, and
+    /// the push all happen under the queue lock, so an acknowledged seq
+    /// always has its record either queued or applied, never dropped by
+    /// a racing seal.
+    fn feed(&self, name: &str, seq: Option<u64>, record: TraceRecord) -> FeedSlot {
         if self.shutdown.load(Ordering::Acquire) {
-            return;
+            return FeedSlot::Dropped;
         }
         let Some(handle) = self.lookup(name) else {
-            return;
+            return FeedSlot::Dropped;
         };
         // Count the record *before* it becomes visible in the queue:
         // the queue mutex then guarantees that any worker draining it
         // observes this increment first, so the drain's decrement can
         // never pull `queued` below zero.
         let backlog = self.queued.fetch_add(1, Ordering::AcqRel) + 1;
-        let pushed = {
+        let slot = {
             let mut queue = handle.queue.lock().expect("tenant queue lock");
             if handle.closed.load(Ordering::Acquire) {
-                false
+                FeedSlot::Dropped
             } else {
-                queue.push_back(record);
-                true
+                match seq {
+                    None => {
+                        queue.push_back(record);
+                        FeedSlot::Accepted { ack: None }
+                    }
+                    Some(seq) => {
+                        let acked = handle.acked.load(Ordering::Acquire);
+                        if seq <= acked {
+                            // A replay the daemon has already applied.
+                            handle.duplicates.inc();
+                            self.duplicates.inc();
+                            if self.cfg.dedup {
+                                FeedSlot::Duplicate
+                            } else {
+                                // Negative control: apply it twice so
+                                // the chaos harness can prove it
+                                // detects duplication.
+                                queue.push_back(record);
+                                FeedSlot::Accepted { ack: None }
+                            }
+                        } else if seq == acked + 1 || !self.cfg.dedup {
+                            handle.acked.store(seq.max(acked), Ordering::Release);
+                            queue.push_back(record);
+                            FeedSlot::Accepted {
+                                ack: (self.cfg.ack_every > 0
+                                    && seq.is_multiple_of(self.cfg.ack_every))
+                                .then_some(seq),
+                            }
+                        } else {
+                            // The client skipped ahead: accepting would
+                            // punch a silent hole below the watermark.
+                            FeedSlot::Gap {
+                                want: acked + 1,
+                                got: seq,
+                            }
+                        }
+                    }
+                }
             }
         };
-        if !pushed {
-            // Lost the race with a CLOSE seal: nobody will ever drain
-            // this record, so take its count back out.
+        if !matches!(slot, FeedSlot::Accepted { .. }) {
+            // Nothing landed on the queue (seal race, duplicate, or
+            // gap): take the record's count back out.
             self.record_drained(1);
-            return;
+            return slot;
         }
         self.queued_gauge.set(backlog as f64);
         if backlog >= self.cfg.shed_high && !self.overload.swap(true, Ordering::Relaxed) {
@@ -415,6 +557,7 @@ impl ServerState {
         if !handle.scheduled.swap(true, Ordering::AcqRel) {
             self.schedule(handle);
         }
+        slot
     }
 
     /// Takes `drained` records out of the global backlog and applies
@@ -496,11 +639,15 @@ impl ServerState {
             QueryKind::Status => {
                 let queued = handle.queue.lock().expect("tenant queue lock").len();
                 format!(
-                    "OK tenant {name} records {} periods {} level {} queued {queued}",
+                    "OK tenant {name} records {} periods {} level {} queued {queued} acked {}",
                     state.records,
                     state.stepper.rows().len(),
                     state.stepper.controller().level().as_str(),
+                    handle.acked.load(Ordering::Acquire),
                 )
+            }
+            QueryKind::Acked => {
+                format!("OK acked {}", handle.acked.load(Ordering::Acquire))
             }
         }
     }
@@ -568,6 +715,7 @@ impl ServerState {
             name: handle.name.clone(),
             pages: state.pages,
             records: state.records,
+            acked: handle.acked.load(Ordering::Acquire),
             checkpoint: ckpt_path.to_string_lossy().into_owned(),
             telemetry: state.wal.clone(),
         })
@@ -630,6 +778,7 @@ impl ServerState {
                 telemetry,
                 entry.pages,
                 entry.records,
+                entry.acked,
                 wal,
             );
             let mut tenants = self.tenants.lock().expect("tenant map lock");
@@ -661,14 +810,21 @@ fn worker_loop(state: &Arc<ServerState>, ready_rx: &Mutex<Receiver<Arc<TenantHan
     }
 }
 
-/// Executes one parsed request; `None` means no response line (`FEED`).
+/// Executes one parsed request; `None` means no response line (an
+/// accepted or deduplicated `FEED`).
 fn execute(state: &Arc<ServerState>, request: Request) -> Option<String> {
     match request {
-        Request::Feed { tenant, record } => {
-            state.feed(&tenant, record);
-            None
-        }
-        Request::Open { tenant, pages } => Some(state.open(&tenant, pages)),
+        Request::Feed {
+            tenant,
+            seq,
+            record,
+        } => match state.feed(&tenant, seq, record) {
+            FeedSlot::Accepted { ack: Some(seq) } => Some(format!("ACK {seq}")),
+            FeedSlot::Accepted { ack: None } | FeedSlot::Duplicate | FeedSlot::Dropped => None,
+            FeedSlot::Gap { want, got } => Some(format!("ERR feed seq gap: want {want} got {got}")),
+        },
+        Request::Open { tenant, pages } => Some(state.open_or_attach(&tenant, pages, false)),
+        Request::Attach { tenant, pages } => Some(state.open_or_attach(&tenant, pages, true)),
         Request::Query { tenant, what } => Some(state.query(&tenant, what)),
         Request::Close { tenant } => Some(state.close(&tenant)),
         Request::Ping => Some(format!(
@@ -679,14 +835,19 @@ fn execute(state: &Arc<ServerState>, request: Request) -> Option<String> {
             let s = state.stats();
             Some(format!(
                 "OK tenants {} queued {} shedding {} records {} rejected {} \
-                 wal_errors {} degraded {}",
+                 wal_errors {} degraded {} conns {} conn_dropped {} \
+                 read_timeouts {} duplicates {}",
                 s.tenants,
                 s.queued,
                 u8::from(s.shedding),
                 s.records_total,
                 s.rejected_opens,
                 s.wal_write_errors,
-                s.degraded_tenants
+                s.degraded_tenants,
+                s.conns_accepted,
+                s.conns_dropped,
+                s.read_timeouts,
+                s.feed_duplicates
             ))
         }
         Request::Shutdown => {
@@ -696,46 +857,70 @@ fn execute(state: &Arc<ServerState>, request: Request) -> Option<String> {
     }
 }
 
-/// `read_line` against a stream carrying [`CONN_READ_TIMEOUT`]:
+/// Bounded line read against a stream carrying [`CONN_READ_TIMEOUT`]:
 /// timeouts retry (an idle protocol client between requests is normal)
-/// until the daemon begins shutdown or, when `idle_limit` is set, that
-/// many timeouts pass without a byte arriving. Returns the bytes
-/// appended to `line` (EOF after a partial, unterminated final line
-/// still delivers it, like blocking `read_line` would); `Ok(0)` means
-/// EOF with nothing buffered, or give-up — a timed-out partial line is
-/// incomplete by definition and is dropped with the connection.
+/// until the daemon begins shutdown, a *partial* line stalls past
+/// [`MIDLINE_IDLE_LIMIT`], or — when `idle_limit` is set — that many
+/// timeouts pass without a byte arriving at all. Returns the bytes
+/// consumed from the stream (EOF after a partial, unterminated final
+/// line still delivers it); `Ok(0)` means EOF with nothing buffered, or
+/// give-up — a timed-out partial line is incomplete by definition and
+/// is dropped with the connection (counted in
+/// `serve.conn.read_timeouts`).
+///
+/// The line is bounded at [`MAX_LINE`] bytes: one byte past it is a
+/// typed [`io::ErrorKind::InvalidData`] error, never unbounded `String`
+/// growth from a hostile or corrupted client. Invalid UTF-8 is replaced
+/// lossily rather than erroring — garbage on the wire must reach the
+/// parser and come back as a protocol-level `ERR`, not kill the read
+/// path silently.
 fn read_line_interruptible<R: BufRead>(
     state: &ServerState,
     reader: &mut R,
     line: &mut String,
     idle_limit: Option<u32>,
 ) -> io::Result<usize> {
-    let before = line.len();
-    let mut last_len = before;
+    let mut consumed = 0usize;
     let mut idle = 0u32;
     loop {
-        match reader.read_line(line) {
-            Ok(n) => return Ok(if n == 0 { line.len() - before } else { n }),
+        let chunk = match reader.fill_buf() {
+            Ok(buf) => buf,
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
                 if state.shutdown.load(Ordering::Acquire) {
                     return Ok(0);
                 }
-                if line.len() > last_len {
-                    // Partial progress mid-line: the client is slow,
-                    // not stalled.
-                    last_len = line.len();
-                    idle = 0;
-                } else {
-                    idle += 1;
-                    if idle_limit.is_some_and(|limit| idle >= limit) {
-                        return Ok(0);
-                    }
+                idle += 1;
+                if idle_limit.is_some_and(|limit| idle >= limit)
+                    || (consumed > 0 && idle >= MIDLINE_IDLE_LIMIT)
+                {
+                    state.read_timeouts.inc();
+                    return Ok(0);
                 }
+                continue;
             }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
             Err(e) => return Err(e),
+        };
+        if chunk.is_empty() {
+            // EOF: deliver whatever partial line is assembled.
+            return Ok(consumed);
+        }
+        let (take, done) = match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => (pos + 1, true),
+            None => (chunk.len(), false),
+        };
+        if consumed + take > MAX_LINE {
+            // Leave the tail unconsumed — the connection closes anyway.
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "line too long"));
+        }
+        line.push_str(&String::from_utf8_lossy(&chunk[..take]));
+        reader.consume(take);
+        consumed += take;
+        idle = 0;
+        if done {
+            return Ok(consumed);
         }
     }
 }
@@ -773,13 +958,35 @@ fn serve_http<R: BufRead>(
     writer.flush()
 }
 
+/// Reads the next line, translating the bounded reader's overflow into
+/// the protocol-level `ERR line too long` + close that a hostile line
+/// deserves. `Ok(false)` means the connection is done.
+fn next_line<R: BufRead>(
+    state: &ServerState,
+    reader: &mut R,
+    writer: &mut impl Write,
+    line: &mut String,
+) -> io::Result<bool> {
+    match read_line_interruptible(state, reader, line, None) {
+        Ok(0) => Ok(false),
+        Ok(_) => Ok(true),
+        Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+            state.conn_dropped.inc();
+            writeln!(writer, "ERR line too long")?;
+            writer.flush()?;
+            Ok(false)
+        }
+        Err(e) => Err(e),
+    }
+}
+
 fn handle_connection(state: Arc<ServerState>, stream: TcpStream) -> io::Result<()> {
     state.connections.inc();
     stream.set_nodelay(true).ok();
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     let mut line = String::new();
-    if read_line_interruptible(&state, &mut reader, &mut line, None)? == 0 {
+    if !next_line(&state, &mut reader, &mut writer, &mut line)? {
         return Ok(());
     }
     let first = line.trim_end().to_string();
@@ -807,7 +1014,7 @@ fn handle_connection(state: Arc<ServerState>, stream: TcpStream) -> io::Result<(
             }
         }
         line.clear();
-        if read_line_interruptible(&state, &mut reader, &mut line, None)? == 0 {
+        if !next_line(&state, &mut reader, &mut writer, &mut line)? {
             return Ok(());
         }
     }
@@ -869,9 +1076,11 @@ impl Daemon {
                             >= MAX_CONNECTIONS
                         {
                             accept_state.live_connections.fetch_sub(1, Ordering::AcqRel);
+                            accept_state.conn_dropped.inc();
                             drop(stream);
                             continue;
                         }
+                        accept_state.conn_accepted.inc();
                         // The listener is non-blocking; make sure the
                         // accepted socket isn't (inherited on some
                         // platforms) or the read timeout would spin.

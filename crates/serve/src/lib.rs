@@ -47,10 +47,12 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use jpmd_core::SimScale;
 use jpmd_faults::SharedBackend;
 
+pub mod client;
 pub mod daemon;
 pub mod proto;
 pub mod tenant;
 
+pub use client::{ClientError, ClientOpts, ClientStats, Conn, Connector, ServeClient};
 pub use daemon::{Daemon, DaemonStats};
 pub use proto::{parse_request, QueryKind, Request};
 pub use tenant::{build_stepper, OverloadPolicy, TenantController};
@@ -94,6 +96,18 @@ pub struct ServeConfig {
     pub telemetry: bool,
     /// Resume tenants from the manifest sealed by a previous shutdown.
     pub resume: bool,
+    /// Emit a standalone `ACK <seq>` line after this many accepted
+    /// sequenced records per tenant (every seq divisible by it). Lets
+    /// clients prune their replay rings without a synchronous round
+    /// trip per record.
+    pub ack_every: u64,
+    /// Whether the ack-watermark dedup machinery is live: sequenced
+    /// feeds at or below the watermark are dropped and `ATTACH` reports
+    /// the watermark so clients can prune their replay rings before
+    /// replaying (exactly-once). Disabling this — `serve_chaos
+    /// --no-dedup`, the negative control — reports `acked 0` at attach
+    /// and applies replays twice, which the chaos harness must detect.
+    pub dedup: bool,
     /// Storage backend every durable write (tenant WALs, checkpoint
     /// seals) goes through. The default is the real filesystem; the
     /// chaos smoke swaps in a
@@ -120,6 +134,8 @@ impl ServeConfig {
             workers: 0,
             telemetry: true,
             resume: false,
+            ack_every: 32,
+            dedup: true,
             backend: SharedBackend::real_fs(),
         }
     }

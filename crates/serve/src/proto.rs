@@ -2,20 +2,37 @@
 //!
 //! One request per line, ASCII, space-separated; every response is a
 //! single line starting `OK` or `ERR`. The only asymmetric verb is
-//! `FEED`, which is **fire-and-forget** — a per-record acknowledgement
-//! would serialize the stream on round trips. Clients that want flow
-//! control interleave `PING`, which answers with the daemon's current
-//! global backlog so a closed-loop sender can pace itself.
+//! `FEED`, which carries no per-record response — a synchronous
+//! acknowledgement would serialize the stream on round trips. Instead
+//! the ingest path is **exactly-once by sequence**: a sequenced `FEED`
+//! carries a client-assigned per-tenant seq (1-based, contiguous), the
+//! daemon tracks the highest contiguously applied seq per tenant (the
+//! *ack watermark*), drops replays at or below it, rejects gaps above
+//! `watermark + 1` with a typed `ERR`, and pushes standalone
+//! `ACK <seq>` lines every `ack_every` accepted records. `OPEN` and
+//! `ATTACH` answer with the watermark, so a reconnecting client knows
+//! exactly which buffered records to replay. Unsequenced `FEED` (the
+//! pre-seq form, still accepted) remains fire-and-forget. Clients that
+//! want flow control interleave `PING`, which answers with the daemon's
+//! current global backlog so a closed-loop sender can pace itself.
 //!
 //! ```text
-//! OPEN <tenant> [pages]                      -> OK opened <tenant> pages <n> | ERR ...
-//! FEED <tenant> <time> <file> <page> <n> <r|w>   (no response)
-//! PING                                       -> OK pong queued <backlog>
-//! QUERY <tenant> timeout|banks|misscurve|energy|status -> OK ...
-//! STATS                                      -> OK tenants <n> queued <n> shedding <0|1> ...
-//! CLOSE <tenant>                             -> OK closed <tenant> (checkpoint sealed)
-//! SHUTDOWN                                   -> OK shutting-down
+//! OPEN <tenant> [pages]   -> OK opened <tenant> pages <n> acked <seq> | ERR ...
+//! ATTACH <tenant> [pages] -> OK attached <tenant> pages <n> acked <seq> | ERR ...
+//! FEED <tenant> <seq> <time> <file> <page> <n> <r|w>   (async ACK <seq> lines)
+//! FEED <tenant> <time> <file> <page> <n> <r|w>         (no response, legacy)
+//! PING                    -> OK pong queued <backlog>
+//! QUERY <tenant> timeout|banks|misscurve|energy|status|acked -> OK ...
+//! STATS                   -> OK tenants <n> queued <n> shedding <0|1> ...
+//! CLOSE <tenant>          -> OK closed <tenant> (checkpoint sealed)
+//! SHUTDOWN                -> OK shutting-down
 //! ```
+//!
+//! `ATTACH` is the reconnect verb: idempotent for a live tenant and —
+//! unlike `OPEN` — exempt from overload shedding, because a
+//! reconnecting client must always be able to learn the watermark.
+//! `QUERY <t> acked` answers `OK acked <seq>` — the client's
+//! synchronous barrier.
 //!
 //! The same listening socket also speaks just enough HTTP/1.0 for
 //! `GET /metrics` (see [`crate::daemon`]); the dispatcher sniffs the
@@ -38,6 +55,9 @@ pub enum QueryKind {
     Energy,
     /// One-line tenant status: records, periods, degradation level.
     Status,
+    /// The tenant's feed ack watermark (highest contiguously applied
+    /// client seq; 0 before any sequenced record).
+    Acked,
 }
 
 impl QueryKind {
@@ -48,8 +68,20 @@ impl QueryKind {
             "misscurve" => QueryKind::MissCurve,
             "energy" => QueryKind::Energy,
             "status" => QueryKind::Status,
+            "acked" => QueryKind::Acked,
             _ => return None,
         })
+    }
+
+    fn word(self) -> &'static str {
+        match self {
+            QueryKind::Timeout => "timeout",
+            QueryKind::Banks => "banks",
+            QueryKind::MissCurve => "misscurve",
+            QueryKind::Energy => "energy",
+            QueryKind::Status => "status",
+            QueryKind::Acked => "acked",
+        }
     }
 }
 
@@ -63,10 +95,22 @@ pub enum Request {
         /// Page-space size; the daemon default when absent.
         pages: Option<u64>,
     },
+    /// Reconnect to (or admit) a tenant; answers with the ack
+    /// watermark like `OPEN` but is exempt from overload shedding so a
+    /// reconnecting client can always learn what to replay.
+    Attach {
+        /// Tenant name.
+        tenant: String,
+        /// Page-space size used only if the tenant must be created.
+        pages: Option<u64>,
+    },
     /// Stream one access record into a tenant.
     Feed {
         /// Tenant name.
         tenant: String,
+        /// Client-assigned per-tenant sequence number (1-based,
+        /// contiguous); `None` for the legacy fire-and-forget form.
+        seq: Option<u64>,
         /// The record.
         record: TraceRecord,
     },
@@ -117,51 +161,74 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         }
         Ok(name.to_string())
     };
+    let open_args = |verb: &str| -> Result<(String, Option<u64>), String> {
+        let tenant = tenant_arg(0)?;
+        let pages = match rest.get(1) {
+            Some(word) => Some(
+                word.parse::<u64>()
+                    .map_err(|_| format!("bad page count '{word}'"))?,
+            ),
+            None => None,
+        };
+        if rest.len() > 2 {
+            return Err(format!("{verb} takes at most <tenant> [pages]"));
+        }
+        Ok((tenant, pages))
+    };
     match verb {
         "OPEN" => {
-            let tenant = tenant_arg(0)?;
-            let pages = match rest.get(1) {
-                Some(word) => Some(
-                    word.parse::<u64>()
-                        .map_err(|_| format!("bad page count '{word}'"))?,
-                ),
-                None => None,
-            };
-            if rest.len() > 2 {
-                return Err("OPEN takes at most <tenant> [pages]".into());
-            }
+            let (tenant, pages) = open_args("OPEN")?;
             Ok(Request::Open { tenant, pages })
+        }
+        "ATTACH" => {
+            let (tenant, pages) = open_args("ATTACH")?;
+            Ok(Request::Attach { tenant, pages })
         }
         "FEED" => {
             let tenant = tenant_arg(0)?;
-            if rest.len() != 6 {
-                return Err("FEED <tenant> <time> <file> <page> <pages> <r|w>".into());
-            }
+            // 7 args = sequenced (`<seq>` before the record), 6 = the
+            // legacy fire-and-forget form.
+            let (seq, at) = match rest.len() {
+                6 => (None, 1),
+                7 => {
+                    let seq = rest[1]
+                        .parse::<u64>()
+                        .map_err(|_| format!("bad feed seq '{}'", rest[1]))?;
+                    if seq == 0 {
+                        return Err("bad feed seq '0' (seqs are 1-based)".into());
+                    }
+                    (Some(seq), 2)
+                }
+                _ => {
+                    return Err("FEED <tenant> [seq] <time> <file> <page> <pages> <r|w>".into());
+                }
+            };
             let num = |idx: usize, what: &str| -> Result<u64, String> {
                 rest[idx]
                     .parse::<u64>()
                     .map_err(|_| format!("bad {what} '{}'", rest[idx]))
             };
-            let time: f64 = rest[1]
+            let time: f64 = rest[at]
                 .parse()
-                .map_err(|_| format!("bad time '{}'", rest[1]))?;
+                .map_err(|_| format!("bad time '{}'", rest[at]))?;
             if !time.is_finite() || time < 0.0 {
-                return Err(format!("bad time '{}'", rest[1]));
+                return Err(format!("bad time '{}'", rest[at]));
             }
-            let file = num(2, "file id")?;
+            let file = num(at + 1, "file id")?;
             let file = u32::try_from(file).map_err(|_| format!("bad file id '{file}'"))?;
-            let kind = match rest[5] {
+            let kind = match rest[at + 4] {
                 "r" => AccessKind::Read,
                 "w" => AccessKind::Write,
                 other => return Err(format!("bad access kind '{other}' (want r|w)")),
             };
             Ok(Request::Feed {
                 tenant,
+                seq,
                 record: TraceRecord {
                     time,
                     file: FileId(file),
-                    first_page: num(3, "first page")?,
-                    pages: num(4, "page count")?,
+                    first_page: num(at + 2, "first page")?,
+                    pages: num(at + 3, "page count")?,
                     kind,
                 },
             })
@@ -184,8 +251,8 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     }
 }
 
-/// Formats a record as the `FEED` line [`parse_request`] reverses —
-/// the load generator's encoder.
+/// Formats a record as the legacy (unsequenced) `FEED` line
+/// [`parse_request`] reverses.
 pub fn format_feed(tenant: &str, record: &TraceRecord) -> String {
     format!(
         "FEED {tenant} {} {} {} {} {}",
@@ -193,11 +260,70 @@ pub fn format_feed(tenant: &str, record: &TraceRecord) -> String {
         record.file.0,
         record.first_page,
         record.pages,
-        match record.kind {
-            AccessKind::Read => "r",
-            AccessKind::Write => "w",
-        }
+        kind_word(record.kind),
     )
+}
+
+/// Formats a record as the sequenced `FEED` line — the exactly-once
+/// encoder used by [`ServeClient`](crate::ServeClient).
+pub fn format_feed_seq(tenant: &str, seq: u64, record: &TraceRecord) -> String {
+    format!(
+        "FEED {tenant} {seq} {} {} {} {} {}",
+        record.time,
+        record.file.0,
+        record.first_page,
+        record.pages,
+        kind_word(record.kind),
+    )
+}
+
+fn kind_word(kind: AccessKind) -> &'static str {
+    match kind {
+        AccessKind::Read => "r",
+        AccessKind::Write => "w",
+    }
+}
+
+/// Formats any request as the line [`parse_request`] reverses — the
+/// round-trip encoder the property tests and the client share.
+pub fn format_request(request: &Request) -> String {
+    let open = |verb: &str, tenant: &str, pages: Option<u64>| match pages {
+        Some(pages) => format!("{verb} {tenant} {pages}"),
+        None => format!("{verb} {tenant}"),
+    };
+    match request {
+        Request::Open { tenant, pages } => open("OPEN", tenant, *pages),
+        Request::Attach { tenant, pages } => open("ATTACH", tenant, *pages),
+        Request::Feed {
+            tenant,
+            seq: Some(seq),
+            record,
+        } => format_feed_seq(tenant, *seq, record),
+        Request::Feed {
+            tenant,
+            seq: None,
+            record,
+        } => format_feed(tenant, record),
+        Request::Query { tenant, what } => format!("QUERY {tenant} {}", what.word()),
+        Request::Stats => "STATS".into(),
+        Request::Ping => "PING".into(),
+        Request::Close { tenant } => format!("CLOSE {tenant}"),
+        Request::Shutdown => "SHUTDOWN".into(),
+    }
+}
+
+/// Recognizes a standalone `ACK <seq>` push line; `None` for anything
+/// else (clients interleave these with `OK`/`ERR` replies).
+pub fn parse_ack(line: &str) -> Option<u64> {
+    let mut words = line.split_ascii_whitespace();
+    if words.next() != Some("ACK") {
+        return None;
+    }
+    let seq = words.next()?.parse().ok()?;
+    if words.next().is_some() {
+        return None;
+    }
+    Some(seq)
 }
 
 #[cfg(test)]
@@ -215,11 +341,51 @@ mod tests {
         };
         let line = format_feed("web-01", &record);
         match parse_request(&line).unwrap() {
-            Request::Feed { tenant, record: r } => {
+            Request::Feed {
+                tenant,
+                seq: None,
+                record: r,
+            } => {
                 assert_eq!(tenant, "web-01");
                 assert_eq!(r, record);
             }
             other => panic!("parsed {other:?}"),
+        }
+        let line = format_feed_seq("web-01", 42, &record);
+        match parse_request(&line).unwrap() {
+            Request::Feed {
+                tenant,
+                seq: Some(seq),
+                record: r,
+            } => {
+                assert_eq!(tenant, "web-01");
+                assert_eq!(seq, 42);
+                assert_eq!(r, record);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+    }
+
+    #[test]
+    fn attach_and_acks_parse() {
+        assert_eq!(
+            parse_request("ATTACH db-7 8192").unwrap(),
+            Request::Attach {
+                tenant: "db-7".into(),
+                pages: Some(8192)
+            }
+        );
+        assert_eq!(
+            parse_request("QUERY db-7 acked").unwrap(),
+            Request::Query {
+                tenant: "db-7".into(),
+                what: QueryKind::Acked
+            }
+        );
+        assert_eq!(parse_ack("ACK 17"), Some(17));
+        assert_eq!(parse_ack("ACK 0"), Some(0));
+        for not_ack in ["OK acked 17", "ACK", "ACK x", "ACK 1 2", "ack 1"] {
+            assert_eq!(parse_ack(not_ack), None, "{not_ack:?}");
         }
     }
 
@@ -251,6 +417,12 @@ mod tests {
             "FEED a 1 2 3",
             "FEED a -1 0 0 1 r",
             "FEED a 1 0 0 1 z",
+            "FEED a 0 1 0 0 1 r",
+            "FEED a x 1 0 0 1 r",
+            "FEED a 1 1 0 0 1 r w",
+            "ATTACH",
+            "ATTACH bad/name",
+            "ATTACH a 1 2",
             "QUERY a everything",
         ] {
             assert!(parse_request(bad).is_err(), "{bad:?} must not parse");

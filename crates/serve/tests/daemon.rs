@@ -564,3 +564,57 @@ fn wal_outage_degrades_telemetry_not_tenants() {
     jpmd_ckpt::load_checkpoint(dir.join("alpha.jck")).expect("sealed checkpoint verifies");
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn oversized_request_line_gets_typed_error_and_close() {
+    let dir = scratch_dir("line-cap");
+    let daemon = Daemon::start(base_config(&dir)).expect("start daemon");
+    let addr = daemon.addr();
+
+    // A single 64 KiB line with no terminator: the daemon must refuse
+    // it at the 8 KiB cap with a typed error instead of buffering
+    // unboundedly, then close the connection.
+    let mut client = Client::connect(addr);
+    let flood = "A".repeat(64 * 1024);
+    client.writer.write_all(flood.as_bytes()).expect("flood");
+    client.writer.write_all(b"\n").expect("terminator");
+    client.writer.flush().expect("flush");
+    let mut reply = String::new();
+    client.reader.read_line(&mut reply).expect("reply");
+    assert_eq!(reply.trim_end(), "ERR line too long");
+    // The daemon drops the connection with flood bytes still unread,
+    // so the close surfaces as either a clean EOF or an RST.
+    let mut rest = String::new();
+    match client.reader.read_line(&mut rest) {
+        Ok(n) => assert_eq!(
+            n, 0,
+            "connection must be closed after the cap, got {rest:?}"
+        ),
+        Err(e) => assert!(
+            matches!(
+                e.kind(),
+                std::io::ErrorKind::ConnectionReset | std::io::ErrorKind::BrokenPipe
+            ),
+            "unexpected error kind after cap: {e}"
+        ),
+    }
+
+    // The daemon itself is unharmed: a fresh connection works, and the
+    // drop was counted.
+    let mut fresh = Client::connect(addr);
+    assert!(fresh.ask("PING").starts_with("OK"));
+    let stats = fresh.ask("STATS");
+    let dropped: u64 = stats
+        .split_whitespace()
+        .skip_while(|w| *w != "conn_dropped")
+        .nth(1)
+        .and_then(|w| w.parse().ok())
+        .unwrap_or_else(|| panic!("no conn_dropped in {stats}"));
+    assert!(
+        dropped >= 1,
+        "oversized line not counted as a drop: {stats}"
+    );
+    assert!(fresh.ask("SHUTDOWN").starts_with("OK"));
+    daemon.join().expect("join");
+    let _ = std::fs::remove_dir_all(&dir);
+}

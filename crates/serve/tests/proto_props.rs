@@ -1,0 +1,128 @@
+//! Property tests for the wire protocol parser: `parse_request` must
+//! never panic no matter what bytes arrive (garbage injected by
+//! `FaultyStream` reaches it verbatim), every rejection must be a
+//! single-line typed reason, and `format_request` must round-trip every
+//! valid request — including the exactly-once additions (`ATTACH`,
+//! sequenced `FEED`, `ACK` pushes).
+
+use jpmd_serve::proto::{format_request, parse_ack, parse_request, Request};
+use jpmd_serve::QueryKind;
+use jpmd_trace::{AccessKind, FileId, TraceRecord};
+use proptest::prelude::*;
+
+/// A legal tenant name: `[A-Za-z0-9._-]`, 1..=64 bytes.
+fn tenant_strategy() -> impl Strategy<Value = String> {
+    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-";
+    prop::collection::vec(0..ALPHABET.len(), 1..65)
+        .prop_map(|picks| picks.into_iter().map(|i| ALPHABET[i] as char).collect())
+}
+
+/// Non-negative finite times of varied magnitude — the parser rejects
+/// NaN, infinities, and negatives by design, and `{}`-formatted floats
+/// round-trip exactly through `str::parse`.
+fn time_strategy() -> impl Strategy<Value = f64> {
+    (0u64..1_000_000_000, any::<f64>()).prop_map(|(whole, frac)| whole as f64 + frac)
+}
+
+fn record_strategy() -> impl Strategy<Value = TraceRecord> {
+    (
+        time_strategy(),
+        any::<u32>(),
+        (any::<u64>(), any::<u64>()),
+        any::<bool>(),
+    )
+        .prop_map(|(time, file, (first_page, pages), write)| TraceRecord {
+            time,
+            file: FileId(file),
+            first_page,
+            pages,
+            kind: if write {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            },
+        })
+}
+
+fn request_strategy() -> impl Strategy<Value = Request> {
+    let kinds = vec![
+        QueryKind::Timeout,
+        QueryKind::Banks,
+        QueryKind::MissCurve,
+        QueryKind::Energy,
+        QueryKind::Status,
+        QueryKind::Acked,
+    ];
+    (
+        (0u32..8, tenant_strategy()),
+        (any::<u64>(), any::<bool>()),
+        (1u64..u64::MAX, any::<bool>()),
+        (record_strategy(), prop::sample::select(kinds)),
+    )
+        .prop_map(
+            |((variant, tenant), (pages, pages_present), (seq, seq_present), (record, what))| {
+                let pages = pages_present.then_some(pages);
+                match variant {
+                    0 => Request::Open { tenant, pages },
+                    1 => Request::Attach { tenant, pages },
+                    2 => Request::Feed {
+                        tenant,
+                        seq: seq_present.then_some(seq),
+                        record,
+                    },
+                    3 => Request::Query { tenant, what },
+                    4 => Request::Stats,
+                    5 => Request::Ping,
+                    6 => Request::Close { tenant },
+                    _ => Request::Shutdown,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // The parser is the first thing storm garbage reaches; whatever the
+    // bytes, it must return a value, and a rejection must be a clean
+    // single-line reason ready to ship as `ERR <reason>`.
+    #[test]
+    fn parser_never_panics_and_errors_are_single_line(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let line = String::from_utf8_lossy(&bytes);
+        if let Err(reason) = parse_request(&line) {
+            prop_assert!(!reason.is_empty(), "empty rejection reason");
+            prop_assert!(
+                !reason.contains('\n') && !reason.contains('\r'),
+                "rejection reason spans lines: {:?}", reason
+            );
+        }
+    }
+
+    // format_request must emit exactly the line parse_request reverses,
+    // for every variant — the encoder the exactly-once client rides on.
+    #[test]
+    fn round_trips_every_valid_request(request in request_strategy()) {
+        let line = format_request(&request);
+        let parsed = parse_request(&line);
+        prop_assert_eq!(parsed.as_ref(), Ok(&request), "line was {:?}", line);
+    }
+
+    #[test]
+    fn ack_lines_round_trip(seq in any::<u64>()) {
+        prop_assert_eq!(parse_ack(&format!("ACK {seq}")), Some(seq));
+    }
+
+    // parse_ack is called on every reply line the client reads; it must
+    // never panic and must not claim non-ACK lines.
+    #[test]
+    fn parse_ack_never_panics_or_misfires(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+        let line = String::from_utf8_lossy(&bytes);
+        if let Some(seq) = parse_ack(&line) {
+            let canonical = format!("ACK {seq}");
+            prop_assert_eq!(
+                line.split_ascii_whitespace().collect::<Vec<_>>(),
+                canonical.split_ascii_whitespace().collect::<Vec<_>>()
+            );
+        }
+    }
+}
